@@ -1,0 +1,38 @@
+//! Criterion bench for **Table 1 / §5.2**: the two-RPi staged pipeline vs
+//! naive sequential execution, at 1/50 time scale.
+//!
+//! The quantity of interest is frames per (scaled) second: the pipelined
+//! mapping should sustain the bottleneck-stage rate (paper: 10.4 FPS) and
+//! the sequential mapping the sum-of-stages rate (~2.6 FPS), a ~4–5×
+//! separation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use coral_pipeline::{run_pipelined, run_sequential, SubtaskProfile, TimeScale};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let profile = SubtaskProfile::paper();
+    let scale = TimeScale::new(0.02);
+    let frames = 40usize;
+
+    let mut group = c.benchmark_group("table1_pipeline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(frames as u64));
+    group.bench_with_input(
+        BenchmarkId::new("pipelined", frames),
+        &frames,
+        |b, &frames| {
+            b.iter(|| run_pipelined(&profile, frames, scale));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("sequential", frames),
+        &frames,
+        |b, &frames| {
+            b.iter(|| run_sequential(&profile, frames, scale));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmarks for topology management (Figs. 11 / 12 machinery):
+//! MDCS DFS cost vs deployment density, and the server-side cost of a
+//! camera failure (full recompute + diff).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coral_geo::generators;
+use coral_topology::{
+    mdcs_table, CameraId, CameraTopology, MdcsOptions, ServerConfig, TopologyServer,
+};
+
+fn campus_with(n: usize) -> CameraTopology {
+    let (net, sites) = generators::campus();
+    let mut topo = CameraTopology::new(net);
+    for (i, &s) in sites.iter().take(n).enumerate() {
+        topo.place_at_intersection(CameraId(i as u32), s, 0.0)
+            .expect("site free");
+    }
+    topo
+}
+
+fn bench_mdcs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdcs_table_dfs");
+    for n in [5usize, 15, 37] {
+        let topo = campus_with(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            b.iter(|| mdcs_table(topo, CameraId(0), MdcsOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_failure_recompute(c: &mut Criterion) {
+    // The server-side work triggered by one camera failure: remove +
+    // recompute all tables + diff (the Fig. 11 healing path).
+    let (net, sites) = generators::campus();
+    c.bench_function("server_failure_recompute_37cams", |b| {
+        b.iter_batched(
+            || {
+                let mut server = TopologyServer::new(net.clone(), ServerConfig::default());
+                for (i, &s) in sites.iter().enumerate() {
+                    let p = net.intersection(s).expect("site exists").position;
+                    server
+                        .handle_heartbeat(CameraId(i as u32), p, 0.0, 0)
+                        .expect("join");
+                }
+                server
+            },
+            |mut server| server.remove_camera(CameraId(17)).expect("registered"),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_mdcs, bench_failure_recompute);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! **§5.5 scalability claim** — "with the camera network scaling up, the
+//! workload on each camera will decrease, which bodes well for the
+//! scalability of the system."
+//!
+//! The same open traffic workload runs over campus deployments of
+//! increasing density; per-camera workload is measured directly: candidate
+//! pool deliveries, re-identification comparisons (the §5.3 "computational
+//! burden" of the search space), and informs sent per generated event.
+
+use coral_bench::report::f2s;
+use coral_bench::{campus_specs, ExperimentLog};
+use coral_core::{CoralPieSystem, NodeConfig, SystemConfig};
+use coral_geo::IntersectionId;
+use coral_sim::{PoissonArrivals, SimTime};
+use coral_topology::mean_mdcs_size;
+use coral_vision::DetectorNoise;
+
+struct Sample {
+    cameras: usize,
+    mean_pool_received: f64,
+    mean_reid_comparisons: f64,
+    informs_per_event: f64,
+    mean_mdcs: f64,
+}
+
+fn run(n_cameras: usize) -> Sample {
+    let (net, mut specs) = campus_specs();
+    specs.truncate(n_cameras);
+    let config = SystemConfig {
+        node: NodeConfig {
+            detector_noise: DetectorNoise::perfect(),
+            ..NodeConfig::default()
+        },
+        ..SystemConfig::default()
+    };
+    let mut sys = CoralPieSystem::new(net, &specs, config);
+    // Identical workload across densities: arrivals at four campus corners.
+    sys.set_arrivals(PoissonArrivals::new(
+        0.30,
+        vec![
+            IntersectionId(0),
+            IntersectionId(6),
+            IntersectionId(35),
+            IntersectionId(41),
+        ],
+        10,
+        1234,
+    ));
+    sys.run_until(SimTime::from_secs(150));
+    sys.finish();
+
+    let n = specs.len() as f64;
+    let mut pool_recv = 0.0;
+    let mut comparisons = 0.0;
+    let mut informs = 0.0;
+    let mut events = 0.0;
+    for spec in &specs {
+        let node = sys.node(spec.id).expect("deployed");
+        pool_recv += node.pool().stats().received as f64;
+        comparisons += node.reid().comparisons() as f64;
+        informs += node.connection().stats().informs_sent as f64;
+        events += node.events_generated() as f64;
+    }
+    Sample {
+        cameras: n_cameras,
+        mean_pool_received: pool_recv / n,
+        mean_reid_comparisons: comparisons / n,
+        informs_per_event: if events > 0.0 { informs / events } else { 0.0 },
+        mean_mdcs: mean_mdcs_size(sys.server().topology(), Default::default()),
+    }
+}
+
+fn main() {
+    let mut log = ExperimentLog::new(
+        "scalability_workload",
+        &[
+            "cameras",
+            "mean_pool_deliveries",
+            "mean_reid_comparisons",
+            "informs_per_event",
+            "mean_mdcs_size",
+        ],
+    );
+    let mut samples = Vec::new();
+    for n in [8usize, 16, 37] {
+        let s = run(n);
+        log.row(&[
+            s.cameras.to_string(),
+            f2s(s.mean_pool_received),
+            f2s(s.mean_reid_comparisons),
+            f2s(s.informs_per_event),
+            f2s(s.mean_mdcs),
+        ]);
+        samples.push(s);
+    }
+    log.finish();
+
+    let first = &samples[0];
+    let last = &samples[samples.len() - 1];
+    println!(
+        "\ninforms per event: {:.2} (8 cams) -> {:.2} (37 cams) — paper: \
+         'each camera needs to forward the detection events to potentially \
+         fewer downstream cameras'",
+        first.informs_per_event, last.informs_per_event
+    );
+    println!(
+        "re-id comparisons per camera: {:.0} -> {:.0} — paper: 'the \
+         computation on each camera [becomes] more effective'",
+        first.mean_reid_comparisons, last.mean_reid_comparisons
+    );
+    assert!(
+        last.informs_per_event < first.informs_per_event,
+        "density must reduce per-event communication"
+    );
+    assert!(
+        last.mean_mdcs < first.mean_mdcs,
+        "density must shrink the MDCS"
+    );
+}

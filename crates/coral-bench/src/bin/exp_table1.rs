@@ -1,0 +1,77 @@
+//! **Table 1** — Coral-Pie latency summary, plus the §5.2 throughput
+//! claims (10.4 FPS pipelined, ~5× over naive sequential execution).
+//!
+//! The per-subtask service times are the paper's measured profile (our
+//! substrate is a simulator, not two RPis); what this experiment
+//! *measures* is the pipeline behaviour that Table 1 is used to justify:
+//! the six-stage two-device pipeline sustains the bottleneck-stage rate,
+//! and the naive sequential mapping collapses to the sum of the stages.
+//! Run with `--release` for faithful timing.
+
+use coral_bench::report::f2s;
+use coral_bench::ExperimentLog;
+use coral_pipeline::{run_pipelined, run_sequential, Subtask, SubtaskProfile, TimeScale};
+
+fn main() {
+    let profile = SubtaskProfile::paper();
+
+    // Per-subtask service times (the Table 1 rows).
+    let mut table = ExperimentLog::new("table1_latency", &["subtask", "paper_ms", "model_ms"]);
+    for task in Subtask::ALL {
+        table.row(&[
+            task.label().to_string(),
+            f2s(SubtaskProfile::paper().time_ms(task)),
+            f2s(profile.time_ms(task)),
+        ]);
+    }
+    table.finish();
+
+    // Throughput: analytic bound and the real threaded pipeline at 1/8
+    // time scale (bottleneck stage 96 ms -> 12 ms of real sleep per frame).
+    let scale = TimeScale::new(0.125);
+    let frames = 120;
+    let piped = run_pipelined(&profile, frames, scale);
+    let seq = run_sequential(&profile, frames, scale);
+
+    let mut fps = ExperimentLog::new(
+        "table1_throughput",
+        &["metric", "paper", "analytic", "measured"],
+    );
+    fps.row(&[
+        "pipelined FPS".into(),
+        "10.4".into(),
+        f2s(profile.pipelined_fps()),
+        f2s(piped.fps),
+    ]);
+    fps.row(&[
+        "sequential FPS".into(),
+        "~2 (5x slower)".into(),
+        f2s(profile.sequential_fps()),
+        f2s(seq.fps),
+    ]);
+    fps.row(&[
+        "speedup".into(),
+        "~5x".into(),
+        f2s(profile.pipelined_fps() / profile.sequential_fps()),
+        f2s(piped.fps / seq.fps),
+    ]);
+    fps.finish();
+
+    // Per-stage mean service times from the threaded run.
+    let mut stages = ExperimentLog::new(
+        "table1_stages",
+        &["stage", "profile_ms", "measured_ms"],
+    );
+    let spec = profile.stages();
+    for (s, (name, measured)) in spec.iter().zip(&piped.stage_ms) {
+        stages.row(&[name.clone(), f2s(s.total_ms), f2s(*measured)]);
+    }
+    stages.finish();
+
+    println!(
+        "\nBottleneck stage: {} ({} ms) -> analytic {} FPS (paper observed 10.4 FPS)",
+        profile.bottleneck().name,
+        profile.bottleneck().total_ms,
+        f2s(profile.pipelined_fps()),
+    );
+}

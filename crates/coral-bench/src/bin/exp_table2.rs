@@ -1,0 +1,121 @@
+//! **Table 2 & §5.6** — Application-level evaluation: per-camera event
+//! detection accuracy (recall / precision / F2) and the cross-camera
+//! re-identification F2.
+//!
+//! The paper collects 2000 frames per camera from five live streams and
+//! scores against hand-labelled ground truth: recall ≈ 1 on four of five
+//! cameras, precision 0.71–0.93, F2 0.89–0.99; vehicle re-identification
+//! reaches an overall F2 of ≈0.71 with the off-the-shelf color-histogram
+//! signature. Here the traffic simulator is the ground truth and each
+//! camera carries a calibrated detector-noise profile (camera 3 is the
+//! noisy one, as in the paper's Fig. 9 where its view is poorest).
+
+use coral_bench::report::f2s;
+use coral_bench::{corridor_specs, ExperimentLog};
+use coral_core::{CoralPieSystem, NodeConfig, SystemConfig};
+use coral_geo::IntersectionId;
+use coral_sim::{PoissonArrivals, SimTime};
+use coral_topology::CameraId;
+use coral_vision::DetectorNoise;
+
+fn main() {
+    let (net, specs) = corridor_specs(5);
+    let config = SystemConfig {
+        node: NodeConfig {
+            // A realistic, slightly noisy detector on every camera; the
+            // system-level SORT max_age absorbs sporadic misses and a
+            // two-frame burn-in suppresses single-frame clutter.
+            detector_noise: DetectorNoise {
+                miss_rate: 0.03,
+                clutter_rate: 0.05,
+                jitter_px: 1.5,
+                ..DetectorNoise::default()
+            },
+            ident: coral_vision::IdentConfig {
+                sort: coral_vision::SortConfig {
+                    min_hits: 2,
+                    ..coral_vision::SortConfig::default()
+                },
+                ..coral_vision::IdentConfig::default()
+            },
+            reid: coral_core::ReidConfig {
+                bhatt_threshold: 0.30,
+                max_transit_ms: Some(45_000),
+                allow_same_camera: false,
+            },
+            ..NodeConfig::default()
+        },
+        ..SystemConfig::default()
+    };
+    let mut sys = CoralPieSystem::new(net, &specs, config);
+    // Bidirectional traffic along the corridor (~2000 frames per camera).
+    sys.set_arrivals(PoissonArrivals::new(
+        0.20,
+        vec![IntersectionId(0), IntersectionId(4)],
+        4,
+        99,
+    ));
+    sys.run_until(SimTime::from_secs(195));
+    sys.finish();
+
+    let report = sys.report();
+    let paper: [(u32, f64, f64, f64); 5] = [
+        (1, 1.00, 0.89, 0.98),
+        (2, 1.00, 0.93, 0.99),
+        (3, 0.95, 0.71, 0.89),
+        (4, 1.00, 0.85, 0.97),
+        (5, 1.00, 0.83, 0.96),
+    ];
+    let mut log = ExperimentLog::new(
+        "table2_detection",
+        &[
+            "camera",
+            "recall",
+            "precision",
+            "F2",
+            "paper_recall",
+            "paper_precision",
+            "paper_F2",
+        ],
+    );
+    for (i, (cam_label, pr, pp, pf)) in paper.iter().enumerate() {
+        let acc = report
+            .detection
+            .get(&CameraId(i as u32))
+            .copied()
+            .unwrap_or_default();
+        log.row(&[
+            cam_label.to_string(),
+            f2s(acc.recall()),
+            f2s(acc.precision()),
+            f2s(acc.f2()),
+            f2s(*pr),
+            f2s(*pp),
+            f2s(*pf),
+        ]);
+    }
+    log.finish();
+
+    let mut overall = coral_core::Accuracy::default();
+    for acc in report.detection.values() {
+        overall.merge(*acc);
+    }
+    println!(
+        "\nevent detection overall: recall {} precision {} F2 {}",
+        f2s(overall.recall()),
+        f2s(overall.precision()),
+        f2s(overall.f2())
+    );
+    println!(
+        "re-identification: tp {} fp {} fn {} -> F2 {} (paper: overall 0.71)",
+        report.reid.tp,
+        report.reid.fp,
+        report.reid.fn_,
+        f2s(report.reid.f2())
+    );
+    println!(
+        "transitions in ground truth: {} over {} passages",
+        report.transitions.len(),
+        sys.telemetry().passages.len()
+    );
+}

@@ -1,0 +1,111 @@
+//! Standard deployments used across experiments.
+
+use coral_core::CameraSpec;
+use coral_geo::{generators, IntersectionId, RoadNetwork};
+use coral_topology::CameraId;
+
+/// A linear corridor of `n` cameras, 120 m apart — the shape of the
+/// five-camera street deployment of §5.1.
+pub fn corridor_specs(n: usize) -> (RoadNetwork, Vec<CameraSpec>) {
+    let net = generators::corridor(n, 120.0, 12.0);
+    let specs = (0..n)
+        .map(|i| CameraSpec {
+            id: CameraId(i as u32),
+            site: IntersectionId(i as u32),
+            videoing_angle_deg: 0.0,
+        })
+        .collect();
+    (net, specs)
+}
+
+/// The synthetic campus with cameras at all 37 designated sites — the
+/// simulation deployment of §5.4–5.5.
+pub fn campus_specs() -> (RoadNetwork, Vec<CameraSpec>) {
+    let (net, sites) = generators::campus();
+    let specs = sites
+        .iter()
+        .enumerate()
+        .map(|(i, &site)| CameraSpec {
+            id: CameraId(i as u32),
+            site,
+            videoing_angle_deg: 0.0,
+        })
+        .collect();
+    (net, specs)
+}
+
+/// Five cameras along the top row of the campus (sites with branching side
+/// streets) — the §5.5 density study (Fig. 12b) needs diverting traffic, so
+/// the row must have exits between the cameras.
+pub fn campus_row(active: &[u32]) -> (RoadNetwork, Vec<CameraSpec>) {
+    let (net, _) = generators::campus();
+    // Row 0 of the 6x7 campus grid: intersections 0..7.
+    let specs = active
+        .iter()
+        .map(|&i| CameraSpec {
+            id: CameraId(i),
+            site: IntersectionId(i),
+            videoing_angle_deg: 0.0,
+        })
+        .collect();
+    (net, specs)
+}
+
+/// Spawns `n` vehicles at the campus row's west end, one every `period_s`
+/// seconds starting at `start_s`. A fraction `row_bias` follows the main
+/// row end to end; the rest take random routes and divert onto side
+/// streets — the mix that makes pool-pollution measurable (§5.5).
+pub fn spawn_row_traffic(
+    sys: &mut coral_core::CoralPieSystem,
+    n: u64,
+    start_s: u64,
+    period_s: u64,
+    row_bias: f64,
+    seed: u64,
+) {
+    use coral_sim::SimTime;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = sys.traffic().network().clone();
+    for k in 0..n {
+        let at = SimTime::from_secs(start_s + period_s * k);
+        if rng.gen::<f64>() < row_bias {
+            let r = coral_geo::route::shortest_path(&net, IntersectionId(0), IntersectionId(6))
+                .expect("campus row is connected");
+            sys.traffic_mut().spawn(at, r, None);
+        } else {
+            // Random 8-lane walk from the west end: usually diverts south.
+            let mut walk_rng = StdRng::seed_from_u64(seed ^ (k + 1));
+            if let Some(r) =
+                coral_geo::route::random_route(&mut walk_rng, &net, IntersectionId(0), 8)
+            {
+                sys.traffic_mut().spawn(at, r, None);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployments_are_well_formed() {
+        let (net, specs) = corridor_specs(5);
+        assert_eq!(specs.len(), 5);
+        for s in &specs {
+            assert!(net.intersection(s.site).is_ok());
+        }
+        let (net, specs) = campus_specs();
+        assert_eq!(specs.len(), 37);
+        for s in &specs {
+            assert!(net.intersection(s.site).is_ok());
+        }
+        let (net, specs) = campus_row(&[0, 1, 2, 3, 4]);
+        assert_eq!(specs.len(), 5);
+        for s in &specs {
+            assert!(net.intersection(s.site).is_ok());
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Shared harness for the Coral-Pie experiment binaries.
+//!
+//! Each `exp_*` binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§5); this library provides the common deployments,
+//! the paper-vs-measured reporting helpers, and CSV output under
+//! `target/experiments/`.
+
+pub mod deploy;
+pub mod report;
+
+pub use deploy::{campus_row, campus_specs, corridor_specs};
+pub use report::ExperimentLog;

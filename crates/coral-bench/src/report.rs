@@ -1,0 +1,133 @@
+//! Paper-vs-measured reporting and CSV output.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Collects experiment rows, prints them, and writes a CSV under
+/// `target/experiments/<name>.csv`.
+#[derive(Debug)]
+pub struct ExperimentLog {
+    name: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl ExperimentLog {
+    /// Creates a log for experiment `name` with the given CSV header.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        Self {
+            name: name.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row/header arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: appends a row of displayable cells.
+    pub fn push<T: std::fmt::Display>(&mut self, cells: &[T]) {
+        self.row(&cells.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    }
+
+    /// Prints the table to stdout with aligned columns.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("\n== {} ==", self.name);
+        println!("{}", line(&self.header));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+
+    /// Writes the CSV and returns its path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output directory or file cannot be written.
+    pub fn write_csv(&self) -> PathBuf {
+        let dir = out_dir();
+        fs::create_dir_all(&dir).expect("create experiments dir");
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = fs::File::create(&path).expect("create csv");
+        writeln!(f, "{}", self.header.join(",")).expect("write header");
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(",")).expect("write row");
+        }
+        path
+    }
+
+    /// Prints and writes the CSV.
+    pub fn finish(&self) {
+        self.print();
+        let path = self.write_csv();
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// The experiments output directory (`target/experiments`).
+pub fn out_dir() -> PathBuf {
+    // CARGO_TARGET_DIR is not set in normal invocations; default to
+    // ./target relative to the workspace root if present, else cwd.
+    let base = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target"));
+    base.join("experiments")
+}
+
+/// Formats a float with 2 decimals.
+pub fn f2s(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_roundtrip() {
+        let mut log = ExperimentLog::new("unit_test_log", &["a", "b"]);
+        log.push(&["1", "2"]);
+        log.row(&["x".into(), "y".into()]);
+        let path = log.write_csv();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\nx,y\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut log = ExperimentLog::new("bad", &["a", "b"]);
+        log.push(&["only one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2s(1.234), "1.23");
+        assert_eq!(pct(0.8312), "83.1%");
+    }
+}

@@ -1,0 +1,57 @@
+//! Coral-Pie core: camera nodes, re-identification, and the end-to-end
+//! space-time vehicle tracking system.
+//!
+//! This crate assembles the substrates into the paper's system:
+//!
+//! - [`CandidatePool`] — inform events awaiting re-identification, with
+//!   lazy garbage collection (§4.1.3–4.1.4).
+//! - [`ReIdentifier`] — Bhattacharyya-threshold matching with temporal
+//!   gating (§4.1.4).
+//! - [`CameraNode`] — one camera's full continuous-processing element:
+//!   identification → communication → re-identification → storage (§4.1).
+//! - [`CoralPieSystem`] — the deployed system on a deterministic
+//!   discrete-event loop: traffic, heartbeats, failures, message latency
+//!   and the telemetry behind every §5 experiment.
+//! - [`metrics`] — precision / recall / F2 scoring against simulator
+//!   ground truth (Table 2, §5.6).
+//!
+//! # Examples
+//!
+//! ```
+//! use coral_core::{CameraSpec, CoralPieSystem, SystemConfig};
+//! use coral_geo::{generators, IntersectionId};
+//! use coral_sim::SimTime;
+//! use coral_topology::CameraId;
+//!
+//! let net = generators::corridor(3, 120.0, 12.0);
+//! let specs: Vec<CameraSpec> = (0..3)
+//!     .map(|i| CameraSpec {
+//!         id: CameraId(i),
+//!         site: IntersectionId(i),
+//!         videoing_angle_deg: 0.0,
+//!     })
+//!     .collect();
+//! let mut system = CoralPieSystem::new(net, &specs, SystemConfig::default());
+//! system.run_until(SimTime::from_secs(3));
+//! assert_eq!(system.server().active_cameras().len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod metrics;
+pub mod node;
+pub mod pool;
+pub mod reid;
+pub mod system;
+
+pub use metrics::{
+    event_detection_accuracy, reid_accuracy, transitions_from_passages, Accuracy, Passage,
+    Transition,
+};
+pub use node::{CameraNode, FrameOutput, NodeConfig, ReidRecord};
+pub use pool::{Candidate, CandidatePool, PoolStats};
+pub use reid::{ReIdentifier, ReidConfig, ReidMatch};
+pub use system::{
+    CameraSpec, CoralPieSystem, InformArrival, Recovery, SystemConfig, SystemReport, Telemetry,
+};

@@ -1,0 +1,339 @@
+//! The candidate pool: detection events received from upstream cameras,
+//! awaiting re-identification.
+//!
+//! "Upon receiving an informing notification from an upstream camera, the
+//! connection manager appends the associated event into its candidate pool
+//! ... All matched events are ready to be garbage collected. However, to
+//! reduce false negatives, pruning of matched events [is] done only when
+//! the candidate pool grows too large" (paper §4.1.3–4.1.4).
+
+use coral_net::{DetectionEvent, EventId};
+use serde::{Deserialize, Serialize};
+
+/// One pooled candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The upstream detection event.
+    pub event: DetectionEvent,
+    /// When the inform message arrived, ms.
+    pub received_ms: u64,
+    /// Whether a confirmation marked this event matched (locally or at a
+    /// sibling downstream camera).
+    pub matched: bool,
+}
+
+/// Pool statistics for the communication-effectiveness experiments
+/// (Figs. 10b, 12b).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Informs ever received.
+    pub received: u64,
+    /// Entries this camera re-identified itself.
+    pub matched_local: u64,
+    /// Entries annotated matched via a relayed confirmation (a sibling
+    /// downstream camera won the match).
+    pub matched_remote: u64,
+    /// Entries pruned by lazy garbage collection.
+    pub pruned: u64,
+}
+
+impl PoolStats {
+    /// Total matched entries (local + remote).
+    pub fn matched(&self) -> u64 {
+        self.matched_local + self.matched_remote
+    }
+}
+
+/// The candidate pool of one camera.
+#[derive(Debug, Clone, Default)]
+pub struct CandidatePool {
+    entries: Vec<Candidate>,
+    gc_threshold: usize,
+    eager: bool,
+    stats: PoolStats,
+}
+
+impl CandidatePool {
+    /// Creates a pool that garbage-collects matched entries lazily once it
+    /// grows beyond `gc_threshold` entries — the paper's policy (§4.1.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is zero.
+    pub fn new(gc_threshold: usize) -> Self {
+        assert!(gc_threshold > 0, "gc threshold must be positive");
+        Self {
+            entries: Vec::new(),
+            gc_threshold,
+            eager: false,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Creates a pool that removes matched entries immediately — the eager
+    /// alternative the paper rejects because "the reported matching could
+    /// be a false positive and ... eager pruning ... [may] lead to false
+    /// negatives" (§4.1.4). Exposed for the ablation benchmark.
+    pub fn new_eager(gc_threshold: usize) -> Self {
+        let mut pool = Self::new(gc_threshold);
+        pool.eager = true;
+        pool
+    }
+
+    /// Appends an event received from an upstream camera. Duplicate event
+    /// ids refresh the payload but are not double-counted as entries.
+    pub fn add(&mut self, event: DetectionEvent, received_ms: u64) {
+        self.stats.received += 1;
+        let id = event.event_id();
+        if let Some(existing) = self.entries.iter_mut().find(|c| c.event.event_id() == id) {
+            existing.event = event;
+            existing.received_ms = received_ms;
+            return;
+        }
+        self.entries.push(Candidate {
+            event,
+            received_ms,
+            matched: false,
+        });
+        self.maybe_gc();
+    }
+
+    /// The re-identification search space: every entry still physically in
+    /// the pool, including matched-annotated ones. The paper deliberately
+    /// keeps matched events searchable until the lazy GC prunes them, so
+    /// that a premature (false-positive) match cannot mask the true one;
+    /// the trajectory graph tolerates the resulting extra edges (§4.2.1).
+    pub fn candidates(&self) -> impl Iterator<Item = &Candidate> + '_ {
+        self.entries.iter()
+    }
+
+    /// All entries (matched and unmatched) — used by the redundancy
+    /// accounting.
+    pub fn entries(&self) -> &[Candidate] {
+        &self.entries
+    }
+
+    /// Looks up a pooled candidate by event id.
+    pub fn get(&self, id: EventId) -> Option<&Candidate> {
+        self.entries.iter().find(|c| c.event.event_id() == id)
+    }
+
+    /// Annotates an event this camera re-identified itself. The entry
+    /// becomes eligible for lazy GC but is not removed immediately —
+    /// paper §4.1.4: eager pruning risks false negatives if the reported
+    /// match was itself a false positive. Returns whether the event was
+    /// present and not yet matched.
+    pub fn mark_matched_local(&mut self, id: EventId) -> bool {
+        if self.mark(id) {
+            self.stats.matched_local += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Annotates an event matched elsewhere (a relayed confirmation from
+    /// the predecessor, §3.2). For this camera the entry was a redundant
+    /// delivery; it is GC-able but counts as spurious in the Fig. 10(b)
+    /// accounting.
+    pub fn mark_matched_remote(&mut self, id: EventId) -> bool {
+        if self.mark(id) {
+            self.stats.matched_remote += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mark(&mut self, id: EventId) -> bool {
+        let Some(pos) = self
+            .entries
+            .iter()
+            .position(|c| c.event.event_id() == id && !c.matched)
+        else {
+            return false;
+        };
+        if self.eager {
+            self.entries.remove(pos);
+            self.stats.pruned += 1;
+        } else {
+            self.entries[pos].matched = true;
+        }
+        true
+    }
+
+    /// Current pool size (matched + unmatched).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries not yet annotated matched.
+    pub fn unmatched_len(&self) -> usize {
+        self.entries.iter().filter(|c| !c.matched).count()
+    }
+
+    /// Fraction of lifetime-received events that this camera never
+    /// re-identified itself — the "redundant / spurious entries" metric of
+    /// Figs. 10(b) and 12(b). Entries matched only via relayed
+    /// confirmations were still redundant deliveries to this camera, so
+    /// they count as spurious; this is what makes broadcast flooding score
+    /// over 83% in the paper even though siblings eventually match the
+    /// event somewhere.
+    pub fn spurious_fraction(&self) -> f64 {
+        if self.stats.received == 0 {
+            return 0.0;
+        }
+        1.0 - self.stats.matched_local as f64 / self.stats.received as f64
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    fn maybe_gc(&mut self) {
+        if self.entries.len() <= self.gc_threshold {
+            return;
+        }
+        let before = self.entries.len();
+        self.entries.retain(|c| !c.matched);
+        let pruned = before - self.entries.len();
+        self.stats.pruned += pruned as u64;
+        // Still over threshold with only unmatched entries: drop the oldest
+        // to bound memory (stale candidates whose vehicle never arrived).
+        while self.entries.len() > self.gc_threshold {
+            self.entries.remove(0);
+            self.stats.pruned += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_topology::CameraId;
+    use coral_vision::{ColorHistogram, TrackId};
+
+    fn event(cam: u32, track: u64) -> DetectionEvent {
+        DetectionEvent {
+            camera: CameraId(cam),
+            timestamp_ms: 0,
+            heading: None,
+            bearing_deg: None,
+            signature: ColorHistogram::uniform(2),
+            track: TrackId(track),
+            vertex: None,
+            ground_truth: None,
+        }
+    }
+
+    #[test]
+    fn add_and_iterate() {
+        let mut pool = CandidatePool::new(16);
+        pool.add(event(0, 1), 100);
+        pool.add(event(0, 2), 110);
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.unmatched_len(), 2);
+        assert_eq!(pool.stats().received, 2);
+    }
+
+    #[test]
+    fn duplicate_event_refreshes_not_duplicates() {
+        let mut pool = CandidatePool::new(16);
+        pool.add(event(0, 1), 100);
+        pool.add(event(0, 1), 200);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.entries()[0].received_ms, 200);
+        assert_eq!(pool.stats().received, 2);
+    }
+
+    #[test]
+    fn matched_entries_stay_pooled_and_searchable() {
+        let mut pool = CandidatePool::new(16);
+        pool.add(event(0, 1), 100);
+        pool.add(event(1, 1), 120);
+        assert!(pool.mark_matched_local(event(0, 1).event_id()));
+        assert_eq!(pool.len(), 2, "lazy GC: matched entry not removed");
+        assert_eq!(pool.unmatched_len(), 1);
+        // Matched entries remain in the search space until pruned
+        // (paper §4.1.4: a premature match must not mask the true one).
+        assert_eq!(pool.candidates().count(), 2);
+        // Double-matching is rejected.
+        assert!(!pool.mark_matched_remote(event(0, 1).event_id()));
+        // Unknown events are rejected.
+        assert!(!pool.mark_matched_local(event(9, 9).event_id()));
+        assert_eq!(pool.stats().matched_local, 1);
+        assert_eq!(pool.stats().matched(), 1);
+    }
+
+    #[test]
+    fn gc_prunes_matched_when_pool_grows() {
+        let mut pool = CandidatePool::new(4);
+        for i in 0..4 {
+            pool.add(event(0, i), i);
+        }
+        pool.mark_matched_local(event(0, 0).event_id());
+        pool.mark_matched_remote(event(0, 1).event_id());
+        assert_eq!(pool.len(), 4);
+        // The 5th insertion overflows and triggers GC of the two matched.
+        pool.add(event(0, 4), 4);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.stats().pruned, 2);
+        assert!(pool
+            .entries()
+            .iter()
+            .all(|c| !c.matched), "matched entries pruned");
+    }
+
+    #[test]
+    fn gc_falls_back_to_oldest_unmatched() {
+        let mut pool = CandidatePool::new(3);
+        for i in 0..5 {
+            pool.add(event(0, i), i);
+        }
+        assert_eq!(pool.len(), 3);
+        // Oldest (tracks 0, 1) evicted.
+        let ids: Vec<u64> = pool.entries().iter().map(|c| c.event.track.0).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+        assert_eq!(pool.stats().pruned, 2);
+    }
+
+    #[test]
+    fn spurious_fraction() {
+        let mut pool = CandidatePool::new(16);
+        assert_eq!(pool.spurious_fraction(), 0.0);
+        for i in 0..4 {
+            pool.add(event(0, i), i);
+        }
+        pool.mark_matched_local(event(0, 0).event_id());
+        pool.mark_matched_local(event(0, 1).event_id());
+        // A remote confirmation does not reduce this camera's redundancy.
+        pool.mark_matched_remote(event(0, 2).event_id());
+        assert!((pool.spurious_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(pool.stats().matched(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_threshold_panics() {
+        CandidatePool::new(0);
+    }
+
+    #[test]
+    fn eager_pool_removes_matched_immediately() {
+        let mut pool = CandidatePool::new_eager(16);
+        pool.add(event(0, 1), 100);
+        assert!(pool.mark_matched_local(event(0, 1).event_id()));
+        assert_eq!(pool.len(), 0, "eager mode must prune on match");
+        assert_eq!(pool.stats().pruned, 1);
+        assert_eq!(pool.stats().matched_local, 1);
+        // A late second match attempt finds nothing (the false-negative
+        // risk the paper calls out).
+        assert!(!pool.mark_matched_remote(event(0, 1).event_id()));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based invariants for the candidate pool and accuracy metrics.
+
+use coral_core::{
+    event_detection_accuracy, transitions_from_passages, Accuracy, CandidatePool, Passage,
+};
+use coral_net::DetectionEvent;
+use coral_topology::CameraId;
+use coral_vision::{ColorHistogram, GroundTruthId, TrackId};
+use proptest::prelude::*;
+
+fn event(cam: u32, track: u64) -> DetectionEvent {
+    DetectionEvent {
+        camera: CameraId(cam),
+        timestamp_ms: track,
+        heading: None,
+        bearing_deg: None,
+        signature: ColorHistogram::uniform(2),
+        track: TrackId(track),
+        vertex: None,
+        ground_truth: None,
+    }
+}
+
+/// A pool operation script.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(u32, u64),
+    MarkLocal(u32, u64),
+    MarkRemote(u32, u64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u32..4, 0u64..30).prop_map(|(c, t)| Op::Add(c, t)),
+            (0u32..4, 0u64..30).prop_map(|(c, t)| Op::MarkLocal(c, t)),
+            (0u32..4, 0u64..30).prop_map(|(c, t)| Op::MarkRemote(c, t)),
+        ],
+        0..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn pool_invariants_hold_for_any_script(ops in arb_ops(), threshold in 1usize..40) {
+        let mut pool = CandidatePool::new(threshold);
+        for op in &ops {
+            match *op {
+                Op::Add(c, t) => pool.add(event(c, t), t),
+                Op::MarkLocal(c, t) => {
+                    pool.mark_matched_local(event(c, t).event_id());
+                }
+                Op::MarkRemote(c, t) => {
+                    pool.mark_matched_remote(event(c, t).event_id());
+                }
+            }
+            // Size never exceeds the GC threshold after an add settles.
+            prop_assert!(pool.len() <= threshold.max(1));
+            prop_assert!(pool.unmatched_len() <= pool.len());
+            let stats = pool.stats();
+            // Conservation: everything received is pooled, pruned, or was
+            // a duplicate refresh.
+            prop_assert!(stats.received >= pool.len() as u64);
+            prop_assert!(stats.matched() <= stats.received);
+            let frac = pool.spurious_fraction();
+            prop_assert!((0.0..=1.0).contains(&frac));
+        }
+    }
+
+    #[test]
+    fn eager_pool_never_holds_matched_entries(ops in arb_ops(), threshold in 1usize..40) {
+        let mut pool = CandidatePool::new_eager(threshold);
+        for op in &ops {
+            match *op {
+                Op::Add(c, t) => pool.add(event(c, t), t),
+                Op::MarkLocal(c, t) => {
+                    pool.mark_matched_local(event(c, t).event_id());
+                }
+                Op::MarkRemote(c, t) => {
+                    pool.mark_matched_remote(event(c, t).event_id());
+                }
+            }
+            prop_assert!(pool.entries().iter().all(|c| !c.matched));
+            prop_assert_eq!(pool.unmatched_len(), pool.len());
+        }
+    }
+
+    #[test]
+    fn f_beta_bounds_and_monotonicity(tp in 0u64..50, fp in 0u64..50, fn_ in 0u64..50) {
+        let acc = Accuracy { tp, fp, fn_ };
+        for beta in [0.5, 1.0, 2.0] {
+            let f = acc.f_beta(beta);
+            prop_assert!((0.0..=1.0).contains(&f), "f_{beta} = {f}");
+        }
+        // Adding a true positive never lowers any score.
+        let better = Accuracy { tp: tp + 1, fp, fn_ };
+        prop_assert!(better.f2() >= acc.f2() - 1e-12);
+        prop_assert!(better.precision() >= acc.precision() - 1e-12);
+        prop_assert!(better.recall() >= acc.recall() - 1e-12);
+        // Adding a false negative never raises recall or F2.
+        let worse = Accuracy { tp, fp, fn_: fn_ + 1 };
+        prop_assert!(worse.recall() <= acc.recall() + 1e-12);
+        prop_assert!(worse.f2() <= acc.f2() + 1e-12);
+    }
+
+    #[test]
+    fn detection_accuracy_conserves_counts(
+        passages in proptest::collection::vec((0u32..4, 0u64..8, 0u64..1000), 0..30),
+        events in proptest::collection::vec((0u32..4, proptest::option::of(0u64..8)), 0..30),
+    ) {
+        let passages: Vec<Passage> = passages
+            .into_iter()
+            .map(|(c, v, t)| Passage {
+                camera: CameraId(c),
+                vehicle: GroundTruthId(v),
+                entered_ms: t,
+            })
+            .collect();
+        let events: Vec<(CameraId, Option<GroundTruthId>)> = events
+            .into_iter()
+            .map(|(c, v)| (CameraId(c), v.map(GroundTruthId)))
+            .collect();
+        let per_cam = event_detection_accuracy(&passages, &events);
+        let mut total = Accuracy::default();
+        for acc in per_cam.values() {
+            total.merge(*acc);
+        }
+        // Every event is a TP or FP; every passage is a TP or FN.
+        prop_assert_eq!(total.tp + total.fp, events.len() as u64);
+        prop_assert_eq!(total.tp + total.fn_, passages.len() as u64);
+    }
+
+    #[test]
+    fn transitions_respect_time_order_and_count(
+        passages in proptest::collection::vec((0u32..5, 0u64..6, 0u64..100_000), 0..40),
+    ) {
+        let passages: Vec<Passage> = passages
+            .into_iter()
+            .map(|(c, v, t)| Passage {
+                camera: CameraId(c),
+                vehicle: GroundTruthId(v),
+                entered_ms: t,
+            })
+            .collect();
+        let transitions = transitions_from_passages(&passages);
+        // At most passages-1 transitions per vehicle.
+        for v in 0..6u64 {
+            let p_count = passages
+                .iter()
+                .filter(|p| p.vehicle == GroundTruthId(v))
+                .count();
+            let t_count = transitions
+                .iter()
+                .filter(|t| t.vehicle == GroundTruthId(v))
+                .count();
+            prop_assert!(t_count <= p_count.saturating_sub(1));
+        }
+        // Transitions never link a camera to itself.
+        prop_assert!(transitions.iter().all(|t| t.from != t.to));
+    }
+}

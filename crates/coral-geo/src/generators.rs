@@ -1,0 +1,314 @@
+//! Deterministic road-network generators used by tests, examples and the
+//! evaluation harnesses.
+//!
+//! The paper obtains its base map from OSMnx (§4.3); these generators are
+//! the offline substitute: synthetic networks with the same structural
+//! features (intersections, one-way and two-way lanes, camera sites).
+
+use crate::point::GeoPoint;
+use crate::road::{IntersectionId, RoadNetwork};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reference origin for generated maps (midtown Atlanta, near the campus
+/// network evaluated in the paper).
+pub const CAMPUS_ORIGIN: GeoPoint = GeoPoint {
+    lat: 33.7756,
+    lon: -84.3963,
+};
+
+/// Generates a `rows × cols` grid of intersections with two-way roads and
+/// uniform `spacing_m` between neighbours.
+///
+/// Intersection `(r, c)` has id `r * cols + c`.
+///
+/// # Panics
+///
+/// Panics if `rows` or `cols` is zero, or `spacing_m`/`speed_mps` is not a
+/// positive finite number.
+pub fn grid(rows: usize, cols: usize, spacing_m: f64, speed_mps: f64) -> RoadNetwork {
+    assert!(rows > 0 && cols > 0, "grid must be non-empty");
+    assert!(
+        spacing_m.is_finite() && spacing_m > 0.0,
+        "spacing must be positive"
+    );
+    let mut net = RoadNetwork::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            net.add_intersection(
+                CAMPUS_ORIGIN.offset_m(-(r as f64) * spacing_m, c as f64 * spacing_m),
+            );
+        }
+    }
+    let id = |r: usize, c: usize| IntersectionId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                net.add_two_way(id(r, c), id(r, c + 1), speed_mps)
+                    .expect("valid grid lane");
+            }
+            if r + 1 < rows {
+                net.add_two_way(id(r, c), id(r + 1, c), speed_mps)
+                    .expect("valid grid lane");
+            }
+        }
+    }
+    net
+}
+
+/// Generates a one-way ring road of `n` intersections with circumference
+/// roughly `n * spacing_m`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize, spacing_m: f64, speed_mps: f64) -> RoadNetwork {
+    assert!(n >= 3, "ring needs at least three intersections");
+    let mut net = RoadNetwork::new();
+    let radius = n as f64 * spacing_m / (2.0 * std::f64::consts::PI);
+    for i in 0..n {
+        let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+        net.add_intersection(
+            CAMPUS_ORIGIN.offset_m(radius * theta.cos(), radius * theta.sin()),
+        );
+    }
+    for i in 0..n {
+        net.add_lane(
+            IntersectionId(i as u32),
+            IntersectionId(((i + 1) % n) as u32),
+            speed_mps,
+        )
+        .expect("valid ring lane");
+    }
+    net
+}
+
+/// A linear corridor of `n` intersections connected by two-way roads —
+/// the shape of the five-camera street used in the paper's in-situ
+/// evaluation (§5.1).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn corridor(n: usize, spacing_m: f64, speed_mps: f64) -> RoadNetwork {
+    assert!(n >= 2, "corridor needs at least two intersections");
+    let mut net = RoadNetwork::new();
+    for i in 0..n {
+        net.add_intersection(CAMPUS_ORIGIN.offset_m(0.0, i as f64 * spacing_m));
+    }
+    for i in 0..n - 1 {
+        net.add_two_way(
+            IntersectionId(i as u32),
+            IntersectionId((i + 1) as u32),
+            speed_mps,
+        )
+        .expect("valid corridor lane");
+    }
+    net
+}
+
+/// The synthetic campus map: a 6×7 street grid with several blocks removed,
+/// two one-way streets, and mixed speed limits. Returns the network together
+/// with the 37 designated camera sites used by the scalability and
+/// fault-tolerance studies (paper §5.4–5.5 simulate 37 cameras around
+/// campus).
+///
+/// The map is fully deterministic.
+pub fn campus() -> (RoadNetwork, Vec<IntersectionId>) {
+    const ROWS: usize = 6;
+    const COLS: usize = 7;
+    const SPACING: f64 = 120.0;
+    let mut net = RoadNetwork::new();
+    for r in 0..ROWS {
+        for c in 0..COLS {
+            // Slight deterministic jitter so lanes are not perfectly axis
+            // aligned (exercises heading quantization).
+            let jitter_n = ((r * 7 + c * 3) % 5) as f64 - 2.0;
+            let jitter_e = ((r * 11 + c * 5) % 5) as f64 - 2.0;
+            net.add_intersection(CAMPUS_ORIGIN.offset_m(
+                -(r as f64) * SPACING + jitter_n * 4.0,
+                c as f64 * SPACING + jitter_e * 4.0,
+            ));
+        }
+    }
+    let id = |r: usize, c: usize| IntersectionId((r * COLS + c) as u32);
+    // Blocks removed to break the grid regularity (quad / lawn areas).
+    let removed_h: &[(usize, usize)] = &[(1, 2), (3, 4), (4, 0)];
+    let removed_v: &[(usize, usize)] = &[(2, 3), (0, 5)];
+    // One-way streets (from, to) replicated from Fig. 4's "EC and CB are
+    // one-way" flavour.
+    let one_way_h: &[(usize, usize)] = &[(2, 1), (5, 3)];
+    for r in 0..ROWS {
+        for c in 0..COLS {
+            if c + 1 < COLS && !removed_h.contains(&(r, c)) {
+                let speed = if r % 3 == 0 { 15.6 } else { 11.2 };
+                if one_way_h.contains(&(r, c)) {
+                    net.add_lane(id(r, c), id(r, c + 1), speed)
+                        .expect("valid campus lane");
+                } else {
+                    net.add_two_way(id(r, c), id(r, c + 1), speed)
+                        .expect("valid campus lane");
+                }
+            }
+            if r + 1 < ROWS && !removed_v.contains(&(r, c)) {
+                net.add_two_way(id(r, c), id(r + 1, c), 11.2)
+                    .expect("valid campus lane");
+            }
+        }
+    }
+    // 37 camera sites: every intersection except five interior ones.
+    let skip: &[u32] = &[9, 16, 24, 31, 38];
+    let sites = (0..(ROWS * COLS) as u32)
+        .filter(|i| !skip.contains(i))
+        .map(IntersectionId)
+        .collect();
+    (net, sites)
+}
+
+/// Generates a random planar-ish network by connecting each of `n` random
+/// points to its `k` nearest neighbours with two-way roads. Deterministic
+/// for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `k == 0`.
+pub fn random_planar(n: usize, k: usize, extent_m: f64, speed_mps: f64, seed: u64) -> RoadNetwork {
+    assert!(n >= 2, "need at least two intersections");
+    assert!(k > 0, "k must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut net = RoadNetwork::new();
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let p = CAMPUS_ORIGIN.offset_m(
+            rng.gen_range(-extent_m..extent_m),
+            rng.gen_range(-extent_m..extent_m),
+        );
+        points.push(p);
+        net.add_intersection(p);
+    }
+    for i in 0..n {
+        let mut neighbours: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+        neighbours.sort_by(|&a, &b| {
+            points[i]
+                .planar_m(points[a])
+                .total_cmp(&points[i].planar_m(points[b]))
+        });
+        for &j in neighbours.iter().take(k) {
+            let (a, b) = (IntersectionId(i as u32), IntersectionId(j as u32));
+            // Avoid duplicating an existing lane.
+            let exists = net
+                .out_lanes(a)
+                .iter()
+                .any(|&l| net.lane(l).expect("valid").to == b);
+            if !exists {
+                net.add_two_way(a, b, speed_mps).expect("valid lane");
+            }
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::shortest_path;
+
+    #[test]
+    fn grid_shape() {
+        let net = grid(3, 4, 100.0, 10.0);
+        assert_eq!(net.intersection_count(), 12);
+        // Horizontal: 3 rows * 3 roads; vertical: 2 rows * 4 roads; each two-way.
+        assert_eq!(net.lane_count(), (3 * 3 + 2 * 4) * 2);
+    }
+
+    #[test]
+    fn grid_is_strongly_connected() {
+        let net = grid(4, 4, 100.0, 10.0);
+        let from = IntersectionId(0);
+        for i in 1..16 {
+            assert!(shortest_path(&net, from, IntersectionId(i)).is_ok());
+            assert!(shortest_path(&net, IntersectionId(i), from).is_ok());
+        }
+    }
+
+    #[test]
+    fn ring_is_one_way() {
+        let net = ring(6, 100.0, 10.0);
+        assert_eq!(net.lane_count(), 6);
+        for i in 0..6 {
+            assert_eq!(net.out_lanes(IntersectionId(i)).len(), 1);
+            assert_eq!(net.in_lanes(IntersectionId(i)).len(), 1);
+        }
+        // Going "backwards" requires the full loop.
+        let r = shortest_path(&net, IntersectionId(1), IntersectionId(0)).unwrap();
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn corridor_shape() {
+        let net = corridor(5, 150.0, 13.4);
+        assert_eq!(net.intersection_count(), 5);
+        assert_eq!(net.lane_count(), 8);
+        let ends = shortest_path(&net, IntersectionId(0), IntersectionId(4)).unwrap();
+        assert!((ends.length_m(&net) - 600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn campus_has_37_sites_and_is_connected() {
+        let (net, sites) = campus();
+        assert_eq!(sites.len(), 37);
+        assert_eq!(net.intersection_count(), 42);
+        // All sites reachable from site 0 and back (strong connectivity over
+        // the designated sites, despite one-way streets).
+        for &s in &sites[1..] {
+            assert!(
+                shortest_path(&net, sites[0], s).is_ok(),
+                "unreachable {s}"
+            );
+            assert!(
+                shortest_path(&net, s, sites[0]).is_ok(),
+                "cannot return from {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn campus_is_deterministic() {
+        let (a, sa) = campus();
+        let (b, sb) = campus();
+        assert_eq!(sa, sb);
+        assert_eq!(a.lane_count(), b.lane_count());
+        for (la, lb) in a.lanes().zip(b.lanes()) {
+            assert_eq!(la, lb);
+        }
+    }
+
+    #[test]
+    fn campus_contains_one_way_streets() {
+        let (net, _) = campus();
+        let one_way = net
+            .lanes()
+            .filter(|l| net.reverse_lane(l.id).is_none())
+            .count();
+        assert!(one_way >= 2, "expected one-way lanes, found {one_way}");
+    }
+
+    #[test]
+    fn random_planar_deterministic_and_valid() {
+        let a = random_planar(20, 3, 500.0, 10.0, 42);
+        let b = random_planar(20, 3, 500.0, 10.0, 42);
+        assert_eq!(a.lane_count(), b.lane_count());
+        assert!(a.lane_count() >= 20 * 3); // each node connects to >= k others (two-way)
+        let c = random_planar(20, 3, 500.0, 10.0, 43);
+        // Different seed should (overwhelmingly likely) give a different map.
+        let same = a.lane_count() == c.lane_count()
+            && a.lanes().zip(c.lanes()).all(|(x, y)| x == y);
+        assert!(!same);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn grid_rejects_empty() {
+        grid(0, 3, 100.0, 10.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Geometry and road-network substrate for Coral-Pie.
+//!
+//! This crate provides the geographic vocabulary shared by the rest of the
+//! workspace:
+//!
+//! - [`GeoPoint`] / [`Heading`] — coordinates, distances, bearings and the
+//!   eight-way compass headings that key each camera's minimum downstream
+//!   camera set (MDCS).
+//! - [`Polygon`] / [`Point2`] — planar polygons used for each camera's
+//!   *Context of Interest* filter.
+//! - [`RoadNetwork`] — the directed graph of road intersections and lanes
+//!   that the camera topology server maintains (paper §3.3).
+//! - [`route`] — shortest-path and random-route planning for the traffic
+//!   simulator.
+//! - [`generators`] — deterministic synthetic maps (grid, ring, corridor,
+//!   the 37-site campus) replacing the paper's OSMnx base map.
+//!
+//! # Examples
+//!
+//! ```
+//! use coral_geo::{generators, route};
+//!
+//! let (net, camera_sites) = generators::campus();
+//! assert_eq!(camera_sites.len(), 37);
+//! let r = route::shortest_path(&net, camera_sites[0], camera_sites[36])?;
+//! assert!(r.travel_time_s(&net) > 0.0);
+//! # Ok::<(), coral_geo::route::RouteError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod generators;
+pub mod point;
+pub mod polygon;
+pub mod road;
+pub mod route;
+
+pub use point::{GeoPoint, Heading, EARTH_RADIUS_M};
+pub use polygon::{InvalidPolygonError, Point2, Polygon};
+pub use road::{Intersection, IntersectionId, Lane, LaneId, RoadNetwork, RoadNetworkError};
+pub use route::{Route, RouteError};

@@ -1,0 +1,315 @@
+//! Geographic points, distances, bearings and compass headings.
+//!
+//! Coral-Pie cameras register with the topology server using their latitude
+//! and longitude (paper §3.3), and detection events carry the estimated
+//! moving direction of a vehicle (paper §4.1.2). This module provides the
+//! geometric vocabulary for both: [`GeoPoint`] with haversine/planar
+//! distances and [`Heading`], an eight-way compass direction used to key the
+//! minimum downstream camera set (MDCS).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Mean Earth radius in meters (IUGG value).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A WGS-84 geographic coordinate (latitude/longitude, degrees).
+///
+/// # Examples
+///
+/// ```
+/// use coral_geo::GeoPoint;
+///
+/// let tech_tower = GeoPoint::new(33.7726, -84.3947);
+/// let clough = GeoPoint::new(33.7749, -84.3964);
+/// let d = tech_tower.haversine_m(clough);
+/// assert!(d > 200.0 && d < 400.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl GeoPoint {
+    /// Creates a new point from latitude and longitude in degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lat` is outside `[-90, 90]` or `lon` outside `[-180, 180]`,
+    /// or if either coordinate is not finite.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!(
+            lat.is_finite() && (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
+        assert!(
+            lon.is_finite() && (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
+        Self { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in meters (haversine formula).
+    pub fn haversine_m(self, other: GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Fast equirectangular (planar) distance approximation in meters.
+    ///
+    /// Accurate to well under 0.1% for the sub-kilometer scales of a campus
+    /// camera network; used in hot paths such as traffic kinematics.
+    pub fn planar_m(self, other: GeoPoint) -> f64 {
+        let mean_lat = ((self.lat + other.lat) / 2.0).to_radians();
+        let dx = (other.lon - self.lon).to_radians() * mean_lat.cos() * EARTH_RADIUS_M;
+        let dy = (other.lat - self.lat).to_radians() * EARTH_RADIUS_M;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Initial bearing from `self` to `other`, degrees clockwise from north
+    /// in `[0, 360)`.
+    pub fn bearing_deg(self, other: GeoPoint) -> f64 {
+        let (lat1, lon1) = (self.lat.to_radians(), self.lon.to_radians());
+        let (lat2, lon2) = (other.lat.to_radians(), other.lon.to_radians());
+        let dlon = lon2 - lon1;
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        let deg = y.atan2(x).to_degrees();
+        (deg + 360.0) % 360.0
+    }
+
+    /// Returns the point reached by moving `north_m` meters north and
+    /// `east_m` meters east of `self` (planar approximation).
+    pub fn offset_m(self, north_m: f64, east_m: f64) -> GeoPoint {
+        let dlat = (north_m / EARTH_RADIUS_M).to_degrees();
+        let dlon = (east_m / (EARTH_RADIUS_M * self.lat.to_radians().cos())).to_degrees();
+        GeoPoint::new(self.lat + dlat, self.lon + dlon)
+    }
+
+    /// Linear interpolation between `self` and `other` with parameter
+    /// `t ∈ [0, 1]` (planar approximation, adequate for lane-scale spans).
+    pub fn lerp(self, other: GeoPoint, t: f64) -> GeoPoint {
+        GeoPoint {
+            lat: self.lat + (other.lat - self.lat) * t,
+            lon: self.lon + (other.lon - self.lon) * t,
+        }
+    }
+}
+
+impl fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lat, self.lon)
+    }
+}
+
+/// An eight-way compass heading used to describe vehicle motion.
+///
+/// The paper keys each camera's MDCS on the moving direction of the detected
+/// vehicle ("{B} for ← direction or {C} for ↑ direction", Fig. 4). Eight
+/// sectors of 45° give enough angular resolution for road networks while
+/// keeping the socket-group hashmap small.
+///
+/// # Examples
+///
+/// ```
+/// use coral_geo::Heading;
+///
+/// assert_eq!(Heading::from_bearing_deg(2.0), Heading::North);
+/// assert_eq!(Heading::from_bearing_deg(91.0), Heading::East);
+/// assert_eq!(Heading::North.opposite(), Heading::South);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Heading {
+    /// Bearing in [337.5°, 22.5°).
+    North,
+    /// Bearing in [22.5°, 67.5°).
+    NorthEast,
+    /// Bearing in [67.5°, 112.5°).
+    East,
+    /// Bearing in [112.5°, 157.5°).
+    SouthEast,
+    /// Bearing in [157.5°, 202.5°).
+    South,
+    /// Bearing in [202.5°, 247.5°).
+    SouthWest,
+    /// Bearing in [247.5°, 292.5°).
+    West,
+    /// Bearing in [292.5°, 337.5°).
+    NorthWest,
+}
+
+impl Heading {
+    /// All eight headings in clockwise order starting at north.
+    pub const ALL: [Heading; 8] = [
+        Heading::North,
+        Heading::NorthEast,
+        Heading::East,
+        Heading::SouthEast,
+        Heading::South,
+        Heading::SouthWest,
+        Heading::West,
+        Heading::NorthWest,
+    ];
+
+    /// Quantizes a bearing (degrees clockwise from north) to a heading.
+    pub fn from_bearing_deg(bearing: f64) -> Heading {
+        let b = bearing.rem_euclid(360.0);
+        let sector = ((b + 22.5) / 45.0).floor() as usize % 8;
+        Heading::ALL[sector]
+    }
+
+    /// The center bearing of this heading's sector, in degrees.
+    pub fn bearing_deg(self) -> f64 {
+        45.0 * self as usize as f64
+    }
+
+    /// The opposite heading (rotated 180°).
+    pub fn opposite(self) -> Heading {
+        Heading::ALL[(self as usize + 4) % 8]
+    }
+
+    /// Angular distance to `other` in degrees, in `[0, 180]`.
+    pub fn angle_to(self, other: Heading) -> f64 {
+        let diff = (self.bearing_deg() - other.bearing_deg()).abs();
+        if diff > 180.0 {
+            360.0 - diff
+        } else {
+            diff
+        }
+    }
+}
+
+impl fmt::Display for Heading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Heading::North => "N",
+            Heading::NorthEast => "NE",
+            Heading::East => "E",
+            Heading::SouthEast => "SE",
+            Heading::South => "S",
+            Heading::SouthWest => "SW",
+            Heading::West => "W",
+            Heading::NorthWest => "NW",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haversine_zero_for_same_point() {
+        let p = GeoPoint::new(33.7756, -84.3963);
+        assert_eq!(p.haversine_m(p), 0.0);
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // One degree of latitude is ~111.2 km.
+        let a = GeoPoint::new(33.0, -84.0);
+        let b = GeoPoint::new(34.0, -84.0);
+        let d = a.haversine_m(b);
+        assert!((d - 111_195.0).abs() < 200.0, "got {d}");
+    }
+
+    #[test]
+    fn planar_matches_haversine_at_campus_scale() {
+        let a = GeoPoint::new(33.7756, -84.3963);
+        let b = a.offset_m(350.0, -220.0);
+        let h = a.haversine_m(b);
+        let p = a.planar_m(b);
+        assert!((h - p).abs() / h < 1e-3, "haversine {h} planar {p}");
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let a = GeoPoint::new(33.7756, -84.3963);
+        let b = a.offset_m(100.0, 0.0);
+        assert!((a.haversine_m(b) - 100.0).abs() < 0.1);
+        let c = a.offset_m(0.0, 100.0);
+        assert!((a.haversine_m(c) - 100.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn bearing_cardinals() {
+        let a = GeoPoint::new(33.7756, -84.3963);
+        assert!((a.bearing_deg(a.offset_m(100.0, 0.0)) - 0.0).abs() < 0.5);
+        assert!((a.bearing_deg(a.offset_m(0.0, 100.0)) - 90.0).abs() < 0.5);
+        assert!((a.bearing_deg(a.offset_m(-100.0, 0.0)) - 180.0).abs() < 0.5);
+        assert!((a.bearing_deg(a.offset_m(0.0, -100.0)) - 270.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = GeoPoint::new(33.0, -84.0);
+        let b = GeoPoint::new(34.0, -85.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        let m = a.lerp(b, 0.5);
+        assert!((m.lat - 33.5).abs() < 1e-12);
+        assert!((m.lon + 84.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn new_rejects_bad_latitude() {
+        GeoPoint::new(95.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longitude out of range")]
+    fn new_rejects_bad_longitude() {
+        GeoPoint::new(0.0, 200.0);
+    }
+
+    #[test]
+    fn heading_sectors() {
+        assert_eq!(Heading::from_bearing_deg(0.0), Heading::North);
+        assert_eq!(Heading::from_bearing_deg(359.9), Heading::North);
+        assert_eq!(Heading::from_bearing_deg(22.4), Heading::North);
+        assert_eq!(Heading::from_bearing_deg(22.6), Heading::NorthEast);
+        assert_eq!(Heading::from_bearing_deg(45.0), Heading::NorthEast);
+        assert_eq!(Heading::from_bearing_deg(90.0), Heading::East);
+        assert_eq!(Heading::from_bearing_deg(135.0), Heading::SouthEast);
+        assert_eq!(Heading::from_bearing_deg(180.0), Heading::South);
+        assert_eq!(Heading::from_bearing_deg(225.0), Heading::SouthWest);
+        assert_eq!(Heading::from_bearing_deg(270.0), Heading::West);
+        assert_eq!(Heading::from_bearing_deg(315.0), Heading::NorthWest);
+        assert_eq!(Heading::from_bearing_deg(-90.0), Heading::West);
+        assert_eq!(Heading::from_bearing_deg(450.0), Heading::East);
+    }
+
+    #[test]
+    fn heading_roundtrip_through_bearing() {
+        for h in Heading::ALL {
+            assert_eq!(Heading::from_bearing_deg(h.bearing_deg()), h);
+        }
+    }
+
+    #[test]
+    fn heading_opposites() {
+        assert_eq!(Heading::North.opposite(), Heading::South);
+        assert_eq!(Heading::NorthEast.opposite(), Heading::SouthWest);
+        assert_eq!(Heading::East.opposite(), Heading::West);
+        for h in Heading::ALL {
+            assert_eq!(h.opposite().opposite(), h);
+        }
+    }
+
+    #[test]
+    fn heading_angles() {
+        assert_eq!(Heading::North.angle_to(Heading::North), 0.0);
+        assert_eq!(Heading::North.angle_to(Heading::South), 180.0);
+        assert_eq!(Heading::North.angle_to(Heading::NorthWest), 45.0);
+        assert_eq!(Heading::NorthWest.angle_to(Heading::NorthEast), 90.0);
+    }
+}

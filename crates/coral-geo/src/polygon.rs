@@ -1,0 +1,254 @@
+//! Simple planar polygons in image or geographic space.
+//!
+//! Each Coral-Pie camera defines a *Context of Interest* (CoI) polygon —
+//! usually the central area of its field of view — and discards bounding
+//! boxes whose centroid falls outside it (paper §4.1.2, Fig. 9). The CoI is
+//! expressed in image pixel coordinates; the same polygon type is reused for
+//! geographic regions in planning tools.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point in an arbitrary planar coordinate system (e.g. pixels).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+/// A simple (non-self-intersecting) polygon with at least three vertices.
+///
+/// # Examples
+///
+/// ```
+/// use coral_geo::{Point2, Polygon};
+///
+/// // A camera's Context of Interest covering the central band of the frame.
+/// let coi = Polygon::new(vec![
+///     Point2::new(100.0, 200.0),
+///     Point2::new(1180.0, 200.0),
+///     Point2::new(1180.0, 900.0),
+///     Point2::new(100.0, 900.0),
+/// ])
+/// .unwrap();
+/// assert!(coi.contains(Point2::new(640.0, 512.0)));
+/// assert!(!coi.contains(Point2::new(10.0, 10.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<Point2>,
+}
+
+/// Error returned when constructing a [`Polygon`] from fewer than three
+/// vertices or from non-finite coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidPolygonError {
+    reason: &'static str,
+}
+
+impl std::fmt::Display for InvalidPolygonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid polygon: {}", self.reason)
+    }
+}
+
+impl std::error::Error for InvalidPolygonError {}
+
+impl Polygon {
+    /// Creates a polygon from a vertex ring (implicitly closed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidPolygonError`] if fewer than three vertices are given
+    /// or any coordinate is not finite.
+    pub fn new(vertices: Vec<Point2>) -> Result<Self, InvalidPolygonError> {
+        if vertices.len() < 3 {
+            return Err(InvalidPolygonError {
+                reason: "fewer than three vertices",
+            });
+        }
+        if vertices.iter().any(|p| !p.x.is_finite() || !p.y.is_finite()) {
+            return Err(InvalidPolygonError {
+                reason: "non-finite coordinate",
+            });
+        }
+        Ok(Self { vertices })
+    }
+
+    /// An axis-aligned rectangle polygon, a common CoI shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x1 <= x0` or `y1 <= y0` does not hold.
+    pub fn rect(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        assert!(x1 > x0 && y1 > y0, "degenerate rectangle");
+        Self {
+            vertices: vec![
+                Point2::new(x0, y0),
+                Point2::new(x1, y0),
+                Point2::new(x1, y1),
+                Point2::new(x0, y1),
+            ],
+        }
+    }
+
+    /// The vertex ring.
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// Tests whether `p` lies inside the polygon (ray casting; boundary
+    /// points count as inside for the purposes of CoI filtering).
+    pub fn contains(&self, p: Point2) -> bool {
+        let n = self.vertices.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let (vi, vj) = (self.vertices[i], self.vertices[j]);
+            // Boundary tolerance: treat points on an edge as inside.
+            if point_on_segment(p, vi, vj) {
+                return true;
+            }
+            if (vi.y > p.y) != (vj.y > p.y) {
+                let x_cross = (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x;
+                if p.x < x_cross {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Signed area via the shoelace formula (positive for counter-clockwise
+    /// vertex order).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Centroid of the polygon's vertex ring.
+    pub fn centroid(&self) -> Point2 {
+        let n = self.vertices.len() as f64;
+        let (sx, sy) = self
+            .vertices
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+        Point2::new(sx / n, sy / n)
+    }
+}
+
+fn point_on_segment(p: Point2, a: Point2, b: Point2) -> bool {
+    const EPS: f64 = 1e-9;
+    let cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+    if cross.abs() > EPS * (1.0 + a.distance(b)) {
+        return false;
+    }
+    let dot = (p.x - a.x) * (b.x - a.x) + (p.y - a.y) * (b.y - a.y);
+    let len2 = (b.x - a.x).powi(2) + (b.y - a.y).powi(2);
+    (-EPS..=len2 + EPS).contains(&dot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::rect(0.0, 0.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn rejects_too_few_vertices() {
+        let err = Polygon::new(vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)]).unwrap_err();
+        assert!(err.to_string().contains("three"));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let err = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(f64::NAN, 1.0),
+            Point2::new(1.0, 0.0),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("finite"));
+    }
+
+    #[test]
+    fn contains_interior_and_exterior() {
+        let sq = unit_square();
+        assert!(sq.contains(Point2::new(0.5, 0.5)));
+        assert!(!sq.contains(Point2::new(1.5, 0.5)));
+        assert!(!sq.contains(Point2::new(-0.1, 0.5)));
+        assert!(!sq.contains(Point2::new(0.5, 2.0)));
+    }
+
+    #[test]
+    fn boundary_counts_as_inside() {
+        let sq = unit_square();
+        assert!(sq.contains(Point2::new(0.0, 0.5)));
+        assert!(sq.contains(Point2::new(1.0, 1.0)));
+        assert!(sq.contains(Point2::new(0.5, 0.0)));
+    }
+
+    #[test]
+    fn concave_polygon() {
+        // An L-shape: the notch must be outside.
+        let l = Polygon::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(2.0, 1.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(1.0, 2.0),
+            Point2::new(0.0, 2.0),
+        ])
+        .unwrap();
+        assert!(l.contains(Point2::new(0.5, 1.5)));
+        assert!(l.contains(Point2::new(1.5, 0.5)));
+        assert!(!l.contains(Point2::new(1.5, 1.5)));
+    }
+
+    #[test]
+    fn area_and_centroid() {
+        let sq = unit_square();
+        assert!((sq.area() - 1.0).abs() < 1e-12);
+        let c = sq.centroid();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate rectangle")]
+    fn rect_rejects_degenerate() {
+        Polygon::rect(1.0, 0.0, 1.0, 2.0);
+    }
+}

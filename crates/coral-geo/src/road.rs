@@ -1,0 +1,480 @@
+//! Directed road-network graph: intersections and lanes.
+//!
+//! The camera topology server "loads the topology of the road network under
+//! the camera system as a graph" with road intersections as vertices and
+//! lanes as directed edges (paper §3.3, Fig. 4). One-way roads are a single
+//! directed lane; two-way roads are a pair of opposing lanes.
+
+use crate::point::{GeoPoint, Heading};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a road intersection (graph vertex).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct IntersectionId(pub u32);
+
+impl fmt::Display for IntersectionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// Identifier of a directed lane (graph edge).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct LaneId(pub u32);
+
+impl fmt::Display for LaneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// A road intersection: a graph vertex with a geographic position.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Intersection {
+    /// Vertex identifier.
+    pub id: IntersectionId,
+    /// Geographic position.
+    pub position: GeoPoint,
+}
+
+/// A directed lane between two intersections: a graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Lane {
+    /// Edge identifier.
+    pub id: LaneId,
+    /// Source intersection.
+    pub from: IntersectionId,
+    /// Destination intersection.
+    pub to: IntersectionId,
+    /// Lane length in meters.
+    pub length_m: f64,
+    /// Speed limit in meters per second.
+    pub speed_limit_mps: f64,
+}
+
+impl Lane {
+    /// Free-flow travel time over this lane, in seconds.
+    pub fn travel_time_s(&self) -> f64 {
+        self.length_m / self.speed_limit_mps
+    }
+}
+
+/// Error type for road-network construction and lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RoadNetworkError {
+    /// Referenced intersection does not exist.
+    UnknownIntersection(IntersectionId),
+    /// Referenced lane does not exist.
+    UnknownLane(LaneId),
+    /// A lane's endpoints are identical.
+    SelfLoop(IntersectionId),
+    /// A numeric parameter was non-positive or non-finite.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for RoadNetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetworkError::UnknownIntersection(id) => write!(f, "unknown intersection {id}"),
+            RoadNetworkError::UnknownLane(id) => write!(f, "unknown lane {id}"),
+            RoadNetworkError::SelfLoop(id) => write!(f, "self-loop lane at {id}"),
+            RoadNetworkError::InvalidParameter(p) => write!(f, "invalid parameter: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for RoadNetworkError {}
+
+/// A directed road-network graph.
+///
+/// # Examples
+///
+/// ```
+/// use coral_geo::{GeoPoint, RoadNetwork};
+///
+/// let mut net = RoadNetwork::new();
+/// let a = net.add_intersection(GeoPoint::new(33.7756, -84.3963));
+/// let b = net.add_intersection(GeoPoint::new(33.7766, -84.3963));
+/// let (ab, ba) = net.add_two_way(a, b, 13.4)?;
+/// assert_eq!(net.lane(ab)?.from, a);
+/// assert_eq!(net.lane(ba)?.to, a);
+/// assert_eq!(net.out_lanes(a), &[ab]);
+/// # Ok::<(), coral_geo::RoadNetworkError>(())
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RoadNetwork {
+    intersections: Vec<Intersection>,
+    lanes: Vec<Lane>,
+    out: Vec<Vec<LaneId>>,
+    incoming: Vec<Vec<LaneId>>,
+}
+
+impl RoadNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an intersection at `position` and returns its id.
+    pub fn add_intersection(&mut self, position: GeoPoint) -> IntersectionId {
+        let id = IntersectionId(self.intersections.len() as u32);
+        self.intersections.push(Intersection { id, position });
+        self.out.push(Vec::new());
+        self.incoming.push(Vec::new());
+        id
+    }
+
+    /// Adds a one-way lane from `from` to `to` with the given speed limit
+    /// (m/s). The length is computed from the intersection positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either endpoint is unknown, the endpoints are
+    /// identical, or the speed limit is not a positive finite number.
+    pub fn add_lane(
+        &mut self,
+        from: IntersectionId,
+        to: IntersectionId,
+        speed_limit_mps: f64,
+    ) -> Result<LaneId, RoadNetworkError> {
+        let pf = self.intersection(from)?.position;
+        let pt = self.intersection(to)?.position;
+        if from == to {
+            return Err(RoadNetworkError::SelfLoop(from));
+        }
+        if !(speed_limit_mps.is_finite() && speed_limit_mps > 0.0) {
+            return Err(RoadNetworkError::InvalidParameter("speed_limit_mps"));
+        }
+        let id = LaneId(self.lanes.len() as u32);
+        self.lanes.push(Lane {
+            id,
+            from,
+            to,
+            length_m: pf.planar_m(pt),
+            speed_limit_mps,
+        });
+        self.out[from.0 as usize].push(id);
+        self.incoming[to.0 as usize].push(id);
+        Ok(id)
+    }
+
+    /// Adds a two-way road as a pair of opposing lanes and returns
+    /// `(from→to, to→from)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RoadNetwork::add_lane`].
+    pub fn add_two_way(
+        &mut self,
+        a: IntersectionId,
+        b: IntersectionId,
+        speed_limit_mps: f64,
+    ) -> Result<(LaneId, LaneId), RoadNetworkError> {
+        let ab = self.add_lane(a, b, speed_limit_mps)?;
+        let ba = self.add_lane(b, a, speed_limit_mps)?;
+        Ok((ab, ba))
+    }
+
+    /// Number of intersections.
+    pub fn intersection_count(&self) -> usize {
+        self.intersections.len()
+    }
+
+    /// Number of directed lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Looks up an intersection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadNetworkError::UnknownIntersection`] for an invalid id.
+    pub fn intersection(&self, id: IntersectionId) -> Result<&Intersection, RoadNetworkError> {
+        self.intersections
+            .get(id.0 as usize)
+            .ok_or(RoadNetworkError::UnknownIntersection(id))
+    }
+
+    /// Looks up a lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadNetworkError::UnknownLane`] for an invalid id.
+    pub fn lane(&self, id: LaneId) -> Result<&Lane, RoadNetworkError> {
+        self.lanes
+            .get(id.0 as usize)
+            .ok_or(RoadNetworkError::UnknownLane(id))
+    }
+
+    /// Outgoing lanes of an intersection (empty slice for unknown ids).
+    pub fn out_lanes(&self, id: IntersectionId) -> &[LaneId] {
+        self.out.get(id.0 as usize).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Incoming lanes of an intersection (empty slice for unknown ids).
+    pub fn in_lanes(&self, id: IntersectionId) -> &[LaneId] {
+        self.incoming
+            .get(id.0 as usize)
+            .map_or(&[], |v| v.as_slice())
+    }
+
+    /// Iterates over all intersections.
+    pub fn intersections(&self) -> impl Iterator<Item = &Intersection> + '_ {
+        self.intersections.iter()
+    }
+
+    /// Iterates over all lanes.
+    pub fn lanes(&self) -> impl Iterator<Item = &Lane> + '_ {
+        self.lanes.iter()
+    }
+
+    /// The compass heading of a lane (bearing from source to destination).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadNetworkError::UnknownLane`] for an invalid id.
+    pub fn lane_heading(&self, id: LaneId) -> Result<Heading, RoadNetworkError> {
+        let lane = self.lane(id)?;
+        let from = self.intersection(lane.from)?.position;
+        let to = self.intersection(lane.to)?.position;
+        Ok(Heading::from_bearing_deg(from.bearing_deg(to)))
+    }
+
+    /// The lane opposing `id` (same endpoints, reversed), if the road is
+    /// two-way.
+    pub fn reverse_lane(&self, id: LaneId) -> Option<LaneId> {
+        let lane = self.lane(id).ok()?;
+        self.out_lanes(lane.to)
+            .iter()
+            .copied()
+            .find(|&cand| self.lanes[cand.0 as usize].to == lane.from)
+    }
+
+    /// The intersection nearest to `point`, or `None` for an empty network.
+    pub fn nearest_intersection(&self, point: GeoPoint) -> Option<IntersectionId> {
+        self.intersections
+            .iter()
+            .min_by(|a, b| {
+                a.position
+                    .planar_m(point)
+                    .total_cmp(&b.position.planar_m(point))
+            })
+            .map(|i| i.id)
+    }
+
+    /// The lane nearest to `point`, together with the fractional offset of
+    /// the projection onto it and the distance in meters. Returns `None` for
+    /// a network without lanes.
+    ///
+    /// Used by the topology server to assign cameras that are not at an
+    /// intersection to the appropriate lane (paper §4.3, Fig. 8).
+    pub fn nearest_lane(&self, point: GeoPoint) -> Option<(LaneId, f64, f64)> {
+        let mut best: Option<(LaneId, f64, f64)> = None;
+        for lane in &self.lanes {
+            let a = self.intersections[lane.from.0 as usize].position;
+            let b = self.intersections[lane.to.0 as usize].position;
+            // Planar projection in a local tangent frame around `a`.
+            let (ax, ay) = (0.0, 0.0);
+            let bearing_ab = a.bearing_deg(b).to_radians();
+            let d_ab = a.planar_m(b);
+            let (bx, by) = (d_ab * bearing_ab.sin(), d_ab * bearing_ab.cos());
+            let bearing_ap = a.bearing_deg(point).to_radians();
+            let d_ap = a.planar_m(point);
+            let (px, py) = (d_ap * bearing_ap.sin(), d_ap * bearing_ap.cos());
+            let len2 = (bx - ax).powi(2) + (by - ay).powi(2);
+            let t = if len2 == 0.0 {
+                0.0
+            } else {
+                (((px - ax) * (bx - ax) + (py - ay) * (by - ay)) / len2).clamp(0.0, 1.0)
+            };
+            let (qx, qy) = (ax + t * (bx - ax), ay + t * (by - ay));
+            let dist = ((px - qx).powi(2) + (py - qy).powi(2)).sqrt();
+            if best.is_none_or(|(_, _, bd)| dist < bd) {
+                best = Some((lane.id, t, dist));
+            }
+        }
+        best
+    }
+
+    /// Position along a lane at fractional progress `t ∈ [0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoadNetworkError::UnknownLane`] for an invalid id.
+    pub fn position_on_lane(&self, id: LaneId, t: f64) -> Result<GeoPoint, RoadNetworkError> {
+        let lane = self.lane(id)?;
+        let from = self.intersection(lane.from)?.position;
+        let to = self.intersection(lane.to)?.position;
+        Ok(from.lerp(to, t.clamp(0.0, 1.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (RoadNetwork, [IntersectionId; 3]) {
+        let mut net = RoadNetwork::new();
+        let base = GeoPoint::new(33.7756, -84.3963);
+        let a = net.add_intersection(base);
+        let b = net.add_intersection(base.offset_m(0.0, 200.0));
+        let c = net.add_intersection(base.offset_m(200.0, 0.0));
+        net.add_two_way(a, b, 10.0).unwrap();
+        net.add_two_way(b, c, 10.0).unwrap();
+        net.add_lane(c, a, 10.0).unwrap(); // one-way
+        (net, [a, b, c])
+    }
+
+    #[test]
+    fn counts() {
+        let (net, _) = triangle();
+        assert_eq!(net.intersection_count(), 3);
+        assert_eq!(net.lane_count(), 5);
+    }
+
+    #[test]
+    fn lane_length_from_positions() {
+        let (net, [a, _, _]) = triangle();
+        let ab = net.out_lanes(a)[0];
+        assert!((net.lane(ab).unwrap().length_m - 200.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let (net, [a, b, c]) = triangle();
+        assert_eq!(net.out_lanes(a).len(), 1);
+        assert_eq!(net.in_lanes(a).len(), 2); // from b (two-way) and c (one-way)
+        assert_eq!(net.out_lanes(b).len(), 2);
+        assert_eq!(net.out_lanes(c).len(), 2);
+        for lane in net.lanes() {
+            assert!(net.out_lanes(lane.from).contains(&lane.id));
+            assert!(net.in_lanes(lane.to).contains(&lane.id));
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_intersection(GeoPoint::new(0.0, 0.0));
+        assert_eq!(
+            net.add_lane(a, a, 10.0),
+            Err(RoadNetworkError::SelfLoop(a))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_endpoints_and_bad_speed() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_intersection(GeoPoint::new(0.0, 0.0));
+        let ghost = IntersectionId(42);
+        assert_eq!(
+            net.add_lane(a, ghost, 10.0),
+            Err(RoadNetworkError::UnknownIntersection(ghost))
+        );
+        let b = net.add_intersection(GeoPoint::new(0.001, 0.0));
+        assert_eq!(
+            net.add_lane(a, b, 0.0),
+            Err(RoadNetworkError::InvalidParameter("speed_limit_mps"))
+        );
+        assert_eq!(
+            net.add_lane(a, b, f64::NAN),
+            Err(RoadNetworkError::InvalidParameter("speed_limit_mps"))
+        );
+    }
+
+    #[test]
+    fn lane_heading_cardinal() {
+        let (net, [a, _, _]) = triangle();
+        // a -> b runs due east (offset 200 m east).
+        let ab = net.out_lanes(a)[0];
+        assert_eq!(net.lane_heading(ab).unwrap(), Heading::East);
+    }
+
+    #[test]
+    fn reverse_lane_found_for_two_way_only() {
+        let (net, [a, _, c]) = triangle();
+        let ab = net.out_lanes(a)[0];
+        let ba = net.reverse_lane(ab).unwrap();
+        assert_eq!(net.lane(ba).unwrap().to, a);
+        // c -> a is one-way: no reverse.
+        let ca = net
+            .out_lanes(c)
+            .iter()
+            .copied()
+            .find(|&l| net.lane(l).unwrap().to == a)
+            .unwrap();
+        assert_eq!(net.reverse_lane(ca), None);
+    }
+
+    #[test]
+    fn nearest_intersection() {
+        let (net, [a, b, _]) = triangle();
+        let pa = net.intersection(a).unwrap().position;
+        assert_eq!(net.nearest_intersection(pa.offset_m(5.0, 5.0)), Some(a));
+        let pb = net.intersection(b).unwrap().position;
+        assert_eq!(net.nearest_intersection(pb.offset_m(-3.0, 1.0)), Some(b));
+        assert_eq!(RoadNetwork::new().nearest_intersection(pa), None);
+    }
+
+    #[test]
+    fn position_on_lane_interpolates() {
+        let (net, [a, b, _]) = triangle();
+        let ab = net.out_lanes(a)[0];
+        let start = net.position_on_lane(ab, 0.0).unwrap();
+        let end = net.position_on_lane(ab, 1.0).unwrap();
+        assert_eq!(start, net.intersection(a).unwrap().position);
+        assert_eq!(end, net.intersection(b).unwrap().position);
+        let mid = net.position_on_lane(ab, 0.5).unwrap();
+        assert!((start.planar_m(mid) - 100.0).abs() < 1.0);
+        // Clamped outside [0, 1].
+        assert_eq!(net.position_on_lane(ab, -3.0).unwrap(), start);
+        assert_eq!(net.position_on_lane(ab, 7.0).unwrap(), end);
+    }
+
+    #[test]
+    fn nearest_lane_projection() {
+        let (net, [a, b, _]) = triangle();
+        let pa = net.intersection(a).unwrap().position;
+        let pb = net.intersection(b).unwrap().position;
+        // A point just north of the midpoint of a->b (which runs east).
+        let probe = pa.lerp(pb, 0.5).offset_m(10.0, 0.0);
+        let (lane, t, dist) = net.nearest_lane(probe).unwrap();
+        let l = net.lane(lane).unwrap();
+        assert!(
+            (l.from == a && l.to == b) || (l.from == b && l.to == a),
+            "projected to wrong lane {l:?}"
+        );
+        // Midpoint projects to t = 0.5 in either lane orientation.
+        assert!((t - 0.5).abs() < 0.05, "t={t}");
+        assert!((dist - 10.0).abs() < 1.0, "dist={dist}");
+        assert_eq!(RoadNetwork::new().nearest_lane(probe), None);
+    }
+
+    #[test]
+    fn nearest_lane_clamps_to_endpoints() {
+        let (net, [a, _, _]) = triangle();
+        let pa = net.intersection(a).unwrap().position;
+        // A probe beyond intersection a projects to t = 0 on some incident lane.
+        let probe = pa.offset_m(0.0, -50.0);
+        let (_, t, _) = net.nearest_lane(probe).unwrap();
+        assert!(t == 0.0 || t == 1.0, "t={t}");
+    }
+
+    #[test]
+    fn travel_time() {
+        let lane = Lane {
+            id: LaneId(0),
+            from: IntersectionId(0),
+            to: IntersectionId(1),
+            length_m: 100.0,
+            speed_limit_mps: 10.0,
+        };
+        assert!((lane.travel_time_s() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,401 @@
+//! Routing over the road network: shortest paths and random vehicle routes.
+//!
+//! The traffic simulator (crate `coral-sim`) drives vehicles along routes
+//! produced here; the topology experiments use shortest-path distances to
+//! sanity-check camera spacing.
+
+use crate::road::{IntersectionId, LaneId, RoadNetwork, RoadNetworkError};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A route: an ordered sequence of connected lanes.
+///
+/// Invariant: consecutive lanes share an intersection (`lane[i].to ==
+/// lane[i+1].from`). Constructed through [`Route::new`], which validates the
+/// invariant against the network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    lanes: Vec<LaneId>,
+}
+
+impl Route {
+    /// Creates a route after validating lane connectivity.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any lane is unknown or consecutive lanes do not
+    /// share an intersection.
+    pub fn new(net: &RoadNetwork, lanes: Vec<LaneId>) -> Result<Self, RouteError> {
+        if lanes.is_empty() {
+            return Err(RouteError::Empty);
+        }
+        for pair in lanes.windows(2) {
+            let a = net.lane(pair[0]).map_err(RouteError::Network)?;
+            let b = net.lane(pair[1]).map_err(RouteError::Network)?;
+            if a.to != b.from {
+                return Err(RouteError::Disconnected {
+                    after: pair[0],
+                    next: pair[1],
+                });
+            }
+        }
+        net.lane(*lanes.last().expect("non-empty"))
+            .map_err(RouteError::Network)?;
+        Ok(Self { lanes })
+    }
+
+    /// The lanes of this route in travel order.
+    pub fn lanes(&self) -> &[LaneId] {
+        &self.lanes
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the route has no lanes (never true for validated routes).
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// The origin intersection.
+    pub fn origin(&self, net: &RoadNetwork) -> IntersectionId {
+        net.lane(self.lanes[0]).expect("validated").from
+    }
+
+    /// The destination intersection.
+    pub fn destination(&self, net: &RoadNetwork) -> IntersectionId {
+        net.lane(*self.lanes.last().expect("non-empty"))
+            .expect("validated")
+            .to
+    }
+
+    /// Total length in meters.
+    pub fn length_m(&self, net: &RoadNetwork) -> f64 {
+        self.lanes
+            .iter()
+            .map(|&l| net.lane(l).expect("validated").length_m)
+            .sum()
+    }
+
+    /// Free-flow travel time in seconds.
+    pub fn travel_time_s(&self, net: &RoadNetwork) -> f64 {
+        self.lanes
+            .iter()
+            .map(|&l| net.lane(l).expect("validated").travel_time_s())
+            .sum()
+    }
+
+    /// The ordered intersections visited, including origin and destination.
+    pub fn intersections(&self, net: &RoadNetwork) -> Vec<IntersectionId> {
+        let mut out = Vec::with_capacity(self.lanes.len() + 1);
+        out.push(self.origin(net));
+        for &l in &self.lanes {
+            out.push(net.lane(l).expect("validated").to);
+        }
+        out
+    }
+}
+
+/// Errors from route construction and planning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteError {
+    /// A route must contain at least one lane.
+    Empty,
+    /// Consecutive lanes do not share an intersection.
+    Disconnected {
+        /// The earlier lane.
+        after: LaneId,
+        /// The lane that does not continue from it.
+        next: LaneId,
+    },
+    /// No path exists between the requested endpoints.
+    NoPath {
+        /// Requested origin.
+        from: IntersectionId,
+        /// Requested destination.
+        to: IntersectionId,
+    },
+    /// Underlying network lookup failed.
+    Network(RoadNetworkError),
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Empty => write!(f, "route has no lanes"),
+            RouteError::Disconnected { after, next } => {
+                write!(f, "lane {next} does not continue from {after}")
+            }
+            RouteError::NoPath { from, to } => write!(f, "no path from {from} to {to}"),
+            RouteError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouteError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Computes the fastest route (by free-flow travel time) between two
+/// intersections using Dijkstra's algorithm.
+///
+/// # Errors
+///
+/// Returns [`RouteError::NoPath`] if `to` is unreachable from `from`, or
+/// [`RouteError::Network`] for unknown intersections.
+///
+/// # Examples
+///
+/// ```
+/// use coral_geo::{generators, route};
+///
+/// let net = generators::grid(3, 3, 100.0, 13.4);
+/// let from = net.intersections().next().unwrap().id;
+/// let to = net.intersections().last().unwrap().id;
+/// let r = route::shortest_path(&net, from, to)?;
+/// assert!((r.length_m(&net) - 400.0).abs() < 1.0);
+/// # Ok::<(), coral_geo::route::RouteError>(())
+/// ```
+pub fn shortest_path(
+    net: &RoadNetwork,
+    from: IntersectionId,
+    to: IntersectionId,
+) -> Result<Route, RouteError> {
+    net.intersection(from).map_err(RouteError::Network)?;
+    net.intersection(to).map_err(RouteError::Network)?;
+    if from == to {
+        return Err(RouteError::NoPath { from, to });
+    }
+
+    let n = net.intersection_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<LaneId>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(OrderedF64, IntersectionId)>> = BinaryHeap::new();
+    dist[from.0 as usize] = 0.0;
+    heap.push(Reverse((OrderedF64(0.0), from)));
+
+    while let Some(Reverse((OrderedF64(d), u))) = heap.pop() {
+        if d > dist[u.0 as usize] {
+            continue;
+        }
+        if u == to {
+            break;
+        }
+        for &lid in net.out_lanes(u) {
+            let lane = net.lane(lid).expect("adjacency consistent");
+            let nd = d + lane.travel_time_s();
+            if nd < dist[lane.to.0 as usize] {
+                dist[lane.to.0 as usize] = nd;
+                prev[lane.to.0 as usize] = Some(lid);
+                heap.push(Reverse((OrderedF64(nd), lane.to)));
+            }
+        }
+    }
+
+    if prev[to.0 as usize].is_none() {
+        return Err(RouteError::NoPath { from, to });
+    }
+    let mut lanes = Vec::new();
+    let mut cur = to;
+    while cur != from {
+        let lid = prev[cur.0 as usize].expect("reached along prev chain");
+        lanes.push(lid);
+        cur = net.lane(lid).expect("validated").from;
+    }
+    lanes.reverse();
+    Route::new(net, lanes)
+}
+
+/// Generates a random route of at least `min_lanes` lanes starting at
+/// `from`, using a random walk that avoids immediate U-turns when another
+/// option exists.
+///
+/// Returns `None` if the walk reaches a dead end before `min_lanes` (only
+/// possible on networks with sinks).
+pub fn random_route<R: Rng + ?Sized>(
+    rng: &mut R,
+    net: &RoadNetwork,
+    from: IntersectionId,
+    min_lanes: usize,
+) -> Option<Route> {
+    let mut lanes: Vec<LaneId> = Vec::with_capacity(min_lanes);
+    let mut cur = from;
+    let mut prev_lane: Option<LaneId> = None;
+    while lanes.len() < min_lanes {
+        let out = net.out_lanes(cur);
+        if out.is_empty() {
+            return None;
+        }
+        // Avoid reversing onto the lane we just traversed unless forced.
+        let reverse = prev_lane.and_then(|l| net.reverse_lane(l));
+        let options: Vec<LaneId> = out
+            .iter()
+            .copied()
+            .filter(|&l| Some(l) != reverse)
+            .collect();
+        let pick = if options.is_empty() {
+            out[rng.gen_range(0..out.len())]
+        } else {
+            options[rng.gen_range(0..options.len())]
+        };
+        cur = net.lane(pick).expect("adjacency consistent").to;
+        prev_lane = Some(pick);
+        lanes.push(pick);
+    }
+    Some(Route::new(net, lanes).expect("walk is connected by construction"))
+}
+
+/// Total-ordered f64 wrapper for use in the Dijkstra heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::point::GeoPoint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shortest_path_on_grid() {
+        let net = generators::grid(4, 4, 100.0, 10.0);
+        let a = IntersectionId(0);
+        let b = IntersectionId(15);
+        let r = shortest_path(&net, a, b).unwrap();
+        assert_eq!(r.origin(&net), a);
+        assert_eq!(r.destination(&net), b);
+        // Manhattan distance on a 4x4 grid corner to corner: 6 hops.
+        assert_eq!(r.len(), 6);
+        assert!((r.length_m(&net) - 600.0).abs() < 1.0);
+        assert!((r.travel_time_s(&net) - 60.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn shortest_path_prefers_fast_roads() {
+        let mut net = RoadNetwork::new();
+        let base = GeoPoint::new(33.77, -84.39);
+        let a = net.add_intersection(base);
+        let b = net.add_intersection(base.offset_m(0.0, 100.0));
+        let c = net.add_intersection(base.offset_m(100.0, 50.0));
+        // Direct but slow; detour but fast.
+        net.add_lane(a, b, 2.0).unwrap();
+        net.add_lane(a, c, 20.0).unwrap();
+        net.add_lane(c, b, 20.0).unwrap();
+        let r = shortest_path(&net, a, b).unwrap();
+        assert_eq!(r.len(), 2, "should take the fast detour");
+    }
+
+    #[test]
+    fn no_path_is_an_error() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_intersection(GeoPoint::new(0.0, 0.0));
+        let b = net.add_intersection(GeoPoint::new(0.001, 0.0));
+        // b has no incoming lanes.
+        net.add_lane(b, a, 10.0).unwrap();
+        assert_eq!(
+            shortest_path(&net, a, b),
+            Err(RouteError::NoPath { from: a, to: b })
+        );
+    }
+
+    #[test]
+    fn same_endpoint_is_no_path() {
+        let net = generators::grid(2, 2, 100.0, 10.0);
+        let a = IntersectionId(0);
+        assert!(matches!(
+            shortest_path(&net, a, a),
+            Err(RouteError::NoPath { .. })
+        ));
+    }
+
+    #[test]
+    fn route_validation_rejects_disconnected() {
+        let net = generators::grid(3, 3, 100.0, 10.0);
+        let l0 = net.out_lanes(IntersectionId(0))[0];
+        let far = net.out_lanes(IntersectionId(8))[0];
+        let err = Route::new(&net, vec![l0, far]).unwrap_err();
+        assert!(matches!(err, RouteError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn route_validation_rejects_empty() {
+        let net = generators::grid(2, 2, 100.0, 10.0);
+        assert_eq!(Route::new(&net, vec![]), Err(RouteError::Empty));
+    }
+
+    #[test]
+    fn route_intersections_sequence() {
+        let net = generators::grid(3, 3, 100.0, 10.0);
+        let r = shortest_path(&net, IntersectionId(0), IntersectionId(8)).unwrap();
+        let is = r.intersections(&net);
+        assert_eq!(is.first(), Some(&IntersectionId(0)));
+        assert_eq!(is.last(), Some(&IntersectionId(8)));
+        assert_eq!(is.len(), r.len() + 1);
+    }
+
+    #[test]
+    fn random_route_is_connected_and_long_enough() {
+        let net = generators::grid(5, 5, 100.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let r = random_route(&mut rng, &net, IntersectionId(12), 8).unwrap();
+            assert_eq!(r.len(), 8);
+            // Route::new inside random_route already validates connectivity.
+            assert_eq!(r.origin(&net), IntersectionId(12));
+        }
+    }
+
+    #[test]
+    fn random_route_deterministic_per_seed() {
+        let net = generators::grid(5, 5, 100.0, 10.0);
+        let r1 = random_route(
+            &mut StdRng::seed_from_u64(99),
+            &net,
+            IntersectionId(0),
+            10,
+        )
+        .unwrap();
+        let r2 = random_route(
+            &mut StdRng::seed_from_u64(99),
+            &net,
+            IntersectionId(0),
+            10,
+        )
+        .unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn random_route_dead_end_returns_none() {
+        let mut net = RoadNetwork::new();
+        let a = net.add_intersection(GeoPoint::new(0.0, 0.0));
+        let b = net.add_intersection(GeoPoint::new(0.001, 0.0));
+        net.add_lane(a, b, 10.0).unwrap(); // b is a sink
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(random_route(&mut rng, &net, a, 3).is_none());
+    }
+}

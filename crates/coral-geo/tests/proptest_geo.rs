@@ -1,0 +1,125 @@
+//! Property-based invariants for the geometry and road-network substrate.
+
+use coral_geo::{generators, route, GeoPoint, Heading, IntersectionId, Point2, Polygon};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    // Stay away from the poles where planar approximations degrade.
+    (-60.0f64..60.0, -179.0f64..179.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_a_metric(a in arb_point(), b in arb_point()) {
+        let d_ab = a.haversine_m(b);
+        let d_ba = b.haversine_m(a);
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!((d_ab - d_ba).abs() < 1e-6);
+        prop_assert!(a.haversine_m(a) == 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let direct = a.haversine_m(c);
+        let via = a.haversine_m(b) + b.haversine_m(c);
+        prop_assert!(direct <= via + 1e-6, "direct {direct} via {via}");
+    }
+
+    #[test]
+    fn bearing_in_range(a in arb_point(), b in arb_point()) {
+        let bearing = a.bearing_deg(b);
+        prop_assert!((0.0..360.0).contains(&bearing));
+    }
+
+    #[test]
+    fn heading_quantization_total(bearing in -720.0f64..720.0) {
+        // Any bearing maps to a heading whose sector center is within 22.5°.
+        let h = Heading::from_bearing_deg(bearing);
+        let normalized = bearing.rem_euclid(360.0);
+        let diff = (normalized - h.bearing_deg()).abs();
+        let diff = diff.min(360.0 - diff);
+        prop_assert!(diff <= 22.5 + 1e-9, "bearing {normalized} -> {h} diff {diff}");
+    }
+
+    #[test]
+    fn heading_opposite_is_involution(bearing in 0.0f64..360.0) {
+        let h = Heading::from_bearing_deg(bearing);
+        prop_assert_eq!(h.opposite().opposite(), h);
+        prop_assert_eq!(h.angle_to(h.opposite()), 180.0);
+    }
+
+    #[test]
+    fn offset_roundtrip_distance(p in arb_point(), north in -500.0f64..500.0, east in -500.0f64..500.0) {
+        let q = p.offset_m(north, east);
+        let expected = (north * north + east * east).sqrt();
+        let measured = p.planar_m(q);
+        // Within 1% at sub-kilometer scales.
+        prop_assert!((measured - expected).abs() <= expected.max(1.0) * 0.01 + 0.5);
+    }
+
+    #[test]
+    fn rect_polygon_contains_its_centroid(
+        x0 in -100.0f64..100.0, y0 in -100.0f64..100.0,
+        w in 0.1f64..200.0, h in 0.1f64..200.0,
+    ) {
+        let poly = Polygon::rect(x0, y0, x0 + w, y0 + h);
+        prop_assert!(poly.contains(poly.centroid()));
+        prop_assert!((poly.area() - w * h).abs() < 1e-6 * w * h + 1e-9);
+        // Points clearly outside are rejected.
+        prop_assert!(!poly.contains(Point2::new(x0 - 1.0, y0)));
+        prop_assert!(!poly.contains(Point2::new(x0 + w + 1.0, y0 + h + 1.0)));
+    }
+
+    #[test]
+    fn shortest_path_beats_random_walks(seed in 0u64..500) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let net = generators::grid(4, 4, 100.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Some(walk) = route::random_route(&mut rng, &net, IntersectionId(0), 8) else {
+            return Ok(());
+        };
+        let dest = walk.destination(&net);
+        if dest == IntersectionId(0) {
+            return Ok(());
+        }
+        let best = route::shortest_path(&net, IntersectionId(0), dest).expect("grid connected");
+        prop_assert!(
+            best.travel_time_s(&net) <= walk.travel_time_s(&net) + 1e-9,
+            "shortest {} vs walk {}",
+            best.travel_time_s(&net),
+            walk.travel_time_s(&net)
+        );
+    }
+
+    #[test]
+    fn random_routes_are_connected(seed in 0u64..500, len in 1usize..12) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let net = generators::grid(5, 5, 80.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = route::random_route(&mut rng, &net, IntersectionId(12), len)
+            .expect("grid has no dead ends");
+        prop_assert_eq!(r.len(), len);
+        // Route::new validated connectivity; verify endpoints incrementally.
+        let mut cur = r.origin(&net);
+        for &lane in r.lanes() {
+            let l = net.lane(lane).unwrap();
+            prop_assert_eq!(l.from, cur);
+            cur = l.to;
+        }
+        prop_assert_eq!(cur, r.destination(&net));
+    }
+
+    #[test]
+    fn nearest_lane_offset_in_unit_interval(
+        north in -400.0f64..400.0, east in -400.0f64..400.0,
+    ) {
+        let net = generators::grid(3, 3, 150.0, 10.0);
+        let p = generators::CAMPUS_ORIGIN.offset_m(north, east);
+        let (lane, t, dist) = net.nearest_lane(p).expect("grid has lanes");
+        prop_assert!((0.0..=1.0).contains(&t));
+        prop_assert!(dist >= 0.0);
+        prop_assert!(net.lane(lane).is_ok());
+    }
+}

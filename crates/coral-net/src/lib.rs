@@ -1,0 +1,32 @@
+//! Inter-camera messaging for Coral-Pie: wire format, socket groups,
+//! connection management and transports.
+//!
+//! Implements the horizontal communication layer of the paper (§3.2,
+//! §4.1.3):
+//!
+//! - [`message`] — the JSON wire format: [`DetectionEvent`]s, the
+//!   inform/confirm protocol messages, heartbeats and topology updates.
+//! - [`SocketGroup`] — the per-heading map from moving direction to the
+//!   cameras in the corresponding MDCS.
+//! - [`ConnectionManager`] — per-camera protocol state: informing stage,
+//!   confirmation relay, heartbeats, MDCS reconfiguration.
+//! - [`InProcRouter`] — a thread-safe in-process transport used by the
+//!   multi-threaded examples (the DES experiments deliver messages through
+//!   the simulation engine instead).
+//! - [`tcp`] — a real TCP transport (length-prefixed JSON frames), for
+//!   camera nodes running as separate OS processes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod connection;
+pub mod message;
+pub mod socket_group;
+pub mod tcp;
+pub mod transport;
+
+pub use connection::{ConnectionManager, ConnectionStats};
+pub use message::{DetectionEvent, EventId, Message, VertexId};
+pub use socket_group::SocketGroup;
+pub use tcp::{send_to, TcpEndpoint, TcpError};
+pub use transport::{Endpoint, Envelope, InProcRouter, SendError};

@@ -1,0 +1,329 @@
+//! A real TCP transport for the wire format.
+//!
+//! The paper's prototype moves messages over non-blocking ZeroMQ sockets
+//! (§4.1.2); this module is the plain-`std` equivalent used when camera
+//! nodes run as separate OS processes: length-prefixed JSON frames over
+//! TCP, one connection per send (short-lived, like a ZeroMQ push), and an
+//! accept-loop listener that delivers envelopes into a channel.
+
+use crate::message::Message;
+use crate::transport::{Endpoint, Envelope};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maximum accepted frame size (a detection event with a large histogram
+/// is a few KiB; 4 MiB is generous headroom).
+const MAX_FRAME_BYTES: u32 = 4 * 1024 * 1024;
+
+/// The JSON payload of one TCP frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WireEnvelope {
+    from: Endpoint,
+    to: Endpoint,
+    message: Message,
+}
+
+/// Errors from the TCP transport.
+#[derive(Debug)]
+pub enum TcpError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Malformed or oversized frame.
+    Frame(String),
+}
+
+impl std::fmt::Display for TcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TcpError::Io(e) => write!(f, "tcp transport io error: {e}"),
+            TcpError::Frame(s) => write!(f, "tcp transport frame error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TcpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TcpError::Io(e) => Some(e),
+            TcpError::Frame(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TcpError {
+    fn from(e: std::io::Error) -> Self {
+        TcpError::Io(e)
+    }
+}
+
+/// A listening endpoint: accepts connections and delivers every received
+/// envelope into a channel.
+#[derive(Debug)]
+pub struct TcpEndpoint {
+    local_addr: SocketAddr,
+    rx: Receiver<Envelope>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpEndpoint {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str) -> Result<Self, TcpError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let (tx, rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        // Nonblocking accept so the loop can observe the stop flag.
+        listener.set_nonblocking(true)?;
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(listener, tx, stop2);
+        });
+        Ok(Self {
+            local_addr,
+            rx,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The receive side: every accepted envelope appears here.
+    pub fn receiver(&self) -> &Receiver<Envelope> {
+        &self.rx
+    }
+
+    /// Stops the accept loop and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop_internal();
+    }
+
+    fn stop_internal(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.stop_internal();
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<Envelope>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                // One short-lived connection per message batch.
+                std::thread::spawn(move || {
+                    let _ = read_frames(stream, &tx);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn read_frames(mut stream: TcpStream, tx: &Sender<Envelope>) -> Result<(), TcpError> {
+    stream.set_nonblocking(false)?;
+    loop {
+        let mut len_buf = [0u8; 4];
+        match stream.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e.into()),
+        }
+        let len = u32::from_be_bytes(len_buf);
+        if len == 0 || len > MAX_FRAME_BYTES {
+            return Err(TcpError::Frame(format!("bad frame length {len}")));
+        }
+        let mut payload = vec![0u8; len as usize];
+        stream.read_exact(&mut payload)?;
+        let wire: WireEnvelope = serde_json::from_slice(&payload)
+            .map_err(|e| TcpError::Frame(e.to_string()))?;
+        if tx
+            .send(Envelope {
+                from: wire.from,
+                to: wire.to,
+                message: wire.message,
+            })
+            .is_err()
+        {
+            return Ok(()); // receiver gone
+        }
+    }
+}
+
+/// Sends one envelope to a remote [`TcpEndpoint`].
+///
+/// # Errors
+///
+/// Propagates connection and write failures.
+pub fn send_to(addr: SocketAddr, envelope: &Envelope) -> Result<(), TcpError> {
+    let wire = WireEnvelope {
+        from: envelope.from,
+        to: envelope.to,
+        message: envelope.message.clone(),
+    };
+    let payload = serde_json::to_vec(&wire).map_err(|e| TcpError::Frame(e.to_string()))?;
+    if payload.len() as u64 > u64::from(MAX_FRAME_BYTES) {
+        return Err(TcpError::Frame(format!(
+            "frame too large: {} bytes",
+            payload.len()
+        )));
+    }
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(&(payload.len() as u32).to_be_bytes())?;
+    stream.write_all(&payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_geo::GeoPoint;
+    use coral_topology::CameraId;
+    use coral_vision::{ColorHistogram, TrackId};
+    use std::time::Duration;
+
+    fn heartbeat(cam: u32) -> Message {
+        Message::Heartbeat {
+            camera: CameraId(cam),
+            position: GeoPoint::new(33.77, -84.39),
+            videoing_angle_deg: 0.0,
+        }
+    }
+
+    fn inform(cam: u32) -> Message {
+        Message::Inform(crate::message::DetectionEvent {
+            camera: CameraId(cam),
+            timestamp_ms: 42,
+            heading: None,
+            bearing_deg: None,
+            signature: ColorHistogram::uniform(8),
+            track: TrackId(3),
+            vertex: None,
+            ground_truth: None,
+        })
+    }
+
+    fn recv_one(ep: &TcpEndpoint) -> Envelope {
+        ep.receiver()
+            .recv_timeout(Duration::from_secs(5))
+            .expect("message arrives")
+    }
+
+    #[test]
+    fn roundtrip_over_loopback() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let env = Envelope {
+            from: Endpoint::Camera(CameraId(0)),
+            to: Endpoint::Camera(CameraId(1)),
+            message: inform(0),
+        };
+        send_to(ep.local_addr(), &env).unwrap();
+        let got = recv_one(&ep);
+        assert_eq!(got, env);
+        ep.shutdown();
+    }
+
+    #[test]
+    fn many_senders_all_delivered() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = ep.local_addr();
+        let mut handles = Vec::new();
+        for i in 0..4u32 {
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10 {
+                    send_to(
+                        addr,
+                        &Envelope {
+                            from: Endpoint::Camera(CameraId(i)),
+                            to: Endpoint::TopologyServer,
+                            message: heartbeat(i),
+                        },
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got = 0;
+        while ep
+            .receiver()
+            .recv_timeout(Duration::from_secs(2))
+            .is_ok()
+        {
+            got += 1;
+            if got == 40 {
+                break;
+            }
+        }
+        assert_eq!(got, 40);
+        ep.shutdown();
+    }
+
+    #[test]
+    fn large_payload_roundtrips() {
+        // An inform with an 8^3-bin histogram is the heavyweight message.
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let env = Envelope {
+            from: Endpoint::Camera(CameraId(7)),
+            to: Endpoint::Camera(CameraId(8)),
+            message: inform(7),
+        };
+        for _ in 0..5 {
+            send_to(ep.local_addr(), &env).unwrap();
+        }
+        for _ in 0..5 {
+            assert_eq!(recv_one(&ep).message, env.message);
+        }
+        ep.shutdown();
+    }
+
+    #[test]
+    fn send_to_dead_endpoint_errors() {
+        let ep = TcpEndpoint::bind("127.0.0.1:0").unwrap();
+        let addr = ep.local_addr();
+        ep.shutdown();
+        // Connecting may briefly succeed while the OS drains the backlog;
+        // eventually it errors. Try a few times.
+        let env = Envelope {
+            from: Endpoint::TopologyServer,
+            to: Endpoint::Camera(CameraId(1)),
+            message: heartbeat(1),
+        };
+        let mut failed = false;
+        for _ in 0..20 {
+            if send_to(addr, &env).is_err() {
+                failed = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(failed, "sends to a closed listener should eventually fail");
+    }
+}

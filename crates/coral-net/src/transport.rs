@@ -1,0 +1,250 @@
+//! Message transports.
+//!
+//! The prototype in the paper uses non-blocking ZeroMQ sockets between the
+//! RPis and long-lived sockets between cameras (§4.1.2–4.1.3). This module
+//! provides the in-process equivalent: a thread-safe router of unbounded
+//! channels keyed by endpoint, used by the multi-threaded examples. (The
+//! discrete-event experiments instead deliver messages through the
+//! simulation engine with a [`coral_sim::LatencyModel`] delay.)
+
+use crate::message::Message;
+use coral_topology::CameraId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An addressable party in the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Endpoint {
+    /// A camera's compute unit.
+    Camera(CameraId),
+    /// The cloud topology server.
+    TopologyServer,
+    /// An edge storage node.
+    EdgeStore(u32),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Camera(c) => write!(f, "{c}"),
+            Endpoint::TopologyServer => write!(f, "cloud"),
+            Endpoint::EdgeStore(i) => write!(f, "edge{i}"),
+        }
+    }
+}
+
+/// A routed message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Sender.
+    pub from: Endpoint,
+    /// Recipient.
+    pub to: Endpoint,
+    /// Payload.
+    pub message: Message,
+}
+
+/// Error returned when sending to an unregistered or disconnected endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError {
+    /// The unreachable endpoint.
+    pub to: Endpoint,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "endpoint {} is not reachable", self.to)
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// A thread-safe in-process message router.
+///
+/// Cloning the router is cheap (it shares the routing table), so one router
+/// can be handed to every node thread.
+///
+/// # Examples
+///
+/// ```
+/// use coral_net::{Endpoint, Envelope, InProcRouter, Message};
+/// use coral_geo::GeoPoint;
+/// use coral_topology::CameraId;
+///
+/// let router = InProcRouter::new();
+/// let rx = router.register(Endpoint::TopologyServer);
+/// router.send(Envelope {
+///     from: Endpoint::Camera(CameraId(0)),
+///     to: Endpoint::TopologyServer,
+///     message: Message::Heartbeat {
+///         camera: CameraId(0),
+///         position: GeoPoint::new(33.77, -84.39),
+///         videoing_angle_deg: 0.0,
+///     },
+/// })?;
+/// assert_eq!(rx.len(), 1);
+/// # Ok::<(), coral_net::SendError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InProcRouter {
+    table: Arc<RwLock<HashMap<Endpoint, Sender<Envelope>>>>,
+}
+
+impl InProcRouter {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `endpoint` and returns its receive side. Re-registering
+    /// replaces the previous channel (a restarted node).
+    pub fn register(&self, endpoint: Endpoint) -> Receiver<Envelope> {
+        let (tx, rx) = unbounded();
+        self.table.write().insert(endpoint, tx);
+        rx
+    }
+
+    /// Removes an endpoint (a failed node): subsequent sends to it error.
+    pub fn deregister(&self, endpoint: Endpoint) {
+        self.table.write().remove(&endpoint);
+    }
+
+    /// Routes an envelope to its recipient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] if the recipient is unknown or its receiver
+    /// was dropped.
+    pub fn send(&self, envelope: Envelope) -> Result<(), SendError> {
+        let to = envelope.to;
+        let sender = {
+            let table = self.table.read();
+            table.get(&to).cloned()
+        };
+        match sender {
+            Some(tx) => tx.send(envelope).map_err(|_| SendError { to }),
+            None => Err(SendError { to }),
+        }
+    }
+
+    /// Number of registered endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.table.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_geo::GeoPoint;
+
+    fn heartbeat(cam: u32) -> Message {
+        Message::Heartbeat {
+            camera: CameraId(cam),
+            position: GeoPoint::new(33.77, -84.39),
+            videoing_angle_deg: 0.0,
+        }
+    }
+
+    #[test]
+    fn send_and_receive() {
+        let router = InProcRouter::new();
+        let rx = router.register(Endpoint::Camera(CameraId(1)));
+        router
+            .send(Envelope {
+                from: Endpoint::Camera(CameraId(0)),
+                to: Endpoint::Camera(CameraId(1)),
+                message: heartbeat(0),
+            })
+            .unwrap();
+        let env = rx.try_recv().unwrap();
+        assert_eq!(env.from, Endpoint::Camera(CameraId(0)));
+        assert_eq!(env.message, heartbeat(0));
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let router = InProcRouter::new();
+        let err = router
+            .send(Envelope {
+                from: Endpoint::TopologyServer,
+                to: Endpoint::Camera(CameraId(9)),
+                message: heartbeat(9),
+            })
+            .unwrap_err();
+        assert_eq!(err.to, Endpoint::Camera(CameraId(9)));
+        assert!(err.to_string().contains("cam9"));
+    }
+
+    #[test]
+    fn deregistered_endpoint_errors() {
+        let router = InProcRouter::new();
+        let _rx = router.register(Endpoint::EdgeStore(0));
+        router.deregister(Endpoint::EdgeStore(0));
+        assert!(router
+            .send(Envelope {
+                from: Endpoint::TopologyServer,
+                to: Endpoint::EdgeStore(0),
+                message: heartbeat(0),
+            })
+            .is_err());
+        assert_eq!(router.endpoint_count(), 0);
+    }
+
+    #[test]
+    fn dropped_receiver_errors() {
+        let router = InProcRouter::new();
+        let rx = router.register(Endpoint::TopologyServer);
+        drop(rx);
+        assert!(router
+            .send(Envelope {
+                from: Endpoint::Camera(CameraId(0)),
+                to: Endpoint::TopologyServer,
+                message: heartbeat(0),
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn router_is_shareable_across_threads() {
+        let router = InProcRouter::new();
+        let rx = router.register(Endpoint::TopologyServer);
+        let mut handles = Vec::new();
+        for i in 0..4u32 {
+            let r = router.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    r.send(Envelope {
+                        from: Endpoint::Camera(CameraId(i)),
+                        to: Endpoint::TopologyServer,
+                        message: heartbeat(i),
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(rx.len(), 100);
+    }
+
+    #[test]
+    fn reregistration_replaces_channel() {
+        let router = InProcRouter::new();
+        let rx1 = router.register(Endpoint::Camera(CameraId(0)));
+        let rx2 = router.register(Endpoint::Camera(CameraId(0)));
+        router
+            .send(Envelope {
+                from: Endpoint::TopologyServer,
+                to: Endpoint::Camera(CameraId(0)),
+                message: heartbeat(0),
+            })
+            .unwrap();
+        assert_eq!(rx1.len(), 0);
+        assert_eq!(rx2.len(), 1);
+    }
+}

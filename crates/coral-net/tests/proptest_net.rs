@@ -1,0 +1,160 @@
+//! Property-based invariants for the communication protocol.
+
+use coral_geo::{generators, GeoPoint, Heading, IntersectionId};
+use coral_net::{ConnectionManager, DetectionEvent, Message};
+use coral_topology::{mdcs_table, CameraId, CameraTopology, MdcsOptions, MdcsUpdate};
+use coral_vision::{ColorHistogram, TrackId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn event(camera: u32, track: u64, heading: Option<Heading>) -> DetectionEvent {
+    DetectionEvent {
+        camera: CameraId(camera),
+        timestamp_ms: track,
+        heading,
+        bearing_deg: heading.map(|h| h.bearing_deg()),
+        signature: ColorHistogram::uniform(2),
+        track: TrackId(track),
+        vertex: None,
+        ground_truth: None,
+    }
+}
+
+/// A connection manager wired with the middle camera of a 3-corridor (so
+/// both East and West have a recipient).
+fn middle_manager() -> ConnectionManager {
+    let net = generators::corridor(3, 100.0, 10.0);
+    let pos = net.intersection(IntersectionId(1)).unwrap().position;
+    let mut topo = CameraTopology::new(net);
+    for i in 0..3 {
+        topo.place_at_intersection(CameraId(i), IntersectionId(i), 0.0)
+            .unwrap();
+    }
+    let mut cm = ConnectionManager::new(CameraId(1), pos, 0.0);
+    cm.on_topology_update(MdcsUpdate {
+        camera: CameraId(1),
+        table: mdcs_table(&topo, CameraId(1), MdcsOptions::default()),
+        version: 1,
+    });
+    cm
+}
+
+fn arb_heading() -> impl Strategy<Value = Option<Heading>> {
+    proptest::option::of((0usize..8).prop_map(|i| Heading::ALL[i]))
+}
+
+proptest! {
+    #[test]
+    fn informs_never_target_self(tracks in proptest::collection::vec((0u64..100, arb_heading()), 0..40)) {
+        let mut cm = middle_manager();
+        for (track, heading) in tracks {
+            for (to, msg) in cm.on_detection(event(1, track, heading)) {
+                prop_assert_ne!(to, CameraId(1), "self-inform without U-turn");
+                prop_assert!(matches!(msg, Message::Inform(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn confirm_relay_excludes_confirmer_and_fires_once(
+        track in 0u64..100,
+        confirmer_first in proptest::bool::ANY,
+    ) {
+        let mut cm = middle_manager();
+        // Broadcast-style inform to both neighbours so the relay set is
+        // non-trivial.
+        let recipients: BTreeSet<CameraId> =
+            [CameraId(0), CameraId(2)].into_iter().collect();
+        let e = event(1, track, Some(Heading::East));
+        cm.on_detection_to(e.clone(), recipients);
+        let confirmer = if confirmer_first { CameraId(0) } else { CameraId(2) };
+        let relays = cm.on_confirmation(e.event_id(), confirmer);
+        prop_assert_eq!(relays.len(), 1);
+        prop_assert_ne!(relays[0].0, confirmer);
+        // Idempotence: a duplicate confirmation relays nothing.
+        prop_assert!(cm.on_confirmation(e.event_id(), confirmer).is_empty());
+        prop_assert_eq!(cm.pending_confirmations(), 0);
+    }
+
+    #[test]
+    fn pending_confirmations_match_unconfirmed_informs(
+        script in proptest::collection::vec((0u64..30, proptest::bool::ANY), 0..60),
+    ) {
+        let mut cm = middle_manager();
+        let mut outstanding: BTreeSet<u64> = BTreeSet::new();
+        for (track, confirm) in script {
+            if confirm {
+                let e = event(1, track, Some(Heading::East));
+                let had = outstanding.remove(&track);
+                let relays = cm.on_confirmation(e.event_id(), CameraId(2));
+                // Relays only happen for known events; single-recipient
+                // informs relay to nobody.
+                prop_assert!(relays.is_empty());
+                let _ = had;
+            } else {
+                let e = event(1, track, Some(Heading::East));
+                let out = cm.on_detection(e);
+                if !out.is_empty() {
+                    outstanding.insert(track);
+                }
+            }
+            prop_assert_eq!(cm.pending_confirmations(), outstanding.len());
+        }
+    }
+
+    #[test]
+    fn topology_updates_apply_in_version_order_only(
+        versions in proptest::collection::vec(1u64..50, 1..30),
+    ) {
+        let net = generators::corridor(3, 100.0, 10.0);
+        let pos = net.intersection(IntersectionId(1)).unwrap().position;
+        let mut cm = ConnectionManager::new(CameraId(1), pos, 0.0);
+        let mut applied_max = 0u64;
+        let mut applied_count = 0u64;
+        for v in versions {
+            cm.on_topology_update(MdcsUpdate {
+                camera: CameraId(1),
+                table: Default::default(),
+                version: v,
+            });
+            if v > applied_max {
+                applied_max = v;
+                applied_count += 1;
+            }
+            prop_assert_eq!(cm.stats().updates_applied, applied_count);
+        }
+    }
+
+    #[test]
+    fn wire_format_roundtrips_any_event(
+        camera in 0u32..1000,
+        track in 0u64..10_000,
+        ts in 0u64..u32::MAX as u64,
+        heading in arb_heading(),
+    ) {
+        let e = DetectionEvent {
+            camera: CameraId(camera),
+            timestamp_ms: ts,
+            heading,
+            bearing_deg: heading.map(|h| h.bearing_deg()),
+            signature: ColorHistogram::uniform(4),
+            track: TrackId(track),
+            vertex: None,
+            ground_truth: None,
+        };
+        let back = DetectionEvent::from_json(&e.to_json()).unwrap();
+        prop_assert_eq!(e, back);
+    }
+
+    #[test]
+    fn heartbeats_preserve_position(lat in -60.0f64..60.0, lon in -170.0f64..170.0) {
+        let mut cm = ConnectionManager::new(CameraId(7), GeoPoint::new(lat, lon), 45.0);
+        let Message::Heartbeat { camera, position, videoing_angle_deg } = cm.heartbeat() else {
+            panic!("heartbeat() must build a heartbeat");
+        };
+        prop_assert_eq!(camera, CameraId(7));
+        prop_assert_eq!(position.lat, lat);
+        prop_assert_eq!(position.lon, lon);
+        prop_assert_eq!(videoing_angle_deg, 45.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Device models: the two-RPi deployment executing the Table 1 profile as
+//! virtual work.
+//!
+//! A [`TimeScale`] shrinks the paper's millisecond service times so the
+//! benchmarks run in seconds while preserving the stage-time *ratios* that
+//! determine pipeline behaviour; reports convert measured times back to
+//! paper-scale milliseconds.
+
+use crate::pipeline::PipelineBuilder;
+use crate::profile::SubtaskProfile;
+use crate::profiler::RunReport;
+use std::thread;
+use std::time::Duration;
+
+/// Scale factor between paper milliseconds and executed wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeScale(f64);
+
+impl TimeScale {
+    /// Real time: 1 paper ms = 1 wall ms.
+    pub const REAL_TIME: TimeScale = TimeScale(1.0);
+
+    /// Creates a scale; e.g. `0.05` runs 20× faster than the paper's
+    /// hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is positive and finite.
+    pub fn new(factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "invalid time scale");
+        Self(factor)
+    }
+
+    /// The scale factor.
+    pub fn factor(self) -> f64 {
+        self.0
+    }
+
+    /// Converts paper milliseconds into an executed duration.
+    pub fn scale_ms(self, paper_ms: f64) -> Duration {
+        Duration::from_secs_f64(paper_ms.max(0.0) * self.0 / 1_000.0)
+    }
+
+    /// Converts a measured duration back into paper milliseconds.
+    pub fn unscale(self, measured: Duration) -> f64 {
+        measured.as_secs_f64() * 1_000.0 / self.0
+    }
+}
+
+/// A pipeline run converted back to paper-scale units.
+#[derive(Debug, Clone)]
+pub struct DeviceRunReport {
+    /// The raw (scaled) run report.
+    pub raw: RunReport,
+    /// Throughput in paper-scale frames per second.
+    pub fps: f64,
+    /// Per-stage mean service time in paper-scale milliseconds.
+    pub stage_ms: Vec<(String, f64)>,
+    /// Mean end-to-end latency in paper-scale milliseconds.
+    pub end_to_end_ms: f64,
+}
+
+/// Runs `frames` dummy frames through the six-stage two-RPi pipeline with
+/// virtual work from `profile`, scaled by `scale`.
+pub fn run_pipelined(profile: &SubtaskProfile, frames: usize, scale: TimeScale) -> DeviceRunReport {
+    let builder = build(profile, scale);
+    let raw = builder.run(0..frames as u64);
+    to_report(raw, scale, frames)
+}
+
+/// Runs the same work sequentially (the §5.2 baseline).
+pub fn run_sequential(
+    profile: &SubtaskProfile,
+    frames: usize,
+    scale: TimeScale,
+) -> DeviceRunReport {
+    let builder = build(profile, scale);
+    let raw = builder.run_sequential(0..frames as u64);
+    to_report(raw, scale, frames)
+}
+
+fn build(profile: &SubtaskProfile, scale: TimeScale) -> PipelineBuilder<u64> {
+    let mut builder = PipelineBuilder::new();
+    for stage in profile.stages() {
+        let d = scale.scale_ms(stage.total_ms);
+        builder = builder.stage(stage.name.clone(), move |frame: u64| {
+            thread::sleep(d);
+            frame
+        });
+    }
+    builder
+}
+
+fn to_report(raw: RunReport, scale: TimeScale, frames: usize) -> DeviceRunReport {
+    let fps = if raw.wall.is_zero() || frames == 0 {
+        0.0
+    } else {
+        frames as f64 / (raw.wall.as_secs_f64() / scale.factor())
+    };
+    let stage_ms = raw
+        .stage_stats
+        .iter()
+        .map(|(name, stats)| {
+            (
+                name.clone(),
+                scale.unscale(Duration::from_secs_f64(stats.mean_ms() / 1_000.0)),
+            )
+        })
+        .collect();
+    let end_to_end_ms =
+        scale.unscale(Duration::from_secs_f64(raw.end_to_end.mean_ms() / 1_000.0));
+    DeviceRunReport {
+        raw,
+        fps,
+        stage_ms,
+        end_to_end_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timescale_roundtrip() {
+        let s = TimeScale::new(0.1);
+        let d = s.scale_ms(96.0);
+        assert!((d.as_secs_f64() - 0.0096).abs() < 1e-9);
+        assert!((s.unscale(d) - 96.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time scale")]
+    fn zero_scale_panics() {
+        TimeScale::new(0.0);
+    }
+
+    #[test]
+    fn pipelined_run_approaches_analytic_fps() {
+        let profile = SubtaskProfile::paper();
+        // 1/50 speed: bottleneck stage 96 ms -> 1.92 ms.
+        let report = run_pipelined(&profile, 60, TimeScale::new(0.02));
+        let analytic = profile.pipelined_fps();
+        assert!(
+            report.fps > analytic * 0.6 && report.fps < analytic * 1.15,
+            "measured {} vs analytic {analytic}",
+            report.fps
+        );
+    }
+
+    #[test]
+    fn sequential_run_is_slower_than_pipelined() {
+        let profile = SubtaskProfile::paper();
+        let scale = TimeScale::new(0.02);
+        let piped = run_pipelined(&profile, 40, scale);
+        let seq = run_sequential(&profile, 40, scale);
+        assert!(
+            piped.fps > seq.fps * 2.0,
+            "pipelined {} vs sequential {}",
+            piped.fps,
+            seq.fps
+        );
+    }
+
+    #[test]
+    fn stage_means_reflect_profile() {
+        let profile = SubtaskProfile::paper();
+        let report = run_pipelined(&profile, 30, TimeScale::new(0.02));
+        let expected: Vec<f64> = profile.stages().iter().map(|s| s.total_ms).collect();
+        for ((name, measured), expect) in report.stage_ms.iter().zip(expected) {
+            assert!(
+                *measured >= expect * 0.8,
+                "{name}: measured {measured} vs profile {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Sub-task timing profiles: the paper's Table 1.
+//!
+//! "Table 1 presents the measured latency for each of the sub-tasks for the
+//! continuous processing on each frame with Coral-Pie" (§5.2). The profile
+//! drives both the analytic pipeline model and the virtual work executed by
+//! the real threaded pipeline.
+
+use serde::{Deserialize, Serialize};
+
+/// Every sub-task of the continuous per-frame processing (Table 1 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Subtask {
+    /// Fetch the frame from the camera (RPi 1).
+    Fetch,
+    /// Decode the raw frame (RPi 1).
+    Load,
+    /// Resize for the model input (RPi 1).
+    Resize,
+    /// EdgeTPU inference (RPi 1).
+    Inference,
+    /// Post-inference filtering (RPi 1).
+    PostInference,
+    /// Ship boxes + frame to RPi 2.
+    Rpi1ToRpi2,
+    /// Decode the raw frame again (RPi 2).
+    LoadRpi2,
+    /// SORT tracking (RPi 2).
+    Track,
+    /// Feature extraction (RPi 2).
+    FeatureExtraction,
+    /// Inter-camera communication (RPi 2).
+    Communication,
+    /// Vehicle re-identification (RPi 2).
+    VehicleReid,
+    /// Trajectory storage round trip to the edge (off the critical path).
+    TrajectoryStorage,
+    /// Frame shipping to the edge store (non-blocking).
+    FrameStorage,
+}
+
+impl Subtask {
+    /// All sub-tasks in Table 1 order.
+    pub const ALL: [Subtask; 13] = [
+        Subtask::Fetch,
+        Subtask::Load,
+        Subtask::Resize,
+        Subtask::Inference,
+        Subtask::PostInference,
+        Subtask::Rpi1ToRpi2,
+        Subtask::LoadRpi2,
+        Subtask::Track,
+        Subtask::FeatureExtraction,
+        Subtask::Communication,
+        Subtask::VehicleReid,
+        Subtask::TrajectoryStorage,
+        Subtask::FrameStorage,
+    ];
+
+    /// The row label used in Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Subtask::Fetch => "Fetch",
+            Subtask::Load => "Load",
+            Subtask::Resize => "Resize",
+            Subtask::Inference => "Inference",
+            Subtask::PostInference => "Post-Inference",
+            Subtask::Rpi1ToRpi2 => "RPi1_To_RPi2",
+            Subtask::LoadRpi2 => "Load (RPi2)",
+            Subtask::Track => "Track",
+            Subtask::FeatureExtraction => "Feature Extraction",
+            Subtask::Communication => "Communication",
+            Subtask::VehicleReid => "Vehicle-Reid",
+            Subtask::TrajectoryStorage => "Trajectory Storage",
+            Subtask::FrameStorage => "Frame Storage",
+        }
+    }
+}
+
+/// Mean service times (milliseconds) for every sub-task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubtaskProfile {
+    times_ms: [f64; 13],
+}
+
+impl SubtaskProfile {
+    /// The paper's measured Table 1 profile. Trajectory storage is the
+    /// "28+30 ms" round trip; it is off the critical path.
+    pub fn paper() -> Self {
+        let mut times_ms = [0.0; 13];
+        let values = [
+            (Subtask::Fetch, 67.0),
+            (Subtask::Load, 94.0),
+            (Subtask::Resize, 2.0),
+            (Subtask::Inference, 93.0),
+            (Subtask::PostInference, 1.0),
+            (Subtask::Rpi1ToRpi2, 1.0),
+            (Subtask::LoadRpi2, 94.0),
+            (Subtask::Track, 10.0),
+            (Subtask::FeatureExtraction, 4.0),
+            (Subtask::Communication, 2.0),
+            (Subtask::VehicleReid, 12.0),
+            (Subtask::TrajectoryStorage, 58.0), // 28 + 30
+            (Subtask::FrameStorage, 1.0),
+        ];
+        for (task, ms) in values {
+            times_ms[task as usize] = ms;
+        }
+        Self { times_ms }
+    }
+
+    /// The service time of one sub-task.
+    pub fn time_ms(&self, task: Subtask) -> f64 {
+        self.times_ms[task as usize]
+    }
+
+    /// Overrides one sub-task's service time (for ablations such as the
+    /// RPi 4 / USB 3.0 upgrade the paper projects).
+    pub fn with_time_ms(mut self, task: Subtask, ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "invalid service time");
+        self.times_ms[task as usize] = ms;
+        self
+    }
+
+    /// The pipeline stages as deployed on the two RPis (Figs. 5 and 6):
+    /// three stages per device, each an independent thread.
+    pub fn stages(&self) -> Vec<StageSpec> {
+        vec![
+            StageSpec::new("RPi1/Fetch", vec![Subtask::Fetch], self),
+            StageSpec::new("RPi1/Load+Resize", vec![Subtask::Load, Subtask::Resize], self),
+            StageSpec::new(
+                "RPi1/Inference+Post",
+                vec![
+                    Subtask::Inference,
+                    Subtask::PostInference,
+                    Subtask::Rpi1ToRpi2,
+                ],
+                self,
+            ),
+            StageSpec::new("RPi2/Load", vec![Subtask::LoadRpi2], self),
+            StageSpec::new(
+                "RPi2/Track+Extract",
+                vec![Subtask::Track, Subtask::FeatureExtraction],
+                self,
+            ),
+            StageSpec::new(
+                "RPi2/Comm+Reid+Store",
+                vec![
+                    Subtask::Communication,
+                    Subtask::VehicleReid,
+                    Subtask::FrameStorage,
+                ],
+                self,
+            ),
+        ]
+    }
+
+    /// Sub-tasks on the critical per-frame path (everything except the
+    /// asynchronous trajectory-storage round trip, §4.2.1).
+    pub fn critical_path(&self) -> Vec<Subtask> {
+        Subtask::ALL
+            .into_iter()
+            .filter(|t| *t != Subtask::TrajectoryStorage)
+            .collect()
+    }
+
+    /// Total per-frame time under naive sequential execution (critical-path
+    /// sub-tasks run back to back).
+    pub fn sequential_ms(&self) -> f64 {
+        self.critical_path().iter().map(|&t| self.time_ms(t)).sum()
+    }
+
+    /// The slowest pipeline stage — the pipeline's bottleneck.
+    pub fn bottleneck(&self) -> StageSpec {
+        self.stages()
+            .into_iter()
+            .max_by(|a, b| a.total_ms.total_cmp(&b.total_ms))
+            .expect("non-empty stage list")
+    }
+
+    /// Analytic pipelined throughput: one frame per bottleneck period.
+    pub fn pipelined_fps(&self) -> f64 {
+        1_000.0 / self.bottleneck().total_ms
+    }
+
+    /// Analytic sequential throughput.
+    pub fn sequential_fps(&self) -> f64 {
+        1_000.0 / self.sequential_ms()
+    }
+
+    /// End-to-end pipeline latency for one frame (sum of stage times).
+    pub fn pipeline_latency_ms(&self) -> f64 {
+        self.stages().iter().map(|s| s.total_ms).sum()
+    }
+}
+
+impl Default for SubtaskProfile {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One pipeline stage: a named group of sub-tasks on one device thread.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSpec {
+    /// Stage name, `device/stage`.
+    pub name: String,
+    /// The sub-tasks executed by this stage.
+    pub subtasks: Vec<Subtask>,
+    /// Total mean service time of the stage, ms.
+    pub total_ms: f64,
+}
+
+impl StageSpec {
+    fn new(name: &str, subtasks: Vec<Subtask>, profile: &SubtaskProfile) -> Self {
+        let total_ms = subtasks.iter().map(|&t| profile.time_ms(t)).sum();
+        Self {
+            name: name.to_string(),
+            subtasks,
+            total_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_matches_table1() {
+        let p = SubtaskProfile::paper();
+        assert_eq!(p.time_ms(Subtask::Fetch), 67.0);
+        assert_eq!(p.time_ms(Subtask::Load), 94.0);
+        assert_eq!(p.time_ms(Subtask::Inference), 93.0);
+        assert_eq!(p.time_ms(Subtask::Track), 10.0);
+        assert_eq!(p.time_ms(Subtask::VehicleReid), 12.0);
+        assert_eq!(p.time_ms(Subtask::TrajectoryStorage), 58.0);
+    }
+
+    #[test]
+    fn bottleneck_is_load_stage() {
+        let p = SubtaskProfile::paper();
+        let b = p.bottleneck();
+        // "the overall throughput is limited by the slowest stage in the
+        // first RPi, namely, Load" (§5.2).
+        assert_eq!(b.name, "RPi1/Load+Resize");
+        assert_eq!(b.total_ms, 96.0);
+    }
+
+    #[test]
+    fn pipelined_fps_matches_paper() {
+        // The paper reports 10.4 FPS with live streams; the analytic bound
+        // from Table 1 is 1000/96 = 10.4.
+        let fps = SubtaskProfile::paper().pipelined_fps();
+        assert!((fps - 10.4).abs() < 0.1, "fps = {fps}");
+    }
+
+    #[test]
+    fn speedup_over_sequential_is_about_4_to_5x() {
+        let p = SubtaskProfile::paper();
+        let speedup = p.pipelined_fps() / p.sequential_fps();
+        assert!(
+            (3.5..=5.5).contains(&speedup),
+            "speedup = {speedup} (paper claims ~5x)"
+        );
+    }
+
+    #[test]
+    fn six_stages_three_per_device() {
+        let stages = SubtaskProfile::paper().stages();
+        assert_eq!(stages.len(), 6);
+        assert_eq!(stages.iter().filter(|s| s.name.starts_with("RPi1")).count(), 3);
+        assert_eq!(stages.iter().filter(|s| s.name.starts_with("RPi2")).count(), 3);
+        // Every critical-path subtask appears in exactly one stage.
+        let mut seen = std::collections::HashSet::new();
+        for s in &stages {
+            for t in &s.subtasks {
+                assert!(seen.insert(*t), "{t:?} appears twice");
+            }
+        }
+        assert!(!seen.contains(&Subtask::TrajectoryStorage));
+    }
+
+    #[test]
+    fn with_time_ms_override() {
+        // RPi 4 projection: faster USB halves the inference time.
+        let p = SubtaskProfile::paper().with_time_ms(Subtask::Inference, 45.0);
+        assert_eq!(p.time_ms(Subtask::Inference), 45.0);
+        // Bottleneck is unchanged (Load still dominates) but sequential
+        // improves.
+        assert!(p.sequential_ms() < SubtaskProfile::paper().sequential_ms());
+    }
+
+    #[test]
+    fn critical_path_excludes_trajectory_storage() {
+        let p = SubtaskProfile::paper();
+        assert!(!p.critical_path().contains(&Subtask::TrajectoryStorage));
+        assert_eq!(p.critical_path().len(), 12);
+    }
+
+    #[test]
+    fn latency_bound_of_100ms_per_subtask_holds() {
+        // §4: "This gives a latency bound of 100 ms for each sub-task".
+        let p = SubtaskProfile::paper();
+        for t in Subtask::ALL {
+            if t == Subtask::TrajectoryStorage {
+                continue; // off the critical path
+            }
+            assert!(
+                p.time_ms(t) <= 100.0,
+                "{} = {} ms breaks the bound",
+                t.label(),
+                p.time_ms(t)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid service time")]
+    fn negative_override_panics() {
+        SubtaskProfile::paper().with_time_ms(Subtask::Load, -1.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Latency and throughput statistics for pipeline runs.
+
+use std::time::Duration;
+
+/// Collects duration samples and summarises them.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples_us: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.samples_us.push(d.as_micros() as u64);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Mean in milliseconds, or 0 with no samples.
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.samples_us.iter().sum();
+        sum as f64 / self.samples_us.len() as f64 / 1_000.0
+    }
+
+    /// The `q`-quantile (0..=1) in milliseconds, or 0 with no samples.
+    pub fn quantile_ms(&mut self, q: f64) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples_us.sort_unstable();
+            self.sorted = true;
+        }
+        let idx = ((self.samples_us.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.samples_us[idx] as f64 / 1_000.0
+    }
+
+    /// Median in milliseconds.
+    pub fn p50_ms(&mut self) -> f64 {
+        self.quantile_ms(0.5)
+    }
+
+    /// 99th percentile in milliseconds.
+    pub fn p99_ms(&mut self) -> f64 {
+        self.quantile_ms(0.99)
+    }
+
+    /// Minimum in milliseconds.
+    pub fn min_ms(&self) -> f64 {
+        self.samples_us.iter().min().copied().unwrap_or(0) as f64 / 1_000.0
+    }
+
+    /// Maximum in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.samples_us.iter().max().copied().unwrap_or(0) as f64 / 1_000.0
+    }
+}
+
+/// A completed pipeline run report.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Items processed.
+    pub items: usize,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Per-stage service-time statistics, in pipeline order.
+    pub stage_stats: Vec<(String, LatencyStats)>,
+    /// End-to-end per-item latency statistics.
+    pub end_to_end: LatencyStats,
+}
+
+impl RunReport {
+    /// Measured throughput in items per second.
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.items as f64 / self.wall.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean_ms(), 0.0);
+        assert_eq!(s.p50_ms(), 0.0);
+        assert_eq!(s.min_ms(), 0.0);
+        assert_eq!(s.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn stats_summaries() {
+        let mut s = LatencyStats::new();
+        for ms in [10u64, 20, 30, 40, 50] {
+            s.record(Duration::from_millis(ms));
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean_ms() - 30.0).abs() < 1e-9);
+        assert!((s.p50_ms() - 30.0).abs() < 1e-9);
+        assert!((s.min_ms() - 10.0).abs() < 1e-9);
+        assert!((s.max_ms() - 50.0).abs() < 1e-9);
+        assert!((s.quantile_ms(1.0) - 50.0).abs() < 1e-9);
+        assert!((s.quantile_ms(0.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_after_more_records() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_millis(10));
+        let _ = s.p50_ms(); // triggers sort
+        s.record(Duration::from_millis(1)); // must re-sort
+        let p50 = s.p50_ms();
+        assert!(p50 == 1.0 || p50 == 10.0, "p50 = {p50}");
+        assert!((s.quantile_ms(0.0) - 1.0).abs() < 1e-9, "re-sort failed");
+        assert!((s.min_ms() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_throughput() {
+        let report = RunReport {
+            items: 100,
+            wall: Duration::from_secs(4),
+            stage_stats: Vec::new(),
+            end_to_end: LatencyStats::new(),
+        };
+        assert!((report.throughput_per_s() - 25.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based invariants for the staged pipeline.
+
+use coral_pipeline::{PipelineBuilder, Subtask, SubtaskProfile};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pipeline_preserves_item_order_and_count(
+        n_items in 1usize..60, n_stages in 1usize..5,
+    ) {
+        // Items carry their index; a sink-side collector verifies FIFO
+        // delivery through every stage.
+        let seen: Arc<AtomicU64> = Arc::new(AtomicU64::new(0));
+        let mut builder = PipelineBuilder::new();
+        for s in 0..n_stages {
+            let seen = seen.clone();
+            let is_last = s == n_stages - 1;
+            builder = builder.stage(format!("s{s}"), move |x: u64| {
+                if is_last {
+                    // Items must arrive in send order at the last stage.
+                    let prev = seen.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(prev, x, "out-of-order delivery");
+                }
+                x
+            });
+        }
+        let report = builder.run(0..n_items as u64);
+        prop_assert_eq!(report.items, n_items);
+        prop_assert_eq!(seen.load(Ordering::SeqCst), n_items as u64);
+        for (_, stats) in &report.stage_stats {
+            prop_assert_eq!(stats.count(), n_items);
+        }
+        prop_assert_eq!(report.end_to_end.count(), n_items);
+    }
+
+    #[test]
+    fn sequential_equals_pipelined_results(
+        values in proptest::collection::vec(0u64..1000, 1..40),
+    ) {
+        // The same stage functions produce the same transformed values in
+        // both execution modes (here: sum check via a shared accumulator).
+        let acc_a = Arc::new(AtomicU64::new(0));
+        let acc_b = Arc::new(AtomicU64::new(0));
+        let build = |acc: Arc<AtomicU64>| {
+            PipelineBuilder::new()
+                .stage("double", |x: u64| x * 2)
+                .stage("sum", move |x: u64| {
+                    acc.fetch_add(x, Ordering::SeqCst);
+                    x
+                })
+        };
+        build(acc_a.clone()).run(values.clone());
+        build(acc_b.clone()).run_sequential(values.clone());
+        prop_assert_eq!(acc_a.load(Ordering::SeqCst), acc_b.load(Ordering::SeqCst));
+        let expected: u64 = values.iter().map(|v| v * 2).sum();
+        prop_assert_eq!(acc_a.load(Ordering::SeqCst), expected);
+    }
+
+    #[test]
+    fn analytic_model_is_internally_consistent(
+        scale in 0.2f64..3.0, inference_ms in 1.0f64..200.0,
+    ) {
+        // Scaling every subtask scales throughput inversely; the bottleneck
+        // stage is always the max stage; latency >= bottleneck.
+        let mut profile = SubtaskProfile::paper();
+        for t in Subtask::ALL {
+            profile = profile.with_time_ms(t, profile.time_ms(t) * scale);
+        }
+        profile = profile.with_time_ms(Subtask::Inference, inference_ms);
+        let stages = profile.stages();
+        let max_stage = stages.iter().map(|s| s.total_ms).fold(0.0f64, f64::max);
+        prop_assert!((profile.bottleneck().total_ms - max_stage).abs() < 1e-9);
+        prop_assert!((profile.pipelined_fps() - 1_000.0 / max_stage).abs() < 1e-9);
+        prop_assert!(profile.pipeline_latency_ms() >= max_stage);
+        // Pipelining never loses to sequential execution.
+        prop_assert!(profile.pipelined_fps() >= profile.sequential_fps() - 1e-9);
+    }
+}

@@ -1,0 +1,320 @@
+//! A deterministic discrete-event simulation engine.
+//!
+//! The engine owns a user state `S` and a priority queue of timestamped
+//! actions. Actions receive `&mut S` and a [`Context`] through which they
+//! schedule further actions. Ties are broken by insertion order, making
+//! every run fully deterministic — a requirement for reproducing the
+//! paper's simulation studies (§5.4, §5.5) bit-for-bit.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled action.
+pub type Action<S> = Box<dyn FnOnce(&mut S, &mut Context<S>)>;
+
+/// Handle through which running actions schedule follow-up actions and read
+/// the clock.
+pub struct Context<S> {
+    now: SimTime,
+    pending: Vec<(SimTime, Action<S>)>,
+}
+
+impl<S> std::fmt::Debug for Context<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl<S> Context<S> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `action` at absolute time `at` (clamped to now for past
+    /// times, preserving causality).
+    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut S, &mut Context<S>) + 'static) {
+        let at = at.max(self.now);
+        self.pending.push((at, Box::new(action)));
+    }
+
+    /// Schedules `action` after `delay`.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut S, &mut Context<S>) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.pending.push((at, Box::new(action)));
+    }
+}
+
+struct Entry<S> {
+    at: SimTime,
+    seq: u64,
+    action: Action<S>,
+}
+
+impl<S> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Entry<S> {}
+impl<S> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Entry<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event engine.
+///
+/// # Examples
+///
+/// ```
+/// use coral_sim::{Engine, SimDuration, SimTime};
+///
+/// let mut engine = Engine::new(Vec::<u64>::new());
+/// engine.schedule_at(SimTime::from_millis(10), |log: &mut Vec<u64>, ctx| {
+///     log.push(ctx.now().as_millis());
+///     ctx.schedule_in(SimDuration::from_millis(5), |log, ctx| {
+///         log.push(ctx.now().as_millis());
+///     });
+/// });
+/// engine.run();
+/// assert_eq!(engine.state(), &vec![10, 15]);
+/// ```
+pub struct Engine<S> {
+    state: S,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Entry<S>>>,
+    executed: u64,
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Engine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("state", &self.state)
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+impl<S> Engine<S> {
+    /// Creates an engine owning `state`, with the clock at zero.
+    pub fn new(state: S) -> Self {
+        Self {
+            state,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the state (between runs).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the engine, returning the state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Number of actions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of actions still queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an action at an absolute time (clamped to the current
+    /// clock).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut S, &mut Context<S>) + 'static,
+    ) {
+        let at = at.max(self.now);
+        self.push(at, Box::new(action));
+    }
+
+    /// Schedules an action after a delay from the current clock.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        action: impl FnOnce(&mut S, &mut Context<S>) + 'static,
+    ) {
+        self.push(self.now + delay, Box::new(action));
+    }
+
+    fn push(&mut self, at: SimTime, action: Action<S>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Entry { at, seq, action }));
+    }
+
+    /// Runs a single queued action, if any. Returns whether one ran.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(entry)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = entry.at;
+        let mut ctx = Context {
+            now: self.now,
+            pending: Vec::new(),
+        };
+        (entry.action)(&mut self.state, &mut ctx);
+        for (at, action) in ctx.pending {
+            self.push(at, action);
+        }
+        self.executed += 1;
+        true
+    }
+
+    /// Runs until the queue is empty. Returns the number of actions run.
+    pub fn run(&mut self) -> u64 {
+        let start = self.executed;
+        while self.step() {}
+        self.executed - start
+    }
+
+    /// Runs all actions scheduled strictly before or at `until`, advancing
+    /// the clock to `until` even if the queue drains earlier. Returns the
+    /// number of actions run.
+    pub fn run_until(&mut self, until: SimTime) -> u64 {
+        let start = self.executed;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            self.step();
+        }
+        if self.now < until {
+            self.now = until;
+        }
+        self.executed - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = Engine::new(Vec::<u32>::new());
+        e.schedule_at(SimTime::from_millis(30), |v: &mut Vec<u32>, _| v.push(3));
+        e.schedule_at(SimTime::from_millis(10), |v: &mut Vec<u32>, _| v.push(1));
+        e.schedule_at(SimTime::from_millis(20), |v: &mut Vec<u32>, _| v.push(2));
+        e.run();
+        assert_eq!(e.state(), &vec![1, 2, 3]);
+        assert_eq!(e.now(), SimTime::from_millis(30));
+        assert_eq!(e.executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e = Engine::new(Vec::<u32>::new());
+        for i in 0..10u32 {
+            e.schedule_at(SimTime::from_millis(5), move |v: &mut Vec<u32>, _| {
+                v.push(i)
+            });
+        }
+        e.run();
+        assert_eq!(e.state(), &(0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn actions_can_schedule_actions() {
+        // A self-perpetuating tick that stops after 5 firings.
+        fn tick(count: &mut u32, ctx: &mut Context<u32>) {
+            *count += 1;
+            if *count < 5 {
+                ctx.schedule_in(SimDuration::from_millis(10), tick);
+            }
+        }
+        let mut e = Engine::new(0u32);
+        e.schedule_at(SimTime::ZERO, tick);
+        e.run();
+        assert_eq!(*e.state(), 5);
+        assert_eq!(e.now(), SimTime::from_millis(40));
+    }
+
+    #[test]
+    fn past_scheduling_is_clamped_to_now() {
+        let mut e = Engine::new(Vec::<u64>::new());
+        e.schedule_at(SimTime::from_millis(100), |_, ctx| {
+            // Attempt to schedule in the past: runs at now instead.
+            ctx.schedule_at(SimTime::from_millis(1), |v: &mut Vec<u64>, ctx| {
+                v.push(ctx.now().as_millis());
+            });
+        });
+        e.run();
+        assert_eq!(e.state(), &vec![100]);
+    }
+
+    #[test]
+    fn run_until_stops_and_advances_clock() {
+        let mut e = Engine::new(Vec::<u64>::new());
+        for ms in [10u64, 20, 30, 40] {
+            e.schedule_at(SimTime::from_millis(ms), move |v: &mut Vec<u64>, _| {
+                v.push(ms)
+            });
+        }
+        let ran = e.run_until(SimTime::from_millis(25));
+        assert_eq!(ran, 2);
+        assert_eq!(e.state(), &vec![10, 20]);
+        assert_eq!(e.now(), SimTime::from_millis(25));
+        assert_eq!(e.queued(), 2);
+        e.run();
+        assert_eq!(e.state(), &vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_past_empty_queue() {
+        let mut e = Engine::new(());
+        e.run_until(SimTime::from_secs(5));
+        assert_eq!(e.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn step_returns_false_when_empty() {
+        let mut e = Engine::new(());
+        assert!(!e.step());
+    }
+
+    #[test]
+    fn into_state() {
+        let mut e = Engine::new(7u32);
+        e.schedule_at(SimTime::ZERO, |s: &mut u32, _| *s += 1);
+        e.run();
+        assert_eq!(e.into_state(), 8);
+    }
+}

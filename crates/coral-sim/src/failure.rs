@@ -1,0 +1,194 @@
+//! Camera failure injection.
+//!
+//! The paper's fault-tolerance study "simulate[s] 37 cameras deployed
+//! around the campus and kill[s] 10 randomly chosen cameras successively to
+//! measure the time that it takes for all affected cameras to get the
+//! correct topology update" (§5.4, Fig. 11). This module produces those
+//! kill schedules.
+
+use crate::time::{SimDuration, SimTime};
+use coral_topology::CameraId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// What happens to a camera at a scheduled instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// The camera stops sending heartbeats (crash / power / network loss).
+    Kill,
+    /// The camera resumes heartbeats (repair / redeploy).
+    Restore,
+}
+
+/// One scheduled failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureEvent {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Affected camera.
+    pub camera: CameraId,
+    /// Kill or restore.
+    pub kind: FailureKind,
+}
+
+/// An ordered schedule of camera failures.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureSchedule {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event, keeping the schedule time-ordered.
+    pub fn push(&mut self, event: FailureEvent) {
+        let pos = self.events.partition_point(|e| e.at <= event.at);
+        self.events.insert(pos, event);
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Kills `n` distinct cameras chosen uniformly from `cameras`,
+    /// successively: the first at `start`, then one every `interval`
+    /// (the paper's Fig. 11 methodology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the number of cameras.
+    pub fn kill_successively(
+        cameras: &[CameraId],
+        n: usize,
+        start: SimTime,
+        interval: SimDuration,
+        seed: u64,
+    ) -> Self {
+        assert!(n <= cameras.len(), "cannot kill more cameras than exist");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pool: Vec<CameraId> = cameras.to_vec();
+        pool.shuffle(&mut rng);
+        let mut schedule = Self::new();
+        for (i, cam) in pool.into_iter().take(n).enumerate() {
+            schedule.push(FailureEvent {
+                at: start + interval * (i as u64),
+                camera: cam,
+                kind: FailureKind::Kill,
+            });
+        }
+        schedule
+    }
+
+    /// Events firing in the window `(after, up_to]`.
+    pub fn due(&self, after: SimTime, up_to: SimTime) -> impl Iterator<Item = &FailureEvent> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.at > after && e.at <= up_to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_order() {
+        let mut s = FailureSchedule::new();
+        s.push(FailureEvent {
+            at: SimTime::from_secs(20),
+            camera: CameraId(2),
+            kind: FailureKind::Kill,
+        });
+        s.push(FailureEvent {
+            at: SimTime::from_secs(10),
+            camera: CameraId(1),
+            kind: FailureKind::Kill,
+        });
+        s.push(FailureEvent {
+            at: SimTime::from_secs(15),
+            camera: CameraId(3),
+            kind: FailureKind::Restore,
+        });
+        let times: Vec<u64> = s.events().iter().map(|e| e.at.as_millis()).collect();
+        assert_eq!(times, vec![10_000, 15_000, 20_000]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn kill_successively_distinct_and_spaced() {
+        let cams: Vec<CameraId> = (0..37).map(CameraId).collect();
+        let s = FailureSchedule::kill_successively(
+            &cams,
+            10,
+            SimTime::from_secs(5),
+            SimDuration::from_secs(20),
+            42,
+        );
+        assert_eq!(s.len(), 10);
+        let ids: std::collections::HashSet<_> = s.events().iter().map(|e| e.camera).collect();
+        assert_eq!(ids.len(), 10, "killed cameras must be distinct");
+        for (i, e) in s.events().iter().enumerate() {
+            assert_eq!(e.at, SimTime::from_secs(5 + 20 * i as u64));
+            assert_eq!(e.kind, FailureKind::Kill);
+        }
+    }
+
+    #[test]
+    fn kill_successively_deterministic_per_seed() {
+        let cams: Vec<CameraId> = (0..37).map(CameraId).collect();
+        let a = FailureSchedule::kill_successively(
+            &cams, 10, SimTime::ZERO, SimDuration::from_secs(10), 7,
+        );
+        let b = FailureSchedule::kill_successively(
+            &cams, 10, SimTime::ZERO, SimDuration::from_secs(10), 7,
+        );
+        assert_eq!(a, b);
+        let c = FailureSchedule::kill_successively(
+            &cams, 10, SimTime::ZERO, SimDuration::from_secs(10), 8,
+        );
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn due_window_filters() {
+        let cams: Vec<CameraId> = (0..5).map(CameraId).collect();
+        let s = FailureSchedule::kill_successively(
+            &cams, 5, SimTime::from_secs(10), SimDuration::from_secs(10), 1,
+        );
+        // Events at 10, 20, 30, 40, 50 s.
+        let hits: Vec<_> = s
+            .due(SimTime::from_secs(15), SimTime::from_secs(40))
+            .collect();
+        assert_eq!(hits.len(), 3);
+        // Boundary semantics: (after, up_to].
+        let hits: Vec<_> = s
+            .due(SimTime::from_secs(10), SimTime::from_secs(20))
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].at, SimTime::from_secs(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot kill more")]
+    fn kill_more_than_exist_panics() {
+        let cams: Vec<CameraId> = (0..3).map(CameraId).collect();
+        FailureSchedule::kill_successively(&cams, 5, SimTime::ZERO, SimDuration::from_secs(1), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Traffic lights.
+//!
+//! Lights gate vehicles at intersections, producing the platooned
+//! ("stepped") arrival pattern visible in the paper's Fig. 10(a): "The
+//! stepped structure is caused due to traffic lights."
+
+use crate::time::{SimDuration, SimTime};
+use coral_geo::{Heading, IntersectionId};
+use serde::{Deserialize, Serialize};
+
+/// Which axis currently has the green.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LightPhase {
+    /// North–south traffic may proceed.
+    NorthSouth,
+    /// East–west traffic may proceed.
+    EastWest,
+}
+
+/// A two-phase traffic light at an intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficLight {
+    /// The controlled intersection.
+    pub intersection: IntersectionId,
+    /// Full cycle period.
+    pub period: SimDuration,
+    /// Fraction of the period given to the north–south phase, in `(0, 1)`.
+    pub ns_green_fraction: f64,
+    /// Phase offset of this light's cycle.
+    pub offset: SimDuration,
+}
+
+impl TrafficLight {
+    /// Creates a light with a 50/50 split.
+    pub fn new(intersection: IntersectionId, period: SimDuration, offset: SimDuration) -> Self {
+        Self {
+            intersection,
+            period,
+            ns_green_fraction: 0.5,
+            offset,
+        }
+    }
+
+    /// The phase at time `at`.
+    pub fn phase(&self, at: SimTime) -> LightPhase {
+        let period = self.period.as_micros().max(1);
+        let t = (at.as_micros() + self.offset.as_micros()) % period;
+        let ns_end = (period as f64 * self.ns_green_fraction.clamp(0.01, 0.99)) as u64;
+        if t < ns_end {
+            LightPhase::NorthSouth
+        } else {
+            LightPhase::EastWest
+        }
+    }
+
+    /// Whether traffic moving along `heading` has green at time `at`.
+    ///
+    /// Diagonal headings are grouped deterministically: NE/SW with the
+    /// north–south phase, SE/NW with the east–west phase.
+    pub fn green_for(&self, heading: Heading, at: SimTime) -> bool {
+        let axis = match heading {
+            Heading::North | Heading::South | Heading::NorthEast | Heading::SouthWest => {
+                LightPhase::NorthSouth
+            }
+            Heading::East | Heading::West | Heading::SouthEast | Heading::NorthWest => {
+                LightPhase::EastWest
+            }
+        };
+        self.phase(at) == axis
+    }
+
+    /// Time until `heading` next has green, starting from `at` (zero when
+    /// already green).
+    pub fn wait_until_green(&self, heading: Heading, at: SimTime) -> SimDuration {
+        if self.green_for(heading, at) {
+            return SimDuration::ZERO;
+        }
+        let period = self.period.as_micros().max(1);
+        let t = (at.as_micros() + self.offset.as_micros()) % period;
+        let ns_end = (period as f64 * self.ns_green_fraction.clamp(0.01, 0.99)) as u64;
+        // Not green now, so we are in the other phase; wait for its end.
+        let wait = if t < ns_end {
+            ns_end - t // waiting for the east–west phase to start
+        } else {
+            period - t // waiting to wrap around into the north–south phase
+        };
+        SimDuration::from_micros(wait)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn light() -> TrafficLight {
+        TrafficLight::new(
+            IntersectionId(0),
+            SimDuration::from_secs(60),
+            SimDuration::ZERO,
+        )
+    }
+
+    #[test]
+    fn phases_alternate() {
+        let l = light();
+        assert_eq!(l.phase(SimTime::from_secs(0)), LightPhase::NorthSouth);
+        assert_eq!(l.phase(SimTime::from_secs(29)), LightPhase::NorthSouth);
+        assert_eq!(l.phase(SimTime::from_secs(30)), LightPhase::EastWest);
+        assert_eq!(l.phase(SimTime::from_secs(59)), LightPhase::EastWest);
+        // Wraps around.
+        assert_eq!(l.phase(SimTime::from_secs(60)), LightPhase::NorthSouth);
+    }
+
+    #[test]
+    fn green_for_headings() {
+        let l = light();
+        let ns = SimTime::from_secs(5);
+        let ew = SimTime::from_secs(35);
+        assert!(l.green_for(Heading::North, ns));
+        assert!(l.green_for(Heading::South, ns));
+        assert!(!l.green_for(Heading::East, ns));
+        assert!(l.green_for(Heading::East, ew));
+        assert!(l.green_for(Heading::West, ew));
+        assert!(!l.green_for(Heading::North, ew));
+        // Diagonal grouping.
+        assert!(l.green_for(Heading::NorthEast, ns));
+        assert!(l.green_for(Heading::SouthWest, ns));
+        assert!(l.green_for(Heading::SouthEast, ew));
+        assert!(l.green_for(Heading::NorthWest, ew));
+    }
+
+    #[test]
+    fn offset_shifts_cycle() {
+        let mut l = light();
+        l.offset = SimDuration::from_secs(30);
+        assert_eq!(l.phase(SimTime::from_secs(0)), LightPhase::EastWest);
+        assert_eq!(l.phase(SimTime::from_secs(30)), LightPhase::NorthSouth);
+    }
+
+    #[test]
+    fn asymmetric_split() {
+        let mut l = light();
+        l.ns_green_fraction = 0.75;
+        assert_eq!(l.phase(SimTime::from_secs(44)), LightPhase::NorthSouth);
+        assert_eq!(l.phase(SimTime::from_secs(46)), LightPhase::EastWest);
+    }
+
+    #[test]
+    fn wait_until_green() {
+        let l = light();
+        assert_eq!(
+            l.wait_until_green(Heading::North, SimTime::from_secs(5)),
+            SimDuration::ZERO
+        );
+        let w = l.wait_until_green(Heading::East, SimTime::from_secs(5));
+        assert_eq!(w, SimDuration::from_secs(25));
+        let w = l.wait_until_green(Heading::North, SimTime::from_secs(35));
+        assert_eq!(w, SimDuration::from_secs(25));
+    }
+}

@@ -1,0 +1,198 @@
+//! Network latency models for the simulated transports.
+//!
+//! The paper's taxonomy (§2) places devices on a well-connected LAN
+//! (measured 2 ms to the campus gateway, §5.1) and the topology server in
+//! the cloud behind a WAN with "nondeterministic latency". These models
+//! supply per-message delivery delays for the simulated message fabric.
+
+use crate::time::SimDuration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over message-delivery latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Constant latency.
+    Fixed {
+        /// The latency of every message, in microseconds.
+        micros: u64,
+    },
+    /// Uniformly distributed latency.
+    Uniform {
+        /// Lower bound, microseconds.
+        min_micros: u64,
+        /// Upper bound (inclusive), microseconds.
+        max_micros: u64,
+    },
+    /// Truncated-normal latency (never below `floor_micros`).
+    Normal {
+        /// Mean, microseconds.
+        mean_micros: u64,
+        /// Standard deviation, microseconds.
+        std_micros: u64,
+        /// Hard lower bound, microseconds.
+        floor_micros: u64,
+    },
+}
+
+impl LatencyModel {
+    /// The paper's measured device-to-device LAN latency: ~2 ms with a
+    /// little jitter.
+    pub fn lan() -> Self {
+        LatencyModel::Normal {
+            mean_micros: 2_000,
+            std_micros: 300,
+            floor_micros: 500,
+        }
+    }
+
+    /// A WAN path to the cloud: tens of milliseconds with heavy jitter
+    /// (nondeterministic latency due to WAN routing, §2).
+    pub fn wan() -> Self {
+        LatencyModel::Normal {
+            mean_micros: 40_000,
+            std_micros: 15_000,
+            floor_micros: 10_000,
+        }
+    }
+
+    /// Samples one delivery latency.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            LatencyModel::Fixed { micros } => SimDuration::from_micros(micros),
+            LatencyModel::Uniform {
+                min_micros,
+                max_micros,
+            } => {
+                let (lo, hi) = (min_micros.min(max_micros), min_micros.max(max_micros));
+                SimDuration::from_micros(rng.gen_range(lo..=hi))
+            }
+            LatencyModel::Normal {
+                mean_micros,
+                std_micros,
+                floor_micros,
+            } => {
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let v = mean_micros as f64 + z * std_micros as f64;
+                SimDuration::from_micros((v.max(floor_micros as f64)).round() as u64)
+            }
+        }
+    }
+
+    /// The mean of the model, in microseconds (exact for `Fixed`/`Uniform`,
+    /// the untruncated mean for `Normal`).
+    pub fn mean_micros(&self) -> u64 {
+        match *self {
+            LatencyModel::Fixed { micros } => micros,
+            LatencyModel::Uniform {
+                min_micros,
+                max_micros,
+            } => (min_micros + max_micros) / 2,
+            LatencyModel::Normal { mean_micros, .. } => mean_micros,
+        }
+    }
+}
+
+/// The latency models for each link class in the deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// Camera-device to camera-device (horizontal, LAN).
+    pub device_to_device: LatencyModel,
+    /// Camera-device to the edge storage node (LAN).
+    pub device_to_edge: LatencyModel,
+    /// Camera-device to the cloud topology server (WAN).
+    pub device_to_cloud: LatencyModel,
+}
+
+impl Default for LinkProfile {
+    fn default() -> Self {
+        Self {
+            device_to_device: LatencyModel::lan(),
+            device_to_edge: LatencyModel::lan(),
+            device_to_cloud: LatencyModel::wan(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let m = LatencyModel::Fixed { micros: 2_000 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(2));
+        }
+        assert_eq!(m.mean_micros(), 2_000);
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let m = LatencyModel::Uniform {
+            min_micros: 1_000,
+            max_micros: 3_000,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000 {
+            let s = m.sample(&mut rng).as_micros();
+            assert!((1_000..=3_000).contains(&s));
+        }
+        assert_eq!(m.mean_micros(), 2_000);
+    }
+
+    #[test]
+    fn uniform_swapped_bounds_tolerated() {
+        let m = LatencyModel::Uniform {
+            min_micros: 3_000,
+            max_micros: 1_000,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = m.sample(&mut rng).as_micros();
+        assert!((1_000..=3_000).contains(&s));
+    }
+
+    #[test]
+    fn normal_respects_floor_and_mean() {
+        let m = LatencyModel::Normal {
+            mean_micros: 2_000,
+            std_micros: 500,
+            floor_micros: 800,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut sum = 0u64;
+        const N: u64 = 5_000;
+        for _ in 0..N {
+            let s = m.sample(&mut rng).as_micros();
+            assert!(s >= 800);
+            sum += s;
+        }
+        let mean = sum / N;
+        assert!((1_900..=2_100).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel::lan();
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| m.sample(&mut rng).as_micros()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| m.sample(&mut rng).as_micros()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_profile_sane() {
+        let p = LinkProfile::default();
+        assert!(p.device_to_cloud.mean_micros() > p.device_to_device.mean_micros());
+    }
+}

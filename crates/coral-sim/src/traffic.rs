@@ -1,0 +1,699 @@
+//! Ground-truth traffic model: vehicles moving along routes through the
+//! road network, gated by traffic lights.
+//!
+//! The traffic model *is* the experiment's ground truth (replacing the
+//! paper's hand-labelled frames): every vehicle's identity, class,
+//! appearance seed, route and timing are known exactly, so the evaluation
+//! harness can score the system's reconstructed trajectories precisely.
+
+use crate::lights::TrafficLight;
+use crate::time::{SimDuration, SimTime};
+use coral_geo::{GeoPoint, IntersectionId, RoadNetwork, Route};
+use coral_vision::ObjectClass;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Ground-truth vehicle identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct VehicleId(pub u64);
+
+impl std::fmt::Display for VehicleId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// The instantaneous state of a moving vehicle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VehicleState {
+    /// Vehicle identity (doubles as its appearance seed).
+    pub id: VehicleId,
+    /// Vehicle class.
+    pub class: ObjectClass,
+    /// Current geographic position.
+    pub position: GeoPoint,
+    /// Ground-truth motion bearing, degrees clockwise from north.
+    pub bearing_deg: f64,
+    /// Current speed in m/s (zero while waiting at a light).
+    pub speed_mps: f64,
+}
+
+/// Events emitted by a traffic step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficEvent {
+    /// A vehicle entered the network.
+    Spawned(VehicleId),
+    /// A vehicle finished its route and left the network.
+    Completed(VehicleId),
+}
+
+#[derive(Debug, Clone)]
+struct MovingVehicle {
+    id: VehicleId,
+    class: ObjectClass,
+    route: Route,
+    lane_idx: usize,
+    progress_m: f64,
+    cruise_mps: f64,
+    current_mps: f64,
+    journey: Vec<(SimTime, IntersectionId)>,
+    spawned_at: SimTime,
+}
+
+/// Traffic model configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficConfig {
+    /// Mean cruise speed, m/s (speed limits cap it per lane).
+    pub mean_speed_mps: f64,
+    /// Uniform jitter applied to each vehicle's cruise speed, m/s.
+    pub speed_jitter_mps: f64,
+    /// Minimum bumper-to-bumper headway kept behind the vehicle ahead on
+    /// the same lane, meters (0 disables car-following).
+    pub min_headway_m: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            mean_speed_mps: 11.0,
+            speed_jitter_mps: 2.5,
+            min_headway_m: 7.0,
+        }
+    }
+}
+
+/// The traffic model.
+///
+/// # Examples
+///
+/// ```
+/// use coral_geo::{generators, route, IntersectionId};
+/// use coral_sim::{SimDuration, SimTime, TrafficConfig, TrafficModel};
+///
+/// let net = generators::grid(3, 3, 100.0, 12.0);
+/// let mut traffic = TrafficModel::new(net.clone(), TrafficConfig::default(), 7);
+/// let r = route::shortest_path(&net, IntersectionId(0), IntersectionId(8))?;
+/// let v = traffic.spawn(SimTime::ZERO, r, None);
+/// traffic.step(SimTime::ZERO, SimDuration::from_secs(1));
+/// assert!(traffic.state_of(v).is_some());
+/// # Ok::<(), coral_geo::route::RouteError>(())
+/// ```
+#[derive(Debug)]
+pub struct TrafficModel {
+    net: RoadNetwork,
+    config: TrafficConfig,
+    rng: StdRng,
+    vehicles: BTreeMap<VehicleId, MovingVehicle>,
+    pending: Vec<MovingVehicle>,
+    lights: BTreeMap<IntersectionId, TrafficLight>,
+    next_id: u64,
+    current_time: SimTime,
+    completed: Vec<(VehicleId, Vec<(SimTime, IntersectionId)>)>,
+}
+
+impl TrafficModel {
+    /// Creates a traffic model over `net`.
+    pub fn new(net: RoadNetwork, config: TrafficConfig, seed: u64) -> Self {
+        Self {
+            net,
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            vehicles: BTreeMap::new(),
+            pending: Vec::new(),
+            lights: BTreeMap::new(),
+            next_id: 0,
+            current_time: SimTime::ZERO,
+            completed: Vec::new(),
+        }
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// Installs a traffic light at its intersection (replacing any previous
+    /// light there).
+    pub fn add_light(&mut self, light: TrafficLight) {
+        self.lights.insert(light.intersection, light);
+    }
+
+    /// Spawns a vehicle on `route` entering the network at time `at`.
+    /// Class defaults to a realistic mix (85% car / 8% truck / 7% bus) when
+    /// `None`.
+    ///
+    /// Spawns in the past or present become active immediately; spawns in
+    /// the future stay pending until [`TrafficModel::step`] reaches them.
+    pub fn spawn(&mut self, at: SimTime, route: Route, class: Option<ObjectClass>) -> VehicleId {
+        let id = VehicleId(self.next_id);
+        self.next_id += 1;
+        let class = class.unwrap_or_else(|| {
+            let roll: f64 = self.rng.gen();
+            if roll < 0.85 {
+                ObjectClass::Car
+            } else if roll < 0.93 {
+                ObjectClass::Truck
+            } else {
+                ObjectClass::Bus
+            }
+        });
+        let jitter = self
+            .rng
+            .gen_range(-self.config.speed_jitter_mps..=self.config.speed_jitter_mps);
+        let cruise = (self.config.mean_speed_mps + jitter).max(2.0);
+        let origin = route.origin(&self.net);
+        let vehicle = MovingVehicle {
+            id,
+            class,
+            route,
+            lane_idx: 0,
+            progress_m: 0.0,
+            cruise_mps: cruise,
+            current_mps: cruise,
+            journey: vec![(at, origin)],
+            spawned_at: at,
+        };
+        if at <= self.current_time {
+            self.vehicles.insert(id, vehicle);
+        } else {
+            self.pending.push(vehicle);
+        }
+        id
+    }
+
+    /// Spawns a vehicle on a random route starting at `origin`.
+    ///
+    /// Returns `None` if no route of the requested length exists.
+    pub fn spawn_random(
+        &mut self,
+        now: SimTime,
+        origin: IntersectionId,
+        min_lanes: usize,
+    ) -> Option<VehicleId> {
+        let route = coral_geo::route::random_route(&mut self.rng, &self.net, origin, min_lanes)?;
+        Some(self.spawn(now, route, None))
+    }
+
+    /// Number of vehicles currently on the road.
+    pub fn active_count(&self) -> usize {
+        self.vehicles.len()
+    }
+
+    /// The instantaneous state of vehicle `id`, if it is still on the road.
+    pub fn state_of(&self, id: VehicleId) -> Option<VehicleState> {
+        let v = self.vehicles.get(&id)?;
+        Some(self.snapshot(v))
+    }
+
+    /// Iterates over the states of all active vehicles.
+    pub fn states(&self) -> Vec<VehicleState> {
+        self.vehicles.values().map(|v| self.snapshot(v)).collect()
+    }
+
+    /// The recorded intersection-crossing journey of a vehicle (completed
+    /// or active). Each entry is `(arrival time, intersection)`.
+    pub fn journey_of(&self, id: VehicleId) -> Option<&[(SimTime, IntersectionId)]> {
+        if let Some(v) = self.vehicles.get(&id) {
+            return Some(&v.journey);
+        }
+        self.completed
+            .iter()
+            .find(|(c, _)| *c == id)
+            .map(|(_, j)| j.as_slice())
+    }
+
+    /// All completed vehicles with their journeys.
+    pub fn completed(&self) -> &[(VehicleId, Vec<(SimTime, IntersectionId)>)] {
+        &self.completed
+    }
+
+    /// Advances all vehicles by `dt` starting at `now`, returning events.
+    /// Pending future spawns whose entry time falls within the step become
+    /// active (from the start of their first lane).
+    pub fn step(&mut self, now: SimTime, dt: SimDuration) -> Vec<TrafficEvent> {
+        let mut events = Vec::new();
+        let mut done = Vec::new();
+        let end = now + dt;
+        self.current_time = end;
+        let mut still_pending = Vec::new();
+        for v in self.pending.drain(..) {
+            if v.spawned_at <= end {
+                events.push(TrafficEvent::Spawned(v.id));
+                self.vehicles.insert(v.id, v);
+            } else {
+                still_pending.push(v);
+            }
+        }
+        self.pending = still_pending;
+        // Start-of-step lane occupancy for car-following: each vehicle may
+        // not end the step closer than `min_headway_m` behind where its
+        // leader *started* (first-order following, good enough at frame
+        // granularity).
+        let headway = self.config.min_headway_m.max(0.0);
+        let mut occupancy: std::collections::HashMap<coral_geo::LaneId, Vec<f64>> =
+            std::collections::HashMap::new();
+        if headway > 0.0 {
+            for v in self.vehicles.values() {
+                occupancy
+                    .entry(v.route.lanes()[v.lane_idx])
+                    .or_default()
+                    .push(v.progress_m);
+            }
+            for list in occupancy.values_mut() {
+                list.sort_by(f64::total_cmp);
+            }
+        }
+        let leader_cap = |lane: coral_geo::LaneId, progress: f64| -> Option<f64> {
+            let list = occupancy.get(&lane)?;
+            let ahead = list
+                .iter()
+                .copied()
+                .find(|&p| p > progress + 1e-9)?;
+            Some((ahead - headway).max(progress))
+        };
+        for v in self.vehicles.values_mut() {
+            let mut remaining = dt.as_secs_f64();
+            while remaining > 1e-9 {
+                let lane = *self
+                    .net
+                    .lane(v.route.lanes()[v.lane_idx])
+                    .expect("validated route");
+                let speed = v.cruise_mps.min(lane.speed_limit_mps);
+                let to_end = lane.length_m - v.progress_m;
+                let travel = speed * remaining;
+                // Car-following: stop short of the leader's start position.
+                if headway > 0.0 {
+                    if let Some(cap) = leader_cap(lane.id, v.progress_m) {
+                        let max_travel = cap - v.progress_m;
+                        if travel >= max_travel && max_travel < to_end {
+                            v.progress_m = cap;
+                            v.current_mps = if max_travel <= 1e-9 { 0.0 } else { speed };
+                            break;
+                        }
+                    }
+                }
+                if travel < to_end {
+                    v.progress_m += travel;
+                    v.current_mps = speed;
+                    remaining = 0.0;
+                } else {
+                    // Reached the end of the lane.
+                    let consumed = to_end / speed;
+                    remaining -= consumed;
+                    let heading = self
+                        .net
+                        .lane_heading(lane.id)
+                        .expect("validated route lane");
+                    let arrive_time = end - SimDuration::from_secs_f64(remaining);
+                    // Gate on a traffic light at the lane's destination.
+                    if let Some(light) = self.lights.get(&lane.to) {
+                        if !light.green_for(heading, arrive_time) {
+                            // Hold at the stop line until the step ends; the
+                            // next step re-evaluates the light.
+                            v.progress_m = lane.length_m - 0.01;
+                            v.current_mps = 0.0;
+                            break;
+                        }
+                    }
+                    v.journey.push((arrive_time, lane.to));
+                    if v.lane_idx + 1 == v.route.len() {
+                        done.push(v.id);
+                        break;
+                    }
+                    v.lane_idx += 1;
+                    v.progress_m = 0.0;
+                    v.current_mps = speed;
+                }
+            }
+        }
+        for id in done {
+            if let Some(v) = self.vehicles.remove(&id) {
+                self.completed.push((id, v.journey));
+                events.push(TrafficEvent::Completed(id));
+            }
+        }
+        events
+    }
+
+    fn snapshot(&self, v: &MovingVehicle) -> VehicleState {
+        let lane = self
+            .net
+            .lane(v.route.lanes()[v.lane_idx])
+            .expect("validated route");
+        let t = (v.progress_m / lane.length_m).clamp(0.0, 1.0);
+        let position = self
+            .net
+            .position_on_lane(lane.id, t)
+            .expect("validated route lane");
+        let from = self.net.intersection(lane.from).expect("valid").position;
+        let to = self.net.intersection(lane.to).expect("valid").position;
+        VehicleState {
+            id: v.id,
+            class: v.class,
+            position,
+            bearing_deg: from.bearing_deg(to),
+            speed_mps: v.current_mps,
+        }
+    }
+
+    /// Time the vehicle has spent in the network so far.
+    pub fn age_of(&self, id: VehicleId, now: SimTime) -> Option<SimDuration> {
+        self.vehicles.get(&id).map(|v| now.since(v.spawned_at))
+    }
+}
+
+/// Spawns vehicles with exponential inter-arrival times at random entry
+/// intersections — the open-workload generator used by the system
+/// experiments.
+#[derive(Debug)]
+pub struct PoissonArrivals {
+    /// Mean arrival rate, vehicles per second.
+    rate_per_s: f64,
+    /// Entry intersections.
+    entries: Vec<IntersectionId>,
+    /// Route length in lanes.
+    min_lanes: usize,
+    rng: StdRng,
+    next_at: SimTime,
+}
+
+impl PoissonArrivals {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_per_s` is not positive or `entries` is empty.
+    pub fn new(rate_per_s: f64, entries: Vec<IntersectionId>, min_lanes: usize, seed: u64) -> Self {
+        assert!(rate_per_s > 0.0, "arrival rate must be positive");
+        assert!(!entries.is_empty(), "need at least one entry intersection");
+        let mut gen = Self {
+            rate_per_s,
+            entries,
+            min_lanes,
+            rng: StdRng::seed_from_u64(seed),
+            next_at: SimTime::ZERO,
+        };
+        gen.next_at = SimTime::ZERO + gen.sample_gap();
+        gen
+    }
+
+    fn sample_gap(&mut self) -> SimDuration {
+        let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        SimDuration::from_secs_f64(-u.ln() / self.rate_per_s)
+    }
+
+    /// The time of the next arrival.
+    pub fn next_at(&self) -> SimTime {
+        self.next_at
+    }
+
+    /// Spawns all arrivals due up to `now` into `traffic`; returns the
+    /// spawned ids.
+    pub fn advance(&mut self, now: SimTime, traffic: &mut TrafficModel) -> Vec<VehicleId> {
+        let mut out = Vec::new();
+        while self.next_at <= now {
+            let entry = self.entries[self.rng.gen_range(0..self.entries.len())];
+            if let Some(id) = traffic.spawn_random(self.next_at, entry, self.min_lanes) {
+                out.push(id);
+            }
+            let at = self.next_at + self.sample_gap();
+            self.next_at = at;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_geo::{generators, route};
+
+    fn straight_net() -> RoadNetwork {
+        generators::corridor(4, 100.0, 10.0)
+    }
+
+    fn straight_route(net: &RoadNetwork) -> Route {
+        route::shortest_path(net, IntersectionId(0), IntersectionId(3)).unwrap()
+    }
+
+    #[test]
+    fn vehicle_advances_at_cruise_speed() {
+        let net = straight_net();
+        let r = straight_route(&net);
+        let mut tm = TrafficModel::new(net, TrafficConfig {
+            mean_speed_mps: 10.0,
+            speed_jitter_mps: 0.0,
+            ..TrafficConfig::default()
+        }, 1);
+        let v = tm.spawn(SimTime::ZERO, r, Some(ObjectClass::Car));
+        let p0 = tm.state_of(v).unwrap().position;
+        tm.step(SimTime::ZERO, SimDuration::from_secs(5));
+        let p1 = tm.state_of(v).unwrap().position;
+        let d = p0.planar_m(p1);
+        assert!((d - 50.0).abs() < 1.0, "moved {d} m");
+    }
+
+    #[test]
+    fn vehicle_completes_route_and_records_journey() {
+        let net = straight_net();
+        let r = straight_route(&net);
+        let mut tm = TrafficModel::new(net, TrafficConfig {
+            mean_speed_mps: 10.0,
+            speed_jitter_mps: 0.0,
+            ..TrafficConfig::default()
+        }, 1);
+        let v = tm.spawn(SimTime::ZERO, r, Some(ObjectClass::Car));
+        let mut events = Vec::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..40 {
+            events.extend(tm.step(now, SimDuration::from_secs(1)));
+            now += SimDuration::from_secs(1);
+        }
+        assert!(events.contains(&TrafficEvent::Completed(v)));
+        assert_eq!(tm.active_count(), 0);
+        let journey = tm.journey_of(v).unwrap();
+        let visited: Vec<IntersectionId> = journey.iter().map(|&(_, i)| i).collect();
+        assert_eq!(
+            visited,
+            vec![
+                IntersectionId(0),
+                IntersectionId(1),
+                IntersectionId(2),
+                IntersectionId(3)
+            ]
+        );
+        // 300 m at 10 m/s: the last crossing is at ~30 s.
+        let (t_last, _) = journey.last().unwrap();
+        assert!((t_last.as_secs_f64() - 30.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn red_light_holds_vehicle() {
+        let net = straight_net();
+        let r = straight_route(&net);
+        let mut tm = TrafficModel::new(net, TrafficConfig {
+            mean_speed_mps: 10.0,
+            speed_jitter_mps: 0.0,
+            ..TrafficConfig::default()
+        }, 1);
+        // Corridor runs east–west; a light at intersection 1 that is
+        // north-south green for the first 30 s blocks the vehicle (arriving
+        // at ~10 s heading east).
+        tm.add_light(TrafficLight::new(
+            IntersectionId(1),
+            SimDuration::from_secs(60),
+            SimDuration::ZERO,
+        ));
+        let v = tm.spawn(SimTime::ZERO, r, Some(ObjectClass::Car));
+        let mut now = SimTime::ZERO;
+        for _ in 0..20 {
+            tm.step(now, SimDuration::from_secs(1));
+            now += SimDuration::from_secs(1);
+        }
+        // At t=20 the vehicle is still waiting before intersection 1.
+        let s = tm.state_of(v).unwrap();
+        assert_eq!(s.speed_mps, 0.0, "vehicle should be stopped at the light");
+        let j = tm.journey_of(v).unwrap();
+        assert_eq!(j.len(), 1, "must not have crossed intersection 1 yet");
+        // After the light turns green at t=30 it proceeds.
+        for _ in 0..20 {
+            tm.step(now, SimDuration::from_secs(1));
+            now += SimDuration::from_secs(1);
+        }
+        let j = tm.journey_of(v).unwrap();
+        assert!(j.len() >= 2, "vehicle should have crossed after green");
+        let (t_cross, _) = j[1];
+        assert!(
+            t_cross.as_secs_f64() >= 30.0,
+            "crossed at {} before green",
+            t_cross.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn platooning_behind_light() {
+        // Three vehicles spawned 2 s apart all cross shortly after the
+        // green, forming a platoon (the "stepped" arrivals of Fig. 10a).
+        let net = straight_net();
+        let mut tm = TrafficModel::new(net.clone(), TrafficConfig {
+            mean_speed_mps: 10.0,
+            speed_jitter_mps: 0.0,
+            ..TrafficConfig::default()
+        }, 1);
+        tm.add_light(TrafficLight::new(
+            IntersectionId(1),
+            SimDuration::from_secs(60),
+            SimDuration::ZERO,
+        ));
+        let mut ids = Vec::new();
+        let mut now = SimTime::ZERO;
+        for k in 0..3u64 {
+            ids.push((
+                k,
+                tm.spawn(
+                    SimTime::from_secs(2 * k),
+                    straight_route(&net),
+                    Some(ObjectClass::Car),
+                ),
+            ));
+        }
+        for _ in 0..45 {
+            tm.step(now, SimDuration::from_secs(1));
+            now += SimDuration::from_secs(1);
+        }
+        let crossings: Vec<f64> = ids
+            .iter()
+            .map(|&(_, v)| tm.journey_of(v).unwrap()[1].0.as_secs_f64())
+            .collect();
+        for c in &crossings {
+            assert!(
+                (30.0..34.0).contains(c),
+                "crossing at {c} not right after green"
+            );
+        }
+    }
+
+    #[test]
+    fn spawn_class_mix_is_deterministic_and_mostly_cars() {
+        let net = generators::grid(4, 4, 100.0, 12.0);
+        let mut tm = TrafficModel::new(net, TrafficConfig::default(), 42);
+        let mut cars = 0;
+        for _ in 0..100 {
+            let v = tm.spawn_random(SimTime::ZERO, IntersectionId(5), 3).unwrap();
+            if tm.state_of(v).unwrap().class == ObjectClass::Car {
+                cars += 1;
+            }
+        }
+        assert!((70..=95).contains(&cars), "cars = {cars}");
+    }
+
+    #[test]
+    fn poisson_arrivals_spawn_over_time() {
+        let net = generators::grid(4, 4, 100.0, 12.0);
+        let mut tm = TrafficModel::new(net, TrafficConfig::default(), 1);
+        let mut gen = PoissonArrivals::new(
+            0.5,
+            vec![IntersectionId(0), IntersectionId(15)],
+            4,
+            9,
+        );
+        let mut spawned = 0;
+        let mut now = SimTime::ZERO;
+        for _ in 0..120 {
+            now += SimDuration::from_secs(1);
+            spawned += gen.advance(now, &mut tm).len();
+        }
+        // Expectation 60; allow generous bounds.
+        assert!((30..=95).contains(&spawned), "spawned = {spawned}");
+    }
+
+    #[test]
+    fn bearing_matches_lane_direction() {
+        let net = straight_net();
+        let r = straight_route(&net);
+        let mut tm = TrafficModel::new(net, TrafficConfig::default(), 1);
+        let v = tm.spawn(SimTime::ZERO, r, None);
+        let s = tm.state_of(v).unwrap();
+        // Corridor runs due east.
+        assert!((s.bearing_deg - 90.0).abs() < 1.0, "bearing {}", s.bearing_deg);
+    }
+
+    #[test]
+    fn car_following_queues_behind_a_red_light() {
+        // The leader waits at a red light; the follower must queue at
+        // least one headway behind it instead of stacking on top (the
+        // pre-car-following behaviour).
+        let net = generators::corridor(2, 300.0, 30.0);
+        let mut tm = TrafficModel::new(
+            net.clone(),
+            TrafficConfig {
+                mean_speed_mps: 10.0,
+                speed_jitter_mps: 0.0,
+                min_headway_m: 7.0,
+            },
+            1,
+        );
+        // Corridor runs east; NS-green (EW-red) phase for the first 60 s.
+        tm.add_light(TrafficLight::new(
+            IntersectionId(1),
+            SimDuration::from_secs(120),
+            SimDuration::ZERO,
+        ));
+        let route_of = || route::shortest_path(&net, IntersectionId(0), IntersectionId(1)).unwrap();
+        let leader = tm.spawn(SimTime::ZERO, route_of(), Some(ObjectClass::Car));
+        let follower = tm.spawn(SimTime::from_secs(3), route_of(), Some(ObjectClass::Car));
+        let origin = net.intersection(IntersectionId(0)).unwrap().position;
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            tm.step(now, SimDuration::from_millis(500));
+            now += SimDuration::from_millis(500);
+        }
+        // Both still on the lane (red until 60 s), leader at the stop line.
+        let dl = origin.planar_m(tm.state_of(leader).unwrap().position);
+        let df = origin.planar_m(tm.state_of(follower).unwrap().position);
+        assert!(dl > 295.0, "leader should be at the stop line, at {dl:.1}");
+        assert!(
+            df <= dl - 6.0,
+            "follower at {df:.1} did not queue behind leader at {dl:.1}"
+        );
+        assert!(
+            df >= dl - 10.0,
+            "follower at {df:.1} queued too far behind leader at {dl:.1}"
+        );
+        assert_eq!(tm.state_of(follower).unwrap().speed_mps, 0.0);
+    }
+
+    #[test]
+    fn headway_zero_disables_following() {
+        let net = generators::corridor(2, 200.0, 30.0);
+        let mut tm = TrafficModel::new(
+            net.clone(),
+            TrafficConfig {
+                mean_speed_mps: 10.0,
+                speed_jitter_mps: 0.0,
+                min_headway_m: 0.0,
+            },
+            1,
+        );
+        let route_of = || route::shortest_path(&net, IntersectionId(0), IntersectionId(1)).unwrap();
+        let a = tm.spawn(SimTime::ZERO, route_of(), Some(ObjectClass::Car));
+        let b = tm.spawn(SimTime::ZERO, route_of(), Some(ObjectClass::Car));
+        tm.step(SimTime::ZERO, SimDuration::from_secs(5));
+        // Same speed, same spawn: they overlap exactly (no following).
+        let pa = tm.state_of(a).unwrap().position;
+        let pb = tm.state_of(b).unwrap().position;
+        assert!(pa.planar_m(pb) < 0.5);
+    }
+
+    #[test]
+    fn journey_of_unknown_vehicle_is_none() {
+        let net = straight_net();
+        let tm = TrafficModel::new(net, TrafficConfig::default(), 1);
+        assert!(tm.journey_of(VehicleId(99)).is_none());
+        assert!(tm.state_of(VehicleId(99)).is_none());
+    }
+}

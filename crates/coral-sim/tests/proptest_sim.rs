@@ -1,0 +1,137 @@
+//! Property-based invariants for the simulation substrate.
+
+use coral_sim::{
+    Engine, LatencyModel, SimDuration, SimTime, TrafficConfig, TrafficModel, VehicleId,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn engine_executes_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0u64..10_000, 1..50),
+    ) {
+        let mut engine = Engine::new(Vec::<u64>::new());
+        for &t in &times {
+            engine.schedule_at(SimTime::from_millis(t), move |log: &mut Vec<u64>, ctx| {
+                log.push(ctx.now().as_millis());
+            });
+        }
+        engine.run();
+        let log = engine.into_state();
+        prop_assert_eq!(log.len(), times.len());
+        prop_assert!(log.windows(2).all(|w| w[0] <= w[1]), "out of order: {:?}", log);
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(log, sorted);
+    }
+
+    #[test]
+    fn engine_run_until_is_exact_prefix(
+        times in proptest::collection::vec(0u64..10_000, 1..40),
+        cut in 0u64..10_000,
+    ) {
+        let mut engine = Engine::new(Vec::<u64>::new());
+        for &t in &times {
+            engine.schedule_at(SimTime::from_millis(t), move |log: &mut Vec<u64>, ctx| {
+                log.push(ctx.now().as_millis());
+            });
+        }
+        engine.run_until(SimTime::from_millis(cut));
+        let expected = times.iter().filter(|&&t| t <= cut).count();
+        prop_assert_eq!(engine.state().len(), expected);
+        prop_assert!(engine.now() >= SimTime::from_millis(cut));
+    }
+
+    #[test]
+    fn latency_samples_respect_bounds(seed in 0u64..500, mean in 100u64..50_000) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let floor = mean / 4;
+        let model = LatencyModel::Normal {
+            mean_micros: mean,
+            std_micros: mean / 3,
+            floor_micros: floor,
+        };
+        for _ in 0..100 {
+            prop_assert!(model.sample(&mut rng).as_micros() >= floor);
+        }
+        let uniform = LatencyModel::Uniform {
+            min_micros: floor,
+            max_micros: mean,
+        };
+        for _ in 0..100 {
+            let s = uniform.sample(&mut rng).as_micros();
+            prop_assert!((floor..=mean).contains(&s));
+        }
+    }
+
+    #[test]
+    fn traffic_progress_is_monotonic_and_bounded(
+        seed in 0u64..200, steps in 1usize..80,
+    ) {
+        use coral_geo::{generators, route, IntersectionId};
+        let net = generators::grid(4, 4, 100.0, 10.0);
+        let mut tm = TrafficModel::new(net.clone(), TrafficConfig::default(), seed);
+        let r = route::shortest_path(&net, IntersectionId(0), IntersectionId(15)).unwrap();
+        let origin = net.intersection(IntersectionId(0)).unwrap().position;
+        let v = tm.spawn(SimTime::ZERO, r, None);
+        let mut now = SimTime::ZERO;
+        let mut last_d = 0.0f64;
+        for _ in 0..steps {
+            tm.step(now, SimDuration::from_millis(500));
+            now += SimDuration::from_millis(500);
+            if let Some(state) = tm.state_of(v) {
+                let d = origin.planar_m(state.position);
+                // Manhattan route on a grid: distance from origin is
+                // nondecreasing along the shortest path.
+                prop_assert!(d + 1.0 >= last_d, "vehicle moved backwards");
+                prop_assert!(state.speed_mps >= 0.0);
+                last_d = d;
+            }
+        }
+        // Journey intersection times are strictly increasing.
+        if let Some(j) = tm.journey_of(v) {
+            prop_assert!(j.windows(2).all(|w| w[0].0 <= w[1].0));
+        }
+    }
+
+    #[test]
+    fn pending_spawns_activate_at_their_time(delay_s in 1u64..30) {
+        use coral_geo::{generators, route, IntersectionId};
+        let net = generators::grid(3, 3, 100.0, 10.0);
+        let mut tm = TrafficModel::new(net.clone(), TrafficConfig::default(), 1);
+        let r = route::shortest_path(&net, IntersectionId(0), IntersectionId(8)).unwrap();
+        let v = tm.spawn(SimTime::from_secs(delay_s), r, None);
+        prop_assert!(tm.state_of(v).is_none(), "future spawn must be pending");
+        let mut now = SimTime::ZERO;
+        let mut first_seen: Option<SimTime> = None;
+        for _ in 0..(delay_s + 2) {
+            tm.step(now, SimDuration::from_secs(1));
+            now += SimDuration::from_secs(1);
+            if first_seen.is_none() && tm.state_of(v).is_some() {
+                first_seen = Some(now);
+            }
+        }
+        let seen = first_seen.expect("vehicle eventually active");
+        prop_assert!(seen >= SimTime::from_secs(delay_s));
+        prop_assert!(seen <= SimTime::from_secs(delay_s) + SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn vehicle_ids_are_unique(seed in 0u64..100, n in 1usize..40) {
+        use coral_geo::{generators, IntersectionId};
+        let net = generators::grid(3, 3, 100.0, 10.0);
+        let mut tm = TrafficModel::new(net, TrafficConfig::default(), seed);
+        let mut ids: Vec<VehicleId> = Vec::new();
+        for _ in 0..n {
+            if let Some(v) = tm.spawn_random(SimTime::ZERO, IntersectionId(4), 3) {
+                ids.push(v);
+            }
+        }
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), ids.len());
+    }
+}

@@ -1,0 +1,210 @@
+//! Frame storage: raw frames plus annotations on an edge node.
+//!
+//! "After the Vehicle Identification is complete on a frame, the Storage
+//! Client sends the raw video frame ... and annotations (i.e., metadata
+//! associated with the frame such as bounding boxes and tracking
+//! information) to the frame storage server designated for this camera on
+//! an edge node" (paper §4.2.2). Frames are kept raw — encoding is too
+//! expensive on the device (§4.1.5) — so the store budget is bytes of raw
+//! pixels, bounded by a per-camera ring buffer.
+
+use coral_topology::CameraId;
+use coral_vision::{BoundingBox, Frame, FrameId, TrackId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-box annotation attached to a stored frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Annotation {
+    /// The tracked box.
+    pub bbox: BoundingBox,
+    /// The SORT track it belongs to.
+    pub track: TrackId,
+}
+
+/// One stored frame with its metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredFrame {
+    /// Frame sequence number within the camera.
+    pub frame: FrameId,
+    /// Capture timestamp, ms.
+    pub timestamp_ms: u64,
+    /// Raw pixels (shared buffer; `None` if the deployment stores
+    /// annotations only).
+    pub pixels: Option<Frame>,
+    /// Tracking annotations.
+    pub annotations: Vec<Annotation>,
+}
+
+/// Frame-storage server for a set of cameras on one edge node.
+#[derive(Debug, Default)]
+pub struct FrameStore {
+    per_camera: BTreeMap<CameraId, VecDeque<StoredFrame>>,
+    capacity_per_camera: usize,
+    bytes_stored: u64,
+    frames_ingested: u64,
+    frames_evicted: u64,
+}
+
+impl FrameStore {
+    /// Creates a store retaining up to `capacity_per_camera` frames per
+    /// camera (older frames are evicted FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(capacity_per_camera: usize) -> Self {
+        assert!(capacity_per_camera > 0, "capacity must be positive");
+        Self {
+            capacity_per_camera,
+            ..Self::default()
+        }
+    }
+
+    /// Ingests one frame from `camera`.
+    pub fn ingest(&mut self, camera: CameraId, stored: StoredFrame) {
+        let bytes = stored.pixels.as_ref().map_or(0, |f| f.byte_len() as u64);
+        self.bytes_stored += bytes;
+        self.frames_ingested += 1;
+        let q = self.per_camera.entry(camera).or_default();
+        q.push_back(stored);
+        while q.len() > self.capacity_per_camera {
+            if let Some(old) = q.pop_front() {
+                self.bytes_stored -= old.pixels.as_ref().map_or(0, |f| f.byte_len() as u64);
+                self.frames_evicted += 1;
+            }
+        }
+    }
+
+    /// Frames currently retained for `camera`, oldest first.
+    pub fn frames(&self, camera: CameraId) -> impl Iterator<Item = &StoredFrame> + '_ {
+        self.per_camera.get(&camera).into_iter().flatten()
+    }
+
+    /// Looks up a specific frame.
+    pub fn frame(&self, camera: CameraId, frame: FrameId) -> Option<&StoredFrame> {
+        self.per_camera
+            .get(&camera)?
+            .iter()
+            .find(|f| f.frame == frame)
+    }
+
+    /// Frames retained for `camera` whose timestamp falls in
+    /// `[start_ms, end_ms]` — the verification query a human investigator
+    /// runs around a trajectory ambiguity (§2.1).
+    pub fn frames_between(
+        &self,
+        camera: CameraId,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Vec<&StoredFrame> {
+        self.frames(camera)
+            .filter(|f| f.timestamp_ms >= start_ms && f.timestamp_ms <= end_ms)
+            .collect()
+    }
+
+    /// Total raw bytes currently retained.
+    pub fn bytes_stored(&self) -> u64 {
+        self.bytes_stored
+    }
+
+    /// Frames ingested over the store's lifetime.
+    pub fn frames_ingested(&self) -> u64 {
+        self.frames_ingested
+    }
+
+    /// Frames evicted by the ring buffer.
+    pub fn frames_evicted(&self) -> u64 {
+        self.frames_evicted
+    }
+
+    /// Number of frames currently retained for `camera`.
+    pub fn retained(&self, camera: CameraId) -> usize {
+        self.per_camera.get(&camera).map_or(0, VecDeque::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_vision::Rgb;
+
+    fn frame_of(id: u64, ts: u64, with_pixels: bool) -> StoredFrame {
+        StoredFrame {
+            frame: FrameId(id),
+            timestamp_ms: ts,
+            pixels: with_pixels.then(|| Frame::filled(8, 8, Rgb::default())),
+            annotations: vec![Annotation {
+                bbox: BoundingBox::from_center(4.0, 4.0, 4.0, 4.0).unwrap(),
+                track: TrackId(1),
+            }],
+        }
+    }
+
+    #[test]
+    fn ingest_and_lookup() {
+        let mut store = FrameStore::new(10);
+        store.ingest(CameraId(0), frame_of(1, 100, true));
+        store.ingest(CameraId(0), frame_of(2, 200, true));
+        store.ingest(CameraId(1), frame_of(1, 150, true));
+        assert_eq!(store.retained(CameraId(0)), 2);
+        assert_eq!(store.retained(CameraId(1)), 1);
+        let f = store.frame(CameraId(0), FrameId(2)).unwrap();
+        assert_eq!(f.timestamp_ms, 200);
+        assert!(store.frame(CameraId(0), FrameId(9)).is_none());
+        assert!(store.frame(CameraId(9), FrameId(1)).is_none());
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut store = FrameStore::new(3);
+        for i in 0..5 {
+            store.ingest(CameraId(0), frame_of(i, i * 100, true));
+        }
+        assert_eq!(store.retained(CameraId(0)), 3);
+        assert_eq!(store.frames_evicted(), 2);
+        assert!(store.frame(CameraId(0), FrameId(0)).is_none());
+        assert!(store.frame(CameraId(0), FrameId(4)).is_some());
+        // Byte accounting matches 3 retained 8x8 RGB frames.
+        assert_eq!(store.bytes_stored(), 3 * 8 * 8 * 3);
+    }
+
+    #[test]
+    fn time_window_query() {
+        let mut store = FrameStore::new(100);
+        for i in 0..10 {
+            store.ingest(CameraId(0), frame_of(i, i * 100, false));
+        }
+        let hits = store.frames_between(CameraId(0), 250, 620);
+        let ids: Vec<u64> = hits.iter().map(|f| f.frame.0).collect();
+        assert_eq!(ids, vec![3, 4, 5, 6]);
+        assert!(store.frames_between(CameraId(1), 0, 1_000).is_empty());
+    }
+
+    #[test]
+    fn annotations_preserved() {
+        let mut store = FrameStore::new(4);
+        store.ingest(CameraId(0), frame_of(1, 100, false));
+        let f = store.frame(CameraId(0), FrameId(1)).unwrap();
+        assert_eq!(f.annotations.len(), 1);
+        assert_eq!(f.annotations[0].track, TrackId(1));
+        // Annotation-only frames occupy no pixel bytes.
+        assert_eq!(store.bytes_stored(), 0);
+    }
+
+    #[test]
+    fn counters() {
+        let mut store = FrameStore::new(2);
+        for i in 0..4 {
+            store.ingest(CameraId(0), frame_of(i, i, true));
+        }
+        assert_eq!(store.frames_ingested(), 4);
+        assert_eq!(store.frames_evicted(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        FrameStore::new(0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Trajectory and frame storage for Coral-Pie.
+//!
+//! The paper offloads persistence from the per-camera devices to nearby
+//! edge nodes (§4.2): a JanusGraph trajectory store and a raw-frame store.
+//! This crate is the embedded substitute:
+//!
+//! - [`TrajectoryGraph`] — the composite probabilistic graph: vertices are
+//!   detection events, weighted edges are claimed re-identifications
+//!   (Bhattacharyya distance), multiple in/out edges allowed.
+//! - [`query`] — trajectory traversal from a seed detection, forward and
+//!   backward, with weight/hop pruning.
+//! - [`FrameStore`] — bounded per-camera raw-frame retention with
+//!   annotations and time-window queries.
+//! - [`EdgeStorageNode`] — the thread-safe edge-node façade shared by
+//!   camera nodes.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod frames;
+pub mod graph;
+pub mod query;
+pub mod server;
+
+pub use frames::{Annotation, FrameStore, StoredFrame};
+pub use graph::{GraphError, TrajectoryEdge, TrajectoryGraph, VertexRecord};
+pub use query::{trajectory, QueryOptions, TrajectoryPath, TrajectoryQueryResult};
+pub use server::EdgeStorageNode;

@@ -1,0 +1,216 @@
+//! The edge storage node: a thread-safe façade over the trajectory graph
+//! and frame store.
+//!
+//! "A given Edge node may serve as the persistent store for a small set of
+//! cameras in the same geographical neighborhood" (paper §4.2). Camera
+//! nodes hold a [`StorageClient`] handle; the multi-threaded examples share
+//! one [`EdgeStorageNode`] across camera threads, while the discrete-event
+//! experiments call it directly with simulated latency.
+
+use crate::frames::{FrameStore, StoredFrame};
+use crate::graph::{GraphError, TrajectoryGraph};
+use crate::query::{trajectory, QueryOptions, TrajectoryQueryResult};
+use coral_geo::Heading;
+use coral_net::{EventId, VertexId};
+use coral_topology::CameraId;
+use coral_vision::{ColorHistogram, GroundTruthId};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A shared edge storage node.
+#[derive(Debug, Clone)]
+pub struct EdgeStorageNode {
+    graph: Arc<RwLock<TrajectoryGraph>>,
+    frames: Arc<RwLock<FrameStore>>,
+}
+
+impl EdgeStorageNode {
+    /// Creates a node retaining up to `frame_capacity_per_camera` raw
+    /// frames per camera.
+    pub fn new(frame_capacity_per_camera: usize) -> Self {
+        Self {
+            graph: Arc::new(RwLock::new(TrajectoryGraph::new())),
+            frames: Arc::new(RwLock::new(FrameStore::new(frame_capacity_per_camera))),
+        }
+    }
+
+    /// Inserts (or finds) the vertex for a detection event; returns its id.
+    pub fn insert_event(
+        &self,
+        event: EventId,
+        first_seen_ms: u64,
+        last_seen_ms: u64,
+        heading: Option<Heading>,
+        ground_truth: Option<GroundTruthId>,
+    ) -> VertexId {
+        self.graph
+            .write()
+            .insert_event(event, first_seen_ms, last_seen_ms, heading, ground_truth)
+    }
+
+    /// Inserts a vertex carrying its appearance signature.
+    pub fn insert_event_with_signature(
+        &self,
+        event: EventId,
+        first_seen_ms: u64,
+        last_seen_ms: u64,
+        heading: Option<Heading>,
+        signature: Option<ColorHistogram>,
+        ground_truth: Option<GroundTruthId>,
+    ) -> VertexId {
+        self.graph.write().insert_event_with_signature(
+            event,
+            first_seen_ms,
+            last_seen_ms,
+            heading,
+            signature,
+            ground_truth,
+        )
+    }
+
+    /// Query-by-appearance: the `k` detections nearest to `query` under
+    /// `max_distance` (see [`TrajectoryGraph::nearest_by_signature`]).
+    pub fn find_by_appearance(
+        &self,
+        query: &ColorHistogram,
+        k: usize,
+        max_distance: f64,
+    ) -> Vec<(VertexId, f64)> {
+        self.graph.read().nearest_by_signature(query, k, max_distance)
+    }
+
+    /// Inserts a re-identification edge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] for invalid endpoints or weights.
+    pub fn insert_edge(&self, from: VertexId, to: VertexId, weight: f64) -> Result<(), GraphError> {
+        self.graph.write().insert_edge(from, to, weight)
+    }
+
+    /// Runs a trajectory query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError::UnknownVertex`] for an invalid seed.
+    pub fn query_trajectory(
+        &self,
+        seed: VertexId,
+        opts: QueryOptions,
+    ) -> Result<TrajectoryQueryResult, GraphError> {
+        trajectory(&self.graph.read(), seed, opts)
+    }
+
+    /// The vertex for `event`, if stored.
+    pub fn vertex_for_event(&self, event: EventId) -> Option<VertexId> {
+        self.graph.read().vertex_for_event(event)
+    }
+
+    /// Ingests a frame with annotations.
+    pub fn ingest_frame(&self, camera: CameraId, frame: StoredFrame) {
+        self.frames.write().ingest(camera, frame);
+    }
+
+    /// Runs `f` with read access to the trajectory graph (bulk analytics
+    /// and the evaluation harness).
+    pub fn with_graph<R>(&self, f: impl FnOnce(&TrajectoryGraph) -> R) -> R {
+        f(&self.graph.read())
+    }
+
+    /// Runs `f` with read access to the frame store.
+    pub fn with_frames<R>(&self, f: impl FnOnce(&FrameStore) -> R) -> R {
+        f(&self.frames.read())
+    }
+
+    /// Snapshot of `(vertices, edges, frames retained, raw bytes)`.
+    pub fn stats(&self) -> (usize, usize, u64, u64) {
+        let g = self.graph.read();
+        let fr = self.frames.read();
+        (
+            g.vertex_count(),
+            g.edge_count(),
+            fr.frames_ingested(),
+            fr.bytes_stored(),
+        )
+    }
+}
+
+impl Default for EdgeStorageNode {
+    fn default() -> Self {
+        Self::new(512)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_vision::TrackId;
+
+    fn eid(cam: u32, track: u64) -> EventId {
+        EventId {
+            camera: CameraId(cam),
+            track: TrackId(track),
+        }
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let node = EdgeStorageNode::default();
+        let a = node.insert_event(eid(0, 1), 0, 1_000, Some(Heading::East), None);
+        let b = node.insert_event(eid(1, 3), 9_000, 10_000, Some(Heading::East), None);
+        node.insert_edge(a, b, 0.15).unwrap();
+        let r = node.query_trajectory(a, QueryOptions::default()).unwrap();
+        assert_eq!(r.best_track(), vec![a, b]);
+        assert_eq!(node.vertex_for_event(eid(1, 3)), Some(b));
+        let (v, e, _, _) = node.stats();
+        assert_eq!((v, e), (2, 1));
+    }
+
+    #[test]
+    fn concurrent_inserts_from_camera_threads() {
+        let node = EdgeStorageNode::default();
+        let mut handles = Vec::new();
+        for cam in 0..8u32 {
+            let n = node.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut last: Option<VertexId> = None;
+                for t in 0..50u64 {
+                    let v = n.insert_event(eid(cam, t), t * 10, t * 10 + 5, None, None);
+                    if let Some(prev) = last {
+                        n.insert_edge(prev, v, 0.1).unwrap();
+                    }
+                    last = Some(v);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (v, e, _, _) = node.stats();
+        assert_eq!(v, 8 * 50);
+        assert_eq!(e, 8 * 49);
+        // Each camera's chain is intact.
+        let seed = node.vertex_for_event(eid(3, 0)).unwrap();
+        let r = node.query_trajectory(seed, QueryOptions::default()).unwrap();
+        assert_eq!(r.best_track().len(), 50);
+    }
+
+    #[test]
+    fn frame_ingestion_counts() {
+        use coral_vision::{Frame, FrameId, Rgb};
+        let node = EdgeStorageNode::new(4);
+        node.ingest_frame(
+            CameraId(0),
+            StoredFrame {
+                frame: FrameId(1),
+                timestamp_ms: 50,
+                pixels: Some(Frame::filled(4, 4, Rgb::default())),
+                annotations: Vec::new(),
+            },
+        );
+        let (_, _, ingested, bytes) = node.stats();
+        assert_eq!(ingested, 1);
+        assert_eq!(bytes, 48);
+        assert_eq!(node.with_frames(|f| f.retained(CameraId(0))), 1);
+    }
+}

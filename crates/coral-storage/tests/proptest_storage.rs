@@ -1,0 +1,134 @@
+//! Property-based invariants for the trajectory store.
+
+use coral_net::{EventId, VertexId};
+use coral_storage::{trajectory, QueryOptions, TrajectoryGraph};
+use coral_topology::CameraId;
+use coral_vision::TrackId;
+use proptest::prelude::*;
+
+fn eid(cam: u32, track: u64) -> EventId {
+    EventId {
+        camera: CameraId(cam),
+        track: TrackId(track),
+    }
+}
+
+/// A random DAG-ish trajectory graph: n vertices, edges only forward in
+/// insertion order (matching the "edge points to the newer detection"
+/// construction of §4.2.1).
+fn arb_graph() -> impl Strategy<Value = TrajectoryGraph> {
+    (2usize..24, proptest::collection::vec((0usize..24, 0usize..24, 0.0f64..1.0), 0..60))
+        .prop_map(|(n, raw_edges)| {
+            let mut g = TrajectoryGraph::new();
+            let verts: Vec<VertexId> = (0..n)
+                .map(|i| {
+                    g.insert_event(
+                        eid((i % 5) as u32, i as u64),
+                        i as u64 * 100,
+                        i as u64 * 100 + 50,
+                        None,
+                        None,
+                    )
+                })
+                .collect();
+            for (a, b, w) in raw_edges {
+                let (a, b) = (a % n, b % n);
+                if a < b {
+                    let _ = g.insert_edge(verts[a], verts[b], w);
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #[test]
+    fn edge_indexes_are_consistent(g in arb_graph()) {
+        let mut out_total = 0;
+        let mut in_total = 0;
+        for v in g.vertices() {
+            for e in g.out_edges(v.id) {
+                prop_assert_eq!(e.from, v.id);
+                prop_assert!(g.in_edges(e.to).contains(e));
+                out_total += 1;
+            }
+            in_total += g.in_edges(v.id).len();
+        }
+        prop_assert_eq!(out_total, g.edge_count());
+        prop_assert_eq!(in_total, g.edge_count());
+    }
+
+    #[test]
+    fn every_event_resolves_to_its_vertex(g in arb_graph()) {
+        for v in g.vertices() {
+            prop_assert_eq!(g.vertex_for_event(v.event), Some(v.id));
+        }
+    }
+
+    #[test]
+    fn query_paths_are_valid_simple_chains(g in arb_graph(), seed_idx in 0usize..24) {
+        let n = g.vertex_count();
+        let seed = VertexId((seed_idx % n) as u64);
+        let r = trajectory(&g, seed, QueryOptions::default()).unwrap();
+        for path in r.forward.iter().chain(&r.backward) {
+            // Starts at the seed.
+            prop_assert_eq!(path.vertices[0], seed);
+            // No repeated vertices (simple path).
+            let mut seen = path.vertices.clone();
+            seen.sort();
+            seen.dedup();
+            prop_assert_eq!(seen.len(), path.vertices.len());
+            prop_assert!(path.total_weight >= 0.0);
+            prop_assert!(path.hops() >= 1);
+        }
+        // Forward paths follow real edges.
+        for path in &r.forward {
+            for w in path.vertices.windows(2) {
+                prop_assert!(
+                    g.out_edges(w[0]).iter().any(|e| e.to == w[1]),
+                    "phantom edge {} -> {}", w[0], w[1]
+                );
+            }
+        }
+        // Paths are sorted best-first by total weight.
+        for dir in [&r.forward, &r.backward] {
+            prop_assert!(dir.windows(2).all(|w| w[0].total_weight <= w[1].total_weight));
+        }
+        // best_track always contains the seed.
+        prop_assert!(r.best_track().contains(&seed));
+    }
+
+    #[test]
+    fn weight_threshold_monotonicity(g in arb_graph(), seed_idx in 0usize..24) {
+        // A stricter threshold never yields more reachable vertices.
+        let n = g.vertex_count();
+        let seed = VertexId((seed_idx % n) as u64);
+        let loose = trajectory(&g, seed, QueryOptions {
+            max_edge_weight: 0.9,
+            ..QueryOptions::default()
+        }).unwrap();
+        let strict = trajectory(&g, seed, QueryOptions {
+            max_edge_weight: 0.2,
+            ..QueryOptions::default()
+        }).unwrap();
+        let count = |paths: &[coral_storage::TrajectoryPath]| {
+            let mut s: Vec<VertexId> = paths.iter().flat_map(|p| p.vertices.clone()).collect();
+            s.sort();
+            s.dedup();
+            s.len()
+        };
+        prop_assert!(count(&strict.forward) <= count(&loose.forward));
+        prop_assert!(count(&strict.backward) <= count(&loose.backward));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_structure(g in arb_graph()) {
+        let json = serde_json::to_string(&g).unwrap();
+        let back: TrajectoryGraph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.vertex_count(), g.vertex_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for v in g.vertices() {
+            prop_assert_eq!(back.vertex_for_event(v.event), Some(v.id));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Camera identity and placement on the road network.
+//!
+//! Cameras are placed either at a road intersection (a graph vertex) or
+//! along a lane; lane-resident cameras keep their geographical order within
+//! the road segment (paper §4.3, Fig. 8).
+
+use coral_geo::{GeoPoint, IntersectionId, LaneId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a camera (and of its dedicated compute unit).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct CameraId(pub u32);
+
+impl fmt::Display for CameraId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cam{}", self.0)
+    }
+}
+
+/// Where a camera sits on the road network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CameraSite {
+    /// At a road intersection (graph vertex).
+    Intersection(IntersectionId),
+    /// Along a lane, at fractional offset `t ∈ (0, 1)` from the lane's
+    /// source intersection. For two-way roads the camera observes both
+    /// directions of the segment.
+    Lane {
+        /// The lane the camera is assigned to.
+        lane: LaneId,
+        /// Fractional position from the lane's `from` intersection.
+        offset: f64,
+    },
+}
+
+/// A registered camera.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    /// Camera identifier.
+    pub id: CameraId,
+    /// Placement on the road network.
+    pub site: CameraSite,
+    /// Geographic position (derived from the site at registration).
+    pub position: GeoPoint,
+    /// The camera's native videoing angle, degrees clockwise from north.
+    /// Used to adjust image-space motion direction into a compass heading
+    /// (paper §4.1.2).
+    pub videoing_angle_deg: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        assert_eq!(CameraId(7).to_string(), "cam7");
+    }
+
+    #[test]
+    fn ids_order() {
+        assert!(CameraId(1) < CameraId(2));
+    }
+
+    #[test]
+    fn site_roundtrips_through_json() {
+        let s = CameraSite::Lane {
+            lane: LaneId(3),
+            offset: 0.25,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CameraSite = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,360 @@
+//! The cloud-hosted camera topology server.
+//!
+//! The server maintains the annotated road graph, tracks camera liveness
+//! through periodic heartbeats, and recomputes the MDCS of affected cameras
+//! when cameras join or fail — the self-healing mechanism evaluated in the
+//! paper's Fig. 11 (§3.3, §5.4).
+//!
+//! The server is transport-agnostic: callers feed it heartbeats and clock
+//! ticks and disseminate the [`MdcsUpdate`]s it returns (the discrete-event
+//! simulator and the TCP transport both drive it this way).
+
+use crate::camera::CameraId;
+use crate::mdcs::{mdcs_table, MdcsOptions, MdcsTable};
+use crate::topology::{CameraTopology, TopologyError};
+use coral_geo::{GeoPoint, RoadNetwork};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Milliseconds since an arbitrary epoch (simulation or UNIX time).
+pub type TimestampMs = u64;
+
+/// Topology-server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Expected heartbeat period of each camera, in milliseconds
+    /// (the paper evaluates 2 s and 5 s).
+    pub heartbeat_interval_ms: u64,
+    /// Number of consecutive missed heartbeats before a camera is declared
+    /// failed. The paper observes recovery within twice the heartbeat
+    /// interval, which corresponds to a threshold of 2.
+    pub miss_threshold: u32,
+    /// Join snap radius: a new camera within this distance of a free
+    /// intersection is assigned to it, otherwise to the nearest lane.
+    pub snap_radius_m: f64,
+    /// MDCS search options.
+    pub mdcs: MdcsOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval_ms: 2_000,
+            miss_threshold: 2,
+            snap_radius_m: 30.0,
+            mdcs: MdcsOptions::default(),
+        }
+    }
+}
+
+/// A recomputed MDCS table that must be disseminated to `camera`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MdcsUpdate {
+    /// The camera whose downstream sets changed.
+    pub camera: CameraId,
+    /// Its new per-heading MDCS table.
+    pub table: MdcsTable,
+    /// Monotonic version stamped by the server. Updates travel over a WAN
+    /// with nondeterministic latency (§2) and can arrive out of order; a
+    /// camera must discard any update older than the one it already
+    /// applied, or a stale table would overwrite a newer one.
+    pub version: u64,
+}
+
+/// The camera topology server.
+///
+/// # Examples
+///
+/// ```
+/// use coral_geo::generators;
+/// use coral_topology::{CameraId, ServerConfig, TopologyServer};
+///
+/// let (net, sites) = generators::campus();
+/// let mut server = TopologyServer::new(net.clone(), ServerConfig::default());
+/// let p0 = net.intersection(sites[0]).unwrap().position;
+/// let p1 = net.intersection(sites[1]).unwrap().position;
+/// let updates = server.handle_heartbeat(CameraId(0), p0, 0.0, 0).unwrap();
+/// assert_eq!(updates.len(), 1); // the new camera gets its (empty) table
+/// let updates = server.handle_heartbeat(CameraId(1), p1, 0.0, 10).unwrap();
+/// assert!(updates.iter().any(|u| u.camera == CameraId(0)
+///     || u.camera == CameraId(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyServer {
+    topo: CameraTopology,
+    config: ServerConfig,
+    last_seen: BTreeMap<CameraId, TimestampMs>,
+    tables: BTreeMap<CameraId, MdcsTable>,
+    version: u64,
+}
+
+impl TopologyServer {
+    /// Creates a server over the given base road map.
+    pub fn new(net: RoadNetwork, config: ServerConfig) -> Self {
+        Self {
+            topo: CameraTopology::new(net),
+            config,
+            last_seen: BTreeMap::new(),
+            tables: BTreeMap::new(),
+            version: 0,
+        }
+    }
+
+    /// The current annotated topology.
+    pub fn topology(&self) -> &CameraTopology {
+        &self.topo
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The last MDCS table disseminated to `camera`.
+    pub fn table(&self, camera: CameraId) -> Option<&MdcsTable> {
+        self.tables.get(&camera)
+    }
+
+    /// Ids of currently active (registered, live) cameras.
+    pub fn active_cameras(&self) -> Vec<CameraId> {
+        self.last_seen.keys().copied().collect()
+    }
+
+    /// Processes a heartbeat from `camera` at time `now`.
+    ///
+    /// An unknown camera is registered by snapping its position onto the
+    /// road network; the returned updates carry new MDCS tables for every
+    /// camera whose downstream set changed (including the newcomer).
+    /// A known camera simply refreshes its liveness and yields no updates.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if registration fails (e.g. empty network).
+    pub fn handle_heartbeat(
+        &mut self,
+        camera: CameraId,
+        position: GeoPoint,
+        videoing_angle_deg: f64,
+        now: TimestampMs,
+    ) -> Result<Vec<MdcsUpdate>, TopologyError> {
+        if let std::collections::btree_map::Entry::Occupied(mut seen) =
+            self.last_seen.entry(camera)
+        {
+            seen.insert(now);
+            return Ok(Vec::new());
+        }
+        self.topo.place_by_position(
+            camera,
+            position,
+            self.config.snap_radius_m,
+            videoing_angle_deg,
+        )?;
+        self.last_seen.insert(camera, now);
+        Ok(self.recompute())
+    }
+
+    /// Scans for cameras whose heartbeats stopped and removes them,
+    /// returning the MDCS updates for the affected survivors.
+    ///
+    /// A camera is declared failed once `miss_threshold` consecutive
+    /// heartbeat periods elapse without a beat.
+    pub fn check_liveness(&mut self, now: TimestampMs) -> Vec<MdcsUpdate> {
+        let deadline =
+            self.config.heartbeat_interval_ms * u64::from(self.config.miss_threshold);
+        let dead: Vec<CameraId> = self
+            .last_seen
+            .iter()
+            .filter(|&(_, &seen)| now.saturating_sub(seen) >= deadline)
+            .map(|(&c, _)| c)
+            .collect();
+        if dead.is_empty() {
+            return Vec::new();
+        }
+        for cam in dead {
+            let _ = self.topo.remove_camera(cam);
+            self.last_seen.remove(&cam);
+            self.tables.remove(&cam);
+        }
+        self.recompute()
+    }
+
+    /// Forcibly removes a camera (administrative decommissioning), returning
+    /// updates for affected survivors.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the camera is not registered.
+    pub fn remove_camera(&mut self, camera: CameraId) -> Result<Vec<MdcsUpdate>, TopologyError> {
+        self.topo.remove_camera(camera)?;
+        self.last_seen.remove(&camera);
+        self.tables.remove(&camera);
+        Ok(self.recompute())
+    }
+
+    /// Recomputes every camera's MDCS table and returns those that changed
+    /// since the last dissemination, stamped with a fresh version.
+    fn recompute(&mut self) -> Vec<MdcsUpdate> {
+        let mut updates = Vec::new();
+        for cam in self.topo.cameras().map(|c| c.id).collect::<Vec<_>>() {
+            let table = mdcs_table(&self.topo, cam, self.config.mdcs);
+            let changed = self.tables.get(&cam) != Some(&table);
+            if changed {
+                self.version += 1;
+                self.tables.insert(cam, table.clone());
+                updates.push(MdcsUpdate {
+                    camera: cam,
+                    table,
+                    version: self.version,
+                });
+            }
+        }
+        updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_geo::generators;
+    use coral_geo::IntersectionId;
+
+    fn corridor_server() -> (TopologyServer, Vec<GeoPoint>) {
+        let net = generators::corridor(5, 150.0, 13.4);
+        let positions: Vec<GeoPoint> = (0..5)
+            .map(|i| net.intersection(IntersectionId(i)).unwrap().position)
+            .collect();
+        (TopologyServer::new(net, ServerConfig::default()), positions)
+    }
+
+    #[test]
+    fn join_registers_and_updates_neighbours() {
+        let (mut server, pos) = corridor_server();
+        let u0 = server
+            .handle_heartbeat(CameraId(0), pos[0], 0.0, 0)
+            .unwrap();
+        assert_eq!(u0.len(), 1);
+        assert_eq!(u0[0].camera, CameraId(0));
+        let u1 = server
+            .handle_heartbeat(CameraId(1), pos[2], 0.0, 100)
+            .unwrap();
+        // Camera 0's eastward MDCS changes from {} to {1}; camera 1 gets a
+        // fresh table.
+        let cams: Vec<CameraId> = u1.iter().map(|u| u.camera).collect();
+        assert!(cams.contains(&CameraId(0)));
+        assert!(cams.contains(&CameraId(1)));
+    }
+
+    #[test]
+    fn refresh_heartbeat_is_quiet() {
+        let (mut server, pos) = corridor_server();
+        server
+            .handle_heartbeat(CameraId(0), pos[0], 0.0, 0)
+            .unwrap();
+        let u = server
+            .handle_heartbeat(CameraId(0), pos[0], 0.0, 2_000)
+            .unwrap();
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn failure_detected_after_missed_beats() {
+        let (mut server, pos) = corridor_server();
+        for (i, p) in pos.iter().enumerate() {
+            server
+                .handle_heartbeat(CameraId(i as u32), *p, 0.0, 0)
+                .unwrap();
+        }
+        // Everyone beats at t=2000 except camera 2.
+        for (i, p) in pos.iter().enumerate() {
+            if i != 2 {
+                server
+                    .handle_heartbeat(CameraId(i as u32), *p, 0.0, 2_000)
+                    .unwrap();
+            }
+        }
+        // At t=3999 camera 2 has missed < 2 intervals.
+        assert!(server.check_liveness(3_999).is_empty());
+        // At t=4000 camera 2 is declared dead; neighbours 1 and 3 heal.
+        let updates = server.check_liveness(4_000);
+        let cams: Vec<CameraId> = updates.iter().map(|u| u.camera).collect();
+        assert!(cams.contains(&CameraId(1)), "updates: {cams:?}");
+        assert!(cams.contains(&CameraId(3)), "updates: {cams:?}");
+        assert!(!server.active_cameras().contains(&CameraId(2)));
+        // Camera 1 now skips over the failed camera 2 to camera 3.
+        let t1 = server.table(CameraId(1)).unwrap();
+        assert!(t1
+            .all_downstream()
+            .contains(&CameraId(3)));
+    }
+
+    #[test]
+    fn healed_topology_matches_fresh_deployment() {
+        let (mut server, pos) = corridor_server();
+        for (i, p) in pos.iter().enumerate() {
+            server
+                .handle_heartbeat(CameraId(i as u32), *p, 0.0, 0)
+                .unwrap();
+        }
+        server.remove_camera(CameraId(2)).unwrap();
+        // Fresh server with only cameras 0, 1, 3, 4.
+        let (mut fresh, _) = corridor_server();
+        for (i, p) in pos.iter().enumerate() {
+            if i != 2 {
+                fresh
+                    .handle_heartbeat(CameraId(i as u32), *p, 0.0, 0)
+                    .unwrap();
+            }
+        }
+        for cam in [0u32, 1, 3, 4] {
+            assert_eq!(
+                server.table(CameraId(cam)),
+                fresh.table(CameraId(cam)),
+                "table mismatch for cam{cam}"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_unknown_camera_errors() {
+        let (mut server, _) = corridor_server();
+        assert!(server.remove_camera(CameraId(9)).is_err());
+    }
+
+    #[test]
+    fn rejoin_after_failure() {
+        let (mut server, pos) = corridor_server();
+        server
+            .handle_heartbeat(CameraId(0), pos[0], 0.0, 0)
+            .unwrap();
+        server
+            .handle_heartbeat(CameraId(1), pos[1], 0.0, 0)
+            .unwrap();
+        server.check_liveness(4_000); // both die (no beats since 0)
+        assert!(server.active_cameras().is_empty());
+        let u = server
+            .handle_heartbeat(CameraId(0), pos[0], 0.0, 5_000)
+            .unwrap();
+        assert_eq!(u.len(), 1);
+        assert_eq!(server.active_cameras(), vec![CameraId(0)]);
+    }
+
+    #[test]
+    fn campus_incremental_deployment_shrinks_mean_mdcs() {
+        use crate::mdcs::mean_mdcs_size;
+        let (net, sites) = generators::campus();
+        let mut server = TopologyServer::new(net.clone(), ServerConfig::default());
+        let mut sizes = Vec::new();
+        for (i, &s) in sites.iter().enumerate() {
+            let p = net.intersection(s).unwrap().position;
+            server
+                .handle_heartbeat(CameraId(i as u32), p, 0.0, i as u64)
+                .unwrap();
+            sizes.push(mean_mdcs_size(server.topology(), MdcsOptions::default()));
+        }
+        // Finite and bounded throughout, and denser is (weakly) smaller at
+        // the ends: the 37-camera deployment has smaller mean MDCS than the
+        // 10-camera one (paper Fig. 12a).
+        assert!(sizes.iter().all(|s| s.is_finite() && *s < 10.0));
+        assert!(sizes[36] < sizes[9], "36: {} vs 9: {}", sizes[36], sizes[9]);
+    }
+}

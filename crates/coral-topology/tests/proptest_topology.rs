@@ -1,0 +1,150 @@
+//! Property-based invariants for MDCS computation and the topology server.
+
+use coral_geo::{generators, Heading, IntersectionId};
+use coral_topology::{
+    mdcs_for, mdcs_table, CameraId, CameraTopology, MdcsOptions, ServerConfig, TopologyServer,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// Deploys a random subset of campus sites and returns the topology plus
+/// the deployed ids.
+fn random_deployment(seed: u64, n: usize) -> (CameraTopology, Vec<CameraId>) {
+    let (net, mut sites) = generators::campus();
+    sites.shuffle(&mut StdRng::seed_from_u64(seed));
+    let mut topo = CameraTopology::new(net);
+    let mut cams = Vec::new();
+    for (i, &site) in sites.iter().take(n.max(1)).enumerate() {
+        let id = CameraId(i as u32);
+        topo.place_at_intersection(id, site, 0.0).unwrap();
+        cams.push(id);
+    }
+    (topo, cams)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mdcs_members_are_deployed_cameras_not_self(seed in 0u64..300, n in 1usize..20) {
+        let (topo, cams) = random_deployment(seed, n);
+        let deployed: BTreeSet<CameraId> = cams.iter().copied().collect();
+        for &cam in &cams {
+            for h in Heading::ALL {
+                let set = mdcs_for(&topo, cam, h, MdcsOptions::default());
+                prop_assert!(!set.contains(&cam), "self in MDCS without U-turn option");
+                prop_assert!(set.is_subset(&deployed), "phantom camera in MDCS");
+            }
+        }
+    }
+
+    #[test]
+    fn mdcs_is_bounded_by_deployment_size(seed in 0u64..300, n in 2usize..20) {
+        let (topo, cams) = random_deployment(seed, n);
+        for &cam in &cams {
+            let table = mdcs_table(&topo, cam, MdcsOptions::default());
+            for (_, set) in table.iter() {
+                prop_assert!(set.len() < n, "MDCS cannot contain every camera");
+            }
+        }
+    }
+
+    #[test]
+    fn full_coverage_bounds_mdcs_by_out_degree(seed in 0u64..200) {
+        // Structural soundness of "first camera on each branch": with a
+        // camera at EVERY intersection, each DFS branch terminates one hop
+        // out, so a camera's per-heading MDCS is bounded by its vertex
+        // out-degree.
+        let (net, _) = generators::campus();
+        let mut topo = CameraTopology::new(net.clone());
+        let all: Vec<IntersectionId> =
+            net.intersections().map(|i| i.id).collect();
+        for (i, &s) in all.iter().enumerate() {
+            topo.place_at_intersection(CameraId(i as u32), s, 0.0).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pick: Vec<usize> = (0..all.len()).collect();
+        pick.shuffle(&mut rng);
+        for &i in pick.iter().take(8) {
+            let cam = CameraId(i as u32);
+            let table = mdcs_table(&topo, cam, MdcsOptions::default());
+            let out_degree = net.out_lanes(all[i]).len();
+            for (_, set) in table.iter() {
+                prop_assert!(
+                    set.len() <= out_degree.max(1),
+                    "full coverage must have tight MDCS"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn server_tables_match_direct_computation(seed in 0u64..200, n in 1usize..15) {
+        let (net, mut sites) = generators::campus();
+        sites.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut server = TopologyServer::new(net.clone(), ServerConfig::default());
+        for (i, &s) in sites.iter().take(n).enumerate() {
+            let p = net.intersection(s).unwrap().position;
+            server
+                .handle_heartbeat(CameraId(i as u32), p, 0.0, i as u64)
+                .unwrap();
+        }
+        // The server's disseminated tables equal a fresh direct computation
+        // over its final topology.
+        for cam in server.active_cameras() {
+            let direct = mdcs_table(server.topology(), cam, MdcsOptions::default());
+            prop_assert_eq!(server.table(cam), Some(&direct));
+        }
+    }
+
+    #[test]
+    fn removal_and_fresh_deployment_agree(seed in 0u64..200, n in 3usize..12) {
+        let (net, mut sites) = generators::campus();
+        sites.shuffle(&mut StdRng::seed_from_u64(seed));
+        let chosen: Vec<IntersectionId> = sites.into_iter().take(n).collect();
+        // Server A: deploy all, then remove camera 0.
+        let mut a = TopologyServer::new(net.clone(), ServerConfig::default());
+        for (i, &s) in chosen.iter().enumerate() {
+            let p = net.intersection(s).unwrap().position;
+            a.handle_heartbeat(CameraId(i as u32), p, 0.0, 0).unwrap();
+        }
+        a.remove_camera(CameraId(0)).unwrap();
+        // Server B: deploy all except camera 0.
+        let mut b = TopologyServer::new(net.clone(), ServerConfig::default());
+        for (i, &s) in chosen.iter().enumerate().skip(1) {
+            let p = net.intersection(s).unwrap().position;
+            b.handle_heartbeat(CameraId(i as u32), p, 0.0, 0).unwrap();
+        }
+        for cam in b.active_cameras() {
+            prop_assert_eq!(a.table(cam), b.table(cam), "healing differs from fresh deploy");
+        }
+    }
+
+    #[test]
+    fn uturn_option_only_adds_self(seed in 0u64..200, n in 2usize..15) {
+        let (topo, cams) = random_deployment(seed, n);
+        let plain = MdcsOptions::default();
+        let uturn = MdcsOptions { include_self_uturn: true, ..plain };
+        for &cam in cams.iter().take(5) {
+            for h in Heading::ALL {
+                let without = mdcs_for(&topo, cam, h, plain);
+                let with = mdcsi_minus_self(mdcs_for(&topo, cam, h, uturn), cam);
+                // Ignoring self, the sets agree or the U-turn search
+                // stopped earlier (self found before other cameras on some
+                // branch), so `with` ⊆ `without`.
+                prop_assert!(
+                    with.is_subset(&without),
+                    "uturn changed non-self members: {with:?} vs {without:?}"
+                );
+            }
+        }
+    }
+}
+
+fn mdcsi_minus_self(mut set: BTreeSet<CameraId>, cam: CameraId) -> BTreeSet<CameraId> {
+    set.remove(&cam);
+    set
+}

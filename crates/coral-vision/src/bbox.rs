@@ -1,0 +1,217 @@
+//! Axis-aligned bounding boxes in image coordinates.
+
+use coral_geo::Point2;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned bounding box in pixel coordinates.
+///
+/// Invariant: `x1 >= x0` and `y1 >= y0` (enforced by [`BoundingBox::new`]).
+///
+/// # Examples
+///
+/// ```
+/// use coral_vision::BoundingBox;
+///
+/// let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0)?;
+/// let b = BoundingBox::new(5.0, 5.0, 15.0, 15.0)?;
+/// assert!((a.iou(&b) - 25.0 / 175.0).abs() < 1e-9);
+/// # Ok::<(), coral_vision::InvalidBoxError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    /// Left edge.
+    pub x0: f64,
+    /// Top edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Bottom edge.
+    pub y1: f64,
+}
+
+/// Error for degenerate or non-finite box coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidBoxError;
+
+impl fmt::Display for InvalidBoxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid bounding box: inverted or non-finite coordinates")
+    }
+}
+
+impl std::error::Error for InvalidBoxError {}
+
+impl BoundingBox {
+    /// Creates a box from corner coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBoxError`] if any coordinate is non-finite or the
+    /// box is inverted.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Result<Self, InvalidBoxError> {
+        if ![x0, y0, x1, y1].iter().all(|v| v.is_finite()) || x1 < x0 || y1 < y0 {
+            return Err(InvalidBoxError);
+        }
+        Ok(Self { x0, y0, x1, y1 })
+    }
+
+    /// Creates a box from center, width and height.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidBoxError`] if width or height is negative or any
+    /// input is non-finite.
+    pub fn from_center(cx: f64, cy: f64, w: f64, h: f64) -> Result<Self, InvalidBoxError> {
+        if w < 0.0 || h < 0.0 {
+            return Err(InvalidBoxError);
+        }
+        Self::new(cx - w / 2.0, cy - h / 2.0, cx + w / 2.0, cy + h / 2.0)
+    }
+
+    /// Box width.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Box height.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Centroid of the box — the point the Context-of-Interest filter tests
+    /// (paper §4.1.2).
+    pub fn centroid(&self) -> Point2 {
+        Point2::new((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+    }
+
+    /// Aspect ratio `width / height`, or 0 for zero-height boxes.
+    pub fn aspect(&self) -> f64 {
+        if self.height() == 0.0 {
+            0.0
+        } else {
+            self.width() / self.height()
+        }
+    }
+
+    /// Intersection box, if the boxes overlap.
+    pub fn intersection(&self, other: &BoundingBox) -> Option<BoundingBox> {
+        let x0 = self.x0.max(other.x0);
+        let y0 = self.y0.max(other.y0);
+        let x1 = self.x1.min(other.x1);
+        let y1 = self.y1.min(other.y1);
+        if x1 > x0 && y1 > y0 {
+            Some(BoundingBox { x0, y0, x1, y1 })
+        } else {
+            None
+        }
+    }
+
+    /// Intersection-over-union with `other`, in `[0, 1]`.
+    pub fn iou(&self, other: &BoundingBox) -> f64 {
+        let inter = self.intersection(other).map_or(0.0, |b| b.area());
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Clamps the box to an image of the given dimensions.
+    pub fn clamp_to(&self, width: u32, height: u32) -> BoundingBox {
+        let (w, h) = (f64::from(width), f64::from(height));
+        BoundingBox {
+            x0: self.x0.clamp(0.0, w),
+            y0: self.y0.clamp(0.0, h),
+            x1: self.x1.clamp(0.0, w),
+            y1: self.y1.clamp(0.0, h),
+        }
+    }
+
+    /// Translates the box by `(dx, dy)`.
+    pub fn translated(&self, dx: f64, dy: f64) -> BoundingBox {
+        BoundingBox {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+}
+
+impl fmt::Display for BoundingBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.1},{:.1} - {:.1},{:.1}]",
+            self.x0, self.y0, self.x1, self.y1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates() {
+        assert!(BoundingBox::new(0.0, 0.0, 1.0, 1.0).is_ok());
+        assert_eq!(BoundingBox::new(1.0, 0.0, 0.0, 1.0), Err(InvalidBoxError));
+        assert_eq!(
+            BoundingBox::new(0.0, f64::NAN, 1.0, 1.0),
+            Err(InvalidBoxError)
+        );
+        // Zero-area boxes are allowed (degenerate but not inverted).
+        assert!(BoundingBox::new(1.0, 1.0, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn from_center_roundtrip() {
+        let b = BoundingBox::from_center(50.0, 40.0, 20.0, 10.0).unwrap();
+        assert_eq!(b.centroid(), Point2::new(50.0, 40.0));
+        assert!((b.width() - 20.0).abs() < 1e-12);
+        assert!((b.height() - 10.0).abs() < 1e-12);
+        assert!((b.aspect() - 2.0).abs() < 1e-12);
+        assert!(BoundingBox::from_center(0.0, 0.0, -1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn iou_cases() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        assert!((a.iou(&a) - 1.0).abs() < 1e-12);
+        let disjoint = BoundingBox::new(20.0, 20.0, 30.0, 30.0).unwrap();
+        assert_eq!(a.iou(&disjoint), 0.0);
+        let touching = BoundingBox::new(10.0, 0.0, 20.0, 10.0).unwrap();
+        assert_eq!(a.iou(&touching), 0.0);
+        let half = BoundingBox::new(0.0, 0.0, 5.0, 10.0).unwrap();
+        assert!((a.iou(&half) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iou_symmetric() {
+        let a = BoundingBox::new(0.0, 0.0, 10.0, 8.0).unwrap();
+        let b = BoundingBox::new(3.0, 2.0, 14.0, 12.0).unwrap();
+        assert!((a.iou(&b) - b.iou(&a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamp_and_translate() {
+        let b = BoundingBox::new(-5.0, -5.0, 15.0, 15.0).unwrap();
+        let c = b.clamp_to(10, 10);
+        assert_eq!(c, BoundingBox::new(0.0, 0.0, 10.0, 10.0).unwrap());
+        let t = b.translated(5.0, 5.0);
+        assert_eq!(t, BoundingBox::new(0.0, 0.0, 20.0, 20.0).unwrap());
+    }
+
+    #[test]
+    fn zero_area_iou_is_zero() {
+        let p = BoundingBox::new(1.0, 1.0, 1.0, 1.0).unwrap();
+        assert_eq!(p.iou(&p), 0.0);
+    }
+}

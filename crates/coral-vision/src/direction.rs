@@ -1,0 +1,127 @@
+//! Motion-direction estimation from a vehicle's tracklet.
+//!
+//! "The direction of motion of the vehicle is estimated by drawing a line
+//! linking the centroids of bounding boxes in time order and adjusted by the
+//! camera's native videoing angle" (paper §4.1.2). The image-space
+//! displacement is converted into a compass heading so the communication
+//! element can index the MDCS socket group.
+
+use coral_geo::{Heading, Point2};
+
+/// Minimum total centroid displacement (pixels) below which the direction is
+/// considered unreliable.
+pub const MIN_DISPLACEMENT_PX: f64 = 3.0;
+
+/// Estimates the world-space bearing (degrees clockwise from north) of a
+/// vehicle from its centroid tracklet, given the camera's videoing angle.
+///
+/// Image convention: `+x` right, `+y` down; a camera with videoing angle
+/// `a` has image "up" (decreasing `y`) pointing along compass bearing `a`
+/// (the direction the camera looks at).
+///
+/// Returns `None` for tracklets with fewer than two points or with total
+/// displacement under [`MIN_DISPLACEMENT_PX`].
+pub fn estimate_bearing_deg(centroids: &[Point2], videoing_angle_deg: f64) -> Option<f64> {
+    if centroids.len() < 2 {
+        return None;
+    }
+    // Least-squares average displacement: use the vector from the centroid
+    // of the first half to the centroid of the second half; robust to
+    // per-frame jitter, unlike last-minus-first.
+    let mid = centroids.len() / 2;
+    let mean = |pts: &[Point2]| {
+        let n = pts.len() as f64;
+        let (sx, sy) = pts
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+        Point2::new(sx / n, sy / n)
+    };
+    let a = mean(&centroids[..mid.max(1)]);
+    let b = mean(&centroids[mid.min(centroids.len() - 1)..]);
+    let (dx, dy) = (b.x - a.x, b.y - a.y);
+    if (dx * dx + dy * dy).sqrt() < MIN_DISPLACEMENT_PX {
+        return None;
+    }
+    // Image-frame bearing relative to "up": atan2(dx, -dy).
+    let image_bearing = dx.atan2(-dy).to_degrees();
+    Some((videoing_angle_deg + image_bearing).rem_euclid(360.0))
+}
+
+/// Estimates the compass [`Heading`] of a vehicle tracklet; see
+/// [`estimate_bearing_deg`].
+pub fn estimate_heading(centroids: &[Point2], videoing_angle_deg: f64) -> Option<Heading> {
+    estimate_bearing_deg(centroids, videoing_angle_deg).map(Heading::from_bearing_deg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracklet(start: (f64, f64), step: (f64, f64), n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| Point2::new(start.0 + step.0 * i as f64, start.1 + step.1 * i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn too_short_or_static_is_none() {
+        assert_eq!(estimate_heading(&[], 0.0), None);
+        assert_eq!(estimate_heading(&[Point2::new(1.0, 1.0)], 0.0), None);
+        let static_pts = tracklet((50.0, 50.0), (0.0, 0.0), 10);
+        assert_eq!(estimate_heading(&static_pts, 0.0), None);
+    }
+
+    #[test]
+    fn north_facing_camera_cardinals() {
+        // Camera looks north (angle 0): image up = north.
+        let up = tracklet((50.0, 90.0), (0.0, -5.0), 10);
+        assert_eq!(estimate_heading(&up, 0.0), Some(Heading::North));
+        let right = tracklet((10.0, 50.0), (5.0, 0.0), 10);
+        assert_eq!(estimate_heading(&right, 0.0), Some(Heading::East));
+        let down = tracklet((50.0, 10.0), (0.0, 5.0), 10);
+        assert_eq!(estimate_heading(&down, 0.0), Some(Heading::South));
+        let left = tracklet((90.0, 50.0), (-5.0, 0.0), 10);
+        assert_eq!(estimate_heading(&left, 0.0), Some(Heading::West));
+    }
+
+    #[test]
+    fn videoing_angle_rotates_result() {
+        // Camera looks east (angle 90): image up = east, image right = south.
+        let right = tracklet((10.0, 50.0), (5.0, 0.0), 10);
+        assert_eq!(estimate_heading(&right, 90.0), Some(Heading::South));
+        let up = tracklet((50.0, 90.0), (0.0, -5.0), 10);
+        assert_eq!(estimate_heading(&up, 90.0), Some(Heading::East));
+        // Camera looks southwest (225).
+        assert_eq!(estimate_heading(&up, 225.0), Some(Heading::SouthWest));
+    }
+
+    #[test]
+    fn diagonals() {
+        let ne = tracklet((10.0, 90.0), (5.0, -5.0), 10);
+        assert_eq!(estimate_heading(&ne, 0.0), Some(Heading::NorthEast));
+        let sw = tracklet((90.0, 10.0), (-5.0, 5.0), 10);
+        assert_eq!(estimate_heading(&sw, 0.0), Some(Heading::SouthWest));
+    }
+
+    #[test]
+    fn robust_to_jitter() {
+        // Eastward motion with alternating vertical jitter.
+        let pts: Vec<Point2> = (0..20)
+            .map(|i| {
+                Point2::new(
+                    10.0 + 4.0 * i as f64,
+                    50.0 + if i % 2 == 0 { 2.0 } else { -2.0 },
+                )
+            })
+            .collect();
+        assert_eq!(estimate_heading(&pts, 0.0), Some(Heading::East));
+    }
+
+    #[test]
+    fn bearing_wraps_into_range() {
+        let up = tracklet((50.0, 90.0), (0.0, -5.0), 10);
+        let b = estimate_bearing_deg(&up, 350.0).unwrap();
+        assert!((0.0..360.0).contains(&b));
+        assert!((b - 350.0).abs() < 1.0);
+    }
+}

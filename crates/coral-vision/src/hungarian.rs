@@ -1,0 +1,268 @@
+//! Hungarian (Kuhn–Munkres) algorithm for minimum-cost assignment.
+//!
+//! SORT associates detections to predicted tracks by solving an assignment
+//! problem over the negative IoU matrix; this module provides the O(n³)
+//! solver used for that association.
+
+/// Solves the rectangular min-cost assignment problem.
+///
+/// `cost[i][j]` is the cost of assigning row `i` to column `j`. Returns, for
+/// each row, the assigned column (or `None` if rows outnumber columns and
+/// the row is left unassigned). The total cost of the returned assignment is
+/// minimal.
+///
+/// This is the standard O(n³) potentials ("Jonker–Volgenant style")
+/// formulation of the Hungarian algorithm.
+///
+/// # Panics
+///
+/// Panics if the cost rows are ragged or contain non-finite values.
+///
+/// # Examples
+///
+/// ```
+/// use coral_vision::hungarian::assign;
+///
+/// let cost = vec![
+///     vec![4.0, 1.0, 3.0],
+///     vec![2.0, 0.0, 5.0],
+///     vec![3.0, 2.0, 2.0],
+/// ];
+/// let a = assign(&cost);
+/// assert_eq!(a, vec![Some(1), Some(0), Some(2)]);
+/// ```
+pub fn assign(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let n_rows = cost.len();
+    if n_rows == 0 {
+        return Vec::new();
+    }
+    let n_cols = cost[0].len();
+    for row in cost {
+        assert_eq!(row.len(), n_cols, "ragged cost matrix");
+        assert!(
+            row.iter().all(|v| v.is_finite()),
+            "non-finite cost entries"
+        );
+    }
+    if n_cols == 0 {
+        return vec![None; n_rows];
+    }
+
+    // If rows outnumber columns, transpose, solve, and invert the mapping —
+    // the potentials formulation below requires n_rows <= n_cols.
+    if n_rows > n_cols {
+        let t: Vec<Vec<f64>> = (0..n_cols)
+            .map(|j| (0..n_rows).map(|i| cost[i][j]).collect())
+            .collect();
+        let col_to_row = assign(&t);
+        let mut out = vec![None; n_rows];
+        for (col, row) in col_to_row.iter().enumerate() {
+            if let Some(r) = row {
+                out[*r] = Some(col);
+            }
+        }
+        return out;
+    }
+
+    // 1-based potentials algorithm (u over rows, v over columns).
+    let n = n_rows;
+    let m = n_cols;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut way = vec![0usize; m + 1];
+    // p[j] = row assigned to column j (0 = none).
+    let mut p = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut out = vec![None; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            out[p[j] - 1] = Some(j - 1);
+        }
+    }
+    out
+}
+
+/// Total cost of an assignment produced by [`assign`].
+pub fn total_cost(cost: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(i, j)| j.map(|j| cost[i][j]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimal assignment for validation (row-major permutation
+    /// search). Transposes tall matrices first so that every row is
+    /// assigned and the row subset choice is implicit in the permutation.
+    fn brute_force(cost: &[Vec<f64>]) -> f64 {
+        let n = cost.len();
+        let m = cost[0].len();
+        if n > m {
+            let t: Vec<Vec<f64>> = (0..m)
+                .map(|j| (0..n).map(|i| cost[i][j]).collect())
+                .collect();
+            return brute_force(&t);
+        }
+        let k = n.min(m);
+        let mut best = f64::INFINITY;
+        let cols: Vec<usize> = (0..m).collect();
+        permute(&cols, k, &mut Vec::new(), &mut |perm| {
+            let c: f64 = perm.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+            if c < best {
+                best = c;
+            }
+        });
+        best
+    }
+
+    fn permute(pool: &[usize], k: usize, cur: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+        if cur.len() == k {
+            f(cur);
+            return;
+        }
+        for &c in pool {
+            if !cur.contains(&c) {
+                cur.push(c);
+                permute(pool, k, cur, f);
+                cur.pop();
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(assign(&[]).is_empty());
+        let no_cols: Vec<Vec<f64>> = vec![vec![], vec![]];
+        assert_eq!(assign(&no_cols), vec![None, None]);
+    }
+
+    #[test]
+    fn single_cell() {
+        assert_eq!(assign(&[vec![3.0]]), vec![Some(0)]);
+    }
+
+    #[test]
+    fn square_known_answer() {
+        let cost = vec![
+            vec![9.0, 2.0, 7.0, 8.0],
+            vec![6.0, 4.0, 3.0, 7.0],
+            vec![5.0, 8.0, 1.0, 8.0],
+            vec![7.0, 6.0, 9.0, 4.0],
+        ];
+        let a = assign(&cost);
+        assert_eq!(a, vec![Some(1), Some(0), Some(2), Some(3)]);
+        assert!((total_cost(&cost, &a) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_matrix_leaves_columns_unused() {
+        let cost = vec![vec![1.0, 0.5, 9.0], vec![0.2, 7.0, 3.0]];
+        let a = assign(&cost);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn tall_matrix_leaves_rows_unassigned() {
+        let cost = vec![vec![5.0], vec![1.0], vec![3.0]];
+        let a = assign(&cost);
+        assert_eq!(a, vec![None, Some(0), None]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..50 {
+            let n = rng.gen_range(1..=5);
+            let m = rng.gen_range(1..=5);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(0.0..10.0)).collect())
+                .collect();
+            let a = assign(&cost);
+            // All assigned columns distinct.
+            let mut seen = std::collections::HashSet::new();
+            for j in a.iter().flatten() {
+                assert!(seen.insert(*j), "duplicate column in trial {trial}");
+            }
+            // Exactly min(n, m) assignments.
+            assert_eq!(a.iter().flatten().count(), n.min(m));
+            let got = total_cost(&cost, &a);
+            let best = brute_force(&cost);
+            assert!(
+                (got - best).abs() < 1e-9,
+                "trial {trial}: got {got}, optimal {best}, cost {cost:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_costs_supported() {
+        // SORT uses negative IoU as cost.
+        let cost = vec![vec![-0.9, -0.1], vec![-0.2, -0.8]];
+        let a = assign(&cost);
+        assert_eq!(a, vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_panics() {
+        assign(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_panics() {
+        assign(&[vec![f64::NAN]]);
+    }
+}

@@ -1,0 +1,411 @@
+//! The Vehicle Identification element: detection → tracking → feature
+//! extraction → one detection event per vehicle.
+//!
+//! "The goal of the vehicle identification element is to recognize the
+//! appearance of each vehicle within one camera and generate a unique
+//! vehicle detection event for it" (paper §4.1.2). Per frame the element
+//! renders the scene, runs the detector, filters boxes, feeds them to SORT,
+//! and accumulates per-track centroids and histograms. When a track's ID
+//! stops appearing for `max_age` frames the vehicle has left the FOV and a
+//! single [`VehicleObservation`] is emitted.
+
+use crate::bbox::BoundingBox;
+use crate::detect::{Detector, PostProcessor};
+use crate::frame::FrameId;
+use crate::histogram::{ColorHistogram, HistogramConfig, SignatureAccumulator};
+use crate::render::{GroundTruthId, Renderer, Scene};
+use crate::sort::{SortConfig, SortTracker, TrackId};
+use crate::{direction, Frame};
+use coral_geo::{Heading, Point2};
+use std::collections::HashMap;
+
+/// The per-vehicle output of the identification element, from which the
+/// communication layer builds the JSON detection event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VehicleObservation {
+    /// Camera-local SORT track id.
+    pub track: TrackId,
+    /// First frame in which the vehicle was matched.
+    pub first_frame: FrameId,
+    /// Last frame in which the vehicle was matched.
+    pub last_frame: FrameId,
+    /// Number of frames the vehicle was matched in.
+    pub frames_observed: u32,
+    /// Estimated world-space bearing, degrees clockwise from north.
+    pub bearing_deg: Option<f64>,
+    /// Quantized compass heading of the motion.
+    pub heading: Option<Heading>,
+    /// Appearance signature (mean adaptive color histogram).
+    pub signature: ColorHistogram,
+    /// The vehicle's final bounding box.
+    pub last_bbox: BoundingBox,
+    /// Majority-vote ground-truth identity (evaluation only; `None` for
+    /// clutter tracks that never overlapped a real vehicle).
+    pub ground_truth: Option<GroundTruthId>,
+}
+
+/// Summary of one processed frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdentFrameResult {
+    /// Detections that survived post-processing this frame.
+    pub detections_kept: usize,
+    /// Tracks matched this frame (id + box), the per-frame annotations the
+    /// storage client ships with the raw frame (paper §4.2.2).
+    pub active: Vec<crate::sort::TrackState>,
+    /// Vehicles that completed (left the FOV) this frame.
+    pub completed: Vec<VehicleObservation>,
+}
+
+impl IdentFrameResult {
+    /// Number of tracks matched this frame.
+    pub fn active_tracks(&self) -> usize {
+        self.active.len()
+    }
+}
+
+/// Identification-element configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdentConfig {
+    /// SORT tracker parameters (the paper uses `max_age = 3`).
+    pub sort: SortConfig,
+    /// Histogram extraction parameters.
+    pub histogram: HistogramConfig,
+    /// Renderer used to produce the raw frames signatures are read from.
+    pub renderer: Renderer,
+    /// Camera videoing angle, degrees clockwise from north.
+    pub videoing_angle_deg: f64,
+    /// Minimum IoU between a track box and a scene actor for ground-truth
+    /// attribution (evaluation only).
+    pub gt_iou_threshold: f64,
+}
+
+impl Default for IdentConfig {
+    fn default() -> Self {
+        Self {
+            sort: SortConfig::default(),
+            histogram: HistogramConfig::default(),
+            renderer: Renderer::default(),
+            videoing_angle_deg: 0.0,
+            gt_iou_threshold: 0.3,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Tracklet {
+    centroids: Vec<Point2>,
+    signature: SignatureAccumulator,
+    first_frame: FrameId,
+    last_frame: FrameId,
+    last_bbox: BoundingBox,
+    gt_votes: HashMap<GroundTruthId, u32>,
+}
+
+/// The Vehicle Identification element for one camera.
+#[derive(Debug)]
+pub struct VehicleIdentification<D> {
+    detector: D,
+    post: PostProcessor,
+    sort: SortTracker,
+    config: IdentConfig,
+    tracklets: HashMap<TrackId, Tracklet>,
+    render_seed: u64,
+}
+
+impl<D: Detector> VehicleIdentification<D> {
+    /// Creates the element with a pluggable detector and the camera's
+    /// post-processing filter.
+    pub fn new(detector: D, post: PostProcessor, config: IdentConfig, render_seed: u64) -> Self {
+        Self {
+            detector,
+            post,
+            sort: SortTracker::new(config.sort),
+            config,
+            tracklets: HashMap::new(),
+            render_seed,
+        }
+    }
+
+    /// Number of vehicles currently being tracked.
+    pub fn live_track_count(&self) -> usize {
+        self.sort.live_track_count()
+    }
+
+    /// Renders the raw frame for `scene` exactly as
+    /// [`VehicleIdentification::process_scene`] would (same seed schedule),
+    /// so callers that also persist raw frames see identical pixels.
+    pub fn render(&self, frame_id: FrameId, scene: &Scene) -> Frame {
+        self.config
+            .renderer
+            .render(scene, self.render_seed ^ frame_id.0)
+    }
+
+    /// Processes one frame: renders the scene, detects, filters, tracks and
+    /// returns any completed vehicle observations.
+    pub fn process_scene(&mut self, frame_id: FrameId, scene: &Scene) -> IdentFrameResult {
+        let frame = self.render(frame_id, scene);
+        self.process_rendered(frame_id, scene, &frame)
+    }
+
+    /// Same as [`VehicleIdentification::process_scene`] but with a
+    /// pre-rendered frame (used when the pipeline stages render upstream).
+    pub fn process_rendered(
+        &mut self,
+        frame_id: FrameId,
+        scene: &Scene,
+        frame: &Frame,
+    ) -> IdentFrameResult {
+        let raw = self.detector.detect(scene);
+        let kept = self.post.filter(raw);
+        let boxes: Vec<BoundingBox> = kept.iter().map(|d| d.bbox).collect();
+        let out = self.sort.update(&boxes);
+
+        for st in &out.active {
+            let entry = self.tracklets.entry(st.id).or_insert_with(|| Tracklet {
+                centroids: Vec::new(),
+                signature: SignatureAccumulator::new(),
+                first_frame: frame_id,
+                last_frame: frame_id,
+                last_bbox: st.bbox,
+                gt_votes: HashMap::new(),
+            });
+            entry.centroids.push(st.bbox.centroid());
+            entry
+                .signature
+                .add(&ColorHistogram::extract(frame, &st.bbox, &self.config.histogram));
+            entry.last_frame = frame_id;
+            entry.last_bbox = st.bbox;
+            // Ground-truth attribution by IoU (evaluation only).
+            let best = scene
+                .actors
+                .iter()
+                .map(|a| (a.gt, st.bbox.iou(&a.bbox)))
+                .max_by(|a, b| a.1.total_cmp(&b.1));
+            if let Some((gt, iou)) = best {
+                if iou >= self.config.gt_iou_threshold {
+                    *entry.gt_votes.entry(gt).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let completed = out
+            .expired
+            .iter()
+            .filter_map(|ex| self.finalize(ex.id, ex.hits))
+            .collect();
+
+        IdentFrameResult {
+            detections_kept: kept.len(),
+            active: out.active,
+            completed,
+        }
+    }
+
+    /// Flushes all live tracks (end of stream), emitting their
+    /// observations.
+    pub fn flush(&mut self) -> Vec<VehicleObservation> {
+        let expired = self.sort.flush();
+        expired
+            .iter()
+            .filter_map(|ex| self.finalize(ex.id, ex.hits))
+            .collect()
+    }
+
+    fn finalize(&mut self, id: TrackId, hits: u32) -> Option<VehicleObservation> {
+        let t = self.tracklets.remove(&id)?;
+        let bearing = direction::estimate_bearing_deg(&t.centroids, self.config.videoing_angle_deg);
+        let ground_truth = t
+            .gt_votes
+            .iter()
+            .max_by_key(|&(gt, votes)| (*votes, std::cmp::Reverse(gt.0)))
+            .map(|(gt, _)| *gt);
+        Some(VehicleObservation {
+            track: id,
+            first_frame: t.first_frame,
+            last_frame: t.last_frame,
+            frames_observed: hits,
+            bearing_deg: bearing,
+            heading: bearing.map(Heading::from_bearing_deg),
+            signature: t.signature.signature()?,
+            last_bbox: t.last_bbox,
+            ground_truth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{DetectorNoise, SyntheticSsdDetector};
+    use crate::render::{ObjectClass, SceneActor, VehicleAppearance};
+    use coral_geo::Polygon;
+
+    const W: u32 = 200;
+    const H: u32 = 150;
+
+    fn full_coi() -> PostProcessor {
+        PostProcessor::new(Polygon::rect(0.0, 0.0, f64::from(W), f64::from(H)))
+    }
+
+    fn ident(noise: DetectorNoise) -> VehicleIdentification<SyntheticSsdDetector> {
+        VehicleIdentification::new(
+            SyntheticSsdDetector::new(noise, 11),
+            full_coi(),
+            IdentConfig::default(),
+            1,
+        )
+    }
+
+    fn moving_car(gt: u64, t: u32) -> SceneActor {
+        SceneActor {
+            gt: GroundTruthId(gt),
+            class: ObjectClass::Car,
+            bbox: BoundingBox::from_center(20.0 + 6.0 * f64::from(t), 75.0, 36.0, 22.0)
+                .unwrap(),
+            appearance: VehicleAppearance::from_seed(gt),
+        }
+    }
+
+    /// Drives a car across the FOV over `n` frames then `gap` empty frames.
+    fn drive(
+        ident: &mut VehicleIdentification<SyntheticSsdDetector>,
+        gt: u64,
+        n: u32,
+    ) -> Vec<VehicleObservation> {
+        let mut done = Vec::new();
+        for t in 0..n {
+            let scene = Scene {
+                width: W,
+                height: H,
+                actors: vec![moving_car(gt, t)],
+            };
+            done.extend(ident.process_scene(FrameId(u64::from(t)), &scene).completed);
+        }
+        for t in n..n + 6 {
+            let scene = Scene::empty(W, H);
+            done.extend(ident.process_scene(FrameId(u64::from(t)), &scene).completed);
+        }
+        done
+    }
+
+    #[test]
+    fn one_vehicle_one_event() {
+        let mut ident = ident(DetectorNoise::perfect());
+        let obs = drive(&mut ident, 4, 15);
+        assert_eq!(obs.len(), 1, "exactly one detection event per vehicle");
+        let o = &obs[0];
+        assert_eq!(o.ground_truth, Some(GroundTruthId(4)));
+        assert_eq!(o.frames_observed, 15);
+        assert_eq!(o.heading, Some(Heading::East));
+        assert_eq!(o.first_frame, FrameId(0));
+        assert_eq!(o.last_frame, FrameId(14));
+    }
+
+    #[test]
+    fn de_duplication_under_detector_misses() {
+        // With max_age = 3 the paper tolerates sporadic false negatives:
+        // a moderate miss rate must still yield a single event.
+        let noise = DetectorNoise {
+            miss_rate: 0.15,
+            clutter_rate: 0.0,
+            ..DetectorNoise::default()
+        };
+        let mut ident = ident(noise);
+        let obs = drive(&mut ident, 4, 20);
+        assert_eq!(obs.len(), 1, "max_age should absorb sporadic misses");
+    }
+
+    #[test]
+    fn signature_matches_same_vehicle_across_cameras() {
+        // Two identification elements (two cameras) observing the same
+        // ground-truth vehicle: their emitted signatures are close; a
+        // different-colored vehicle is farther.
+        let mut cam1 = ident(DetectorNoise::perfect());
+        let mut cam2 = VehicleIdentification::new(
+            SyntheticSsdDetector::new(DetectorNoise::perfect(), 77),
+            full_coi(),
+            IdentConfig::default(),
+            99,
+        );
+        let red_at_cam1 = drive(&mut cam1, 4, 12).remove(0);
+        let red_at_cam2 = drive(&mut cam2, 4, 12).remove(0);
+        let mut cam3 = ident(DetectorNoise::perfect());
+        let blue_at_cam3 = drive(&mut cam3, 5, 12).remove(0);
+        let same = red_at_cam1
+            .signature
+            .bhattacharyya_distance(&red_at_cam2.signature);
+        let diff = red_at_cam1
+            .signature
+            .bhattacharyya_distance(&blue_at_cam3.signature);
+        assert!(same < diff, "same-vehicle dist {same} vs diff {diff}");
+        assert!(same < 0.3, "same-vehicle distance too large: {same}");
+    }
+
+    #[test]
+    fn two_vehicles_two_events() {
+        let mut id = ident(DetectorNoise::perfect());
+        let mut done = Vec::new();
+        for t in 0..14u32 {
+            let mut actors = vec![moving_car(1, t)];
+            // Second car on another row, moving the opposite way.
+            actors.push(SceneActor {
+                gt: GroundTruthId(2),
+                class: ObjectClass::Car,
+                bbox: BoundingBox::from_center(
+                    180.0 - 6.0 * f64::from(t),
+                    120.0,
+                    36.0,
+                    22.0,
+                )
+                .unwrap(),
+                appearance: VehicleAppearance::from_seed(2),
+            });
+            let scene = Scene {
+                width: W,
+                height: H,
+                actors,
+            };
+            done.extend(id.process_scene(FrameId(u64::from(t)), &scene).completed);
+        }
+        for t in 14..20u32 {
+            done.extend(
+                id.process_scene(FrameId(u64::from(t)), &Scene::empty(W, H))
+                    .completed,
+            );
+        }
+        assert_eq!(done.len(), 2);
+        let gts: std::collections::HashSet<_> =
+            done.iter().filter_map(|o| o.ground_truth).collect();
+        assert_eq!(gts.len(), 2);
+        let headings: Vec<_> = done.iter().filter_map(|o| o.heading).collect();
+        assert!(headings.contains(&Heading::East));
+        assert!(headings.contains(&Heading::West));
+    }
+
+    #[test]
+    fn flush_emits_live_tracks() {
+        let mut id = ident(DetectorNoise::perfect());
+        for t in 0..5u32 {
+            let scene = Scene {
+                width: W,
+                height: H,
+                actors: vec![moving_car(3, t)],
+            };
+            id.process_scene(FrameId(u64::from(t)), &scene);
+        }
+        let obs = id.flush();
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].ground_truth, Some(GroundTruthId(3)));
+        assert_eq!(id.live_track_count(), 0);
+    }
+
+    #[test]
+    fn empty_stream_emits_nothing() {
+        let mut id = ident(DetectorNoise::default());
+        for t in 0..10u32 {
+            let r = id.process_scene(FrameId(u64::from(t)), &Scene::empty(W, H));
+            assert_eq!(r.active_tracks(), 0);
+        }
+        assert!(id.flush().is_empty());
+    }
+}

@@ -1,0 +1,367 @@
+//! Constant-velocity Kalman filter over bounding boxes — the motion model
+//! of the SORT tracker (Bewley et al., ICIP 2016), which the paper feeds
+//! with per-frame detections to de-duplicate a vehicle's appearances within
+//! one camera (§4.1.2).
+//!
+//! The state is the 7-vector `[u, v, s, r, u̇, v̇, ṡ]` where `(u, v)` is the
+//! box center, `s` its area and `r` its aspect ratio; the measurement is
+//! `[u, v, s, r]`. All linear algebra is hand-rolled over fixed-size arrays
+//! (the workspace carries no matrix dependency).
+
+use crate::bbox::BoundingBox;
+
+/// A small dense matrix with const dimensions.
+type Mat<const R: usize, const C: usize> = [[f64; C]; R];
+
+fn matmul<const R: usize, const K: usize, const C: usize>(
+    a: &Mat<R, K>,
+    b: &Mat<K, C>,
+) -> Mat<R, C> {
+    let mut out = [[0.0; C]; R];
+    for i in 0..R {
+        for k in 0..K {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..C {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+fn transpose<const R: usize, const C: usize>(a: &Mat<R, C>) -> Mat<C, R> {
+    let mut out = [[0.0; R]; C];
+    for i in 0..R {
+        for j in 0..C {
+            out[j][i] = a[i][j];
+        }
+    }
+    out
+}
+
+fn add<const R: usize, const C: usize>(a: &Mat<R, C>, b: &Mat<R, C>) -> Mat<R, C> {
+    let mut out = [[0.0; C]; R];
+    for i in 0..R {
+        for j in 0..C {
+            out[i][j] = a[i][j] + b[i][j];
+        }
+    }
+    out
+}
+
+/// Inverts a small matrix by Gauss–Jordan elimination with partial
+/// pivoting. Returns `None` for singular matrices.
+fn invert<const N: usize>(a: &Mat<N, N>) -> Option<Mat<N, N>> {
+    let mut aug = [[0.0; N]; N];
+    let mut inv = [[0.0; N]; N];
+    for i in 0..N {
+        aug[i] = a[i];
+        inv[i][i] = 1.0;
+    }
+    for col in 0..N {
+        // Partial pivot.
+        let mut pivot = col;
+        for row in col + 1..N {
+            if aug[row][col].abs() > aug[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if aug[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        aug.swap(col, pivot);
+        inv.swap(col, pivot);
+        let p = aug[col][col];
+        for j in 0..N {
+            aug[col][j] /= p;
+            inv[col][j] /= p;
+        }
+        for row in 0..N {
+            if row != col {
+                let f = aug[row][col];
+                if f != 0.0 {
+                    for j in 0..N {
+                        aug[row][j] -= f * aug[col][j];
+                        inv[row][j] -= f * inv[col][j];
+                    }
+                }
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Converts a bounding box to the SORT measurement `[u, v, s, r]`.
+pub fn bbox_to_z(b: &BoundingBox) -> [f64; 4] {
+    let w = b.width();
+    let h = b.height();
+    [
+        b.x0 + w / 2.0,
+        b.y0 + h / 2.0,
+        w * h,
+        if h > 0.0 { w / h } else { 0.0 },
+    ]
+}
+
+/// Converts a SORT state `[u, v, s, r, ...]` back to a bounding box.
+/// Degenerate states (non-positive area) collapse to a point box at the
+/// center.
+pub fn z_to_bbox(u: f64, v: f64, s: f64, r: f64) -> BoundingBox {
+    if s <= 0.0 || r <= 0.0 {
+        return BoundingBox::new(u, v, u, v).unwrap_or(BoundingBox {
+            x0: 0.0,
+            y0: 0.0,
+            x1: 0.0,
+            y1: 0.0,
+        });
+    }
+    let w = (s * r).sqrt();
+    let h = s / w;
+    BoundingBox {
+        x0: u - w / 2.0,
+        y0: v - h / 2.0,
+        x1: u + w / 2.0,
+        y1: v + h / 2.0,
+    }
+}
+
+/// The SORT Kalman filter for one tracked box.
+#[derive(Debug, Clone)]
+pub struct KalmanBoxFilter {
+    /// State `[u, v, s, r, u̇, v̇, ṡ]`.
+    x: [f64; 7],
+    /// State covariance.
+    p: Mat<7, 7>,
+}
+
+impl KalmanBoxFilter {
+    /// Initializes the filter from the first detection of a track, with the
+    /// standard SORT priors (high uncertainty on the unobserved velocities).
+    pub fn new(initial: &BoundingBox) -> Self {
+        let z = bbox_to_z(initial);
+        let mut p = [[0.0; 7]; 7];
+        for (i, v) in [10.0, 10.0, 10.0, 10.0, 1e4, 1e4, 1e4].iter().enumerate() {
+            p[i][i] = *v;
+        }
+        Self {
+            x: [z[0], z[1], z[2], z[3], 0.0, 0.0, 0.0],
+            p,
+        }
+    }
+
+    fn f() -> Mat<7, 7> {
+        let mut f = [[0.0; 7]; 7];
+        for (i, row) in f.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        f[0][4] = 1.0;
+        f[1][5] = 1.0;
+        f[2][6] = 1.0;
+        f
+    }
+
+    fn h() -> Mat<4, 7> {
+        let mut h = [[0.0; 7]; 4];
+        for (i, row) in h.iter_mut().enumerate() {
+            row[i] = 1.0;
+        }
+        h
+    }
+
+    fn q() -> Mat<7, 7> {
+        let mut q = [[0.0; 7]; 7];
+        for (i, v) in [1.0, 1.0, 1.0, 1.0, 0.01, 0.01, 1e-4].iter().enumerate() {
+            q[i][i] = *v;
+        }
+        q
+    }
+
+    fn r() -> Mat<4, 4> {
+        let mut r = [[0.0; 4]; 4];
+        for (i, v) in [1.0, 1.0, 10.0, 10.0].iter().enumerate() {
+            r[i][i] = *v;
+        }
+        r
+    }
+
+    /// Advances the state one frame and returns the predicted box.
+    pub fn predict(&mut self) -> BoundingBox {
+        // Prevent the area from going negative through its velocity.
+        if self.x[2] + self.x[6] <= 0.0 {
+            self.x[6] = 0.0;
+        }
+        let f = Self::f();
+        let x_col: Mat<7, 1> = [
+            [self.x[0]],
+            [self.x[1]],
+            [self.x[2]],
+            [self.x[3]],
+            [self.x[4]],
+            [self.x[5]],
+            [self.x[6]],
+        ];
+        let nx = matmul(&f, &x_col);
+        for (xi, row) in self.x.iter_mut().zip(&nx) {
+            *xi = row[0];
+        }
+        self.p = add(&matmul(&matmul(&f, &self.p), &transpose(&f)), &Self::q());
+        self.current_bbox()
+    }
+
+    /// Fuses a new measurement (a matched detection) into the state.
+    pub fn update(&mut self, measured: &BoundingBox) {
+        let z = bbox_to_z(measured);
+        let h = Self::h();
+        let hx = [self.x[0], self.x[1], self.x[2], self.x[3]];
+        let y: Mat<4, 1> = [
+            [z[0] - hx[0]],
+            [z[1] - hx[1]],
+            [z[2] - hx[2]],
+            [z[3] - hx[3]],
+        ];
+        let ph_t = matmul(&self.p, &transpose(&h));
+        let s = add(&matmul(&h, &ph_t), &Self::r());
+        let Some(s_inv) = invert(&s) else {
+            return; // numerically singular: skip the update
+        };
+        let k = matmul(&ph_t, &s_inv); // 7x4
+        let ky = matmul(&k, &y); // 7x1
+        for (xi, row) in self.x.iter_mut().zip(&ky) {
+            *xi += row[0];
+        }
+        // P = (I - K H) P
+        let kh = matmul(&k, &h);
+        let mut i_kh = [[0.0; 7]; 7];
+        for (i, row) in i_kh.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = if i == j { 1.0 } else { 0.0 } - kh[i][j];
+            }
+        }
+        self.p = matmul(&i_kh, &self.p);
+    }
+
+    /// The box described by the current state estimate.
+    pub fn current_bbox(&self) -> BoundingBox {
+        z_to_bbox(self.x[0], self.x[1], self.x[2], self.x[3])
+    }
+
+    /// The estimated center velocity `(u̇, v̇)` in pixels per frame.
+    pub fn velocity(&self) -> (f64, f64) {
+        (self.x[4], self.x[5])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(cx: f64, cy: f64) -> BoundingBox {
+        BoundingBox::from_center(cx, cy, 40.0, 20.0).unwrap()
+    }
+
+    #[test]
+    fn invert_identity() {
+        let i: Mat<3, 3> = [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]];
+        assert_eq!(invert(&i), Some(i));
+    }
+
+    #[test]
+    fn invert_known_matrix() {
+        let a: Mat<2, 2> = [[4.0, 7.0], [2.0, 6.0]];
+        let inv = invert(&a).unwrap();
+        let prod = matmul(&a, &inv);
+        for (i, row) in prod.iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-10, "prod[{i}][{j}] = {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn invert_singular_is_none() {
+        let a: Mat<2, 2> = [[1.0, 2.0], [2.0, 4.0]];
+        assert!(invert(&a).is_none());
+    }
+
+    #[test]
+    fn bbox_z_roundtrip() {
+        let bb = BoundingBox::new(10.0, 20.0, 50.0, 40.0).unwrap();
+        let z = bbox_to_z(&bb);
+        let back = z_to_bbox(z[0], z[1], z[2], z[3]);
+        assert!(bb.iou(&back) > 0.999);
+    }
+
+    #[test]
+    fn stationary_box_stays_put() {
+        let mut kf = KalmanBoxFilter::new(&b(100.0, 100.0));
+        for _ in 0..10 {
+            kf.predict();
+            kf.update(&b(100.0, 100.0));
+        }
+        let est = kf.current_bbox();
+        let c = est.centroid();
+        assert!((c.x - 100.0).abs() < 1.0 && (c.y - 100.0).abs() < 1.0);
+        let (vu, vv) = kf.velocity();
+        assert!(vu.abs() < 0.5 && vv.abs() < 0.5);
+    }
+
+    #[test]
+    fn constant_velocity_is_learned() {
+        let mut kf = KalmanBoxFilter::new(&b(0.0, 50.0));
+        for t in 1..=20 {
+            kf.predict();
+            kf.update(&b(5.0 * t as f64, 50.0));
+        }
+        let (vu, vv) = kf.velocity();
+        assert!((vu - 5.0).abs() < 0.5, "vu = {vu}");
+        assert!(vv.abs() < 0.5, "vv = {vv}");
+        // Prediction without measurement continues the motion.
+        let pred = kf.predict();
+        let c = pred.centroid();
+        assert!((c.x - 105.0).abs() < 2.0, "cx = {}", c.x);
+    }
+
+    #[test]
+    fn prediction_tracks_through_missed_frames() {
+        let mut kf = KalmanBoxFilter::new(&b(0.0, 0.0));
+        for t in 1..=10 {
+            kf.predict();
+            kf.update(&b(4.0 * t as f64, 3.0 * t as f64));
+        }
+        // Miss three frames.
+        let mut last = kf.current_bbox();
+        for _ in 0..3 {
+            last = kf.predict();
+        }
+        let c = last.centroid();
+        assert!((c.x - 52.0).abs() < 3.0, "cx = {}", c.x);
+        assert!((c.y - 39.0).abs() < 3.0, "cy = {}", c.y);
+    }
+
+    #[test]
+    fn area_velocity_clamped_to_nonnegative_area() {
+        let mut kf = KalmanBoxFilter::new(&b(10.0, 10.0));
+        // Shrink the box rapidly to drive the area-velocity negative.
+        for t in 1..=8 {
+            kf.predict();
+            let w = (40.0 - 4.5 * t as f64).max(1.0);
+            let shrunk = BoundingBox::from_center(10.0, 10.0, w, w / 2.0).unwrap();
+            kf.update(&shrunk);
+        }
+        for _ in 0..20 {
+            let p = kf.predict();
+            assert!(p.area() >= 0.0);
+            assert!(p.x1 >= p.x0 && p.y1 >= p.y0);
+        }
+    }
+
+    #[test]
+    fn degenerate_state_gives_point_box() {
+        let bb = z_to_bbox(5.0, 5.0, -1.0, 2.0);
+        assert_eq!(bb.area(), 0.0);
+    }
+}

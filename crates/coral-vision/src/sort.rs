@@ -1,0 +1,433 @@
+//! SORT — Simple Online and Realtime Tracking (Bewley et al., 2016).
+//!
+//! "We feed the bounding boxes received from RPi 1 into the Sort Tracker,
+//! which assigns an ID for each bounding box. ... A vehicle is considered
+//! leaving the camera when its ID does not appear in the output of the Sort
+//! Tracker for `max_age` consecutive frames" (paper §4.1.2; the prototype
+//! uses `max_age = 3`).
+//!
+//! Track IDs are local to one camera and carry no cross-camera meaning
+//! (paper footnote 6).
+
+use crate::bbox::BoundingBox;
+use crate::hungarian;
+use crate::kalman::KalmanBoxFilter;
+use serde::{Deserialize, Serialize};
+
+/// Camera-local track identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TrackId(pub u64);
+
+impl std::fmt::Display for TrackId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// SORT configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SortConfig {
+    /// Frames a track may go unmatched before it is considered to have left
+    /// the field of view. The paper's prototype uses 3, giving tolerance to
+    /// detector false negatives (§4.1.2).
+    pub max_age: u32,
+    /// Matched frames required before a track is reported (burn-in against
+    /// clutter). SORT's default is 1.
+    pub min_hits: u32,
+    /// Minimum IoU between a detection and a predicted track box for the
+    /// pair to be associable.
+    pub iou_threshold: f64,
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        Self {
+            max_age: 3,
+            min_hits: 1,
+            iou_threshold: 0.3,
+        }
+    }
+}
+
+/// One reported track state for the current frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackState {
+    /// Track identifier.
+    pub id: TrackId,
+    /// The detection box matched to the track this frame.
+    pub bbox: BoundingBox,
+    /// Total matched frames for this track.
+    pub hits: u32,
+    /// Whether this is the track's first reported frame.
+    pub is_new: bool,
+}
+
+/// A track that was dropped this frame because it went unmatched for more
+/// than `max_age` frames — i.e. the vehicle left the camera's FOV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpiredTrack {
+    /// The identifier of the expired track.
+    pub id: TrackId,
+    /// Total matched frames the track accumulated.
+    pub hits: u32,
+}
+
+/// Per-frame tracker output.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SortOutput {
+    /// Tracks matched to a detection this frame.
+    pub active: Vec<TrackState>,
+    /// Tracks dropped this frame (vehicle left the FOV).
+    pub expired: Vec<ExpiredTrack>,
+}
+
+#[derive(Debug, Clone)]
+struct Track {
+    id: TrackId,
+    kf: KalmanBoxFilter,
+    hits: u32,
+    time_since_update: u32,
+    reported: bool,
+    last_bbox: BoundingBox,
+}
+
+/// The SORT multi-object tracker.
+///
+/// # Examples
+///
+/// ```
+/// use coral_vision::{BoundingBox, SortConfig, SortTracker};
+///
+/// let mut sort = SortTracker::new(SortConfig::default());
+/// let b = |x: f64| BoundingBox::from_center(x, 50.0, 30.0, 20.0).unwrap();
+/// let out = sort.update(&[b(10.0)]);
+/// let id = out.active[0].id;
+/// let out = sort.update(&[b(14.0)]);
+/// assert_eq!(out.active[0].id, id); // same vehicle, same ID
+/// ```
+#[derive(Debug, Clone)]
+pub struct SortTracker {
+    config: SortConfig,
+    tracks: Vec<Track>,
+    next_id: u64,
+    frame_count: u64,
+}
+
+impl SortTracker {
+    /// Creates a tracker.
+    pub fn new(config: SortConfig) -> Self {
+        Self {
+            config,
+            tracks: Vec::new(),
+            next_id: 0,
+            frame_count: 0,
+        }
+    }
+
+    /// The tracker configuration.
+    pub fn config(&self) -> &SortConfig {
+        &self.config
+    }
+
+    /// Number of tracks currently alive (matched within `max_age` frames).
+    pub fn live_track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Processes one frame of detections and returns matched and expired
+    /// tracks.
+    pub fn update(&mut self, detections: &[BoundingBox]) -> SortOutput {
+        self.frame_count += 1;
+        // 1. Predict all existing tracks forward one frame.
+        let predicted: Vec<BoundingBox> = self.tracks.iter_mut().map(|t| t.kf.predict()).collect();
+
+        // 2. Associate detections to predictions by IoU via Hungarian.
+        let (matches, unmatched_dets) = self.associate(detections, &predicted);
+
+        let mut out = SortOutput::default();
+
+        // 3. Update matched tracks.
+        let mut matched_tracks = vec![false; self.tracks.len()];
+        for (det_idx, trk_idx) in matches {
+            let track = &mut self.tracks[trk_idx];
+            track.kf.update(&detections[det_idx]);
+            track.hits += 1;
+            track.time_since_update = 0;
+            track.last_bbox = detections[det_idx];
+            matched_tracks[trk_idx] = true;
+            if track.hits >= self.config.min_hits {
+                out.active.push(TrackState {
+                    id: track.id,
+                    bbox: detections[det_idx],
+                    hits: track.hits,
+                    is_new: !track.reported,
+                });
+                track.reported = true;
+            }
+        }
+
+        // 4. Age unmatched tracks.
+        for (i, track) in self.tracks.iter_mut().enumerate() {
+            if !matched_tracks[i] {
+                track.time_since_update += 1;
+            }
+        }
+
+        // 5. Spawn new tracks for unmatched detections.
+        for det_idx in unmatched_dets {
+            let id = TrackId(self.next_id);
+            self.next_id += 1;
+            let mut track = Track {
+                id,
+                kf: KalmanBoxFilter::new(&detections[det_idx]),
+                hits: 1,
+                time_since_update: 0,
+                reported: false,
+                last_bbox: detections[det_idx],
+            };
+            if track.hits >= self.config.min_hits {
+                out.active.push(TrackState {
+                    id,
+                    bbox: detections[det_idx],
+                    hits: 1,
+                    is_new: true,
+                });
+                track.reported = true;
+            }
+            self.tracks.push(track);
+        }
+
+        // 6. Expire tracks unmatched for more than max_age frames.
+        let max_age = self.config.max_age;
+        let mut expired = Vec::new();
+        self.tracks.retain(|t| {
+            if t.time_since_update > max_age {
+                if t.reported {
+                    expired.push(ExpiredTrack {
+                        id: t.id,
+                        hits: t.hits,
+                    });
+                }
+                false
+            } else {
+                true
+            }
+        });
+        out.expired = expired;
+        out
+    }
+
+    /// Flushes all live tracks as expired (end of stream).
+    pub fn flush(&mut self) -> Vec<ExpiredTrack> {
+        let out = self
+            .tracks
+            .iter()
+            .filter(|t| t.reported)
+            .map(|t| ExpiredTrack {
+                id: t.id,
+                hits: t.hits,
+            })
+            .collect();
+        self.tracks.clear();
+        out
+    }
+
+    /// IoU-gated Hungarian association. Returns `(matches, unmatched_dets)`
+    /// where matches are `(detection index, track index)`.
+    fn associate(
+        &self,
+        detections: &[BoundingBox],
+        predicted: &[BoundingBox],
+    ) -> (Vec<(usize, usize)>, Vec<usize>) {
+        if detections.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        if predicted.is_empty() {
+            return (Vec::new(), (0..detections.len()).collect());
+        }
+        let cost: Vec<Vec<f64>> = detections
+            .iter()
+            .map(|d| predicted.iter().map(|p| -d.iou(p)).collect())
+            .collect();
+        let assignment = hungarian::assign(&cost);
+        let mut matches = Vec::new();
+        let mut unmatched = Vec::new();
+        for (det_idx, assigned) in assignment.iter().enumerate() {
+            match assigned {
+                Some(trk_idx)
+                    if detections[det_idx].iou(&predicted[*trk_idx])
+                        >= self.config.iou_threshold =>
+                {
+                    matches.push((det_idx, *trk_idx));
+                }
+                _ => unmatched.push(det_idx),
+            }
+        }
+        (matches, unmatched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(cx: f64, cy: f64) -> BoundingBox {
+        BoundingBox::from_center(cx, cy, 40.0, 24.0).unwrap()
+    }
+
+    #[test]
+    fn single_vehicle_keeps_one_id() {
+        let mut sort = SortTracker::new(SortConfig::default());
+        let mut ids = std::collections::HashSet::new();
+        for t in 0..30 {
+            let out = sort.update(&[b(10.0 + 4.0 * t as f64, 60.0)]);
+            assert_eq!(out.active.len(), 1);
+            ids.insert(out.active[0].id);
+        }
+        assert_eq!(ids.len(), 1, "one vehicle must keep one ID");
+    }
+
+    #[test]
+    fn two_crossing_vehicles_keep_distinct_ids() {
+        let mut sort = SortTracker::new(SortConfig::default());
+        let first = sort.update(&[b(0.0, 40.0), b(200.0, 90.0)]);
+        assert_eq!(first.active.len(), 2);
+        let (ida, idb) = (first.active[0].id, first.active[1].id);
+        assert_ne!(ida, idb);
+        for t in 1..25 {
+            // Vehicle A moves right, B moves left, on separate rows.
+            let out = sort.update(&[
+                b(8.0 * t as f64, 40.0),
+                b(200.0 - 8.0 * t as f64, 90.0),
+            ]);
+            assert_eq!(out.active.len(), 2);
+            for st in &out.active {
+                assert!(st.id == ida || st.id == idb);
+            }
+        }
+    }
+
+    #[test]
+    fn track_survives_missed_frames_within_max_age() {
+        let mut sort = SortTracker::new(SortConfig::default());
+        let out = sort.update(&[b(50.0, 50.0)]);
+        let id = out.active[0].id;
+        // Two missed frames (within max_age = 3).
+        assert!(sort.update(&[]).expired.is_empty());
+        assert!(sort.update(&[]).expired.is_empty());
+        // Vehicle reappears a bit further along; same ID.
+        let out = sort.update(&[b(56.0, 50.0)]);
+        assert_eq!(out.active.len(), 1);
+        assert_eq!(out.active[0].id, id);
+        assert!(!out.active[0].is_new);
+    }
+
+    #[test]
+    fn track_expires_after_max_age() {
+        let mut sort = SortTracker::new(SortConfig::default());
+        let out = sort.update(&[b(50.0, 50.0)]);
+        let id = out.active[0].id;
+        let mut expired = Vec::new();
+        for _ in 0..5 {
+            expired.extend(sort.update(&[]).expired);
+        }
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].id, id);
+        assert_eq!(sort.live_track_count(), 0);
+        // A new detection now gets a fresh ID.
+        let out = sort.update(&[b(50.0, 50.0)]);
+        assert_ne!(out.active[0].id, id);
+        assert!(out.active[0].is_new);
+    }
+
+    #[test]
+    fn max_age_boundary_is_exclusive() {
+        // With max_age = 3, a track missing for exactly 3 frames survives;
+        // it expires on the 4th.
+        let mut sort = SortTracker::new(SortConfig::default());
+        sort.update(&[b(50.0, 50.0)]);
+        for i in 0..3 {
+            let out = sort.update(&[]);
+            assert!(out.expired.is_empty(), "expired early at miss {}", i + 1);
+        }
+        let out = sort.update(&[]);
+        assert_eq!(out.expired.len(), 1);
+    }
+
+    #[test]
+    fn min_hits_burn_in_suppresses_clutter() {
+        let cfg = SortConfig {
+            min_hits: 3,
+            ..SortConfig::default()
+        };
+        let mut sort = SortTracker::new(cfg);
+        // A single-frame clutter box never reaches min_hits: not reported,
+        // and not reported as expired either.
+        let out = sort.update(&[b(10.0, 10.0)]);
+        assert!(out.active.is_empty());
+        let mut expired_any = false;
+        for _ in 0..6 {
+            expired_any |= !sort.update(&[]).expired.is_empty();
+        }
+        assert!(!expired_any, "unreported clutter must not emit expiry");
+        // A persistent vehicle is reported from its third frame.
+        let mut reported_at = None;
+        for t in 0..5 {
+            let out = sort.update(&[b(100.0 + 4.0 * t as f64, 80.0)]);
+            if !out.active.is_empty() && reported_at.is_none() {
+                reported_at = Some(t);
+                assert!(out.active[0].is_new);
+            }
+        }
+        assert_eq!(reported_at, Some(2));
+    }
+
+    #[test]
+    fn far_detection_spawns_new_track_not_match() {
+        let mut sort = SortTracker::new(SortConfig::default());
+        let out = sort.update(&[b(50.0, 50.0)]);
+        let id = out.active[0].id;
+        // Teleported detection: IoU 0 with prediction -> new track.
+        let out = sort.update(&[b(300.0, 200.0)]);
+        assert_eq!(out.active.len(), 1);
+        assert_ne!(out.active[0].id, id);
+    }
+
+    #[test]
+    fn flush_reports_live_tracks() {
+        let mut sort = SortTracker::new(SortConfig::default());
+        sort.update(&[b(10.0, 10.0), b(100.0, 100.0)]);
+        let flushed = sort.flush();
+        assert_eq!(flushed.len(), 2);
+        assert_eq!(sort.live_track_count(), 0);
+        assert!(sort.flush().is_empty());
+    }
+
+    #[test]
+    fn hits_accumulate() {
+        let mut sort = SortTracker::new(SortConfig::default());
+        for t in 0..5 {
+            let out = sort.update(&[b(10.0 + 3.0 * t as f64, 10.0)]);
+            assert_eq!(out.active[0].hits, t + 1);
+        }
+    }
+
+    #[test]
+    fn occlusion_gap_with_motion_reacquires_same_id() {
+        // A vehicle moving at constant velocity disappears for 2 frames
+        // behind an "occluder" and reappears where the Kalman prediction
+        // expects it: the ID must persist.
+        let mut sort = SortTracker::new(SortConfig::default());
+        let mut id = None;
+        for t in 0..10 {
+            let out = sort.update(&[b(10.0 + 6.0 * t as f64, 50.0)]);
+            id = Some(out.active[0].id);
+        }
+        sort.update(&[]);
+        sort.update(&[]);
+        let out = sort.update(&[b(10.0 + 6.0 * 12.0, 50.0)]);
+        assert_eq!(out.active[0].id, id.unwrap());
+    }
+}

@@ -1,0 +1,182 @@
+//! Camera nodes talking over real TCP sockets — the closest analogue to
+//! the paper's deployment, where each camera's RPis push ZeroMQ messages
+//! over the campus LAN. Each node binds its own loopback port; a directory
+//! maps endpoints to socket addresses (in a real deployment this comes
+//! from configuration or the topology server).
+//!
+//! ```sh
+//! cargo run --release --example tcp_cameras
+//! ```
+
+use coral_pie::core::{CameraNode, NodeConfig};
+use coral_pie::geo::{generators, route, IntersectionId};
+use coral_pie::net::{send_to, Endpoint, Envelope, Message, TcpEndpoint};
+use coral_pie::sim::{CameraView, SimDuration, SimTime, TrafficConfig, TrafficModel};
+use coral_pie::storage::{EdgeStorageNode, QueryOptions};
+use coral_pie::topology::{CameraId, ServerConfig, TopologyServer};
+use coral_pie::vision::{DetectorNoise, ObjectClass};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const N_CAMERAS: u32 = 3;
+
+fn main() {
+    let net = generators::corridor(N_CAMERAS as usize, 120.0, 12.0);
+    let storage = EdgeStorageNode::default();
+    let stop = Arc::new(AtomicBool::new(false));
+    let clock_ms = Arc::new(AtomicU64::new(0));
+    let traffic = Arc::new(Mutex::new(TrafficModel::new(
+        net.clone(),
+        TrafficConfig::default(),
+        7,
+    )));
+
+    // Bind one TCP listener per party and publish the address directory.
+    let server_ep = TcpEndpoint::bind("127.0.0.1:0").expect("bind server");
+    let camera_eps: Vec<TcpEndpoint> = (0..N_CAMERAS)
+        .map(|_| TcpEndpoint::bind("127.0.0.1:0").expect("bind camera"))
+        .collect();
+    let mut directory: HashMap<Endpoint, SocketAddr> = HashMap::new();
+    directory.insert(Endpoint::TopologyServer, server_ep.local_addr());
+    for (i, ep) in camera_eps.iter().enumerate() {
+        directory.insert(Endpoint::Camera(CameraId(i as u32)), ep.local_addr());
+    }
+    let directory = Arc::new(directory);
+    println!("address directory:");
+    for (ep, addr) in directory.iter() {
+        println!("  {ep} -> {addr}");
+    }
+
+    // Topology server thread: real socket in, real sockets out.
+    let server_stop = stop.clone();
+    let server_dir = directory.clone();
+    let server_net = net.clone();
+    let server = thread::spawn(move || {
+        let mut server = TopologyServer::new(server_net, ServerConfig::default());
+        let mut now_ms = 0u64;
+        while !server_stop.load(Ordering::Relaxed) {
+            while let Ok(env) = server_ep.receiver().try_recv() {
+                if let Message::Heartbeat {
+                    camera,
+                    position,
+                    videoing_angle_deg,
+                } = env.message
+                {
+                    now_ms += 1;
+                    for u in server
+                        .handle_heartbeat(camera, position, videoing_angle_deg, now_ms)
+                        .expect("registration succeeds")
+                    {
+                        let to = Endpoint::Camera(u.camera);
+                        if let Some(addr) = server_dir.get(&to) {
+                            let _ = send_to(
+                                *addr,
+                                &Envelope {
+                                    from: Endpoint::TopologyServer,
+                                    to,
+                                    message: Message::TopologyUpdate(u),
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        server_ep.shutdown();
+    });
+
+    // Camera node threads.
+    let mut camera_threads = Vec::new();
+    for (i, ep) in camera_eps.into_iter().enumerate() {
+        let cam = CameraId(i as u32);
+        let position = net
+            .intersection(IntersectionId(i as u32))
+            .expect("site exists")
+            .position;
+        let view = CameraView::standard(position, 0.0);
+        let node_storage = storage.clone();
+        let cam_stop = stop.clone();
+        let cam_clock = clock_ms.clone();
+        let cam_traffic = traffic.clone();
+        let dir = directory.clone();
+        camera_threads.push(thread::spawn(move || {
+            let mut node = CameraNode::new(
+                cam,
+                view,
+                NodeConfig {
+                    detector_noise: DetectorNoise::perfect(),
+                    ..NodeConfig::default()
+                },
+                node_storage,
+                300 + i as u64,
+            );
+            let deliver = |from: Endpoint, to: Endpoint, message: Message| {
+                if let Some(addr) = dir.get(&to) {
+                    let _ = send_to(*addr, &Envelope { from, to, message });
+                }
+            };
+            deliver(
+                Endpoint::Camera(cam),
+                Endpoint::TopologyServer,
+                node.heartbeat(),
+            );
+            let mut sent = 0u64;
+            while !cam_stop.load(Ordering::Relaxed) {
+                let now_ms = cam_clock.load(Ordering::Relaxed);
+                while let Ok(env) = ep.receiver().try_recv() {
+                    for (to, msg) in node.on_message(env.message, now_ms) {
+                        sent += 1;
+                        deliver(Endpoint::Camera(cam), Endpoint::Camera(to), msg);
+                    }
+                }
+                let scene = { node.view().scene(&cam_traffic.lock()) };
+                for (to, msg) in node.on_frame(&scene, now_ms, None).messages {
+                    sent += 1;
+                    deliver(Endpoint::Camera(cam), Endpoint::Camera(to), msg);
+                }
+                thread::sleep(Duration::from_millis(4));
+            }
+            ep.shutdown();
+            (cam, node.events_generated(), sent)
+        }));
+    }
+
+    // Traffic at ~24x real time.
+    let r = route::shortest_path(&net, IntersectionId(0), IntersectionId(2)).expect("connected");
+    traffic
+        .lock()
+        .spawn(SimTime::from_secs(1), r, Some(ObjectClass::Car));
+    for _ in 0..450 {
+        {
+            let mut t = traffic.lock();
+            let now = SimTime::from_millis(clock_ms.load(Ordering::Relaxed));
+            t.step(now, SimDuration::from_millis(96));
+        }
+        clock_ms.fetch_add(96, Ordering::Relaxed);
+        thread::sleep(Duration::from_millis(4));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in camera_threads {
+        let (cam, events, sent) = h.join().expect("camera thread ok");
+        println!("{cam}: {events} detection events, {sent} TCP messages sent");
+    }
+    server.join().expect("server thread ok");
+
+    let (vertices, edges, _, _) = storage.stats();
+    println!("\ntrajectory graph: {vertices} vertices, {edges} edges");
+    let seed = storage
+        .with_graph(|g| g.vertices().min_by_key(|v| v.first_seen_ms).map(|v| v.id))
+        .expect("detections stored");
+    let track = storage
+        .query_trajectory(seed, QueryOptions::default())
+        .expect("seed exists")
+        .best_track();
+    println!("best track spans {} cameras — TCP deployment OK", track.len());
+    assert!(vertices >= 3);
+}

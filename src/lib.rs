@@ -1,0 +1,15 @@
+//! # Coral-Pie
+//!
+//! Facade crate re-exporting the Coral-Pie workspace: a geo-distributed
+//! edge-compute system for space-time vehicle tracking (STVT).
+//!
+//! See the [`coral_core`] crate for the end-to-end system harness.
+
+pub use coral_core as core;
+pub use coral_geo as geo;
+pub use coral_net as net;
+pub use coral_pipeline as pipeline;
+pub use coral_sim as sim;
+pub use coral_storage as storage;
+pub use coral_topology as topology;
+pub use coral_vision as vision;

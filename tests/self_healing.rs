@@ -1,0 +1,175 @@
+//! Cross-crate integration: failure detection, MDCS healing and rejoin.
+
+use coral_pie::core::{CameraSpec, CoralPieSystem, NodeConfig, SystemConfig};
+use coral_pie::geo::{generators, route, IntersectionId};
+use coral_pie::sim::{FailureEvent, FailureKind, FailureSchedule, SimDuration, SimTime};
+use coral_pie::topology::CameraId;
+use coral_pie::vision::{DetectorNoise, ObjectClass};
+
+fn system(n: usize, heartbeat_s: u64) -> (CoralPieSystem, coral_pie::geo::RoadNetwork) {
+    let net = generators::corridor(n, 120.0, 12.0);
+    let specs: Vec<CameraSpec> = (0..n)
+        .map(|i| CameraSpec {
+            id: CameraId(i as u32),
+            site: IntersectionId(i as u32),
+            videoing_angle_deg: 0.0,
+        })
+        .collect();
+    let config = SystemConfig {
+        node: NodeConfig {
+            detector_noise: DetectorNoise::perfect(),
+            ..NodeConfig::default()
+        },
+        heartbeat_interval: SimDuration::from_secs(heartbeat_s),
+        ..SystemConfig::default()
+    };
+    (CoralPieSystem::new(net.clone(), &specs, config), net)
+}
+
+fn kill(at_s: u64, cam: u32) -> FailureSchedule {
+    let mut s = FailureSchedule::new();
+    s.push(FailureEvent {
+        at: SimTime::from_secs(at_s),
+        camera: CameraId(cam),
+        kind: FailureKind::Kill,
+    });
+    s
+}
+
+#[test]
+fn recovery_time_scales_with_heartbeat_interval() {
+    let mut durations = Vec::new();
+    for hb in [2u64, 5] {
+        let (mut sys, _) = system(5, hb);
+        sys.run_until(SimTime::from_secs(8));
+        sys.set_failures(&kill(10, 2));
+        sys.run_until(SimTime::from_secs(40));
+        let r = sys.telemetry().recoveries[0];
+        let d = r.duration();
+        // Paper's bound: at most twice the heartbeat interval (plus
+        // detection granularity and WAN dissemination).
+        assert!(
+            d <= SimDuration::from_secs(2 * hb) + SimDuration::from_millis(700),
+            "hb {hb}s: recovery {d}"
+        );
+        assert!(
+            d >= SimDuration::from_secs(hb) / 2,
+            "hb {hb}s: recovery implausibly fast {d}"
+        );
+        durations.push(d);
+    }
+    assert!(
+        durations[0] < durations[1],
+        "2 s heartbeat must heal faster than 5 s: {durations:?}"
+    );
+}
+
+#[test]
+fn tracking_survives_a_mid_route_failure() {
+    // Kill the middle camera of a 5-camera corridor while traffic flows;
+    // after healing, upstream informs skip to the next surviving camera and
+    // trajectories keep being linked (with the failed camera's segment
+    // missing, not the whole track).
+    let (mut sys, net) = system(5, 2);
+    sys.run_until(SimTime::from_secs(2));
+    // Steady vehicle stream.
+    for k in 0..8u64 {
+        let r = route::shortest_path(&net, IntersectionId(0), IntersectionId(4)).unwrap();
+        sys.traffic_mut().spawn(
+            SimTime::from_secs(2) + SimDuration::from_secs(12 * k),
+            r,
+            Some(ObjectClass::Car),
+        );
+    }
+    sys.set_failures(&kill(30, 2));
+    sys.run_until(SimTime::from_secs(160));
+    sys.finish();
+
+    // The failed camera is gone from the server and from its neighbour's
+    // socket group.
+    assert!(!sys.server().active_cameras().contains(&CameraId(2)));
+    let down1 = sys
+        .node(CameraId(1))
+        .unwrap()
+        .connection()
+        .socket_group()
+        .all_downstream();
+    assert!(down1.contains(&CameraId(3)), "cam1 must skip to cam3: {down1:?}");
+    assert!(!down1.contains(&CameraId(2)));
+
+    // Vehicles that crossed after the failure still get cam1 -> cam3 edges.
+    let healed_links = sys.storage().with_graph(|g| {
+        g.edges()
+            .filter(|e| {
+                let from = g.vertex(e.from).unwrap();
+                let to = g.vertex(e.to).unwrap();
+                from.camera == CameraId(1) && to.camera == CameraId(3)
+            })
+            .count()
+    });
+    assert!(
+        healed_links >= 2,
+        "expected healed cam1->cam3 trajectory edges, got {healed_links}"
+    );
+}
+
+#[test]
+fn failed_camera_rejoins_on_next_heartbeat_cycle() {
+    let (mut sys, _) = system(3, 2);
+    sys.run_until(SimTime::from_secs(5));
+    sys.set_failures(&kill(6, 1));
+    sys.run_until(SimTime::from_secs(20));
+    assert_eq!(sys.server().active_cameras().len(), 2);
+    // The harness models restore as a re-join: a fresh heartbeat from the
+    // same camera id re-registers it.
+    let pos = sys.node(CameraId(1)).unwrap().view().position;
+    // Re-animate by injecting a heartbeat through the server directly
+    // (the camera process restarted).
+    // The public system API treats restore as out of scope; drive the
+    // server component to verify the topology layer handles rejoin.
+    let mut server = sys.server().clone();
+    let updates = server
+        .handle_heartbeat(CameraId(1), pos, 0.0, 25_000)
+        .expect("rejoin accepted");
+    assert!(updates.iter().any(|u| u.camera == CameraId(1)));
+    assert_eq!(server.active_cameras().len(), 3);
+}
+
+#[test]
+fn multiple_overlapping_failures_all_recover() {
+    let (mut sys, _) = system(8, 2);
+    sys.run_until(SimTime::from_secs(5));
+    let mut schedule = FailureSchedule::new();
+    // Two cameras die within one heartbeat of each other.
+    schedule.push(FailureEvent {
+        at: SimTime::from_secs(10),
+        camera: CameraId(2),
+        kind: FailureKind::Kill,
+    });
+    schedule.push(FailureEvent {
+        at: SimTime::from_millis(10_900),
+        camera: CameraId(5),
+        kind: FailureKind::Kill,
+    });
+    sys.set_failures(&schedule);
+    sys.run_until(SimTime::from_secs(40));
+    let recoveries = &sys.telemetry().recoveries;
+    assert_eq!(recoveries.len(), 2, "both failures must be healed");
+    for r in recoveries {
+        assert!(
+            r.duration() <= SimDuration::from_secs(4) + SimDuration::from_millis(900),
+            "{:?}",
+            r
+        );
+    }
+    // The corridor stitched itself back together: cam1 -> cam3, cam4 -> cam6.
+    let down = |cam: u32| {
+        sys.node(CameraId(cam))
+            .unwrap()
+            .connection()
+            .socket_group()
+            .all_downstream()
+    };
+    assert!(down(1).contains(&CameraId(3)));
+    assert!(down(4).contains(&CameraId(6)));
+}

@@ -1,0 +1,160 @@
+//! A real multi-threaded deployment (no discrete-event loop): camera nodes
+//! on OS threads exchanging protocol messages through the in-process
+//! router, with the topology server on its own thread — a compressed
+//! version of `examples/threaded_cameras.rs` suitable for CI.
+
+use coral_pie::core::{CameraNode, NodeConfig};
+use coral_pie::geo::{generators, route, IntersectionId};
+use coral_pie::net::{Endpoint, Envelope, InProcRouter, Message};
+use coral_pie::sim::{CameraView, SimDuration, SimTime, TrafficConfig, TrafficModel};
+use coral_pie::storage::{EdgeStorageNode, QueryOptions};
+use coral_pie::topology::{CameraId, ServerConfig, TopologyServer};
+use coral_pie::vision::{DetectorNoise, ObjectClass};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+#[test]
+fn threads_and_router_build_a_track() {
+    const N: u32 = 3;
+    let net = generators::corridor(N as usize, 120.0, 12.0);
+    let router = InProcRouter::new();
+    let storage = EdgeStorageNode::default();
+    let stop = Arc::new(AtomicBool::new(false));
+    let clock_ms = Arc::new(AtomicU64::new(0));
+    let traffic = Arc::new(Mutex::new(TrafficModel::new(
+        net.clone(),
+        TrafficConfig::default(),
+        7,
+    )));
+
+    // Topology server thread.
+    let server_rx = router.register(Endpoint::TopologyServer);
+    let server_router = router.clone();
+    let server_stop = stop.clone();
+    let server_net = net.clone();
+    let server = thread::spawn(move || {
+        let mut server = TopologyServer::new(server_net, ServerConfig::default());
+        let mut now_ms = 0u64;
+        while !server_stop.load(Ordering::Relaxed) {
+            while let Ok(env) = server_rx.try_recv() {
+                if let Message::Heartbeat {
+                    camera,
+                    position,
+                    videoing_angle_deg,
+                } = env.message
+                {
+                    now_ms += 1;
+                    for u in server
+                        .handle_heartbeat(camera, position, videoing_angle_deg, now_ms)
+                        .expect("registration succeeds")
+                    {
+                        let _ = server_router.send(Envelope {
+                            from: Endpoint::TopologyServer,
+                            to: Endpoint::Camera(u.camera),
+                            message: Message::TopologyUpdate(u),
+                        });
+                    }
+                }
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+    });
+
+    // Camera node threads.
+    let mut camera_threads = Vec::new();
+    for i in 0..N {
+        let cam = CameraId(i);
+        let rx = router.register(Endpoint::Camera(cam));
+        let tx = router.clone();
+        let position = net
+            .intersection(IntersectionId(i))
+            .expect("site exists")
+            .position;
+        let view = CameraView::standard(position, 0.0);
+        let node_storage = storage.clone();
+        let cam_stop = stop.clone();
+        let cam_clock = clock_ms.clone();
+        let cam_traffic = traffic.clone();
+        camera_threads.push(thread::spawn(move || {
+            let mut node = CameraNode::new(
+                cam,
+                view,
+                NodeConfig {
+                    detector_noise: DetectorNoise::perfect(),
+                    ..NodeConfig::default()
+                },
+                node_storage,
+                100 + u64::from(i),
+            );
+            let hb = node.heartbeat();
+            tx.send(Envelope {
+                from: Endpoint::Camera(cam),
+                to: Endpoint::TopologyServer,
+                message: hb,
+            })
+            .expect("server reachable");
+            while !cam_stop.load(Ordering::Relaxed) {
+                let now_ms = cam_clock.load(Ordering::Relaxed);
+                while let Ok(env) = rx.try_recv() {
+                    for (to, msg) in node.on_message(env.message, now_ms) {
+                        let _ = tx.send(Envelope {
+                            from: Endpoint::Camera(cam),
+                            to: Endpoint::Camera(to),
+                            message: msg,
+                        });
+                    }
+                }
+                let scene = { node.view().scene(&cam_traffic.lock()) };
+                let out = node.on_frame(&scene, now_ms, None);
+                for (to, msg) in out.messages {
+                    let _ = tx.send(Envelope {
+                        from: Endpoint::Camera(cam),
+                        to: Endpoint::Camera(to),
+                        message: msg,
+                    });
+                }
+                thread::sleep(Duration::from_millis(2));
+            }
+            node.flush(cam_clock.load(Ordering::Relaxed), None);
+            node.events_generated()
+        }));
+    }
+
+    // Drive traffic at high speedup on the main thread.
+    let r = route::shortest_path(&net, IntersectionId(0), IntersectionId(2)).expect("connected");
+    traffic
+        .lock()
+        .spawn(SimTime::from_secs(1), r, Some(ObjectClass::Car));
+    for _ in 0..450 {
+        {
+            let mut t = traffic.lock();
+            let now = SimTime::from_millis(clock_ms.load(Ordering::Relaxed));
+            t.step(now, SimDuration::from_millis(96));
+        }
+        clock_ms.fetch_add(96, Ordering::Relaxed);
+        thread::sleep(Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let mut total_events = 0;
+    for h in camera_threads {
+        total_events += h.join().expect("camera thread ok");
+    }
+    server.join().expect("server thread ok");
+
+    // Every camera detected the vehicle; re-identification linked them.
+    assert!(total_events >= 3, "events: {total_events}");
+    let (vertices, edges, _, _) = storage.stats();
+    assert!(vertices >= 3, "vertices: {vertices}");
+    assert!(edges >= 1, "no cross-camera links were made");
+    let seed = storage
+        .with_graph(|g| g.vertices().min_by_key(|v| v.first_seen_ms).map(|v| v.id))
+        .expect("detections stored");
+    let track = storage
+        .query_trajectory(seed, QueryOptions::default())
+        .expect("seed exists")
+        .best_track();
+    assert!(track.len() >= 2, "track: {track:?}");
+}
