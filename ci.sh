@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, then the tier-1 gate (release build + root
+# test suite). Run from the repository root. Any failure stops the script.
+#
+#   ./ci.sh            # everything
+#   ./ci.sh --quick    # skip the release build (lints + tests only)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) quick=1 ;;
+        *)
+            echo "unknown option: $arg" >&2
+            exit 2
+            ;;
+    esac
+done
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$quick" -eq 0 ]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> ci.sh: all green"

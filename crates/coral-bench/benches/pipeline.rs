@@ -6,8 +6,8 @@
 //! the sequential mapping the sum-of-stages rate (~2.6 FPS), a ~4–5×
 //! separation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use coral_pipeline::{run_pipelined, run_sequential, SubtaskProfile, TimeScale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_pipeline(c: &mut Criterion) {
     let profile = SubtaskProfile::paper();

@@ -3,11 +3,11 @@
 //! vertex/edge insertion, trajectory traversal, and detection-event JSON
 //! encode/decode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_net::{DetectionEvent, EventId, Message, VertexId};
 use coral_storage::{QueryOptions, TrajectoryGraph};
 use coral_topology::CameraId;
 use coral_vision::{ColorHistogram, TrackId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn eid(cam: u32, track: u64) -> EventId {
     EventId {

@@ -2,11 +2,11 @@
 //! MDCS DFS cost vs deployment density, and the server-side cost of a
 //! camera failure (full recompute + diff).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_geo::generators;
 use coral_topology::{
     mdcs_table, CameraId, CameraTopology, MdcsOptions, ServerConfig, TopologyServer,
 };
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn campus_with(n: usize) -> CameraTopology {
     let (net, sites) = generators::campus();

@@ -3,11 +3,11 @@
 //! the §4.1.5 design-space ablations (every-frame SORT association cost,
 //! histogram extraction, Bhattacharyya matching).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coral_vision::{
     hungarian, BoundingBox, ColorHistogram, HistogramConfig, ObjectClass, Renderer, Scene,
     SceneActor, SortConfig, SortTracker, VehicleAppearance,
 };
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,7 +32,7 @@ fn bench_hungarian(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(7);
         let cost: Vec<Vec<f64>> = (0..n)
             .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
-        .collect();
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &cost, |b, cost| {
             b.iter(|| hungarian::assign(cost));
         });
@@ -93,20 +93,15 @@ fn bench_bhattacharyya(c: &mut Criterion) {
     let query = ColorHistogram::extract(&frame, &bbox, &HistogramConfig::default());
     let mut group = c.benchmark_group("reid_pool_scan");
     for pool_size in [4usize, 16, 64] {
-        let pool: Vec<ColorHistogram> = (0..pool_size)
-            .map(|_| ColorHistogram::uniform(8))
-            .collect();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(pool_size),
-            &pool,
-            |b, pool| {
-                b.iter(|| {
-                    pool.iter()
-                        .map(|h| query.bhattacharyya_distance(h))
-                        .fold(f64::INFINITY, f64::min)
-                });
-            },
-        );
+        let pool: Vec<ColorHistogram> =
+            (0..pool_size).map(|_| ColorHistogram::uniform(8)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(pool_size), &pool, |b, pool| {
+            b.iter(|| {
+                pool.iter()
+                    .map(|h| query.bhattacharyya_distance(h))
+                    .fold(f64::INFINITY, f64::min)
+            });
+        });
     }
     group.finish();
 }
@@ -120,13 +115,8 @@ fn bench_render(c: &mut Criterion) {
             .map(|i| SceneActor {
                 gt: coral_vision::GroundTruthId(i),
                 class: ObjectClass::Car,
-                bbox: BoundingBox::from_center(
-                    40.0 + 50.0 * i as f64,
-                    90.0,
-                    36.0,
-                    22.0,
-                )
-                .expect("valid"),
+                bbox: BoundingBox::from_center(40.0 + 50.0 * i as f64, 90.0, 36.0, 22.0)
+                    .expect("valid"),
                 appearance: VehicleAppearance::from_seed(i),
             })
             .collect(),

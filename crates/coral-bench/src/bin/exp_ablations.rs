@@ -109,10 +109,7 @@ fn ablation_tracking() {
 fn ablation_max_age() {
     // One vehicle, 40 frames, detector missing each frame w.p. 0.25:
     // count the events (expired tracks) emitted per passage.
-    let mut log = ExperimentLog::new(
-        "ablation_max_age",
-        &["max_age", "mean_events_per_passage"],
-    );
+    let mut log = ExperimentLog::new("ablation_max_age", &["max_age", "mean_events_per_passage"]);
     for max_age in [0u32, 1, 3, 5, 8] {
         let mut total_events = 0usize;
         const TRIALS: u64 = 40;
@@ -127,13 +124,7 @@ fn ablation_max_age() {
                 let dets: Vec<BoundingBox> = if rng.gen::<f64>() < 0.25 {
                     Vec::new() // detector miss
                 } else {
-                    vec![BoundingBox::from_center(
-                        10.0 + 5.0 * t as f64,
-                        60.0,
-                        36.0,
-                        22.0,
-                    )
-                    .unwrap()]
+                    vec![BoundingBox::from_center(10.0 + 5.0 * t as f64, 60.0, 36.0, 22.0).unwrap()]
                 };
                 events += sort.update(&dets).expired.len();
             }
@@ -182,7 +173,14 @@ fn ablation_pool_pruning() {
     let eager = run(true);
     let mut log = ExperimentLog::new(
         "ablation_pool_pruning",
-        &["policy", "reid_tp", "reid_fp", "reid_fn", "reid_recall", "reid_f2"],
+        &[
+            "policy",
+            "reid_tp",
+            "reid_fp",
+            "reid_fn",
+            "reid_recall",
+            "reid_f2",
+        ],
     );
     for (name, acc) in [("lazy (paper)", lazy), ("eager", eager)] {
         log.row(&[
@@ -201,7 +199,12 @@ fn ablation_pool_pruning() {
 fn ablation_heartbeat_sweep() {
     let mut log = ExperimentLog::new(
         "ablation_heartbeat",
-        &["interval_s", "mean_recovery_s", "max_recovery_s", "heartbeats_sent"],
+        &[
+            "interval_s",
+            "mean_recovery_s",
+            "max_recovery_s",
+            "heartbeats_sent",
+        ],
     );
     for hb in [1u64, 2, 5, 10] {
         let (net, specs) = corridor_specs(8);
@@ -234,12 +237,7 @@ fn ablation_heartbeat_sweep() {
             .sum();
         let mean = rec.iter().sum::<f64>() / rec.len().max(1) as f64;
         let max = rec.iter().fold(0.0f64, |a, &b| a.max(b));
-        log.row(&[
-            hb.to_string(),
-            f2s(mean),
-            f2s(max),
-            beats.to_string(),
-        ]);
+        log.row(&[hb.to_string(), f2s(mean), f2s(max), beats.to_string()]);
     }
     log.finish();
     println!("(faster healing costs proportionally more control traffic)");

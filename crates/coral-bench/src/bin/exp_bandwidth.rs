@@ -41,8 +41,7 @@ fn main() {
     // Hypothetical cloud-streaming architecture: every camera ships every
     // raw frame over the backhaul WAN.
     let raw_frame_bytes = w * h * 3.0;
-    let cloud_streaming_mbps =
-        n_cameras * raw_frame_bytes * 8.0 / frame_period_s / 1_000_000.0;
+    let cloud_streaming_mbps = n_cameras * raw_frame_bytes * 8.0 / frame_period_s / 1_000_000.0;
     // The paper quotes real 1280x1024 cameras at 2-32 Mbps; scale our
     // synthetic frame size up to theirs for the headline comparison.
     let full_res_scale = (1280.0 * 1024.0) / (w * h);

@@ -40,8 +40,11 @@ fn main() {
     for k in 0..n_vehicles {
         let r = route::shortest_path(&net, IntersectionId(0), IntersectionId(2))
             .expect("corridor is connected");
-        sys.traffic_mut()
-            .spawn(SimTime::from_secs(2) + SimDuration::from_millis(3_300 * k), r, Some(ObjectClass::Car));
+        sys.traffic_mut().spawn(
+            SimTime::from_secs(2) + SimDuration::from_millis(3_300 * k),
+            r,
+            Some(ObjectClass::Car),
+        );
     }
     sys.run_until(SimTime::from_secs(130));
     sys.finish();
@@ -51,15 +54,16 @@ fn main() {
     let telemetry = sys.telemetry();
     let mut log = ExperimentLog::new(
         "fig10a_protocol",
-        &["vehicle", "message_arrival_s", "vehicle_arrival_s", "lead_s"],
+        &[
+            "vehicle",
+            "message_arrival_s",
+            "vehicle_arrival_s",
+            "lead_s",
+        ],
     );
     let mut leads = Vec::new();
     let mut violations = 0u32;
-    for p in telemetry
-        .passages
-        .iter()
-        .filter(|p| p.camera == observed)
-    {
+    for p in telemetry.passages.iter().filter(|p| p.camera == observed) {
         let inform = telemetry
             .informs
             .iter()

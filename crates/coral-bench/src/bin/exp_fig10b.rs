@@ -42,10 +42,7 @@ fn specs_stats(sys: &CoralPieSystem) -> Vec<(CameraId, f64, u64)> {
     let redundancy = sys.inform_redundancy();
     (0..5u32)
         .map(|i| {
-            let (redundant, received) = redundancy
-                .get(&CameraId(i))
-                .copied()
-                .unwrap_or((0, 0));
+            let (redundant, received) = redundancy.get(&CameraId(i)).copied().unwrap_or((0, 0));
             let frac = if received == 0 {
                 0.0
             } else {

@@ -33,12 +33,7 @@ fn run(heartbeat_s: u64) -> Vec<(f64, f64)> {
     sys.telemetry()
         .recoveries
         .iter()
-        .map(|r| {
-            (
-                r.killed_at.as_secs_f64(),
-                r.duration().as_secs_f64(),
-            )
-        })
+        .map(|r| (r.killed_at.as_secs_f64(), r.duration().as_secs_f64()))
         .collect()
 }
 
@@ -48,15 +43,15 @@ fn main() {
 
     let mut log = ExperimentLog::new(
         "fig11_recovery",
-        &["kill_index", "timeline_s", "recovery_2s_hb", "recovery_5s_hb"],
+        &[
+            "kill_index",
+            "timeline_s",
+            "recovery_2s_hb",
+            "recovery_5s_hb",
+        ],
     );
     for (i, ((t2, r2), (_, r5))) in two.iter().zip(&five).enumerate() {
-        log.row(&[
-            (i + 1).to_string(),
-            f2s(*t2),
-            f2s(*r2),
-            f2s(*r5),
-        ]);
+        log.row(&[(i + 1).to_string(), f2s(*t2), f2s(*r2), f2s(*r5)]);
     }
     log.finish();
 

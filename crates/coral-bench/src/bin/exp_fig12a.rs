@@ -33,10 +33,7 @@ fn main() {
         }
     }
 
-    let mut log = ExperimentLog::new(
-        "fig12a_mdcs_size",
-        &["cameras_deployed", "avg_mdcs_size"],
-    );
+    let mut log = ExperimentLog::new("fig12a_mdcs_size", &["cameras_deployed", "avg_mdcs_size"]);
     for (i, sum) in sums.iter().enumerate() {
         log.row(&[(i + 1).to_string(), f2s(sum / TRIALS as f64)]);
     }

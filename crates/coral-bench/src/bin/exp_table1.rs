@@ -58,10 +58,7 @@ fn main() {
     fps.finish();
 
     // Per-stage mean service times from the threaded run.
-    let mut stages = ExperimentLog::new(
-        "table1_stages",
-        &["stage", "profile_ms", "measured_ms"],
-    );
+    let mut stages = ExperimentLog::new("table1_stages", &["stage", "profile_ms", "measured_ms"]);
     let spec = profile.stages();
     for (s, (name, measured)) in spec.iter().zip(&piped.stage_ms) {
         stages.row(&[name.clone(), f2s(s.total_ms), f2s(*measured)]);

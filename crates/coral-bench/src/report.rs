@@ -52,7 +52,10 @@ impl ExperimentLog {
         };
         println!("\n== {} ==", self.name);
         println!("{}", line(&self.header));
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             println!("{}", line(row));
         }

@@ -1,0 +1,227 @@
+//! Deployment: topology wiring shared by every runtime mode.
+//!
+//! A [`Deployment`] resolves camera placements against the road network
+//! and manufactures the actors — the topology server and the per-camera
+//! nodes — with the exact seeds and view geometry the experiments pin.
+//! [`Deployment::build`] wires them onto a simulated network and launches
+//! the discrete-event runtime; threaded and TCP harnesses instead call
+//! [`Deployment::make_server`] / [`Deployment::make_node`] and bind the
+//! actors to their own transports.
+
+use crate::node::{CameraNode, NodeConfig};
+use crate::runtime::{NodeDriver, SimRuntime, SimWorld};
+use coral_geo::{GeoPoint, IntersectionId, RoadNetwork};
+use coral_net::{Endpoint, SimNet};
+use coral_sim::{CameraView, LinkProfile, SimDuration, TrafficConfig, TrafficModel};
+use coral_storage::EdgeStorageNode;
+use coral_topology::{CameraId, MdcsOptions, ServerConfig, TopologyServer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Whole-system configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Per-node configuration (vision, re-id, pool).
+    pub node: NodeConfig,
+    /// Frame capture period (96 ms ≈ the prototype's 10.4 FPS).
+    pub frame_period: SimDuration,
+    /// Camera heartbeat interval (§5.4 evaluates 2 s and 5 s).
+    pub heartbeat_interval: SimDuration,
+    /// Missed heartbeats before the server declares a camera failed.
+    pub miss_threshold: u32,
+    /// How often the server scans for missed heartbeats.
+    pub liveness_check_period: SimDuration,
+    /// MDCS search options.
+    pub mdcs: MdcsOptions,
+    /// Network latency models.
+    pub links: LinkProfile,
+    /// Traffic model parameters.
+    pub traffic: TrafficConfig,
+    /// Camera observation range, meters.
+    pub view_range_m: f64,
+    /// Camera image width, pixels.
+    pub image_width: u32,
+    /// Camera image height, pixels.
+    pub image_height: u32,
+    /// Replace MDCS routing with broadcast flooding (the §5.3 baseline).
+    pub broadcast: bool,
+    /// Master seed for all stochastic components.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            node: NodeConfig::default(),
+            frame_period: SimDuration::from_millis(96),
+            heartbeat_interval: SimDuration::from_secs(2),
+            miss_threshold: 2,
+            liveness_check_period: SimDuration::from_millis(200),
+            mdcs: MdcsOptions::default(),
+            links: LinkProfile::default(),
+            traffic: TrafficConfig::default(),
+            view_range_m: 35.0,
+            image_width: 200,
+            image_height: 160,
+            broadcast: false,
+            seed: 42,
+        }
+    }
+}
+
+/// Deployment spec of one camera.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CameraSpec {
+    /// Camera id.
+    pub id: CameraId,
+    /// Intersection the camera watches.
+    pub site: IntersectionId,
+    /// Videoing angle, degrees clockwise from north.
+    pub videoing_angle_deg: f64,
+}
+
+/// Seed-mixing constant decorrelating the traffic RNG from the system RNG.
+const TRAFFIC_SEED_MIX: u64 = 0x070A_FF1C;
+
+/// Seed-mixing constant for the network latency RNG.
+const NET_SEED_MIX: u64 = 0x1a7e;
+
+/// Per-camera seed mixing base.
+const NODE_SEED_BASE: u64 = 0x5eed;
+
+/// A resolved deployment: camera placements on a road network plus the
+/// system configuration.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    net: RoadNetwork,
+    placements: Vec<(CameraId, GeoPoint, f64)>,
+    config: SystemConfig,
+}
+
+impl Deployment {
+    /// Places cameras at named intersections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec names an intersection absent from `net`.
+    pub fn from_specs(net: RoadNetwork, specs: &[CameraSpec], config: SystemConfig) -> Self {
+        let placements: Vec<(CameraId, GeoPoint, f64)> = specs
+            .iter()
+            .map(|spec| {
+                let position = net
+                    .intersection(spec.site)
+                    .expect("camera site exists")
+                    .position;
+                (spec.id, position, spec.videoing_angle_deg)
+            })
+            .collect();
+        Self {
+            net,
+            placements,
+            config,
+        }
+    }
+
+    /// Places cameras by raw geographic position — the paper's actual join
+    /// semantics (§3.3): the topology server snaps each camera to the
+    /// nearest intersection, or assigns it to a lane when it sits along a
+    /// road segment (§4.3, Fig. 8). Use this to deploy lane-resident
+    /// cameras.
+    pub fn from_positions(
+        net: RoadNetwork,
+        placements: &[(CameraId, GeoPoint, f64)],
+        config: SystemConfig,
+    ) -> Self {
+        Self {
+            net,
+            placements: placements.to_vec(),
+            config,
+        }
+    }
+
+    /// The road network.
+    pub fn net(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// The resolved `(camera, position, videoing angle)` placements.
+    pub fn placements(&self) -> &[(CameraId, GeoPoint, f64)] {
+        &self.placements
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Manufactures the topology server for this deployment.
+    pub fn make_server(&self) -> TopologyServer {
+        TopologyServer::new(
+            self.net.clone(),
+            ServerConfig {
+                heartbeat_interval_ms: self.config.heartbeat_interval.as_millis(),
+                miss_threshold: self.config.miss_threshold,
+                snap_radius_m: 30.0,
+                mdcs: self.config.mdcs,
+            },
+        )
+    }
+
+    /// Manufactures the camera node for placement `id`, sharing `storage`.
+    /// Seeds and view geometry are identical across deployment modes, so
+    /// the same placement produces the same node everywhere.
+    pub fn make_node(&self, id: CameraId, storage: EdgeStorageNode) -> Option<CameraNode> {
+        let &(_, position, angle) = self.placements.iter().find(|&&(c, _, _)| c == id)?;
+        let view = CameraView {
+            position,
+            videoing_angle_deg: angle,
+            range_m: self.config.view_range_m,
+            image_width: self.config.image_width,
+            image_height: self.config.image_height,
+        };
+        Some(CameraNode::new(
+            id,
+            view,
+            self.config.node.clone(),
+            storage,
+            self.config.seed ^ (NODE_SEED_BASE + id.0 as u64),
+        ))
+    }
+
+    /// The ground-truth traffic model for this deployment.
+    pub fn make_traffic(&self) -> TrafficModel {
+        TrafficModel::new(
+            self.net.clone(),
+            self.config.traffic,
+            self.config.seed ^ TRAFFIC_SEED_MIX,
+        )
+    }
+
+    /// Wires the deployment onto a simulated network and launches the
+    /// discrete-event runtime.
+    pub fn build(self) -> SimRuntime {
+        let server = self.make_server();
+        let storage = EdgeStorageNode::default();
+        let traffic = self.make_traffic();
+        let links = self.config.links;
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ NET_SEED_MIX);
+        let net = SimNet::new(move |envelope| {
+            if envelope.is_cloud_bound() {
+                links.device_to_cloud.sample(&mut rng)
+            } else {
+                links.device_to_device.sample(&mut rng)
+            }
+        });
+        let mut drivers = BTreeMap::new();
+        let join_order: Vec<CameraId> = self.placements.iter().map(|&(id, _, _)| id).collect();
+        for &id in &join_order {
+            let node = self
+                .make_node(id, storage.clone())
+                .expect("placement exists");
+            drivers.insert(id, NodeDriver::new(node, net.handle(Endpoint::Camera(id))));
+        }
+        let world = SimWorld::new(self.config, net, server, storage, traffic, drivers);
+        SimRuntime::launch(world, &join_order)
+    }
+}

@@ -9,9 +9,16 @@
 //!   gating (§4.1.4).
 //! - [`CameraNode`] — one camera's full continuous-processing element:
 //!   identification → communication → re-identification → storage (§4.1).
-//! - [`CoralPieSystem`] — the deployed system on a deterministic
-//!   discrete-event loop: traffic, heartbeats, failures, message latency
-//!   and the telemetry behind every §5 experiment.
+//! - [`deploy`] — topology wiring: camera placement, actor manufacture
+//!   and the [`Deployment`] builder shared by every runtime mode.
+//! - [`runtime`] — [`NodeDriver`] / [`ServerDriver`], the per-actor drive
+//!   units generic over any `coral_net::Transport`, plus the
+//!   discrete-event [`SimRuntime`].
+//! - [`telemetry`] — run measurements and the [`TelemetrySink`] observer
+//!   seam.
+//! - [`CoralPieSystem`] — the one-object facade over the layers above:
+//!   traffic, heartbeats, failures, message latency and the telemetry
+//!   behind every §5 experiment.
 //! - [`metrics`] — precision / recall / F2 scoring against simulator
 //!   ground truth (Table 2, §5.6).
 //!
@@ -39,12 +46,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod deploy;
 pub mod metrics;
 pub mod node;
 pub mod pool;
 pub mod reid;
+pub mod runtime;
 pub mod system;
+pub mod telemetry;
 
+pub use deploy::{CameraSpec, Deployment, SystemConfig};
 pub use metrics::{
     event_detection_accuracy, reid_accuracy, transitions_from_passages, Accuracy, Passage,
     Transition,
@@ -52,6 +63,6 @@ pub use metrics::{
 pub use node::{CameraNode, FrameOutput, NodeConfig, ReidRecord};
 pub use pool::{Candidate, CandidatePool, PoolStats};
 pub use reid::{ReIdentifier, ReidConfig, ReidMatch};
-pub use system::{
-    CameraSpec, CoralPieSystem, InformArrival, Recovery, SystemConfig, SystemReport, Telemetry,
-};
+pub use runtime::{LivenessOutcome, NodeDriver, ServerDriver, SimRuntime, SimWorld};
+pub use system::CoralPieSystem;
+pub use telemetry::{InformArrival, Recovery, SystemReport, Telemetry, TelemetrySink};

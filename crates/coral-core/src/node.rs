@@ -110,12 +110,8 @@ impl CameraNode {
         ident_cfg.videoing_angle_deg = view.videoing_angle_deg;
         let inset = config.coi_inset_frac.clamp(0.0, 0.45);
         let (w, h) = (f64::from(view.image_width), f64::from(view.image_height));
-        let coi = coral_geo::Polygon::rect(
-            w * inset,
-            h * inset,
-            w * (1.0 - inset),
-            h * (1.0 - inset),
-        );
+        let coi =
+            coral_geo::Polygon::rect(w * inset, h * inset, w * (1.0 - inset), h * (1.0 - inset));
         let detector = SyntheticSsdDetector::new(config.detector_noise, seed);
         Self {
             id,
@@ -312,7 +308,8 @@ impl CameraNode {
                 }
             }
             self.pool.mark_matched_local(candidate);
-            out.messages.push(self.connection.confirm_to_upstream(candidate));
+            out.messages
+                .push(self.connection.confirm_to_upstream(candidate));
             out.reids.push(ReidRecord {
                 upstream: candidate,
                 local: event.event_id(),
@@ -339,9 +336,7 @@ mod tests {
     use super::*;
     use coral_geo::GeoPoint;
     use coral_topology::MdcsUpdate;
-    use coral_vision::{
-        BoundingBox, GroundTruthId, ObjectClass, SceneActor, VehicleAppearance,
-    };
+    use coral_vision::{BoundingBox, GroundTruthId, ObjectClass, SceneActor, VehicleAppearance};
 
     fn view() -> CameraView {
         CameraView {
@@ -500,7 +495,10 @@ mod tests {
         let mut all = FrameOutput::default();
         let mut now = 0;
         for t in 0..12 {
-            merge(&mut all, node.on_frame(&car_scene(4, t), now, Some(&roster)));
+            merge(
+                &mut all,
+                node.on_frame(&car_scene(4, t), now, Some(&roster)),
+            );
             now += 96;
         }
         for _ in 0..6 {

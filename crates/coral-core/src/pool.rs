@@ -284,10 +284,10 @@ mod tests {
         pool.add(event(0, 4), 4);
         assert_eq!(pool.len(), 3);
         assert_eq!(pool.stats().pruned, 2);
-        assert!(pool
-            .entries()
-            .iter()
-            .all(|c| !c.matched), "matched entries pruned");
+        assert!(
+            pool.entries().iter().all(|c| !c.matched),
+            "matched entries pruned"
+        );
     }
 
     #[test]

@@ -1,0 +1,699 @@
+//! The layered runtime: node/server drivers generic over any
+//! [`Transport`], and the discrete-event world that drives them.
+//!
+//! [`NodeDriver`] and [`ServerDriver`] bind a protocol actor (a
+//! [`CameraNode`] or the [`TopologyServer`]) to one transport endpoint.
+//! The same drive methods serve all three deployment modes: the DES
+//! ([`SimRuntime`], over [`SimTransport`]), the multi-threaded deployment
+//! (over `InProcTransport`) and the multi-process TCP deployment (over
+//! `TcpTransport`). The DES integration schedules exactly one engine
+//! delivery action per in-flight envelope, reproducing the event order of
+//! the original monolithic event loop bit for bit.
+
+use crate::deploy::SystemConfig;
+use crate::metrics::Passage;
+use crate::node::{CameraNode, FrameOutput};
+use crate::telemetry::{Recovery, Telemetry, TelemetrySink};
+use coral_net::{Endpoint, Envelope, Message, SendError, SimNet, SimTransport, Transport};
+use coral_sim::engine::{Action, Context};
+use coral_sim::{Engine, PoissonArrivals, SimTime, TrafficModel};
+use coral_storage::EdgeStorageNode;
+use coral_topology::{CameraId, MdcsUpdate, TopologyServer};
+use coral_vision::{GroundTruthId, Scene};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// A camera node bound to its transport endpoint — the unit every
+/// deployment mode drives.
+///
+/// The driver owns the protocol side effects: frames captured through
+/// [`NodeDriver::capture`] send their inform/confirm messages over the
+/// transport, and envelopes fed to [`NodeDriver::deliver`] send any
+/// confirmation relays the node produces. What remains for the caller is
+/// pacing (a DES clock, a thread loop, or a socket poll loop).
+#[derive(Debug)]
+pub struct NodeDriver<T: Transport> {
+    node: CameraNode,
+    transport: T,
+}
+
+impl<T: Transport> NodeDriver<T> {
+    /// Binds `node` to `transport`.
+    pub fn new(node: CameraNode, transport: T) -> Self {
+        Self { node, transport }
+    }
+
+    /// The camera node.
+    pub fn node(&self) -> &CameraNode {
+        &self.node
+    }
+
+    /// The camera node, mutably (e.g. to flush without a transport at the
+    /// end of a simulated run).
+    pub fn node_mut(&mut self) -> &mut CameraNode {
+        &mut self.node
+    }
+
+    /// The transport handle.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// The transport handle, mutably.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// This driver's network address.
+    pub fn endpoint(&self) -> Endpoint {
+        Endpoint::Camera(self.node.id())
+    }
+
+    /// Unbinds the node from its transport (e.g. to shut a socket down).
+    pub fn into_parts(self) -> (CameraNode, T) {
+        (self.node, self.transport)
+    }
+
+    /// Builds and sends this camera's heartbeat to the topology server,
+    /// returning the sent message (so callers can meter its size).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport failure, if any.
+    pub fn send_heartbeat(&mut self, now: SimTime) -> Result<Message, SendError> {
+        let message = self.node.heartbeat();
+        self.transport.send(
+            now,
+            Envelope {
+                from: Endpoint::Camera(self.node.id()),
+                to: Endpoint::TopologyServer,
+                message: message.clone(),
+            },
+        )?;
+        Ok(message)
+    }
+
+    /// Processes one captured frame and sends the resulting protocol
+    /// messages. Returns the frame output (events, re-id records) with its
+    /// message list already drained into the transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport failure.
+    pub fn capture(
+        &mut self,
+        scene: &Scene,
+        now: SimTime,
+        broadcast_roster: Option<&BTreeSet<CameraId>>,
+    ) -> Result<FrameOutput, SendError> {
+        let mut out = self.node.on_frame(scene, now.as_millis(), broadcast_roster);
+        self.send_all(now, &mut out.messages)?;
+        Ok(out)
+    }
+
+    /// Flushes in-flight tracks (end of stream) and sends the resulting
+    /// messages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport failure.
+    pub fn flush(
+        &mut self,
+        now: SimTime,
+        broadcast_roster: Option<&BTreeSet<CameraId>>,
+    ) -> Result<FrameOutput, SendError> {
+        let mut out = self.node.flush(now.as_millis(), broadcast_roster);
+        self.send_all(now, &mut out.messages)?;
+        Ok(out)
+    }
+
+    /// Hands a delivered message to the node and sends any replies
+    /// (confirmation relays). Returns the number of replies sent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport failure.
+    pub fn deliver(&mut self, message: Message, now: SimTime) -> Result<usize, SendError> {
+        let mut replies = self.node.on_message(message, now.as_millis());
+        let n = replies.len();
+        self.send_all(now, &mut replies)?;
+        Ok(n)
+    }
+
+    /// Drains every envelope deliverable at `now`, handing each to the
+    /// node. `inspect` observes each envelope before delivery (telemetry).
+    /// Returns the number of envelopes processed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport failure.
+    pub fn pump(
+        &mut self,
+        now: SimTime,
+        mut inspect: impl FnMut(&Envelope),
+    ) -> Result<usize, SendError> {
+        let mut n = 0;
+        while let Some(envelope) = self.transport.poll(now) {
+            inspect(&envelope);
+            self.deliver(envelope.message, now)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    fn send_all(
+        &mut self,
+        now: SimTime,
+        messages: &mut Vec<(CameraId, Message)>,
+    ) -> Result<(), SendError> {
+        let from = Endpoint::Camera(self.node.id());
+        for (to, message) in messages.drain(..) {
+            self.transport.send(
+                now,
+                Envelope {
+                    from,
+                    to: Endpoint::Camera(to),
+                    message,
+                },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of a liveness sweep: which cameras the server just evicted,
+/// and which survivors were sent reconfiguration updates.
+#[derive(Debug, Clone, Default)]
+pub struct LivenessOutcome {
+    /// Cameras removed from the active topology this sweep.
+    pub removed: Vec<CameraId>,
+    /// Survivors that were sent a topology update.
+    pub recipients: BTreeSet<CameraId>,
+}
+
+/// The topology server bound to its transport endpoint.
+#[derive(Debug)]
+pub struct ServerDriver<T: Transport> {
+    server: TopologyServer,
+    transport: T,
+}
+
+impl<T: Transport> ServerDriver<T> {
+    /// Binds `server` to `transport`.
+    pub fn new(server: TopologyServer, transport: T) -> Self {
+        Self { server, transport }
+    }
+
+    /// The topology server.
+    pub fn server(&self) -> &TopologyServer {
+        &self.server
+    }
+
+    /// The topology server, mutably.
+    pub fn server_mut(&mut self) -> &mut TopologyServer {
+        &mut self.server
+    }
+
+    /// The transport handle, mutably.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Unbinds the server from its transport (e.g. to shut a socket down).
+    pub fn into_parts(self) -> (TopologyServer, T) {
+        (self.server, self.transport)
+    }
+
+    /// Handles one delivered envelope (heartbeats drive joins and
+    /// re-joins; anything else is ignored), sending topology updates to
+    /// every affected camera admitted by `permit`. Returns the number of
+    /// updates sent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport failure.
+    pub fn on_envelope(
+        &mut self,
+        envelope: Envelope,
+        now: SimTime,
+        permit: impl FnMut(CameraId) -> bool,
+    ) -> Result<usize, SendError> {
+        let Message::Heartbeat {
+            camera,
+            position,
+            videoing_angle_deg,
+        } = envelope.message
+        else {
+            return Ok(0);
+        };
+        let updates = self
+            .server
+            .handle_heartbeat(camera, position, videoing_angle_deg, now.as_millis())
+            .unwrap_or_default();
+        self.send_updates(updates, now, permit)
+    }
+
+    /// Scans for missed heartbeats, sending reconfiguration updates to the
+    /// survivors admitted by `permit`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport failure.
+    pub fn check_liveness(
+        &mut self,
+        now: SimTime,
+        mut permit: impl FnMut(CameraId) -> bool,
+    ) -> Result<LivenessOutcome, SendError> {
+        let before: BTreeSet<CameraId> = self.server.active_cameras().into_iter().collect();
+        let updates = self.server.check_liveness(now.as_millis());
+        if updates.is_empty() {
+            return Ok(LivenessOutcome::default());
+        }
+        let after: BTreeSet<CameraId> = self.server.active_cameras().into_iter().collect();
+        let removed: Vec<CameraId> = before.difference(&after).copied().collect();
+        let recipients: BTreeSet<CameraId> = updates
+            .iter()
+            .map(|u| u.camera)
+            .filter(|&c| permit(c))
+            .collect();
+        self.send_updates(updates, now, permit)?;
+        Ok(LivenessOutcome {
+            removed,
+            recipients,
+        })
+    }
+
+    fn send_updates(
+        &mut self,
+        updates: Vec<MdcsUpdate>,
+        now: SimTime,
+        mut permit: impl FnMut(CameraId) -> bool,
+    ) -> Result<usize, SendError> {
+        let mut sent = 0;
+        for update in updates {
+            if permit(update.camera) {
+                let to = update.camera;
+                self.transport.send(
+                    now,
+                    Envelope {
+                        from: Endpoint::TopologyServer,
+                        to: Endpoint::Camera(to),
+                        message: Message::TopologyUpdate(update),
+                    },
+                )?;
+                sent += 1;
+            }
+        }
+        Ok(sent)
+    }
+}
+
+#[derive(Debug)]
+struct RecoveryTracker {
+    killed: CameraId,
+    killed_at: SimTime,
+    outstanding: BTreeSet<CameraId>,
+}
+
+/// The discrete-event world: every deployed actor, the simulated network,
+/// ground-truth traffic and the accumulated telemetry.
+///
+/// Built by `Deployment::build` and driven by [`SimRuntime`]; the facade
+/// `CoralPieSystem` exposes it between runs.
+pub struct SimWorld {
+    config: SystemConfig,
+    net: SimNet,
+    server: ServerDriver<SimTransport>,
+    storage: EdgeStorageNode,
+    traffic: TrafficModel,
+    arrivals: Option<PoissonArrivals>,
+    drivers: BTreeMap<CameraId, NodeDriver<SimTransport>>,
+    alive: BTreeSet<CameraId>,
+    roster: BTreeSet<CameraId>,
+    last_traffic_step: SimTime,
+    telemetry: Telemetry,
+    sinks: Vec<Box<dyn TelemetrySink + Send>>,
+    in_fov: HashMap<CameraId, HashSet<GroundTruthId>>,
+    recovery_trackers: Vec<RecoveryTracker>,
+    pending_kills: Vec<(CameraId, SimTime)>,
+}
+
+impl std::fmt::Debug for SimWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimWorld")
+            .field("cameras", &self.drivers.len())
+            .field("alive", &self.alive)
+            .field("net", &self.net)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+const SIM_SEND: &str = "sim transport sends cannot fail";
+
+impl SimWorld {
+    pub(crate) fn new(
+        config: SystemConfig,
+        net: SimNet,
+        server: TopologyServer,
+        storage: EdgeStorageNode,
+        traffic: TrafficModel,
+        drivers: BTreeMap<CameraId, NodeDriver<SimTransport>>,
+    ) -> Self {
+        let roster: BTreeSet<CameraId> = drivers.keys().copied().collect();
+        Self {
+            server: ServerDriver::new(server, net.handle(Endpoint::TopologyServer)),
+            net,
+            storage,
+            traffic,
+            arrivals: None,
+            alive: roster.clone(),
+            roster,
+            drivers,
+            last_traffic_step: SimTime::ZERO,
+            telemetry: Telemetry::default(),
+            sinks: Vec::new(),
+            in_fov: HashMap::new(),
+            recovery_trackers: Vec::new(),
+            pending_kills: Vec::new(),
+            config,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The traffic model (to add lights or spawn vehicles between runs).
+    pub fn traffic_mut(&mut self) -> &mut TrafficModel {
+        &mut self.traffic
+    }
+
+    /// The traffic model, read-only.
+    pub fn traffic(&self) -> &TrafficModel {
+        &self.traffic
+    }
+
+    /// Installs an open-workload arrival process.
+    pub fn set_arrivals(&mut self, arrivals: PoissonArrivals) {
+        self.arrivals = Some(arrivals);
+    }
+
+    /// Installs an additional telemetry sink.
+    pub fn add_sink(&mut self, sink: impl TelemetrySink + Send + 'static) {
+        self.sinks.push(Box::new(sink));
+    }
+
+    /// The shared storage node.
+    pub fn storage(&self) -> &EdgeStorageNode {
+        &self.storage
+    }
+
+    /// The topology server.
+    pub fn server(&self) -> &TopologyServer {
+        self.server.server()
+    }
+
+    /// A camera node, if deployed.
+    pub fn node(&self, id: CameraId) -> Option<&CameraNode> {
+        self.drivers.get(&id).map(NodeDriver::node)
+    }
+
+    /// All deployed camera nodes, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = (CameraId, &CameraNode)> {
+        self.drivers.iter().map(|(&id, d)| (id, d.node()))
+    }
+
+    /// Cameras currently alive.
+    pub fn alive(&self) -> &BTreeSet<CameraId> {
+        &self.alive
+    }
+
+    /// Accumulated telemetry.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    fn emit(&mut self, record: impl Fn(&mut dyn TelemetrySink)) {
+        record(&mut self.telemetry);
+        for sink in &mut self.sinks {
+            record(sink.as_mut());
+        }
+    }
+
+    fn on_tick(&mut self, now: SimTime) {
+        let dt = now.since(self.last_traffic_step);
+        // Workload arrivals, then kinematics.
+        if let Some(arrivals) = &mut self.arrivals {
+            arrivals.advance(now, &mut self.traffic);
+        }
+        self.traffic.step(self.last_traffic_step, dt);
+        self.last_traffic_step = now;
+
+        let now_ms = now.as_millis();
+        let roster = self.config.broadcast.then(|| self.roster.clone());
+        let ids: Vec<CameraId> = self.alive.iter().copied().collect();
+        for id in ids {
+            let scene = {
+                let driver = self.drivers.get(&id).expect("alive node exists");
+                driver.node().view().scene(&self.traffic)
+            };
+            // Ground-truth passage detection (edge-triggered on FOV entry).
+            let current: HashSet<GroundTruthId> = scene.actors.iter().map(|a| a.gt).collect();
+            let prev = self.in_fov.entry(id).or_default();
+            let mut entered: Vec<GroundTruthId> = current.difference(prev).copied().collect();
+            // Same-tick entries in id order: HashSet iteration order is
+            // seeded per process and must not leak into the record.
+            entered.sort_unstable();
+            *prev = current;
+            for gt in entered {
+                let passage = Passage {
+                    camera: id,
+                    vehicle: gt,
+                    entered_ms: now_ms,
+                };
+                self.emit(|s| s.on_passage(&passage));
+            }
+
+            let driver = self.drivers.get_mut(&id).expect("alive node exists");
+            let out = driver
+                .capture(&scene, now, roster.as_ref())
+                .expect(SIM_SEND);
+            for e in &out.events {
+                self.emit(|s| s.on_event(id, e.ground_truth, now));
+            }
+        }
+    }
+
+    fn on_heartbeat(&mut self, cam: CameraId, now: SimTime) {
+        let driver = self.drivers.get_mut(&cam).expect("alive node exists");
+        let message = driver.send_heartbeat(now).expect(SIM_SEND);
+        let bytes = message.encoded_len() as u64;
+        self.emit(|s| s.on_cloud_send(now, cam, bytes));
+    }
+
+    fn on_liveness_check(&mut self, now: SimTime) {
+        let alive = &self.alive;
+        let outcome = self
+            .server
+            .check_liveness(now, |c| alive.contains(&c))
+            .expect(SIM_SEND);
+        for r in outcome.removed {
+            if let Some(pos) = self.pending_kills.iter().position(|&(c, _)| c == r) {
+                let (_, killed_at) = self.pending_kills.remove(pos);
+                if outcome.recipients.is_empty() {
+                    // No survivors affected: instantaneous recovery.
+                    let recovery = Recovery {
+                        killed: r,
+                        killed_at,
+                        recovered_at: now,
+                    };
+                    self.emit(|s| s.on_recovery(&recovery));
+                } else {
+                    self.recovery_trackers.push(RecoveryTracker {
+                        killed: r,
+                        killed_at,
+                        outstanding: outcome.recipients.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn deliver_one(&mut self, endpoint: Endpoint, now: SimTime) {
+        // Pop the due envelope unconditionally: messages addressed to dead
+        // cameras are consumed (and lost), exactly as in the original loop.
+        let Some(envelope) = self.net.handle(endpoint).poll(now) else {
+            return;
+        };
+        match endpoint {
+            Endpoint::TopologyServer => {
+                let alive = &self.alive;
+                self.server
+                    .on_envelope(envelope, now, |c| alive.contains(&c))
+                    .expect(SIM_SEND);
+            }
+            Endpoint::Camera(cam) => {
+                if !self.alive.contains(&cam) {
+                    return; // messages to dead cameras are lost
+                }
+                let message = envelope.message;
+                self.emit(|s| s.on_delivery(now, cam, &message));
+                if let Message::TopologyUpdate(_) = &message {
+                    self.note_update_delivered(cam, now);
+                }
+                let driver = self.drivers.get_mut(&cam).expect("alive node exists");
+                driver.deliver(message, now).expect(SIM_SEND);
+            }
+            Endpoint::EdgeStore(_) => {}
+        }
+    }
+
+    fn on_kill(&mut self, cam: CameraId, now: SimTime) {
+        if self.alive.remove(&cam) {
+            self.pending_kills.push((cam, now));
+        }
+    }
+
+    fn note_update_delivered(&mut self, to: CameraId, now: SimTime) {
+        let mut finished = Vec::new();
+        for (i, t) in self.recovery_trackers.iter_mut().enumerate() {
+            t.outstanding.remove(&to);
+            if t.outstanding.is_empty() {
+                finished.push(i);
+            }
+        }
+        for i in finished.into_iter().rev() {
+            let t = self.recovery_trackers.remove(i);
+            let recovery = Recovery {
+                killed: t.killed,
+                killed_at: t.killed_at,
+                recovered_at: now,
+            };
+            self.emit(|s| s.on_recovery(&recovery));
+        }
+    }
+
+    pub(crate) fn finish(&mut self, now: SimTime) {
+        let now_ms = now.as_millis();
+        let roster = self.config.broadcast.then(|| self.roster.clone());
+        let mut pending: Vec<(CameraId, Message)> = Vec::new();
+        let ids: Vec<CameraId> = self.alive.iter().copied().collect();
+        for id in ids {
+            let driver = self.drivers.get_mut(&id).expect("alive node exists");
+            let out = driver.node_mut().flush(now_ms, roster.as_ref());
+            for e in &out.events {
+                self.emit(|s| s.on_event(id, e.ground_truth, now));
+            }
+            pending.extend(out.messages);
+        }
+        // Drain message cascades synchronously (zero-latency epilogue).
+        while let Some((to, msg)) = pending.pop() {
+            if !self.alive.contains(&to) {
+                continue;
+            }
+            self.emit(|s| s.on_delivery(now, to, &msg));
+            let driver = self.drivers.get_mut(&to).expect("alive node exists");
+            pending.extend(driver.node_mut().on_message(msg, now_ms));
+        }
+    }
+}
+
+/// Schedules one engine delivery action for every envelope sent since the
+/// last drain. Every event handler ends with this, so in-flight envelopes
+/// always have their delivery on the engine queue before the handler's
+/// periodic reschedule — reproducing the event order of the original
+/// monolithic loop.
+fn drain_deliveries(world: &mut SimWorld, ctx: &mut Context<SimWorld>) {
+    for (endpoint, due) in world.net.take_new_due() {
+        ctx.schedule_at(due, move |w: &mut SimWorld, ctx: &mut Context<SimWorld>| {
+            w.deliver_one(endpoint, ctx.now());
+            drain_deliveries(w, ctx);
+        });
+    }
+}
+
+fn tick_action(world: &mut SimWorld, ctx: &mut Context<SimWorld>) {
+    world.on_tick(ctx.now());
+    drain_deliveries(world, ctx);
+    let next = ctx.now() + world.config.frame_period;
+    ctx.schedule_at(next, tick_action);
+}
+
+fn liveness_action(world: &mut SimWorld, ctx: &mut Context<SimWorld>) {
+    world.on_liveness_check(ctx.now());
+    drain_deliveries(world, ctx);
+    let next = ctx.now() + world.config.liveness_check_period;
+    ctx.schedule_at(next, liveness_action);
+}
+
+fn heartbeat_action(cam: CameraId) -> Action<SimWorld> {
+    Box::new(move |world, ctx| {
+        if !world.alive.contains(&cam) {
+            return; // dead cameras stop beating
+        }
+        world.on_heartbeat(cam, ctx.now());
+        drain_deliveries(world, ctx);
+        let next = ctx.now() + world.config.heartbeat_interval;
+        ctx.schedule_at(next, heartbeat_action(cam));
+    })
+}
+
+/// The discrete-event runtime: a [`SimWorld`] on the `coral_sim` engine.
+#[derive(Debug)]
+pub struct SimRuntime {
+    engine: Engine<SimWorld>,
+}
+
+impl SimRuntime {
+    /// Launches `world`, scheduling the initial event cycle: one staggered
+    /// join heartbeat per camera (in the given order), the global frame
+    /// tick, and the server liveness sweep.
+    pub(crate) fn launch(world: SimWorld, join_order: &[CameraId]) -> Self {
+        let frame_period = world.config.frame_period;
+        let liveness_period = world.config.liveness_check_period;
+        let mut engine = Engine::new(world);
+        // Stagger initial heartbeats so joins are ordered but quick.
+        for (i, &id) in join_order.iter().enumerate() {
+            engine.schedule_at(SimTime::from_millis(i as u64 + 1), heartbeat_action(id));
+        }
+        engine.schedule_at(SimTime::ZERO + frame_period, tick_action);
+        engine.schedule_at(SimTime::ZERO + liveness_period * 5, liveness_action);
+        Self { engine }
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The world, read-only.
+    pub fn world(&self) -> &SimWorld {
+        self.engine.state()
+    }
+
+    /// The world, mutably (between runs).
+    pub fn world_mut(&mut self) -> &mut SimWorld {
+        self.engine.state_mut()
+    }
+
+    /// Runs the system until `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.engine.run_until(until);
+    }
+
+    /// Schedules a camera kill at `at`.
+    pub fn schedule_kill(&mut self, at: SimTime, cam: CameraId) {
+        self.engine
+            .schedule_at(at, move |w: &mut SimWorld, ctx: &mut Context<SimWorld>| {
+                w.on_kill(cam, ctx.now());
+            });
+    }
+
+    /// Flushes all in-flight tracks at the end of a run, synchronously
+    /// delivering the resulting protocol messages.
+    pub fn finish(&mut self) {
+        let now = self.engine.now();
+        self.engine.state_mut().finish(now);
+    }
+}

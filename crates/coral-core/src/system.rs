@@ -1,245 +1,42 @@
-//! The end-to-end Coral-Pie system harness.
+//! The end-to-end Coral-Pie system facade.
 //!
-//! Deploys camera nodes on a road network, attaches the cloud topology
-//! server and edge storage, runs ground-truth traffic through the cameras'
-//! fields of view on a deterministic discrete-event loop, and collects the
-//! telemetry behind every system experiment in the paper's §5: inform
-//! arrival times (Fig. 10a), candidate-pool pollution (Figs. 10b, 12b),
-//! failure recovery (Fig. 11) and application-level accuracy (Table 2).
+//! `CoralPieSystem` is a thin shell over the layered runtime: a
+//! [`Deployment`](crate::deploy::Deployment) wires camera nodes, the
+//! topology server and ground-truth traffic onto a simulated network, and a
+//! [`SimRuntime`](crate::runtime::SimRuntime) drives them on the
+//! discrete-event engine. The facade keeps the one-object API the tests,
+//! examples and experiment binaries use, and collects the telemetry behind
+//! every system experiment in the paper's §5: inform arrival times
+//! (Fig. 10a), candidate-pool pollution (Figs. 10b, 12b), failure recovery
+//! (Fig. 11) and application-level accuracy (Table 2).
 
-use crate::metrics::{
-    event_detection_accuracy, reid_accuracy, transitions_from_passages, Accuracy, Passage,
-    Transition,
-};
-use crate::node::{CameraNode, NodeConfig};
-use crate::pool::PoolStats;
-use coral_geo::{GeoPoint, IntersectionId, RoadNetwork};
-use coral_net::Message;
-use coral_sim::{
-    CameraView, FailureKind, FailureSchedule, LinkProfile, PoissonArrivals, SimDuration, SimTime,
-    TrafficConfig, TrafficModel,
-};
+pub use crate::deploy::{CameraSpec, SystemConfig};
+pub use crate::telemetry::{InformArrival, Recovery, SystemReport, Telemetry};
+
+use crate::deploy::Deployment;
+use crate::metrics::{event_detection_accuracy, reid_accuracy, transitions_from_passages};
+use crate::node::CameraNode;
+use crate::runtime::SimRuntime;
+use crate::telemetry::{self, TelemetrySink};
+use coral_geo::{GeoPoint, RoadNetwork};
+use coral_sim::{FailureKind, FailureSchedule, PoissonArrivals, SimTime, TrafficModel};
 use coral_storage::EdgeStorageNode;
-use coral_topology::{CameraId, MdcsOptions, ServerConfig, TopologyServer};
-use coral_vision::GroundTruthId;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, HashSet};
-
-/// Whole-system configuration.
-#[derive(Debug, Clone)]
-pub struct SystemConfig {
-    /// Per-node configuration (vision, re-id, pool).
-    pub node: NodeConfig,
-    /// Frame capture period (96 ms ≈ the prototype's 10.4 FPS).
-    pub frame_period: SimDuration,
-    /// Camera heartbeat interval (§5.4 evaluates 2 s and 5 s).
-    pub heartbeat_interval: SimDuration,
-    /// Missed heartbeats before the server declares a camera failed.
-    pub miss_threshold: u32,
-    /// How often the server scans for missed heartbeats.
-    pub liveness_check_period: SimDuration,
-    /// MDCS search options.
-    pub mdcs: MdcsOptions,
-    /// Network latency models.
-    pub links: LinkProfile,
-    /// Traffic model parameters.
-    pub traffic: TrafficConfig,
-    /// Camera observation range, meters.
-    pub view_range_m: f64,
-    /// Camera image width, pixels.
-    pub image_width: u32,
-    /// Camera image height, pixels.
-    pub image_height: u32,
-    /// Replace MDCS routing with broadcast flooding (the §5.3 baseline).
-    pub broadcast: bool,
-    /// Master seed for all stochastic components.
-    pub seed: u64,
-}
-
-impl Default for SystemConfig {
-    fn default() -> Self {
-        Self {
-            node: NodeConfig::default(),
-            frame_period: SimDuration::from_millis(96),
-            heartbeat_interval: SimDuration::from_secs(2),
-            miss_threshold: 2,
-            liveness_check_period: SimDuration::from_millis(200),
-            mdcs: MdcsOptions::default(),
-            links: LinkProfile::default(),
-            traffic: TrafficConfig::default(),
-            view_range_m: 35.0,
-            image_width: 200,
-            image_height: 160,
-            broadcast: false,
-            seed: 42,
-        }
-    }
-}
-
-/// Deployment spec of one camera.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CameraSpec {
-    /// Camera id.
-    pub id: CameraId,
-    /// Intersection the camera watches.
-    pub site: IntersectionId,
-    /// Videoing angle, degrees clockwise from north.
-    pub videoing_angle_deg: f64,
-}
-
-/// An inform-message arrival at a camera (the Fig. 10a measurement).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct InformArrival {
-    /// Receiving camera.
-    pub at: CameraId,
-    /// The camera that generated the event.
-    pub from: CameraId,
-    /// Ground-truth vehicle of the event, if attributable.
-    pub vehicle: Option<GroundTruthId>,
-    /// Delivery time.
-    pub arrived: SimTime,
-}
-
-/// A completed failure-recovery measurement (the Fig. 11 metric).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Recovery {
-    /// The failed camera.
-    pub killed: CameraId,
-    /// When it was killed.
-    pub killed_at: SimTime,
-    /// When the last affected camera received its topology update.
-    pub recovered_at: SimTime,
-}
-
-impl Recovery {
-    /// The recovery duration.
-    pub fn duration(&self) -> SimDuration {
-        self.recovered_at.since(self.killed_at)
-    }
-}
-
-/// Telemetry accumulated over a run.
-#[derive(Debug, Clone, Default)]
-pub struct Telemetry {
-    /// Ground-truth FOV passages.
-    pub passages: Vec<Passage>,
-    /// Inform-message arrivals.
-    pub informs: Vec<InformArrival>,
-    /// Completed failure recoveries.
-    pub recoveries: Vec<Recovery>,
-    /// Detection events generated: `(camera, ground truth, at)`.
-    pub events: Vec<(CameraId, Option<GroundTruthId>, SimTime)>,
-    /// Total messages delivered.
-    pub messages_delivered: u64,
-    /// Inform messages delivered.
-    pub informs_delivered: u64,
-    /// Confirm messages delivered.
-    pub confirms_delivered: u64,
-    /// Topology updates delivered.
-    pub updates_delivered: u64,
-    /// Total JSON bytes of delivered horizontal (camera-to-camera)
-    /// messages — the backhaul-free traffic the §3 architecture argument
-    /// is about.
-    pub horizontal_bytes: u64,
-    /// Total JSON bytes of cloud-bound control traffic (heartbeats) and
-    /// cloud-to-camera topology updates.
-    pub cloud_bytes: u64,
-}
-
-/// The final report of a run.
-#[derive(Debug, Clone)]
-pub struct SystemReport {
-    /// Per-camera event-detection accuracy (Table 2).
-    pub detection: BTreeMap<CameraId, Accuracy>,
-    /// Cross-camera re-identification accuracy (§5.6).
-    pub reid: Accuracy,
-    /// Ground-truth transitions.
-    pub transitions: Vec<Transition>,
-    /// Per-camera pool statistics and current spurious fraction
-    /// (Figs. 10b / 12b).
-    pub pools: BTreeMap<CameraId, (PoolStats, f64)>,
-}
-
-#[derive(Debug, Clone)]
-enum Ev {
-    GlobalTick,
-    Heartbeat(CameraId),
-    CloudHeartbeat(CameraId, GeoPoint, f64),
-    LivenessCheck,
-    Deliver(CameraId, Message),
-    Kill(CameraId),
-}
-
-#[derive(Debug)]
-struct Queued {
-    at: SimTime,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Queued {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Queued {}
-impl PartialOrd for Queued {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Queued {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-#[derive(Debug)]
-struct RecoveryTracker {
-    killed: CameraId,
-    killed_at: SimTime,
-    outstanding: BTreeSet<CameraId>,
-}
+use coral_topology::{CameraId, TopologyServer};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The deployed system.
 #[derive(Debug)]
 pub struct CoralPieSystem {
-    config: SystemConfig,
-    server: TopologyServer,
-    storage: EdgeStorageNode,
-    traffic: TrafficModel,
-    arrivals: Option<PoissonArrivals>,
-    nodes: BTreeMap<CameraId, CameraNode>,
-    alive: BTreeSet<CameraId>,
-    queue: BinaryHeap<Reverse<Queued>>,
-    seq: u64,
-    now: SimTime,
-    last_traffic_step: SimTime,
-    rng: StdRng,
-    telemetry: Telemetry,
-    in_fov: HashMap<CameraId, HashSet<GroundTruthId>>,
-    recovery_trackers: Vec<RecoveryTracker>,
-    pending_kills: Vec<(CameraId, SimTime)>,
-    roster: BTreeSet<CameraId>,
+    runtime: SimRuntime,
 }
 
 impl CoralPieSystem {
     /// Deploys cameras on `net` at the given intersections and schedules
     /// the initial event cycle.
     pub fn new(net: RoadNetwork, cameras: &[CameraSpec], config: SystemConfig) -> Self {
-        let placements: Vec<(CameraId, GeoPoint, f64)> = cameras
-            .iter()
-            .map(|spec| {
-                let position = net
-                    .intersection(spec.site)
-                    .expect("camera site exists")
-                    .position;
-                (spec.id, position, spec.videoing_angle_deg)
-            })
-            .collect();
-        Self::with_positions(net, &placements, config)
+        Self {
+            runtime: Deployment::from_specs(net, cameras, config).build(),
+        }
     }
 
     /// Deploys cameras by raw geographic position — the paper's actual
@@ -252,88 +49,47 @@ impl CoralPieSystem {
         cameras: &[(CameraId, GeoPoint, f64)],
         config: SystemConfig,
     ) -> Self {
-        let server = TopologyServer::new(
-            net.clone(),
-            ServerConfig {
-                heartbeat_interval_ms: config.heartbeat_interval.as_millis(),
-                miss_threshold: config.miss_threshold,
-                snap_radius_m: 30.0,
-                mdcs: config.mdcs,
-            },
-        );
-        let storage = EdgeStorageNode::default();
-        let traffic = TrafficModel::new(net.clone(), config.traffic, config.seed ^ TRAFFIC_SEED_MIX);
-        let mut system = Self {
-            rng: StdRng::seed_from_u64(config.seed ^ 0x1a7e),
-            server,
-            storage: storage.clone(),
-            traffic,
-            arrivals: None,
-            nodes: BTreeMap::new(),
-            alive: BTreeSet::new(),
-            queue: BinaryHeap::new(),
-            seq: 0,
-            now: SimTime::ZERO,
-            last_traffic_step: SimTime::ZERO,
-            telemetry: Telemetry::default(),
-            in_fov: HashMap::new(),
-            recovery_trackers: Vec::new(),
-            pending_kills: Vec::new(),
-            roster: BTreeSet::new(),
-            config,
-        };
-        for (i, &(id, position, angle)) in cameras.iter().enumerate() {
-            let view = CameraView {
-                position,
-                videoing_angle_deg: angle,
-                range_m: system.config.view_range_m,
-                image_width: system.config.image_width,
-                image_height: system.config.image_height,
-            };
-            let node = CameraNode::new(
-                id,
-                view,
-                system.config.node.clone(),
-                storage.clone(),
-                system.config.seed ^ (0x5eed + id.0 as u64),
-            );
-            system.nodes.insert(id, node);
-            system.alive.insert(id);
-            system.roster.insert(id);
-            // Stagger initial heartbeats so joins are ordered but quick.
-            system.push(SimTime::from_millis(i as u64 + 1), Ev::Heartbeat(id));
+        Self {
+            runtime: Deployment::from_positions(net, cameras, config).build(),
         }
-        system.push(
-            SimTime::ZERO + system.config.frame_period,
-            Ev::GlobalTick,
-        );
-        system.push(
-            SimTime::ZERO + system.config.liveness_check_period * 5,
-            Ev::LivenessCheck,
-        );
-        system
+    }
+
+    /// The underlying discrete-event runtime.
+    pub fn runtime(&self) -> &SimRuntime {
+        &self.runtime
+    }
+
+    /// The underlying discrete-event runtime, mutably.
+    pub fn runtime_mut(&mut self) -> &mut SimRuntime {
+        &mut self.runtime
     }
 
     /// The traffic model (to add lights or spawn vehicles before running).
     pub fn traffic_mut(&mut self) -> &mut TrafficModel {
-        &mut self.traffic
+        self.runtime.world_mut().traffic_mut()
     }
 
     /// The traffic model, read-only.
     pub fn traffic(&self) -> &TrafficModel {
-        &self.traffic
+        self.runtime.world().traffic()
     }
 
     /// Installs an open-workload arrival process.
     pub fn set_arrivals(&mut self, arrivals: PoissonArrivals) {
-        self.arrivals = Some(arrivals);
+        self.runtime.world_mut().set_arrivals(arrivals);
+    }
+
+    /// Installs an additional telemetry sink alongside the built-in
+    /// accumulator.
+    pub fn add_sink(&mut self, sink: impl TelemetrySink + Send + 'static) {
+        self.runtime.world_mut().add_sink(sink);
     }
 
     /// Schedules the failure workload.
     pub fn set_failures(&mut self, schedule: &FailureSchedule) {
         for event in schedule.events() {
             match event.kind {
-                FailureKind::Kill => self.push(event.at, Ev::Kill(event.camera)),
+                FailureKind::Kill => self.runtime.schedule_kill(event.at, event.camera),
                 FailureKind::Restore => { /* restores are modelled as re-joins via heartbeats */ }
             }
         }
@@ -341,165 +97,68 @@ impl CoralPieSystem {
 
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.runtime.now()
     }
 
     /// The shared storage node.
     pub fn storage(&self) -> &EdgeStorageNode {
-        &self.storage
+        self.runtime.world().storage()
     }
 
     /// The topology server.
     pub fn server(&self) -> &TopologyServer {
-        &self.server
+        self.runtime.world().server()
     }
 
     /// A camera node, if deployed.
     pub fn node(&self, id: CameraId) -> Option<&CameraNode> {
-        self.nodes.get(&id)
+        self.runtime.world().node(id)
     }
 
     /// Cameras currently alive.
     pub fn alive(&self) -> &BTreeSet<CameraId> {
-        &self.alive
+        self.runtime.world().alive()
     }
 
     /// Accumulated telemetry.
     pub fn telemetry(&self) -> &Telemetry {
-        &self.telemetry
+        self.runtime.world().telemetry()
     }
 
     /// Runs the system until `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > until {
-                break;
-            }
-            let Reverse(q) = self.queue.pop().expect("peeked");
-            self.now = q.at;
-            self.dispatch(q.ev);
-        }
-        if self.now < until {
-            self.now = until;
-        }
+        self.runtime.run_until(until);
     }
 
     /// Flushes all in-flight tracks at the end of a run, synchronously
     /// delivering the resulting protocol messages.
     pub fn finish(&mut self) {
-        let now_ms = self.now.as_millis();
-        let roster = self.config.broadcast.then(|| self.roster.clone());
-        let mut pending: Vec<(CameraId, Message)> = Vec::new();
-        let ids: Vec<CameraId> = self.alive.iter().copied().collect();
-        for id in ids {
-            let node = self.nodes.get_mut(&id).expect("alive node exists");
-            let out = node.flush(now_ms, roster.as_ref());
-            for e in &out.events {
-                self.telemetry
-                    .events
-                    .push((id, e.ground_truth, self.now));
-            }
-            pending.extend(out.messages);
-        }
-        // Drain message cascades synchronously (zero-latency epilogue).
-        while let Some((to, msg)) = pending.pop() {
-            if !self.alive.contains(&to) {
-                continue;
-            }
-            self.record_delivery(to, &msg);
-            let node = self.nodes.get_mut(&to).expect("alive node exists");
-            pending.extend(node.on_message(msg, now_ms));
-        }
+        self.runtime.finish();
     }
 
     /// Ground-truth-based inform redundancy per camera: the fraction of
     /// delivered inform messages whose vehicle never subsequently entered
-    /// the receiving camera's field of view.
-    ///
-    /// This is the paper's §5.3 methodology — "we first isolate the
-    /// computer vision errors ... by manually labeling the ground truth ...
-    /// and accounting the 'unmatched' detection events (at the end of the
-    /// experiment) in the candidate pool as 'redundant'" — with the traffic
-    /// simulator playing the role of the labeled ground truth.
+    /// the receiving camera's field of view (the §5.3 methodology; see
+    /// [`telemetry::inform_redundancy`]).
     pub fn inform_redundancy(&self) -> BTreeMap<CameraId, (u64, u64)> {
-        // Per (camera, vehicle): a delivered inform is useful only if the
-        // vehicle subsequently enters the camera's FOV, and each passage
-        // can consume at most one inform (the camera re-identifies each
-        // vehicle once). Everything else is redundant. This is redundancy
-        // under *ideal* vision, the quantity the paper isolates by manual
-        // ground-truth labeling.
-        let mut informs: BTreeMap<(CameraId, GroundTruthId), Vec<u64>> = BTreeMap::new();
-        let mut untagged: BTreeMap<CameraId, u64> = BTreeMap::new();
-        for inf in &self.telemetry.informs {
-            match inf.vehicle {
-                Some(v) => informs
-                    .entry((inf.at, v))
-                    .or_default()
-                    .push(inf.arrived.as_millis()),
-                None => *untagged.entry(inf.at).or_insert(0) += 1,
-            }
-        }
-        let mut passages: BTreeMap<(CameraId, GroundTruthId), Vec<u64>> = BTreeMap::new();
-        for p in &self.telemetry.passages {
-            passages
-                .entry((p.camera, p.vehicle))
-                .or_default()
-                .push(p.entered_ms);
-        }
-        let mut out: BTreeMap<CameraId, (u64, u64)> = BTreeMap::new();
-        for cam in self.nodes.keys() {
-            out.insert(*cam, (0, 0));
-        }
-        // Small slack for the inform racing the vehicle over the last hop.
-        const SLACK_MS: u64 = 5_000;
-        for ((cam, vehicle), arrivals) in &mut informs {
-            arrivals.sort_unstable();
-            let mut available = passages
-                .get(&(*cam, *vehicle))
-                .cloned()
-                .unwrap_or_default();
-            available.sort_unstable();
-            let mut useful = 0u64;
-            for &arrival in arrivals.iter() {
-                if let Some(pos) = available
-                    .iter()
-                    .position(|&p| p + SLACK_MS >= arrival)
-                {
-                    available.remove(pos);
-                    useful += 1;
-                }
-            }
-            let entry = out.entry(*cam).or_insert((0, 0));
-            entry.0 += arrivals.len() as u64 - useful;
-            entry.1 += arrivals.len() as u64;
-        }
-        for (cam, &n) in &untagged {
-            // Events without ground-truth attribution (clutter) are
-            // redundant by definition.
-            let entry = out.entry(*cam).or_insert((0, 0));
-            entry.0 += n;
-            entry.1 += n;
-        }
-        out
+        let world = self.runtime.world();
+        telemetry::inform_redundancy(world.telemetry(), world.nodes().map(|(id, _)| id))
     }
 
     /// Builds the accuracy/pool report for the run so far.
     pub fn report(&self) -> SystemReport {
-        let events: Vec<(CameraId, Option<GroundTruthId>)> = self
-            .telemetry
-            .events
-            .iter()
-            .map(|&(c, gt, _)| (c, gt))
-            .collect();
-        let detection = event_detection_accuracy(&self.telemetry.passages, &events);
-        let transitions = transitions_from_passages(&self.telemetry.passages);
-        let reid = self
-            .storage
+        let world = self.runtime.world();
+        let t = world.telemetry();
+        let events: Vec<(CameraId, Option<coral_vision::GroundTruthId>)> =
+            t.events.iter().map(|&(c, gt, _)| (c, gt)).collect();
+        let detection = event_detection_accuracy(&t.passages, &events);
+        let transitions = transitions_from_passages(&t.passages);
+        let reid = world
+            .storage()
             .with_graph(|g| reid_accuracy(g, &transitions));
-        let pools = self
-            .nodes
-            .iter()
-            .map(|(&id, n)| (id, (n.pool().stats(), n.pool().spurious_fraction())))
+        let pools = world
+            .nodes()
+            .map(|(id, n)| (id, (n.pool().stats(), n.pool().spurious_fraction())))
             .collect();
         SystemReport {
             detection,
@@ -507,474 +166,5 @@ impl CoralPieSystem {
             transitions,
             pools,
         }
-    }
-
-    fn push(&mut self, at: SimTime, ev: Ev) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Queued { at, seq, ev }));
-    }
-
-    fn dispatch(&mut self, ev: Ev) {
-        match ev {
-            Ev::GlobalTick => self.on_tick(),
-            Ev::Heartbeat(cam) => self.on_heartbeat(cam),
-            Ev::CloudHeartbeat(cam, pos, angle) => self.on_cloud_heartbeat(cam, pos, angle),
-            Ev::LivenessCheck => self.on_liveness_check(),
-            Ev::Deliver(to, msg) => self.on_deliver(to, msg),
-            Ev::Kill(cam) => self.on_kill(cam),
-        }
-    }
-
-    fn on_tick(&mut self) {
-        let dt = self.now.since(self.last_traffic_step);
-        // Workload arrivals, then kinematics.
-        if let Some(arrivals) = &mut self.arrivals {
-            arrivals.advance(self.now, &mut self.traffic);
-        }
-        self.traffic.step(self.last_traffic_step, dt);
-        self.last_traffic_step = self.now;
-
-        let now_ms = self.now.as_millis();
-        let roster = self.config.broadcast.then(|| self.roster.clone());
-        let ids: Vec<CameraId> = self.alive.iter().copied().collect();
-        let mut outgoing: Vec<(CameraId, Message)> = Vec::new();
-        for id in ids {
-            let node = self.nodes.get_mut(&id).expect("alive node exists");
-            let scene = node.view().scene(&self.traffic);
-            // Ground-truth passage detection (edge-triggered on FOV entry).
-            let current: HashSet<GroundTruthId> = scene.actors.iter().map(|a| a.gt).collect();
-            let prev = self.in_fov.entry(id).or_default();
-            for &gt in current.difference(prev) {
-                self.telemetry.passages.push(Passage {
-                    camera: id,
-                    vehicle: gt,
-                    entered_ms: now_ms,
-                });
-            }
-            *prev = current;
-
-            let out = node.on_frame(&scene, now_ms, roster.as_ref());
-            for e in &out.events {
-                self.telemetry.events.push((id, e.ground_truth, self.now));
-            }
-            outgoing.extend(out.messages);
-        }
-        for (to, msg) in outgoing {
-            let delay = self.config.links.device_to_device.sample(&mut self.rng);
-            self.push(self.now + delay, Ev::Deliver(to, msg));
-        }
-        let next = self.now + self.config.frame_period;
-        self.push(next, Ev::GlobalTick);
-    }
-
-    fn on_heartbeat(&mut self, cam: CameraId) {
-        if !self.alive.contains(&cam) {
-            return; // dead cameras stop beating
-        }
-        let node = self.nodes.get_mut(&cam).expect("alive node exists");
-        let Message::Heartbeat {
-            camera,
-            position,
-            videoing_angle_deg,
-        } = node.heartbeat()
-        else {
-            unreachable!("heartbeat() builds heartbeats");
-        };
-        self.telemetry.cloud_bytes += Message::Heartbeat {
-            camera,
-            position,
-            videoing_angle_deg,
-        }
-        .encoded_len() as u64;
-        let delay = self.config.links.device_to_cloud.sample(&mut self.rng);
-        self.push(
-            self.now + delay,
-            Ev::CloudHeartbeat(camera, position, videoing_angle_deg),
-        );
-        let next = self.now + self.config.heartbeat_interval;
-        self.push(next, Ev::Heartbeat(cam));
-    }
-
-    fn on_cloud_heartbeat(&mut self, cam: CameraId, position: GeoPoint, angle: f64) {
-        let updates = self
-            .server
-            .handle_heartbeat(cam, position, angle, self.now.as_millis())
-            .unwrap_or_default();
-        for u in updates {
-            if self.alive.contains(&u.camera) {
-                let delay = self.config.links.device_to_cloud.sample(&mut self.rng);
-                self.push(
-                    self.now + delay,
-                    Ev::Deliver(u.camera, Message::TopologyUpdate(u)),
-                );
-            }
-        }
-    }
-
-    fn on_liveness_check(&mut self) {
-        let before: BTreeSet<CameraId> = self.server.active_cameras().into_iter().collect();
-        let updates = self.server.check_liveness(self.now.as_millis());
-        if !updates.is_empty() {
-            let after: BTreeSet<CameraId> = self.server.active_cameras().into_iter().collect();
-            let removed: Vec<CameraId> = before.difference(&after).copied().collect();
-            let recipients: BTreeSet<CameraId> = updates
-                .iter()
-                .map(|u| u.camera)
-                .filter(|c| self.alive.contains(c))
-                .collect();
-            for r in removed {
-                if let Some(pos) = self.pending_kills.iter().position(|&(c, _)| c == r) {
-                    let (_, killed_at) = self.pending_kills.remove(pos);
-                    if recipients.is_empty() {
-                        // No survivors affected: instantaneous recovery.
-                        self.telemetry.recoveries.push(Recovery {
-                            killed: r,
-                            killed_at,
-                            recovered_at: self.now,
-                        });
-                    } else {
-                        self.recovery_trackers.push(RecoveryTracker {
-                            killed: r,
-                            killed_at,
-                            outstanding: recipients.clone(),
-                        });
-                    }
-                }
-            }
-            for u in updates {
-                if self.alive.contains(&u.camera) {
-                    let delay = self.config.links.device_to_cloud.sample(&mut self.rng);
-                    self.push(
-                        self.now + delay,
-                        Ev::Deliver(u.camera, Message::TopologyUpdate(u)),
-                    );
-                }
-            }
-        }
-        let next = self.now + self.config.liveness_check_period;
-        self.push(next, Ev::LivenessCheck);
-    }
-
-    fn on_deliver(&mut self, to: CameraId, msg: Message) {
-        if !self.alive.contains(&to) {
-            return; // messages to dead cameras are lost
-        }
-        self.record_delivery(to, &msg);
-        if let Message::TopologyUpdate(_) = &msg {
-            self.note_update_delivered(to);
-        }
-        let now_ms = self.now.as_millis();
-        let node = self.nodes.get_mut(&to).expect("alive node exists");
-        let replies = node.on_message(msg, now_ms);
-        for (next_to, reply) in replies {
-            let delay = self.config.links.device_to_device.sample(&mut self.rng);
-            self.push(self.now + delay, Ev::Deliver(next_to, reply));
-        }
-    }
-
-    fn on_kill(&mut self, cam: CameraId) {
-        if self.alive.remove(&cam) {
-            self.pending_kills.push((cam, self.now));
-        }
-    }
-
-    fn record_delivery(&mut self, to: CameraId, msg: &Message) {
-        self.telemetry.messages_delivered += 1;
-        match msg {
-            Message::Inform(e) => {
-                self.telemetry.informs_delivered += 1;
-                self.telemetry.horizontal_bytes += msg.encoded_len() as u64;
-                self.telemetry.informs.push(InformArrival {
-                    at: to,
-                    from: e.camera,
-                    vehicle: e.ground_truth,
-                    arrived: self.now,
-                });
-            }
-            Message::Confirm { .. } => {
-                self.telemetry.confirms_delivered += 1;
-                self.telemetry.horizontal_bytes += msg.encoded_len() as u64;
-            }
-            Message::TopologyUpdate(_) => {
-                self.telemetry.updates_delivered += 1;
-                self.telemetry.cloud_bytes += msg.encoded_len() as u64;
-            }
-            Message::Heartbeat { .. } => {}
-        }
-    }
-
-    fn note_update_delivered(&mut self, to: CameraId) {
-        let now = self.now;
-        let mut finished = Vec::new();
-        for (i, t) in self.recovery_trackers.iter_mut().enumerate() {
-            t.outstanding.remove(&to);
-            if t.outstanding.is_empty() {
-                finished.push(i);
-            }
-        }
-        for i in finished.into_iter().rev() {
-            let t = self.recovery_trackers.remove(i);
-            self.telemetry.recoveries.push(Recovery {
-                killed: t.killed,
-                killed_at: t.killed_at,
-                recovered_at: now,
-            });
-        }
-    }
-}
-
-/// Seed-mixing constant decorrelating the traffic RNG from the system RNG.
-const TRAFFIC_SEED_MIX: u64 = 0x070A_FF1C;
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use coral_geo::generators;
-    use coral_sim::TrafficLight;
-    use coral_vision::DetectorNoise;
-
-    fn corridor_system(n: usize, broadcast: bool) -> (CoralPieSystem, RoadNetwork) {
-        let net = generators::corridor(n, 120.0, 12.0);
-        let specs: Vec<CameraSpec> = (0..n)
-            .map(|i| CameraSpec {
-                id: CameraId(i as u32),
-                site: IntersectionId(i as u32),
-                videoing_angle_deg: 0.0,
-            })
-            .collect();
-        let config = SystemConfig {
-            node: NodeConfig {
-                detector_noise: DetectorNoise::perfect(),
-                ..NodeConfig::default()
-            },
-            broadcast,
-            ..SystemConfig::default()
-        };
-        (CoralPieSystem::new(net.clone(), &specs, config), net)
-    }
-
-    #[test]
-    fn cameras_join_and_get_mdcs_tables() {
-        let (mut sys, _) = corridor_system(3, false);
-        sys.run_until(SimTime::from_secs(3));
-        assert_eq!(sys.server().active_cameras().len(), 3);
-        // The middle camera's socket group knows both neighbours.
-        let node = sys.node(CameraId(1)).unwrap();
-        let down = node.connection().socket_group().all_downstream();
-        assert_eq!(down, BTreeSet::from([CameraId(0), CameraId(2)]));
-    }
-
-    #[test]
-    fn end_to_end_track_single_vehicle() {
-        let (mut sys, net) = corridor_system(3, false);
-        // Let cameras join first.
-        sys.run_until(SimTime::from_secs(2));
-        // One vehicle end to end.
-        let route =
-            coral_geo::route::shortest_path(&net, IntersectionId(0), IntersectionId(2)).unwrap();
-        sys.traffic_mut()
-            .spawn(SimTime::from_secs(2), route, Some(coral_vision::ObjectClass::Car));
-        sys.run_until(SimTime::from_secs(40));
-        sys.finish();
-
-        // Ground truth: the vehicle passed all three cameras.
-        let report = sys.report();
-        assert_eq!(report.transitions.len(), 2, "{:?}", report.transitions);
-        // All three cameras detected it.
-        for cam in 0..3u32 {
-            let acc = report.detection[&CameraId(cam)];
-            assert_eq!(acc.fn_, 0, "cam{cam} missed the vehicle: {acc:?}");
-            assert!(acc.tp >= 1);
-        }
-        // Re-identification linked the events across cameras.
-        assert_eq!(
-            report.reid.fn_, 0,
-            "expected full trajectory: {:?}",
-            report.reid
-        );
-        assert!(report.reid.tp >= 2);
-        // The trajectory graph holds a 3-vertex chain.
-        let (v, e, _, _) = sys.storage().stats();
-        assert_eq!(v, 3);
-        assert!(e >= 2);
-        // Protocol effectiveness (the Fig. 10a property): for every
-        // camera-to-camera transition, the *earliest* inform for the
-        // vehicle reaches the downstream camera before the vehicle does.
-        let passages = &sys.telemetry().passages;
-        let informs = &sys.telemetry().informs;
-        for t in &report.transitions {
-            let p = passages
-                .iter()
-                .find(|p| p.camera == t.to && p.vehicle == t.vehicle)
-                .expect("transition implies a passage");
-            let earliest = informs
-                .iter()
-                .filter(|i| i.at == t.to && i.vehicle == Some(t.vehicle))
-                .map(|i| i.arrived.as_millis())
-                .min()
-                .expect("an inform must precede the transition");
-            assert!(
-                earliest < p.entered_ms,
-                "inform at {earliest} ms after vehicle at {} ms",
-                p.entered_ms
-            );
-        }
-    }
-
-    #[test]
-    fn broadcast_pollutes_pools_more_than_mdcs() {
-        let run = |broadcast: bool| {
-            let (mut sys, net) = corridor_system(5, broadcast);
-            sys.run_until(SimTime::from_secs(2));
-            // A stream of vehicles west->east.
-            for k in 0..6u64 {
-                let route = coral_geo::route::shortest_path(
-                    &net,
-                    IntersectionId(0),
-                    IntersectionId(4),
-                )
-                .unwrap();
-                sys.traffic_mut().spawn(
-                    SimTime::from_secs(2 + 6 * k),
-                    route,
-                    Some(coral_vision::ObjectClass::Car),
-                );
-            }
-            sys.run_until(SimTime::from_secs(120));
-            sys.finish();
-            let t = sys.telemetry();
-            (t.informs_delivered, sys.report())
-        };
-        let (mdcs_informs, _mdcs_report) = run(false);
-        let (bcast_informs, _bcast_report) = run(true);
-        assert!(
-            bcast_informs > mdcs_informs * 2,
-            "broadcast {bcast_informs} vs mdcs {mdcs_informs}"
-        );
-    }
-
-    #[test]
-    fn failure_recovery_within_two_heartbeat_intervals() {
-        let (mut sys, _) = corridor_system(5, false);
-        sys.run_until(SimTime::from_secs(5));
-        let mut schedule = FailureSchedule::new();
-        schedule.push(coral_sim::FailureEvent {
-            at: SimTime::from_secs(10),
-            camera: CameraId(2),
-            kind: FailureKind::Kill,
-        });
-        sys.set_failures(&schedule);
-        sys.run_until(SimTime::from_secs(30));
-        let recoveries = &sys.telemetry().recoveries;
-        assert_eq!(recoveries.len(), 1, "recovery not recorded");
-        let r = recoveries[0];
-        assert_eq!(r.killed, CameraId(2));
-        let hb = SimDuration::from_secs(2);
-        assert!(
-            r.duration() <= hb * 2 + SimDuration::from_millis(700),
-            "recovery took {}",
-            r.duration()
-        );
-        // The healed neighbours now skip the failed camera.
-        let n1 = sys.node(CameraId(1)).unwrap();
-        assert!(n1
-            .connection()
-            .socket_group()
-            .all_downstream()
-            .contains(&CameraId(3)));
-    }
-
-    #[test]
-    fn deterministic_for_fixed_seed() {
-        let run = || {
-            let (mut sys, net) = corridor_system(3, false);
-            sys.run_until(SimTime::from_secs(2));
-            let route = coral_geo::route::shortest_path(
-                &net,
-                IntersectionId(0),
-                IntersectionId(2),
-            )
-            .unwrap();
-            sys.traffic_mut()
-                .spawn(SimTime::from_secs(2), route, Some(coral_vision::ObjectClass::Car));
-            sys.run_until(SimTime::from_secs(40));
-            sys.finish();
-            let t = sys.telemetry();
-            (
-                t.messages_delivered,
-                t.informs_delivered,
-                t.events.len(),
-                sys.storage().stats(),
-            )
-        };
-        assert_eq!(run(), run());
-    }
-
-    #[test]
-    fn telemetry_counts_bandwidth_and_redundancy() {
-        let (mut sys, net) = corridor_system(3, false);
-        sys.run_until(SimTime::from_secs(2));
-        let route =
-            coral_geo::route::shortest_path(&net, IntersectionId(0), IntersectionId(2)).unwrap();
-        sys.traffic_mut()
-            .spawn(SimTime::from_secs(2), route, Some(coral_vision::ObjectClass::Car));
-        sys.run_until(SimTime::from_secs(40));
-        sys.finish();
-        let t = sys.telemetry();
-        // Horizontal traffic (informs + confirms) and cloud traffic
-        // (heartbeats + updates) were metered.
-        assert!(t.horizontal_bytes > 0, "no horizontal bytes recorded");
-        assert!(t.cloud_bytes > 0, "no cloud bytes recorded");
-        // Camera 1 received cam0's inform ahead of the vehicle (useful);
-        // it may also hold a trailing end-of-route inform from cam2's exit
-        // event (redundant). Useful informs must dominate.
-        let redundancy = sys.inform_redundancy();
-        let (red1, recv1) = redundancy[&CameraId(1)];
-        assert!(recv1 >= 1, "camera 1 received informs");
-        assert!(red1 < recv1, "no useful inform at cam1: {red1}/{recv1}");
-        // The end camera may hold a trailing exit inform; totals stay
-        // within the received counts.
-        for (&cam, &(red, recv)) in &redundancy {
-            assert!(red <= recv, "{cam}: {red} > {recv}");
-        }
-    }
-
-    #[test]
-    fn traffic_light_creates_platooned_passages() {
-        let (mut sys, net) = corridor_system(3, false);
-        sys.traffic_mut().add_light(TrafficLight::new(
-            IntersectionId(1),
-            SimDuration::from_secs(40),
-            SimDuration::ZERO,
-        ));
-        sys.run_until(SimTime::from_secs(2));
-        for k in 0..3u64 {
-            let route = coral_geo::route::shortest_path(
-                &net,
-                IntersectionId(0),
-                IntersectionId(2),
-            )
-            .unwrap();
-            sys.traffic_mut().spawn(
-                SimTime::from_secs(2 + 3 * k),
-                route,
-                Some(coral_vision::ObjectClass::Car),
-            );
-        }
-        sys.run_until(SimTime::from_secs(80));
-        sys.finish();
-        // All three vehicles reach camera 2 in a tight platoon after the
-        // light turns green.
-        let arrivals: Vec<u64> = sys
-            .telemetry()
-            .passages
-            .iter()
-            .filter(|p| p.camera == CameraId(2))
-            .map(|p| p.entered_ms / 1_000)
-            .collect();
-        assert_eq!(arrivals.len(), 3, "arrivals: {arrivals:?}");
-        let spread = arrivals.iter().max().unwrap() - arrivals.iter().min().unwrap();
-        assert!(spread <= 6, "platoon spread {spread}s: {arrivals:?}");
     }
 }

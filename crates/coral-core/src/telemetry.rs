@@ -1,0 +1,255 @@
+//! Run telemetry: the measurements behind every system experiment in the
+//! paper's §5, and the [`TelemetrySink`] seam through which bench harnesses
+//! plug structured collectors instead of scraping counter fields.
+
+use crate::metrics::{Accuracy, Passage, Transition};
+use crate::pool::PoolStats;
+use coral_net::Message;
+use coral_sim::{SimDuration, SimTime};
+use coral_topology::CameraId;
+use coral_vision::GroundTruthId;
+use std::collections::BTreeMap;
+
+/// An inform-message arrival at a camera (the Fig. 10a measurement).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InformArrival {
+    /// Receiving camera.
+    pub at: CameraId,
+    /// The camera that generated the event.
+    pub from: CameraId,
+    /// Ground-truth vehicle of the event, if attributable.
+    pub vehicle: Option<GroundTruthId>,
+    /// Delivery time.
+    pub arrived: SimTime,
+}
+
+/// A completed failure-recovery measurement (the Fig. 11 metric).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recovery {
+    /// The failed camera.
+    pub killed: CameraId,
+    /// When it was killed.
+    pub killed_at: SimTime,
+    /// When the last affected camera received its topology update.
+    pub recovered_at: SimTime,
+}
+
+impl Recovery {
+    /// The recovery duration.
+    pub fn duration(&self) -> SimDuration {
+        self.recovered_at.since(self.killed_at)
+    }
+}
+
+/// Observer of runtime measurements.
+///
+/// The runtime drives one mandatory sink — the [`Telemetry`] accumulator
+/// backing `CoralPieSystem::telemetry()` — plus any number of additional
+/// sinks installed with `CoralPieSystem::add_sink`, so experiment harnesses
+/// can stream structured records (histograms, per-camera aggregations,
+/// traces) without scraping counters after the fact. All methods default to
+/// no-ops; implement only the measurements you care about.
+pub trait TelemetrySink {
+    /// A ground-truth vehicle entered a camera's field of view.
+    fn on_passage(&mut self, passage: &Passage) {
+        let _ = passage;
+    }
+
+    /// A camera generated a detection event.
+    fn on_event(&mut self, camera: CameraId, ground_truth: Option<GroundTruthId>, at: SimTime) {
+        let _ = (camera, ground_truth, at);
+    }
+
+    /// A protocol message was delivered to a camera.
+    fn on_delivery(&mut self, at: SimTime, to: CameraId, message: &Message) {
+        let _ = (at, to, message);
+    }
+
+    /// Cloud-bound control bytes left a camera (heartbeat metering).
+    fn on_cloud_send(&mut self, at: SimTime, from: CameraId, bytes: u64) {
+        let _ = (at, from, bytes);
+    }
+
+    /// A failure recovery completed.
+    fn on_recovery(&mut self, recovery: &Recovery) {
+        let _ = recovery;
+    }
+}
+
+/// Telemetry accumulated over a run — the default [`TelemetrySink`].
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    /// Ground-truth FOV passages.
+    pub passages: Vec<Passage>,
+    /// Inform-message arrivals.
+    pub informs: Vec<InformArrival>,
+    /// Completed failure recoveries.
+    pub recoveries: Vec<Recovery>,
+    /// Detection events generated: `(camera, ground truth, at)`.
+    pub events: Vec<(CameraId, Option<GroundTruthId>, SimTime)>,
+    /// Total messages delivered.
+    pub messages_delivered: u64,
+    /// Inform messages delivered.
+    pub informs_delivered: u64,
+    /// Confirm messages delivered.
+    pub confirms_delivered: u64,
+    /// Topology updates delivered.
+    pub updates_delivered: u64,
+    /// Total JSON bytes of delivered horizontal (camera-to-camera)
+    /// messages — the backhaul-free traffic the §3 architecture argument
+    /// is about.
+    pub horizontal_bytes: u64,
+    /// Total JSON bytes of cloud-bound control traffic (heartbeats) and
+    /// cloud-to-camera topology updates.
+    pub cloud_bytes: u64,
+}
+
+impl TelemetrySink for Telemetry {
+    fn on_passage(&mut self, passage: &Passage) {
+        self.passages.push(*passage);
+    }
+
+    fn on_event(&mut self, camera: CameraId, ground_truth: Option<GroundTruthId>, at: SimTime) {
+        self.events.push((camera, ground_truth, at));
+    }
+
+    fn on_delivery(&mut self, at: SimTime, to: CameraId, message: &Message) {
+        self.messages_delivered += 1;
+        match message {
+            Message::Inform(e) => {
+                self.informs_delivered += 1;
+                self.horizontal_bytes += message.encoded_len() as u64;
+                self.informs.push(InformArrival {
+                    at: to,
+                    from: e.camera,
+                    vehicle: e.ground_truth,
+                    arrived: at,
+                });
+            }
+            Message::Confirm { .. } => {
+                self.confirms_delivered += 1;
+                self.horizontal_bytes += message.encoded_len() as u64;
+            }
+            Message::TopologyUpdate(_) => {
+                self.updates_delivered += 1;
+                self.cloud_bytes += message.encoded_len() as u64;
+            }
+            Message::Heartbeat { .. } => {}
+        }
+    }
+
+    fn on_cloud_send(&mut self, _at: SimTime, _from: CameraId, bytes: u64) {
+        self.cloud_bytes += bytes;
+    }
+
+    fn on_recovery(&mut self, recovery: &Recovery) {
+        self.recoveries.push(*recovery);
+    }
+}
+
+/// Shared-collector convenience: an `Arc<Mutex<S>>` sink forwards to `S`,
+/// so a harness can keep a handle onto a sink it hands to the runtime.
+impl<S: TelemetrySink> TelemetrySink for std::sync::Arc<parking_lot::Mutex<S>> {
+    fn on_passage(&mut self, passage: &Passage) {
+        self.lock().on_passage(passage);
+    }
+
+    fn on_event(&mut self, camera: CameraId, ground_truth: Option<GroundTruthId>, at: SimTime) {
+        self.lock().on_event(camera, ground_truth, at);
+    }
+
+    fn on_delivery(&mut self, at: SimTime, to: CameraId, message: &Message) {
+        self.lock().on_delivery(at, to, message);
+    }
+
+    fn on_cloud_send(&mut self, at: SimTime, from: CameraId, bytes: u64) {
+        self.lock().on_cloud_send(at, from, bytes);
+    }
+
+    fn on_recovery(&mut self, recovery: &Recovery) {
+        self.lock().on_recovery(recovery);
+    }
+}
+
+/// The final report of a run.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Per-camera event-detection accuracy (Table 2).
+    pub detection: BTreeMap<CameraId, Accuracy>,
+    /// Cross-camera re-identification accuracy (§5.6).
+    pub reid: Accuracy,
+    /// Ground-truth transitions.
+    pub transitions: Vec<Transition>,
+    /// Per-camera pool statistics and current spurious fraction
+    /// (Figs. 10b / 12b).
+    pub pools: BTreeMap<CameraId, (PoolStats, f64)>,
+}
+
+/// Ground-truth-based inform redundancy per camera: the fraction of
+/// delivered inform messages whose vehicle never subsequently entered the
+/// receiving camera's field of view.
+///
+/// This is the paper's §5.3 methodology — "we first isolate the computer
+/// vision errors ... by manually labeling the ground truth ... and
+/// accounting the 'unmatched' detection events (at the end of the
+/// experiment) in the candidate pool as 'redundant'" — with the traffic
+/// simulator playing the role of the labeled ground truth. Returns
+/// `(redundant, received)` per camera in `cameras`.
+pub fn inform_redundancy(
+    telemetry: &Telemetry,
+    cameras: impl IntoIterator<Item = CameraId>,
+) -> BTreeMap<CameraId, (u64, u64)> {
+    // Per (camera, vehicle): a delivered inform is useful only if the
+    // vehicle subsequently enters the camera's FOV, and each passage can
+    // consume at most one inform (the camera re-identifies each vehicle
+    // once). Everything else is redundant. This is redundancy under
+    // *ideal* vision, the quantity the paper isolates by manual
+    // ground-truth labeling.
+    let mut informs: BTreeMap<(CameraId, GroundTruthId), Vec<u64>> = BTreeMap::new();
+    let mut untagged: BTreeMap<CameraId, u64> = BTreeMap::new();
+    for inf in &telemetry.informs {
+        match inf.vehicle {
+            Some(v) => informs
+                .entry((inf.at, v))
+                .or_default()
+                .push(inf.arrived.as_millis()),
+            None => *untagged.entry(inf.at).or_insert(0) += 1,
+        }
+    }
+    let mut passages: BTreeMap<(CameraId, GroundTruthId), Vec<u64>> = BTreeMap::new();
+    for p in &telemetry.passages {
+        passages
+            .entry((p.camera, p.vehicle))
+            .or_default()
+            .push(p.entered_ms);
+    }
+    let mut out: BTreeMap<CameraId, (u64, u64)> = BTreeMap::new();
+    for cam in cameras {
+        out.insert(cam, (0, 0));
+    }
+    // Small slack for the inform racing the vehicle over the last hop.
+    const SLACK_MS: u64 = 5_000;
+    for ((cam, vehicle), arrivals) in &mut informs {
+        arrivals.sort_unstable();
+        let mut available = passages.get(&(*cam, *vehicle)).cloned().unwrap_or_default();
+        available.sort_unstable();
+        let mut useful = 0u64;
+        for &arrival in arrivals.iter() {
+            if let Some(pos) = available.iter().position(|&p| p + SLACK_MS >= arrival) {
+                available.remove(pos);
+                useful += 1;
+            }
+        }
+        let entry = out.entry(*cam).or_insert((0, 0));
+        entry.0 += arrivals.len() as u64 - useful;
+        entry.1 += arrivals.len() as u64;
+    }
+    for (cam, &n) in &untagged {
+        // Events without ground-truth attribution (clutter) are redundant
+        // by definition.
+        let entry = out.entry(*cam).or_insert((0, 0));
+        entry.0 += n;
+        entry.1 += n;
+    }
+    out
+}

@@ -68,9 +68,7 @@ pub fn ring(n: usize, spacing_m: f64, speed_mps: f64) -> RoadNetwork {
     let radius = n as f64 * spacing_m / (2.0 * std::f64::consts::PI);
     for i in 0..n {
         let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
-        net.add_intersection(
-            CAMPUS_ORIGIN.offset_m(radius * theta.cos(), radius * theta.sin()),
-        );
+        net.add_intersection(CAMPUS_ORIGIN.offset_m(radius * theta.cos(), radius * theta.sin()));
     }
     for i in 0..n {
         net.add_lane(
@@ -261,10 +259,7 @@ mod tests {
         // All sites reachable from site 0 and back (strong connectivity over
         // the designated sites, despite one-way streets).
         for &s in &sites[1..] {
-            assert!(
-                shortest_path(&net, sites[0], s).is_ok(),
-                "unreachable {s}"
-            );
+            assert!(shortest_path(&net, sites[0], s).is_ok(), "unreachable {s}");
             assert!(
                 shortest_path(&net, s, sites[0]).is_ok(),
                 "cannot return from {s}"
@@ -301,8 +296,8 @@ mod tests {
         assert!(a.lane_count() >= 20 * 3); // each node connects to >= k others (two-way)
         let c = random_planar(20, 3, 500.0, 10.0, 43);
         // Different seed should (overwhelmingly likely) give a different map.
-        let same = a.lane_count() == c.lane_count()
-            && a.lanes().zip(c.lanes()).all(|(x, y)| x == y);
+        let same =
+            a.lane_count() == c.lane_count() && a.lanes().zip(c.lanes()).all(|(x, y)| x == y);
         assert!(!same);
     }
 

@@ -86,7 +86,10 @@ impl Polygon {
                 reason: "fewer than three vertices",
             });
         }
-        if vertices.iter().any(|p| !p.x.is_finite() || !p.y.is_finite()) {
+        if vertices
+            .iter()
+            .any(|p| !p.x.is_finite() || !p.y.is_finite())
+        {
             return Err(InvalidPolygonError {
                 reason: "non-finite coordinate",
             });

@@ -362,10 +362,7 @@ mod tests {
     fn rejects_self_loop() {
         let mut net = RoadNetwork::new();
         let a = net.add_intersection(GeoPoint::new(0.0, 0.0));
-        assert_eq!(
-            net.add_lane(a, a, 10.0),
-            Err(RoadNetworkError::SelfLoop(a))
-        );
+        assert_eq!(net.add_lane(a, a, 10.0), Err(RoadNetworkError::SelfLoop(a)));
     }
 
     #[test]

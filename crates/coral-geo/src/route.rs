@@ -372,20 +372,8 @@ mod tests {
     #[test]
     fn random_route_deterministic_per_seed() {
         let net = generators::grid(5, 5, 100.0, 10.0);
-        let r1 = random_route(
-            &mut StdRng::seed_from_u64(99),
-            &net,
-            IntersectionId(0),
-            10,
-        )
-        .unwrap();
-        let r2 = random_route(
-            &mut StdRng::seed_from_u64(99),
-            &net,
-            IntersectionId(0),
-            10,
-        )
-        .unwrap();
+        let r1 = random_route(&mut StdRng::seed_from_u64(99), &net, IntersectionId(0), 10).unwrap();
+        let r2 = random_route(&mut StdRng::seed_from_u64(99), &net, IntersectionId(0), 10).unwrap();
         assert_eq!(r1, r2);
     }
 

@@ -13,7 +13,9 @@
 
 use crate::message::{DetectionEvent, EventId, Message};
 use crate::socket_group::SocketGroup;
+use crate::transport::{Endpoint, Envelope, SendError, Transport};
 use coral_geo::GeoPoint;
+use coral_sim::SimTime;
 use coral_topology::{CameraId, MdcsUpdate};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
@@ -181,6 +183,82 @@ impl ConnectionManager {
         self.informed.len()
     }
 
+    /// Informing stage over any [`Transport`]: routes `event` to the MDCS
+    /// of its heading and sends each inform. Returns the number sent.
+    ///
+    /// # Errors
+    ///
+    /// Stops at — and returns — the first transport failure.
+    pub fn inform_via<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        now: SimTime,
+        event: DetectionEvent,
+    ) -> Result<usize, SendError> {
+        let out = self.on_detection(event);
+        self.deliver_via(transport, now, out)
+    }
+
+    /// Confirming stage over any [`Transport`]: relays a downstream
+    /// camera's confirmation to all other informed cameras. Returns the
+    /// number of relays sent.
+    ///
+    /// # Errors
+    ///
+    /// Stops at — and returns — the first transport failure.
+    pub fn relay_confirmation_via<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        now: SimTime,
+        event: EventId,
+        reidentified_by: CameraId,
+    ) -> Result<usize, SendError> {
+        let out = self.on_confirmation(event, reidentified_by);
+        self.deliver_via(transport, now, out)
+    }
+
+    /// Sends the periodic heartbeat to the topology server over any
+    /// [`Transport`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport failure.
+    pub fn heartbeat_via<T: Transport>(
+        &mut self,
+        transport: &mut T,
+        now: SimTime,
+    ) -> Result<(), SendError> {
+        let message = self.heartbeat();
+        transport.send(
+            now,
+            Envelope {
+                from: Endpoint::Camera(self.camera),
+                to: Endpoint::TopologyServer,
+                message,
+            },
+        )
+    }
+
+    fn deliver_via<T: Transport>(
+        &self,
+        transport: &mut T,
+        now: SimTime,
+        out: Vec<(CameraId, Message)>,
+    ) -> Result<usize, SendError> {
+        let n = out.len();
+        for (to, message) in out {
+            transport.send(
+                now,
+                Envelope {
+                    from: Endpoint::Camera(self.camera),
+                    to: Endpoint::Camera(to),
+                    message,
+                },
+            )?;
+        }
+        Ok(n)
+    }
+
     fn remember(&mut self, id: EventId, informed: BTreeSet<CameraId>) {
         if self.informed.insert(id, informed).is_none() {
             self.informed_order.push_back(id);
@@ -281,11 +359,8 @@ mod tests {
         assert_eq!(informed, BTreeSet::from([CameraId(1), CameraId(2)]));
 
         // Camera B (id 1) re-identifies: builds its upstream confirmation.
-        let mut cam_b = ConnectionManager::new(
-            CameraId(1),
-            coral_geo::GeoPoint::new(33.77, -84.39),
-            0.0,
-        );
+        let mut cam_b =
+            ConnectionManager::new(CameraId(1), coral_geo::GeoPoint::new(33.77, -84.39), 0.0);
         let (to, confirm) = cam_b.confirm_to_upstream(e.event_id());
         assert_eq!(to, CameraId(0));
         let Message::Confirm {
@@ -319,11 +394,8 @@ mod tests {
 
     #[test]
     fn no_mdcs_means_no_informs() {
-        let mut cm = ConnectionManager::new(
-            CameraId(9),
-            coral_geo::GeoPoint::new(33.77, -84.39),
-            0.0,
-        );
+        let mut cm =
+            ConnectionManager::new(CameraId(9), coral_geo::GeoPoint::new(33.77, -84.39), 0.0);
         let out = cm.on_detection(event(CameraId(9), 1, Some(Heading::East)));
         assert!(out.is_empty());
         assert_eq!(cm.pending_confirmations(), 0);
@@ -400,6 +472,35 @@ mod tests {
         assert!(position.lat > 33.0);
         assert_eq!(videoing_angle_deg, 0.0);
         assert_eq!(cm.stats().heartbeats_sent, 1);
+    }
+
+    #[test]
+    fn protocol_round_over_a_transport() {
+        use crate::transport::{InProcRouter, InProcTransport, Transport};
+        let router = InProcRouter::new();
+        let mut t0 = InProcTransport::attach(&router, Endpoint::Camera(CameraId(0)));
+        let mut t1 = InProcTransport::attach(&router, Endpoint::Camera(CameraId(1)));
+        let mut server = InProcTransport::attach(&router, Endpoint::TopologyServer);
+
+        let mut cam_a = manager_with_corridor_mdcs();
+        let e = event(CameraId(0), 1, Some(Heading::East));
+        let sent = cam_a.inform_via(&mut t0, SimTime::ZERO, e.clone()).unwrap();
+        assert_eq!(sent, 1);
+        let env = t1.poll(SimTime::ZERO).expect("inform delivered");
+        assert!(matches!(env.message, Message::Inform(_)));
+
+        // Heartbeat reaches the server endpoint.
+        cam_a.heartbeat_via(&mut t0, SimTime::ZERO).unwrap();
+        let hb = server.poll(SimTime::ZERO).expect("heartbeat delivered");
+        assert_eq!(hb.to, Endpoint::TopologyServer);
+
+        // Confirmation relay: the only informed camera is the confirmer,
+        // so nothing is relayed, but the pending entry is consumed.
+        let relays = cam_a
+            .relay_confirmation_via(&mut t0, SimTime::ZERO, e.event_id(), CameraId(1))
+            .unwrap();
+        assert_eq!(relays, 0);
+        assert_eq!(cam_a.pending_confirmations(), 0);
     }
 
     #[test]

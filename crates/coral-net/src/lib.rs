@@ -10,11 +10,13 @@
 //!   cameras in the corresponding MDCS.
 //! - [`ConnectionManager`] — per-camera protocol state: informing stage,
 //!   confirmation relay, heartbeats, MDCS reconfiguration.
-//! - [`InProcRouter`] — a thread-safe in-process transport used by the
-//!   multi-threaded examples (the DES experiments deliver messages through
-//!   the simulation engine instead).
-//! - [`tcp`] — a real TCP transport (length-prefixed JSON frames), for
-//!   camera nodes running as separate OS processes.
+//! - [`Transport`] — the message-passing seam shared by every deployment
+//!   mode, with three implementations:
+//!   [`SimTransport`] (DES-integrated, latency charged by a hook onto a
+//!   shared [`SimNet`] switch), [`InProcTransport`] (crossbeam channels
+//!   over an [`InProcRouter`], for the multi-threaded deployments), and
+//!   [`TcpTransport`] (length-prefixed JSON frames over real sockets, for
+//!   camera nodes running as separate OS processes).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -28,5 +30,8 @@ pub mod transport;
 pub use connection::{ConnectionManager, ConnectionStats};
 pub use message::{DetectionEvent, EventId, Message, VertexId};
 pub use socket_group::SocketGroup;
-pub use tcp::{send_to, TcpEndpoint, TcpError};
-pub use transport::{Endpoint, Envelope, InProcRouter, SendError};
+pub use tcp::{send_to, TcpDirectory, TcpEndpoint, TcpError, TcpTransport};
+pub use transport::{
+    Endpoint, Envelope, InProcRouter, InProcTransport, LatencyHook, SendError, SimNet,
+    SimTransport, Transport,
+};

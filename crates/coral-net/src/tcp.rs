@@ -7,9 +7,12 @@
 //! accept-loop listener that delivers envelopes into a channel.
 
 use crate::message::Message;
-use crate::transport::{Endpoint, Envelope};
+use crate::transport::{Endpoint, Envelope, SendError, Transport};
+use coral_sim::SimTime;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -159,8 +162,8 @@ fn read_frames(mut stream: TcpStream, tx: &Sender<Envelope>) -> Result<(), TcpEr
         }
         let mut payload = vec![0u8; len as usize];
         stream.read_exact(&mut payload)?;
-        let wire: WireEnvelope = serde_json::from_slice(&payload)
-            .map_err(|e| TcpError::Frame(e.to_string()))?;
+        let wire: WireEnvelope =
+            serde_json::from_slice(&payload).map_err(|e| TcpError::Frame(e.to_string()))?;
         if tx
             .send(Envelope {
                 from: wire.from,
@@ -197,6 +200,111 @@ pub fn send_to(addr: SocketAddr, envelope: &Envelope) -> Result<(), TcpError> {
     stream.write_all(&payload)?;
     stream.flush()?;
     Ok(())
+}
+
+/// Shared endpoint-to-address directory for a TCP deployment. In a real
+/// deployment this comes from configuration or the topology server; the
+/// examples publish each bound listener into it at startup.
+#[derive(Debug, Clone, Default)]
+pub struct TcpDirectory {
+    table: Arc<RwLock<HashMap<Endpoint, SocketAddr>>>,
+}
+
+impl TcpDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes (or replaces) the address of `endpoint`.
+    pub fn publish(&self, endpoint: Endpoint, addr: SocketAddr) {
+        self.table.write().insert(endpoint, addr);
+    }
+
+    /// Looks up the address of `endpoint`.
+    pub fn lookup(&self, endpoint: Endpoint) -> Option<SocketAddr> {
+        self.table.read().get(&endpoint).copied()
+    }
+
+    /// Number of published endpoints.
+    pub fn len(&self) -> usize {
+        self.table.read().len()
+    }
+
+    /// Whether no endpoint is published.
+    pub fn is_empty(&self) -> bool {
+        self.table.read().is_empty()
+    }
+
+    /// Snapshot of all published `(endpoint, address)` pairs.
+    pub fn entries(&self) -> Vec<(Endpoint, SocketAddr)> {
+        self.table.read().iter().map(|(&e, &a)| (e, a)).collect()
+    }
+}
+
+/// One endpoint's TCP presence — a bound listener plus the shared address
+/// directory — implementing [`Transport`] over real sockets.
+///
+/// `send` opens a short-lived connection to the recipient's published
+/// address (like a ZeroMQ push); `poll` drains the accept loop's channel.
+/// The simulation clock is ignored: latency is whatever the wire provides.
+#[derive(Debug)]
+pub struct TcpTransport {
+    endpoint: Endpoint,
+    listener: TcpEndpoint,
+    directory: TcpDirectory,
+}
+
+impl TcpTransport {
+    /// Binds `addr` for `endpoint`, publishes the bound address in
+    /// `directory`, and returns the transport handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(
+        endpoint: Endpoint,
+        addr: &str,
+        directory: &TcpDirectory,
+    ) -> Result<Self, TcpError> {
+        let listener = TcpEndpoint::bind(addr)?;
+        directory.publish(endpoint, listener.local_addr());
+        Ok(Self {
+            endpoint,
+            listener,
+            directory: directory.clone(),
+        })
+    }
+
+    /// The endpoint this transport receives for.
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint
+    }
+
+    /// The bound listening address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr()
+    }
+
+    /// Stops the accept loop, joining its thread.
+    pub fn shutdown(self) {
+        self.listener.shutdown();
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, _now: SimTime, envelope: Envelope) -> Result<(), SendError> {
+        let to = envelope.to;
+        let addr = self
+            .directory
+            .lookup(to)
+            .ok_or(SendError::unreachable(to))?;
+        send_to(addr, &envelope).map_err(|e| SendError::failed(to, e.to_string()))
+    }
+
+    fn poll(&mut self, _now: SimTime) -> Option<Envelope> {
+        self.listener.receiver().try_recv().ok()
+    }
 }
 
 #[cfg(test)]
@@ -272,11 +380,7 @@ mod tests {
             h.join().unwrap();
         }
         let mut got = 0;
-        while ep
-            .receiver()
-            .recv_timeout(Duration::from_secs(2))
-            .is_ok()
-        {
+        while ep.receiver().recv_timeout(Duration::from_secs(2)).is_ok() {
             got += 1;
             if got == 40 {
                 break;
@@ -302,6 +406,50 @@ mod tests {
             assert_eq!(recv_one(&ep).message, env.message);
         }
         ep.shutdown();
+    }
+
+    #[test]
+    fn tcp_transport_roundtrip_via_directory() {
+        let dir = TcpDirectory::new();
+        let mut a = TcpTransport::bind(Endpoint::Camera(CameraId(0)), "127.0.0.1:0", &dir).unwrap();
+        let mut b = TcpTransport::bind(Endpoint::Camera(CameraId(1)), "127.0.0.1:0", &dir).unwrap();
+        assert_eq!(dir.len(), 2);
+        a.send(
+            SimTime::ZERO,
+            Envelope {
+                from: Endpoint::Camera(CameraId(0)),
+                to: Endpoint::Camera(CameraId(1)),
+                message: inform(0),
+            },
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let env = loop {
+            if let Some(env) = b.poll(SimTime::ZERO) {
+                break env;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "message never arrived"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert_eq!(env.message, inform(0));
+        // Unknown endpoint: SendError with no detail.
+        let err = a
+            .send(
+                SimTime::ZERO,
+                Envelope {
+                    from: Endpoint::Camera(CameraId(0)),
+                    to: Endpoint::EdgeStore(3),
+                    message: inform(0),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.to, Endpoint::EdgeStore(3));
+        assert!(err.detail.is_none());
+        a.shutdown();
+        b.shutdown();
     }
 
     #[test]

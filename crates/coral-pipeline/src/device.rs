@@ -107,8 +107,7 @@ fn to_report(raw: RunReport, scale: TimeScale, frames: usize) -> DeviceRunReport
             )
         })
         .collect();
-    let end_to_end_ms =
-        scale.unscale(Duration::from_secs_f64(raw.end_to_end.mean_ms() / 1_000.0));
+    let end_to_end_ms = scale.unscale(Duration::from_secs_f64(raw.end_to_end.mean_ms() / 1_000.0));
     DeviceRunReport {
         raw,
         fps,

@@ -46,7 +46,11 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     }
 
     /// Appends a stage executing `f` on its own thread.
-    pub fn stage(mut self, name: impl Into<String>, f: impl FnMut(T) -> T + Send + 'static) -> Self {
+    pub fn stage(
+        mut self,
+        name: impl Into<String>,
+        f: impl FnMut(T) -> T + Send + 'static,
+    ) -> Self {
         self.stages.push((name.into(), Box::new(f)));
         self
     }

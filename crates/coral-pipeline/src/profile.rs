@@ -126,7 +126,11 @@ impl SubtaskProfile {
     pub fn stages(&self) -> Vec<StageSpec> {
         vec![
             StageSpec::new("RPi1/Fetch", vec![Subtask::Fetch], self),
-            StageSpec::new("RPi1/Load+Resize", vec![Subtask::Load, Subtask::Resize], self),
+            StageSpec::new(
+                "RPi1/Load+Resize",
+                vec![Subtask::Load, Subtask::Resize],
+                self,
+            ),
             StageSpec::new(
                 "RPi1/Inference+Post",
                 vec![
@@ -268,8 +272,14 @@ mod tests {
     fn six_stages_three_per_device() {
         let stages = SubtaskProfile::paper().stages();
         assert_eq!(stages.len(), 6);
-        assert_eq!(stages.iter().filter(|s| s.name.starts_with("RPi1")).count(), 3);
-        assert_eq!(stages.iter().filter(|s| s.name.starts_with("RPi2")).count(), 3);
+        assert_eq!(
+            stages.iter().filter(|s| s.name.starts_with("RPi1")).count(),
+            3
+        );
+        assert_eq!(
+            stages.iter().filter(|s| s.name.starts_with("RPi2")).count(),
+            3
+        );
         // Every critical-path subtask appears in exactly one stage.
         let mut seen = std::collections::HashSet::new();
         for s in &stages {

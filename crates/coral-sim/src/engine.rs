@@ -37,7 +37,11 @@ impl<S> Context<S> {
 
     /// Schedules `action` at absolute time `at` (clamped to now for past
     /// times, preserving causality).
-    pub fn schedule_at(&mut self, at: SimTime, action: impl FnOnce(&mut S, &mut Context<S>) + 'static) {
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut S, &mut Context<S>) + 'static,
+    ) {
         let at = at.max(self.now);
         self.pending.push((at, Box::new(action)));
     }

@@ -154,14 +154,26 @@ mod tests {
     fn kill_successively_deterministic_per_seed() {
         let cams: Vec<CameraId> = (0..37).map(CameraId).collect();
         let a = FailureSchedule::kill_successively(
-            &cams, 10, SimTime::ZERO, SimDuration::from_secs(10), 7,
+            &cams,
+            10,
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+            7,
         );
         let b = FailureSchedule::kill_successively(
-            &cams, 10, SimTime::ZERO, SimDuration::from_secs(10), 7,
+            &cams,
+            10,
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+            7,
         );
         assert_eq!(a, b);
         let c = FailureSchedule::kill_successively(
-            &cams, 10, SimTime::ZERO, SimDuration::from_secs(10), 8,
+            &cams,
+            10,
+            SimTime::ZERO,
+            SimDuration::from_secs(10),
+            8,
         );
         assert_ne!(a, c);
     }
@@ -170,7 +182,11 @@ mod tests {
     fn due_window_filters() {
         let cams: Vec<CameraId> = (0..5).map(CameraId).collect();
         let s = FailureSchedule::kill_successively(
-            &cams, 5, SimTime::from_secs(10), SimDuration::from_secs(10), 1,
+            &cams,
+            5,
+            SimTime::from_secs(10),
+            SimDuration::from_secs(10),
+            1,
         );
         // Events at 10, 20, 30, 40, 50 s.
         let hits: Vec<_> = s

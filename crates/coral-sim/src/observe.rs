@@ -10,9 +10,7 @@
 
 use crate::traffic::TrafficModel;
 use coral_geo::GeoPoint;
-use coral_vision::{
-    BoundingBox, GroundTruthId, ObjectClass, Scene, SceneActor, VehicleAppearance,
-};
+use coral_vision::{BoundingBox, GroundTruthId, ObjectClass, Scene, SceneActor, VehicleAppearance};
 use serde::{Deserialize, Serialize};
 
 /// A camera's view geometry.
@@ -80,8 +78,7 @@ impl CameraView {
             let d = self.position.planar_m(s.position);
             let (base_w, base_h) = class_base_size(s.class);
             let scale = 1.2 - 0.5 * (d / self.range_m);
-            let Ok(bbox) = BoundingBox::from_center(cx, cy, base_w * scale, base_h * scale)
-            else {
+            let Ok(bbox) = BoundingBox::from_center(cx, cy, base_w * scale, base_h * scale) else {
                 continue;
             };
             // Require the centroid to be inside the image.
@@ -132,11 +129,15 @@ mod tests {
     fn setup() -> (TrafficModel, CameraView) {
         let net = generators::corridor(3, 100.0, 10.0);
         let cam_pos = net.intersection(IntersectionId(1)).unwrap().position;
-        let tm = TrafficModel::new(net, TrafficConfig {
-            mean_speed_mps: 10.0,
-            speed_jitter_mps: 0.0,
-            ..TrafficConfig::default()
-        }, 1);
+        let tm = TrafficModel::new(
+            net,
+            TrafficConfig {
+                mean_speed_mps: 10.0,
+                speed_jitter_mps: 0.0,
+                ..TrafficConfig::default()
+            },
+            1,
+        );
         (tm, CameraView::standard(cam_pos, 0.0))
     }
 
@@ -151,7 +152,7 @@ mod tests {
     #[test]
     fn projection_axes() {
         let (_, view) = setup(); // looking north
-        // A point north of the camera appears above center (smaller y).
+                                 // A point north of the camera appears above center (smaller y).
         let (_, y) = view.project(view.position.offset_m(20.0, 0.0)).unwrap();
         assert!(y < 96.0);
         // A point east appears right of center.
@@ -165,7 +166,7 @@ mod tests {
     fn rotated_camera_axes() {
         let (_, mut view) = setup();
         view.videoing_angle_deg = 90.0; // looking east
-        // A point east of the camera is now "up" in the image.
+                                        // A point east of the camera is now "up" in the image.
         let (x, y) = view.project(view.position.offset_m(0.0, 20.0)).unwrap();
         assert!(y < 96.0, "y = {y}");
         assert!((x - 120.0).abs() < 1.0);

@@ -208,15 +208,24 @@ mod tests {
     fn arithmetic() {
         let t = SimTime::from_millis(100) + SimDuration::from_millis(50);
         assert_eq!(t, SimTime::from_millis(150));
-        assert_eq!(
-            t - SimTime::from_millis(100),
-            SimDuration::from_millis(50)
-        );
+        assert_eq!(t - SimTime::from_millis(100), SimDuration::from_millis(50));
         // Saturating subtraction.
-        assert_eq!(SimTime::from_millis(1) - SimTime::from_millis(5), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
-        assert_eq!(SimDuration::from_millis(10) * 0.5, SimDuration::from_millis(5));
-        assert_eq!(SimDuration::from_millis(10) / 2, SimDuration::from_millis(5));
+        assert_eq!(
+            SimTime::from_millis(1) - SimTime::from_millis(5),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            SimDuration::from_millis(10) * 3,
+            SimDuration::from_millis(30)
+        );
+        assert_eq!(
+            SimDuration::from_millis(10) * 0.5,
+            SimDuration::from_millis(5)
+        );
+        assert_eq!(
+            SimDuration::from_millis(10) / 2,
+            SimDuration::from_millis(5)
+        );
     }
 
     #[test]

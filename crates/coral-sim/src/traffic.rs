@@ -269,10 +269,7 @@ impl TrafficModel {
         }
         let leader_cap = |lane: coral_geo::LaneId, progress: f64| -> Option<f64> {
             let list = occupancy.get(&lane)?;
-            let ahead = list
-                .iter()
-                .copied()
-                .find(|&p| p > progress + 1e-9)?;
+            let ahead = list.iter().copied().find(|&p| p > progress + 1e-9)?;
             Some((ahead - headway).max(progress))
         };
         for v in self.vehicles.values_mut() {
@@ -444,11 +441,15 @@ mod tests {
     fn vehicle_advances_at_cruise_speed() {
         let net = straight_net();
         let r = straight_route(&net);
-        let mut tm = TrafficModel::new(net, TrafficConfig {
-            mean_speed_mps: 10.0,
-            speed_jitter_mps: 0.0,
-            ..TrafficConfig::default()
-        }, 1);
+        let mut tm = TrafficModel::new(
+            net,
+            TrafficConfig {
+                mean_speed_mps: 10.0,
+                speed_jitter_mps: 0.0,
+                ..TrafficConfig::default()
+            },
+            1,
+        );
         let v = tm.spawn(SimTime::ZERO, r, Some(ObjectClass::Car));
         let p0 = tm.state_of(v).unwrap().position;
         tm.step(SimTime::ZERO, SimDuration::from_secs(5));
@@ -461,11 +462,15 @@ mod tests {
     fn vehicle_completes_route_and_records_journey() {
         let net = straight_net();
         let r = straight_route(&net);
-        let mut tm = TrafficModel::new(net, TrafficConfig {
-            mean_speed_mps: 10.0,
-            speed_jitter_mps: 0.0,
-            ..TrafficConfig::default()
-        }, 1);
+        let mut tm = TrafficModel::new(
+            net,
+            TrafficConfig {
+                mean_speed_mps: 10.0,
+                speed_jitter_mps: 0.0,
+                ..TrafficConfig::default()
+            },
+            1,
+        );
         let v = tm.spawn(SimTime::ZERO, r, Some(ObjectClass::Car));
         let mut events = Vec::new();
         let mut now = SimTime::ZERO;
@@ -495,11 +500,15 @@ mod tests {
     fn red_light_holds_vehicle() {
         let net = straight_net();
         let r = straight_route(&net);
-        let mut tm = TrafficModel::new(net, TrafficConfig {
-            mean_speed_mps: 10.0,
-            speed_jitter_mps: 0.0,
-            ..TrafficConfig::default()
-        }, 1);
+        let mut tm = TrafficModel::new(
+            net,
+            TrafficConfig {
+                mean_speed_mps: 10.0,
+                speed_jitter_mps: 0.0,
+                ..TrafficConfig::default()
+            },
+            1,
+        );
         // Corridor runs east–west; a light at intersection 1 that is
         // north-south green for the first 30 s blocks the vehicle (arriving
         // at ~10 s heading east).
@@ -539,11 +548,15 @@ mod tests {
         // Three vehicles spawned 2 s apart all cross shortly after the
         // green, forming a platoon (the "stepped" arrivals of Fig. 10a).
         let net = straight_net();
-        let mut tm = TrafficModel::new(net.clone(), TrafficConfig {
-            mean_speed_mps: 10.0,
-            speed_jitter_mps: 0.0,
-            ..TrafficConfig::default()
-        }, 1);
+        let mut tm = TrafficModel::new(
+            net.clone(),
+            TrafficConfig {
+                mean_speed_mps: 10.0,
+                speed_jitter_mps: 0.0,
+                ..TrafficConfig::default()
+            },
+            1,
+        );
         tm.add_light(TrafficLight::new(
             IntersectionId(1),
             SimDuration::from_secs(60),
@@ -583,7 +596,9 @@ mod tests {
         let mut tm = TrafficModel::new(net, TrafficConfig::default(), 42);
         let mut cars = 0;
         for _ in 0..100 {
-            let v = tm.spawn_random(SimTime::ZERO, IntersectionId(5), 3).unwrap();
+            let v = tm
+                .spawn_random(SimTime::ZERO, IntersectionId(5), 3)
+                .unwrap();
             if tm.state_of(v).unwrap().class == ObjectClass::Car {
                 cars += 1;
             }
@@ -595,12 +610,7 @@ mod tests {
     fn poisson_arrivals_spawn_over_time() {
         let net = generators::grid(4, 4, 100.0, 12.0);
         let mut tm = TrafficModel::new(net, TrafficConfig::default(), 1);
-        let mut gen = PoissonArrivals::new(
-            0.5,
-            vec![IntersectionId(0), IntersectionId(15)],
-            4,
-            9,
-        );
+        let mut gen = PoissonArrivals::new(0.5, vec![IntersectionId(0), IntersectionId(15)], 4, 9);
         let mut spawned = 0;
         let mut now = SimTime::ZERO;
         for _ in 0..120 {
@@ -619,7 +629,11 @@ mod tests {
         let v = tm.spawn(SimTime::ZERO, r, None);
         let s = tm.state_of(v).unwrap();
         // Corridor runs due east.
-        assert!((s.bearing_deg - 90.0).abs() < 1.0, "bearing {}", s.bearing_deg);
+        assert!(
+            (s.bearing_deg - 90.0).abs() < 1.0,
+            "bearing {}",
+            s.bearing_deg
+        );
     }
 
     #[test]

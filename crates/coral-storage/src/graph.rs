@@ -418,12 +418,8 @@ mod tests {
         };
         let mut g = TrajectoryGraph::new();
         // Red car at cam0, blue car at cam1, vertex without signature.
-        let red = g.insert_event_with_signature(
-            eid(0, 1), 0, 1, None, Some(sig(4, 1)), None,
-        );
-        let blue = g.insert_event_with_signature(
-            eid(1, 1), 10, 11, None, Some(sig(5, 1)), None,
-        );
+        let red = g.insert_event_with_signature(eid(0, 1), 0, 1, None, Some(sig(4, 1)), None);
+        let blue = g.insert_event_with_signature(eid(1, 1), 10, 11, None, Some(sig(5, 1)), None);
         let _bare = g.insert_event(eid(2, 1), 20, 21, None, None);
         // Query with a fresh render of the red car (different noise).
         let query = sig(4, 99);

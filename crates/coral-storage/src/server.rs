@@ -76,7 +76,9 @@ impl EdgeStorageNode {
         k: usize,
         max_distance: f64,
     ) -> Vec<(VertexId, f64)> {
-        self.graph.read().nearest_by_signature(query, k, max_distance)
+        self.graph
+            .read()
+            .nearest_by_signature(query, k, max_distance)
     }
 
     /// Inserts a re-identification edge.
@@ -191,7 +193,9 @@ mod tests {
         assert_eq!(e, 8 * 49);
         // Each camera's chain is intact.
         let seed = node.vertex_for_event(eid(3, 0)).unwrap();
-        let r = node.query_trajectory(seed, QueryOptions::default()).unwrap();
+        let r = node
+            .query_trajectory(seed, QueryOptions::default())
+            .unwrap();
         assert_eq!(r.best_track().len(), 50);
     }
 

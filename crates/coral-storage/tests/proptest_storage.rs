@@ -17,7 +17,10 @@ fn eid(cam: u32, track: u64) -> EventId {
 /// insertion order (matching the "edge points to the newer detection"
 /// construction of §4.2.1).
 fn arb_graph() -> impl Strategy<Value = TrajectoryGraph> {
-    (2usize..24, proptest::collection::vec((0usize..24, 0usize..24, 0.0f64..1.0), 0..60))
+    (
+        2usize..24,
+        proptest::collection::vec((0usize..24, 0usize..24, 0.0f64..1.0), 0..60),
+    )
         .prop_map(|(n, raw_edges)| {
             let mut g = TrajectoryGraph::new();
             let verts: Vec<VertexId> = (0..n)

@@ -226,9 +226,7 @@ fn seed_lanes(
     let mut within: Vec<LaneId> = lanes
         .iter()
         .copied()
-        .filter(|&l| {
-            heading.angle_to(net.lane_heading(l).expect("adjacent lane")) <= tolerance_deg
-        })
+        .filter(|&l| heading.angle_to(net.lane_heading(l).expect("adjacent lane")) <= tolerance_deg)
         .collect();
     if within.is_empty() && !lanes.is_empty() {
         let best = lanes
@@ -239,8 +237,7 @@ fn seed_lanes(
             .iter()
             .copied()
             .filter(|&l| {
-                (heading.angle_to(net.lane_heading(l).expect("adjacent lane")) - best).abs()
-                    < 1e-9
+                (heading.angle_to(net.lane_heading(l).expect("adjacent lane")) - best).abs() < 1e-9
             })
             .collect();
     }
@@ -411,8 +408,7 @@ mod tests {
         let v2 = net.add_intersection(base.offset_m(0.0, 400.0));
         let (l12, _l21) = net.add_two_way(v1, v2, 10.0).unwrap();
         let mut topo = CameraTopology::new(net);
-        let (cam_a, cam_b, cam_c, cam_d) =
-            (CameraId(0), CameraId(1), CameraId(2), CameraId(3));
+        let (cam_a, cam_b, cam_c, cam_d) = (CameraId(0), CameraId(1), CameraId(2), CameraId(3));
         topo.place_at_intersection(cam_a, v1, 0.0).unwrap();
         topo.place_at_intersection(cam_b, v2, 0.0).unwrap();
         topo.place_on_lane(cam_c, l12, 0.3, 0.0).unwrap();
@@ -435,10 +431,7 @@ mod tests {
         let table = mdcs_table(&topo, cams[3], MdcsOptions::default());
         // D has outgoing lanes west (to B), north (to C via D-C), and east (to E).
         assert!(table.heading_count() >= 2);
-        assert_eq!(
-            table.get(Heading::West),
-            Some(&BTreeSet::from([cams[1]]))
-        );
+        assert_eq!(table.get(Heading::West), Some(&BTreeSet::from([cams[1]])));
         assert!(!table.is_empty());
         assert!(table.mean_size() >= 1.0);
         assert!(table.all_downstream().contains(&cams[1]));

@@ -137,8 +137,7 @@ impl TopologyServer {
         videoing_angle_deg: f64,
         now: TimestampMs,
     ) -> Result<Vec<MdcsUpdate>, TopologyError> {
-        if let std::collections::btree_map::Entry::Occupied(mut seen) =
-            self.last_seen.entry(camera)
+        if let std::collections::btree_map::Entry::Occupied(mut seen) = self.last_seen.entry(camera)
         {
             seen.insert(now);
             return Ok(Vec::new());
@@ -159,8 +158,7 @@ impl TopologyServer {
     /// A camera is declared failed once `miss_threshold` consecutive
     /// heartbeat periods elapse without a beat.
     pub fn check_liveness(&mut self, now: TimestampMs) -> Vec<MdcsUpdate> {
-        let deadline =
-            self.config.heartbeat_interval_ms * u64::from(self.config.miss_threshold);
+        let deadline = self.config.heartbeat_interval_ms * u64::from(self.config.miss_threshold);
         let dead: Vec<CameraId> = self
             .last_seen
             .iter()
@@ -282,9 +280,7 @@ mod tests {
         assert!(!server.active_cameras().contains(&CameraId(2)));
         // Camera 1 now skips over the failed camera 2 to camera 3.
         let t1 = server.table(CameraId(1)).unwrap();
-        assert!(t1
-            .all_downstream()
-            .contains(&CameraId(3)));
+        assert!(t1.all_downstream().contains(&CameraId(3)));
     }
 
     #[test]

@@ -356,9 +356,7 @@ mod tests {
             .unwrap()
             .position;
         let mid = a.lerp(b, 0.5);
-        let site = topo
-            .place_by_position(CameraId(6), mid, 20.0, 0.0)
-            .unwrap();
+        let site = topo.place_by_position(CameraId(6), mid, 20.0, 0.0).unwrap();
         match site {
             CameraSite::Lane { offset, .. } => assert!((offset - 0.5).abs() < 0.05),
             other => panic!("expected lane site, got {other:?}"),

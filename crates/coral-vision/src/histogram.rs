@@ -124,7 +124,9 @@ impl ColorHistogram {
     ///
     /// Panics if the histograms have different bin counts.
     pub fn bhattacharyya_distance(&self, other: &ColorHistogram) -> f64 {
-        (1.0 - self.bhattacharyya_coefficient(other)).max(0.0).sqrt()
+        (1.0 - self.bhattacharyya_coefficient(other))
+            .max(0.0)
+            .sqrt()
     }
 }
 

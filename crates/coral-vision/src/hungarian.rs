@@ -39,10 +39,7 @@ pub fn assign(cost: &[Vec<f64>]) -> Vec<Option<usize>> {
     let n_cols = cost[0].len();
     for row in cost {
         assert_eq!(row.len(), n_cols, "ragged cost matrix");
-        assert!(
-            row.iter().all(|v| v.is_finite()),
-            "non-finite cost entries"
-        );
+        assert!(row.iter().all(|v| v.is_finite()), "non-finite cost entries");
     }
     if n_cols == 0 {
         return vec![None; n_rows];

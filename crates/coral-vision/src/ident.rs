@@ -170,9 +170,11 @@ impl<D: Detector> VehicleIdentification<D> {
                 gt_votes: HashMap::new(),
             });
             entry.centroids.push(st.bbox.centroid());
-            entry
-                .signature
-                .add(&ColorHistogram::extract(frame, &st.bbox, &self.config.histogram));
+            entry.signature.add(&ColorHistogram::extract(
+                frame,
+                &st.bbox,
+                &self.config.histogram,
+            ));
             entry.last_frame = frame_id;
             entry.last_bbox = st.bbox;
             // Ground-truth attribution by IoU (evaluation only).
@@ -260,8 +262,7 @@ mod tests {
         SceneActor {
             gt: GroundTruthId(gt),
             class: ObjectClass::Car,
-            bbox: BoundingBox::from_center(20.0 + 6.0 * f64::from(t), 75.0, 36.0, 22.0)
-                .unwrap(),
+            bbox: BoundingBox::from_center(20.0 + 6.0 * f64::from(t), 75.0, 36.0, 22.0).unwrap(),
             appearance: VehicleAppearance::from_seed(gt),
         }
     }
@@ -351,13 +352,8 @@ mod tests {
             actors.push(SceneActor {
                 gt: GroundTruthId(2),
                 class: ObjectClass::Car,
-                bbox: BoundingBox::from_center(
-                    180.0 - 6.0 * f64::from(t),
-                    120.0,
-                    36.0,
-                    22.0,
-                )
-                .unwrap(),
+                bbox: BoundingBox::from_center(180.0 - 6.0 * f64::from(t), 120.0, 36.0, 22.0)
+                    .unwrap(),
                 appearance: VehicleAppearance::from_seed(2),
             });
             let scene = Scene {

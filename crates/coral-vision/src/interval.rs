@@ -269,10 +269,7 @@ mod tests {
 
     /// Drives the tracker over a path where the frame's true object box is
     /// the same as the (perfect) detection; counts distinct track ids.
-    fn distinct_ids_dnt(
-        path: &[BoundingBox],
-        cfg: DetectAndTrackConfig,
-    ) -> usize {
+    fn distinct_ids_dnt(path: &[BoundingBox], cfg: DetectAndTrackConfig) -> usize {
         let mut dnt = DetectAndTrack::new(cfg);
         let mut ids = std::collections::HashSet::new();
         for bb in path {

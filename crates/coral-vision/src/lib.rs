@@ -40,7 +40,5 @@ pub use histogram::{ColorHistogram, HistogramConfig, SignatureAccumulator};
 pub use ident::{IdentConfig, IdentFrameResult, VehicleIdentification, VehicleObservation};
 pub use interval::{DetectAndTrack, DetectAndTrackConfig};
 pub use kalman::KalmanBoxFilter;
-pub use render::{
-    GroundTruthId, ObjectClass, Renderer, Scene, SceneActor, VehicleAppearance,
-};
+pub use render::{GroundTruthId, ObjectClass, Renderer, Scene, SceneActor, VehicleAppearance};
 pub use sort::{ExpiredTrack, SortConfig, SortOutput, SortTracker, TrackId, TrackState};

@@ -46,7 +46,10 @@ impl ObjectClass {
     /// Whether the class is one of the vehicle labels kept by the paper's
     /// post-processing filter.
     pub fn is_vehicle(self) -> bool {
-        matches!(self, ObjectClass::Car | ObjectClass::Bus | ObjectClass::Truck)
+        matches!(
+            self,
+            ObjectClass::Car | ObjectClass::Bus | ObjectClass::Truck
+        )
     }
 }
 
@@ -319,9 +322,10 @@ mod tests {
     #[test]
     fn partially_offscreen_actor_is_clipped_not_panicking() {
         let mut scene = Scene::empty(32, 32);
-        scene
-            .actors
-            .push(actor(2, BoundingBox::new(-10.0, -10.0, 10.0, 10.0).unwrap()));
+        scene.actors.push(actor(
+            2,
+            BoundingBox::new(-10.0, -10.0, 10.0, 10.0).unwrap(),
+        ));
         scene
             .actors
             .push(actor(3, BoundingBox::new(25.0, 25.0, 50.0, 50.0).unwrap()));

@@ -298,10 +298,7 @@ mod tests {
         assert_ne!(ida, idb);
         for t in 1..25 {
             // Vehicle A moves right, B moves left, on separate rows.
-            let out = sort.update(&[
-                b(8.0 * t as f64, 40.0),
-                b(200.0 - 8.0 * t as f64, 90.0),
-            ]);
+            let out = sort.update(&[b(8.0 * t as f64, 40.0), b(200.0 - 8.0 * t as f64, 90.0)]);
             assert_eq!(out.active.len(), 2);
             for st in &out.active {
                 assert!(st.id == ida || st.id == idb);

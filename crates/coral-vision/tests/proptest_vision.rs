@@ -1,8 +1,7 @@
 //! Property-based invariants for the vision substrate.
 
 use coral_vision::{
-    hungarian, kalman, BoundingBox, ColorHistogram, Frame, HistogramConfig, SortConfig,
-    SortTracker,
+    hungarian, kalman, BoundingBox, ColorHistogram, Frame, HistogramConfig, SortConfig, SortTracker,
 };
 use proptest::prelude::*;
 

@@ -41,9 +41,8 @@ fn main() {
     system.run_until(SimTime::from_secs(2));
 
     // Traffic: five vehicles eastbound along the row, staggered.
-    let row_route = || {
-        route::shortest_path(&net, IntersectionId(0), IntersectionId(4)).expect("row connected")
-    };
+    let row_route =
+        || route::shortest_path(&net, IntersectionId(0), IntersectionId(4)).expect("row connected");
     let mut ids = Vec::new();
     for k in 0..5u64 {
         let id = system.traffic_mut().spawn(
@@ -65,18 +64,22 @@ fn main() {
     let storage = system.storage();
     let photo = storage.with_graph(|g| {
         g.vertices()
-            .find(|v| {
-                v.camera == CameraId(2) && v.ground_truth == Some(GroundTruthId(suspect.0))
-            })
+            .find(|v| v.camera == CameraId(2) && v.ground_truth == Some(GroundTruthId(suspect.0)))
             .and_then(|v| v.signature.clone())
             .expect("suspect was detected at camera 2")
     });
     let hits = storage.find_by_appearance(&photo, 5, 0.3);
-    println!("
-query-by-appearance: {} candidate detections", hits.len());
+    println!(
+        "
+query-by-appearance: {} candidate detections",
+        hits.len()
+    );
     for (v, d) in &hits {
         let rec = storage.with_graph(|g| g.vertex(*v).unwrap().clone());
-        println!("  {} at {} (distance {:.3}, gt {:?})", v, rec.camera, d, rec.ground_truth);
+        println!(
+            "  {} at {} (distance {:.3}, gt {:?})",
+            v, rec.camera, d, rec.ground_truth
+        );
     }
     let seed = hits.first().expect("at least one appearance match").0;
 
@@ -98,8 +101,12 @@ query-by-appearance: {} candidate detections", hits.len());
 
     // Verify against ground truth: the track visits the five cameras in
     // order and every vertex belongs to the suspect.
-    let cameras_visited: Vec<CameraId> =
-        storage.with_graph(|g| track.iter().map(|&v| g.vertex(v).expect("vertex").camera).collect());
+    let cameras_visited: Vec<CameraId> = storage.with_graph(|g| {
+        track
+            .iter()
+            .map(|&v| g.vertex(v).expect("vertex").camera)
+            .collect()
+    });
     let all_suspect = storage.with_graph(|g| {
         track
             .iter()
@@ -128,6 +135,9 @@ query-by-appearance: {} candidate detections", hits.len());
 stored footage around the sighting: {} frames (with annotations)",
         clip.len()
     );
-    assert!(!clip.is_empty(), "frame store should hold the sighting clip");
+    assert!(
+        !clip.is_empty(),
+        "frame store should hold the sighting clip"
+    );
     println!("suspicious-vehicle query OK");
 }

@@ -1,23 +1,26 @@
 //! Camera nodes talking over real TCP sockets — the closest analogue to
 //! the paper's deployment, where each camera's RPis push ZeroMQ messages
-//! over the campus LAN. Each node binds its own loopback port; a directory
-//! maps endpoints to socket addresses (in a real deployment this comes
-//! from configuration or the topology server).
+//! over the campus LAN. Each party binds its own loopback port through a
+//! [`TcpTransport`]; a shared [`TcpDirectory`] maps endpoints to socket
+//! addresses (in a real deployment this comes from configuration or the
+//! topology server).
+//!
+//! The threads drive the same `NodeDriver` / `ServerDriver` units the
+//! discrete-event runtime and the in-process router example use — only the
+//! transport differs.
 //!
 //! ```sh
 //! cargo run --release --example tcp_cameras
 //! ```
 
-use coral_pie::core::{CameraNode, NodeConfig};
+use coral_pie::core::{CameraSpec, Deployment, NodeConfig, NodeDriver, ServerDriver, SystemConfig};
 use coral_pie::geo::{generators, route, IntersectionId};
-use coral_pie::net::{send_to, Endpoint, Envelope, Message, TcpEndpoint};
-use coral_pie::sim::{CameraView, SimDuration, SimTime, TrafficConfig, TrafficModel};
+use coral_pie::net::{Endpoint, TcpDirectory, TcpTransport, Transport};
+use coral_pie::sim::{SimDuration, SimTime, TrafficConfig, TrafficModel};
 use coral_pie::storage::{EdgeStorageNode, QueryOptions};
-use coral_pie::topology::{CameraId, ServerConfig, TopologyServer};
+use coral_pie::topology::CameraId;
 use coral_pie::vision::{DetectorNoise, ObjectClass};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -27,6 +30,24 @@ const N_CAMERAS: u32 = 3;
 
 fn main() {
     let net = generators::corridor(N_CAMERAS as usize, 120.0, 12.0);
+    let specs: Vec<CameraSpec> = (0..N_CAMERAS)
+        .map(|i| CameraSpec {
+            id: CameraId(i),
+            site: IntersectionId(i),
+            videoing_angle_deg: 0.0,
+        })
+        .collect();
+    let deployment = Deployment::from_specs(
+        net.clone(),
+        &specs,
+        SystemConfig {
+            node: NodeConfig {
+                detector_noise: DetectorNoise::perfect(),
+                ..NodeConfig::default()
+            },
+            ..SystemConfig::default()
+        },
+    );
     let storage = EdgeStorageNode::default();
     let stop = Arc::new(AtomicBool::new(false));
     let clock_ms = Arc::new(AtomicU64::new(0));
@@ -36,114 +57,71 @@ fn main() {
         7,
     )));
 
-    // Bind one TCP listener per party and publish the address directory.
-    let server_ep = TcpEndpoint::bind("127.0.0.1:0").expect("bind server");
-    let camera_eps: Vec<TcpEndpoint> = (0..N_CAMERAS)
-        .map(|_| TcpEndpoint::bind("127.0.0.1:0").expect("bind camera"))
+    // Bind one TCP listener per party; each bind publishes its resolved
+    // address into the shared directory before any thread starts sending.
+    let directory = TcpDirectory::new();
+    let server_transport = TcpTransport::bind(Endpoint::TopologyServer, "127.0.0.1:0", &directory)
+        .expect("bind server");
+    let camera_transports: Vec<TcpTransport> = (0..N_CAMERAS)
+        .map(|i| {
+            TcpTransport::bind(Endpoint::Camera(CameraId(i)), "127.0.0.1:0", &directory)
+                .expect("bind camera")
+        })
         .collect();
-    let mut directory: HashMap<Endpoint, SocketAddr> = HashMap::new();
-    directory.insert(Endpoint::TopologyServer, server_ep.local_addr());
-    for (i, ep) in camera_eps.iter().enumerate() {
-        directory.insert(Endpoint::Camera(CameraId(i as u32)), ep.local_addr());
-    }
-    let directory = Arc::new(directory);
     println!("address directory:");
-    for (ep, addr) in directory.iter() {
+    let mut entries = directory.entries();
+    entries.sort_by_key(|&(ep, _)| ep);
+    for (ep, addr) in entries {
         println!("  {ep} -> {addr}");
     }
 
     // Topology server thread: real socket in, real sockets out.
+    let mut server_driver = ServerDriver::new(deployment.make_server(), server_transport);
     let server_stop = stop.clone();
-    let server_dir = directory.clone();
-    let server_net = net.clone();
     let server = thread::spawn(move || {
-        let mut server = TopologyServer::new(server_net, ServerConfig::default());
         let mut now_ms = 0u64;
         while !server_stop.load(Ordering::Relaxed) {
-            while let Ok(env) = server_ep.receiver().try_recv() {
-                if let Message::Heartbeat {
-                    camera,
-                    position,
-                    videoing_angle_deg,
-                } = env.message
-                {
-                    now_ms += 1;
-                    for u in server
-                        .handle_heartbeat(camera, position, videoing_angle_deg, now_ms)
-                        .expect("registration succeeds")
-                    {
-                        let to = Endpoint::Camera(u.camera);
-                        if let Some(addr) = server_dir.get(&to) {
-                            let _ = send_to(
-                                *addr,
-                                &Envelope {
-                                    from: Endpoint::TopologyServer,
-                                    to,
-                                    message: Message::TopologyUpdate(u),
-                                },
-                            );
-                        }
-                    }
-                }
+            while let Some(env) = server_driver.transport_mut().poll(SimTime::ZERO) {
+                now_ms += 1;
+                // Sends race camera shutdown at the end of the run; a
+                // vanished peer is not an error here.
+                let _ = server_driver.on_envelope(env, SimTime::from_millis(now_ms), |_| true);
             }
             thread::sleep(Duration::from_millis(1));
         }
-        server_ep.shutdown();
+        let (_, transport) = server_driver.into_parts();
+        transport.shutdown();
     });
 
-    // Camera node threads.
+    // Camera node threads, each driving a NodeDriver over its own socket.
     let mut camera_threads = Vec::new();
-    for (i, ep) in camera_eps.into_iter().enumerate() {
+    for (i, transport) in camera_transports.into_iter().enumerate() {
         let cam = CameraId(i as u32);
-        let position = net
-            .intersection(IntersectionId(i as u32))
-            .expect("site exists")
-            .position;
-        let view = CameraView::standard(position, 0.0);
-        let node_storage = storage.clone();
+        let mut driver = NodeDriver::new(
+            deployment.make_node(cam, storage.clone()).expect("placed"),
+            transport,
+        );
         let cam_stop = stop.clone();
         let cam_clock = clock_ms.clone();
         let cam_traffic = traffic.clone();
-        let dir = directory.clone();
         camera_threads.push(thread::spawn(move || {
-            let mut node = CameraNode::new(
-                cam,
-                view,
-                NodeConfig {
-                    detector_noise: DetectorNoise::perfect(),
-                    ..NodeConfig::default()
-                },
-                node_storage,
-                300 + i as u64,
-            );
-            let deliver = |from: Endpoint, to: Endpoint, message: Message| {
-                if let Some(addr) = dir.get(&to) {
-                    let _ = send_to(*addr, &Envelope { from, to, message });
-                }
-            };
-            deliver(
-                Endpoint::Camera(cam),
-                Endpoint::TopologyServer,
-                node.heartbeat(),
-            );
-            let mut sent = 0u64;
+            driver
+                .send_heartbeat(SimTime::ZERO)
+                .expect("server reachable");
+            let mut received = 0u64;
             while !cam_stop.load(Ordering::Relaxed) {
-                let now_ms = cam_clock.load(Ordering::Relaxed);
-                while let Ok(env) = ep.receiver().try_recv() {
-                    for (to, msg) in node.on_message(env.message, now_ms) {
-                        sent += 1;
-                        deliver(Endpoint::Camera(cam), Endpoint::Camera(to), msg);
-                    }
-                }
-                let scene = { node.view().scene(&cam_traffic.lock()) };
-                for (to, msg) in node.on_frame(&scene, now_ms, None).messages {
-                    sent += 1;
-                    deliver(Endpoint::Camera(cam), Endpoint::Camera(to), msg);
-                }
+                let now = SimTime::from_millis(cam_clock.load(Ordering::Relaxed));
+                // Inbound protocol traffic; replies (confirmation relays)
+                // go straight back out over TCP. Peer shutdown at the end
+                // of the run can fail a send — tolerated, like any LAN.
+                received += driver.pump(now, |_| {}).unwrap_or(0) as u64;
+                let scene = { driver.node().view().scene(&cam_traffic.lock()) };
+                let _ = driver.capture(&scene, now, None);
                 thread::sleep(Duration::from_millis(4));
             }
-            ep.shutdown();
-            (cam, node.events_generated(), sent)
+            let (node, transport) = driver.into_parts();
+            transport.shutdown();
+            (cam, node.events_generated(), received)
         }));
     }
 
@@ -163,8 +141,8 @@ fn main() {
     }
     stop.store(true, Ordering::Relaxed);
     for h in camera_threads {
-        let (cam, events, sent) = h.join().expect("camera thread ok");
-        println!("{cam}: {events} detection events, {sent} TCP messages sent");
+        let (cam, events, received) = h.join().expect("camera thread ok");
+        println!("{cam}: {events} detection events, {received} TCP messages received");
     }
     server.join().expect("server thread ok");
 
@@ -177,6 +155,9 @@ fn main() {
         .query_trajectory(seed, QueryOptions::default())
         .expect("seed exists")
         .best_track();
-    println!("best track spans {} cameras — TCP deployment OK", track.len());
+    println!(
+        "best track spans {} cameras — TCP deployment OK",
+        track.len()
+    );
     assert!(vertices >= 3);
 }

@@ -3,16 +3,20 @@
 //! ZeroMQ stand-in), with the topology server on its own thread — the
 //! process architecture of the paper's prototype, minus the Raspberry Pis.
 //!
+//! The threads drive the same `NodeDriver` / `ServerDriver` units the
+//! discrete-event runtime uses; only the pacing differs (thread loops and
+//! a shared atomic clock instead of an event queue).
+//!
 //! ```sh
 //! cargo run --release --example threaded_cameras
 //! ```
 
-use coral_pie::core::{CameraNode, NodeConfig};
+use coral_pie::core::{CameraSpec, Deployment, NodeConfig, NodeDriver, ServerDriver, SystemConfig};
 use coral_pie::geo::{generators, route, IntersectionId};
-use coral_pie::net::{Endpoint, Envelope, InProcRouter, Message};
-use coral_pie::sim::{CameraView, SimDuration, SimTime, TrafficConfig, TrafficModel};
+use coral_pie::net::{Endpoint, InProcRouter, InProcTransport, Transport};
+use coral_pie::sim::{SimDuration, SimTime, TrafficConfig, TrafficModel};
 use coral_pie::storage::{EdgeStorageNode, QueryOptions};
-use coral_pie::topology::{CameraId, ServerConfig, TopologyServer};
+use coral_pie::topology::CameraId;
 use coral_pie::vision::{DetectorNoise, ObjectClass};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -24,6 +28,24 @@ const N_CAMERAS: u32 = 3;
 
 fn main() {
     let net = generators::corridor(N_CAMERAS as usize, 120.0, 12.0);
+    let specs: Vec<CameraSpec> = (0..N_CAMERAS)
+        .map(|i| CameraSpec {
+            id: CameraId(i),
+            site: IntersectionId(i),
+            videoing_angle_deg: 0.0,
+        })
+        .collect();
+    let deployment = Deployment::from_specs(
+        net.clone(),
+        &specs,
+        SystemConfig {
+            node: NodeConfig {
+                detector_noise: DetectorNoise::perfect(),
+                ..NodeConfig::default()
+            },
+            ..SystemConfig::default()
+        },
+    );
     let router = InProcRouter::new();
     let storage = EdgeStorageNode::default();
     let stop = Arc::new(AtomicBool::new(false));
@@ -37,33 +59,19 @@ fn main() {
     )));
 
     // --- Topology server thread (the cloud). -----------------------------
-    let server_rx = router.register(Endpoint::TopologyServer);
-    let server_router = router.clone();
+    let mut server_driver = ServerDriver::new(
+        deployment.make_server(),
+        InProcTransport::attach(&router, Endpoint::TopologyServer),
+    );
     let server_stop = stop.clone();
-    let server_net = net.clone();
     let server = thread::spawn(move || {
-        let mut server = TopologyServer::new(server_net, ServerConfig::default());
         let mut now_ms = 0u64;
         while !server_stop.load(Ordering::Relaxed) {
-            while let Ok(env) = server_rx.try_recv() {
-                if let Message::Heartbeat {
-                    camera,
-                    position,
-                    videoing_angle_deg,
-                } = env.message
-                {
-                    now_ms += 1;
-                    let updates = server
-                        .handle_heartbeat(camera, position, videoing_angle_deg, now_ms)
-                        .expect("registration succeeds");
-                    for u in updates {
-                        let _ = server_router.send(Envelope {
-                            from: Endpoint::TopologyServer,
-                            to: Endpoint::Camera(u.camera),
-                            message: Message::TopologyUpdate(u),
-                        });
-                    }
-                }
+            while let Some(env) = server_driver.transport_mut().poll(SimTime::ZERO) {
+                now_ms += 1;
+                server_driver
+                    .on_envelope(env, SimTime::from_millis(now_ms), |_| true)
+                    .expect("cameras reachable");
             }
             thread::sleep(Duration::from_millis(2));
         }
@@ -73,71 +81,41 @@ fn main() {
     let mut camera_threads = Vec::new();
     for i in 0..N_CAMERAS {
         let cam = CameraId(i);
-        let rx = router.register(Endpoint::Camera(cam));
-        let tx = router.clone();
-        let position = net
-            .intersection(IntersectionId(i))
-            .expect("site exists")
-            .position;
-        let view = CameraView::standard(position, 0.0);
-        let node_storage = storage.clone();
+        let mut driver = NodeDriver::new(
+            deployment.make_node(cam, storage.clone()).expect("placed"),
+            InProcTransport::attach(&router, Endpoint::Camera(cam)),
+        );
         let cam_stop = stop.clone();
         let cam_clock = clock_ms.clone();
         let cam_traffic = traffic.clone();
         camera_threads.push(thread::spawn(move || {
-            let mut node = CameraNode::new(
-                cam,
-                view,
-                NodeConfig {
-                    detector_noise: DetectorNoise::perfect(),
-                    ..NodeConfig::default()
-                },
-                node_storage,
-                100 + u64::from(i),
-            );
             // Join the topology.
-            let hb = node.heartbeat();
-            tx.send(Envelope {
-                from: Endpoint::Camera(cam),
-                to: Endpoint::TopologyServer,
-                message: hb,
-            })
-            .expect("server reachable");
+            driver
+                .send_heartbeat(SimTime::ZERO)
+                .expect("server reachable");
             let mut sent = 0u64;
             while !cam_stop.load(Ordering::Relaxed) {
-                let now_ms = cam_clock.load(Ordering::Relaxed);
-                // Inbound protocol traffic.
-                while let Ok(env) = rx.try_recv() {
-                    for (to, msg) in node.on_message(env.message, now_ms) {
-                        let _ = tx.send(Envelope {
-                            from: Endpoint::Camera(cam),
-                            to: Endpoint::Camera(to),
-                            message: msg,
-                        });
-                    }
-                }
-                // One frame.
-                let scene = { node.view().scene(&cam_traffic.lock()) };
-                let out = node.on_frame(&scene, now_ms, None);
-                for (to, msg) in out.messages {
-                    sent += 1;
-                    let _ = tx.send(Envelope {
-                        from: Endpoint::Camera(cam),
-                        to: Endpoint::Camera(to),
-                        message: msg,
-                    });
-                }
+                let now = SimTime::from_millis(cam_clock.load(Ordering::Relaxed));
+                // Inbound protocol traffic (confirmation relays are sent
+                // by the driver as it delivers).
+                driver.pump(now, |_| {}).expect("peers reachable");
+                // One frame; the driver sends the resulting informs.
+                let scene = { driver.node().view().scene(&cam_traffic.lock()) };
+                let out = driver.capture(&scene, now, None).expect("peers reachable");
+                sent += out.reids.len() as u64;
                 thread::sleep(Duration::from_millis(4)); // ~96 ms scaled 1/24
             }
-            let out = node.flush(cam_clock.load(Ordering::Relaxed), None);
-            sent += out.messages.len() as u64;
-            (cam, node.events_generated(), sent)
+            let now = SimTime::from_millis(cam_clock.load(Ordering::Relaxed));
+            driver.flush(now, None).expect("peers reachable");
+            (cam, driver.node().events_generated(), sent)
         }));
     }
 
     // --- Traffic thread: drives the world at 24x real time. --------------
     let r = route::shortest_path(&net, IntersectionId(0), IntersectionId(2)).expect("connected");
-    traffic.lock().spawn(SimTime::from_secs(1), r, Some(ObjectClass::Car));
+    traffic
+        .lock()
+        .spawn(SimTime::from_secs(1), r, Some(ObjectClass::Car));
     for _ in 0..450 {
         {
             let mut t = traffic.lock();
@@ -150,19 +128,15 @@ fn main() {
     stop.store(true, Ordering::Relaxed);
 
     for h in camera_threads {
-        let (cam, events, sent) = h.join().expect("camera thread ok");
-        println!("{cam}: {events} detection events, {sent} protocol messages sent");
+        let (cam, events, reids) = h.join().expect("camera thread ok");
+        println!("{cam}: {events} detection events, {reids} re-identifications");
     }
     server.join().expect("server thread ok");
 
     // The trajectory graph assembled by the threads.
     let (vertices, edges, _, _) = storage.stats();
     println!("\ntrajectory graph: {vertices} vertices, {edges} edges");
-    let seed = storage.with_graph(|g| {
-        g.vertices()
-            .min_by_key(|v| v.first_seen_ms)
-            .map(|v| v.id)
-    });
+    let seed = storage.with_graph(|g| g.vertices().min_by_key(|v| v.first_seen_ms).map(|v| v.id));
     if let Some(seed) = seed {
         let track = storage
             .query_trajectory(seed, QueryOptions::default())

@@ -1,0 +1,193 @@
+//! Cross-mode determinism: the same deployment and workload, run once
+//! under the discrete-event runtime (`SimTransport`) and once as a
+//! hand-driven in-process deployment (`InProcTransport`), must build the
+//! same trajectory graph modulo timing-only fields.
+//!
+//! This is the payoff of the layered runtime: `NodeDriver` / `ServerDriver`
+//! contain all protocol behaviour, and the transport underneath them only
+//! changes *when* messages move, not *what* the system concludes. Vertices
+//! are compared as (camera, ground-truth) pairs and edges as the pairs
+//! they connect; timestamps and latencies are deliberately excluded.
+
+use coral_pie::core::{CameraSpec, Deployment, NodeConfig, NodeDriver, ServerDriver, SystemConfig};
+use coral_pie::geo::{generators, route, IntersectionId, RoadNetwork};
+use coral_pie::net::{Endpoint, InProcRouter, InProcTransport, Transport};
+use coral_pie::sim::{SimTime, TrafficModel};
+use coral_pie::storage::EdgeStorageNode;
+use coral_pie::topology::CameraId;
+use coral_pie::vision::{DetectorNoise, ObjectClass};
+
+const N: u32 = 5;
+const RUN_SECS: u64 = 90;
+
+fn corridor_deployment() -> Deployment {
+    let net = generators::corridor(N as usize, 120.0, 12.0);
+    let specs: Vec<CameraSpec> = (0..N)
+        .map(|i| CameraSpec {
+            id: CameraId(i),
+            site: IntersectionId(i),
+            videoing_angle_deg: 0.0,
+        })
+        .collect();
+    Deployment::from_specs(
+        net,
+        &specs,
+        SystemConfig {
+            node: NodeConfig {
+                detector_noise: DetectorNoise::perfect(),
+                ..NodeConfig::default()
+            },
+            seed: 11,
+            ..SystemConfig::default()
+        },
+    )
+}
+
+/// Spawns an identical workload into either mode's traffic model: three
+/// vehicles traversing the corridor, two eastbound and one westbound.
+fn spawn_workload(traffic: &mut TrafficModel, net: &RoadNetwork) {
+    let east = route::shortest_path(net, IntersectionId(0), IntersectionId(N - 1)).unwrap();
+    let west = route::shortest_path(net, IntersectionId(N - 1), IntersectionId(0)).unwrap();
+    traffic.spawn(SimTime::from_secs(1), east.clone(), Some(ObjectClass::Car));
+    traffic.spawn(SimTime::from_secs(5), west, Some(ObjectClass::Car));
+    traffic.spawn(SimTime::from_secs(9), east, Some(ObjectClass::Car));
+}
+
+/// The timing-free summary of a trajectory graph: sorted vertex labels
+/// (camera + ground truth) and sorted edge labels (the endpoints' labels).
+fn graph_signature(storage: &EdgeStorageNode) -> (Vec<String>, Vec<String>) {
+    storage.with_graph(|g| {
+        let label = |id| {
+            let v = g.vertex(id).expect("edge endpoint exists");
+            format!("{:?}:{:?}", v.camera, v.ground_truth)
+        };
+        let mut vertices: Vec<String> = g
+            .vertices()
+            .map(|v| format!("{:?}:{:?}", v.camera, v.ground_truth))
+            .collect();
+        vertices.sort();
+        let mut edges: Vec<String> = g
+            .edges()
+            .map(|e| format!("{} -> {}", label(e.from), label(e.to)))
+            .collect();
+        edges.sort();
+        (vertices, edges)
+    })
+}
+
+/// Mode 1: the discrete-event runtime over `SimTransport`.
+fn run_des(deployment: Deployment) -> (Vec<String>, Vec<String>) {
+    let net = deployment.net().clone();
+    let mut runtime = deployment.build();
+    spawn_workload(runtime.world_mut().traffic_mut(), &net);
+    runtime.run_until(SimTime::from_secs(RUN_SECS));
+    runtime.finish();
+    graph_signature(runtime.world().storage())
+}
+
+/// Mode 2: the same drivers hand-driven over the in-process router with a
+/// virtual frame clock — single-threaded, so delivery order is fixed.
+fn run_inproc(deployment: Deployment) -> (Vec<String>, Vec<String>) {
+    let router = InProcRouter::new();
+    let storage = EdgeStorageNode::default();
+    let mut server = ServerDriver::new(
+        deployment.make_server(),
+        InProcTransport::attach(&router, Endpoint::TopologyServer),
+    );
+    let mut cams: Vec<NodeDriver<InProcTransport>> = (0..N)
+        .map(|i| {
+            let cam = CameraId(i);
+            NodeDriver::new(
+                deployment.make_node(cam, storage.clone()).expect("placed"),
+                InProcTransport::attach(&router, Endpoint::Camera(cam)),
+            )
+        })
+        .collect();
+    let mut traffic = deployment.make_traffic();
+    spawn_workload(&mut traffic, deployment.net());
+
+    let pump_server = |server: &mut ServerDriver<InProcTransport>, now: SimTime| -> usize {
+        let mut n = 0;
+        while let Some(env) = server.transport_mut().poll(now) {
+            server
+                .on_envelope(env, now, |_| true)
+                .expect("in-proc send");
+            n += 1;
+        }
+        n
+    };
+
+    // Join: heartbeats in camera-id order (the DES staggers them the same
+    // way), then deliver the resulting topology tables before frame 1.
+    for d in cams.iter_mut() {
+        d.send_heartbeat(SimTime::ZERO).expect("in-proc send");
+    }
+    pump_server(&mut server, SimTime::ZERO);
+    for d in cams.iter_mut() {
+        d.pump(SimTime::ZERO, |_| {}).expect("in-proc send");
+    }
+
+    // Frame loop. Deliveries from frame k land at the start of frame k+1 —
+    // the in-flight window the DES models as link latency (< one frame).
+    let frame_ms = deployment.config().frame_period.as_millis();
+    let frames = RUN_SECS * 1000 / frame_ms;
+    let mut last = SimTime::ZERO;
+    for k in 1..=frames {
+        let now = SimTime::from_millis(frame_ms * k);
+        traffic.step(last, now.since(last));
+        last = now;
+        for d in cams.iter_mut() {
+            d.pump(now, |_| {}).expect("in-proc send");
+        }
+        pump_server(&mut server, now);
+        for d in cams.iter_mut() {
+            d.pump(now, |_| {}).expect("in-proc send");
+        }
+        // All deliveries done: capture this frame in camera-id order,
+        // exactly like the DES tick.
+        for d in cams.iter_mut() {
+            let scene = d.node().view().scene(&traffic);
+            d.capture(&scene, now, None).expect("in-proc send");
+        }
+    }
+
+    // End of stream: flush in-flight tracks, then drain message cascades
+    // (informs beget confirmations) until the network is quiet.
+    for d in cams.iter_mut() {
+        d.flush(last, None).expect("in-proc send");
+    }
+    loop {
+        let mut moved = 0;
+        for d in cams.iter_mut() {
+            moved += d.pump(last, |_| {}).expect("in-proc send");
+        }
+        moved += pump_server(&mut server, last);
+        if moved == 0 {
+            break;
+        }
+    }
+    graph_signature(&storage)
+}
+
+#[test]
+fn des_and_inproc_modes_build_the_same_graph() {
+    let (des_vertices, des_edges) = run_des(corridor_deployment());
+    let (ip_vertices, ip_edges) = run_inproc(corridor_deployment());
+
+    // The workload is non-trivial in both modes: every vehicle is seen by
+    // every camera, and re-identification links the passages.
+    assert!(
+        des_vertices.len() >= N as usize,
+        "DES vertices: {des_vertices:?}"
+    );
+    assert!(!des_edges.is_empty(), "DES made no re-identifications");
+
+    assert_eq!(
+        des_vertices, ip_vertices,
+        "vertex sets diverge between DES and in-process modes"
+    );
+    assert_eq!(
+        des_edges, ip_edges,
+        "edge sets diverge between DES and in-process modes"
+    );
+}

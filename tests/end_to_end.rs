@@ -240,5 +240,8 @@ fn confirm_stage_cleans_sibling_pools() {
         .all(|c| c.matched);
     assert!(cam0_entry_matched, "cam0's event left unmatched at cam2");
     // Camera 1 matched it locally.
-    assert_eq!(sys.node(CameraId(1)).unwrap().pool().stats().matched_local, 1);
+    assert_eq!(
+        sys.node(CameraId(1)).unwrap().pool().stats().matched_local,
+        1
+    );
 }

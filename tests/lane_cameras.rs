@@ -22,10 +22,10 @@ fn fig8_world() -> (RoadNetwork, Vec<(CameraId, GeoPoint, f64)>) {
     let p1 = net.intersection(v1).unwrap().position;
     let p2 = net.intersection(v2).unwrap().position;
     let placements = vec![
-        (CameraId(0), p1, 0.0),                  // A at vertex 1
-        (CameraId(1), p2, 0.0),                  // B at vertex 2
-        (CameraId(2), p1.lerp(p2, 0.33), 0.0),   // C close to vertex 1
-        (CameraId(3), p1.lerp(p2, 0.66), 0.0),   // D close to vertex 2
+        (CameraId(0), p1, 0.0),                // A at vertex 1
+        (CameraId(1), p2, 0.0),                // B at vertex 2
+        (CameraId(2), p1.lerp(p2, 0.33), 0.0), // C close to vertex 1
+        (CameraId(3), p1.lerp(p2, 0.66), 0.0), // D close to vertex 2
     ];
     (net, placements)
 }

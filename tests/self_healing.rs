@@ -94,7 +94,10 @@ fn tracking_survives_a_mid_route_failure() {
         .connection()
         .socket_group()
         .all_downstream();
-    assert!(down1.contains(&CameraId(3)), "cam1 must skip to cam3: {down1:?}");
+    assert!(
+        down1.contains(&CameraId(3)),
+        "cam1 must skip to cam3: {down1:?}"
+    );
     assert!(!down1.contains(&CameraId(2)));
 
     // Vehicles that crossed after the failure still get cam1 -> cam3 edges.

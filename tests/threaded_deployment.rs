@@ -2,13 +2,17 @@
 //! on OS threads exchanging protocol messages through the in-process
 //! router, with the topology server on its own thread — a compressed
 //! version of `examples/threaded_cameras.rs` suitable for CI.
+//!
+//! The threads run the same `NodeDriver` / `ServerDriver` units the DES
+//! drives; only the pacing (thread loops and a shared atomic clock)
+//! differs.
 
-use coral_pie::core::{CameraNode, NodeConfig};
+use coral_pie::core::{CameraSpec, Deployment, NodeConfig, NodeDriver, ServerDriver, SystemConfig};
 use coral_pie::geo::{generators, route, IntersectionId};
-use coral_pie::net::{Endpoint, Envelope, InProcRouter, Message};
-use coral_pie::sim::{CameraView, SimDuration, SimTime, TrafficConfig, TrafficModel};
+use coral_pie::net::{Endpoint, InProcRouter, InProcTransport, Transport};
+use coral_pie::sim::{SimDuration, SimTime, TrafficConfig, TrafficModel};
 use coral_pie::storage::{EdgeStorageNode, QueryOptions};
-use coral_pie::topology::{CameraId, ServerConfig, TopologyServer};
+use coral_pie::topology::CameraId;
 use coral_pie::vision::{DetectorNoise, ObjectClass};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -20,6 +24,24 @@ use std::time::Duration;
 fn threads_and_router_build_a_track() {
     const N: u32 = 3;
     let net = generators::corridor(N as usize, 120.0, 12.0);
+    let specs: Vec<CameraSpec> = (0..N)
+        .map(|i| CameraSpec {
+            id: CameraId(i),
+            site: IntersectionId(i),
+            videoing_angle_deg: 0.0,
+        })
+        .collect();
+    let deployment = Deployment::from_specs(
+        net.clone(),
+        &specs,
+        SystemConfig {
+            node: NodeConfig {
+                detector_noise: DetectorNoise::perfect(),
+                ..NodeConfig::default()
+            },
+            ..SystemConfig::default()
+        },
+    );
     let router = InProcRouter::new();
     let storage = EdgeStorageNode::default();
     let stop = Arc::new(AtomicBool::new(false));
@@ -31,95 +53,49 @@ fn threads_and_router_build_a_track() {
     )));
 
     // Topology server thread.
-    let server_rx = router.register(Endpoint::TopologyServer);
-    let server_router = router.clone();
+    let mut server_driver = ServerDriver::new(
+        deployment.make_server(),
+        InProcTransport::attach(&router, Endpoint::TopologyServer),
+    );
     let server_stop = stop.clone();
-    let server_net = net.clone();
     let server = thread::spawn(move || {
-        let mut server = TopologyServer::new(server_net, ServerConfig::default());
         let mut now_ms = 0u64;
         while !server_stop.load(Ordering::Relaxed) {
-            while let Ok(env) = server_rx.try_recv() {
-                if let Message::Heartbeat {
-                    camera,
-                    position,
-                    videoing_angle_deg,
-                } = env.message
-                {
-                    now_ms += 1;
-                    for u in server
-                        .handle_heartbeat(camera, position, videoing_angle_deg, now_ms)
-                        .expect("registration succeeds")
-                    {
-                        let _ = server_router.send(Envelope {
-                            from: Endpoint::TopologyServer,
-                            to: Endpoint::Camera(u.camera),
-                            message: Message::TopologyUpdate(u),
-                        });
-                    }
-                }
+            while let Some(env) = server_driver.transport_mut().poll(SimTime::ZERO) {
+                now_ms += 1;
+                server_driver
+                    .on_envelope(env, SimTime::from_millis(now_ms), |_| true)
+                    .expect("cameras reachable");
             }
             thread::sleep(Duration::from_millis(1));
         }
     });
 
-    // Camera node threads.
+    // Camera node threads, each driving a NodeDriver over the router.
     let mut camera_threads = Vec::new();
     for i in 0..N {
         let cam = CameraId(i);
-        let rx = router.register(Endpoint::Camera(cam));
-        let tx = router.clone();
-        let position = net
-            .intersection(IntersectionId(i))
-            .expect("site exists")
-            .position;
-        let view = CameraView::standard(position, 0.0);
-        let node_storage = storage.clone();
+        let mut driver = NodeDriver::new(
+            deployment.make_node(cam, storage.clone()).expect("placed"),
+            InProcTransport::attach(&router, Endpoint::Camera(cam)),
+        );
         let cam_stop = stop.clone();
         let cam_clock = clock_ms.clone();
         let cam_traffic = traffic.clone();
         camera_threads.push(thread::spawn(move || {
-            let mut node = CameraNode::new(
-                cam,
-                view,
-                NodeConfig {
-                    detector_noise: DetectorNoise::perfect(),
-                    ..NodeConfig::default()
-                },
-                node_storage,
-                100 + u64::from(i),
-            );
-            let hb = node.heartbeat();
-            tx.send(Envelope {
-                from: Endpoint::Camera(cam),
-                to: Endpoint::TopologyServer,
-                message: hb,
-            })
-            .expect("server reachable");
+            driver
+                .send_heartbeat(SimTime::ZERO)
+                .expect("server reachable");
             while !cam_stop.load(Ordering::Relaxed) {
-                let now_ms = cam_clock.load(Ordering::Relaxed);
-                while let Ok(env) = rx.try_recv() {
-                    for (to, msg) in node.on_message(env.message, now_ms) {
-                        let _ = tx.send(Envelope {
-                            from: Endpoint::Camera(cam),
-                            to: Endpoint::Camera(to),
-                            message: msg,
-                        });
-                    }
-                }
-                let scene = { node.view().scene(&cam_traffic.lock()) };
-                let out = node.on_frame(&scene, now_ms, None);
-                for (to, msg) in out.messages {
-                    let _ = tx.send(Envelope {
-                        from: Endpoint::Camera(cam),
-                        to: Endpoint::Camera(to),
-                        message: msg,
-                    });
-                }
+                let now = SimTime::from_millis(cam_clock.load(Ordering::Relaxed));
+                driver.pump(now, |_| {}).expect("peers reachable");
+                let scene = { driver.node().view().scene(&cam_traffic.lock()) };
+                driver.capture(&scene, now, None).expect("peers reachable");
                 thread::sleep(Duration::from_millis(2));
             }
-            node.flush(cam_clock.load(Ordering::Relaxed), None);
-            node.events_generated()
+            let now = SimTime::from_millis(cam_clock.load(Ordering::Relaxed));
+            driver.flush(now, None).expect("peers reachable");
+            driver.node().events_generated()
         }));
     }
 

@@ -52,11 +52,7 @@ fn out_and_back(net: &coral_pie::geo::RoadNetwork) -> Route {
             .find(|&l| net.lane(l).unwrap().to == IntersectionId(to))
             .expect("corridor lane exists")
     };
-    Route::new(
-        net,
-        vec![lane(0, 1), lane(1, 2), lane(2, 1), lane(1, 0)],
-    )
-    .expect("connected route")
+    Route::new(net, vec![lane(0, 1), lane(1, 2), lane(2, 1), lane(1, 0)]).expect("connected route")
 }
 
 #[test]
@@ -81,8 +77,11 @@ fn self_is_in_the_mdcs() {
 fn uturn_vehicle_is_reidentified_by_the_same_camera() {
     let (mut sys, net) = uturn_system();
     sys.run_until(SimTime::from_secs(2));
-    sys.traffic_mut()
-        .spawn(SimTime::from_secs(2), out_and_back(&net), Some(ObjectClass::Car));
+    sys.traffic_mut().spawn(
+        SimTime::from_secs(2),
+        out_and_back(&net),
+        Some(ObjectClass::Car),
+    );
     sys.run_until(SimTime::from_secs(80));
     sys.finish();
 
@@ -95,7 +94,10 @@ fn uturn_vehicle_is_reidentified_by_the_same_camera() {
         .iter()
         .filter(|(c, _, _)| *c == CameraId(1))
         .count();
-    assert!(cam1_events >= 2, "expected two cam1 events, got {cam1_events}");
+    assert!(
+        cam1_events >= 2,
+        "expected two cam1 events, got {cam1_events}"
+    );
     let self_edges = sys.storage().with_graph(|g| {
         g.edges()
             .filter(|e| {
@@ -144,8 +146,11 @@ fn without_uturn_support_the_same_scenario_misses_the_link() {
     };
     let mut sys = CoralPieSystem::new(net.clone(), &specs, config);
     sys.run_until(SimTime::from_secs(2));
-    sys.traffic_mut()
-        .spawn(SimTime::from_secs(2), out_and_back(&net), Some(ObjectClass::Car));
+    sys.traffic_mut().spawn(
+        SimTime::from_secs(2),
+        out_and_back(&net),
+        Some(ObjectClass::Car),
+    );
     sys.run_until(SimTime::from_secs(80));
     sys.finish();
     let self_edges = sys.storage().with_graph(|g| {
