@@ -25,10 +25,16 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 if [ "$quick" -eq 0 ]; then
     echo "==> cargo build --release"
     cargo build --release
 fi
+
+echo "==> cargo test -q -p coral-obs"
+cargo test -q -p coral-obs
 
 echo "==> cargo test -q"
 cargo test -q

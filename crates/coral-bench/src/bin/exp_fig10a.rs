@@ -9,7 +9,7 @@
 //! between them; vehicles platoon behind the light, and every vehicle's
 //! inform message must reach the downstream camera before the vehicle does.
 
-use coral_bench::report::f2s;
+use coral_bench::report::{f2s, write_registry_snapshot};
 use coral_bench::{corridor_specs, ExperimentLog};
 use coral_core::{CoralPieSystem, NodeConfig, SystemConfig};
 use coral_geo::{route, IntersectionId};
@@ -110,4 +110,7 @@ fn main() {
     println!(
         "arrival steps (gaps > 10 s from the 40 s light cycle): {big_gaps} (stepped structure)"
     );
+
+    let metrics = write_registry_snapshot("fig10a_protocol", sys.observability().registry());
+    println!("[metrics] {}", metrics.display());
 }

@@ -6,7 +6,7 @@
 //! heartbeat interval leads to fast failure recovery and less variance ...
 //! Coral-Pie takes at most twice the heartbeat interval to recover" (§5.4).
 
-use coral_bench::report::f2s;
+use coral_bench::report::{f2s, write_registry_snapshot};
 use coral_bench::{campus_specs, ExperimentLog};
 use coral_core::{CoralPieSystem, SystemConfig};
 use coral_sim::{FailureSchedule, SimDuration, SimTime};
@@ -30,6 +30,11 @@ fn run(heartbeat_s: u64) -> Vec<(f64, f64)> {
     );
     sys.set_failures(&schedule);
     sys.run_until(SimTime::from_secs(260));
+    let metrics = write_registry_snapshot(
+        &format!("fig11_recovery_hb{heartbeat_s}s"),
+        sys.observability().registry(),
+    );
+    println!("[metrics] {}", metrics.display());
     sys.telemetry()
         .recoveries
         .iter()

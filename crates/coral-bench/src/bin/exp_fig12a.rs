@@ -1,7 +1,7 @@
 //! **Figure 12(a)** — Average MDCS size as a function of camera-network
 //! size.
 //!
-//! "This result [is] generated through simulation, wherein we incrementally
+//! "This result \[is\] generated through simulation, wherein we incrementally
 //! deploy 37 cameras (in random order) to the campus network and measure
 //! the size of MDCS for each camera" (§5.5). The paper's findings: the
 //! MDCS size is always finite (bounded communication cost); average size

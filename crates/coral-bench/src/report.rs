@@ -86,6 +86,20 @@ impl ExperimentLog {
     }
 }
 
+/// Writes a metrics-registry snapshot as JSON next to the experiment's
+/// CSV (`target/experiments/<name>.metrics.json`) and returns its path.
+///
+/// # Panics
+///
+/// Panics if the output directory or file cannot be written.
+pub fn write_registry_snapshot(name: &str, registry: &coral_obs::Registry) -> PathBuf {
+    let dir = out_dir();
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join(format!("{name}.metrics.json"));
+    fs::write(&path, registry.snapshot_json()).expect("write metrics snapshot");
+    path
+}
+
 /// The experiments output directory (`target/experiments`).
 pub fn out_dir() -> PathBuf {
     // CARGO_TARGET_DIR is not set in normal invocations; default to
@@ -126,6 +140,17 @@ mod tests {
     fn arity_checked() {
         let mut log = ExperimentLog::new("bad", &["a", "b"]);
         log.push(&["only one"]);
+    }
+
+    #[test]
+    fn registry_snapshot_written() {
+        let registry = coral_obs::Registry::new();
+        registry.counter("unit_test_total", &[]).inc();
+        let path = write_registry_snapshot("unit_test_registry", &registry);
+        let content = std::fs::read_to_string(&path).unwrap();
+        let doc = coral_obs::json::parse(&content).unwrap();
+        assert!(doc.get("counters").is_some());
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   discrete-event [`SimRuntime`].
 //! - [`telemetry`] — run measurements and the [`TelemetrySink`] observer
 //!   seam.
+//! - [`obs`] — the workspace observability glue: protocol counters in the
+//!   shared metrics registry plus per-vehicle causal traces
+//!   (detect → track → inform → transport hop → re-id) exported as Chrome
+//!   `trace_event` JSON.
 //! - [`CoralPieSystem`] — the one-object facade over the layers above:
 //!   traffic, heartbeats, failures, message latency and the telemetry
 //!   behind every §5 experiment.
@@ -49,6 +53,7 @@
 pub mod deploy;
 pub mod metrics;
 pub mod node;
+pub mod obs;
 pub mod pool;
 pub mod reid;
 pub mod runtime;
@@ -61,6 +66,7 @@ pub use metrics::{
     Transition,
 };
 pub use node::{CameraNode, FrameOutput, NodeConfig, ReidRecord};
+pub use obs::{CoreObs, NodeObs, ServerObs, Stage};
 pub use pool::{Candidate, CandidatePool, PoolStats};
 pub use reid::{ReIdentifier, ReidConfig, ReidMatch};
 pub use runtime::{LivenessOutcome, NodeDriver, ServerDriver, SimRuntime, SimWorld};

@@ -1,0 +1,559 @@
+//! Observability glue: the workspace metrics registry and per-vehicle
+//! causal traces, adapted to the domain ids of the runtime.
+//!
+//! [`CoreObs`] is the deployment-wide bundle every driver shares. It plays
+//! two roles:
+//!
+//! 1. **Metrics** — counters for protocol activity (passages, events,
+//!    informs, confirms, recoveries) that land in the shared
+//!    [`Registry`] next to the transport/pipeline/storage metrics.
+//! 2. **Causal traces** — when tracing is enabled, each ground-truth
+//!    vehicle gets one Chrome-trace thread per camera it crosses, and the
+//!    runtime emits the stage events that follow it through the system:
+//!    [`Stage::Detect`] (FOV entry) → [`Stage::Track`] (the track's
+//!    lifetime) → [`Stage::FeatureExtract`] / [`Stage::Store`] (event
+//!    completion) → [`Stage::InformSend`] → [`Stage::TransportHop`] →
+//!    [`Stage::Reid`] at the downstream camera.
+//!
+//! The glue also implements [`TelemetrySink`], so the runtime feeds it
+//! through the same `emit` fan-out as the [`Telemetry`](crate::Telemetry)
+//! accumulator — both are consumers of one event stream.
+
+use crate::metrics::Passage;
+use crate::node::ReidRecord;
+use crate::telemetry::{Recovery, TelemetrySink};
+use coral_net::{DetectionEvent, EventId, Message};
+use coral_obs::{ArgValue, Counter, Histogram, Observability, Registry, Tracer};
+use coral_sim::SimTime;
+use coral_topology::CameraId;
+use coral_vision::GroundTruthId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The Chrome-trace process id of the topology server's row.
+pub const SERVER_PID: u64 = 0;
+
+/// The Chrome-trace process id of a camera's row.
+pub fn camera_pid(camera: CameraId) -> u64 {
+    u64::from(camera.0) + 1
+}
+
+/// The Chrome-trace thread id of a vehicle. Thread 0 is reserved for
+/// non-vehicle runtime events (unattributable activity, recoveries).
+pub fn vehicle_tid(vehicle: Option<GroundTruthId>) -> u64 {
+    vehicle.map_or(0, |g| g.0 + 1)
+}
+
+/// A stage of the per-vehicle causal trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Ground-truth FOV entry at a camera.
+    Detect,
+    /// The tracked passage through one camera's FOV (a complete span).
+    Track,
+    /// Appearance-signature extraction at track completion.
+    FeatureExtract,
+    /// The inform message leaving the upstream camera.
+    InformSend,
+    /// One inform's flight between two cameras (a complete span).
+    TransportHop,
+    /// Re-identification at the downstream camera.
+    Reid,
+    /// The detection's vertex landing in the trajectory store.
+    Store,
+}
+
+impl Stage {
+    /// The event name used in exported traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Detect => "Detect",
+            Stage::Track => "Track",
+            Stage::FeatureExtract => "FeatureExtract",
+            Stage::InformSend => "InformSend",
+            Stage::TransportHop => "TransportHop",
+            Stage::Reid => "Reid",
+            Stage::Store => "Store",
+        }
+    }
+}
+
+/// Trace category of vehicle-stage events.
+const CAT_VEHICLE: &str = "vehicle";
+/// Trace category of runtime (non-vehicle) events.
+const CAT_RUNTIME: &str = "runtime";
+
+#[derive(Debug, Default)]
+struct CoreObsInner {
+    /// Which ground-truth vehicle each detection event belongs to — lets
+    /// re-identifications and transport hops join the vehicle's trace.
+    event_vehicle: HashMap<EventId, GroundTruthId>,
+    /// Send time of each in-flight inform, keyed by `(event, recipient)`.
+    inform_sent: HashMap<(EventId, CameraId), SimTime>,
+    /// Latest FOV-entry time per `(camera, vehicle)` — the start of the
+    /// Track span.
+    passage_entry: HashMap<(CameraId, GroundTruthId), SimTime>,
+}
+
+/// Deployment-wide observability: the shared [`Observability`] bundle plus
+/// the domain maps that attribute runtime activity to vehicles. Cloning
+/// shares all state.
+#[derive(Debug, Clone)]
+pub struct CoreObs {
+    obs: Observability,
+    inner: Arc<Mutex<CoreObsInner>>,
+    passages: Counter,
+    events: Counter,
+    reids: Counter,
+    recoveries: Counter,
+    heartbeats: Counter,
+    sent_informs: Counter,
+    sent_confirms: Counter,
+    delivered_informs: Counter,
+    delivered_confirms: Counter,
+    delivered_updates: Counter,
+    cloud_bytes: Counter,
+}
+
+impl Default for CoreObs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoreObs {
+    /// Creates a fresh bundle (tracing disabled).
+    pub fn new() -> Self {
+        let obs = Observability::new();
+        let r = &obs.registry;
+        Self {
+            passages: r.counter("runtime_passages_total", &[]),
+            events: r.counter("runtime_events_total", &[]),
+            reids: r.counter("runtime_reids_total", &[]),
+            recoveries: r.counter("runtime_recoveries_total", &[]),
+            heartbeats: r.counter("runtime_heartbeats_total", &[]),
+            sent_informs: r.counter("runtime_messages_sent_total", &[("kind", "inform")]),
+            sent_confirms: r.counter("runtime_messages_sent_total", &[("kind", "confirm")]),
+            delivered_informs: r.counter("runtime_messages_delivered_total", &[("kind", "inform")]),
+            delivered_confirms: r
+                .counter("runtime_messages_delivered_total", &[("kind", "confirm")]),
+            delivered_updates: r.counter(
+                "runtime_messages_delivered_total",
+                &[("kind", "topology_update")],
+            ),
+            cloud_bytes: r.counter("runtime_cloud_bytes_total", &[]),
+            inner: Arc::new(Mutex::new(CoreObsInner::default())),
+            obs,
+        }
+    }
+
+    /// The shared metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.obs.registry
+    }
+
+    /// The shared trace recorder.
+    pub fn tracer(&self) -> &Tracer {
+        &self.obs.tracer
+    }
+
+    /// The generic observability bundle.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// A detection event was generated at `camera`. Registers the event's
+    /// vehicle attribution and emits the Track / FeatureExtract / Store
+    /// stages of the causal trace.
+    pub fn observe_event(&self, camera: CameraId, event: &DetectionEvent, now: SimTime) {
+        let entered = {
+            let mut inner = self.inner.lock();
+            if let Some(gt) = event.ground_truth {
+                inner.event_vehicle.insert(event.event_id(), gt);
+            }
+            event
+                .ground_truth
+                .and_then(|gt| inner.passage_entry.get(&(camera, gt)).copied())
+        };
+        let tracer = self.tracer();
+        if !tracer.is_enabled() {
+            return;
+        }
+        let pid = camera_pid(camera);
+        let tid = vehicle_tid(event.ground_truth);
+        let ts = now.as_micros();
+        if let Some(entered) = entered.filter(|&e| e <= now) {
+            tracer.complete(
+                Stage::Track.name(),
+                CAT_VEHICLE,
+                pid,
+                tid,
+                entered.as_micros(),
+                now.since(entered).as_micros(),
+                &[("track", ArgValue::U64(event.track.0))],
+            );
+        }
+        tracer.instant(
+            Stage::FeatureExtract.name(),
+            CAT_VEHICLE,
+            pid,
+            tid,
+            ts,
+            &[("track", ArgValue::U64(event.track.0))],
+        );
+        tracer.instant(
+            Stage::Store.name(),
+            CAT_VEHICLE,
+            pid,
+            tid,
+            ts,
+            &[("vertex", ArgValue::U64(event.vertex.map_or(0, |v| v.0)))],
+        );
+    }
+
+    /// A re-identification happened at `camera`.
+    pub fn observe_reid(&self, camera: CameraId, record: &ReidRecord, now: SimTime) {
+        self.reids.inc();
+        let tracer = self.tracer();
+        if !tracer.is_enabled() {
+            return;
+        }
+        let inner = self.inner.lock();
+        let vehicle = inner
+            .event_vehicle
+            .get(&record.local)
+            .or_else(|| inner.event_vehicle.get(&record.upstream))
+            .copied();
+        drop(inner);
+        tracer.instant(
+            Stage::Reid.name(),
+            CAT_VEHICLE,
+            camera_pid(camera),
+            vehicle_tid(vehicle),
+            now.as_micros(),
+            &[
+                (
+                    "upstream_camera",
+                    ArgValue::U64(u64::from(record.upstream.camera.0)),
+                ),
+                ("distance", ArgValue::F64(record.distance)),
+            ],
+        );
+    }
+
+    /// A protocol message left `from` for camera `to` (driver send path).
+    pub fn observe_send(&self, from: CameraId, to: CameraId, message: &Message, now: SimTime) {
+        match message {
+            Message::Inform(event) => {
+                self.sent_informs.inc();
+                {
+                    let mut inner = self.inner.lock();
+                    if let Some(gt) = event.ground_truth {
+                        inner.event_vehicle.insert(event.event_id(), gt);
+                    }
+                    inner.inform_sent.insert((event.event_id(), to), now);
+                }
+                let tracer = self.tracer();
+                if tracer.is_enabled() {
+                    tracer.instant(
+                        Stage::InformSend.name(),
+                        CAT_VEHICLE,
+                        camera_pid(from),
+                        vehicle_tid(event.ground_truth),
+                        now.as_micros(),
+                        &[("to", ArgValue::U64(u64::from(to.0)))],
+                    );
+                }
+            }
+            Message::Confirm { event, .. } => {
+                self.sent_confirms.inc();
+                let tracer = self.tracer();
+                if tracer.is_enabled() {
+                    let vehicle = self.inner.lock().event_vehicle.get(event).copied();
+                    tracer.instant(
+                        "ConfirmSend",
+                        CAT_VEHICLE,
+                        camera_pid(from),
+                        vehicle_tid(vehicle),
+                        now.as_micros(),
+                        &[("to", ArgValue::U64(u64::from(to.0)))],
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl TelemetrySink for CoreObs {
+    fn on_passage(&mut self, passage: &Passage) {
+        self.passages.inc();
+        let entered = SimTime::from_millis(passage.entered_ms);
+        self.inner
+            .lock()
+            .passage_entry
+            .insert((passage.camera, passage.vehicle), entered);
+        let tracer = self.tracer();
+        if tracer.is_enabled() {
+            let pid = camera_pid(passage.camera);
+            let tid = vehicle_tid(Some(passage.vehicle));
+            tracer.thread_name(pid, tid, &format!("vehicle-{}", passage.vehicle.0));
+            tracer.instant(
+                Stage::Detect.name(),
+                CAT_VEHICLE,
+                pid,
+                tid,
+                entered.as_micros(),
+                &[],
+            );
+        }
+    }
+
+    fn on_event(&mut self, _camera: CameraId, _ground_truth: Option<GroundTruthId>, _at: SimTime) {
+        // The richer observe_event path (called with the full event) emits
+        // the trace stages; this sink hook just counts.
+        self.events.inc();
+    }
+
+    fn on_delivery(&mut self, at: SimTime, to: CameraId, message: &Message) {
+        match message {
+            Message::Inform(event) => {
+                self.delivered_informs.inc();
+                let sent = self
+                    .inner
+                    .lock()
+                    .inform_sent
+                    .remove(&(event.event_id(), to));
+                let tracer = self.tracer();
+                if tracer.is_enabled() {
+                    if let Some(sent) = sent.filter(|&s| s <= at) {
+                        tracer.complete(
+                            Stage::TransportHop.name(),
+                            CAT_VEHICLE,
+                            camera_pid(to),
+                            vehicle_tid(event.ground_truth),
+                            sent.as_micros(),
+                            at.since(sent).as_micros(),
+                            &[("from", ArgValue::U64(u64::from(event.camera.0)))],
+                        );
+                    }
+                }
+            }
+            Message::Confirm { .. } => self.delivered_confirms.inc(),
+            Message::TopologyUpdate(_) => self.delivered_updates.inc(),
+            Message::Heartbeat { .. } => {}
+        }
+    }
+
+    fn on_cloud_send(&mut self, _at: SimTime, _from: CameraId, bytes: u64) {
+        self.heartbeats.inc();
+        self.cloud_bytes.add(bytes);
+    }
+
+    fn on_recovery(&mut self, recovery: &Recovery) {
+        self.recoveries.inc();
+        let tracer = self.tracer();
+        if tracer.is_enabled() {
+            tracer.instant(
+                "Recovery",
+                CAT_RUNTIME,
+                SERVER_PID,
+                0,
+                recovery.recovered_at.as_micros(),
+                &[
+                    ("killed", ArgValue::U64(u64::from(recovery.killed.0))),
+                    (
+                        "duration_ms",
+                        ArgValue::U64(recovery.duration().as_millis()),
+                    ),
+                ],
+            );
+        }
+    }
+}
+
+/// Instrumentation handles for one [`NodeDriver`](crate::NodeDriver):
+/// frame/message handling histograms plus the shared [`CoreObs`] for the
+/// send-path trace events.
+#[derive(Debug, Clone)]
+pub struct NodeObs {
+    core: CoreObs,
+    camera: CameraId,
+    frame_us: Histogram,
+    message_us: Histogram,
+}
+
+impl NodeObs {
+    /// Creates the handles for `camera`.
+    pub fn new(core: &CoreObs, camera: CameraId) -> Self {
+        Self {
+            core: core.clone(),
+            camera,
+            frame_us: core.registry().histogram("node_frame_handle_us", &[]),
+            message_us: core.registry().histogram("node_message_handle_us", &[]),
+        }
+    }
+
+    /// The shared deployment observability.
+    pub fn core(&self) -> &CoreObs {
+        &self.core
+    }
+
+    /// Records the wall-clock cost of one frame capture.
+    pub fn note_frame(&self, elapsed: std::time::Duration) {
+        self.frame_us.observe(elapsed);
+    }
+
+    /// Records the wall-clock cost of handling one delivered message.
+    pub fn note_message(&self, elapsed: std::time::Duration) {
+        self.message_us.observe(elapsed);
+    }
+
+    /// Observes one outgoing message on the driver's send path.
+    pub fn observe_send(&self, to: CameraId, message: &Message, now: SimTime) {
+        self.core.observe_send(self.camera, to, message, now);
+    }
+}
+
+/// Instrumentation handles for the
+/// [`ServerDriver`](crate::ServerDriver): MDCS recomputation timings and
+/// the update-fanout counter.
+#[derive(Debug, Clone)]
+pub struct ServerObs {
+    heartbeat_us: Histogram,
+    liveness_us: Histogram,
+    updates_sent: Counter,
+}
+
+impl ServerObs {
+    /// Creates the handles.
+    pub fn new(core: &CoreObs) -> Self {
+        let r = core.registry();
+        Self {
+            heartbeat_us: r.histogram("server_mdcs_recompute_us", &[("op", "heartbeat")]),
+            liveness_us: r.histogram("server_mdcs_recompute_us", &[("op", "liveness")]),
+            updates_sent: r.counter("server_updates_sent_total", &[]),
+        }
+    }
+
+    /// Records the wall-clock cost of one heartbeat-driven recompute.
+    pub fn note_heartbeat(&self, elapsed: std::time::Duration) {
+        self.heartbeat_us.observe(elapsed);
+    }
+
+    /// Records the wall-clock cost of one liveness sweep.
+    pub fn note_liveness(&self, elapsed: std::time::Duration) {
+        self.liveness_us.observe(elapsed);
+    }
+
+    /// Counts topology updates fanned out to cameras.
+    pub fn note_updates_sent(&self, n: usize) {
+        self.updates_sent.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_vision::{ColorHistogram, TrackId};
+
+    fn event(cam: u32, track: u64, gt: Option<u64>) -> DetectionEvent {
+        DetectionEvent {
+            camera: CameraId(cam),
+            timestamp_ms: 1_000,
+            heading: None,
+            bearing_deg: None,
+            signature: ColorHistogram::uniform(8),
+            track: TrackId(track),
+            vertex: None,
+            ground_truth: gt.map(GroundTruthId),
+        }
+    }
+
+    #[test]
+    fn pid_tid_mapping() {
+        assert_eq!(camera_pid(CameraId(0)), 1);
+        assert_eq!(SERVER_PID, 0);
+        assert_eq!(vehicle_tid(None), 0);
+        assert_eq!(vehicle_tid(Some(GroundTruthId(0))), 1);
+    }
+
+    #[test]
+    fn counters_track_the_event_stream() {
+        let mut obs = CoreObs::new();
+        obs.on_passage(&Passage {
+            camera: CameraId(0),
+            vehicle: GroundTruthId(7),
+            entered_ms: 100,
+        });
+        obs.on_event(
+            CameraId(0),
+            Some(GroundTruthId(7)),
+            SimTime::from_millis(900),
+        );
+        obs.on_cloud_send(SimTime::ZERO, CameraId(0), 64);
+        let r = obs.registry();
+        assert_eq!(r.counter_value("runtime_passages_total", &[]), Some(1));
+        assert_eq!(r.counter_value("runtime_events_total", &[]), Some(1));
+        assert_eq!(r.counter_value("runtime_heartbeats_total", &[]), Some(1));
+        assert_eq!(r.counter_value("runtime_cloud_bytes_total", &[]), Some(64));
+    }
+
+    #[test]
+    fn causal_stages_share_the_vehicle_thread() {
+        let mut obs = CoreObs::new();
+        obs.observability().set_tracing(true);
+        let now = SimTime::from_millis(1_000);
+        obs.on_passage(&Passage {
+            camera: CameraId(0),
+            vehicle: GroundTruthId(4),
+            entered_ms: 100,
+        });
+        let e0 = event(0, 1, Some(4));
+        obs.observe_event(CameraId(0), &e0, now);
+        obs.observe_send(CameraId(0), CameraId(1), &Message::Inform(e0.clone()), now);
+        obs.on_delivery(
+            SimTime::from_millis(1_010),
+            CameraId(1),
+            &Message::Inform(e0.clone()),
+        );
+        let e1 = event(1, 9, Some(4));
+        obs.observe_event(CameraId(1), &e1, SimTime::from_millis(9_000));
+        obs.observe_reid(
+            CameraId(1),
+            &ReidRecord {
+                upstream: e0.event_id(),
+                local: e1.event_id(),
+                distance: 0.12,
+            },
+            SimTime::from_millis(9_000),
+        );
+
+        let json = obs.tracer().export_chrome();
+        let doc = coral_obs::json::parse(&json).unwrap();
+        let events = doc.as_array().unwrap();
+        let tid_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+                .map(|e| e.get("tid").unwrap().as_u64().unwrap())
+        };
+        // Every stage of vehicle 4 rides thread 5 (gt + 1).
+        for stage in ["Detect", "Track", "InformSend", "TransportHop", "Reid"] {
+            assert_eq!(tid_of(stage), Some(5), "stage {stage}");
+        }
+        // The transport hop is a complete span with the sim-time flight.
+        let hop = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("TransportHop"))
+            .unwrap();
+        assert_eq!(hop.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(hop.get("dur").unwrap().as_u64(), Some(10_000));
+        assert_eq!(
+            obs.registry()
+                .counter_value("runtime_messages_delivered_total", &[("kind", "inform")]),
+            Some(1)
+        );
+    }
+}

@@ -4,7 +4,7 @@
 //! "Upon receiving an informing notification from an upstream camera, the
 //! connection manager appends the associated event into its candidate pool
 //! ... All matched events are ready to be garbage collected. However, to
-//! reduce false negatives, pruning of matched events [is] done only when
+//! reduce false negatives, pruning of matched events \[is\] done only when
 //! the candidate pool grows too large" (paper §4.1.3–4.1.4).
 
 use coral_net::{DetectionEvent, EventId};
@@ -72,7 +72,7 @@ impl CandidatePool {
 
     /// Creates a pool that removes matched entries immediately — the eager
     /// alternative the paper rejects because "the reported matching could
-    /// be a false positive and ... eager pruning ... [may] lead to false
+    /// be a false positive and ... eager pruning ... \[may\] lead to false
     /// negatives" (§4.1.4). Exposed for the ablation benchmark.
     pub fn new_eager(gc_threshold: usize) -> Self {
         let mut pool = Self::new(gc_threshold);

@@ -13,6 +13,7 @@
 use crate::deploy::SystemConfig;
 use crate::metrics::Passage;
 use crate::node::{CameraNode, FrameOutput};
+use crate::obs::{camera_pid, CoreObs, NodeObs, ServerObs, SERVER_PID};
 use crate::telemetry::{Recovery, Telemetry, TelemetrySink};
 use coral_net::{Endpoint, Envelope, Message, SendError, SimNet, SimTransport, Transport};
 use coral_sim::engine::{Action, Context};
@@ -21,6 +22,7 @@ use coral_storage::EdgeStorageNode;
 use coral_topology::{CameraId, MdcsUpdate, TopologyServer};
 use coral_vision::{GroundTruthId, Scene};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::time::Instant;
 
 /// A camera node bound to its transport endpoint — the unit every
 /// deployment mode drives.
@@ -34,12 +36,23 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 pub struct NodeDriver<T: Transport> {
     node: CameraNode,
     transport: T,
+    obs: Option<NodeObs>,
 }
 
 impl<T: Transport> NodeDriver<T> {
     /// Binds `node` to `transport`.
     pub fn new(node: CameraNode, transport: T) -> Self {
-        Self { node, transport }
+        Self {
+            node,
+            transport,
+            obs: None,
+        }
+    }
+
+    /// Installs observability handles: frame/message handling wall-times
+    /// land in the registry, and sends feed the per-vehicle causal trace.
+    pub fn set_obs(&mut self, obs: NodeObs) {
+        self.obs = Some(obs);
     }
 
     /// The camera node.
@@ -105,7 +118,11 @@ impl<T: Transport> NodeDriver<T> {
         now: SimTime,
         broadcast_roster: Option<&BTreeSet<CameraId>>,
     ) -> Result<FrameOutput, SendError> {
+        let start = self.obs.is_some().then(Instant::now);
         let mut out = self.node.on_frame(scene, now.as_millis(), broadcast_roster);
+        if let (Some(obs), Some(start)) = (&self.obs, start) {
+            obs.note_frame(start.elapsed());
+        }
         self.send_all(now, &mut out.messages)?;
         Ok(out)
     }
@@ -133,7 +150,11 @@ impl<T: Transport> NodeDriver<T> {
     ///
     /// Propagates the first transport failure.
     pub fn deliver(&mut self, message: Message, now: SimTime) -> Result<usize, SendError> {
+        let start = self.obs.is_some().then(Instant::now);
         let mut replies = self.node.on_message(message, now.as_millis());
+        if let (Some(obs), Some(start)) = (&self.obs, start) {
+            obs.note_message(start.elapsed());
+        }
         let n = replies.len();
         self.send_all(now, &mut replies)?;
         Ok(n)
@@ -167,6 +188,11 @@ impl<T: Transport> NodeDriver<T> {
     ) -> Result<(), SendError> {
         let from = Endpoint::Camera(self.node.id());
         for (to, message) in messages.drain(..) {
+            // Observed before the send so the trace records the attempt
+            // even when the transport rejects it.
+            if let Some(obs) = &self.obs {
+                obs.observe_send(to, &message, now);
+            }
             self.transport.send(
                 now,
                 Envelope {
@@ -195,12 +221,23 @@ pub struct LivenessOutcome {
 pub struct ServerDriver<T: Transport> {
     server: TopologyServer,
     transport: T,
+    obs: Option<ServerObs>,
 }
 
 impl<T: Transport> ServerDriver<T> {
     /// Binds `server` to `transport`.
     pub fn new(server: TopologyServer, transport: T) -> Self {
-        Self { server, transport }
+        Self {
+            server,
+            transport,
+            obs: None,
+        }
+    }
+
+    /// Installs observability handles: MDCS recomputation wall-times and
+    /// the update-fanout counter land in the registry.
+    pub fn set_obs(&mut self, obs: ServerObs) {
+        self.obs = Some(obs);
     }
 
     /// The topology server.
@@ -245,10 +282,14 @@ impl<T: Transport> ServerDriver<T> {
         else {
             return Ok(0);
         };
+        let start = self.obs.is_some().then(Instant::now);
         let updates = self
             .server
             .handle_heartbeat(camera, position, videoing_angle_deg, now.as_millis())
             .unwrap_or_default();
+        if let (Some(obs), Some(start)) = (&self.obs, start) {
+            obs.note_heartbeat(start.elapsed());
+        }
         self.send_updates(updates, now, permit)
     }
 
@@ -264,7 +305,11 @@ impl<T: Transport> ServerDriver<T> {
         mut permit: impl FnMut(CameraId) -> bool,
     ) -> Result<LivenessOutcome, SendError> {
         let before: BTreeSet<CameraId> = self.server.active_cameras().into_iter().collect();
+        let start = self.obs.is_some().then(Instant::now);
         let updates = self.server.check_liveness(now.as_millis());
+        if let (Some(obs), Some(start)) = (&self.obs, start) {
+            obs.note_liveness(start.elapsed());
+        }
         if updates.is_empty() {
             return Ok(LivenessOutcome::default());
         }
@@ -303,6 +348,9 @@ impl<T: Transport> ServerDriver<T> {
                 sent += 1;
             }
         }
+        if let Some(obs) = &self.obs {
+            obs.note_updates_sent(sent);
+        }
         Ok(sent)
     }
 }
@@ -331,6 +379,7 @@ pub struct SimWorld {
     roster: BTreeSet<CameraId>,
     last_traffic_step: SimTime,
     telemetry: Telemetry,
+    obs: CoreObs,
     sinks: Vec<Box<dyn TelemetrySink + Send>>,
     in_fov: HashMap<CameraId, HashSet<GroundTruthId>>,
     recovery_trackers: Vec<RecoveryTracker>,
@@ -357,11 +406,18 @@ impl SimWorld {
         server: TopologyServer,
         storage: EdgeStorageNode,
         traffic: TrafficModel,
-        drivers: BTreeMap<CameraId, NodeDriver<SimTransport>>,
+        mut drivers: BTreeMap<CameraId, NodeDriver<SimTransport>>,
     ) -> Self {
         let roster: BTreeSet<CameraId> = drivers.keys().copied().collect();
+        let obs = CoreObs::new();
+        storage.instrument(obs.registry());
+        for (&id, driver) in drivers.iter_mut() {
+            driver.set_obs(NodeObs::new(&obs, id));
+        }
+        let mut server = ServerDriver::new(server, net.handle(Endpoint::TopologyServer));
+        server.set_obs(ServerObs::new(&obs));
         Self {
-            server: ServerDriver::new(server, net.handle(Endpoint::TopologyServer)),
+            server,
             net,
             storage,
             traffic,
@@ -371,6 +427,7 @@ impl SimWorld {
             drivers,
             last_traffic_step: SimTime::ZERO,
             telemetry: Telemetry::default(),
+            obs,
             sinks: Vec::new(),
             in_fov: HashMap::new(),
             recovery_trackers: Vec::new(),
@@ -434,8 +491,26 @@ impl SimWorld {
         &self.telemetry
     }
 
+    /// The deployment-wide observability bundle: the shared metrics
+    /// registry and the per-vehicle causal tracer.
+    pub fn observability(&self) -> &CoreObs {
+        &self.obs
+    }
+
+    /// Turns on per-vehicle causal tracing, naming the Chrome-trace rows
+    /// (one process per camera plus the topology server).
+    pub fn enable_tracing(&mut self) {
+        self.obs.observability().set_tracing(true);
+        let tracer = self.obs.tracer();
+        tracer.process_name(SERVER_PID, "topology-server");
+        for &id in self.drivers.keys() {
+            tracer.process_name(camera_pid(id), &format!("{id}"));
+        }
+    }
+
     fn emit(&mut self, record: impl Fn(&mut dyn TelemetrySink)) {
         record(&mut self.telemetry);
+        record(&mut self.obs);
         for sink in &mut self.sinks {
             record(sink.as_mut());
         }
@@ -481,6 +556,10 @@ impl SimWorld {
                 .expect(SIM_SEND);
             for e in &out.events {
                 self.emit(|s| s.on_event(id, e.ground_truth, now));
+                self.obs.observe_event(id, e, now);
+            }
+            for r in &out.reids {
+                self.obs.observe_reid(id, r, now);
             }
         }
     }
@@ -584,6 +663,10 @@ impl SimWorld {
             let out = driver.node_mut().flush(now_ms, roster.as_ref());
             for e in &out.events {
                 self.emit(|s| s.on_event(id, e.ground_truth, now));
+                self.obs.observe_event(id, e, now);
+            }
+            for r in &out.reids {
+                self.obs.observe_reid(id, r, now);
             }
             pending.extend(out.messages);
         }

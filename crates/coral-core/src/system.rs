@@ -1,9 +1,9 @@
 //! The end-to-end Coral-Pie system facade.
 //!
 //! `CoralPieSystem` is a thin shell over the layered runtime: a
-//! [`Deployment`](crate::deploy::Deployment) wires camera nodes, the
+//! [`Deployment`] wires camera nodes, the
 //! topology server and ground-truth traffic onto a simulated network, and a
-//! [`SimRuntime`](crate::runtime::SimRuntime) drives them on the
+//! [`SimRuntime`] drives them on the
 //! discrete-event engine. The facade keeps the one-object API the tests,
 //! examples and experiment binaries use, and collects the telemetry behind
 //! every system experiment in the paper's §5: inform arrival times
@@ -123,6 +123,20 @@ impl CoralPieSystem {
     /// Accumulated telemetry.
     pub fn telemetry(&self) -> &Telemetry {
         self.runtime.world().telemetry()
+    }
+
+    /// The deployment-wide observability bundle: the shared metrics
+    /// registry (protocol counters, stage/storage latency histograms) and
+    /// the per-vehicle causal tracer.
+    pub fn observability(&self) -> &crate::obs::CoreObs {
+        self.runtime.world().observability()
+    }
+
+    /// Turns on per-vehicle causal tracing. Call before
+    /// [`CoralPieSystem::run_until`]; export afterwards with
+    /// `observability().tracer().export_chrome()`.
+    pub fn enable_tracing(&mut self) {
+        self.runtime.world_mut().enable_tracing();
     }
 
     /// Runs the system until `until`.

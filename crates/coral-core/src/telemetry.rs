@@ -8,10 +8,11 @@ use coral_net::Message;
 use coral_sim::{SimDuration, SimTime};
 use coral_topology::CameraId;
 use coral_vision::GroundTruthId;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// An inform-message arrival at a camera (the Fig. 10a measurement).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InformArrival {
     /// Receiving camera.
     pub at: CameraId,
@@ -24,7 +25,7 @@ pub struct InformArrival {
 }
 
 /// A completed failure-recovery measurement (the Fig. 11 metric).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Recovery {
     /// The failed camera.
     pub killed: CameraId,

@@ -23,12 +23,14 @@
 
 pub mod connection;
 pub mod message;
+pub mod metered;
 pub mod socket_group;
 pub mod tcp;
 pub mod transport;
 
 pub use connection::{ConnectionManager, ConnectionStats};
 pub use message::{DetectionEvent, EventId, Message, VertexId};
+pub use metered::Metered;
 pub use socket_group::SocketGroup;
 pub use tcp::{send_to, TcpDirectory, TcpEndpoint, TcpError, TcpTransport};
 pub use transport::{

@@ -1,0 +1,219 @@
+//! A metering decorator over any [`Transport`].
+//!
+//! [`Metered`] wraps a transport and publishes its traffic into a shared
+//! [`coral_obs::Registry`]: envelope and byte counters per peer, send
+//! failures, and the receive-queue depth as a gauge. Because it decorates
+//! the [`Transport`] seam itself, the same instrumentation covers all
+//! three deployment modes (DES, threaded, TCP) without per-impl code.
+
+use crate::transport::{Endpoint, Envelope, SendError, Transport};
+use coral_obs::{Counter, Gauge, Registry};
+use coral_sim::SimTime;
+use std::collections::HashMap;
+
+/// A [`Transport`] decorator that counts envelopes and bytes per peer.
+///
+/// Metric families (all labelled with `endpoint`, this transport's own
+/// identity, and `peer` where applicable):
+///
+/// - `transport_sent_total` / `transport_sent_bytes_total`
+/// - `transport_received_total` / `transport_received_bytes_total`
+/// - `transport_send_errors_total`
+/// - `transport_queue_depth` (gauge, refreshed on every poll)
+#[derive(Debug)]
+pub struct Metered<T> {
+    inner: T,
+    registry: Registry,
+    endpoint_label: String,
+    send_errors: Counter,
+    queue_depth: Gauge,
+    sent_to: HashMap<Endpoint, (Counter, Counter)>,
+    received_from: HashMap<Endpoint, (Counter, Counter)>,
+}
+
+impl<T: Transport> Metered<T> {
+    /// Wraps `inner`, publishing metrics for `endpoint` into `registry`.
+    pub fn new(inner: T, endpoint: Endpoint, registry: &Registry) -> Self {
+        let endpoint_label = endpoint.to_string();
+        let send_errors = registry.counter(
+            "transport_send_errors_total",
+            &[("endpoint", &endpoint_label)],
+        );
+        let queue_depth = registry.gauge("transport_queue_depth", &[("endpoint", &endpoint_label)]);
+        Self {
+            inner,
+            registry: registry.clone(),
+            endpoint_label,
+            send_errors,
+            queue_depth,
+            sent_to: HashMap::new(),
+            received_from: HashMap::new(),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The wrapped transport, mutably.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Unwraps the decorator.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    fn peer_counters<'a>(
+        registry: &Registry,
+        endpoint_label: &str,
+        map: &'a mut HashMap<Endpoint, (Counter, Counter)>,
+        peer: Endpoint,
+        family: &str,
+    ) -> &'a (Counter, Counter) {
+        map.entry(peer).or_insert_with(|| {
+            let peer_label = peer.to_string();
+            let labels = [("endpoint", endpoint_label), ("peer", peer_label.as_str())];
+            (
+                registry.counter(&format!("transport_{family}_total"), &labels),
+                registry.counter(&format!("transport_{family}_bytes_total"), &labels),
+            )
+        })
+    }
+}
+
+impl<T: Transport> Transport for Metered<T> {
+    fn send(&mut self, now: SimTime, envelope: Envelope) -> Result<(), SendError> {
+        let peer = envelope.to;
+        let bytes = envelope.message.encoded_len() as u64;
+        match self.inner.send(now, envelope) {
+            Ok(()) => {
+                let (count, byte_count) = Self::peer_counters(
+                    &self.registry,
+                    &self.endpoint_label,
+                    &mut self.sent_to,
+                    peer,
+                    "sent",
+                );
+                count.inc();
+                byte_count.add(bytes);
+                Ok(())
+            }
+            Err(e) => {
+                self.send_errors.inc();
+                Err(e)
+            }
+        }
+    }
+
+    fn poll(&mut self, now: SimTime) -> Option<Envelope> {
+        let polled = self.inner.poll(now);
+        if let Some(envelope) = &polled {
+            let (count, byte_count) = Self::peer_counters(
+                &self.registry,
+                &self.endpoint_label,
+                &mut self.received_from,
+                envelope.from,
+                "received",
+            );
+            count.inc();
+            byte_count.add(envelope.message.encoded_len() as u64);
+        }
+        self.queue_depth.set(self.inner.queue_depth() as i64);
+        polled
+    }
+
+    fn next_due(&self) -> Option<SimTime> {
+        self.inner.next_due()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.inner.queue_depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::transport::{InProcRouter, InProcTransport};
+    use coral_geo::GeoPoint;
+    use coral_topology::CameraId;
+
+    fn heartbeat(cam: u32) -> Message {
+        Message::Heartbeat {
+            camera: CameraId(cam),
+            position: GeoPoint::new(33.77, -84.39),
+            videoing_angle_deg: 0.0,
+        }
+    }
+
+    fn envelope(from: u32, to: Endpoint) -> Envelope {
+        Envelope {
+            from: Endpoint::Camera(CameraId(from)),
+            to,
+            message: heartbeat(from),
+        }
+    }
+
+    #[test]
+    fn counts_sends_receives_and_queue_depth() {
+        let registry = Registry::new();
+        let router = InProcRouter::new();
+        let server = InProcTransport::attach(&router, Endpoint::TopologyServer);
+        let cam = InProcTransport::attach(&router, Endpoint::Camera(CameraId(0)));
+        let mut server = Metered::new(server, Endpoint::TopologyServer, &registry);
+        let mut cam = Metered::new(cam, Endpoint::Camera(CameraId(0)), &registry);
+
+        for _ in 0..3 {
+            cam.send(SimTime::ZERO, envelope(0, Endpoint::TopologyServer))
+                .unwrap();
+        }
+        assert_eq!(server.queue_depth(), 3);
+        assert!(server.poll(SimTime::ZERO).is_some());
+
+        let sent_labels = [("endpoint", "cam0"), ("peer", "cloud")];
+        assert_eq!(
+            registry.counter_value("transport_sent_total", &sent_labels),
+            Some(3)
+        );
+        let bytes = registry
+            .counter_value("transport_sent_bytes_total", &sent_labels)
+            .unwrap();
+        assert!(bytes > 0, "per-peer byte counter populated");
+
+        let recv_labels = [("endpoint", "cloud"), ("peer", "cam0")];
+        assert_eq!(
+            registry.counter_value("transport_received_total", &recv_labels),
+            Some(1)
+        );
+        // Queue gauge refreshed after the poll: two envelopes still queued.
+        let prom = registry.render_prometheus();
+        assert!(prom.contains("transport_queue_depth{endpoint=\"cloud\"} 2"));
+    }
+
+    #[test]
+    fn send_errors_are_counted() {
+        let registry = Registry::new();
+        let router = InProcRouter::new();
+        let cam = InProcTransport::attach(&router, Endpoint::Camera(CameraId(0)));
+        let mut cam = Metered::new(cam, Endpoint::Camera(CameraId(0)), &registry);
+        assert!(cam
+            .send(SimTime::ZERO, envelope(0, Endpoint::Camera(CameraId(9))))
+            .is_err());
+        assert_eq!(
+            registry.counter_value("transport_send_errors_total", &[("endpoint", "cam0")]),
+            Some(1)
+        );
+        // Failed sends do not create peer counters.
+        assert_eq!(
+            registry.counter_value(
+                "transport_sent_total",
+                &[("endpoint", "cam0"), ("peer", "cam9")]
+            ),
+            None
+        );
+    }
+}

@@ -305,6 +305,10 @@ impl Transport for TcpTransport {
     fn poll(&mut self, _now: SimTime) -> Option<Envelope> {
         self.listener.receiver().try_recv().ok()
     }
+
+    fn queue_depth(&self) -> usize {
+        self.listener.receiver().len()
+    }
 }
 
 #[cfg(test)]

@@ -131,6 +131,13 @@ pub trait Transport {
     fn next_due(&self) -> Option<SimTime> {
         None
     }
+
+    /// Number of envelopes waiting to be polled by this endpoint
+    /// (including, for simulated transports, ones not yet due).
+    /// Transports without visibility into their backlog return 0.
+    fn queue_depth(&self) -> usize {
+        0
+    }
 }
 
 /// Latency hook of a [`SimNet`]: charges each envelope a delivery delay.
@@ -307,6 +314,14 @@ impl Transport for SimTransport {
     fn next_due(&self) -> Option<SimTime> {
         self.core.lock().next_due(Some(self.endpoint))
     }
+
+    fn queue_depth(&self) -> usize {
+        self.core
+            .lock()
+            .mailboxes
+            .get(&self.endpoint)
+            .map_or(0, BinaryHeap::len)
+    }
 }
 
 /// One endpoint's handle onto an [`InProcRouter`] — the threaded
@@ -349,6 +364,10 @@ impl Transport for InProcTransport {
 
     fn poll(&mut self, _now: SimTime) -> Option<Envelope> {
         self.rx.try_recv().ok()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.rx.len()
     }
 }
 

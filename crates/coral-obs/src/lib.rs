@@ -1,0 +1,74 @@
+//! Workspace-wide observability for the Coral-Pie reproduction.
+//!
+//! Every evaluation in the paper (§5: inform latency, recovery time,
+//! per-stage timings) is a *measurement over a distributed pipeline*, so
+//! this crate provides the shared instrumentation substrate the rest of
+//! the workspace threads through:
+//!
+//! - [`Registry`] — named [`Counter`]s, [`Gauge`]s and log-scale
+//!   [`Histogram`]s cheap enough for per-frame hot paths, with snapshot
+//!   export to JSON ([`Registry::snapshot_json`]) and the Prometheus text
+//!   format ([`Registry::render_prometheus`]).
+//! - [`Tracer`] — structured spans/events stamped with both sim-time and
+//!   wall-time, exported as Chrome `trace_event` JSON
+//!   ([`Tracer::export_chrome`]) for chrome://tracing / Perfetto. The
+//!   per-vehicle causal traces in `coral-core` map cameras to trace
+//!   processes and vehicles to trace threads, so one timeline row shows
+//!   one vehicle flowing detect → track → feature-extract → inform →
+//!   transport hop → re-id → store across cameras.
+//! - [`json`] — the minimal JSON writer/parser both exporters are built
+//!   on, so the crate stays dependency-free and the exports stay
+//!   byte-deterministic.
+//!
+//! The crate deliberately knows nothing about cameras, vehicles or
+//! simulation types: identities are plain strings and `u64`s, and the
+//! domain crates adapt their ids at the instrumentation sites.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use registry::{
+    bucket_bound_us, Counter, Gauge, Histogram, LocalHistogram, MetricKey, Registry,
+    HISTOGRAM_BUCKETS,
+};
+pub use trace::{ArgValue, TraceEvent, Tracer};
+
+/// The bundle of observability handles one deployment shares: a metrics
+/// registry plus a trace recorder. Cloning shares both.
+#[derive(Debug, Clone, Default)]
+pub struct Observability {
+    /// The shared metrics registry.
+    pub registry: Registry,
+    /// The shared trace recorder (disabled until enabled).
+    pub tracer: Tracer,
+}
+
+impl Observability {
+    /// Creates a fresh bundle with tracing disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables (or disables) trace recording.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracer.set_enabled(on);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundle_shares_state_across_clones() {
+        let obs = Observability::new();
+        let other = obs.clone();
+        other.registry.counter("x", &[]).inc();
+        assert_eq!(obs.registry.counter_value("x", &[]), Some(1));
+        obs.set_tracing(true);
+        assert!(other.tracer.is_enabled());
+    }
+}

@@ -1,0 +1,419 @@
+//! Structured trace layer with Chrome `trace_event` export.
+//!
+//! Events are stamped with both clocks: `ts` carries **simulation time**
+//! (microseconds, the coordinate chrome://tracing / Perfetto lays out on
+//! its timeline) and every event additionally records `wall_us`
+//! (microseconds of host wall-clock since the tracer was created) in its
+//! `args`. Per-vehicle causal traces use the Chrome process/thread axes:
+//! the caller maps each camera (and the storage server) to a `pid` and
+//! each vehicle to a `tid`, so one row in the viewer reads as one vehicle
+//! moving through one camera's pipeline.
+//!
+//! The tracer is disabled by default; [`Tracer::is_enabled`] is a single
+//! relaxed atomic load so instrumented hot paths cost nothing when tracing
+//! is off.
+
+use crate::json::{number, quote};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A value attached to a trace event's `args` object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One recorded trace event (Chrome `trace_event` shape).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (the label shown on the timeline slice).
+    pub name: String,
+    /// Category, e.g. `vehicle` or `runtime`.
+    pub cat: String,
+    /// Phase: `X` complete, `i` instant, `M` metadata.
+    pub ph: char,
+    /// Simulation timestamp in microseconds.
+    pub ts_us: u64,
+    /// Duration in simulation microseconds (complete events only).
+    pub dur_us: Option<u64>,
+    /// Process id (camera / server axis).
+    pub pid: u64,
+    /// Thread id (vehicle axis for causal traces).
+    pub tid: u64,
+    /// Extra key/value payload; always includes `wall_us`.
+    pub args: Vec<(String, ArgValue)>,
+}
+
+struct TracerState {
+    events: Vec<TraceEvent>,
+    process_names: BTreeMap<u64, String>,
+    thread_names: BTreeMap<(u64, u64), String>,
+}
+
+struct TracerShared {
+    enabled: AtomicBool,
+    epoch: Instant,
+    state: Mutex<TracerState>,
+}
+
+/// A shared, clonable trace recorder.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerShared>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("events", &self.len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Creates a tracer, **disabled** until [`Tracer::set_enabled`].
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(TracerShared {
+                enabled: AtomicBool::new(false),
+                epoch: Instant::now(),
+                state: Mutex::new(TracerState {
+                    events: Vec::new(),
+                    process_names: BTreeMap::new(),
+                    thread_names: BTreeMap::new(),
+                }),
+            }),
+        }
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether events are currently recorded (one relaxed atomic load).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Number of recorded events (metadata rows excluded).
+    pub fn len(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("tracer poisoned")
+            .events
+            .len()
+    }
+
+    /// True when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Wall-clock microseconds since the tracer was created.
+    pub fn wall_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Names a Chrome-trace process row (camera or server).
+    pub fn process_name(&self, pid: u64, name: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut g = self.inner.state.lock().expect("tracer poisoned");
+        g.process_names.insert(pid, name.to_string());
+    }
+
+    /// Names a Chrome-trace thread row (a vehicle within a camera).
+    pub fn thread_name(&self, pid: u64, tid: u64, name: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut g = self.inner.state.lock().expect("tracer poisoned");
+        g.thread_names
+            .entry((pid, tid))
+            .or_insert_with(|| name.to_string());
+    }
+
+    /// Records a complete (`ph:"X"`) span at sim time `ts_us` lasting
+    /// `dur_us` sim microseconds.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: u64,
+        dur_us: u64,
+        args: &[(&str, ArgValue)],
+    ) {
+        self.record('X', name, cat, pid, tid, ts_us, Some(dur_us), args);
+    }
+
+    /// Records an instant (`ph:"i"`) event at sim time `ts_us`.
+    pub fn instant(
+        &self,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: u64,
+        args: &[(&str, ArgValue)],
+    ) {
+        self.record('i', name, cat, pid, tid, ts_us, None, args);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &self,
+        ph: char,
+        name: &str,
+        cat: &str,
+        pid: u64,
+        tid: u64,
+        ts_us: u64,
+        dur_us: Option<u64>,
+        args: &[(&str, ArgValue)],
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let wall = self.wall_us();
+        let mut all_args: Vec<(String, ArgValue)> = Vec::with_capacity(args.len() + 1);
+        all_args.push(("wall_us".to_string(), ArgValue::U64(wall)));
+        for (k, v) in args {
+            all_args.push(((*k).to_string(), v.clone()));
+        }
+        let ev = TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph,
+            ts_us,
+            dur_us,
+            pid,
+            tid,
+            args: all_args,
+        };
+        self.inner
+            .state
+            .lock()
+            .expect("tracer poisoned")
+            .events
+            .push(ev);
+    }
+
+    /// Runs `f` over every recorded event, in recording order.
+    pub fn for_each(&self, mut f: impl FnMut(&TraceEvent)) {
+        let g = self.inner.state.lock().expect("tracer poisoned");
+        for ev in &g.events {
+            f(ev);
+        }
+    }
+
+    /// Exports everything as a Chrome `trace_event` JSON array, sorted by
+    /// `ts` (stable on ties), with `M` metadata rows naming processes and
+    /// threads first.
+    pub fn export_chrome(&self) -> String {
+        let g = self.inner.state.lock().expect("tracer poisoned");
+        let mut out = String::from("[");
+        let mut first = true;
+        for (pid, name) in &g.process_names {
+            push_sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": 0, \"args\": {{\"name\": {}}}}}",
+                quote(name)
+            );
+        }
+        for ((pid, tid), name) in &g.thread_names {
+            push_sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {pid}, \"tid\": {tid}, \"args\": {{\"name\": {}}}}}",
+                quote(name)
+            );
+        }
+        let mut order: Vec<usize> = (0..g.events.len()).collect();
+        order.sort_by_key(|&i| (g.events[i].ts_us, i));
+        for i in order {
+            let ev = &g.events[i];
+            push_sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\": {}, \"cat\": {}, \"ph\": \"{}\", \"ts\": {}, ",
+                quote(&ev.name),
+                quote(&ev.cat),
+                ev.ph,
+                ev.ts_us
+            );
+            if let Some(dur) = ev.dur_us {
+                let _ = write!(out, "\"dur\": {dur}, ");
+            }
+            let _ = write!(
+                out,
+                "\"pid\": {}, \"tid\": {}, \"args\": {{",
+                ev.pid, ev.tid
+            );
+            for (j, (k, v)) in ev.args.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&quote(k));
+                out.push_str(": ");
+                match v {
+                    ArgValue::U64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    ArgValue::F64(x) => out.push_str(&number(*x)),
+                    ArgValue::Str(s) => out.push_str(&quote(s)),
+                }
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if !*first {
+        out.push_str(",\n ");
+    } else {
+        out.push('\n');
+    }
+    *first = false;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new();
+        t.complete("Detect", "vehicle", 1, 7, 100, 10, &[]);
+        t.instant("Inform", "vehicle", 1, 7, 110, &[]);
+        assert!(t.is_empty());
+        assert_eq!(t.export_chrome().trim(), "[]");
+    }
+
+    #[test]
+    fn export_is_valid_chrome_json() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.process_name(1, "camera-0");
+        t.thread_name(1, 7, "vehicle-7");
+        t.complete(
+            "Detect",
+            "vehicle",
+            1,
+            7,
+            200,
+            50,
+            &[("camera", ArgValue::U64(0))],
+        );
+        t.instant(
+            "InformSend",
+            "vehicle",
+            1,
+            7,
+            120,
+            &[("to", "cam-1".into())],
+        );
+
+        let json = t.export_chrome();
+        let doc = parse(&json).unwrap();
+        let events = doc.as_array().unwrap();
+        assert_eq!(events.len(), 4); // 2 metadata + 2 events
+
+        // Metadata first.
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            events[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("camera-0")
+        );
+        // Non-metadata events are sorted by ts: instant (120) before complete (200).
+        assert_eq!(events[2].get("name").unwrap().as_str(), Some("InformSend"));
+        assert_eq!(events[2].get("ts").unwrap().as_u64(), Some(120));
+        let detect = &events[3];
+        assert_eq!(detect.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(detect.get("dur").unwrap().as_u64(), Some(50));
+        assert_eq!(detect.get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(detect.get("tid").unwrap().as_u64(), Some(7));
+        // Both clocks present.
+        assert!(detect
+            .get("args")
+            .unwrap()
+            .get("wall_us")
+            .unwrap()
+            .as_u64()
+            .is_some());
+        assert_eq!(
+            detect.get("args").unwrap().get("camera").unwrap().as_u64(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        let mut handles = Vec::new();
+        for pid in 0..4u64 {
+            let tt = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    tt.complete("S", "c", pid, i, i, 1, &[]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 400);
+        assert!(parse(&t.export_chrome()).is_ok());
+    }
+}

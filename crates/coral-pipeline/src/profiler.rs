@@ -1,5 +1,14 @@
 //! Latency and throughput statistics for pipeline runs.
+//!
+//! [`LatencyStats`] keeps the raw sample list (so quantiles are exact and
+//! interpolated, which matters at the small sample counts of a short run)
+//! while simultaneously folding every sample into a
+//! [`coral_obs::LocalHistogram`], the workspace-shared log-scale
+//! aggregation. [`RunReport::export_registry`] publishes the per-stage
+//! histograms into a [`coral_obs::Registry`] so pipeline timings appear in
+//! the same Prometheus/JSON snapshots as transport and storage metrics.
 
+use coral_obs::{LocalHistogram, Registry};
 use std::time::Duration;
 
 /// Collects duration samples and summarises them.
@@ -7,6 +16,7 @@ use std::time::Duration;
 pub struct LatencyStats {
     samples_us: Vec<u64>,
     sorted: bool,
+    histogram: LocalHistogram,
 }
 
 impl LatencyStats {
@@ -17,7 +27,9 @@ impl LatencyStats {
 
     /// Records one sample.
     pub fn record(&mut self, d: Duration) {
-        self.samples_us.push(d.as_micros() as u64);
+        let us = d.as_micros() as u64;
+        self.samples_us.push(us);
+        self.histogram.observe_us(us);
         self.sorted = false;
     }
 
@@ -28,14 +40,15 @@ impl LatencyStats {
 
     /// Mean in milliseconds, or 0 with no samples.
     pub fn mean_ms(&self) -> f64 {
-        if self.samples_us.is_empty() {
-            return 0.0;
-        }
-        let sum: u64 = self.samples_us.iter().sum();
-        sum as f64 / self.samples_us.len() as f64 / 1_000.0
+        self.histogram.mean_us() / 1_000.0
     }
 
     /// The `q`-quantile (0..=1) in milliseconds, or 0 with no samples.
+    ///
+    /// Uses linear interpolation between the two adjacent order
+    /// statistics (the "R-7" rule used by numpy's default percentile), so
+    /// small sample counts yield stable values instead of snapping to the
+    /// nearest rank.
     pub fn quantile_ms(&mut self, q: f64) -> f64 {
         if self.samples_us.is_empty() {
             return 0.0;
@@ -44,8 +57,12 @@ impl LatencyStats {
             self.samples_us.sort_unstable();
             self.sorted = true;
         }
-        let idx = ((self.samples_us.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        self.samples_us[idx] as f64 / 1_000.0
+        let h = (self.samples_us.len() - 1) as f64 * q.clamp(0.0, 1.0);
+        let lo = h.floor() as usize;
+        let frac = h - lo as f64;
+        let low = self.samples_us[lo] as f64;
+        let high = self.samples_us[(lo + 1).min(self.samples_us.len() - 1)] as f64;
+        (low + frac * (high - low)) / 1_000.0
     }
 
     /// Median in milliseconds.
@@ -66,6 +83,16 @@ impl LatencyStats {
     /// Maximum in milliseconds.
     pub fn max_ms(&self) -> f64 {
         self.samples_us.iter().max().copied().unwrap_or(0) as f64 / 1_000.0
+    }
+
+    /// The shared log-scale aggregation of all recorded samples.
+    pub fn histogram(&self) -> &LocalHistogram {
+        &self.histogram
+    }
+
+    /// Folds this collector's samples into a shared registry histogram.
+    pub fn merge_into(&self, shared: &coral_obs::Histogram) {
+        shared.merge_local(&self.histogram);
     }
 }
 
@@ -89,6 +116,20 @@ impl RunReport {
             return 0.0;
         }
         self.items as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Publishes the run into `registry`: per-stage service-time
+    /// histograms (`pipeline_stage_latency_us{stage=...}`), the
+    /// end-to-end latency histogram, and an item counter.
+    pub fn export_registry(&self, registry: &Registry) {
+        for (name, stats) in &self.stage_stats {
+            stats.merge_into(&registry.histogram("pipeline_stage_latency_us", &[("stage", name)]));
+        }
+        self.end_to_end
+            .merge_into(&registry.histogram("pipeline_end_to_end_latency_us", &[]));
+        registry
+            .counter("pipeline_items_total", &[])
+            .add(self.items as u64);
     }
 }
 
@@ -122,15 +163,50 @@ mod tests {
     }
 
     #[test]
-    fn quantiles_after_more_records() {
+    fn quantiles_interpolate_between_samples() {
         let mut s = LatencyStats::new();
         s.record(Duration::from_millis(10));
         let _ = s.p50_ms(); // triggers sort
         s.record(Duration::from_millis(1)); // must re-sort
-        let p50 = s.p50_ms();
-        assert!(p50 == 1.0 || p50 == 10.0, "p50 = {p50}");
+                                            // p50 of {1, 10} interpolates to the midpoint.
+        assert!((s.p50_ms() - 5.5).abs() < 1e-9, "p50 = {}", s.p50_ms());
         assert!((s.quantile_ms(0.0) - 1.0).abs() < 1e-9, "re-sort failed");
         assert!((s.min_ms() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_quantiles_are_pinned() {
+        // Samples 1..=4 ms: h = 3q, v = s[lo] + frac*(s[lo+1]-s[lo]).
+        let mut s = LatencyStats::new();
+        for ms in [1u64, 2, 3, 4] {
+            s.record(Duration::from_millis(ms));
+        }
+        assert!((s.quantile_ms(0.25) - 1.75).abs() < 1e-9);
+        assert!((s.quantile_ms(0.5) - 2.5).abs() < 1e-9);
+        assert!((s.quantile_ms(0.75) - 3.25).abs() < 1e-9);
+        assert!((s.quantile_ms(0.99) - 3.97).abs() < 1e-9);
+        // A single sample answers every quantile with itself.
+        let mut one = LatencyStats::new();
+        one.record(Duration::from_millis(7));
+        assert!((one.quantile_ms(0.0) - 7.0).abs() < 1e-9);
+        assert!((one.quantile_ms(0.5) - 7.0).abs() < 1e-9);
+        assert!((one.quantile_ms(1.0) - 7.0).abs() < 1e-9);
+        // Out-of-range q clamps instead of indexing out of bounds.
+        assert!((s.quantile_ms(1.5) - 4.0).abs() < 1e-9);
+        assert!((s.quantile_ms(-0.5) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_mirror_tracks_samples() {
+        let mut s = LatencyStats::new();
+        for ms in [1u64, 2, 4] {
+            s.record(Duration::from_millis(ms));
+        }
+        assert_eq!(s.histogram().count(), 3);
+        assert_eq!(s.histogram().sum_us(), 7_000);
+        let shared = coral_obs::Histogram::default();
+        s.merge_into(&shared);
+        assert_eq!(shared.count(), 3);
     }
 
     #[test]
@@ -142,5 +218,37 @@ mod tests {
             end_to_end: LatencyStats::new(),
         };
         assert!((report.throughput_per_s() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_exports_to_registry() {
+        let mut detect = LatencyStats::new();
+        detect.record(Duration::from_millis(3));
+        detect.record(Duration::from_millis(5));
+        let mut e2e = LatencyStats::new();
+        e2e.record(Duration::from_millis(9));
+        let report = RunReport {
+            items: 2,
+            wall: Duration::from_secs(1),
+            stage_stats: vec![("detect".to_string(), detect)],
+            end_to_end: e2e,
+        };
+        let registry = Registry::new();
+        report.export_registry(&registry);
+        assert_eq!(registry.counter_value("pipeline_items_total", &[]), Some(2));
+        assert_eq!(
+            registry
+                .histogram("pipeline_stage_latency_us", &[("stage", "detect")])
+                .count(),
+            2
+        );
+        assert_eq!(
+            registry
+                .histogram("pipeline_end_to_end_latency_us", &[])
+                .count(),
+            1
+        );
+        let prom = registry.render_prometheus();
+        assert!(prom.contains("pipeline_stage_latency_us_bucket{stage=\"detect\""));
     }
 }

@@ -1,7 +1,7 @@
 //! Camera failure injection.
 //!
-//! The paper's fault-tolerance study "simulate[s] 37 cameras deployed
-//! around the campus and kill[s] 10 randomly chosen cameras successively to
+//! The paper's fault-tolerance study "simulate\[s\] 37 cameras deployed
+//! around the campus and kill\[s\] 10 randomly chosen cameras successively to
 //! measure the time that it takes for all affected cameras to get the
 //! correct topology update" (§5.4, Fig. 11). This module produces those
 //! kill schedules.

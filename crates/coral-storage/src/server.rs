@@ -3,7 +3,8 @@
 //!
 //! "A given Edge node may serve as the persistent store for a small set of
 //! cameras in the same geographical neighborhood" (paper §4.2). Camera
-//! nodes hold a [`StorageClient`] handle; the multi-threaded examples share
+//! nodes hold a `StorageClient` handle (defined in `coral-core`); the
+//! multi-threaded examples share
 //! one [`EdgeStorageNode`] across camera threads, while the discrete-event
 //! experiments call it directly with simulated latency.
 
@@ -12,16 +13,30 @@ use crate::graph::{GraphError, TrajectoryGraph};
 use crate::query::{trajectory, QueryOptions, TrajectoryQueryResult};
 use coral_geo::Heading;
 use coral_net::{EventId, VertexId};
+use coral_obs::{Histogram, Registry};
 use coral_topology::CameraId;
 use coral_vision::{ColorHistogram, GroundTruthId};
 use parking_lot::RwLock;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-operation latency histograms for an instrumented storage node.
+#[derive(Debug, Clone)]
+struct StorageMetrics {
+    insert_event: Histogram,
+    insert_edge: Histogram,
+    ingest_frame: Histogram,
+    query_trajectory: Histogram,
+}
 
 /// A shared edge storage node.
 #[derive(Debug, Clone)]
 pub struct EdgeStorageNode {
     graph: Arc<RwLock<TrajectoryGraph>>,
     frames: Arc<RwLock<FrameStore>>,
+    // Shared across clones so `instrument` can be called after camera
+    // threads already hold their handles.
+    metrics: Arc<RwLock<Option<StorageMetrics>>>,
 }
 
 impl EdgeStorageNode {
@@ -31,6 +46,41 @@ impl EdgeStorageNode {
         Self {
             graph: Arc::new(RwLock::new(TrajectoryGraph::new())),
             frames: Arc::new(RwLock::new(FrameStore::new(frame_capacity_per_camera))),
+            metrics: Arc::new(RwLock::new(None)),
+        }
+    }
+
+    /// Starts publishing per-operation write/query latencies into
+    /// `registry` (histograms `storage_write_latency_us{op=...}` and
+    /// `storage_query_latency_us{op=...}`). Affects every clone of this
+    /// node, including handles created before the call.
+    pub fn instrument(&self, registry: &Registry) {
+        *self.metrics.write() = Some(StorageMetrics {
+            insert_event: registry.histogram("storage_write_latency_us", &[("op", "insert_event")]),
+            insert_edge: registry.histogram("storage_write_latency_us", &[("op", "insert_edge")]),
+            ingest_frame: registry.histogram("storage_write_latency_us", &[("op", "ingest_frame")]),
+            query_trajectory: registry
+                .histogram("storage_query_latency_us", &[("op", "query_trajectory")]),
+        });
+    }
+
+    /// Runs `f`, timing it into the histogram chosen by `select` when the
+    /// node is instrumented. The metrics lock is released before `f` runs
+    /// so the measured interval covers only the storage operation.
+    fn timed<R>(
+        &self,
+        select: impl FnOnce(&StorageMetrics) -> &Histogram,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let hist = self.metrics.read().as_ref().map(|m| select(m).clone());
+        match hist {
+            Some(h) => {
+                let start = Instant::now();
+                let r = f();
+                h.observe(start.elapsed());
+                r
+            }
+            None => f(),
         }
     }
 
@@ -43,9 +93,18 @@ impl EdgeStorageNode {
         heading: Option<Heading>,
         ground_truth: Option<GroundTruthId>,
     ) -> VertexId {
-        self.graph
-            .write()
-            .insert_event(event, first_seen_ms, last_seen_ms, heading, ground_truth)
+        self.timed(
+            |m| &m.insert_event,
+            || {
+                self.graph.write().insert_event(
+                    event,
+                    first_seen_ms,
+                    last_seen_ms,
+                    heading,
+                    ground_truth,
+                )
+            },
+        )
     }
 
     /// Inserts a vertex carrying its appearance signature.
@@ -58,13 +117,18 @@ impl EdgeStorageNode {
         signature: Option<ColorHistogram>,
         ground_truth: Option<GroundTruthId>,
     ) -> VertexId {
-        self.graph.write().insert_event_with_signature(
-            event,
-            first_seen_ms,
-            last_seen_ms,
-            heading,
-            signature,
-            ground_truth,
+        self.timed(
+            |m| &m.insert_event,
+            || {
+                self.graph.write().insert_event_with_signature(
+                    event,
+                    first_seen_ms,
+                    last_seen_ms,
+                    heading,
+                    signature,
+                    ground_truth,
+                )
+            },
         )
     }
 
@@ -87,7 +151,10 @@ impl EdgeStorageNode {
     ///
     /// Propagates [`GraphError`] for invalid endpoints or weights.
     pub fn insert_edge(&self, from: VertexId, to: VertexId, weight: f64) -> Result<(), GraphError> {
-        self.graph.write().insert_edge(from, to, weight)
+        self.timed(
+            |m| &m.insert_edge,
+            || self.graph.write().insert_edge(from, to, weight),
+        )
     }
 
     /// Runs a trajectory query.
@@ -100,7 +167,10 @@ impl EdgeStorageNode {
         seed: VertexId,
         opts: QueryOptions,
     ) -> Result<TrajectoryQueryResult, GraphError> {
-        trajectory(&self.graph.read(), seed, opts)
+        self.timed(
+            |m| &m.query_trajectory,
+            || trajectory(&self.graph.read(), seed, opts),
+        )
     }
 
     /// The vertex for `event`, if stored.
@@ -110,7 +180,10 @@ impl EdgeStorageNode {
 
     /// Ingests a frame with annotations.
     pub fn ingest_frame(&self, camera: CameraId, frame: StoredFrame) {
-        self.frames.write().ingest(camera, frame);
+        self.timed(
+            |m| &m.ingest_frame,
+            || self.frames.write().ingest(camera, frame),
+        );
     }
 
     /// Runs `f` with read access to the trajectory graph (bulk analytics
@@ -197,6 +270,37 @@ mod tests {
             .query_trajectory(seed, QueryOptions::default())
             .unwrap();
         assert_eq!(r.best_track().len(), 50);
+    }
+
+    #[test]
+    fn instrument_times_writes_across_clones() {
+        let node = EdgeStorageNode::default();
+        // Clone first: instrumentation must still reach this handle.
+        let handle = node.clone();
+        let registry = Registry::new();
+        node.instrument(&registry);
+        let a = handle.insert_event(eid(0, 1), 0, 10, None, None);
+        let b = handle.insert_event(eid(1, 2), 20, 30, None, None);
+        handle.insert_edge(a, b, 0.2).unwrap();
+        handle.query_trajectory(a, QueryOptions::default()).unwrap();
+        assert_eq!(
+            registry
+                .histogram("storage_write_latency_us", &[("op", "insert_event")])
+                .count(),
+            2
+        );
+        assert_eq!(
+            registry
+                .histogram("storage_write_latency_us", &[("op", "insert_edge")])
+                .count(),
+            1
+        );
+        assert_eq!(
+            registry
+                .histogram("storage_query_latency_us", &[("op", "query_trajectory")])
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@
 pub use coral_core as core;
 pub use coral_geo as geo;
 pub use coral_net as net;
+pub use coral_obs as obs;
 pub use coral_pipeline as pipeline;
 pub use coral_sim as sim;
 pub use coral_storage as storage;
