@@ -25,6 +25,11 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The network layer must never panic on a send path: deny unwrap in
+# non-test coral-net code (--lib excludes #[cfg(test)] modules).
+echo "==> cargo clippy -p coral-net --lib (deny unwrap_used)"
+cargo clippy -p coral-net --lib -- -D warnings -D clippy::unwrap-used
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -38,5 +43,12 @@ cargo test -q -p coral-obs
 
 echo "==> cargo test -q"
 cargo test -q
+
+# Seeded chaos matrix: the self-healing bound must hold under every
+# pinned fault seed (each test wires a different FaultPlan seed).
+for seed in a b c; do
+    echo "==> chaos matrix: fault seed ${seed}"
+    cargo test -q --test chaos_self_healing "chaos_recovery_seed_${seed}"
+done
 
 echo "==> ci.sh: all green"

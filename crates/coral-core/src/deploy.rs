@@ -9,9 +9,9 @@
 //! actors to their own transports.
 
 use crate::node::{CameraNode, NodeConfig};
-use crate::runtime::{NodeDriver, SimRuntime, SimWorld};
+use crate::runtime::{sim_link, NodeDriver, SimRuntime, SimWorld};
 use coral_geo::{GeoPoint, IntersectionId, RoadNetwork};
-use coral_net::{Endpoint, SimNet};
+use coral_net::{Endpoint, FaultPlan, RetryPolicy, SimNet};
 use coral_sim::{CameraView, LinkProfile, SimDuration, TrafficConfig, TrafficModel};
 use coral_storage::EdgeStorageNode;
 use coral_topology::{CameraId, MdcsOptions, ServerConfig, TopologyServer};
@@ -46,6 +46,13 @@ pub struct SystemConfig {
     pub image_height: u32,
     /// Replace MDCS routing with broadcast flooding (the §5.3 baseline).
     pub broadcast: bool,
+    /// Seeded fault injection on every link (chaos testing). `None` keeps
+    /// the fault layer a verbatim passthrough.
+    pub faults: Option<FaultPlan>,
+    /// At-least-once delivery (sequence numbers, acks, bounded
+    /// retransmission with backoff) on every link. `None` keeps the
+    /// reliability layer a verbatim passthrough.
+    pub reliability: Option<RetryPolicy>,
     /// Master seed for all stochastic components.
     pub seed: u64,
 }
@@ -65,6 +72,8 @@ impl Default for SystemConfig {
             image_width: 200,
             image_height: 160,
             broadcast: false,
+            faults: None,
+            reliability: None,
             seed: 42,
         }
     }
@@ -219,7 +228,9 @@ impl Deployment {
             let node = self
                 .make_node(id, storage.clone())
                 .expect("placement exists");
-            drivers.insert(id, NodeDriver::new(node, net.handle(Endpoint::Camera(id))));
+            let endpoint = Endpoint::Camera(id);
+            let link = sim_link(&self.config, net.handle(endpoint), endpoint);
+            drivers.insert(id, NodeDriver::new(node, link));
         }
         let world = SimWorld::new(self.config, net, server, storage, traffic, drivers);
         SimRuntime::launch(world, &join_order)

@@ -252,6 +252,10 @@ impl CameraNode {
                 Vec::new()
             }
             Message::Heartbeat { .. } => Vec::new(), // cameras do not receive heartbeats
+            // Reliable-delivery framing is normally stripped by the
+            // transport; unwrap defensively if a raw frame reaches us.
+            Message::Sequenced { payload, .. } => self.on_message(*payload, now_ms),
+            Message::Ack { .. } => Vec::new(), // transport-internal traffic
         }
     }
 

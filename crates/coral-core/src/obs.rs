@@ -343,6 +343,9 @@ impl TelemetrySink for CoreObs {
             Message::Confirm { .. } => self.delivered_confirms.inc(),
             Message::TopologyUpdate(_) => self.delivered_updates.inc(),
             Message::Heartbeat { .. } => {}
+            // Reliable-delivery framing is transport-internal and stripped
+            // before delivery; raw frames carry no protocol telemetry.
+            Message::Sequenced { .. } | Message::Ack { .. } => {}
         }
     }
 

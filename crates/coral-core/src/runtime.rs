@@ -15,9 +15,12 @@ use crate::metrics::Passage;
 use crate::node::{CameraNode, FrameOutput};
 use crate::obs::{camera_pid, CoreObs, NodeObs, ServerObs, SERVER_PID};
 use crate::telemetry::{Recovery, Telemetry, TelemetrySink};
-use coral_net::{Endpoint, Envelope, Message, SendError, SimNet, SimTransport, Transport};
+use coral_net::{
+    Endpoint, Envelope, FaultyTransport, Message, ReliableTransport, SendError, SimNet,
+    SimTransport, Transport,
+};
 use coral_sim::engine::{Action, Context};
-use coral_sim::{Engine, PoissonArrivals, SimTime, TrafficModel};
+use coral_sim::{Engine, PoissonArrivals, SimDuration, SimTime, TrafficModel};
 use coral_storage::EdgeStorageNode;
 use coral_topology::{CameraId, MdcsUpdate, TopologyServer};
 use coral_vision::{GroundTruthId, Scene};
@@ -355,6 +358,44 @@ impl<T: Transport> ServerDriver<T> {
     }
 }
 
+/// The concrete transport stack of every DES endpoint: at-least-once
+/// delivery over fault injection over the simulated network. Both
+/// decorator layers are exact passthroughs unless enabled in
+/// [`SystemConfig`] (`reliability` / `faults`), so the default stack is
+/// bit-identical to a bare [`SimTransport`].
+pub type SimLink = ReliableTransport<FaultyTransport<SimTransport>>;
+
+/// Seed-mixing constant decorrelating retransmission jitter from the
+/// other seeded components.
+const RELIABILITY_SEED_MIX: u64 = 0x0ac4_ed15;
+
+/// Stable per-endpoint seed component for the reliability jitter RNG.
+fn endpoint_seed(endpoint: Endpoint) -> u64 {
+    match endpoint {
+        Endpoint::Camera(c) => 1 + (u64::from(c.0) << 8),
+        Endpoint::TopologyServer => 2,
+        Endpoint::EdgeStore(i) => 3 + (u64::from(i) << 8),
+    }
+}
+
+/// Builds the [`SimLink`] stack for `endpoint` per the deployment config:
+/// each layer is live when configured, a verbatim passthrough otherwise.
+pub(crate) fn sim_link(config: &SystemConfig, raw: SimTransport, endpoint: Endpoint) -> SimLink {
+    let faulty = match &config.faults {
+        Some(plan) => FaultyTransport::new(raw, endpoint, plan.clone()),
+        None => FaultyTransport::transparent(raw, endpoint),
+    };
+    match &config.reliability {
+        Some(policy) => ReliableTransport::new(
+            faulty,
+            endpoint,
+            policy.clone(),
+            config.seed ^ RELIABILITY_SEED_MIX ^ endpoint_seed(endpoint),
+        ),
+        None => ReliableTransport::passthrough(faulty, endpoint),
+    }
+}
+
 #[derive(Debug)]
 struct RecoveryTracker {
     killed: CameraId,
@@ -370,11 +411,11 @@ struct RecoveryTracker {
 pub struct SimWorld {
     config: SystemConfig,
     net: SimNet,
-    server: ServerDriver<SimTransport>,
+    server: ServerDriver<SimLink>,
     storage: EdgeStorageNode,
     traffic: TrafficModel,
     arrivals: Option<PoissonArrivals>,
-    drivers: BTreeMap<CameraId, NodeDriver<SimTransport>>,
+    drivers: BTreeMap<CameraId, NodeDriver<SimLink>>,
     alive: BTreeSet<CameraId>,
     roster: BTreeSet<CameraId>,
     last_traffic_step: SimTime,
@@ -406,7 +447,7 @@ impl SimWorld {
         server: TopologyServer,
         storage: EdgeStorageNode,
         traffic: TrafficModel,
-        mut drivers: BTreeMap<CameraId, NodeDriver<SimTransport>>,
+        mut drivers: BTreeMap<CameraId, NodeDriver<SimLink>>,
     ) -> Self {
         let roster: BTreeSet<CameraId> = drivers.keys().copied().collect();
         let obs = CoreObs::new();
@@ -414,8 +455,33 @@ impl SimWorld {
         for (&id, driver) in drivers.iter_mut() {
             driver.set_obs(NodeObs::new(&obs, id));
         }
-        let mut server = ServerDriver::new(server, net.handle(Endpoint::TopologyServer));
+        let mut server = ServerDriver::new(
+            server,
+            sim_link(
+                &config,
+                net.handle(Endpoint::TopologyServer),
+                Endpoint::TopologyServer,
+            ),
+        );
         server.set_obs(ServerObs::new(&obs));
+        // Chaos and retry counters, published only when the corresponding
+        // layer is live (passthrough layers would just pin zeros into
+        // every metrics snapshot).
+        {
+            let registry = obs.registry();
+            let links = drivers
+                .values_mut()
+                .map(NodeDriver::transport_mut)
+                .chain(std::iter::once(server.transport_mut()));
+            for link in links {
+                if config.reliability.is_some() {
+                    link.instrument(registry);
+                }
+                if config.faults.is_some() {
+                    link.inner_mut().instrument(registry);
+                }
+            }
+        }
         Self {
             server,
             net,
@@ -561,6 +627,13 @@ impl SimWorld {
             for r in &out.reids {
                 self.obs.observe_reid(id, r, now);
             }
+            // Drive the reliability stack's timers (retransmissions of
+            // unacked frames). A no-op on passthrough links.
+            self.drivers
+                .get_mut(&id)
+                .expect("alive node exists")
+                .transport_mut()
+                .tick(now);
         }
     }
 
@@ -572,6 +645,9 @@ impl SimWorld {
     }
 
     fn on_liveness_check(&mut self, now: SimTime) {
+        // Drive the server link's retransmission timers on the liveness
+        // cadence. A no-op on passthrough links.
+        self.server.transport_mut().tick(now);
         let alive = &self.alive;
         let outcome = self
             .server
@@ -600,13 +676,14 @@ impl SimWorld {
     }
 
     fn deliver_one(&mut self, endpoint: Endpoint, now: SimTime) {
-        // Pop the due envelope unconditionally: messages addressed to dead
-        // cameras are consumed (and lost), exactly as in the original loop.
-        let Some(envelope) = self.net.handle(endpoint).poll(now) else {
-            return;
-        };
         match endpoint {
             Endpoint::TopologyServer => {
+                // Polled through the reliability stack: acks are consumed
+                // (and generated) inside it, so a due slot may legally
+                // yield nothing.
+                let Some(envelope) = self.server.transport_mut().poll(now) else {
+                    return;
+                };
                 let alive = &self.alive;
                 self.server
                     .on_envelope(envelope, now, |c| alive.contains(&c))
@@ -614,8 +691,16 @@ impl SimWorld {
             }
             Endpoint::Camera(cam) => {
                 if !self.alive.contains(&cam) {
-                    return; // messages to dead cameras are lost
+                    // Messages to dead cameras are consumed raw — off the
+                    // reliability stack — so a dead camera can never ack
+                    // (the crash-stop the self-healing protocol assumes).
+                    let _ = self.net.handle(endpoint).poll(now);
+                    return;
                 }
+                let driver = self.drivers.get_mut(&cam).expect("alive node exists");
+                let Some(envelope) = driver.transport_mut().poll(now) else {
+                    return;
+                };
                 let message = envelope.message;
                 self.emit(|s| s.on_delivery(now, cam, &message));
                 if let Message::TopologyUpdate(_) = &message {
@@ -624,7 +709,10 @@ impl SimWorld {
                 let driver = self.drivers.get_mut(&cam).expect("alive node exists");
                 driver.deliver(message, now).expect(SIM_SEND);
             }
-            Endpoint::EdgeStore(_) => {}
+            Endpoint::EdgeStore(_) => {
+                // Consumed and ignored, exactly as in the original loop.
+                let _ = self.net.handle(endpoint).poll(now);
+            }
         }
     }
 
@@ -632,6 +720,22 @@ impl SimWorld {
         if self.alive.remove(&cam) {
             self.pending_kills.push((cam, now));
         }
+    }
+
+    /// Brings a previously killed camera back up. Returns whether the
+    /// camera was newly revived (`false` if unknown or already alive), so
+    /// the caller restarts the heartbeat chain exactly once.
+    fn on_restore(&mut self, cam: CameraId) -> bool {
+        if !self.drivers.contains_key(&cam) {
+            return false;
+        }
+        let revived = self.alive.insert(cam);
+        if revived {
+            // A rebooted camera re-detects whatever is in its FOV: clear
+            // the edge-trigger memory so passages are re-emitted.
+            self.in_fov.remove(&cam);
+        }
+        revived
     }
 
     fn note_update_delivered(&mut self, to: CameraId, now: SimTime) {
@@ -770,6 +874,22 @@ impl SimRuntime {
         self.engine
             .schedule_at(at, move |w: &mut SimWorld, ctx: &mut Context<SimWorld>| {
                 w.on_kill(cam, ctx.now());
+            });
+    }
+
+    /// Schedules a camera restore at `at`: the camera comes back alive and
+    /// rejoins by heartbeating, exactly as a rebooted node would (§3.3 —
+    /// the server treats the first heartbeat as a re-registration). A
+    /// restore of an unknown or still-alive camera is a no-op.
+    pub fn schedule_restore(&mut self, at: SimTime, cam: CameraId) {
+        self.engine
+            .schedule_at(at, move |w: &mut SimWorld, ctx: &mut Context<SimWorld>| {
+                if w.on_restore(cam) {
+                    // Restart the heartbeat chain (it stopped itself when
+                    // the camera died); the first beat re-registers.
+                    let next = ctx.now() + SimDuration::from_millis(1);
+                    ctx.schedule_at(next, heartbeat_action(cam));
+                }
             });
     }
 

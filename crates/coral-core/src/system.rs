@@ -90,7 +90,7 @@ impl CoralPieSystem {
         for event in schedule.events() {
             match event.kind {
                 FailureKind::Kill => self.runtime.schedule_kill(event.at, event.camera),
-                FailureKind::Restore => { /* restores are modelled as re-joins via heartbeats */ }
+                FailureKind::Restore => self.runtime.schedule_restore(event.at, event.camera),
             }
         }
     }

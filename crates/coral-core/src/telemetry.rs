@@ -136,6 +136,9 @@ impl TelemetrySink for Telemetry {
                 self.cloud_bytes += message.encoded_len() as u64;
             }
             Message::Heartbeat { .. } => {}
+            // Reliable-delivery framing is transport-internal and stripped
+            // before delivery; raw frames carry no protocol telemetry.
+            Message::Sequenced { .. } | Message::Ack { .. } => {}
         }
     }
 

@@ -332,6 +332,7 @@ fn added_sinks_receive_identical_sequences() {
                 coral_net::Message::Confirm { .. } => "confirm",
                 coral_net::Message::Heartbeat { .. } => "heartbeat",
                 coral_net::Message::TopologyUpdate(_) => "update",
+                coral_net::Message::Sequenced { .. } | coral_net::Message::Ack { .. } => "framing",
             };
             self.log.push(format!("delivery {kind} {to} {at}"));
         }

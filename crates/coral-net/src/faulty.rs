@@ -1,0 +1,502 @@
+//! Deterministic fault injection at the [`Transport`] seam.
+//!
+//! Geo-distributed camera links lose, duplicate, reorder and delay
+//! packets; nodes get partitioned. [`FaultyTransport`] decorates any
+//! [`Transport`] with a seeded, per-link [`FaultPolicy`] so every test,
+//! example and experiment can run under chaos *reproducibly*: the same
+//! [`FaultPlan`] seed yields the same fault pattern on every run.
+//!
+//! Injected faults are silent, like a real lossy wire: a dropped envelope
+//! still returns `Ok` from `send` — the sender learns nothing. Pair the
+//! wrapper with [`crate::ReliableTransport`] to recover at-least-once
+//! delivery on top.
+
+use crate::transport::{Endpoint, Envelope, SendError, Transport};
+use coral_obs::{Counter, Registry};
+use coral_sim::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Per-link fault probabilities, sampled independently per send.
+///
+/// All probabilities are in `[0, 1]`. The default policy is fault-free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Probability a sent envelope is silently dropped.
+    pub drop: f64,
+    /// Probability a sent envelope is delivered twice.
+    pub duplicate: f64,
+    /// Probability a sent envelope is held back and released after the
+    /// next send (or the next [`Transport::tick`]), swapping delivery
+    /// order with its successor.
+    pub reorder: f64,
+    /// Probability a sent envelope is charged [`FaultPolicy::delay_by`] of
+    /// extra latency. Only effective on simulated transports (real-time
+    /// transports ignore the clock).
+    pub delay: f64,
+    /// Extra latency charged to delayed envelopes.
+    pub delay_by: SimDuration,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self {
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            delay: 0.0,
+            delay_by: SimDuration::ZERO,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// A fault-free policy.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A policy that only drops, with probability `p`.
+    pub fn drop_only(p: f64) -> Self {
+        Self {
+            drop: p,
+            ..Self::default()
+        }
+    }
+
+    /// Whether this policy can never inject a fault.
+    pub fn is_noop(&self) -> bool {
+        self.drop <= 0.0 && self.duplicate <= 0.0 && self.reorder <= 0.0 && self.delay <= 0.0
+    }
+}
+
+/// A seeded fault assignment for one endpoint's outgoing links: a default
+/// [`FaultPolicy`] plus optional per-destination overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG. Each [`FaultyTransport`] mixes its own
+    /// endpoint identity in, so every link gets an independent but
+    /// reproducible fault stream.
+    pub seed: u64,
+    /// Policy applied to links without an override.
+    pub default: FaultPolicy,
+    /// Per-destination overrides, looked up before the default.
+    pub overrides: Vec<(Endpoint, FaultPolicy)>,
+}
+
+impl FaultPlan {
+    /// The same policy on every link.
+    pub fn uniform(policy: FaultPolicy, seed: u64) -> Self {
+        Self {
+            seed,
+            default: policy,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// A plan that injects nothing (the transparent wrapper).
+    pub fn none() -> Self {
+        Self::uniform(FaultPolicy::none(), 0)
+    }
+
+    /// Adds (or replaces) the policy for the link toward `to`.
+    #[must_use]
+    pub fn with_link(mut self, to: Endpoint, policy: FaultPolicy) -> Self {
+        self.overrides.retain(|&(e, _)| e != to);
+        self.overrides.push((to, policy));
+        self
+    }
+
+    /// The policy governing the link toward `to`.
+    pub fn policy_for(&self, to: Endpoint) -> FaultPolicy {
+        self.overrides
+            .iter()
+            .find(|&&(e, _)| e == to)
+            .map_or(self.default, |&(_, p)| p)
+    }
+
+    /// Whether no link of this plan can ever inject a fault.
+    pub fn is_noop(&self) -> bool {
+        self.default.is_noop() && self.overrides.iter().all(|(_, p)| p.is_noop())
+    }
+}
+
+/// Mixes an endpoint identity into a fault seed so distinct links draw
+/// from decorrelated streams.
+fn endpoint_seed(endpoint: Endpoint) -> u64 {
+    match endpoint {
+        Endpoint::Camera(c) => 0x00fa_417e ^ (u64::from(c.0) << 8),
+        Endpoint::TopologyServer => 0x00fa_417e ^ 0x0c10_0d00,
+        Endpoint::EdgeStore(i) => 0x00fa_417e ^ (0x0ed6_e000 | u64::from(i)),
+    }
+}
+
+/// Fault-injection counters published into a [`Registry`].
+#[derive(Debug, Clone)]
+struct FaultCounters {
+    dropped: Counter,
+    duplicated: Counter,
+    reordered: Counter,
+    delayed: Counter,
+}
+
+/// A [`Transport`] decorator injecting seeded faults on the send path.
+///
+/// When the plan [`FaultPlan::is_noop`], the wrapper is an exact
+/// passthrough: it forwards every call unchanged and **consumes no
+/// randomness**, so wrapping a deterministic simulation with a no-op plan
+/// leaves its event stream bit-identical.
+///
+/// Partitions are dynamic: [`FaultyTransport::partition`] makes a
+/// destination unreachable (sends silently dropped, without consuming
+/// randomness) until [`FaultyTransport::heal`].
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Envelope held back by a reorder fault, with the clock value it was
+    /// submitted under.
+    held: Option<(SimTime, Envelope)>,
+    partitioned: BTreeSet<Endpoint>,
+    counters: Option<FaultCounters>,
+    endpoint: Endpoint,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` (the transport of `endpoint`) under `plan`.
+    pub fn new(inner: T, endpoint: Endpoint, plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed ^ endpoint_seed(endpoint));
+        Self {
+            inner,
+            plan,
+            rng,
+            held: None,
+            partitioned: BTreeSet::new(),
+            counters: None,
+            endpoint,
+        }
+    }
+
+    /// Wraps `inner` with a no-op plan: an exact passthrough.
+    pub fn transparent(inner: T, endpoint: Endpoint) -> Self {
+        Self::new(inner, endpoint, FaultPlan::none())
+    }
+
+    /// Starts publishing fault counters into `registry`:
+    /// `chaos_dropped_total`, `chaos_duplicated_total`,
+    /// `chaos_reordered_total`, `chaos_delayed_total`, all labelled with
+    /// this transport's `endpoint`.
+    pub fn instrument(&mut self, registry: &Registry) {
+        let label = self.endpoint.to_string();
+        let labels = [("endpoint", label.as_str())];
+        self.counters = Some(FaultCounters {
+            dropped: registry.counter("chaos_dropped_total", &labels),
+            duplicated: registry.counter("chaos_duplicated_total", &labels),
+            reordered: registry.counter("chaos_reordered_total", &labels),
+            delayed: registry.counter("chaos_delayed_total", &labels),
+        });
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The wrapped transport, mutably.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    /// Makes `to` unreachable: subsequent sends toward it are silently
+    /// dropped until [`FaultyTransport::heal`].
+    pub fn partition(&mut self, to: Endpoint) {
+        self.partitioned.insert(to);
+    }
+
+    /// Removes the partition toward `to`.
+    pub fn heal(&mut self, to: Endpoint) {
+        self.partitioned.remove(&to);
+    }
+
+    /// Whether the link toward `to` is currently partitioned.
+    pub fn is_partitioned(&self, to: Endpoint) -> bool {
+        self.partitioned.contains(&to)
+    }
+
+    fn count(&self, select: impl Fn(&FaultCounters) -> &Counter) {
+        if let Some(c) = &self.counters {
+            select(c).inc();
+        }
+    }
+
+    /// Releases a held (reordered) envelope into the inner transport.
+    fn release_held(&mut self, now: SimTime) -> Result<(), SendError> {
+        if let Some((held_at, envelope)) = self.held.take() {
+            // Submit under the later of the two clocks: time moved on
+            // while the envelope was held.
+            self.inner.send(now.max(held_at), envelope)?;
+        }
+        Ok(())
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn send(&mut self, now: SimTime, envelope: Envelope) -> Result<(), SendError> {
+        // Partition check first: no randomness consumed, so partitioning
+        // and healing does not shift the fault stream of other links.
+        if self.partitioned.contains(&envelope.to) {
+            self.count(|c| &c.dropped);
+            return Ok(());
+        }
+        let policy = self.plan.policy_for(envelope.to);
+        if policy.is_noop() {
+            return self.inner.send(now, envelope);
+        }
+        // Fixed draw order regardless of outcome keeps the stream aligned
+        // across runs that differ only in which faults fire.
+        let r_drop = self.rng.gen::<f64>();
+        let r_dup = self.rng.gen::<f64>();
+        let r_reorder = self.rng.gen::<f64>();
+        let r_delay = self.rng.gen::<f64>();
+        if r_drop < policy.drop {
+            self.count(|c| &c.dropped);
+            // Silent loss: the wire gives no feedback.
+            return self.release_held(now);
+        }
+        let effective_now = if r_delay < policy.delay {
+            self.count(|c| &c.delayed);
+            now + policy.delay_by
+        } else {
+            now
+        };
+        if r_reorder < policy.reorder && self.held.is_none() {
+            self.count(|c| &c.reordered);
+            self.held = Some((effective_now, envelope));
+            return Ok(());
+        }
+        let duplicate = (r_dup < policy.duplicate).then(|| envelope.clone());
+        self.inner.send(effective_now, envelope)?;
+        if let Some(dup) = duplicate {
+            self.count(|c| &c.duplicated);
+            self.inner.send(effective_now, dup)?;
+        }
+        // A successor passed the held envelope: release it now, after.
+        self.release_held(now)
+    }
+
+    fn poll(&mut self, now: SimTime) -> Option<Envelope> {
+        self.inner.poll(now)
+    }
+
+    fn tick(&mut self, now: SimTime) {
+        // Bound how long a reordered envelope can be held.
+        let _ = self.release_held(now);
+        self.inner.tick(now);
+    }
+
+    fn next_due(&self) -> Option<SimTime> {
+        self.inner.next_due()
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.inner.queue_depth() + usize::from(self.held.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+    use crate::transport::SimNet;
+    use coral_geo::GeoPoint;
+    use coral_topology::CameraId;
+
+    fn heartbeat(cam: u32) -> Message {
+        Message::Heartbeat {
+            camera: CameraId(cam),
+            position: GeoPoint::new(33.77, -84.39),
+            videoing_angle_deg: 0.0,
+        }
+    }
+
+    fn envelope(from: u32, to: u32) -> Envelope {
+        Envelope {
+            from: Endpoint::Camera(CameraId(from)),
+            to: Endpoint::Camera(CameraId(to)),
+            message: heartbeat(from),
+        }
+    }
+
+    #[test]
+    fn transparent_wrapper_passes_everything_through() {
+        let net = SimNet::instant();
+        let mut tx = FaultyTransport::transparent(
+            net.handle(Endpoint::Camera(CameraId(0))),
+            Endpoint::Camera(CameraId(0)),
+        );
+        let mut rx = net.handle(Endpoint::Camera(CameraId(1)));
+        for _ in 0..100 {
+            tx.send(SimTime::ZERO, envelope(0, 1)).unwrap();
+        }
+        let mut got = 0;
+        while rx.poll(SimTime::ZERO).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 100);
+    }
+
+    #[test]
+    fn drop_rate_is_seeded_and_roughly_proportional() {
+        let run = |seed: u64| {
+            let net = SimNet::instant();
+            let mut tx = FaultyTransport::new(
+                net.handle(Endpoint::Camera(CameraId(0))),
+                Endpoint::Camera(CameraId(0)),
+                FaultPlan::uniform(FaultPolicy::drop_only(0.05), seed),
+            );
+            let mut rx = net.handle(Endpoint::Camera(CameraId(1)));
+            for _ in 0..1000 {
+                tx.send(SimTime::ZERO, envelope(0, 1)).unwrap();
+            }
+            std::iter::from_fn(|| rx.poll(SimTime::ZERO)).count()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same fault pattern");
+        assert!((900..1000).contains(&a), "~5% dropped, got {}", 1000 - a);
+    }
+
+    #[test]
+    fn duplicates_are_delivered_twice() {
+        let net = SimNet::instant();
+        let policy = FaultPolicy {
+            duplicate: 1.0,
+            ..FaultPolicy::none()
+        };
+        let mut tx = FaultyTransport::new(
+            net.handle(Endpoint::Camera(CameraId(0))),
+            Endpoint::Camera(CameraId(0)),
+            FaultPlan::uniform(policy, 3),
+        );
+        let mut rx = net.handle(Endpoint::Camera(CameraId(1)));
+        tx.send(SimTime::ZERO, envelope(0, 1)).unwrap();
+        assert!(rx.poll(SimTime::ZERO).is_some());
+        assert!(rx.poll(SimTime::ZERO).is_some());
+        assert!(rx.poll(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn reorder_swaps_with_the_next_send() {
+        let net = SimNet::instant();
+        let policy = FaultPolicy {
+            reorder: 1.0,
+            ..FaultPolicy::none()
+        };
+        let mut tx = FaultyTransport::new(
+            net.handle(Endpoint::Camera(CameraId(0))),
+            Endpoint::Camera(CameraId(0)),
+            FaultPlan::uniform(policy, 3),
+        );
+        let mut rx = net.handle(Endpoint::Camera(CameraId(9)));
+        tx.send(SimTime::ZERO, envelope(0, 9)).unwrap();
+        assert_eq!(tx.queue_depth(), 1, "first envelope held");
+        tx.send(SimTime::ZERO, envelope(1, 9)).unwrap();
+        // Second send overtook the first (only one envelope is held at a
+        // time, so the second went straight through and released the hold).
+        let order: Vec<Endpoint> = std::iter::from_fn(|| rx.poll(SimTime::ZERO))
+            .map(|e| e.from)
+            .collect();
+        assert_eq!(
+            order,
+            vec![Endpoint::Camera(CameraId(1)), Endpoint::Camera(CameraId(0))]
+        );
+    }
+
+    #[test]
+    fn tick_releases_a_held_envelope() {
+        let net = SimNet::instant();
+        let policy = FaultPolicy {
+            reorder: 1.0,
+            ..FaultPolicy::none()
+        };
+        let mut tx = FaultyTransport::new(
+            net.handle(Endpoint::Camera(CameraId(0))),
+            Endpoint::Camera(CameraId(0)),
+            FaultPlan::uniform(policy, 3),
+        );
+        let mut rx = net.handle(Endpoint::Camera(CameraId(9)));
+        tx.send(SimTime::ZERO, envelope(0, 9)).unwrap();
+        assert!(rx.poll(SimTime::from_secs(1)).is_none(), "still held");
+        tx.tick(SimTime::from_millis(100));
+        assert!(rx.poll(SimTime::from_secs(1)).is_some());
+    }
+
+    #[test]
+    fn delay_charges_extra_latency() {
+        let net = SimNet::instant();
+        let policy = FaultPolicy {
+            delay: 1.0,
+            delay_by: SimDuration::from_millis(50),
+            ..FaultPolicy::none()
+        };
+        let mut tx = FaultyTransport::new(
+            net.handle(Endpoint::Camera(CameraId(0))),
+            Endpoint::Camera(CameraId(0)),
+            FaultPlan::uniform(policy, 3),
+        );
+        let mut rx = net.handle(Endpoint::Camera(CameraId(1)));
+        tx.send(SimTime::from_millis(10), envelope(0, 1)).unwrap();
+        assert!(rx.poll(SimTime::from_millis(59)).is_none());
+        assert!(rx.poll(SimTime::from_millis(60)).is_some());
+    }
+
+    #[test]
+    fn partition_drops_until_healed() {
+        let registry = Registry::new();
+        let net = SimNet::instant();
+        let mut tx = FaultyTransport::transparent(
+            net.handle(Endpoint::Camera(CameraId(0))),
+            Endpoint::Camera(CameraId(0)),
+        );
+        tx.instrument(&registry);
+        let mut rx = net.handle(Endpoint::Camera(CameraId(1)));
+        tx.partition(Endpoint::Camera(CameraId(1)));
+        assert!(tx.is_partitioned(Endpoint::Camera(CameraId(1))));
+        tx.send(SimTime::ZERO, envelope(0, 1)).unwrap();
+        assert!(rx.poll(SimTime::ZERO).is_none());
+        tx.heal(Endpoint::Camera(CameraId(1)));
+        tx.send(SimTime::ZERO, envelope(0, 1)).unwrap();
+        assert!(rx.poll(SimTime::ZERO).is_some());
+        assert_eq!(
+            registry.counter_value("chaos_dropped_total", &[("endpoint", "cam0")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn per_link_override_beats_the_default() {
+        let plan = FaultPlan::uniform(FaultPolicy::drop_only(1.0), 1)
+            .with_link(Endpoint::TopologyServer, FaultPolicy::none());
+        let net = SimNet::instant();
+        let mut tx = FaultyTransport::new(
+            net.handle(Endpoint::Camera(CameraId(0))),
+            Endpoint::Camera(CameraId(0)),
+            plan,
+        );
+        let mut cloud = net.handle(Endpoint::TopologyServer);
+        let mut cam = net.handle(Endpoint::Camera(CameraId(1)));
+        tx.send(
+            SimTime::ZERO,
+            Envelope {
+                from: Endpoint::Camera(CameraId(0)),
+                to: Endpoint::TopologyServer,
+                message: heartbeat(0),
+            },
+        )
+        .unwrap();
+        tx.send(SimTime::ZERO, envelope(0, 1)).unwrap();
+        assert!(cloud.poll(SimTime::ZERO).is_some(), "clean override link");
+        assert!(cam.poll(SimTime::ZERO).is_none(), "default link drops");
+    }
+}

@@ -17,20 +17,30 @@
 //!   over an [`InProcRouter`], for the multi-threaded deployments), and
 //!   [`TcpTransport`] (length-prefixed JSON frames over real sockets, for
 //!   camera nodes running as separate OS processes).
+//! - Reliability decorators, stackable on any transport:
+//!   [`FaultyTransport`] injects seeded, per-link faults (drop, duplicate,
+//!   reorder, delay, partition) for deterministic chaos testing, and
+//!   [`ReliableTransport`] layers at-least-once delivery — sequence
+//!   numbers, acks, bounded retransmission with exponential backoff — on
+//!   top of a lossy link.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod connection;
+pub mod faulty;
 pub mod message;
 pub mod metered;
+pub mod reliable;
 pub mod socket_group;
 pub mod tcp;
 pub mod transport;
 
 pub use connection::{ConnectionManager, ConnectionStats};
+pub use faulty::{FaultPlan, FaultPolicy, FaultyTransport};
 pub use message::{DetectionEvent, EventId, Message, VertexId};
 pub use metered::Metered;
+pub use reliable::{ReliableTransport, RetryPolicy};
 pub use socket_group::SocketGroup;
 pub use tcp::{send_to, TcpDirectory, TcpEndpoint, TcpError, TcpTransport};
 pub use transport::{

@@ -125,6 +125,10 @@ impl<T: Transport> Transport for Metered<T> {
         polled
     }
 
+    fn tick(&mut self, now: SimTime) {
+        self.inner.tick(now);
+    }
+
     fn next_due(&self) -> Option<SimTime> {
         self.inner.next_due()
     }

@@ -126,6 +126,16 @@ pub trait Transport {
     /// `now`, if any.
     fn poll(&mut self, now: SimTime) -> Option<Envelope>;
 
+    /// Advances transport-internal timers: retransmissions, reconnect
+    /// backoff, held-envelope release. Decorators with time-driven state
+    /// ([`crate::ReliableTransport`], [`crate::FaultyTransport`],
+    /// [`crate::TcpTransport`]) act on it; plain transports need not —
+    /// the default is a no-op. Periodic drivers should call this at least
+    /// once per scheduling quantum.
+    fn tick(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
     /// The earliest pending due time for this endpoint. Real-time
     /// transports (where "due" has no meaning) return `None`.
     fn next_due(&self) -> Option<SimTime> {

@@ -95,6 +95,39 @@ impl FailureSchedule {
         schedule
     }
 
+    /// Kills `n` distinct cameras successively (as
+    /// [`FailureSchedule::kill_successively`]) and restores each one
+    /// `downtime` after its kill — the Kill→Restore round trip of a
+    /// camera being repaired or redeployed (§3.3: the server treats the
+    /// returning camera's first heartbeat as a re-registration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the number of cameras.
+    pub fn kill_restore_cycle(
+        cameras: &[CameraId],
+        n: usize,
+        start: SimTime,
+        interval: SimDuration,
+        downtime: SimDuration,
+        seed: u64,
+    ) -> Self {
+        let mut schedule = Self::kill_successively(cameras, n, start, interval, seed);
+        let restores: Vec<FailureEvent> = schedule
+            .events
+            .iter()
+            .map(|e| FailureEvent {
+                at: e.at + downtime,
+                camera: e.camera,
+                kind: FailureKind::Restore,
+            })
+            .collect();
+        for r in restores {
+            schedule.push(r);
+        }
+        schedule
+    }
+
     /// Events firing in the window `(after, up_to]`.
     pub fn due(&self, after: SimTime, up_to: SimTime) -> impl Iterator<Item = &FailureEvent> + '_ {
         self.events
@@ -176,6 +209,53 @@ mod tests {
             8,
         );
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn kill_restore_cycle_pairs_every_kill() {
+        let cams: Vec<CameraId> = (0..10).map(CameraId).collect();
+        let s = FailureSchedule::kill_restore_cycle(
+            &cams,
+            4,
+            SimTime::from_secs(5),
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(7),
+            42,
+        );
+        assert_eq!(s.len(), 8);
+        // Time-ordered despite interleaving.
+        let times: Vec<u64> = s.events().iter().map(|e| e.at.as_millis()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        // Every kill has a matching restore exactly `downtime` later.
+        for e in s.events().iter().filter(|e| e.kind == FailureKind::Kill) {
+            assert!(
+                s.events().contains(&FailureEvent {
+                    at: e.at + SimDuration::from_secs(7),
+                    camera: e.camera,
+                    kind: FailureKind::Restore,
+                }),
+                "kill of {} at {} has no paired restore",
+                e.camera,
+                e.at
+            );
+        }
+        // Same seed → same cameras as the plain kill schedule.
+        let kills_only = FailureSchedule::kill_successively(
+            &cams,
+            4,
+            SimTime::from_secs(5),
+            SimDuration::from_secs(20),
+            42,
+        );
+        let cycle_kills: Vec<_> = s
+            .events()
+            .iter()
+            .filter(|e| e.kind == FailureKind::Kill)
+            .copied()
+            .collect();
+        assert_eq!(cycle_kills, kills_only.events());
     }
 
     #[test]

@@ -193,8 +193,11 @@ impl TrajectoryGraph {
     }
 
     /// Inserts a weighted re-identification edge `from → to` (pointing to
-    /// the newer detection, §4.2.1). Parallel edges are allowed — false
-    /// positives must not mask true positives.
+    /// the newer detection, §4.2.1). Edges between *distinct* vertex pairs
+    /// may coexist freely — false positives must not mask true positives —
+    /// but an exact `(from, to)` duplicate is dropped (keep-first): the
+    /// network layer redelivers at-least-once, and a retried `Recovery`
+    /// must not double-count a link.
     ///
     /// # Errors
     ///
@@ -212,6 +215,9 @@ impl TrajectoryGraph {
         }
         if !weight.is_finite() || weight < 0.0 {
             return Err(GraphError::InvalidWeight(weight));
+        }
+        if self.out_edges[from.0 as usize].iter().any(|e| e.to == to) {
+            return Ok(());
         }
         let edge = TrajectoryEdge { from, to, weight };
         self.out_edges[from.0 as usize].push(edge);
@@ -345,6 +351,25 @@ mod tests {
         assert_eq!(g.out_edges(b).len(), 0);
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.out_edges(a)[0].weight, 0.2);
+    }
+
+    #[test]
+    fn duplicate_edge_is_dropped_keep_first() {
+        // At-least-once delivery can replay a Recovery; the replayed
+        // (from, to) edge must not double-count, and the first-written
+        // weight wins.
+        let mut g = TrajectoryGraph::new();
+        let a = g.insert_event(eid(0, 1), 0, 1, None, None);
+        let b = g.insert_event(eid(1, 1), 10, 11, None, None);
+        g.insert_edge(a, b, 0.2).unwrap();
+        g.insert_edge(a, b, 0.7).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_edges(a).len(), 1);
+        assert_eq!(g.in_edges(b).len(), 1);
+        assert_eq!(g.out_edges(a)[0].weight, 0.2);
+        // The reverse direction is a distinct pair, not a duplicate.
+        g.insert_edge(b, a, 0.5).unwrap();
+        assert_eq!(g.edge_count(), 2);
     }
 
     #[test]

@@ -125,6 +125,56 @@ proptest! {
     }
 
     #[test]
+    fn redelivered_inserts_leave_graph_structurally_identical(
+        n in 2usize..16,
+        raw_edges in proptest::collection::vec((0usize..16, 0usize..16, 0.0f64..1.0), 0..40),
+        dup_mask in proptest::collection::vec(0usize..8, 0..40),
+    ) {
+        // At-least-once delivery: replay each insert (vertex and edge) an
+        // arbitrary number of extra times. The graph must be structurally
+        // identical to the once-delivered build — same vertices, same
+        // adjacency, same weights.
+        let build = |dups: &[usize]| {
+            let mut g = TrajectoryGraph::new();
+            let verts: Vec<VertexId> = (0..n)
+                .map(|i| {
+                    let replays = 1 + dups.get(i).copied().unwrap_or(0);
+                    let mut v = VertexId(u64::MAX);
+                    for _ in 0..replays {
+                        v = g.insert_event(
+                            eid((i % 5) as u32, i as u64),
+                            i as u64 * 100,
+                            i as u64 * 100 + 50,
+                            None,
+                            None,
+                        );
+                    }
+                    v
+                })
+                .collect();
+            for (k, &(a, b, w)) in raw_edges.iter().enumerate() {
+                let (a, b) = (a % n, b % n);
+                if a < b {
+                    let replays = 1 + dups.get(k % dups.len().max(1)).copied().unwrap_or(0);
+                    for _ in 0..replays {
+                        g.insert_edge(verts[a], verts[b], w).unwrap();
+                    }
+                }
+            }
+            g
+        };
+        let once = build(&[]);
+        let replayed = build(&dup_mask);
+        prop_assert_eq!(replayed.vertex_count(), once.vertex_count());
+        prop_assert_eq!(replayed.edge_count(), once.edge_count());
+        for (a, b) in once.vertices().zip(replayed.vertices()) {
+            prop_assert_eq!(a, b);
+            let (oe, re) = (once.out_edges(a.id), replayed.out_edges(b.id));
+            prop_assert_eq!(oe, re);
+        }
+    }
+
+    #[test]
     fn serde_roundtrip_preserves_structure(g in arb_graph()) {
         let json = serde_json::to_string(&g).unwrap();
         let back: TrajectoryGraph = serde_json::from_str(&json).unwrap();

@@ -156,13 +156,16 @@ impl TopologyServer {
     /// returning the MDCS updates for the affected survivors.
     ///
     /// A camera is declared failed once `miss_threshold` consecutive
-    /// heartbeat periods elapse without a beat.
+    /// heartbeat periods elapse without a beat. The comparison is strict:
+    /// a beat that lands exactly at the deadline still counts as alive —
+    /// `miss_threshold` periods must have *fully* elapsed, or a sweep
+    /// aligned with the heartbeat cadence would evict punctual cameras.
     pub fn check_liveness(&mut self, now: TimestampMs) -> Vec<MdcsUpdate> {
         let deadline = self.config.heartbeat_interval_ms * u64::from(self.config.miss_threshold);
         let dead: Vec<CameraId> = self
             .last_seen
             .iter()
-            .filter(|&(_, &seen)| now.saturating_sub(seen) >= deadline)
+            .filter(|&(_, &seen)| now.saturating_sub(seen) > deadline)
             .map(|(&c, _)| c)
             .collect();
         if dead.is_empty() {
@@ -270,10 +273,12 @@ mod tests {
                     .unwrap();
             }
         }
-        // At t=3999 camera 2 has missed < 2 intervals.
-        assert!(server.check_liveness(3_999).is_empty());
-        // At t=4000 camera 2 is declared dead; neighbours 1 and 3 heal.
-        let updates = server.check_liveness(4_000);
+        // At t=4000 camera 2's two missed intervals have not *fully*
+        // elapsed (its last beat was at t=0, the deadline boundary).
+        assert!(server.check_liveness(4_000).is_empty());
+        // Past the boundary camera 2 is declared dead; neighbours 1 and 3
+        // heal.
+        let updates = server.check_liveness(4_001);
         let cams: Vec<CameraId> = updates.iter().map(|u| u.camera).collect();
         assert!(cams.contains(&CameraId(1)), "updates: {cams:?}");
         assert!(cams.contains(&CameraId(3)), "updates: {cams:?}");
@@ -281,6 +286,40 @@ mod tests {
         // Camera 1 now skips over the failed camera 2 to camera 3.
         let t1 = server.table(CameraId(1)).unwrap();
         assert!(t1.all_downstream().contains(&CameraId(3)));
+    }
+
+    #[test]
+    fn punctual_heartbeat_at_deadline_boundary_survives() {
+        // Regression: a sweep landing exactly at
+        // `miss_threshold × heartbeat_interval` after the last beat must
+        // NOT evict the camera. With the default 2 s interval and
+        // threshold 2, a camera that beat at t=0 is evictable only
+        // strictly after t=4000.
+        let (mut server, pos) = corridor_server();
+        for (i, p) in pos.iter().enumerate() {
+            server
+                .handle_heartbeat(CameraId(i as u32), *p, 0.0, 0)
+                .unwrap();
+        }
+        // Sweep exactly at the deadline: everyone survives.
+        assert!(server.check_liveness(4_000).is_empty());
+        assert_eq!(server.active_cameras().len(), pos.len());
+        // A camera that beats exactly at its deadline keeps beating on a
+        // boundary-aligned cadence and must never be evicted.
+        for beat in [4_000u64, 8_000, 12_000] {
+            server
+                .handle_heartbeat(CameraId(0), pos[0], 0.0, beat)
+                .unwrap();
+            server.check_liveness(beat + 4_000);
+            assert!(
+                server.active_cameras().contains(&CameraId(0)),
+                "boundary-aligned sweep at {} evicted a punctual camera",
+                beat + 4_000
+            );
+        }
+        // One tick past the deadline the eviction fires.
+        server.check_liveness(16_001);
+        assert!(!server.active_cameras().contains(&CameraId(0)));
     }
 
     #[test]
@@ -325,7 +364,7 @@ mod tests {
         server
             .handle_heartbeat(CameraId(1), pos[1], 0.0, 0)
             .unwrap();
-        server.check_liveness(4_000); // both die (no beats since 0)
+        server.check_liveness(4_001); // both die (no beats since 0)
         assert!(server.active_cameras().is_empty());
         let u = server
             .handle_heartbeat(CameraId(0), pos[0], 0.0, 5_000)
