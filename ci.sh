@@ -51,4 +51,21 @@ for seed in a b c; do
     cargo test -q --test chaos_self_healing "chaos_recovery_seed_${seed}"
 done
 
+# Parallel determinism matrix: every scenario x seed must fingerprint
+# byte-identically at parallelism 1, 2 and 8 (the smoke subset already ran
+# in `cargo test -q`; `--ignored` runs the full 8x3x2 matrix). The release
+# pass guards against optimisation-dependent divergence.
+echo "==> parallel determinism matrix (debug)"
+cargo test -q --test parallel_determinism -- --ignored
+if [ "$quick" -eq 0 ]; then
+    echo "==> parallel determinism matrix (release)"
+    cargo test -q --release --test parallel_determinism -- --ignored
+fi
+
+# Criterion smoke: compile and run every bench once in test mode so the
+# perf harness cannot rot silently.
+echo "==> criterion smoke: vision_micro + full_tick"
+cargo bench -p coral-bench --bench vision_micro -- --test
+cargo bench -p coral-bench --bench full_tick -- --test
+
 echo "==> ci.sh: all green"

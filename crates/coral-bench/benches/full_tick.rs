@@ -1,0 +1,72 @@
+//! Full-tick throughput: one simulated camera tick — render → detect →
+//! SORT → histogram → passage/commit — across deployment sizes and worker
+//! counts. This is the criterion companion of the `exp_speedup` binary,
+//! which turns the same workload into `BENCH_parallel.json`.
+
+use coral_bench::{campus_specs, corridor_specs, grid_specs};
+use coral_core::{CoralPieSystem, NodeConfig, SystemConfig};
+use coral_geo::IntersectionId;
+use coral_sim::{PoissonArrivals, SimDuration, SimTime};
+use coral_vision::DetectorNoise;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Frame period of the default node configuration; one bench iteration
+/// advances the simulation by exactly this much, i.e. one tick per camera.
+const TICK: SimDuration = SimDuration::from_millis(96);
+
+/// Builds a warmed-up system: `cameras` nodes, open Poisson traffic from
+/// the deployment's corner entries, and five simulated seconds already run
+/// so trackers and candidate pools carry realistic state.
+fn warmed_system(cameras: usize, parallelism: usize) -> CoralPieSystem {
+    let (net, specs, entries) = match cameras {
+        5 => {
+            let (net, specs) = corridor_specs(5);
+            (net, specs, vec![IntersectionId(0), IntersectionId(4)])
+        }
+        37 => {
+            let (net, specs) = campus_specs();
+            let entries = [0, 6, 35, 41].map(IntersectionId).to_vec();
+            (net, specs, entries)
+        }
+        150 => {
+            let (net, specs) = grid_specs(10, 15);
+            let entries = [0, 14, 135, 149].map(IntersectionId).to_vec();
+            (net, specs, entries)
+        }
+        other => panic!("no deployment defined for {other} cameras"),
+    };
+    let config = SystemConfig {
+        node: NodeConfig {
+            detector_noise: DetectorNoise::perfect(),
+            ..NodeConfig::default()
+        },
+        parallelism,
+        ..SystemConfig::default()
+    };
+    let mut sys = CoralPieSystem::new(net, &specs, config);
+    sys.set_arrivals(PoissonArrivals::new(0.5, entries, 10, 1234));
+    sys.run_until(SimTime::from_secs(5));
+    sys
+}
+
+fn bench_full_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_tick");
+    group.sample_size(10);
+    for cameras in [5usize, 37, 150] {
+        for workers in [1usize, 2, 4] {
+            let id = BenchmarkId::new(format!("{cameras}cams"), workers);
+            group.bench_with_input(id, &(cameras, workers), |b, &(cameras, workers)| {
+                let mut sys = warmed_system(cameras, workers);
+                let mut until = sys.now();
+                b.iter(|| {
+                    until += TICK;
+                    sys.run_until(until);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_tick);
+criterion_main!(benches);

@@ -4,8 +4,8 @@
 //! histogram extraction, Bhattacharyya matching).
 
 use coral_vision::{
-    hungarian, BoundingBox, ColorHistogram, HistogramConfig, ObjectClass, Renderer, Scene,
-    SceneActor, SortConfig, SortTracker, VehicleAppearance,
+    hungarian, BoundingBox, ColorHistogram, Detector, DetectorNoise, HistogramConfig, ObjectClass,
+    Renderer, Scene, SceneActor, SortConfig, SortTracker, SyntheticSsdDetector, VehicleAppearance,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -59,6 +59,33 @@ fn bench_sort_update(c: &mut Criterion) {
                 },
                 criterion::BatchSize::SmallInput,
             );
+        });
+    }
+    group.finish();
+}
+
+fn bench_detect(c: &mut Criterion) {
+    // Table 1 "Detect" row: the synthetic SSD stand-in over scenes of
+    // increasing density.
+    let mut group = c.benchmark_group("ssd_detect_scene");
+    for n in [2usize, 8, 24] {
+        let scene = Scene {
+            width: 640,
+            height: 480,
+            actors: boxes(n, 11)
+                .into_iter()
+                .enumerate()
+                .map(|(i, bbox)| SceneActor {
+                    gt: coral_vision::GroundTruthId(i as u64),
+                    class: ObjectClass::Car,
+                    bbox,
+                    appearance: VehicleAppearance::from_seed(i as u64),
+                })
+                .collect(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scene, |b, scene| {
+            let mut det = SyntheticSsdDetector::new(DetectorNoise::default(), 7);
+            b.iter(|| det.detect(scene));
         });
     }
     group.finish();
@@ -135,6 +162,7 @@ criterion_group!(
     benches,
     bench_hungarian,
     bench_sort_update,
+    bench_detect,
     bench_histogram,
     bench_bhattacharyya,
     bench_render

@@ -34,6 +34,22 @@ pub fn campus_specs() -> (RoadNetwork, Vec<CameraSpec>) {
     (net, specs)
 }
 
+/// A dense `rows × cols` street grid with a camera on every intersection —
+/// the 150-camera scale point of the parallel-speedup study. Cameras face
+/// alternating directions so neighbouring fields of view do not overlap
+/// degenerately.
+pub fn grid_specs(rows: usize, cols: usize) -> (RoadNetwork, Vec<CameraSpec>) {
+    let net = generators::grid(rows, cols, 120.0, 12.0);
+    let specs = (0..rows * cols)
+        .map(|i| CameraSpec {
+            id: CameraId(i as u32),
+            site: IntersectionId(i as u32),
+            videoing_angle_deg: (i % 4) as f64 * 90.0,
+        })
+        .collect();
+    (net, specs)
+}
+
 /// Five cameras along the top row of the campus (sites with branching side
 /// streets) — the §5.5 density study (Fig. 12b) needs diverting traffic, so
 /// the row must have exits between the cameras.
@@ -104,6 +120,11 @@ mod tests {
         }
         let (net, specs) = campus_row(&[0, 1, 2, 3, 4]);
         assert_eq!(specs.len(), 5);
+        for s in &specs {
+            assert!(net.intersection(s.site).is_ok());
+        }
+        let (net, specs) = grid_specs(10, 15);
+        assert_eq!(specs.len(), 150);
         for s in &specs {
             assert!(net.intersection(s.site).is_ok());
         }

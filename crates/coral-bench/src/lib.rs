@@ -8,5 +8,5 @@
 pub mod deploy;
 pub mod report;
 
-pub use deploy::{campus_row, campus_specs, corridor_specs};
+pub use deploy::{campus_row, campus_specs, corridor_specs, grid_specs};
 pub use report::ExperimentLog;

@@ -53,6 +53,13 @@ pub struct SystemConfig {
     /// retransmission with backoff) on every link. `None` keeps the
     /// reliability layer a verbatim passthrough.
     pub reliability: Option<RetryPolicy>,
+    /// Worker threads for the per-tick camera fan-out (the frame analysis
+    /// phase: render → detect → SORT → feature-extract). `1` (or `0`)
+    /// steps cameras sequentially on the engine thread. Results are
+    /// merged back in `CameraId` order before any shared-state effect, so
+    /// every value produces byte-identical runs — parallelism only trades
+    /// wall-clock time.
+    pub parallelism: usize,
     /// Master seed for all stochastic components.
     pub seed: u64,
 }
@@ -74,6 +81,7 @@ impl Default for SystemConfig {
             broadcast: false,
             faults: None,
             reliability: None,
+            parallelism: 1,
             seed: 42,
         }
     }

@@ -14,6 +14,9 @@
 //! - [`runtime`] — [`NodeDriver`] / [`ServerDriver`], the per-actor drive
 //!   units generic over any `coral_net::Transport`, plus the
 //!   discrete-event [`SimRuntime`].
+//! - [`stepper`] — the deterministic scoped worker pool that fans each
+//!   tick's per-camera analysis across threads and merges results in
+//!   `CameraId` order, keeping parallel runs byte-identical.
 //! - [`telemetry`] — run measurements and the [`TelemetrySink`] observer
 //!   seam.
 //! - [`obs`] — the workspace observability glue: protocol counters in the
@@ -57,6 +60,7 @@ pub mod obs;
 pub mod pool;
 pub mod reid;
 pub mod runtime;
+pub mod stepper;
 pub mod system;
 pub mod telemetry;
 
@@ -70,5 +74,6 @@ pub use obs::{CoreObs, NodeObs, ServerObs, Stage};
 pub use pool::{Candidate, CandidatePool, PoolStats};
 pub use reid::{ReIdentifier, ReidConfig, ReidMatch};
 pub use runtime::{LivenessOutcome, NodeDriver, ServerDriver, SimRuntime, SimWorld};
+pub use stepper::{StepStats, Stepper};
 pub use system::CoralPieSystem;
 pub use telemetry::{InformArrival, Recovery, SystemReport, Telemetry, TelemetrySink};

@@ -12,7 +12,7 @@ use coral_sim::CameraView;
 use coral_storage::EdgeStorageNode;
 use coral_topology::CameraId;
 use coral_vision::{
-    DetectorNoise, FrameId, IdentConfig, PostProcessor, Scene, SyntheticSsdDetector,
+    DetectorNoise, Frame, FrameId, IdentConfig, PostProcessor, Scene, SyntheticSsdDetector,
     VehicleIdentification, VehicleObservation,
 };
 use std::collections::BTreeSet;
@@ -66,6 +66,39 @@ pub struct ReidRecord {
     pub local: EventId,
     /// The Bhattacharyya distance of the match.
     pub distance: f64,
+}
+
+/// The node-local result of the expensive per-frame analysis phase
+/// (render → detect → SORT → feature-extract), produced by
+/// [`CameraNode::analyze_frame`] and consumed by
+/// [`CameraNode::commit_frame`].
+///
+/// Analysis touches only node-private state (the tracker, the frame
+/// sequence counter), so different cameras' analyses are independent and
+/// the runtime may compute them in parallel; everything that touches
+/// shared state — storage, the candidate pool, outgoing messages — waits
+/// for the commit phase, which the runtime performs in strict `CameraId`
+/// order (see `DESIGN.md` §5).
+#[derive(Debug)]
+pub struct FrameAnalysis {
+    frame_id: FrameId,
+    completed: Vec<VehicleObservation>,
+    /// Rendered pixels + annotations bound for the edge frame store (only
+    /// when `store_frames` is on; the ingest itself is a commit-phase
+    /// effect so cross-camera storage order stays sequential).
+    stored: Option<(Frame, Vec<coral_storage::Annotation>)>,
+}
+
+impl FrameAnalysis {
+    /// The frame this analysis belongs to.
+    pub fn frame_id(&self) -> FrameId {
+        self.frame_id
+    }
+
+    /// Tracks completed this frame (vehicles that left the FOV).
+    pub fn completed(&self) -> &[VehicleObservation] {
+        &self.completed
+    }
 }
 
 /// Output of processing one frame (or a flush).
@@ -165,23 +198,42 @@ impl CameraNode {
     /// Processes one captured frame. `broadcast_roster`, when set, replaces
     /// MDCS routing with flooding to every listed camera (the baseline of
     /// §5.3); `None` uses the socket group.
+    ///
+    /// Equivalent to [`CameraNode::analyze_frame`] followed immediately by
+    /// [`CameraNode::commit_frame`] — the split exists so the runtime can
+    /// run the expensive analysis phase of many cameras in parallel.
     pub fn on_frame(
         &mut self,
         scene: &Scene,
         now_ms: u64,
         broadcast_roster: Option<&BTreeSet<CameraId>>,
     ) -> FrameOutput {
+        let analysis = self.analyze_frame(scene);
+        self.commit_frame(analysis, now_ms, broadcast_roster)
+    }
+
+    /// The expensive, node-local half of frame processing: render the
+    /// scene, run detection/SORT/feature extraction, and collect the
+    /// tracks completed this frame. Mutates only node-private state (the
+    /// tracker and the frame sequence counter), so analyses of different
+    /// cameras are independent and may run concurrently.
+    pub fn analyze_frame(&mut self, scene: &Scene) -> FrameAnalysis {
         let frame_id = FrameId(self.frame_seq);
         self.frame_seq += 1;
         // Fast path: an empty scene with no live tracks cannot produce
         // detections, matches or expirations — skip rendering/inference.
         // (A camera watching an empty street spends its cycles idling.)
         if scene.actors.is_empty() && self.ident.live_track_count() == 0 {
-            return FrameOutput::default();
+            return FrameAnalysis {
+                frame_id,
+                completed: Vec::new(),
+                stored: None,
+            };
         }
-        let result = if self.store_frames {
-            // Render once, analyse the same pixels, and ship the raw frame
-            // with its annotations to the edge frame store (§4.2.2).
+        if self.store_frames {
+            // Render once, analyse the same pixels, and carry the raw
+            // frame with its annotations to the commit phase for the edge
+            // frame store (§4.2.2).
             let frame = self.ident.render(frame_id, scene);
             let result = self.ident.process_rendered(frame_id, scene, &frame);
             let annotations = result
@@ -192,21 +244,45 @@ impl CameraNode {
                     track: st.id,
                 })
                 .collect();
+            FrameAnalysis {
+                frame_id,
+                completed: result.completed,
+                stored: Some((frame, annotations)),
+            }
+        } else {
+            let result = self.ident.process_scene(frame_id, scene);
+            FrameAnalysis {
+                frame_id,
+                completed: result.completed,
+                stored: None,
+            }
+        }
+    }
+
+    /// The shared-state half of frame processing: ship the stored frame
+    /// (if any) to the edge store and turn each completed track into a
+    /// detection event — storage vertex, pool re-identification, confirm
+    /// and inform messages. The runtime calls this in strict `CameraId`
+    /// order so shared effects interleave exactly as a sequential run.
+    pub fn commit_frame(
+        &mut self,
+        analysis: FrameAnalysis,
+        now_ms: u64,
+        broadcast_roster: Option<&BTreeSet<CameraId>>,
+    ) -> FrameOutput {
+        if let Some((frame, annotations)) = analysis.stored {
             self.storage.ingest_frame(
                 self.id,
                 coral_storage::StoredFrame {
-                    frame: frame_id,
+                    frame: analysis.frame_id,
                     timestamp_ms: now_ms,
                     pixels: Some(frame),
                     annotations,
                 },
             );
-            result
-        } else {
-            self.ident.process_scene(frame_id, scene)
-        };
+        }
         let mut out = FrameOutput::default();
-        for obs in result.completed {
+        for obs in analysis.completed {
             self.handle_observation(obs, now_ms, broadcast_roster, &mut out);
         }
         out
@@ -536,6 +612,34 @@ mod tests {
             0,
         );
         assert_eq!(node.connection().socket_group().reconfigurations(), 1);
+    }
+
+    #[test]
+    fn analyze_then_commit_matches_on_frame() {
+        let storage_a = EdgeStorageNode::default();
+        let storage_b = EdgeStorageNode::default();
+        let mut a = perfect_node(0, storage_a.clone());
+        let mut b = perfect_node(0, storage_b.clone());
+        let mut all_a = FrameOutput::default();
+        let mut all_b = FrameOutput::default();
+        let mut now = 0;
+        for t in 0..15 {
+            merge(&mut all_a, a.on_frame(&car_scene(4, t), now, None));
+            let analysis = b.analyze_frame(&car_scene(4, t));
+            merge(&mut all_b, b.commit_frame(analysis, now, None));
+            now += 96;
+        }
+        for _ in 0..6 {
+            merge(&mut all_a, a.on_frame(&Scene::empty(200, 160), now, None));
+            let analysis = b.analyze_frame(&Scene::empty(200, 160));
+            merge(&mut all_b, b.commit_frame(analysis, now, None));
+            now += 96;
+        }
+        let ids_a: Vec<_> = all_a.events.iter().map(|e| e.event_id()).collect();
+        let ids_b: Vec<_> = all_b.events.iter().map(|e| e.event_id()).collect();
+        assert_eq!(ids_a, ids_b);
+        assert_eq!(all_a.messages.len(), all_b.messages.len());
+        assert_eq!(storage_a.stats(), storage_b.stats());
     }
 
     #[test]

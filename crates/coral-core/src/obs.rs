@@ -21,6 +21,7 @@
 
 use crate::metrics::Passage;
 use crate::node::ReidRecord;
+use crate::stepper::StepStats;
 use crate::telemetry::{Recovery, TelemetrySink};
 use coral_net::{DetectionEvent, EventId, Message};
 use coral_obs::{ArgValue, Counter, Histogram, Observability, Registry, Tracer};
@@ -114,7 +115,19 @@ pub struct CoreObs {
     delivered_confirms: Counter,
     delivered_updates: Counter,
     cloud_bytes: Counter,
+    ticks: Counter,
+    tick_us: Histogram,
+    step_busy_us: Counter,
+    step_critical_us: Counter,
+    step_commit_us: Counter,
 }
+
+/// Metric label values for stepper worker indices (label slices borrow
+/// `&'static str`, so the indices are pre-rendered). Workers beyond the
+/// table share the last bucket.
+const WORKER_LABELS: [&str; 16] = [
+    "0", "1", "2", "3", "4", "5", "6", "7", "8", "9", "10", "11", "12", "13", "14", "15",
+];
 
 impl Default for CoreObs {
     fn default() -> Self {
@@ -143,8 +156,38 @@ impl CoreObs {
                 &[("kind", "topology_update")],
             ),
             cloud_bytes: r.counter("runtime_cloud_bytes_total", &[]),
+            ticks: r.counter("core_tick_total", &[]),
+            tick_us: r.histogram("core_tick_us", &[]),
+            step_busy_us: r.counter("core_step_busy_us_total", &[]),
+            step_critical_us: r.counter("core_step_critical_us_total", &[]),
+            step_commit_us: r.counter("core_step_commit_us_total", &[]),
             inner: Arc::new(Mutex::new(CoreObsInner::default())),
             obs,
+        }
+    }
+
+    /// Records one frame tick: total tick latency, the sequential commit
+    /// phase, and the stepper's per-worker utilization. The busy/critical
+    /// counters accumulate microseconds so `Σ busy / critical` recovers
+    /// the run's schedule speedup even on machines with fewer cores than
+    /// workers (see `exp_speedup`).
+    pub fn note_tick(
+        &self,
+        wall: std::time::Duration,
+        commit: std::time::Duration,
+        step: &StepStats,
+    ) {
+        self.ticks.inc();
+        self.tick_us.observe(wall);
+        self.step_busy_us.add(step.busy_total().as_micros() as u64);
+        self.step_critical_us
+            .add(step.critical_path().as_micros() as u64);
+        self.step_commit_us.add(commit.as_micros() as u64);
+        for (i, &busy) in step.worker_busy.iter().enumerate() {
+            let label = WORKER_LABELS[i.min(WORKER_LABELS.len() - 1)];
+            self.registry()
+                .histogram("core_worker_busy_us", &[("worker", label)])
+                .observe(busy);
         }
     }
 

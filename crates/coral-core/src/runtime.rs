@@ -12,8 +12,9 @@
 
 use crate::deploy::SystemConfig;
 use crate::metrics::Passage;
-use crate::node::{CameraNode, FrameOutput};
+use crate::node::{CameraNode, FrameAnalysis, FrameOutput};
 use crate::obs::{camera_pid, CoreObs, NodeObs, ServerObs, SERVER_PID};
+use crate::stepper::Stepper;
 use crate::telemetry::{Recovery, Telemetry, TelemetrySink};
 use coral_net::{
     Endpoint, Envelope, FaultyTransport, Message, ReliableTransport, SendError, SimNet,
@@ -25,7 +26,7 @@ use coral_storage::EdgeStorageNode;
 use coral_topology::{CameraId, MdcsUpdate, TopologyServer};
 use coral_vision::{GroundTruthId, Scene};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A camera node bound to its transport endpoint — the unit every
 /// deployment mode drives.
@@ -121,10 +122,34 @@ impl<T: Transport> NodeDriver<T> {
         now: SimTime,
         broadcast_roster: Option<&BTreeSet<CameraId>>,
     ) -> Result<FrameOutput, SendError> {
+        let start = Instant::now();
+        let analysis = self.node.analyze_frame(scene);
+        self.commit(analysis, start.elapsed(), now, broadcast_roster)
+    }
+
+    /// Commits a previously computed [`FrameAnalysis`]: runs the
+    /// shared-state half of frame processing and sends the resulting
+    /// protocol messages. `analyze_elapsed` (the wall-clock cost of the
+    /// analysis phase, possibly on another thread) is folded into the
+    /// frame-handling histogram so the split path meters exactly what
+    /// [`NodeDriver::capture`] does.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport failure.
+    pub fn commit(
+        &mut self,
+        analysis: FrameAnalysis,
+        analyze_elapsed: Duration,
+        now: SimTime,
+        broadcast_roster: Option<&BTreeSet<CameraId>>,
+    ) -> Result<FrameOutput, SendError> {
         let start = self.obs.is_some().then(Instant::now);
-        let mut out = self.node.on_frame(scene, now.as_millis(), broadcast_roster);
+        let mut out = self
+            .node
+            .commit_frame(analysis, now.as_millis(), broadcast_roster);
         if let (Some(obs), Some(start)) = (&self.obs, start) {
-            obs.note_frame(start.elapsed());
+            obs.note_frame(analyze_elapsed + start.elapsed());
         }
         self.send_all(now, &mut out.messages)?;
         Ok(out)
@@ -396,6 +421,30 @@ pub(crate) fn sim_link(config: &SystemConfig, raw: SimTransport, endpoint: Endpo
     }
 }
 
+/// One camera's per-tick analysis result, carried from the parallel
+/// analysis phase to the ordered commit phase.
+struct TickAnalysis {
+    id: CameraId,
+    analysis: FrameAnalysis,
+    /// Ground-truth vehicles currently in the camera's FOV (for the
+    /// edge-triggered passage detector).
+    in_fov: HashSet<GroundTruthId>,
+    /// Wall-clock cost of the analysis (possibly on a worker thread).
+    analyze_elapsed: Duration,
+}
+
+// The analysis phase moves each camera's driver (and a shared borrow of
+// the traffic model) onto stepper workers. These bounds are what make
+// that sound; a non-Send field sneaking into the node or transport stack
+// fails compilation here rather than at the distant call site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_sync<T: Sync>() {}
+    assert_send::<CameraNode>();
+    assert_send::<NodeDriver<SimLink>>();
+    assert_sync::<TrafficModel>();
+};
+
 #[derive(Debug)]
 struct RecoveryTracker {
     killed: CameraId,
@@ -583,6 +632,7 @@ impl SimWorld {
     }
 
     fn on_tick(&mut self, now: SimTime) {
+        let tick_start = Instant::now();
         let dt = now.since(self.last_traffic_step);
         // Workload arrivals, then kinematics.
         if let Some(arrivals) = &mut self.arrivals {
@@ -593,14 +643,50 @@ impl SimWorld {
 
         let now_ms = now.as_millis();
         let roster = self.config.broadcast.then(|| self.roster.clone());
-        let ids: Vec<CameraId> = self.alive.iter().copied().collect();
-        for id in ids {
-            let scene = {
-                let driver = self.drivers.get(&id).expect("alive node exists");
-                driver.node().view().scene(&self.traffic)
-            };
+
+        // Phase 1 — analysis fan-out. Scene projection reads only the
+        // traffic model (immutable for the rest of the tick) and the frame
+        // analysis mutates only camera-private state, so every alive
+        // camera's render → detect → SORT → feature-extract chain fans
+        // across the stepper's workers. Results merge back in `CameraId`
+        // order regardless of worker scheduling, which is what keeps
+        // parallel runs byte-identical to sequential ones (DESIGN.md §5).
+        let stepper = Stepper::new(self.config.parallelism);
+        let (analyses, step_stats) = {
+            let traffic = &self.traffic;
+            let alive = &self.alive;
+            let batch: Vec<(CameraId, &mut NodeDriver<SimLink>)> = self
+                .drivers
+                .iter_mut()
+                .filter(|(id, _)| alive.contains(id))
+                .map(|(&id, driver)| (id, driver))
+                .collect();
+            stepper.run(batch, |_, (id, driver)| {
+                let scene = driver.node().view().scene(traffic);
+                let start = Instant::now();
+                let analysis = driver.node_mut().analyze_frame(&scene);
+                let in_fov: HashSet<GroundTruthId> = scene.actors.iter().map(|a| a.gt).collect();
+                TickAnalysis {
+                    id,
+                    analysis,
+                    in_fov,
+                    analyze_elapsed: start.elapsed(),
+                }
+            })
+        };
+
+        // Phase 2 — ordered commit: passages, storage writes, pool
+        // re-identification and message sends replay in strict `CameraId`
+        // order, interleaved exactly as the sequential loop would.
+        let commit_start = Instant::now();
+        for TickAnalysis {
+            id,
+            analysis,
+            in_fov: current,
+            analyze_elapsed,
+        } in analyses
+        {
             // Ground-truth passage detection (edge-triggered on FOV entry).
-            let current: HashSet<GroundTruthId> = scene.actors.iter().map(|a| a.gt).collect();
             let prev = self.in_fov.entry(id).or_default();
             let mut entered: Vec<GroundTruthId> = current.difference(prev).copied().collect();
             // Same-tick entries in id order: HashSet iteration order is
@@ -618,7 +704,7 @@ impl SimWorld {
 
             let driver = self.drivers.get_mut(&id).expect("alive node exists");
             let out = driver
-                .capture(&scene, now, roster.as_ref())
+                .commit(analysis, analyze_elapsed, now, roster.as_ref())
                 .expect(SIM_SEND);
             for e in &out.events {
                 self.emit(|s| s.on_event(id, e.ground_truth, now));
@@ -635,6 +721,8 @@ impl SimWorld {
                 .transport_mut()
                 .tick(now);
         }
+        self.obs
+            .note_tick(tick_start.elapsed(), commit_start.elapsed(), &step_stats);
     }
 
     fn on_heartbeat(&mut self, cam: CameraId, now: SimTime) {

@@ -1,0 +1,269 @@
+//! Deterministic scoped worker pool for the per-tick camera fan-out.
+//!
+//! The paper dedicates two RPis per camera because the per-frame chain
+//! (render → detect → track → feature-extract) is the throughput
+//! bottleneck (§4.1, Table 1); the DES has the same bottleneck in
+//! miniature — one thread stepping every camera sequentially. The
+//! [`Stepper`] fans a tick's per-camera work across a scoped thread pool
+//! and merges results back **by submission index**, so the caller observes
+//! exactly the sequential order no matter which worker ran which item or
+//! how the OS scheduled them. Parallel runs stay byte-identical to
+//! sequential ones as long as the mapped closure itself is deterministic
+//! per item (see `DESIGN.md` §5 for the full argument).
+//!
+//! Work distribution is a static interleaved partition: worker `k` owns
+//! items `k, k + W, k + 2W, …`. Camera workloads within a tick are
+//! near-homogeneous, so the round-robin split balances well, costs no
+//! synchronisation, and — unlike a greedy claim queue — assigns each item
+//! to the same worker on every run and on every host. That keeps the
+//! per-worker busy times in [`StepStats`] meaningful even on machines
+//! with fewer cores than workers (where a greedy queue degenerates: the
+//! first thread scheduled claims everything). The `exp_speedup` baseline
+//! relies on this to compute schedule speedup.
+
+use std::time::{Duration, Instant};
+
+/// Per-step execution statistics: how much wall-clock work each worker
+/// performed and how long the whole fan-out took.
+#[derive(Debug, Clone)]
+pub struct StepStats {
+    /// Number of workers that participated (1 for the sequential path).
+    pub workers: usize,
+    /// Number of items processed.
+    pub items: usize,
+    /// Busy time per worker (time spent inside the mapped closure).
+    pub worker_busy: Vec<Duration>,
+    /// Wall-clock duration of the whole `run` call.
+    pub wall: Duration,
+}
+
+impl StepStats {
+    /// Total busy time summed over all workers — the sequential-equivalent
+    /// work this step performed.
+    pub fn busy_total(&self) -> Duration {
+        self.worker_busy.iter().sum()
+    }
+
+    /// The critical path of the fan-out: the busiest single worker. With
+    /// perfect balance this is `busy_total / workers`.
+    pub fn critical_path(&self) -> Duration {
+        self.worker_busy.iter().max().copied().unwrap_or_default()
+    }
+}
+
+/// A deterministic fork-join executor: fans a batch of items across up to
+/// `parallelism` scoped threads and returns results in submission order.
+///
+/// The pool is scoped per [`Stepper::run`] call (no persistent threads),
+/// so borrowed data — the traffic model, camera drivers — can cross into
+/// workers without `'static` bounds. The calling thread participates as
+/// worker 0; `parallelism <= 1` short-circuits to a plain sequential loop
+/// with zero thread traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct Stepper {
+    workers: usize,
+}
+
+impl Stepper {
+    /// Creates a stepper that uses up to `parallelism` workers
+    /// (`0` is treated as `1`).
+    pub fn new(parallelism: usize) -> Self {
+        Self {
+            workers: parallelism.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item, fanning across workers, and returns the
+    /// results **in submission order** together with per-worker stats.
+    /// `f` receives the item's submission index and the item.
+    pub fn run<T, R, F>(&self, items: Vec<T>, f: F) -> (Vec<R>, StepStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n.max(1));
+        let wall_start = Instant::now();
+        if workers <= 1 {
+            let mut busy = Duration::ZERO;
+            let out: Vec<R> = items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let start = Instant::now();
+                    let r = f(i, item);
+                    busy += start.elapsed();
+                    r
+                })
+                .collect();
+            let stats = StepStats {
+                workers: 1,
+                items: n,
+                worker_busy: vec![busy],
+                wall: wall_start.elapsed(),
+            };
+            return (out, stats);
+        }
+
+        // Static interleaved partition: worker k owns items k, k+W, k+2W…
+        // Each worker takes ownership of its share up front, so the only
+        // cross-thread traffic is the fork and the join.
+        let mut shares: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            shares[i % workers].push((i, item));
+        }
+        let mut per_worker: Vec<(Vec<(usize, R)>, Duration)> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let rest = shares.split_off(1);
+            let handles: Vec<_> = rest
+                .into_iter()
+                .map(|share| scope.spawn(|| worker_loop(share, &f)))
+                .collect();
+            // The calling thread is worker 0.
+            per_worker.push(worker_loop(shares.pop().expect("worker 0 share"), &f));
+            for handle in handles {
+                per_worker.push(handle.join().expect("stepper worker panicked"));
+            }
+        });
+
+        // Merge by submission index: the output order is a pure function
+        // of the input order, independent of worker scheduling.
+        let mut merged: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut worker_busy = Vec::with_capacity(workers);
+        for (results, busy) in per_worker {
+            worker_busy.push(busy);
+            for (i, r) in results {
+                merged[i] = Some(r);
+            }
+        }
+        let out: Vec<R> = merged
+            .into_iter()
+            .map(|r| r.expect("every claimed slot produced a result"))
+            .collect();
+        let stats = StepStats {
+            workers,
+            items: n,
+            worker_busy,
+            wall: wall_start.elapsed(),
+        };
+        (out, stats)
+    }
+}
+
+fn worker_loop<T, R>(
+    share: Vec<(usize, T)>,
+    f: &(impl Fn(usize, T) -> R + Sync),
+) -> (Vec<(usize, R)>, Duration) {
+    let mut out = Vec::with_capacity(share.len());
+    let mut busy = Duration::ZERO;
+    for (i, item) in share {
+        let start = Instant::now();
+        out.push((i, f(i, item)));
+        busy += start.elapsed();
+    }
+    (out, busy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (out, stats) = Stepper::new(4).run(Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.items, 0);
+        assert_eq!(stats.busy_total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn sequential_path_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let (out, stats) = Stepper::new(1).run(items, |i, x| (i as u64) * 1000 + x * 3);
+        let expect: Vec<u64> = (0..100).map(|x| x * 1000 + x * 3).collect();
+        assert_eq!(out, expect);
+        assert_eq!(stats.workers, 1);
+        assert_eq!(stats.worker_busy.len(), 1);
+    }
+
+    #[test]
+    fn parallel_output_matches_sequential_for_all_widths() {
+        let items: Vec<u64> = (0..257).collect();
+        let (seq, _) = Stepper::new(1).run(items.clone(), |i, x| x.wrapping_mul(31) ^ i as u64);
+        for workers in [2, 3, 4, 8, 16] {
+            let (par, stats) =
+                Stepper::new(workers).run(items.clone(), |i, x| x.wrapping_mul(31) ^ i as u64);
+            assert_eq!(par, seq, "workers={workers}");
+            assert_eq!(stats.items, items.len());
+            assert!(stats.workers <= workers);
+        }
+    }
+
+    #[test]
+    fn workers_capped_by_item_count() {
+        let (out, stats) = Stepper::new(8).run(vec![1u32, 2], |_, x| x * 2);
+        assert_eq!(out, vec![2, 4]);
+        assert!(stats.workers <= 2);
+    }
+
+    #[test]
+    fn mutable_borrows_cross_into_workers() {
+        // The per-tick use: &mut driver state moves into workers, results
+        // merge back in order.
+        let mut cells: Vec<u64> = (0..64).collect();
+        let items: Vec<&mut u64> = cells.iter_mut().collect();
+        let (out, _) = Stepper::new(4).run(items, |i, cell| {
+            *cell += 100;
+            (i, *cell)
+        });
+        for (i, (idx, val)) in out.into_iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(val, i as u64 + 100);
+        }
+        assert_eq!(cells[63], 163);
+    }
+
+    #[test]
+    fn partition_is_static_round_robin() {
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+        let workers = 4usize;
+        let seen: Mutex<Vec<(usize, ThreadId)>> = Mutex::new(Vec::new());
+        let items: Vec<usize> = (0..40).collect();
+        Stepper::new(workers).run(items, |i, x| {
+            seen.lock().unwrap().push((i, std::thread::current().id()));
+            x
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 40);
+        // Every index pair i, i+W must have run on the same worker thread.
+        let thread_of = |i: usize| seen.iter().find(|(j, _)| *j == i).unwrap().1;
+        for i in 0..40 - workers {
+            assert_eq!(
+                thread_of(i),
+                thread_of(i + workers),
+                "items {i} and {} must share a worker",
+                i + workers
+            );
+        }
+    }
+
+    #[test]
+    fn busy_stats_cover_all_work() {
+        let items: Vec<u64> = (0..32).collect();
+        let (_, stats) = Stepper::new(4).run(items, |_, x| {
+            // Enough work to register a nonzero busy time.
+            (0..2000).fold(x, |acc, i| {
+                acc.wrapping_mul(6364136223846793005).wrapping_add(i)
+            })
+        });
+        assert_eq!(stats.worker_busy.len(), stats.workers);
+        assert!(stats.busy_total() >= stats.critical_path());
+    }
+}

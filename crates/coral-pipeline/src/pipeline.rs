@@ -57,6 +57,12 @@ impl<T: Send + 'static> PipelineBuilder<T> {
 
     /// Sets the inter-stage channel capacity (default 1: classic pipelining
     /// with minimal buffering, as between the RPi threads).
+    ///
+    /// A capacity of `0` is clamped to `1`: crossbeam's zero-capacity
+    /// channel is a rendezvous (a send blocks until a receive is ready),
+    /// which would change the timing semantics the profiler measures and,
+    /// before the clamp, could wedge a feed thread against a stage that is
+    /// mid-service. The clamp keeps `0` meaning "minimal buffering".
     pub fn channel_capacity(mut self, cap: usize) -> Self {
         self.channel_capacity = cap.max(1);
         self
@@ -270,6 +276,19 @@ mod tests {
             .channel_capacity(8)
             .stage("a", |x: u64| x)
             .run(0..50u64);
+        assert_eq!(report.items, 50);
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_and_runs_to_completion() {
+        // Regression: a zero-capacity (rendezvous) channel must not leak
+        // into the pipeline; `0` clamps to `1` and the run completes.
+        let builder = PipelineBuilder::new()
+            .channel_capacity(0)
+            .stage("a", |x: u64| x + 1)
+            .stage("b", |x: u64| x * 2);
+        assert!(format!("{builder:?}").contains("channel_capacity: 1"));
+        let report = builder.run(0..50u64);
         assert_eq!(report.items, 50);
     }
 }

@@ -1,0 +1,67 @@
+//! Threaded-path regression: `PipelineBuilder::run` must produce exactly
+//! the outputs (values and order) of `run_sequential` for the same input.
+//! Stages run on dedicated threads connected by FIFO channels, so item
+//! order — and therefore any order-sensitive stage state — is preserved.
+
+use coral_pipeline::PipelineBuilder;
+use std::sync::{Arc, Mutex};
+
+/// Builds a two-stage transform pipeline whose final stage records every
+/// item it sees into `sink`.
+fn build(sink: Arc<Mutex<Vec<u64>>>) -> PipelineBuilder<u64> {
+    PipelineBuilder::new()
+        .stage("affine", |x: u64| x.wrapping_mul(3).wrapping_add(1))
+        .stage("fold", |x: u64| x ^ (x >> 3))
+        .stage("record", move |x: u64| {
+            sink.lock().unwrap().push(x);
+            x
+        })
+}
+
+#[test]
+fn threaded_and_sequential_outputs_are_identical() {
+    let input: Vec<u64> = (0..500).map(|i| i * 17 + 5).collect();
+
+    let seq_sink = Arc::new(Mutex::new(Vec::new()));
+    let seq_report = build(seq_sink.clone()).run_sequential(input.clone());
+
+    let par_sink = Arc::new(Mutex::new(Vec::new()));
+    let par_report = build(par_sink.clone()).run(input.clone());
+
+    assert_eq!(seq_report.items, input.len());
+    assert_eq!(par_report.items, seq_report.items);
+    let seq_out = seq_sink.lock().unwrap().clone();
+    let par_out = par_sink.lock().unwrap().clone();
+    assert_eq!(seq_out.len(), input.len());
+    assert_eq!(
+        par_out, seq_out,
+        "threaded pipeline must preserve item order and values"
+    );
+}
+
+#[test]
+fn parity_holds_with_stateful_stage_and_larger_capacity() {
+    // A stateful stage (running sum) is order-sensitive: any reordering in
+    // the threaded path would change downstream values, not just order.
+    let input: Vec<u64> = (0..300).collect();
+    let build = |sink: Arc<Mutex<Vec<u64>>>| {
+        let mut acc = 0u64;
+        PipelineBuilder::new()
+            .channel_capacity(8)
+            .stage("prefix_sum", move |x: u64| {
+                acc = acc.wrapping_add(x);
+                acc
+            })
+            .stage("record", move |x: u64| {
+                sink.lock().unwrap().push(x);
+                x
+            })
+    };
+
+    let seq_sink = Arc::new(Mutex::new(Vec::new()));
+    build(seq_sink.clone()).run_sequential(input.clone());
+    let par_sink = Arc::new(Mutex::new(Vec::new()));
+    build(par_sink.clone()).run(input);
+
+    assert_eq!(*par_sink.lock().unwrap(), *seq_sink.lock().unwrap());
+}

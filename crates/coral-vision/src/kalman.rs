@@ -252,6 +252,13 @@ impl KalmanBoxFilter {
     pub fn velocity(&self) -> (f64, f64) {
         (self.x[4], self.x[5])
     }
+
+    /// The state covariance `P` (row-major). A well-conditioned filter
+    /// keeps `P` symmetric positive-semidefinite through any
+    /// predict/update sequence — the invariant the property tests pin.
+    pub fn covariance(&self) -> [[f64; 7]; 7] {
+        self.p
+    }
 }
 
 #[cfg(test)]

@@ -42,3 +42,19 @@ pub use interval::{DetectAndTrack, DetectAndTrackConfig};
 pub use kalman::KalmanBoxFilter;
 pub use render::{GroundTruthId, ObjectClass, Renderer, Scene, SceneActor, VehicleAppearance};
 pub use sort::{ExpiredTrack, SortConfig, SortOutput, SortTracker, TrackId, TrackState};
+
+// The hot per-frame kernels cross thread boundaries in the runtime's
+// parallel camera stepper: each worker owns one camera's tracker state
+// exclusively (`&mut`, no aliasing) while sharing read-only scene data.
+// These bounds keep that sound at compile time — none of the kernels may
+// grow non-`Send`/`Sync` interior state (`Rc`, `RefCell`, raw pointers).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KalmanBoxFilter>();
+    assert_send_sync::<SortTracker>();
+    assert_send_sync::<ColorHistogram>();
+    assert_send_sync::<SignatureAccumulator>();
+    assert_send_sync::<Frame>();
+    assert_send_sync::<Scene>();
+    assert_send_sync::<VehicleIdentification<SyntheticSsdDetector>>();
+};

@@ -1,0 +1,87 @@
+//! Property test: the JV-style Hungarian solver is exactly optimal.
+//!
+//! On every random rectangular cost matrix up to 6×6, the solver's total
+//! assignment cost must equal the exhaustively enumerated optimum, the
+//! matching must be maximum (`min(n, m)` pairs), and no column may be
+//! assigned twice. SORT's per-frame data association rides on this
+//! solver, so a sub-optimal corner case would silently degrade tracking.
+
+use coral_vision::hungarian::{assign, total_cost};
+use proptest::prelude::*;
+
+/// Exhaustive optimal assignment cost (reference implementation).
+fn brute_force(cost: &[Vec<f64>]) -> f64 {
+    let n = cost.len();
+    let m = cost[0].len();
+    if n > m {
+        let t: Vec<Vec<f64>> = (0..m)
+            .map(|j| (0..n).map(|i| cost[i][j]).collect())
+            .collect();
+        return brute_force(&t);
+    }
+    let cols: Vec<usize> = (0..m).collect();
+    let mut best = f64::INFINITY;
+    permute(&cols, n, &mut Vec::new(), &mut |perm| {
+        let c: f64 = perm.iter().enumerate().map(|(i, &j)| cost[i][j]).sum();
+        if c < best {
+            best = c;
+        }
+    });
+    best
+}
+
+fn permute(pool: &[usize], k: usize, cur: &mut Vec<usize>, f: &mut impl FnMut(&[usize])) {
+    if cur.len() == k {
+        f(cur);
+        return;
+    }
+    for &c in pool {
+        if !cur.contains(&c) {
+            cur.push(c);
+            permute(pool, k, cur, f);
+            cur.pop();
+        }
+    }
+}
+
+fn arb_cost_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, m), n)
+    })
+}
+
+proptest! {
+    #[test]
+    fn assignment_is_optimal_and_well_formed(cost in arb_cost_matrix()) {
+        let n = cost.len();
+        let m = cost[0].len();
+        let a = assign(&cost);
+        prop_assert_eq!(a.len(), n, "one assignment slot per row");
+        let assigned: Vec<usize> = a.iter().flatten().copied().collect();
+        for &j in &assigned {
+            prop_assert!(j < m, "column {} out of range", j);
+        }
+        let mut dedup = assigned.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), assigned.len(), "columns must be distinct");
+        prop_assert_eq!(assigned.len(), n.min(m), "matching must be maximum");
+        let got = total_cost(&cost, &a);
+        let best = brute_force(&cost);
+        prop_assert!(
+            (got - best).abs() < 1e-9,
+            "{}x{}: solver cost {} vs brute-force optimum {}",
+            n, m, got, best
+        );
+    }
+
+    #[test]
+    fn row_permutation_preserves_optimal_cost(cost in arb_cost_matrix()) {
+        // The optimum is a set property: reversing the row order must not
+        // change the achievable total cost.
+        let reversed: Vec<Vec<f64>> = cost.iter().rev().cloned().collect();
+        let c0 = total_cost(&cost, &assign(&cost));
+        let c1 = total_cost(&reversed, &assign(&reversed));
+        prop_assert!((c0 - c1).abs() < 1e-9, "{} vs {}", c0, c1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the appearance and tracking kernels the parallel
+//! stepper fans across threads: Bhattacharyya distance symmetry/range and
+//! Kalman covariance positive-semidefiniteness over random tracks.
+
+use coral_vision::{BoundingBox, ColorHistogram, Frame, HistogramConfig, KalmanBoxFilter};
+use proptest::prelude::*;
+
+fn arb_histogram() -> impl Strategy<Value = ColorHistogram> {
+    proptest::collection::vec(0u8..=255, 8 * 8 * 3).prop_map(|data| {
+        let frame = Frame::from_raw(8, 8, data).unwrap();
+        let bbox = BoundingBox::new(0.0, 0.0, 8.0, 8.0).unwrap();
+        ColorHistogram::extract(&frame, &bbox, &HistogramConfig::default())
+    })
+}
+
+/// One simulated observation step: box center/size plus whether the
+/// detector saw the vehicle (misses leave the filter coasting).
+type TrackStep = (f64, f64, f64, f64, bool);
+
+fn arb_track() -> impl Strategy<Value = Vec<TrackStep>> {
+    proptest::collection::vec(
+        (
+            30.0f64..610.0,
+            30.0f64..450.0,
+            8.0f64..120.0,
+            6.0f64..90.0,
+            any::<bool>(),
+        ),
+        1..200,
+    )
+}
+
+/// Checks that `p` is symmetric, finite, and positive-semidefinite up to
+/// numerical tolerance — by Cholesky-factoring `P + εI` with
+/// `ε = 1e-9·(1 + tr P)`. Success proves every eigenvalue of `P` is
+/// ≥ −ε, i.e. any negativity is pure floating-point round-off.
+fn check_covariance_psd(p: &[[f64; 7]; 7]) -> Result<(), String> {
+    let mut a = [[0.0f64; 7]; 7];
+    for i in 0..7 {
+        for j in 0..7 {
+            if !p[i][j].is_finite() {
+                return Err(format!("non-finite P[{i}][{j}] = {}", p[i][j]));
+            }
+            let scale = 1.0 + p[i][i].abs().max(p[j][j].abs());
+            if (p[i][j] - p[j][i]).abs() > 1e-6 * scale {
+                return Err(format!(
+                    "asymmetry at ({i},{j}): {} vs {}",
+                    p[i][j], p[j][i]
+                ));
+            }
+            a[i][j] = 0.5 * (p[i][j] + p[j][i]);
+        }
+    }
+    let trace: f64 = (0..7).map(|i| a[i][i]).sum();
+    if trace < 0.0 {
+        return Err(format!("negative trace {trace}"));
+    }
+    let eps = 1e-9 * (1.0 + trace);
+    let mut l = [[0.0f64; 7]; 7];
+    for i in 0..7 {
+        for j in 0..=i {
+            let mut s = a[i][j] + if i == j { eps } else { 0.0 };
+            s -= l[i]
+                .iter()
+                .zip(&l[j])
+                .take(j)
+                .map(|(x, y)| x * y)
+                .sum::<f64>();
+            if i == j {
+                if s <= 0.0 {
+                    return Err(format!("not PSD: Cholesky pivot {s} at row {i}"));
+                }
+                l[i][i] = s.sqrt();
+            } else {
+                l[i][j] = s / l[j][j];
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn bhattacharyya_symmetry_and_range(a in arb_histogram(), b in arb_histogram()) {
+        let ab = a.bhattacharyya_distance(&b);
+        let ba = b.bhattacharyya_distance(&a);
+        prop_assert!((0.0..=1.0).contains(&ab), "distance {} out of [0,1]", ab);
+        prop_assert!((ab - ba).abs() < 1e-12, "asymmetric: {} vs {}", ab, ba);
+        prop_assert!(a.bhattacharyya_distance(&a) < 1e-6, "self-distance must vanish");
+        let coef = a.bhattacharyya_coefficient(&b);
+        prop_assert!((0.0..=1.0).contains(&coef), "coefficient {} out of [0,1]", coef);
+        // Distance and coefficient are the same comparison on two scales.
+        prop_assert!(
+            (ab - (1.0 - coef).max(0.0).sqrt()).abs() < 1e-12,
+            "d={} inconsistent with BC={}", ab, coef
+        );
+    }
+
+    #[test]
+    fn kalman_covariance_stays_psd(track in arb_track()) {
+        let (cx0, cy0, w0, h0, _) = track[0];
+        let mut filter =
+            KalmanBoxFilter::new(&BoundingBox::from_center(cx0, cy0, w0, h0).unwrap());
+        prop_assert!(check_covariance_psd(&filter.covariance()).is_ok());
+        for (step, &(cx, cy, w, h, observed)) in track.iter().enumerate() {
+            filter.predict();
+            if observed {
+                filter.update(&BoundingBox::from_center(cx, cy, w, h).unwrap());
+            }
+            if let Err(why) = check_covariance_psd(&filter.covariance()) {
+                prop_assert!(false, "step {}: {}", step, why);
+            }
+            // The state estimate itself must stay finite alongside P.
+            let bbox = filter.current_bbox();
+            prop_assert!(bbox.area().is_finite());
+        }
+    }
+}
