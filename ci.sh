@@ -30,6 +30,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy -p coral-net --lib (deny unwrap_used)"
 cargo clippy -p coral-net --lib -- -D warnings -D clippy::unwrap-used
 
+# The evaluation layer is itself a gate; keep it strictly lint-clean.
+echo "==> cargo clippy -p coral-eval (deny warnings)"
+cargo clippy -p coral-eval --all-targets -- -D warnings
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -50,6 +54,16 @@ for seed in a b c; do
     echo "==> chaos matrix: fault seed ${seed}"
     cargo test -q --test chaos_self_healing "chaos_recovery_seed_${seed}"
 done
+
+# Accuracy regression gates: replay corridor scenarios, score against the
+# simulator's ground-truth log, and diff MOTA/IDF1/per-camera F2 against
+# the checked-in goldens (tolerance +/-0.02; counts and seeds exact).
+# Bless intentional metric changes with CORAL_EVAL_BLESS=1. The ignored
+# matrix widens coverage to 3 corridor widths x 2 seeds.
+echo "==> eval smoke + golden drift gate"
+cargo test -q -p coral-eval
+echo "==> eval matrix: 3 scenarios x 2 seeds"
+cargo test -q -p coral-eval --test smoke -- --ignored
 
 # Parallel determinism matrix: every scenario x seed must fingerprint
 # byte-identically at parallelism 1, 2 and 8 (the smoke subset already ran

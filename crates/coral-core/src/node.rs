@@ -12,8 +12,8 @@ use coral_sim::CameraView;
 use coral_storage::EdgeStorageNode;
 use coral_topology::CameraId;
 use coral_vision::{
-    DetectorNoise, Frame, FrameId, IdentConfig, PostProcessor, Scene, SyntheticSsdDetector,
-    VehicleIdentification, VehicleObservation,
+    DetectorNoise, Frame, FrameId, GroundTruthId, IdentConfig, PostProcessor, Scene,
+    SyntheticSsdDetector, VehicleIdentification, VehicleObservation,
 };
 use std::collections::BTreeSet;
 
@@ -87,6 +87,9 @@ pub struct FrameAnalysis {
     /// when `store_frames` is on; the ingest itself is a commit-phase
     /// effect so cross-camera storage order stays sequential).
     stored: Option<(Frame, Vec<coral_storage::Annotation>)>,
+    /// Ground-truth vehicles the detector fired on this frame, ascending
+    /// id (evaluation only; see `IdentFrameResult::detected_gt`).
+    detected: Vec<GroundTruthId>,
 }
 
 impl FrameAnalysis {
@@ -98,6 +101,12 @@ impl FrameAnalysis {
     /// Tracks completed this frame (vehicles that left the FOV).
     pub fn completed(&self) -> &[VehicleObservation] {
         &self.completed
+    }
+
+    /// Ground-truth vehicles the detector fired on this frame, ascending
+    /// id (evaluation only).
+    pub fn detected(&self) -> &[GroundTruthId] {
+        &self.detected
     }
 }
 
@@ -228,6 +237,7 @@ impl CameraNode {
                 frame_id,
                 completed: Vec::new(),
                 stored: None,
+                detected: Vec::new(),
             };
         }
         if self.store_frames {
@@ -248,6 +258,7 @@ impl CameraNode {
                 frame_id,
                 completed: result.completed,
                 stored: Some((frame, annotations)),
+                detected: result.detected_gt,
             }
         } else {
             let result = self.ident.process_scene(frame_id, scene);
@@ -255,6 +266,7 @@ impl CameraNode {
                 frame_id,
                 completed: result.completed,
                 stored: None,
+                detected: result.detected_gt,
             }
         }
     }

@@ -21,7 +21,7 @@ use coral_net::{
     SimTransport, Transport,
 };
 use coral_sim::engine::{Action, Context};
-use coral_sim::{Engine, PoissonArrivals, SimDuration, SimTime, TrafficModel};
+use coral_sim::{Engine, GroundTruthLog, PoissonArrivals, SimDuration, SimTime, TrafficModel};
 use coral_storage::EdgeStorageNode;
 use coral_topology::{CameraId, MdcsUpdate, TopologyServer};
 use coral_vision::{GroundTruthId, Scene};
@@ -472,6 +472,7 @@ pub struct SimWorld {
     obs: CoreObs,
     sinks: Vec<Box<dyn TelemetrySink + Send>>,
     in_fov: HashMap<CameraId, HashSet<GroundTruthId>>,
+    ground_truth: GroundTruthLog,
     recovery_trackers: Vec<RecoveryTracker>,
     pending_kills: Vec<(CameraId, SimTime)>,
 }
@@ -545,6 +546,7 @@ impl SimWorld {
             obs,
             sinks: Vec::new(),
             in_fov: HashMap::new(),
+            ground_truth: GroundTruthLog::new(),
             recovery_trackers: Vec::new(),
             pending_kills: Vec::new(),
             config,
@@ -604,6 +606,15 @@ impl SimWorld {
     /// Accumulated telemetry.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// The ground-truth FOV interval log (what each camera *should* have
+    /// seen). Open intervals are closed by [`CoralPieSystem::finish`];
+    /// read it after the run for complete intervals.
+    ///
+    /// [`CoralPieSystem::finish`]: crate::CoralPieSystem::finish
+    pub fn ground_truth(&self) -> &GroundTruthLog {
+        &self.ground_truth
     }
 
     /// The deployment-wide observability bundle: the shared metrics
@@ -686,20 +697,33 @@ impl SimWorld {
             analyze_elapsed,
         } in analyses
         {
-            // Ground-truth passage detection (edge-triggered on FOV entry).
+            // Ground-truth passage detection (edge-triggered on FOV entry)
+            // plus the exit edge for the ground-truth interval log.
             let prev = self.in_fov.entry(id).or_default();
             let mut entered: Vec<GroundTruthId> = current.difference(prev).copied().collect();
+            let mut exited: Vec<GroundTruthId> = prev.difference(&current).copied().collect();
             // Same-tick entries in id order: HashSet iteration order is
             // seeded per process and must not leak into the record.
             entered.sort_unstable();
+            exited.sort_unstable();
             *prev = current;
+            for gt in exited {
+                self.ground_truth.record_exit(id, gt, now_ms);
+            }
             for gt in entered {
+                self.ground_truth.record_entry(id, gt, now_ms);
                 let passage = Passage {
                     camera: id,
                     vehicle: gt,
                     entered_ms: now_ms,
                 };
                 self.emit(|s| s.on_passage(&passage));
+            }
+
+            // Raw detection evidence for the evaluation layer's per-stage
+            // error attribution (detect-miss vs. track-loss).
+            for &gt in analysis.detected() {
+                self.emit(|s| s.on_detection(id, gt, now));
             }
 
             let driver = self.drivers.get_mut(&id).expect("alive node exists");
@@ -806,6 +830,10 @@ impl SimWorld {
 
     fn on_kill(&mut self, cam: CameraId, now: SimTime) {
         if self.alive.remove(&cam) {
+            // A dead camera observes nothing: close its ground-truth
+            // intervals at the kill instant. (`in_fov` is cleared on
+            // restore, so re-detection reopens them.)
+            self.ground_truth.close_camera(cam, now.as_millis());
             self.pending_kills.push((cam, now));
         }
     }
@@ -847,6 +875,7 @@ impl SimWorld {
 
     pub(crate) fn finish(&mut self, now: SimTime) {
         let now_ms = now.as_millis();
+        self.ground_truth.close_all(now_ms);
         let roster = self.config.broadcast.then(|| self.roster.clone());
         let mut pending: Vec<(CameraId, Message)> = Vec::new();
         let ids: Vec<CameraId> = self.alive.iter().copied().collect();

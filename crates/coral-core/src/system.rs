@@ -125,6 +125,14 @@ impl CoralPieSystem {
         self.runtime.world().telemetry()
     }
 
+    /// The ground-truth FOV interval log: which vehicle was in which
+    /// camera's field of view, and when. Open intervals are closed by
+    /// [`CoralPieSystem::finish`]; the evaluation layer scores trajectory
+    /// graphs against this record.
+    pub fn ground_truth(&self) -> &coral_sim::GroundTruthLog {
+        self.runtime.world().ground_truth()
+    }
+
     /// The deployment-wide observability bundle: the shared metrics
     /// registry (protocol counters, stage/storage latency histograms) and
     /// the per-vehicle causal tracer.

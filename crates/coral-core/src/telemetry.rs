@@ -56,6 +56,12 @@ pub trait TelemetrySink {
         let _ = passage;
     }
 
+    /// The detector fired on a ground-truth vehicle this frame (raw
+    /// detection evidence, before tracking; evaluation only).
+    fn on_detection(&mut self, camera: CameraId, vehicle: GroundTruthId, at: SimTime) {
+        let _ = (camera, vehicle, at);
+    }
+
     /// A camera generated a detection event.
     fn on_event(&mut self, camera: CameraId, ground_truth: Option<GroundTruthId>, at: SimTime) {
         let _ = (camera, ground_truth, at);
@@ -88,6 +94,10 @@ pub struct Telemetry {
     pub recoveries: Vec<Recovery>,
     /// Detection events generated: `(camera, ground truth, at)`.
     pub events: Vec<(CameraId, Option<GroundTruthId>, SimTime)>,
+    /// Per-frame detector hits on ground-truth vehicles:
+    /// `(camera, vehicle, at)`. The raw evidence the evaluation layer uses
+    /// to attribute misses to the detect stage vs. the track stage.
+    pub detections: Vec<(CameraId, GroundTruthId, SimTime)>,
     /// Total messages delivered.
     pub messages_delivered: u64,
     /// Inform messages delivered.
@@ -108,6 +118,10 @@ pub struct Telemetry {
 impl TelemetrySink for Telemetry {
     fn on_passage(&mut self, passage: &Passage) {
         self.passages.push(*passage);
+    }
+
+    fn on_detection(&mut self, camera: CameraId, vehicle: GroundTruthId, at: SimTime) {
+        self.detections.push((camera, vehicle, at));
     }
 
     fn on_event(&mut self, camera: CameraId, ground_truth: Option<GroundTruthId>, at: SimTime) {
@@ -156,6 +170,10 @@ impl TelemetrySink for Telemetry {
 impl<S: TelemetrySink> TelemetrySink for std::sync::Arc<parking_lot::Mutex<S>> {
     fn on_passage(&mut self, passage: &Passage) {
         self.lock().on_passage(passage);
+    }
+
+    fn on_detection(&mut self, camera: CameraId, vehicle: GroundTruthId, at: SimTime) {
+        self.lock().on_detection(camera, vehicle, at);
     }
 
     fn on_event(&mut self, camera: CameraId, ground_truth: Option<GroundTruthId>, at: SimTime) {

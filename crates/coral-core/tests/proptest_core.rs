@@ -86,6 +86,41 @@ proptest! {
     }
 
     #[test]
+    fn f_beta_is_finite_and_bounded_for_any_positive_beta(
+        tp in 0u64..1_000_000,
+        fp in 0u64..1_000_000,
+        fn_ in 0u64..1_000_000,
+        beta in 1e-6f64..64.0,
+    ) {
+        let acc = Accuracy { tp, fp, fn_ };
+        let f = acc.f_beta(beta);
+        prop_assert!(!f.is_nan(), "f_beta({beta}) is NaN for {acc:?}");
+        prop_assert!((0.0..=1.0).contains(&f), "f_beta({beta}) = {f} for {acc:?}");
+    }
+
+    #[test]
+    fn accuracy_merge_is_commutative_and_associative(
+        a in (0u64..1000, 0u64..1000, 0u64..1000),
+        b in (0u64..1000, 0u64..1000, 0u64..1000),
+        c in (0u64..1000, 0u64..1000, 0u64..1000),
+    ) {
+        let acc = |(tp, fp, fn_)| Accuracy { tp, fp, fn_ };
+        // Named fn, not a closure: rustc 1.95 at opt-level 1 miscompiles
+        // closures that mutate and return a by-value `mut` parameter.
+        fn merged(mut x: Accuracy, y: Accuracy) -> Accuracy {
+            x.merge(y);
+            x
+        }
+        // Commutative: a ∪ b == b ∪ a.
+        prop_assert_eq!(merged(acc(a), acc(b)), merged(acc(b), acc(a)));
+        // Associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+        prop_assert_eq!(
+            merged(merged(acc(a), acc(b)), acc(c)),
+            merged(acc(a), merged(acc(b), acc(c)))
+        );
+    }
+
+    #[test]
     fn f_beta_bounds_and_monotonicity(tp in 0u64..50, fp in 0u64..50, fn_ in 0u64..50) {
         let acc = Accuracy { tp, fp, fn_ };
         for beta in [0.5, 1.0, 2.0] {

@@ -1,0 +1,265 @@
+//! Golden-score regression gates.
+//!
+//! Accuracy is pinned, not just measured: each blessed scenario has a
+//! golden JSON file under `crates/coral-eval/golden/` recording the
+//! scores it achieved at bless time. [`check_golden`] re-renders the
+//! current run and fails with a field-by-field diff when any gated score
+//! drifts past tolerance — so a change that silently degrades tracking
+//! accuracy fails the test suite instead of shipping.
+//!
+//! **Gated fields and tolerances** (see also `DESIGN.md` §6): the
+//! ground-truth visit count must match exactly (same scenario + seed ⇒
+//! identical simulated traffic), while `mota`, `idf1` and each
+//! per-camera `f2` may drift by at most [`GoldenTolerance::score`]
+//! (default ±0.02) to absorb benign refactors of the vision/infra layers
+//! without letting real regressions through.
+//!
+//! Bless or re-bless by running the suite with `CORAL_EVAL_BLESS=1`.
+
+use crate::replay::EvalReport;
+use coral_obs::json::{self, JsonValue};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Permitted drift for gated scores.
+#[derive(Debug, Clone, Copy)]
+pub struct GoldenTolerance {
+    /// Absolute tolerance on `mota`, `idf1` and per-camera `f2`.
+    pub score: f64,
+}
+
+impl Default for GoldenTolerance {
+    fn default() -> Self {
+        Self { score: 0.02 }
+    }
+}
+
+/// Renders the golden-file JSON for a report: flat, sorted keys, stable
+/// float formatting — byte-identical across runs of the same build.
+pub fn render_report(report: &EvalReport) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"scenario\": {},", json::quote(&report.scenario));
+    let _ = writeln!(s, "  \"seed\": {},", report.seed);
+    let _ = writeln!(s, "  \"gt_intervals\": {},", report.score.gt_intervals);
+    let _ = writeln!(s, "  \"hyp_vertices\": {},", report.score.hyp_vertices);
+    let _ = writeln!(s, "  \"matches\": {},", report.score.matches);
+    let _ = writeln!(s, "  \"misses\": {},", report.score.misses);
+    let _ = writeln!(
+        s,
+        "  \"false_positives\": {},",
+        report.score.false_positives
+    );
+    let _ = writeln!(s, "  \"id_switches\": {},", report.score.id_switches);
+    let _ = writeln!(s, "  \"fragmentations\": {},", report.score.fragmentations);
+    let _ = writeln!(s, "  \"idtp\": {},", report.score.idtp);
+    let _ = writeln!(s, "  \"mota\": {},", json::number(report.mota()));
+    let _ = writeln!(s, "  \"idf1\": {},", json::number(report.idf1()));
+    let _ = writeln!(
+        s,
+        "  \"attribution\": {{\"detect_miss\": {}, \"track_loss\": {}, \"handoff_miss\": {}, \"reid_mismatch\": {}, \"unattributed\": {}}},",
+        report.attribution.detect_miss,
+        report.attribution.track_loss,
+        report.attribution.handoff_miss,
+        report.attribution.reid_mismatch,
+        report.attribution.unattributed,
+    );
+    s.push_str("  \"per_camera_f2\": {");
+    for (i, (cam, f2)) in report.per_camera_f2.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "\"{cam}\": {}", json::number(*f2));
+    }
+    s.push_str("}\n}\n");
+    s
+}
+
+/// Where the golden file for `name` lives (inside the crate source tree,
+/// so blessed scores are checked in and reviewed like code).
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{name}.json"))
+}
+
+fn get_f64(doc: &JsonValue, key: &str) -> Result<f64, String> {
+    doc.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("golden file is missing numeric field {key:?}"))
+}
+
+/// Compares `report` against already-parsed golden JSON. Returns every
+/// violated gate (empty = pass).
+pub fn diff_against_golden(
+    report: &EvalReport,
+    golden: &JsonValue,
+    tol: GoldenTolerance,
+) -> Vec<String> {
+    let mut errors = Vec::new();
+    let gate_exact = |key: &str, actual: f64, errors: &mut Vec<String>| match get_f64(golden, key) {
+        Ok(expected) if (expected - actual).abs() > f64::EPSILON => errors.push(format!(
+            "{key}: golden {expected}, got {actual} (exact gate)"
+        )),
+        Ok(_) => {}
+        Err(e) => errors.push(e),
+    };
+    gate_exact(
+        "gt_intervals",
+        report.score.gt_intervals as f64,
+        &mut errors,
+    );
+    gate_exact("seed", report.seed as f64, &mut errors);
+
+    let gate_tol = |key: &str, actual: f64, errors: &mut Vec<String>| match get_f64(golden, key) {
+        Ok(expected) if (expected - actual).abs() > tol.score => errors.push(format!(
+            "{key}: golden {expected}, got {actual} (tolerance ±{})",
+            tol.score
+        )),
+        Ok(_) => {}
+        Err(e) => errors.push(e),
+    };
+    gate_tol("mota", report.mota(), &mut errors);
+    gate_tol("idf1", report.idf1(), &mut errors);
+
+    match golden.get("per_camera_f2").and_then(JsonValue::as_object) {
+        Some(f2s) => {
+            if f2s.len() != report.per_camera_f2.len() {
+                errors.push(format!(
+                    "per_camera_f2: golden has {} cameras, got {}",
+                    f2s.len(),
+                    report.per_camera_f2.len()
+                ));
+            }
+            for (cam, f2) in &report.per_camera_f2 {
+                match f2s.get(&cam.to_string()).and_then(JsonValue::as_f64) {
+                    Some(expected) if (expected - f2).abs() > tol.score => errors.push(format!(
+                        "per_camera_f2[{cam}]: golden {expected}, got {f2} (tolerance ±{})",
+                        tol.score
+                    )),
+                    Some(_) => {}
+                    None => errors.push(format!("golden file has no f2 for camera {cam}")),
+                }
+            }
+        }
+        None => errors.push("golden file is missing per_camera_f2".to_string()),
+    }
+    errors
+}
+
+/// The drift gate: compares `report` against its checked-in golden file.
+///
+/// With `CORAL_EVAL_BLESS=1` in the environment, (re)writes the golden
+/// file instead and passes.
+///
+/// # Errors
+///
+/// Returns the violated gates, or instructions when the golden file is
+/// missing/unreadable.
+pub fn check_golden(report: &EvalReport, tol: GoldenTolerance) -> Result<(), Vec<String>> {
+    let path = golden_path(&report.scenario);
+    if std::env::var_os("CORAL_EVAL_BLESS").is_some_and(|v| v == "1") {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        return std::fs::write(&path, render_report(report))
+            .map_err(|e| vec![format!("cannot bless {}: {e}", path.display())]);
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        vec![format!(
+            "no golden file at {} ({e}); run with CORAL_EVAL_BLESS=1 to create it",
+            path.display()
+        )]
+    })?;
+    let golden = json::parse(&text)
+        .map_err(|e| vec![format!("golden file {} is invalid: {e:?}", path.display())])?;
+    let errors = diff_against_golden(report, &golden, tol);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribution::AttributionSummary;
+    use crate::score::TrackScore;
+
+    fn report() -> EvalReport {
+        EvalReport {
+            scenario: "unit".to_string(),
+            seed: 42,
+            score: TrackScore {
+                gt_intervals: 10,
+                hyp_vertices: 10,
+                matches: 9,
+                misses: 1,
+                false_positives: 1,
+                id_switches: 0,
+                fragmentations: 0,
+                idtp: 9,
+            },
+            per_camera_f2: vec![(0, 1.0), (1, 0.9)],
+            matches: Vec::new(),
+            misses: Vec::new(),
+            attribution: AttributionSummary {
+                detect_miss: 1,
+                ..AttributionSummary::default()
+            },
+        }
+    }
+
+    #[test]
+    fn rendered_report_round_trips_through_the_offline_parser() {
+        let r = report();
+        let doc = json::parse(&render_report(&r)).expect("render emits valid JSON");
+        assert_eq!(
+            doc.get("scenario").and_then(JsonValue::as_str),
+            Some("unit")
+        );
+        assert_eq!(
+            doc.get("gt_intervals").and_then(JsonValue::as_u64),
+            Some(10)
+        );
+        let f2 = doc
+            .get("per_camera_f2")
+            .and_then(JsonValue::as_object)
+            .unwrap();
+        assert_eq!(f2.get("1").and_then(JsonValue::as_f64), Some(0.9));
+        // The gate passes against its own rendering.
+        assert!(diff_against_golden(&r, &doc, GoldenTolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn drift_beyond_tolerance_is_reported_per_field() {
+        let mut r = report();
+        let golden = json::parse(&render_report(&r)).unwrap();
+        // Degrade identity preservation well past the tolerance.
+        r.score.idtp = 5;
+        r.score.id_switches = 4;
+        let errors = diff_against_golden(&r, &golden, GoldenTolerance::default());
+        assert!(
+            errors.iter().any(|e| e.starts_with("idf1:")),
+            "idf1 drift must be caught: {errors:?}"
+        );
+        assert!(
+            errors.iter().any(|e| e.starts_with("mota:")),
+            "mota drift must be caught: {errors:?}"
+        );
+        // Drift within tolerance passes.
+        let mut r2 = report();
+        r2.per_camera_f2[1].1 = 0.91;
+        assert!(diff_against_golden(&r2, &golden, GoldenTolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn changed_ground_truth_fails_the_exact_gate() {
+        let r = report();
+        let golden = json::parse(&render_report(&r)).unwrap();
+        let mut r2 = report();
+        r2.score.gt_intervals = 11;
+        let errors = diff_against_golden(&r2, &golden, GoldenTolerance::default());
+        assert!(errors.iter().any(|e| e.starts_with("gt_intervals:")));
+    }
+}

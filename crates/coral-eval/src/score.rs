@@ -1,0 +1,393 @@
+//! MOT-style scoring of hypothesis tracks against ground-truth FOV
+//! intervals.
+//!
+//! The unit of account is the **camera visit**: one ground-truth
+//! [`FovInterval`] (vehicle `v` stayed in camera `c`'s FOV over
+//! `[entered, exited]`) on the truth side, one trajectory-graph vertex
+//! (a detection event with its `[first_seen, last_seen]` span) on the
+//! hypothesis side. Per camera, intervals and vertices are matched 1-1 by
+//! maximum temporal overlap (Hungarian assignment); identity metrics then
+//! compare which *hypothesis track* each matched vertex belongs to:
+//!
+//! - **MOTA** `= 1 − (FN + FP + IDSW) / GT` — misses, false positives and
+//!   identity switches, normalised by ground-truth visits.
+//! - **IDF1** `= 2·IDTP / (2·IDTP + IDFP + IDFN)` — identity-preserving
+//!   F1 under the optimal global vehicle↔track assignment.
+//! - **IDSW** — consecutive matched visits of one vehicle landing in
+//!   different hypothesis tracks.
+//! - **FRAG** — a vehicle's visit sequence going matched → missed →
+//!   matched (track coverage interrupted and re-acquired).
+
+use crate::tracks::{track_of_vertex, HypTrack};
+use coral_net::VertexId;
+use coral_sim::{FovInterval, GroundTruthLog};
+use coral_storage::TrajectoryGraph;
+use coral_topology::CameraId;
+use coral_vision::hungarian::assign;
+use coral_vision::GroundTruthId;
+use std::collections::BTreeMap;
+
+/// Slack added around a ground-truth interval when matching it to a
+/// vertex: the tracker confirms a track a few frames after FOV entry and
+/// completes the event `max_age` frames after exit, so hypothesis spans
+/// lag truth by a bounded amount.
+pub const MATCH_SLACK_MS: u64 = 2_000;
+
+/// One ground-truth visit and the hypothesis vertex (if any) it matched.
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalMatch {
+    /// The ground-truth visit.
+    pub interval: FovInterval,
+    /// The matched trajectory-graph vertex.
+    pub vertex: Option<VertexId>,
+    /// The hypothesis track the matched vertex belongs to.
+    pub track: Option<usize>,
+}
+
+/// Aggregate MOT-style counts for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrackScore {
+    /// Ground-truth camera visits.
+    pub gt_intervals: usize,
+    /// Hypothesis vertices (detection events) in the trajectory graph.
+    pub hyp_vertices: usize,
+    /// Visits matched to a vertex (true positives).
+    pub matches: usize,
+    /// Visits with no matching vertex (false negatives).
+    pub misses: usize,
+    /// Vertices matching no visit (false positives).
+    pub false_positives: usize,
+    /// Consecutive matched visits of one vehicle in different hypothesis
+    /// tracks.
+    pub id_switches: usize,
+    /// Matched → missed → matched interruptions per vehicle.
+    pub fragmentations: usize,
+    /// Identity true positives: matched visits credited to the optimal
+    /// global vehicle↔track assignment.
+    pub idtp: usize,
+}
+
+impl TrackScore {
+    /// Multi-object tracking accuracy. `1.0` for an empty ground truth;
+    /// can go negative when errors outnumber ground-truth visits.
+    pub fn mota(&self) -> f64 {
+        if self.gt_intervals == 0 {
+            return 1.0;
+        }
+        1.0 - (self.misses + self.false_positives + self.id_switches) as f64
+            / self.gt_intervals as f64
+    }
+
+    /// Identity F1 under the optimal vehicle↔track assignment. `1.0` when
+    /// both sides are empty.
+    pub fn idf1(&self) -> f64 {
+        let idfp = self.hyp_vertices - self.idtp;
+        let idfn = self.gt_intervals - self.idtp;
+        let denom = 2 * self.idtp + idfp + idfn;
+        if denom == 0 {
+            return 1.0;
+        }
+        2.0 * self.idtp as f64 / denom as f64
+    }
+}
+
+/// Temporal overlap in milliseconds between a slack-extended interval and
+/// a vertex span, `None` when disjoint. Disambiguates by actual overlap,
+/// so a vertex prefers the visit it really covers.
+fn overlap_ms(interval: &FovInterval, first_ms: u64, last_ms: u64) -> Option<u64> {
+    let start = interval.entered_ms.saturating_sub(MATCH_SLACK_MS);
+    let end = interval
+        .exited_ms
+        .unwrap_or(u64::MAX)
+        .saturating_add(MATCH_SLACK_MS);
+    let lo = start.max(first_ms);
+    let hi = end.min(last_ms);
+    // +1 so touching spans still count as overlapping: a one-frame visit
+    // has a zero-length span.
+    (lo <= hi).then(|| hi - lo + 1)
+}
+
+/// Matches ground-truth visits to trajectory-graph vertices per camera
+/// (1-1, maximum temporal overlap) and computes the aggregate
+/// [`TrackScore`]. Also returns the per-visit match table the attribution
+/// layer consumes.
+pub fn score_tracks(
+    gt: &GroundTruthLog,
+    g: &TrajectoryGraph,
+    tracks: &[HypTrack],
+) -> (TrackScore, Vec<IntervalMatch>) {
+    let vertex_track = track_of_vertex(tracks);
+
+    // Group both sides by camera, deterministically ordered.
+    let mut intervals_by_cam: BTreeMap<CameraId, Vec<FovInterval>> = BTreeMap::new();
+    for &iv in gt.intervals() {
+        intervals_by_cam.entry(iv.camera).or_default().push(iv);
+    }
+    for ivs in intervals_by_cam.values_mut() {
+        ivs.sort_by_key(|iv| (iv.entered_ms, iv.vehicle));
+    }
+    let mut vertices_by_cam: BTreeMap<CameraId, Vec<(VertexId, u64, u64)>> = BTreeMap::new();
+    for v in g.vertices() {
+        vertices_by_cam
+            .entry(v.camera)
+            .or_default()
+            .push((v.id, v.first_seen_ms, v.last_seen_ms));
+    }
+    for vs in vertices_by_cam.values_mut() {
+        vs.sort_by_key(|&(id, first, _)| (first, id.0));
+    }
+
+    let mut matches: Vec<IntervalMatch> = Vec::new();
+    let mut matched_vertices: usize = 0;
+    for (cam, ivs) in &intervals_by_cam {
+        let verts = vertices_by_cam.get(cam).map_or(&[][..], Vec::as_slice);
+        // Max-overlap assignment as min-cost Hungarian: cost = ceiling −
+        // overlap, with disjoint pairs pinned above the ceiling so they
+        // are never preferred and can be filtered afterwards.
+        let ceiling: f64 = 1.0
+            + ivs
+                .iter()
+                .flat_map(|iv| {
+                    verts
+                        .iter()
+                        .filter_map(|&(_, f, l)| overlap_ms(iv, f, l).map(|o| o as f64))
+                })
+                .fold(0.0, f64::max);
+        let forbidden = 10.0 * ceiling;
+        let cost: Vec<Vec<f64>> = ivs
+            .iter()
+            .map(|iv| {
+                verts
+                    .iter()
+                    .map(|&(_, f, l)| match overlap_ms(iv, f, l) {
+                        Some(o) => ceiling - o as f64,
+                        None => forbidden,
+                    })
+                    .collect()
+            })
+            .collect();
+        let assignment = if verts.is_empty() {
+            vec![None; ivs.len()]
+        } else {
+            assign(&cost)
+        };
+        for (i, iv) in ivs.iter().enumerate() {
+            let vertex = assignment[i]
+                .filter(|&j| cost[i][j] < forbidden)
+                .map(|j| verts[j].0);
+            let track = vertex.and_then(|v| vertex_track.get(&v).copied());
+            if vertex.is_some() {
+                matched_vertices += 1;
+            }
+            matches.push(IntervalMatch {
+                interval: *iv,
+                vertex,
+                track,
+            });
+        }
+    }
+
+    // Identity switches and fragmentations along each vehicle's
+    // time-ordered visit sequence.
+    let mut by_vehicle: BTreeMap<GroundTruthId, Vec<&IntervalMatch>> = BTreeMap::new();
+    for m in &matches {
+        by_vehicle.entry(m.interval.vehicle).or_default().push(m);
+    }
+    let mut id_switches = 0usize;
+    let mut fragmentations = 0usize;
+    for seq in by_vehicle.values_mut() {
+        seq.sort_by_key(|m| (m.interval.entered_ms, m.interval.camera));
+        let mut last_track: Option<usize> = None;
+        let mut in_gap_after_match = false;
+        for m in seq.iter() {
+            match m.track {
+                Some(t) => {
+                    if let Some(prev) = last_track {
+                        if prev != t {
+                            id_switches += 1;
+                        }
+                    }
+                    if in_gap_after_match {
+                        fragmentations += 1;
+                    }
+                    last_track = Some(t);
+                    in_gap_after_match = false;
+                }
+                None => {
+                    if last_track.is_some() {
+                        in_gap_after_match = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // IDF1: optimal global vehicle ↔ hypothesis-track assignment over
+    // matched-visit counts.
+    let vehicles = gt.vehicles();
+    let mut idtp = 0usize;
+    if !vehicles.is_empty() && !tracks.is_empty() {
+        let mut value: Vec<Vec<usize>> = vec![vec![0; tracks.len()]; vehicles.len()];
+        let vindex: BTreeMap<GroundTruthId, usize> =
+            vehicles.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for m in &matches {
+            if let Some(t) = m.track {
+                value[vindex[&m.interval.vehicle]][t] += 1;
+            }
+        }
+        let maxval = value
+            .iter()
+            .flat_map(|row| row.iter().copied())
+            .max()
+            .unwrap_or(0) as f64;
+        let cost: Vec<Vec<f64>> = value
+            .iter()
+            .map(|row| row.iter().map(|&v| maxval - v as f64).collect())
+            .collect();
+        for (i, j) in assign(&cost).iter().enumerate() {
+            if let Some(j) = j {
+                idtp += value[i][*j];
+            }
+        }
+    }
+
+    let gt_intervals = gt.intervals().len();
+    let hyp_vertices = g.vertex_count();
+    let score = TrackScore {
+        gt_intervals,
+        hyp_vertices,
+        matches: matched_vertices,
+        misses: gt_intervals - matched_vertices,
+        false_positives: hyp_vertices - matched_vertices,
+        id_switches,
+        fragmentations,
+        idtp,
+    };
+    (score, matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracks::extract_tracks;
+    use coral_net::EventId;
+    use coral_vision::TrackId;
+
+    fn log(entries: &[(u32, u64, u64, u64)]) -> GroundTruthLog {
+        let mut gt = GroundTruthLog::new();
+        for &(cam, veh, t0, t1) in entries {
+            gt.record_entry(CameraId(cam), GroundTruthId(veh), t0);
+            gt.record_exit(CameraId(cam), GroundTruthId(veh), t1);
+        }
+        gt
+    }
+
+    fn graph(vertices: &[(u64, u32, u64, u64)], edges: &[(usize, usize, f64)]) -> TrajectoryGraph {
+        let mut g = TrajectoryGraph::new();
+        let mut ids = Vec::new();
+        for &(track, cam, first, last) in vertices {
+            let event = EventId {
+                camera: CameraId(cam),
+                track: TrackId(track),
+            };
+            ids.push(g.insert_event(event, first, last, None, None));
+        }
+        for &(a, b, w) in edges {
+            g.insert_edge(ids[a], ids[b], w).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn perfect_run_scores_one() {
+        // Vehicle 1 visits cameras 0 and 1; the graph reproduces both
+        // visits and links them.
+        let gt = log(&[(0, 1, 1_000, 5_000), (1, 1, 20_000, 24_000)]);
+        let g = graph(
+            &[(1, 0, 1_200, 5_100), (1, 1, 20_300, 24_200)],
+            &[(0, 1, 0.1)],
+        );
+        let tracks = extract_tracks(&g);
+        let (score, matches) = score_tracks(&gt, &g, &tracks);
+        assert_eq!(score.matches, 2);
+        assert_eq!(score.misses, 0);
+        assert_eq!(score.false_positives, 0);
+        assert_eq!(score.id_switches, 0);
+        assert_eq!(score.idtp, 2);
+        assert!((score.mota() - 1.0).abs() < 1e-12);
+        assert!((score.idf1() - 1.0).abs() < 1e-12);
+        assert!(matches.iter().all(|m| m.vertex.is_some()));
+    }
+
+    #[test]
+    fn missing_edge_costs_an_identity_switch_but_not_a_miss() {
+        let gt = log(&[(0, 1, 1_000, 5_000), (1, 1, 20_000, 24_000)]);
+        // Both visits detected, but never linked: two singleton tracks.
+        let g = graph(&[(1, 0, 1_200, 5_100), (1, 1, 20_300, 24_200)], &[]);
+        let tracks = extract_tracks(&g);
+        assert_eq!(tracks.len(), 2);
+        let (score, _) = score_tracks(&gt, &g, &tracks);
+        assert_eq!(score.misses, 0);
+        assert_eq!(score.id_switches, 1);
+        assert!((score.mota() - 0.5).abs() < 1e-12);
+        // IDF1: best track covers one of two visits.
+        assert_eq!(score.idtp, 1);
+        assert!((score.idf1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_visit_and_clutter_vertex_count_against_mota() {
+        let gt = log(&[
+            (0, 1, 1_000, 5_000),
+            (1, 1, 20_000, 24_000),
+            (2, 1, 40_000, 44_000),
+        ]);
+        // Camera 1's visit never produced a vertex; camera 0 has an extra
+        // clutter vertex far from any visit.
+        let g = graph(
+            &[
+                (1, 0, 1_200, 5_100),
+                (9, 0, 60_000, 61_000),
+                (1, 2, 40_200, 44_100),
+            ],
+            &[(0, 2, 0.2)],
+        );
+        let tracks = extract_tracks(&g);
+        let (score, matches) = score_tracks(&gt, &g, &tracks);
+        assert_eq!(score.matches, 2);
+        assert_eq!(score.misses, 1);
+        assert_eq!(score.false_positives, 1);
+        assert_eq!(score.id_switches, 0);
+        // matched → missed → matched is one fragmentation.
+        assert_eq!(score.fragmentations, 1);
+        assert!((score.mota() - (1.0 - 2.0 / 3.0)).abs() < 1e-12);
+        let missed: Vec<_> = matches.iter().filter(|m| m.vertex.is_none()).collect();
+        assert_eq!(missed.len(), 1);
+        assert_eq!(missed[0].interval.camera, CameraId(1));
+    }
+
+    #[test]
+    fn revisits_to_one_camera_match_one_to_one() {
+        // The same vehicle passes camera 0 twice; two vertices exist. Each
+        // visit must consume a distinct vertex (duplicates cannot inflate
+        // the match count past the visit count).
+        let gt = log(&[(0, 1, 1_000, 5_000), (0, 1, 30_000, 34_000)]);
+        let g = graph(&[(1, 0, 1_100, 5_050), (7, 0, 30_100, 34_050)], &[]);
+        let tracks = extract_tracks(&g);
+        let (score, matches) = score_tracks(&gt, &g, &tracks);
+        assert_eq!(score.matches, 2);
+        let mut verts: Vec<_> = matches.iter().filter_map(|m| m.vertex).collect();
+        verts.dedup();
+        assert_eq!(verts.len(), 2, "each visit must take a distinct vertex");
+    }
+
+    #[test]
+    fn empty_run_scores_one() {
+        let gt = GroundTruthLog::new();
+        let g = TrajectoryGraph::new();
+        let (score, matches) = score_tracks(&gt, &g, &extract_tracks(&g));
+        assert!(matches.is_empty());
+        assert!((score.mota() - 1.0).abs() < 1e-12);
+        assert!((score.idf1() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,180 @@
+//! Hypothesis-track extraction from the trajectory graph.
+//!
+//! The trajectory graph stores one vertex per detection event and one
+//! weighted edge per re-identification. MOT-style identity metrics need a
+//! *partition* of those vertices into hypothesis tracks — "the system
+//! believes these detections are the same vehicle". This module derives
+//! that partition by **mutual-best-edge chaining**: vertex `a` links to
+//! vertex `b` iff `b` is `a`'s lowest-weight successor *and* `a` is `b`'s
+//! lowest-weight predecessor. Each vertex then has at most one chosen
+//! successor and one chosen predecessor, so the chosen links decompose the
+//! graph into disjoint chains — exactly the structure
+//! `coral_storage::query::best_track` walks, but computed globally and
+//! deterministically for every vertex at once.
+
+use coral_net::VertexId;
+use coral_storage::{TrajectoryGraph, VertexRecord};
+use std::collections::BTreeMap;
+
+/// One hypothesis track: a chain of detections the system believes belong
+/// to a single vehicle.
+#[derive(Debug, Clone)]
+pub struct HypTrack {
+    /// Dense track index (0-based, ordered by the chain head's first-seen
+    /// time, ties by vertex id).
+    pub id: usize,
+    /// The chain's vertices, upstream to downstream.
+    pub vertices: Vec<VertexRecord>,
+}
+
+impl HypTrack {
+    /// The track's first-seen time (of its head vertex), milliseconds.
+    pub fn starts_ms(&self) -> u64 {
+        self.vertices.first().map_or(0, |v| v.first_seen_ms)
+    }
+}
+
+/// Lowest-weight edge in `edges` keyed by `key`, ties broken by the
+/// partner vertex id so the choice is deterministic.
+fn best_by<K: Fn(&coral_storage::TrajectoryEdge) -> VertexId>(
+    edges: &[coral_storage::TrajectoryEdge],
+    key: K,
+) -> Option<VertexId> {
+    edges
+        .iter()
+        .min_by(|a, b| {
+            a.weight
+                .total_cmp(&b.weight)
+                .then_with(|| key(a).0.cmp(&key(b).0))
+        })
+        .map(key)
+}
+
+/// Partitions every vertex of `g` into hypothesis tracks by mutual-best
+/// -edge chaining. Vertices with no mutual-best link become singleton
+/// tracks. Deterministic for a given graph: iteration follows insertion
+/// order and every tie-break is by vertex id.
+pub fn extract_tracks(g: &TrajectoryGraph) -> Vec<HypTrack> {
+    // Chosen successor per vertex: b = best_out(a) and a = best_in(b).
+    let mut next: BTreeMap<VertexId, VertexId> = BTreeMap::new();
+    let mut has_prev: BTreeMap<VertexId, bool> = BTreeMap::new();
+    for v in g.vertices() {
+        if let Some(b) = best_by(g.out_edges(v.id), |e| e.to) {
+            if best_by(g.in_edges(b), |e| e.from) == Some(v.id) {
+                next.insert(v.id, b);
+                has_prev.insert(b, true);
+            }
+        }
+    }
+
+    // Chain heads, ordered by (first_seen_ms, vertex id) for stable track
+    // numbering.
+    let mut heads: Vec<&VertexRecord> = g
+        .vertices()
+        .filter(|v| !has_prev.get(&v.id).copied().unwrap_or(false))
+        .collect();
+    heads.sort_by_key(|v| (v.first_seen_ms, v.id.0));
+
+    let mut tracks = Vec::with_capacity(heads.len());
+    for head in heads {
+        let mut vertices = Vec::new();
+        let mut cur = Some(head.id);
+        while let Some(id) = cur {
+            let rec = g.vertex(id).expect("chain vertex exists");
+            vertices.push(rec.clone());
+            cur = next.get(&id).copied();
+        }
+        tracks.push(HypTrack {
+            id: tracks.len(),
+            vertices,
+        });
+    }
+    tracks
+}
+
+/// The track index of every vertex, for identity bookkeeping.
+pub fn track_of_vertex(tracks: &[HypTrack]) -> BTreeMap<VertexId, usize> {
+    let mut map = BTreeMap::new();
+    for t in tracks {
+        for v in &t.vertices {
+            map.insert(v.id, t.id);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coral_net::EventId;
+    use coral_topology::CameraId;
+    use coral_vision::{GroundTruthId, TrackId};
+
+    fn graph_with(
+        vertices: &[(u64, u32, u64, u64)], // (track, camera, first, last)
+        edges: &[(usize, usize, f64)],
+    ) -> TrajectoryGraph {
+        let mut g = TrajectoryGraph::new();
+        let mut ids = Vec::new();
+        for &(ev, cam, first, last) in vertices {
+            let event = EventId {
+                camera: CameraId(cam),
+                track: TrackId(ev),
+            };
+            ids.push(g.insert_event(event, first, last, None, Some(GroundTruthId(ev))));
+        }
+        for &(a, b, w) in edges {
+            g.insert_edge(ids[a], ids[b], w).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn chains_follow_mutual_best_edges() {
+        // 0 -> 1 -> 2 is a clean chain; 3 is an isolated vertex.
+        let g = graph_with(
+            &[(0, 0, 0, 10), (1, 1, 20, 30), (2, 2, 40, 50), (3, 0, 5, 15)],
+            &[(0, 1, 0.1), (1, 2, 0.2)],
+        );
+        let tracks = extract_tracks(&g);
+        assert_eq!(tracks.len(), 2);
+        assert_eq!(tracks[0].vertices.len(), 3);
+        assert_eq!(tracks[1].vertices.len(), 1);
+        // Track numbering follows head first-seen time: vertex 0 (t=0)
+        // before vertex 3 (t=5).
+        assert_eq!(tracks[0].vertices[0].camera, CameraId(0));
+        assert_eq!(tracks[0].starts_ms(), 0);
+        assert_eq!(tracks[1].starts_ms(), 5);
+    }
+
+    #[test]
+    fn contested_successor_goes_to_the_lower_weight_edge() {
+        // Both 0 and 1 point at 2; vertex 2's best predecessor is 1
+        // (weight 0.1 < 0.4), so the chain is 1 -> 2 and 0 stays single.
+        let g = graph_with(
+            &[(0, 0, 0, 10), (1, 0, 2, 12), (2, 1, 20, 30)],
+            &[(0, 2, 0.4), (1, 2, 0.1)],
+        );
+        let tracks = extract_tracks(&g);
+        assert_eq!(tracks.len(), 2);
+        let by_len: Vec<usize> = tracks.iter().map(|t| t.vertices.len()).collect();
+        assert_eq!(by_len, vec![1, 2]); // head order: v0 (t=0), then v1 (t=2)
+        assert_eq!(tracks[1].vertices[1].camera, CameraId(1));
+    }
+
+    #[test]
+    fn branching_vertex_keeps_only_its_best_out_edge() {
+        // 0 branches to 1 and 2; best out-edge (0.1) wins, the other
+        // vertex becomes its own track.
+        let g = graph_with(
+            &[(0, 0, 0, 10), (1, 1, 20, 30), (2, 2, 21, 31)],
+            &[(0, 1, 0.1), (0, 2, 0.3)],
+        );
+        let tracks = extract_tracks(&g);
+        assert_eq!(tracks.len(), 2);
+        assert_eq!(tracks[0].vertices.len(), 2);
+        assert_eq!(tracks[0].vertices[1].camera, CameraId(1));
+        let map = track_of_vertex(&tracks);
+        assert_eq!(map.len(), 3);
+    }
+}

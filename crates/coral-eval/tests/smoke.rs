@@ -1,0 +1,94 @@
+//! Tier-1 accuracy smoke: the fault-free five-camera corridor must track
+//! nearly perfectly, the golden drift gate must hold, and every miss must
+//! carry a stage attribution.
+
+use coral_eval::{check_golden, replay_and_evaluate, GoldenTolerance, Scenario};
+
+#[test]
+fn fault_free_corridor_five_scores_high_and_matches_golden() {
+    let report = replay_and_evaluate(&Scenario::corridor(5, 5, 42));
+
+    assert_eq!(report.score.gt_intervals, 25, "5 vehicles × 5 cameras");
+    assert!(
+        report.mota() >= 0.9,
+        "MOTA collapsed: {:?} (mota {})",
+        report.score,
+        report.mota()
+    );
+    assert!(
+        report.idf1() >= 0.9,
+        "IDF1 collapsed: {:?} (idf1 {})",
+        report.score,
+        report.idf1()
+    );
+    for (cam, f2) in &report.per_camera_f2 {
+        assert!(*f2 >= 0.9, "camera {cam} event F2 collapsed: {f2}");
+    }
+    // Every miss (if any) must carry a stage; ≤1% may stay unattributed.
+    assert!(
+        report.attribution.unattributed_fraction() <= 0.01,
+        "too many unattributed misses: {:?}",
+        report.attribution
+    );
+
+    if let Err(errors) = check_golden(&report, GoldenTolerance::default()) {
+        panic!("golden drift gate failed:\n  {}", errors.join("\n  "));
+    }
+}
+
+/// Full eval matrix, run explicitly by `ci.sh`: three corridor widths by
+/// two seeds, all fault-free, all expected to track near-perfectly.
+#[test]
+#[ignore = "ci.sh runs the full matrix; the per-scenario smokes cover PRs"]
+fn eval_matrix_three_scenarios_by_two_seeds() {
+    for cameras in [3usize, 5, 7] {
+        for seed in [42u64, 7] {
+            let scenario = Scenario::corridor(cameras, 5, seed);
+            let report = replay_and_evaluate(&scenario);
+            assert_eq!(
+                report.score.gt_intervals,
+                5 * cameras,
+                "{}/seed{seed}: 5 vehicles × {cameras} cameras",
+                scenario.name
+            );
+            assert!(
+                report.mota() >= 0.9,
+                "{}/seed{seed}: MOTA collapsed: {:?} (mota {})",
+                scenario.name,
+                report.score,
+                report.mota()
+            );
+            assert!(
+                report.idf1() >= 0.9,
+                "{}/seed{seed}: IDF1 collapsed: {:?} (idf1 {})",
+                scenario.name,
+                report.score,
+                report.idf1()
+            );
+            assert!(
+                report.attribution.unattributed_fraction() <= 0.01,
+                "{}/seed{seed}: {:?}",
+                scenario.name,
+                report.attribution
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_free_corridor_three_matches_golden() {
+    let report = replay_and_evaluate(&Scenario::corridor(3, 4, 42));
+    // Drift gate first: on a regression it reports every drifted field
+    // (mota/idf1/per-camera F2 beyond ±0.02, counts exactly) rather than
+    // stopping at the first collapsed aggregate.
+    if let Err(errors) = check_golden(&report, GoldenTolerance::default()) {
+        panic!("golden drift gate failed:\n  {}", errors.join("\n  "));
+    }
+    assert_eq!(report.score.gt_intervals, 12, "4 vehicles × 3 cameras");
+    assert!(report.mota() >= 0.9, "{:?}", report.score);
+    assert!(
+        report.attribution.unattributed_fraction() <= 0.01,
+        "{:?}",
+        report.attribution
+    );
+}

@@ -13,12 +13,15 @@
 //!   vision pipeline.
 //! - [`LatencyModel`] / [`LinkProfile`] — LAN/WAN message-latency models.
 //! - [`FailureSchedule`] — the §5.4 kill-10-of-37 failure workload.
+//! - [`GroundTruthLog`] — per-camera FOV intervals: the ground truth the
+//!   evaluation layer scores trajectory graphs against.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
 pub mod failure;
+pub mod gt;
 pub mod lights;
 pub mod netmodel;
 pub mod observe;
@@ -27,6 +30,7 @@ pub mod traffic;
 
 pub use engine::{Context, Engine};
 pub use failure::{FailureEvent, FailureKind, FailureSchedule};
+pub use gt::{FovInterval, GroundTruthLog};
 pub use lights::{LightPhase, TrafficLight};
 pub use netmodel::{LatencyModel, LinkProfile};
 pub use observe::CameraView;

@@ -41,8 +41,34 @@ impl CameraView {
     }
 
     /// Whether a world point is within observation range.
+    ///
+    /// This is a coarse range cull only: a point can be in range yet fall
+    /// outside the image (e.g. exactly `range_m` behind the viewing axis
+    /// projects to `cy == image_height`, which is off-image). Use
+    /// [`CameraView::in_fov`] for the authoritative visibility predicate —
+    /// the one [`CameraView::scene`] rasterises and the simulator's
+    /// ground-truth log records.
     pub fn observes(&self, p: GeoPoint) -> bool {
         self.position.planar_m(p) <= self.range_m
+    }
+
+    /// The canonical field-of-view predicate: a world point is in FOV iff
+    /// it projects into the image (within range *and* the projected
+    /// centroid lands inside the image bounds).
+    ///
+    /// [`CameraView::scene`] includes exactly the vehicles for which this
+    /// holds, so rendered presence and ground-truth presence can never
+    /// diverge.
+    pub fn in_fov(&self, p: GeoPoint) -> bool {
+        self.project(p)
+            .is_some_and(|(cx, cy)| self.centroid_in_image(cx, cy))
+    }
+
+    fn centroid_in_image(&self, cx: f64, cy: f64) -> bool {
+        cx >= 0.0
+            && cy >= 0.0
+            && cx < f64::from(self.image_width)
+            && cy < f64::from(self.image_height)
     }
 
     /// Projects a world point into image coordinates, or `None` if it is
@@ -75,20 +101,18 @@ impl CameraView {
             let Some((cx, cy)) = self.project(s.position) else {
                 continue;
             };
+            // Require the centroid to be inside the image — together with
+            // the range gate in `project` this is exactly `in_fov`, the
+            // shared predicate the ground-truth log records against.
+            if !self.centroid_in_image(cx, cy) {
+                continue;
+            }
             let d = self.position.planar_m(s.position);
             let (base_w, base_h) = class_base_size(s.class);
             let scale = 1.2 - 0.5 * (d / self.range_m);
             let Ok(bbox) = BoundingBox::from_center(cx, cy, base_w * scale, base_h * scale) else {
                 continue;
             };
-            // Require the centroid to be inside the image.
-            if cx < 0.0
-                || cy < 0.0
-                || cx >= f64::from(self.image_width)
-                || cy >= f64::from(self.image_height)
-            {
-                continue;
-            }
             visible.push((
                 d,
                 SceneActor {
@@ -249,6 +273,77 @@ mod tests {
         }
         assert!(checked, "both vehicles were never co-visible");
         let _ = (leader, follower);
+    }
+
+    #[test]
+    fn in_fov_matches_scene_membership_across_boundary_frames() {
+        // Regression for the render/ground-truth divergence: `observes` is
+        // a pure range check, while rasterisation additionally requires the
+        // projected centroid inside the image. The ground-truth log must
+        // record against `in_fov` (= scene membership), never `observes`.
+        // Drive a vehicle through the FOV and check frame-by-frame that
+        // scene membership and the predicate agree, including the boundary
+        // frames where it enters and leaves.
+        let (mut tm, view) = setup();
+        let net = tm.network().clone();
+        let r = route::shortest_path(&net, IntersectionId(0), IntersectionId(2)).unwrap();
+        let v = tm.spawn(SimTime::ZERO, r, None);
+        let mut now = SimTime::ZERO;
+        let mut transitions = 0;
+        let mut prev = None;
+        for _ in 0..240 {
+            tm.step(now, SimDuration::from_millis(100));
+            now += SimDuration::from_millis(100);
+            let Some(state) = tm.state_of(v) else { break };
+            let rendered = view
+                .scene(&tm)
+                .actors
+                .iter()
+                .any(|a| a.gt == GroundTruthId(v.0));
+            assert_eq!(
+                rendered,
+                view.in_fov(state.position),
+                "render/in_fov disagree at {now:?} ({:?})",
+                state.position
+            );
+            if prev.is_some() && prev != Some(rendered) {
+                transitions += 1;
+            }
+            prev = Some(rendered);
+        }
+        assert!(transitions >= 2, "vehicle entered and left the FOV");
+    }
+
+    #[test]
+    fn in_fov_agrees_with_range_cull_away_from_the_tangent_ring() {
+        // The projection scale k = min(w, h) / (2 * range) inscribes the
+        // range disc exactly in the image's short dimension, so the two
+        // predicates can only disagree on the measure-zero tangent ring
+        // (e.g. exactly `range_m` behind the axis, where cy == height is
+        // off-image). Sweep bearings and distances on both sides of the
+        // range boundary and pin the agreement everywhere else.
+        let (_, view) = setup();
+        for bearing_deg in (0..360).step_by(5) {
+            let rad = f64::from(bearing_deg).to_radians();
+            for (d, expect) in [
+                (0.5 * view.range_m, true),
+                (0.999 * view.range_m, true),
+                (1.001 * view.range_m, false),
+                (2.0 * view.range_m, false),
+            ] {
+                let p = view.position.offset_m(d * rad.cos(), d * rad.sin());
+                assert_eq!(view.in_fov(p), expect, "bearing {bearing_deg} at {d:.2} m");
+                assert_eq!(view.observes(p), expect, "range cull at {d:.2} m");
+                // In range implies the centroid projects inside the image:
+                // membership never silently depends on the image bounds
+                // except on the tangent ring itself.
+                if expect {
+                    let (cx, cy) = view.project(p).unwrap();
+                    assert!(cx >= 0.0 && cx < f64::from(view.image_width));
+                    assert!(cy >= 0.0 && cy < f64::from(view.image_height));
+                }
+            }
+        }
     }
 
     #[test]

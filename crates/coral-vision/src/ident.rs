@@ -54,6 +54,12 @@ pub struct IdentFrameResult {
     pub active: Vec<crate::sort::TrackState>,
     /// Vehicles that completed (left the FOV) this frame.
     pub completed: Vec<VehicleObservation>,
+    /// Ground-truth vehicles the detector fired on this frame (a kept
+    /// detection overlapped the actor at IoU ≥ `gt_iou_threshold`),
+    /// ascending id. Evaluation only: this is the raw detection evidence
+    /// the error-attribution layer uses to separate "never detected" from
+    /// "detected but the tracker dropped it".
+    pub detected_gt: Vec<GroundTruthId>,
 }
 
 impl IdentFrameResult {
@@ -160,6 +166,25 @@ impl<D: Detector> VehicleIdentification<D> {
         let boxes: Vec<BoundingBox> = kept.iter().map(|d| d.bbox).collect();
         let out = self.sort.update(&boxes);
 
+        // Detection-level ground-truth evidence (evaluation only): which
+        // actors did the detector actually fire on this frame, before any
+        // tracking? Attribution uses this to tell detect-misses from
+        // track-losses.
+        let mut detected_gt: Vec<GroundTruthId> = kept
+            .iter()
+            .filter_map(|d| {
+                scene
+                    .actors
+                    .iter()
+                    .map(|a| (a.gt, d.bbox.iou(&a.bbox)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .filter(|&(_, iou)| iou >= self.config.gt_iou_threshold)
+                    .map(|(gt, _)| gt)
+            })
+            .collect();
+        detected_gt.sort_unstable();
+        detected_gt.dedup();
+
         for st in &out.active {
             let entry = self.tracklets.entry(st.id).or_insert_with(|| Tracklet {
                 centroids: Vec::new(),
@@ -200,6 +225,7 @@ impl<D: Detector> VehicleIdentification<D> {
             detections_kept: kept.len(),
             active: out.active,
             completed,
+            detected_gt,
         }
     }
 

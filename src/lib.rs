@@ -6,6 +6,7 @@
 //! See the [`coral_core`] crate for the end-to-end system harness.
 
 pub use coral_core as core;
+pub use coral_eval as eval;
 pub use coral_geo as geo;
 pub use coral_net as net;
 pub use coral_obs as obs;

@@ -1,0 +1,26 @@
+//! Tier-1 accuracy regression gate: replay the corridor scenarios and
+//! diff the scores against the checked-in goldens. Any accuracy drift
+//! beyond ±0.02 MOTA/IDF1/per-camera-F2 (or any count change) fails the
+//! root test suite; bless intentional changes with `CORAL_EVAL_BLESS=1`.
+
+use coral_pie::eval::{check_golden, replay_and_evaluate, GoldenTolerance, Scenario};
+
+#[test]
+fn corridor_goldens_hold() {
+    for scenario in [Scenario::corridor(5, 5, 42), Scenario::corridor(3, 4, 42)] {
+        let report = replay_and_evaluate(&scenario);
+        if let Err(errors) = check_golden(&report, GoldenTolerance::default()) {
+            panic!(
+                "golden drift gate failed for {}:\n  {}",
+                scenario.name,
+                errors.join("\n  ")
+            );
+        }
+        assert!(
+            report.attribution.unattributed_fraction() <= 0.01,
+            "{}: {:?}",
+            scenario.name,
+            report.attribution
+        );
+    }
+}
