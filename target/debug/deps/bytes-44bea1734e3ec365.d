@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-44bea1734e3ec365.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-44bea1734e3ec365.rlib: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-44bea1734e3ec365.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-d58cbd8664c012b2.d: /tmp/stubs/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-d58cbd8664c012b2.rmeta: /tmp/stubs/bytes/src/lib.rs
+
+/tmp/stubs/bytes/src/lib.rs:

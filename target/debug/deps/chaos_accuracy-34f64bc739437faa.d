@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_accuracy-34f64bc739437faa.d: crates/coral-eval/tests/chaos_accuracy.rs
+
+/root/repo/target/debug/deps/chaos_accuracy-34f64bc739437faa: crates/coral-eval/tests/chaos_accuracy.rs
+
+crates/coral-eval/tests/chaos_accuracy.rs:

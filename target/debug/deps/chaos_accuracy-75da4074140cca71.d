@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_accuracy-75da4074140cca71.d: crates/coral-eval/tests/chaos_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_accuracy-75da4074140cca71.rmeta: crates/coral-eval/tests/chaos_accuracy.rs Cargo.toml
+
+crates/coral-eval/tests/chaos_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

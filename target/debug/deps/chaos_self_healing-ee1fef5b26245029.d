@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_self_healing-ee1fef5b26245029.d: tests/chaos_self_healing.rs
+
+/root/repo/target/debug/deps/chaos_self_healing-ee1fef5b26245029: tests/chaos_self_healing.rs
+
+tests/chaos_self_healing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_self_healing-fce27d14f5587fdf.d: tests/chaos_self_healing.rs
+
+/root/repo/target/debug/deps/chaos_self_healing-fce27d14f5587fdf: tests/chaos_self_healing.rs
+
+tests/chaos_self_healing.rs:

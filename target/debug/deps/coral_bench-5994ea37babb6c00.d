@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coral_bench-5994ea37babb6c00.d: crates/coral-bench/src/lib.rs crates/coral-bench/src/deploy.rs crates/coral-bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoral_bench-5994ea37babb6c00.rmeta: crates/coral-bench/src/lib.rs crates/coral-bench/src/deploy.rs crates/coral-bench/src/report.rs Cargo.toml
+
+crates/coral-bench/src/lib.rs:
+crates/coral-bench/src/deploy.rs:
+crates/coral-bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/coral_core-32c9788522b83548.d: crates/coral-core/src/lib.rs crates/coral-core/src/deploy.rs crates/coral-core/src/metrics.rs crates/coral-core/src/node.rs crates/coral-core/src/obs.rs crates/coral-core/src/pool.rs crates/coral-core/src/reid.rs crates/coral-core/src/runtime.rs crates/coral-core/src/stepper.rs crates/coral-core/src/system.rs crates/coral-core/src/telemetry.rs
+
+/root/repo/target/debug/deps/libcoral_core-32c9788522b83548.rlib: crates/coral-core/src/lib.rs crates/coral-core/src/deploy.rs crates/coral-core/src/metrics.rs crates/coral-core/src/node.rs crates/coral-core/src/obs.rs crates/coral-core/src/pool.rs crates/coral-core/src/reid.rs crates/coral-core/src/runtime.rs crates/coral-core/src/stepper.rs crates/coral-core/src/system.rs crates/coral-core/src/telemetry.rs
+
+/root/repo/target/debug/deps/libcoral_core-32c9788522b83548.rmeta: crates/coral-core/src/lib.rs crates/coral-core/src/deploy.rs crates/coral-core/src/metrics.rs crates/coral-core/src/node.rs crates/coral-core/src/obs.rs crates/coral-core/src/pool.rs crates/coral-core/src/reid.rs crates/coral-core/src/runtime.rs crates/coral-core/src/stepper.rs crates/coral-core/src/system.rs crates/coral-core/src/telemetry.rs
+
+crates/coral-core/src/lib.rs:
+crates/coral-core/src/deploy.rs:
+crates/coral-core/src/metrics.rs:
+crates/coral-core/src/node.rs:
+crates/coral-core/src/obs.rs:
+crates/coral-core/src/pool.rs:
+crates/coral-core/src/reid.rs:
+crates/coral-core/src/runtime.rs:
+crates/coral-core/src/stepper.rs:
+crates/coral-core/src/system.rs:
+crates/coral-core/src/telemetry.rs:

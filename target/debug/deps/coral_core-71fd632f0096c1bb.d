@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/coral_core-71fd632f0096c1bb.d: crates/coral-core/src/lib.rs crates/coral-core/src/deploy.rs crates/coral-core/src/metrics.rs crates/coral-core/src/node.rs crates/coral-core/src/obs.rs crates/coral-core/src/pool.rs crates/coral-core/src/reid.rs crates/coral-core/src/runtime.rs crates/coral-core/src/stepper.rs crates/coral-core/src/system.rs crates/coral-core/src/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoral_core-71fd632f0096c1bb.rmeta: crates/coral-core/src/lib.rs crates/coral-core/src/deploy.rs crates/coral-core/src/metrics.rs crates/coral-core/src/node.rs crates/coral-core/src/obs.rs crates/coral-core/src/pool.rs crates/coral-core/src/reid.rs crates/coral-core/src/runtime.rs crates/coral-core/src/stepper.rs crates/coral-core/src/system.rs crates/coral-core/src/telemetry.rs Cargo.toml
+
+crates/coral-core/src/lib.rs:
+crates/coral-core/src/deploy.rs:
+crates/coral-core/src/metrics.rs:
+crates/coral-core/src/node.rs:
+crates/coral-core/src/obs.rs:
+crates/coral-core/src/pool.rs:
+crates/coral-core/src/reid.rs:
+crates/coral-core/src/runtime.rs:
+crates/coral-core/src/stepper.rs:
+crates/coral-core/src/system.rs:
+crates/coral-core/src/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

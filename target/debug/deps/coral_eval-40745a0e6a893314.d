@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coral_eval-40745a0e6a893314.d: crates/coral-eval/src/lib.rs crates/coral-eval/src/attribution.rs crates/coral-eval/src/golden.rs crates/coral-eval/src/replay.rs crates/coral-eval/src/score.rs crates/coral-eval/src/tracks.rs
+
+/root/repo/target/debug/deps/libcoral_eval-40745a0e6a893314.rlib: crates/coral-eval/src/lib.rs crates/coral-eval/src/attribution.rs crates/coral-eval/src/golden.rs crates/coral-eval/src/replay.rs crates/coral-eval/src/score.rs crates/coral-eval/src/tracks.rs
+
+/root/repo/target/debug/deps/libcoral_eval-40745a0e6a893314.rmeta: crates/coral-eval/src/lib.rs crates/coral-eval/src/attribution.rs crates/coral-eval/src/golden.rs crates/coral-eval/src/replay.rs crates/coral-eval/src/score.rs crates/coral-eval/src/tracks.rs
+
+crates/coral-eval/src/lib.rs:
+crates/coral-eval/src/attribution.rs:
+crates/coral-eval/src/golden.rs:
+crates/coral-eval/src/replay.rs:
+crates/coral-eval/src/score.rs:
+crates/coral-eval/src/tracks.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/coral-eval

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coral_eval-700f87afe5e5606d.d: crates/coral-eval/src/lib.rs crates/coral-eval/src/attribution.rs crates/coral-eval/src/golden.rs crates/coral-eval/src/replay.rs crates/coral-eval/src/score.rs crates/coral-eval/src/tracks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoral_eval-700f87afe5e5606d.rmeta: crates/coral-eval/src/lib.rs crates/coral-eval/src/attribution.rs crates/coral-eval/src/golden.rs crates/coral-eval/src/replay.rs crates/coral-eval/src/score.rs crates/coral-eval/src/tracks.rs Cargo.toml
+
+crates/coral-eval/src/lib.rs:
+crates/coral-eval/src/attribution.rs:
+crates/coral-eval/src/golden.rs:
+crates/coral-eval/src/replay.rs:
+crates/coral-eval/src/score.rs:
+crates/coral-eval/src/tracks.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/coral-eval
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

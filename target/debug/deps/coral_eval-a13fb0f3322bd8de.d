@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/coral_eval-a13fb0f3322bd8de.d: crates/coral-eval/src/lib.rs crates/coral-eval/src/attribution.rs crates/coral-eval/src/golden.rs crates/coral-eval/src/replay.rs crates/coral-eval/src/score.rs crates/coral-eval/src/tracks.rs
+
+/root/repo/target/debug/deps/coral_eval-a13fb0f3322bd8de: crates/coral-eval/src/lib.rs crates/coral-eval/src/attribution.rs crates/coral-eval/src/golden.rs crates/coral-eval/src/replay.rs crates/coral-eval/src/score.rs crates/coral-eval/src/tracks.rs
+
+crates/coral-eval/src/lib.rs:
+crates/coral-eval/src/attribution.rs:
+crates/coral-eval/src/golden.rs:
+crates/coral-eval/src/replay.rs:
+crates/coral-eval/src/score.rs:
+crates/coral-eval/src/tracks.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/coral-eval

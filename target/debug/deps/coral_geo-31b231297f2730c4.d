@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coral_geo-31b231297f2730c4.d: crates/coral-geo/src/lib.rs crates/coral-geo/src/generators.rs crates/coral-geo/src/point.rs crates/coral-geo/src/polygon.rs crates/coral-geo/src/road.rs crates/coral-geo/src/route.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoral_geo-31b231297f2730c4.rmeta: crates/coral-geo/src/lib.rs crates/coral-geo/src/generators.rs crates/coral-geo/src/point.rs crates/coral-geo/src/polygon.rs crates/coral-geo/src/road.rs crates/coral-geo/src/route.rs Cargo.toml
+
+crates/coral-geo/src/lib.rs:
+crates/coral-geo/src/generators.rs:
+crates/coral-geo/src/point.rs:
+crates/coral-geo/src/polygon.rs:
+crates/coral-geo/src/road.rs:
+crates/coral-geo/src/route.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/coral_geo-a098e7f3e6131de3.d: crates/coral-geo/src/lib.rs crates/coral-geo/src/generators.rs crates/coral-geo/src/point.rs crates/coral-geo/src/polygon.rs crates/coral-geo/src/road.rs crates/coral-geo/src/route.rs
+
+/root/repo/target/debug/deps/libcoral_geo-a098e7f3e6131de3.rlib: crates/coral-geo/src/lib.rs crates/coral-geo/src/generators.rs crates/coral-geo/src/point.rs crates/coral-geo/src/polygon.rs crates/coral-geo/src/road.rs crates/coral-geo/src/route.rs
+
+/root/repo/target/debug/deps/libcoral_geo-a098e7f3e6131de3.rmeta: crates/coral-geo/src/lib.rs crates/coral-geo/src/generators.rs crates/coral-geo/src/point.rs crates/coral-geo/src/polygon.rs crates/coral-geo/src/road.rs crates/coral-geo/src/route.rs
+
+crates/coral-geo/src/lib.rs:
+crates/coral-geo/src/generators.rs:
+crates/coral-geo/src/point.rs:
+crates/coral-geo/src/polygon.rs:
+crates/coral-geo/src/road.rs:
+crates/coral-geo/src/route.rs:

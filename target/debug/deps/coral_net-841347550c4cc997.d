@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/coral_net-841347550c4cc997.d: crates/coral-net/src/lib.rs crates/coral-net/src/connection.rs crates/coral-net/src/faulty.rs crates/coral-net/src/message.rs crates/coral-net/src/metered.rs crates/coral-net/src/reliable.rs crates/coral-net/src/socket_group.rs crates/coral-net/src/tcp.rs crates/coral-net/src/transport.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoral_net-841347550c4cc997.rmeta: crates/coral-net/src/lib.rs crates/coral-net/src/connection.rs crates/coral-net/src/faulty.rs crates/coral-net/src/message.rs crates/coral-net/src/metered.rs crates/coral-net/src/reliable.rs crates/coral-net/src/socket_group.rs crates/coral-net/src/tcp.rs crates/coral-net/src/transport.rs Cargo.toml
+
+crates/coral-net/src/lib.rs:
+crates/coral-net/src/connection.rs:
+crates/coral-net/src/faulty.rs:
+crates/coral-net/src/message.rs:
+crates/coral-net/src/metered.rs:
+crates/coral-net/src/reliable.rs:
+crates/coral-net/src/socket_group.rs:
+crates/coral-net/src/tcp.rs:
+crates/coral-net/src/transport.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coral_net-c458458e50f83cd9.d: crates/coral-net/src/lib.rs crates/coral-net/src/connection.rs crates/coral-net/src/faulty.rs crates/coral-net/src/message.rs crates/coral-net/src/metered.rs crates/coral-net/src/reliable.rs crates/coral-net/src/socket_group.rs crates/coral-net/src/tcp.rs crates/coral-net/src/transport.rs
+
+/root/repo/target/debug/deps/libcoral_net-c458458e50f83cd9.rlib: crates/coral-net/src/lib.rs crates/coral-net/src/connection.rs crates/coral-net/src/faulty.rs crates/coral-net/src/message.rs crates/coral-net/src/metered.rs crates/coral-net/src/reliable.rs crates/coral-net/src/socket_group.rs crates/coral-net/src/tcp.rs crates/coral-net/src/transport.rs
+
+/root/repo/target/debug/deps/libcoral_net-c458458e50f83cd9.rmeta: crates/coral-net/src/lib.rs crates/coral-net/src/connection.rs crates/coral-net/src/faulty.rs crates/coral-net/src/message.rs crates/coral-net/src/metered.rs crates/coral-net/src/reliable.rs crates/coral-net/src/socket_group.rs crates/coral-net/src/tcp.rs crates/coral-net/src/transport.rs
+
+crates/coral-net/src/lib.rs:
+crates/coral-net/src/connection.rs:
+crates/coral-net/src/faulty.rs:
+crates/coral-net/src/message.rs:
+crates/coral-net/src/metered.rs:
+crates/coral-net/src/reliable.rs:
+crates/coral-net/src/socket_group.rs:
+crates/coral-net/src/tcp.rs:
+crates/coral-net/src/transport.rs:

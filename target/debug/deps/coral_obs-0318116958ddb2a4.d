@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/coral_obs-0318116958ddb2a4.d: crates/coral-obs/src/lib.rs crates/coral-obs/src/json.rs crates/coral-obs/src/registry.rs crates/coral-obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoral_obs-0318116958ddb2a4.rmeta: crates/coral-obs/src/lib.rs crates/coral-obs/src/json.rs crates/coral-obs/src/registry.rs crates/coral-obs/src/trace.rs Cargo.toml
+
+crates/coral-obs/src/lib.rs:
+crates/coral-obs/src/json.rs:
+crates/coral-obs/src/registry.rs:
+crates/coral-obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

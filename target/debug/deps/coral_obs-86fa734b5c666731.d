@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/coral_obs-86fa734b5c666731.d: crates/coral-obs/src/lib.rs crates/coral-obs/src/json.rs crates/coral-obs/src/registry.rs crates/coral-obs/src/trace.rs
+
+/root/repo/target/debug/deps/libcoral_obs-86fa734b5c666731.rlib: crates/coral-obs/src/lib.rs crates/coral-obs/src/json.rs crates/coral-obs/src/registry.rs crates/coral-obs/src/trace.rs
+
+/root/repo/target/debug/deps/libcoral_obs-86fa734b5c666731.rmeta: crates/coral-obs/src/lib.rs crates/coral-obs/src/json.rs crates/coral-obs/src/registry.rs crates/coral-obs/src/trace.rs
+
+crates/coral-obs/src/lib.rs:
+crates/coral-obs/src/json.rs:
+crates/coral-obs/src/registry.rs:
+crates/coral-obs/src/trace.rs:

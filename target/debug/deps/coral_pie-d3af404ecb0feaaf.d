@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coral_pie-d3af404ecb0feaaf.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcoral_pie-d3af404ecb0feaaf.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcoral_pie-d3af404ecb0feaaf.rmeta: src/lib.rs
+
+src/lib.rs:

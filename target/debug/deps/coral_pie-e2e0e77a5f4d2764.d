@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coral_pie-e2e0e77a5f4d2764.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcoral_pie-e2e0e77a5f4d2764.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcoral_pie-e2e0e77a5f4d2764.rmeta: src/lib.rs
+
+src/lib.rs:

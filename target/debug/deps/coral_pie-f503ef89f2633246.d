@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coral_pie-f503ef89f2633246.d: src/lib.rs
+
+/root/repo/target/debug/deps/coral_pie-f503ef89f2633246: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coral_pipeline-466ba9801bba1098.d: crates/coral-pipeline/src/lib.rs crates/coral-pipeline/src/device.rs crates/coral-pipeline/src/pipeline.rs crates/coral-pipeline/src/profile.rs crates/coral-pipeline/src/profiler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoral_pipeline-466ba9801bba1098.rmeta: crates/coral-pipeline/src/lib.rs crates/coral-pipeline/src/device.rs crates/coral-pipeline/src/pipeline.rs crates/coral-pipeline/src/profile.rs crates/coral-pipeline/src/profiler.rs Cargo.toml
+
+crates/coral-pipeline/src/lib.rs:
+crates/coral-pipeline/src/device.rs:
+crates/coral-pipeline/src/pipeline.rs:
+crates/coral-pipeline/src/profile.rs:
+crates/coral-pipeline/src/profiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

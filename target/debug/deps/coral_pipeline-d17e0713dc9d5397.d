@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coral_pipeline-d17e0713dc9d5397.d: crates/coral-pipeline/src/lib.rs crates/coral-pipeline/src/device.rs crates/coral-pipeline/src/pipeline.rs crates/coral-pipeline/src/profile.rs crates/coral-pipeline/src/profiler.rs
+
+/root/repo/target/debug/deps/libcoral_pipeline-d17e0713dc9d5397.rlib: crates/coral-pipeline/src/lib.rs crates/coral-pipeline/src/device.rs crates/coral-pipeline/src/pipeline.rs crates/coral-pipeline/src/profile.rs crates/coral-pipeline/src/profiler.rs
+
+/root/repo/target/debug/deps/libcoral_pipeline-d17e0713dc9d5397.rmeta: crates/coral-pipeline/src/lib.rs crates/coral-pipeline/src/device.rs crates/coral-pipeline/src/pipeline.rs crates/coral-pipeline/src/profile.rs crates/coral-pipeline/src/profiler.rs
+
+crates/coral-pipeline/src/lib.rs:
+crates/coral-pipeline/src/device.rs:
+crates/coral-pipeline/src/pipeline.rs:
+crates/coral-pipeline/src/profile.rs:
+crates/coral-pipeline/src/profiler.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/coral_sim-29e2f6e1e474eabb.d: crates/coral-sim/src/lib.rs crates/coral-sim/src/engine.rs crates/coral-sim/src/failure.rs crates/coral-sim/src/gt.rs crates/coral-sim/src/lights.rs crates/coral-sim/src/netmodel.rs crates/coral-sim/src/observe.rs crates/coral-sim/src/time.rs crates/coral-sim/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoral_sim-29e2f6e1e474eabb.rmeta: crates/coral-sim/src/lib.rs crates/coral-sim/src/engine.rs crates/coral-sim/src/failure.rs crates/coral-sim/src/gt.rs crates/coral-sim/src/lights.rs crates/coral-sim/src/netmodel.rs crates/coral-sim/src/observe.rs crates/coral-sim/src/time.rs crates/coral-sim/src/traffic.rs Cargo.toml
+
+crates/coral-sim/src/lib.rs:
+crates/coral-sim/src/engine.rs:
+crates/coral-sim/src/failure.rs:
+crates/coral-sim/src/gt.rs:
+crates/coral-sim/src/lights.rs:
+crates/coral-sim/src/netmodel.rs:
+crates/coral-sim/src/observe.rs:
+crates/coral-sim/src/time.rs:
+crates/coral-sim/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coral_sim-4f03b4f516a5933f.d: crates/coral-sim/src/lib.rs crates/coral-sim/src/engine.rs crates/coral-sim/src/failure.rs crates/coral-sim/src/gt.rs crates/coral-sim/src/lights.rs crates/coral-sim/src/netmodel.rs crates/coral-sim/src/observe.rs crates/coral-sim/src/time.rs crates/coral-sim/src/traffic.rs
+
+/root/repo/target/debug/deps/libcoral_sim-4f03b4f516a5933f.rlib: crates/coral-sim/src/lib.rs crates/coral-sim/src/engine.rs crates/coral-sim/src/failure.rs crates/coral-sim/src/gt.rs crates/coral-sim/src/lights.rs crates/coral-sim/src/netmodel.rs crates/coral-sim/src/observe.rs crates/coral-sim/src/time.rs crates/coral-sim/src/traffic.rs
+
+/root/repo/target/debug/deps/libcoral_sim-4f03b4f516a5933f.rmeta: crates/coral-sim/src/lib.rs crates/coral-sim/src/engine.rs crates/coral-sim/src/failure.rs crates/coral-sim/src/gt.rs crates/coral-sim/src/lights.rs crates/coral-sim/src/netmodel.rs crates/coral-sim/src/observe.rs crates/coral-sim/src/time.rs crates/coral-sim/src/traffic.rs
+
+crates/coral-sim/src/lib.rs:
+crates/coral-sim/src/engine.rs:
+crates/coral-sim/src/failure.rs:
+crates/coral-sim/src/gt.rs:
+crates/coral-sim/src/lights.rs:
+crates/coral-sim/src/netmodel.rs:
+crates/coral-sim/src/observe.rs:
+crates/coral-sim/src/time.rs:
+crates/coral-sim/src/traffic.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coral_storage-65c13016b0f95c9d.d: crates/coral-storage/src/lib.rs crates/coral-storage/src/frames.rs crates/coral-storage/src/graph.rs crates/coral-storage/src/query.rs crates/coral-storage/src/server.rs
+
+/root/repo/target/debug/deps/libcoral_storage-65c13016b0f95c9d.rlib: crates/coral-storage/src/lib.rs crates/coral-storage/src/frames.rs crates/coral-storage/src/graph.rs crates/coral-storage/src/query.rs crates/coral-storage/src/server.rs
+
+/root/repo/target/debug/deps/libcoral_storage-65c13016b0f95c9d.rmeta: crates/coral-storage/src/lib.rs crates/coral-storage/src/frames.rs crates/coral-storage/src/graph.rs crates/coral-storage/src/query.rs crates/coral-storage/src/server.rs
+
+crates/coral-storage/src/lib.rs:
+crates/coral-storage/src/frames.rs:
+crates/coral-storage/src/graph.rs:
+crates/coral-storage/src/query.rs:
+crates/coral-storage/src/server.rs:

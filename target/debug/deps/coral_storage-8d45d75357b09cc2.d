@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coral_storage-8d45d75357b09cc2.d: crates/coral-storage/src/lib.rs crates/coral-storage/src/frames.rs crates/coral-storage/src/graph.rs crates/coral-storage/src/query.rs crates/coral-storage/src/server.rs
+
+/root/repo/target/debug/deps/coral_storage-8d45d75357b09cc2: crates/coral-storage/src/lib.rs crates/coral-storage/src/frames.rs crates/coral-storage/src/graph.rs crates/coral-storage/src/query.rs crates/coral-storage/src/server.rs
+
+crates/coral-storage/src/lib.rs:
+crates/coral-storage/src/frames.rs:
+crates/coral-storage/src/graph.rs:
+crates/coral-storage/src/query.rs:
+crates/coral-storage/src/server.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coral_storage-b13f8daff6f7a341.d: crates/coral-storage/src/lib.rs crates/coral-storage/src/frames.rs crates/coral-storage/src/graph.rs crates/coral-storage/src/query.rs crates/coral-storage/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoral_storage-b13f8daff6f7a341.rmeta: crates/coral-storage/src/lib.rs crates/coral-storage/src/frames.rs crates/coral-storage/src/graph.rs crates/coral-storage/src/query.rs crates/coral-storage/src/server.rs Cargo.toml
+
+crates/coral-storage/src/lib.rs:
+crates/coral-storage/src/frames.rs:
+crates/coral-storage/src/graph.rs:
+crates/coral-storage/src/query.rs:
+crates/coral-storage/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coral_topology-4a6c0d7e4919d493.d: crates/coral-topology/src/lib.rs crates/coral-topology/src/camera.rs crates/coral-topology/src/mdcs.rs crates/coral-topology/src/server.rs crates/coral-topology/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoral_topology-4a6c0d7e4919d493.rmeta: crates/coral-topology/src/lib.rs crates/coral-topology/src/camera.rs crates/coral-topology/src/mdcs.rs crates/coral-topology/src/server.rs crates/coral-topology/src/topology.rs Cargo.toml
+
+crates/coral-topology/src/lib.rs:
+crates/coral-topology/src/camera.rs:
+crates/coral-topology/src/mdcs.rs:
+crates/coral-topology/src/server.rs:
+crates/coral-topology/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coral_topology-58c8939363aeec16.d: crates/coral-topology/src/lib.rs crates/coral-topology/src/camera.rs crates/coral-topology/src/mdcs.rs crates/coral-topology/src/server.rs crates/coral-topology/src/topology.rs
+
+/root/repo/target/debug/deps/libcoral_topology-58c8939363aeec16.rlib: crates/coral-topology/src/lib.rs crates/coral-topology/src/camera.rs crates/coral-topology/src/mdcs.rs crates/coral-topology/src/server.rs crates/coral-topology/src/topology.rs
+
+/root/repo/target/debug/deps/libcoral_topology-58c8939363aeec16.rmeta: crates/coral-topology/src/lib.rs crates/coral-topology/src/camera.rs crates/coral-topology/src/mdcs.rs crates/coral-topology/src/server.rs crates/coral-topology/src/topology.rs
+
+crates/coral-topology/src/lib.rs:
+crates/coral-topology/src/camera.rs:
+crates/coral-topology/src/mdcs.rs:
+crates/coral-topology/src/server.rs:
+crates/coral-topology/src/topology.rs:

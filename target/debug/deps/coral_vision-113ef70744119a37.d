@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/coral_vision-113ef70744119a37.d: crates/coral-vision/src/lib.rs crates/coral-vision/src/bbox.rs crates/coral-vision/src/detect.rs crates/coral-vision/src/direction.rs crates/coral-vision/src/frame.rs crates/coral-vision/src/histogram.rs crates/coral-vision/src/hungarian.rs crates/coral-vision/src/ident.rs crates/coral-vision/src/interval.rs crates/coral-vision/src/kalman.rs crates/coral-vision/src/render.rs crates/coral-vision/src/sort.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoral_vision-113ef70744119a37.rmeta: crates/coral-vision/src/lib.rs crates/coral-vision/src/bbox.rs crates/coral-vision/src/detect.rs crates/coral-vision/src/direction.rs crates/coral-vision/src/frame.rs crates/coral-vision/src/histogram.rs crates/coral-vision/src/hungarian.rs crates/coral-vision/src/ident.rs crates/coral-vision/src/interval.rs crates/coral-vision/src/kalman.rs crates/coral-vision/src/render.rs crates/coral-vision/src/sort.rs Cargo.toml
+
+crates/coral-vision/src/lib.rs:
+crates/coral-vision/src/bbox.rs:
+crates/coral-vision/src/detect.rs:
+crates/coral-vision/src/direction.rs:
+crates/coral-vision/src/frame.rs:
+crates/coral-vision/src/histogram.rs:
+crates/coral-vision/src/hungarian.rs:
+crates/coral-vision/src/ident.rs:
+crates/coral-vision/src/interval.rs:
+crates/coral-vision/src/kalman.rs:
+crates/coral-vision/src/render.rs:
+crates/coral-vision/src/sort.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

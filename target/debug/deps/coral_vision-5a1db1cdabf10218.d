@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/coral_vision-5a1db1cdabf10218.d: crates/coral-vision/src/lib.rs crates/coral-vision/src/bbox.rs crates/coral-vision/src/detect.rs crates/coral-vision/src/direction.rs crates/coral-vision/src/frame.rs crates/coral-vision/src/histogram.rs crates/coral-vision/src/hungarian.rs crates/coral-vision/src/ident.rs crates/coral-vision/src/interval.rs crates/coral-vision/src/kalman.rs crates/coral-vision/src/render.rs crates/coral-vision/src/sort.rs
+
+/root/repo/target/debug/deps/coral_vision-5a1db1cdabf10218: crates/coral-vision/src/lib.rs crates/coral-vision/src/bbox.rs crates/coral-vision/src/detect.rs crates/coral-vision/src/direction.rs crates/coral-vision/src/frame.rs crates/coral-vision/src/histogram.rs crates/coral-vision/src/hungarian.rs crates/coral-vision/src/ident.rs crates/coral-vision/src/interval.rs crates/coral-vision/src/kalman.rs crates/coral-vision/src/render.rs crates/coral-vision/src/sort.rs
+
+crates/coral-vision/src/lib.rs:
+crates/coral-vision/src/bbox.rs:
+crates/coral-vision/src/detect.rs:
+crates/coral-vision/src/direction.rs:
+crates/coral-vision/src/frame.rs:
+crates/coral-vision/src/histogram.rs:
+crates/coral-vision/src/hungarian.rs:
+crates/coral-vision/src/ident.rs:
+crates/coral-vision/src/interval.rs:
+crates/coral-vision/src/kalman.rs:
+crates/coral-vision/src/render.rs:
+crates/coral-vision/src/sort.rs:

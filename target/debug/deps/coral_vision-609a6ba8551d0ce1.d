@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/coral_vision-609a6ba8551d0ce1.d: crates/coral-vision/src/lib.rs crates/coral-vision/src/bbox.rs crates/coral-vision/src/detect.rs crates/coral-vision/src/direction.rs crates/coral-vision/src/frame.rs crates/coral-vision/src/histogram.rs crates/coral-vision/src/hungarian.rs crates/coral-vision/src/ident.rs crates/coral-vision/src/interval.rs crates/coral-vision/src/kalman.rs crates/coral-vision/src/render.rs crates/coral-vision/src/sort.rs
+
+/root/repo/target/debug/deps/libcoral_vision-609a6ba8551d0ce1.rlib: crates/coral-vision/src/lib.rs crates/coral-vision/src/bbox.rs crates/coral-vision/src/detect.rs crates/coral-vision/src/direction.rs crates/coral-vision/src/frame.rs crates/coral-vision/src/histogram.rs crates/coral-vision/src/hungarian.rs crates/coral-vision/src/ident.rs crates/coral-vision/src/interval.rs crates/coral-vision/src/kalman.rs crates/coral-vision/src/render.rs crates/coral-vision/src/sort.rs
+
+/root/repo/target/debug/deps/libcoral_vision-609a6ba8551d0ce1.rmeta: crates/coral-vision/src/lib.rs crates/coral-vision/src/bbox.rs crates/coral-vision/src/detect.rs crates/coral-vision/src/direction.rs crates/coral-vision/src/frame.rs crates/coral-vision/src/histogram.rs crates/coral-vision/src/hungarian.rs crates/coral-vision/src/ident.rs crates/coral-vision/src/interval.rs crates/coral-vision/src/kalman.rs crates/coral-vision/src/render.rs crates/coral-vision/src/sort.rs
+
+crates/coral-vision/src/lib.rs:
+crates/coral-vision/src/bbox.rs:
+crates/coral-vision/src/detect.rs:
+crates/coral-vision/src/direction.rs:
+crates/coral-vision/src/frame.rs:
+crates/coral-vision/src/histogram.rs:
+crates/coral-vision/src/hungarian.rs:
+crates/coral-vision/src/ident.rs:
+crates/coral-vision/src/interval.rs:
+crates/coral-vision/src/kalman.rs:
+crates/coral-vision/src/render.rs:
+crates/coral-vision/src/sort.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-fa8047f032d60524.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-fa8047f032d60524.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

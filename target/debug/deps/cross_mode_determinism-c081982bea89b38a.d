@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_mode_determinism-c081982bea89b38a.d: tests/cross_mode_determinism.rs
+
+/root/repo/target/debug/deps/cross_mode_determinism-c081982bea89b38a: tests/cross_mode_determinism.rs
+
+tests/cross_mode_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_mode_determinism-e4c60f44431a0906.d: tests/cross_mode_determinism.rs
+
+/root/repo/target/debug/deps/cross_mode_determinism-e4c60f44431a0906: tests/cross_mode_determinism.rs
+
+tests/cross_mode_determinism.rs:

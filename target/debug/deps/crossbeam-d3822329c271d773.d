@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-d3822329c271d773.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-d3822329c271d773.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-d3822329c271d773.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

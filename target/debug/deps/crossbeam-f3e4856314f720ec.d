@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-f3e4856314f720ec.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-f3e4856314f720ec.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-cfa4d6a69f18c257.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-cfa4d6a69f18c257: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-f09d9b41788c0149.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-f09d9b41788c0149: tests/determinism.rs
+
+tests/determinism.rs:

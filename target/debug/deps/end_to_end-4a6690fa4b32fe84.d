@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4a6690fa4b32fe84.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4a6690fa4b32fe84: tests/end_to_end.rs
+
+tests/end_to_end.rs:

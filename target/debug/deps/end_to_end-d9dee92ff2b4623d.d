@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-d9dee92ff2b4623d.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-d9dee92ff2b4623d: tests/end_to_end.rs
+
+tests/end_to_end.rs:

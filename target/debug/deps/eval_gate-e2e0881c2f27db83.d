@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_gate-e2e0881c2f27db83.d: tests/eval_gate.rs
+
+/root/repo/target/debug/deps/eval_gate-e2e0881c2f27db83: tests/eval_gate.rs
+
+tests/eval_gate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_ablations-6b1d8228e00f0ba1.d: crates/coral-bench/src/bin/exp_ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_ablations-6b1d8228e00f0ba1.rmeta: crates/coral-bench/src/bin/exp_ablations.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

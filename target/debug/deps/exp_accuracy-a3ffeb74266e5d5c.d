@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_accuracy-a3ffeb74266e5d5c.d: crates/coral-bench/src/bin/exp_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_accuracy-a3ffeb74266e5d5c.rmeta: crates/coral-bench/src/bin/exp_accuracy.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_bandwidth-de1f06cb42307620.d: crates/coral-bench/src/bin/exp_bandwidth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_bandwidth-de1f06cb42307620.rmeta: crates/coral-bench/src/bin/exp_bandwidth.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_bandwidth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig10a-baf4815fdded1e29.d: crates/coral-bench/src/bin/exp_fig10a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig10a-baf4815fdded1e29.rmeta: crates/coral-bench/src/bin/exp_fig10a.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_fig10a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

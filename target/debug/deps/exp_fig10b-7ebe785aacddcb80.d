@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig10b-7ebe785aacddcb80.d: crates/coral-bench/src/bin/exp_fig10b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig10b-7ebe785aacddcb80.rmeta: crates/coral-bench/src/bin/exp_fig10b.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_fig10b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

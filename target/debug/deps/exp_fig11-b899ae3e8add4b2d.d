@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig11-b899ae3e8add4b2d.d: crates/coral-bench/src/bin/exp_fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig11-b899ae3e8add4b2d.rmeta: crates/coral-bench/src/bin/exp_fig11.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

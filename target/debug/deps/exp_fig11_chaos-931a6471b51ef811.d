@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig11_chaos-931a6471b51ef811.d: crates/coral-bench/src/bin/exp_fig11_chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig11_chaos-931a6471b51ef811.rmeta: crates/coral-bench/src/bin/exp_fig11_chaos.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_fig11_chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

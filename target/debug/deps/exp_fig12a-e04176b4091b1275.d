@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig12a-e04176b4091b1275.d: crates/coral-bench/src/bin/exp_fig12a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig12a-e04176b4091b1275.rmeta: crates/coral-bench/src/bin/exp_fig12a.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_fig12a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

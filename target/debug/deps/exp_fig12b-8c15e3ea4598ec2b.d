@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig12b-8c15e3ea4598ec2b.d: crates/coral-bench/src/bin/exp_fig12b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig12b-8c15e3ea4598ec2b.rmeta: crates/coral-bench/src/bin/exp_fig12b.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_fig12b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

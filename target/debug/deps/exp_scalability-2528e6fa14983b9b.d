@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_scalability-2528e6fa14983b9b.d: crates/coral-bench/src/bin/exp_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_scalability-2528e6fa14983b9b.rmeta: crates/coral-bench/src/bin/exp_scalability.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

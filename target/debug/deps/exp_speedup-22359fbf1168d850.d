@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_speedup-22359fbf1168d850.d: crates/coral-bench/src/bin/exp_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_speedup-22359fbf1168d850.rmeta: crates/coral-bench/src/bin/exp_speedup.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table1-eb98ee2ebd60bc63.d: crates/coral-bench/src/bin/exp_table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table1-eb98ee2ebd60bc63.rmeta: crates/coral-bench/src/bin/exp_table1.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_table2-d35154e06ff7b38b.d: crates/coral-bench/src/bin/exp_table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_table2-d35154e06ff7b38b.rmeta: crates/coral-bench/src/bin/exp_table2.rs Cargo.toml
+
+crates/coral-bench/src/bin/exp_table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lane_cameras-3b7cbffbba55137c.d: tests/lane_cameras.rs
+
+/root/repo/target/debug/deps/lane_cameras-3b7cbffbba55137c: tests/lane_cameras.rs
+
+tests/lane_cameras.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-be820ad897baecf3.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-be820ad897baecf3: tests/observability.rs
+
+tests/observability.rs:

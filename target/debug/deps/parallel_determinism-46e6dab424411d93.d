@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-46e6dab424411d93.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-46e6dab424411d93: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_determinism-909b913d09f3f580.d: tests/parallel_determinism.rs
+
+/root/repo/target/debug/deps/parallel_determinism-909b913d09f3f580: tests/parallel_determinism.rs
+
+tests/parallel_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-7f5415f8e0bbfe1b.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-7f5415f8e0bbfe1b.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-d30fad52a38ff9c8.d: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d30fad52a38ff9c8.rlib: /tmp/stubs/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d30fad52a38ff9c8.rmeta: /tmp/stubs/parking_lot/src/lib.rs
+
+/tmp/stubs/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-2b8faeb329983214.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2b8faeb329983214.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2b8faeb329983214.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

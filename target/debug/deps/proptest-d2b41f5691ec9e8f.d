@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d2b41f5691ec9e8f.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-d2b41f5691ec9e8f.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-3ade8566db768341.d: crates/coral-sim/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-3ade8566db768341: crates/coral-sim/tests/proptest_sim.rs
+
+crates/coral-sim/tests/proptest_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_storage-3bab0ec2790178fd.d: crates/coral-storage/tests/proptest_storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_storage-3bab0ec2790178fd.rmeta: crates/coral-storage/tests/proptest_storage.rs Cargo.toml
+
+crates/coral-storage/tests/proptest_storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

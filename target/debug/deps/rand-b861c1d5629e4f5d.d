@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-b861c1d5629e4f5d.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b861c1d5629e4f5d.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b861c1d5629e4f5d.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

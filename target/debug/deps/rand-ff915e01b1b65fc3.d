@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-ff915e01b1b65fc3.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ff915e01b1b65fc3.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/self_healing-0b66aa0c3992c626.d: tests/self_healing.rs
+
+/root/repo/target/debug/deps/self_healing-0b66aa0c3992c626: tests/self_healing.rs
+
+tests/self_healing.rs:

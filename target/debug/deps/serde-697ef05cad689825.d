@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-697ef05cad689825.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-697ef05cad689825.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

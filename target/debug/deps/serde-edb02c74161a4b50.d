@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-edb02c74161a4b50.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-edb02c74161a4b50.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-edb02c74161a4b50.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

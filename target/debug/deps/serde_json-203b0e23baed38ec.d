@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-203b0e23baed38ec.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-203b0e23baed38ec.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

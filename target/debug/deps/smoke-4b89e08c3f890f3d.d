@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smoke-4b89e08c3f890f3d.d: crates/coral-eval/tests/smoke.rs
+
+/root/repo/target/debug/deps/smoke-4b89e08c3f890f3d: crates/coral-eval/tests/smoke.rs
+
+crates/coral-eval/tests/smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smoke-bd4c7f911e05709a.d: crates/coral-eval/tests/smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmoke-bd4c7f911e05709a.rmeta: crates/coral-eval/tests/smoke.rs Cargo.toml
+
+crates/coral-eval/tests/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threaded_deployment-39edfb4ee29c22a6.d: tests/threaded_deployment.rs
+
+/root/repo/target/debug/deps/threaded_deployment-39edfb4ee29c22a6: tests/threaded_deployment.rs
+
+tests/threaded_deployment.rs:

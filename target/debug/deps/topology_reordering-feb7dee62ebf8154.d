@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topology_reordering-feb7dee62ebf8154.d: tests/topology_reordering.rs
+
+/root/repo/target/debug/deps/topology_reordering-feb7dee62ebf8154: tests/topology_reordering.rs
+
+tests/topology_reordering.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/uturn-d5b88a06ecd1aeef.d: tests/uturn.rs
+
+/root/repo/target/debug/deps/uturn-d5b88a06ecd1aeef: tests/uturn.rs
+
+tests/uturn.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campus_self_healing-34c70b1f9843416b.d: examples/campus_self_healing.rs
+
+/root/repo/target/debug/examples/campus_self_healing-34c70b1f9843416b: examples/campus_self_healing.rs
+
+examples/campus_self_healing.rs:

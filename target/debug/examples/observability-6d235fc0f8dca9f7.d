@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/observability-6d235fc0f8dca9f7.d: examples/observability.rs
+
+/root/repo/target/debug/examples/observability-6d235fc0f8dca9f7: examples/observability.rs
+
+examples/observability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pipeline_tuning-73db62288e286044.d: examples/pipeline_tuning.rs
+
+/root/repo/target/debug/examples/pipeline_tuning-73db62288e286044: examples/pipeline_tuning.rs
+
+examples/pipeline_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e7ddd350693884f6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e7ddd350693884f6: examples/quickstart.rs
+
+examples/quickstart.rs:

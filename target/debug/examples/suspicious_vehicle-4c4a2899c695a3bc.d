@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/suspicious_vehicle-4c4a2899c695a3bc.d: examples/suspicious_vehicle.rs
+
+/root/repo/target/debug/examples/suspicious_vehicle-4c4a2899c695a3bc: examples/suspicious_vehicle.rs
+
+examples/suspicious_vehicle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tcp_cameras-9d740d2c9a596908.d: examples/tcp_cameras.rs
+
+/root/repo/target/debug/examples/tcp_cameras-9d740d2c9a596908: examples/tcp_cameras.rs
+
+examples/tcp_cameras.rs:

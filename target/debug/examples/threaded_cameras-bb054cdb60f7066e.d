@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threaded_cameras-bb054cdb60f7066e.d: examples/threaded_cameras.rs
+
+/root/repo/target/debug/examples/threaded_cameras-bb054cdb60f7066e: examples/threaded_cameras.rs
+
+examples/threaded_cameras.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/coral_bench-b5801d00573e5835.d: crates/coral-bench/src/lib.rs crates/coral-bench/src/deploy.rs crates/coral-bench/src/report.rs
+
+/root/repo/target/release/deps/libcoral_bench-b5801d00573e5835.rlib: crates/coral-bench/src/lib.rs crates/coral-bench/src/deploy.rs crates/coral-bench/src/report.rs
+
+/root/repo/target/release/deps/libcoral_bench-b5801d00573e5835.rmeta: crates/coral-bench/src/lib.rs crates/coral-bench/src/deploy.rs crates/coral-bench/src/report.rs
+
+crates/coral-bench/src/lib.rs:
+crates/coral-bench/src/deploy.rs:
+crates/coral-bench/src/report.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/coral_eval-b0e6e4dd5912b5ab.d: crates/coral-eval/src/lib.rs crates/coral-eval/src/attribution.rs crates/coral-eval/src/golden.rs crates/coral-eval/src/replay.rs crates/coral-eval/src/score.rs crates/coral-eval/src/tracks.rs
+
+/root/repo/target/release/deps/libcoral_eval-b0e6e4dd5912b5ab.rlib: crates/coral-eval/src/lib.rs crates/coral-eval/src/attribution.rs crates/coral-eval/src/golden.rs crates/coral-eval/src/replay.rs crates/coral-eval/src/score.rs crates/coral-eval/src/tracks.rs
+
+/root/repo/target/release/deps/libcoral_eval-b0e6e4dd5912b5ab.rmeta: crates/coral-eval/src/lib.rs crates/coral-eval/src/attribution.rs crates/coral-eval/src/golden.rs crates/coral-eval/src/replay.rs crates/coral-eval/src/score.rs crates/coral-eval/src/tracks.rs
+
+crates/coral-eval/src/lib.rs:
+crates/coral-eval/src/attribution.rs:
+crates/coral-eval/src/golden.rs:
+crates/coral-eval/src/replay.rs:
+crates/coral-eval/src/score.rs:
+crates/coral-eval/src/tracks.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/coral-eval

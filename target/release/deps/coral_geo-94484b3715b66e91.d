@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/coral_geo-94484b3715b66e91.d: crates/coral-geo/src/lib.rs crates/coral-geo/src/generators.rs crates/coral-geo/src/point.rs crates/coral-geo/src/polygon.rs crates/coral-geo/src/road.rs crates/coral-geo/src/route.rs
+
+/root/repo/target/release/deps/libcoral_geo-94484b3715b66e91.rlib: crates/coral-geo/src/lib.rs crates/coral-geo/src/generators.rs crates/coral-geo/src/point.rs crates/coral-geo/src/polygon.rs crates/coral-geo/src/road.rs crates/coral-geo/src/route.rs
+
+/root/repo/target/release/deps/libcoral_geo-94484b3715b66e91.rmeta: crates/coral-geo/src/lib.rs crates/coral-geo/src/generators.rs crates/coral-geo/src/point.rs crates/coral-geo/src/polygon.rs crates/coral-geo/src/road.rs crates/coral-geo/src/route.rs
+
+crates/coral-geo/src/lib.rs:
+crates/coral-geo/src/generators.rs:
+crates/coral-geo/src/point.rs:
+crates/coral-geo/src/polygon.rs:
+crates/coral-geo/src/road.rs:
+crates/coral-geo/src/route.rs:

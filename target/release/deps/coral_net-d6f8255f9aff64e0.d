@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/coral_net-d6f8255f9aff64e0.d: crates/coral-net/src/lib.rs crates/coral-net/src/connection.rs crates/coral-net/src/faulty.rs crates/coral-net/src/message.rs crates/coral-net/src/metered.rs crates/coral-net/src/reliable.rs crates/coral-net/src/socket_group.rs crates/coral-net/src/tcp.rs crates/coral-net/src/transport.rs
+
+/root/repo/target/release/deps/libcoral_net-d6f8255f9aff64e0.rlib: crates/coral-net/src/lib.rs crates/coral-net/src/connection.rs crates/coral-net/src/faulty.rs crates/coral-net/src/message.rs crates/coral-net/src/metered.rs crates/coral-net/src/reliable.rs crates/coral-net/src/socket_group.rs crates/coral-net/src/tcp.rs crates/coral-net/src/transport.rs
+
+/root/repo/target/release/deps/libcoral_net-d6f8255f9aff64e0.rmeta: crates/coral-net/src/lib.rs crates/coral-net/src/connection.rs crates/coral-net/src/faulty.rs crates/coral-net/src/message.rs crates/coral-net/src/metered.rs crates/coral-net/src/reliable.rs crates/coral-net/src/socket_group.rs crates/coral-net/src/tcp.rs crates/coral-net/src/transport.rs
+
+crates/coral-net/src/lib.rs:
+crates/coral-net/src/connection.rs:
+crates/coral-net/src/faulty.rs:
+crates/coral-net/src/message.rs:
+crates/coral-net/src/metered.rs:
+crates/coral-net/src/reliable.rs:
+crates/coral-net/src/socket_group.rs:
+crates/coral-net/src/tcp.rs:
+crates/coral-net/src/transport.rs:

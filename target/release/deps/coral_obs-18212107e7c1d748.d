@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/coral_obs-18212107e7c1d748.d: crates/coral-obs/src/lib.rs crates/coral-obs/src/json.rs crates/coral-obs/src/registry.rs crates/coral-obs/src/trace.rs
+
+/root/repo/target/release/deps/libcoral_obs-18212107e7c1d748.rlib: crates/coral-obs/src/lib.rs crates/coral-obs/src/json.rs crates/coral-obs/src/registry.rs crates/coral-obs/src/trace.rs
+
+/root/repo/target/release/deps/libcoral_obs-18212107e7c1d748.rmeta: crates/coral-obs/src/lib.rs crates/coral-obs/src/json.rs crates/coral-obs/src/registry.rs crates/coral-obs/src/trace.rs
+
+crates/coral-obs/src/lib.rs:
+crates/coral-obs/src/json.rs:
+crates/coral-obs/src/registry.rs:
+crates/coral-obs/src/trace.rs:

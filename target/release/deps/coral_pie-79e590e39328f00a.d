@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/coral_pie-79e590e39328f00a.d: src/lib.rs
+
+/root/repo/target/release/deps/libcoral_pie-79e590e39328f00a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcoral_pie-79e590e39328f00a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/coral_pipeline-b710ea283490438c.d: crates/coral-pipeline/src/lib.rs crates/coral-pipeline/src/device.rs crates/coral-pipeline/src/pipeline.rs crates/coral-pipeline/src/profile.rs crates/coral-pipeline/src/profiler.rs
+
+/root/repo/target/release/deps/libcoral_pipeline-b710ea283490438c.rlib: crates/coral-pipeline/src/lib.rs crates/coral-pipeline/src/device.rs crates/coral-pipeline/src/pipeline.rs crates/coral-pipeline/src/profile.rs crates/coral-pipeline/src/profiler.rs
+
+/root/repo/target/release/deps/libcoral_pipeline-b710ea283490438c.rmeta: crates/coral-pipeline/src/lib.rs crates/coral-pipeline/src/device.rs crates/coral-pipeline/src/pipeline.rs crates/coral-pipeline/src/profile.rs crates/coral-pipeline/src/profiler.rs
+
+crates/coral-pipeline/src/lib.rs:
+crates/coral-pipeline/src/device.rs:
+crates/coral-pipeline/src/pipeline.rs:
+crates/coral-pipeline/src/profile.rs:
+crates/coral-pipeline/src/profiler.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/coral_sim-115730b3ab096db6.d: crates/coral-sim/src/lib.rs crates/coral-sim/src/engine.rs crates/coral-sim/src/failure.rs crates/coral-sim/src/gt.rs crates/coral-sim/src/lights.rs crates/coral-sim/src/netmodel.rs crates/coral-sim/src/observe.rs crates/coral-sim/src/time.rs crates/coral-sim/src/traffic.rs
+
+/root/repo/target/release/deps/libcoral_sim-115730b3ab096db6.rlib: crates/coral-sim/src/lib.rs crates/coral-sim/src/engine.rs crates/coral-sim/src/failure.rs crates/coral-sim/src/gt.rs crates/coral-sim/src/lights.rs crates/coral-sim/src/netmodel.rs crates/coral-sim/src/observe.rs crates/coral-sim/src/time.rs crates/coral-sim/src/traffic.rs
+
+/root/repo/target/release/deps/libcoral_sim-115730b3ab096db6.rmeta: crates/coral-sim/src/lib.rs crates/coral-sim/src/engine.rs crates/coral-sim/src/failure.rs crates/coral-sim/src/gt.rs crates/coral-sim/src/lights.rs crates/coral-sim/src/netmodel.rs crates/coral-sim/src/observe.rs crates/coral-sim/src/time.rs crates/coral-sim/src/traffic.rs
+
+crates/coral-sim/src/lib.rs:
+crates/coral-sim/src/engine.rs:
+crates/coral-sim/src/failure.rs:
+crates/coral-sim/src/gt.rs:
+crates/coral-sim/src/lights.rs:
+crates/coral-sim/src/netmodel.rs:
+crates/coral-sim/src/observe.rs:
+crates/coral-sim/src/time.rs:
+crates/coral-sim/src/traffic.rs:

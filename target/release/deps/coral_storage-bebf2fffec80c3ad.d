@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/coral_storage-bebf2fffec80c3ad.d: crates/coral-storage/src/lib.rs crates/coral-storage/src/frames.rs crates/coral-storage/src/graph.rs crates/coral-storage/src/query.rs crates/coral-storage/src/server.rs
+
+/root/repo/target/release/deps/libcoral_storage-bebf2fffec80c3ad.rlib: crates/coral-storage/src/lib.rs crates/coral-storage/src/frames.rs crates/coral-storage/src/graph.rs crates/coral-storage/src/query.rs crates/coral-storage/src/server.rs
+
+/root/repo/target/release/deps/libcoral_storage-bebf2fffec80c3ad.rmeta: crates/coral-storage/src/lib.rs crates/coral-storage/src/frames.rs crates/coral-storage/src/graph.rs crates/coral-storage/src/query.rs crates/coral-storage/src/server.rs
+
+crates/coral-storage/src/lib.rs:
+crates/coral-storage/src/frames.rs:
+crates/coral-storage/src/graph.rs:
+crates/coral-storage/src/query.rs:
+crates/coral-storage/src/server.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/coral_topology-58b17287eadc240a.d: crates/coral-topology/src/lib.rs crates/coral-topology/src/camera.rs crates/coral-topology/src/mdcs.rs crates/coral-topology/src/server.rs crates/coral-topology/src/topology.rs
+
+/root/repo/target/release/deps/libcoral_topology-58b17287eadc240a.rlib: crates/coral-topology/src/lib.rs crates/coral-topology/src/camera.rs crates/coral-topology/src/mdcs.rs crates/coral-topology/src/server.rs crates/coral-topology/src/topology.rs
+
+/root/repo/target/release/deps/libcoral_topology-58b17287eadc240a.rmeta: crates/coral-topology/src/lib.rs crates/coral-topology/src/camera.rs crates/coral-topology/src/mdcs.rs crates/coral-topology/src/server.rs crates/coral-topology/src/topology.rs
+
+crates/coral-topology/src/lib.rs:
+crates/coral-topology/src/camera.rs:
+crates/coral-topology/src/mdcs.rs:
+crates/coral-topology/src/server.rs:
+crates/coral-topology/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-f48ed05c06ee35f3.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f48ed05c06ee35f3.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f48ed05c06ee35f3.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_accuracy-571d7028d2e0e2f7.d: crates/coral-bench/src/bin/exp_accuracy.rs
+
+/root/repo/target/release/deps/exp_accuracy-571d7028d2e0e2f7: crates/coral-bench/src/bin/exp_accuracy.rs
+
+crates/coral-bench/src/bin/exp_accuracy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-41725084d8f27075.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-41725084d8f27075.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-41725084d8f27075.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:
