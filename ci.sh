@@ -34,6 +34,13 @@ cargo clippy -p coral-net --lib -- -D warnings -D clippy::unwrap-used
 echo "==> cargo clippy -p coral-eval (deny warnings)"
 cargo clippy -p coral-eval --all-targets -- -D warnings
 
+# Perf-lint gate for the tick hot path: the sparse stepper and the flat
+# vision kernels must stay allocation-lean, so deny the lints that catch
+# accidental re-introduction of per-tick churn.
+echo "==> cargo clippy -p coral-core -p coral-vision (perf lints)"
+cargo clippy -p coral-core -p coral-vision --all-targets -- \
+    -D warnings -D clippy::needless_collect -D clippy::large_enum_variant
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -74,6 +81,26 @@ cargo test -q --test parallel_determinism -- --ignored
 if [ "$quick" -eq 0 ]; then
     echo "==> parallel determinism matrix (release)"
     cargo test -q --release --test parallel_determinism -- --ignored
+fi
+
+# Sparse-stepping equivalence matrix: the occupancy-index early-out must
+# fingerprint byte-identically to dense stepping on every scenario x seed
+# (the smoke subset already ran in `cargo test -q`).
+echo "==> sparse equivalence matrix (debug)"
+cargo test -q --test sparse_equivalence -- --ignored
+if [ "$quick" -eq 0 ]; then
+    echo "==> sparse equivalence matrix (release)"
+    cargo test -q --release --test sparse_equivalence -- --ignored
+fi
+
+# Scale smoke: the 1000-camera deployment must build, warm past its join
+# storm, and tick in both stepping modes (a few simulated seconds only;
+# asserts sparse beats dense). Skipped in --quick (needs the release
+# build).
+if [ "$quick" -eq 0 ]; then
+    echo "==> exp_speedup 1000-camera smoke"
+    CORAL_SPEEDUP_ONLY=1000 CORAL_SPEEDUP_SECS=16 \
+        cargo run --release -p coral-bench --bin exp_speedup
 fi
 
 # Criterion smoke: compile and run every bench once in test mode so the

@@ -60,6 +60,13 @@ pub struct SystemConfig {
     /// every value produces byte-identical runs — parallelism only trades
     /// wall-clock time.
     pub parallelism: usize,
+    /// Event-driven stepping: consult the spatial occupancy index each
+    /// tick and take a cheap early-out for cameras with no nearby vehicle
+    /// and no live tracks. The early-out advances the frame counter
+    /// without rendering, detection or RNG draws — exactly what the full
+    /// path does for an empty scene — so `true` and `false` produce
+    /// byte-identical runs; sparse stepping only trades wall-clock time.
+    pub sparse_stepping: bool,
     /// Master seed for all stochastic components.
     pub seed: u64,
 }
@@ -82,6 +89,7 @@ impl Default for SystemConfig {
             faults: None,
             reliability: None,
             parallelism: 1,
+            sparse_stepping: true,
             seed: 42,
         }
     }

@@ -70,7 +70,7 @@ pub use metrics::{
     Transition,
 };
 pub use node::{CameraNode, FrameOutput, NodeConfig, ReidRecord};
-pub use obs::{CoreObs, NodeObs, ServerObs, Stage};
+pub use obs::{CoreObs, NodeObs, ServerObs, Stage, TickActivity};
 pub use pool::{Candidate, CandidatePool, PoolStats};
 pub use reid::{ReIdentifier, ReidConfig, ReidMatch};
 pub use runtime::{LivenessOutcome, NodeDriver, ServerDriver, SimRuntime, SimWorld};

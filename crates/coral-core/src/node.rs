@@ -204,6 +204,39 @@ impl CameraNode {
         self.events_generated
     }
 
+    /// Tracks currently alive in the camera-local SORT tracker.
+    pub fn live_track_count(&self) -> usize {
+        self.ident.live_track_count()
+    }
+
+    /// Histogram scratch-arena counters: `(reuses, allocations)`.
+    pub fn scratch_stats(&self) -> (u64, u64) {
+        self.ident.scratch_stats()
+    }
+
+    /// Advances the frame counter for a tick on which the runtime's
+    /// occupancy oracle proved no vehicle is near this camera *and* the
+    /// tracker holds no live tracks. Produces exactly the [`FrameAnalysis`]
+    /// that [`CameraNode::analyze_frame`]'s empty-scene fast path would —
+    /// without building a scene, and (like that fast path) without drawing
+    /// from the detector's clutter RNG — so sparse and dense stepping stay
+    /// byte-identical.
+    pub fn advance_idle_frame(&mut self) -> FrameAnalysis {
+        debug_assert_eq!(
+            self.ident.live_track_count(),
+            0,
+            "idle fast path requires an empty tracker"
+        );
+        let frame_id = FrameId(self.frame_seq);
+        self.frame_seq += 1;
+        FrameAnalysis {
+            frame_id,
+            completed: Vec::new(),
+            stored: None,
+            detected: Vec::new(),
+        }
+    }
+
     /// Processes one captured frame. `broadcast_roster`, when set, replaces
     /// MDCS routing with flooding to every listed camera (the baseline of
     /// §5.3); `None` uses the socket group.

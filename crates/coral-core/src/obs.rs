@@ -46,6 +46,17 @@ pub fn vehicle_tid(vehicle: Option<GroundTruthId>) -> u64 {
     vehicle.map_or(0, |g| g.0 + 1)
 }
 
+/// Per-tick camera activity under sparse stepping: how many cameras ran
+/// the full analysis path and how many took the occupancy early-out.
+/// Dense stepping reports everything as `stepped`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickActivity {
+    /// Cameras that ran the full analyze path this tick.
+    pub stepped: usize,
+    /// Cameras that took the idle early-out this tick.
+    pub skipped: usize,
+}
+
 /// A stage of the per-vehicle causal trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
@@ -120,6 +131,8 @@ pub struct CoreObs {
     step_busy_us: Counter,
     step_critical_us: Counter,
     step_commit_us: Counter,
+    cameras_stepped: Counter,
+    cameras_skipped: Counter,
 }
 
 /// Metric label values for stepper worker indices (label slices borrow
@@ -161,6 +174,8 @@ impl CoreObs {
             step_busy_us: r.counter("core_step_busy_us_total", &[]),
             step_critical_us: r.counter("core_step_critical_us_total", &[]),
             step_commit_us: r.counter("core_step_commit_us_total", &[]),
+            cameras_stepped: r.counter("core_cameras_stepped_total", &[]),
+            cameras_skipped: r.counter("core_cameras_skipped_total", &[]),
             inner: Arc::new(Mutex::new(CoreObsInner::default())),
             obs,
         }
@@ -176,9 +191,12 @@ impl CoreObs {
         wall: std::time::Duration,
         commit: std::time::Duration,
         step: &StepStats,
+        activity: TickActivity,
     ) {
         self.ticks.inc();
         self.tick_us.observe(wall);
+        self.cameras_stepped.add(activity.stepped as u64);
+        self.cameras_skipped.add(activity.skipped as u64);
         self.step_busy_us.add(step.busy_total().as_micros() as u64);
         self.step_critical_us
             .add(step.critical_path().as_micros() as u64);

@@ -13,7 +13,7 @@
 use crate::deploy::SystemConfig;
 use crate::metrics::Passage;
 use crate::node::{CameraNode, FrameAnalysis, FrameOutput};
-use crate::obs::{camera_pid, CoreObs, NodeObs, ServerObs, SERVER_PID};
+use crate::obs::{camera_pid, CoreObs, NodeObs, ServerObs, TickActivity, SERVER_PID};
 use crate::stepper::Stepper;
 use crate::telemetry::{Recovery, Telemetry, TelemetrySink};
 use coral_net::{
@@ -21,7 +21,10 @@ use coral_net::{
     SimTransport, Transport,
 };
 use coral_sim::engine::{Action, Context};
-use coral_sim::{Engine, GroundTruthLog, PoissonArrivals, SimDuration, SimTime, TrafficModel};
+use coral_sim::{
+    Engine, GroundTruthLog, OccupancyIndex, PoissonArrivals, SimDuration, SimTime, TrafficModel,
+    VehicleState,
+};
 use coral_storage::EdgeStorageNode;
 use coral_topology::{CameraId, MdcsUpdate, TopologyServer};
 use coral_vision::{GroundTruthId, Scene};
@@ -475,6 +478,13 @@ pub struct SimWorld {
     ground_truth: GroundTruthLog,
     recovery_trackers: Vec<RecoveryTracker>,
     pending_kills: Vec<(CameraId, SimTime)>,
+    /// Vehicle → nearby-camera spatial index for sparse stepping. Slot `i`
+    /// is the `i`-th driver in `CameraId` order (drivers are never removed
+    /// from the map, so the mapping is stable across kills/restores).
+    occupancy: OccupancyIndex,
+    /// Reused per-tick snapshot of all vehicle states (ascending
+    /// `VehicleId`), the arena `occupancy` candidate indices point into.
+    vehicle_states: Vec<VehicleState>,
 }
 
 impl std::fmt::Debug for SimWorld {
@@ -532,6 +542,15 @@ impl SimWorld {
                 }
             }
         }
+        // Spatial occupancy index for sparse stepping: one slot per driver
+        // in `CameraId` order, matching the enumeration order of the
+        // per-tick loop. Dead cameras keep their slot (their candidate
+        // lists simply go unread).
+        let mut occupancy = OccupancyIndex::new(coral_sim::occupancy::DEFAULT_SLACK_M);
+        for driver in drivers.values() {
+            let view = driver.node().view();
+            occupancy.add_camera(view.position, view.range_m);
+        }
         Self {
             server,
             net,
@@ -549,6 +568,8 @@ impl SimWorld {
             ground_truth: GroundTruthLog::new(),
             recovery_trackers: Vec::new(),
             pending_kills: Vec::new(),
+            occupancy,
+            vehicle_states: Vec::new(),
             config,
         }
     }
@@ -655,6 +676,18 @@ impl SimWorld {
         let now_ms = now.as_millis();
         let roster = self.config.broadcast.then(|| self.roster.clone());
 
+        // Sparse stepping: snapshot the vehicle states once (ascending
+        // `VehicleId`, into a reused arena) and refresh the spatial
+        // occupancy index. Each camera's candidate list is a superset of
+        // the vehicles its scene projection could accept, so filtering the
+        // snapshot through it is order- and content-identical to scanning
+        // the whole traffic model.
+        let sparse = self.config.sparse_stepping;
+        if sparse {
+            self.traffic.states_into(&mut self.vehicle_states);
+            self.occupancy.assign(&self.vehicle_states);
+        }
+
         // Phase 1 — analysis fan-out. Scene projection reads only the
         // traffic model (immutable for the rest of the tick) and the frame
         // analysis mutates only camera-private state, so every alive
@@ -662,18 +695,53 @@ impl SimWorld {
         // across the stepper's workers. Results merge back in `CameraId`
         // order regardless of worker scheduling, which is what keeps
         // parallel runs byte-identical to sequential ones (DESIGN.md §5).
+        //
+        // Under sparse stepping a camera whose candidate list is empty and
+        // whose tracker is idle takes the early-out: no scene, no worker
+        // slot, no RNG draws — the same `FrameAnalysis` the full path
+        // produces for an empty scene (see `CameraNode::advance_idle_frame`).
+        // A camera with live tracks but no candidates still runs the full
+        // path on an empty scene, because tracker aging and the detector's
+        // clutter draws must advance exactly as in a dense run.
         let stepper = Stepper::new(self.config.parallelism);
-        let (analyses, step_stats) = {
+        let mut idle: Vec<TickAnalysis> = Vec::new();
+        let (active, step_stats) = {
             let traffic = &self.traffic;
             let alive = &self.alive;
-            let batch: Vec<(CameraId, &mut NodeDriver<SimLink>)> = self
-                .drivers
-                .iter_mut()
-                .filter(|(id, _)| alive.contains(id))
-                .map(|(&id, driver)| (id, driver))
-                .collect();
-            stepper.run(batch, |_, (id, driver)| {
-                let scene = driver.node().view().scene(traffic);
+            let occupancy = &self.occupancy;
+            let states = &self.vehicle_states;
+            // One analysis work item: the camera, its driver, and (under
+            // sparse stepping) its candidate vehicle-state indices.
+            type StepItem<'a> = (CameraId, &'a mut NodeDriver<SimLink>, Option<&'a [u32]>);
+            let mut batch: Vec<StepItem<'_>> = Vec::new();
+            for (slot, (&id, driver)) in self.drivers.iter_mut().enumerate() {
+                if !alive.contains(&id) {
+                    continue;
+                }
+                if sparse {
+                    let candidates = occupancy.candidates(slot);
+                    if candidates.is_empty() && driver.node().live_track_count() == 0 {
+                        idle.push(TickAnalysis {
+                            id,
+                            analysis: driver.node_mut().advance_idle_frame(),
+                            in_fov: HashSet::new(),
+                            analyze_elapsed: Duration::ZERO,
+                        });
+                        continue;
+                    }
+                    batch.push((id, driver, Some(candidates)));
+                } else {
+                    batch.push((id, driver, None));
+                }
+            }
+            stepper.run(batch, |_, (id, driver, candidates)| {
+                let scene = match candidates {
+                    Some(c) => driver
+                        .node()
+                        .view()
+                        .scene_from_states(c.iter().map(|&i| &states[i as usize])),
+                    None => driver.node().view().scene(traffic),
+                };
                 let start = Instant::now();
                 let analysis = driver.node_mut().analyze_frame(&scene);
                 let in_fov: HashSet<GroundTruthId> = scene.actors.iter().map(|a| a.gt).collect();
@@ -685,6 +753,33 @@ impl SimWorld {
                 }
             })
         };
+        let activity = TickActivity {
+            stepped: active.len(),
+            skipped: idle.len(),
+        };
+        // Merge the stepped and idle results back into one `CameraId`-
+        // ordered sequence (both inputs are already id-sorted) so the
+        // commit phase interleaves shared effects exactly as a dense
+        // sequential run.
+        let mut analyses = Vec::with_capacity(active.len() + idle.len());
+        {
+            let mut active = active.into_iter().peekable();
+            let mut idle = idle.into_iter().peekable();
+            loop {
+                let take_active = match (active.peek(), idle.peek()) {
+                    (Some(a), Some(b)) => a.id < b.id,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                let next = if take_active {
+                    active.next()
+                } else {
+                    idle.next()
+                };
+                analyses.extend(next);
+            }
+        }
 
         // Phase 2 — ordered commit: passages, storage writes, pool
         // re-identification and message sends replay in strict `CameraId`
@@ -745,8 +840,12 @@ impl SimWorld {
                 .transport_mut()
                 .tick(now);
         }
-        self.obs
-            .note_tick(tick_start.elapsed(), commit_start.elapsed(), &step_stats);
+        self.obs.note_tick(
+            tick_start.elapsed(),
+            commit_start.elapsed(),
+            &step_stats,
+            activity,
+        );
     }
 
     fn on_heartbeat(&mut self, cam: CameraId, now: SimTime) {
@@ -900,6 +999,21 @@ impl SimWorld {
             let driver = self.drivers.get_mut(&to).expect("alive node exists");
             pending.extend(driver.node_mut().on_message(msg, now_ms));
         }
+        // Publish the histogram scratch-arena hit rate accumulated across
+        // every camera's feature extractions (reuse ≫ alloc is what keeps
+        // the hot path allocation-free).
+        let (reuses, allocs) = self
+            .drivers
+            .values()
+            .map(|d| d.node().scratch_stats())
+            .fold((0, 0), |(r, a), (dr, da)| (r + dr, a + da));
+        let registry = self.obs.registry();
+        registry
+            .counter("vision_scratch_reuse_total", &[])
+            .add(reuses);
+        registry
+            .counter("vision_scratch_alloc_total", &[])
+            .add(allocs);
     }
 }
 
@@ -969,6 +1083,11 @@ impl SimRuntime {
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
         self.engine.now()
+    }
+
+    /// Total engine actions executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.engine.executed()
     }
 
     /// The world, read-only.

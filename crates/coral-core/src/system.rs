@@ -100,6 +100,13 @@ impl CoralPieSystem {
         self.runtime.now()
     }
 
+    /// Total discrete events executed by the engine so far (ticks,
+    /// deliveries, heartbeats, sweeps). Deltas across a window give the
+    /// event rate — the denominator for per-event cost accounting.
+    pub fn events_executed(&self) -> u64 {
+        self.runtime.events_executed()
+    }
+
     /// The shared storage node.
     pub fn storage(&self) -> &EdgeStorageNode {
         self.runtime.world().storage()

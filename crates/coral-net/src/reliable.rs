@@ -517,7 +517,7 @@ mod tests {
         a.send(SimTime::ZERO, envelope(0, 1)).unwrap();
         a.send(SimTime::ZERO, envelope(0, 2)).unwrap();
         a.send(SimTime::ZERO, envelope(0, 1)).unwrap();
-        let mut seqs = |cam: u32| {
+        let seqs = |cam: u32| {
             let mut raw = net.handle(Endpoint::Camera(CameraId(cam)));
             std::iter::from_fn(|| raw.poll(SimTime::ZERO))
                 .filter_map(|e| match e.message {

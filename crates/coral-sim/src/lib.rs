@@ -25,6 +25,7 @@ pub mod gt;
 pub mod lights;
 pub mod netmodel;
 pub mod observe;
+pub mod occupancy;
 pub mod time;
 pub mod traffic;
 
@@ -34,6 +35,7 @@ pub use gt::{FovInterval, GroundTruthLog};
 pub use lights::{LightPhase, TrafficLight};
 pub use netmodel::{LatencyModel, LinkProfile};
 pub use observe::CameraView;
+pub use occupancy::OccupancyIndex;
 pub use time::{SimDuration, SimTime};
 pub use traffic::{
     PoissonArrivals, TrafficConfig, TrafficEvent, TrafficModel, VehicleId, VehicleState,

@@ -8,7 +8,7 @@
 //! with distance, giving the detector's occlusion and size effects
 //! something real to act on.
 
-use crate::traffic::TrafficModel;
+use crate::traffic::{TrafficModel, VehicleState};
 use coral_geo::GeoPoint;
 use coral_vision::{BoundingBox, GroundTruthId, ObjectClass, Scene, SceneActor, VehicleAppearance};
 use serde::{Deserialize, Serialize};
@@ -96,8 +96,25 @@ impl CameraView {
     /// Actors are ordered near-to-far before drawing so that nearer
     /// vehicles (drawn later) occlude farther ones.
     pub fn scene(&self, traffic: &TrafficModel) -> Scene {
+        self.scene_from_states(&traffic.states())
+    }
+
+    /// Builds the scene from a pre-gathered candidate list of vehicle
+    /// states.
+    ///
+    /// The list may be any superset of the vehicles actually in FOV (the
+    /// occupancy index hands each camera only the vehicles near it; extra
+    /// candidates are culled by the same projection gate `scene` applies),
+    /// but it must preserve the ascending-id order
+    /// [`TrafficModel::states`] produces: the far-to-near sort below is
+    /// stable, so input order is what breaks exact distance ties, and
+    /// sparse and dense stepping must break them identically.
+    pub fn scene_from_states<'a>(
+        &self,
+        states: impl IntoIterator<Item = &'a VehicleState>,
+    ) -> Scene {
         let mut visible: Vec<(f64, SceneActor)> = Vec::new();
-        for s in traffic.states() {
+        for s in states {
             let Some((cx, cy)) = self.project(s.position) else {
                 continue;
             };

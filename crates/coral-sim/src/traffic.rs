@@ -211,7 +211,19 @@ impl TrafficModel {
 
     /// Iterates over the states of all active vehicles.
     pub fn states(&self) -> Vec<VehicleState> {
-        self.vehicles.values().map(|v| self.snapshot(v)).collect()
+        let mut out = Vec::new();
+        self.states_into(&mut out);
+        out
+    }
+
+    /// Writes the states of all active vehicles into `out` (cleared
+    /// first), in ascending [`VehicleId`] order — the same order
+    /// [`TrafficModel::states`] produces. Per-tick callers reuse one
+    /// buffer across all cameras instead of snapshotting the whole fleet
+    /// once per camera.
+    pub fn states_into(&self, out: &mut Vec<VehicleState>) {
+        out.clear();
+        out.extend(self.vehicles.values().map(|v| self.snapshot(v)));
     }
 
     /// The recorded intersection-crossing journey of a vehicle (completed

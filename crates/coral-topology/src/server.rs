@@ -196,7 +196,7 @@ impl TopologyServer {
     /// since the last dissemination, stamped with a fresh version.
     fn recompute(&mut self) -> Vec<MdcsUpdate> {
         let mut updates = Vec::new();
-        for cam in self.topo.cameras().map(|c| c.id).collect::<Vec<_>>() {
+        for cam in self.topo.cameras().map(|c| c.id) {
             let table = mdcs_table(&self.topo, cam, self.config.mdcs);
             let changed = self.tables.get(&cam) != Some(&table);
             if changed {

@@ -31,6 +31,81 @@ impl Default for HistogramConfig {
     }
 }
 
+/// A reusable extraction arena: one flat bin buffer recycled across every
+/// histogram a camera extracts, plus effectiveness counters. The per-frame
+/// hot path ([`ColorHistogram::extract_into`]) touches no allocator as long
+/// as consecutive extractions share a cell count — the common case, since a
+/// camera's [`HistogramConfig`] is fixed for its lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramScratch {
+    bins: Vec<f64>,
+    reuses: u64,
+    allocs: u64,
+}
+
+impl HistogramScratch {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bins written by the last [`ColorHistogram::extract_into`].
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// `(reuse hits, allocations)` — how often the buffer was recycled
+    /// versus (re)sized. The ratio is the arena's hit-rate.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.reuses, self.allocs)
+    }
+
+    /// Zero-fills the buffer at `cells` length, recycling the existing
+    /// allocation when the length already matches.
+    fn reset(&mut self, cells: usize) {
+        if self.bins.len() == cells {
+            self.reuses += 1;
+            self.bins.iter_mut().for_each(|v| *v = 0.0);
+        } else {
+            self.allocs += 1;
+            self.bins.clear();
+            self.bins.resize(cells, 0.0);
+        }
+    }
+}
+
+/// Flat Bhattacharyya-sum kernel: `Σ sqrt(p[i]·q[i])` accumulated strictly
+/// in index order — bit-identical to the naive zip/fold — but walked in
+/// fixed-width chunks over pre-trimmed equal-length slices, so the inner
+/// loop carries no per-element bounds checks.
+pub fn bhattacharyya_sum_flat(p: &[f64], q: &[f64]) -> f64 {
+    const LANES: usize = 8;
+    let n = p.len().min(q.len());
+    let (p, q) = (&p[..n], &q[..n]);
+    let mut acc = 0.0f64;
+    let mut cp = p.chunks_exact(LANES);
+    let mut cq = q.chunks_exact(LANES);
+    for (a, b) in cp.by_ref().zip(cq.by_ref()) {
+        let a: &[f64; LANES] = a.try_into().expect("chunk width");
+        let b: &[f64; LANES] = b.try_into().expect("chunk width");
+        for i in 0..LANES {
+            acc += (a[i] * b[i]).sqrt();
+        }
+    }
+    for (a, b) in cp.remainder().iter().zip(cq.remainder()) {
+        acc += (a * b).sqrt();
+    }
+    acc
+}
+
+/// Reference Bhattacharyya sum (the pre-flattening iterator chain). Kept
+/// as the oracle the property tests pin [`bhattacharyya_sum_flat`]
+/// against.
+#[doc(hidden)]
+pub fn bhattacharyya_sum_naive(p: &[f64], q: &[f64]) -> f64 {
+    p.iter().zip(q).map(|(a, b)| (a * b).sqrt()).sum()
+}
+
 /// A normalised color histogram (probability distribution over RGB bins).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ColorHistogram {
@@ -43,8 +118,27 @@ impl ColorHistogram {
     /// Pixels outside the frame are ignored; an empty region yields the
     /// uniform histogram.
     pub fn extract(frame: &Frame, bbox: &BoundingBox, config: &HistogramConfig) -> Self {
+        let mut scratch = HistogramScratch::new();
+        Self::extract_into(frame, bbox, config, &mut scratch);
+        Self {
+            bins_per_channel: config.bins_per_channel.max(1),
+            bins: std::mem::take(&mut scratch.bins),
+        }
+    }
+
+    /// Allocation-free extraction: identical numerics to
+    /// [`ColorHistogram::extract`], written into the arena's recycled
+    /// buffer instead of a fresh `Vec`. Read the result from
+    /// [`HistogramScratch::bins`].
+    pub fn extract_into(
+        frame: &Frame,
+        bbox: &BoundingBox,
+        config: &HistogramConfig,
+        scratch: &mut HistogramScratch,
+    ) {
         let b = config.bins_per_channel.max(1);
-        let mut bins = vec![0.0f64; b * b * b];
+        scratch.reset(b * b * b);
+        let bins = &mut scratch.bins;
         let clamped = bbox.clamp_to(frame.width(), frame.height());
         let (x0, y0) = (clamped.x0.floor() as u32, clamped.y0.floor() as u32);
         let (x1, y1) = (
@@ -71,10 +165,6 @@ impl ColorHistogram {
             bins.iter_mut().for_each(|v| *v = uniform);
         } else {
             bins.iter_mut().for_each(|v| *v /= total);
-        }
-        Self {
-            bins_per_channel: b,
-            bins,
         }
     }
 
@@ -109,12 +199,7 @@ impl ColorHistogram {
             other.bins.len(),
             "histogram bin counts differ"
         );
-        self.bins
-            .iter()
-            .zip(&other.bins)
-            .map(|(p, q)| (p * q).sqrt())
-            .sum::<f64>()
-            .min(1.0)
+        bhattacharyya_sum_flat(&self.bins, &other.bins).min(1.0)
     }
 
     /// Bhattacharyya distance `sqrt(1 - BC)`, in `[0, 1]` (0 = identical) —
@@ -155,14 +240,26 @@ impl SignatureAccumulator {
     ///
     /// Panics if bin counts differ from previously added histograms.
     pub fn add(&mut self, h: &ColorHistogram) {
+        self.add_bins(&h.bins, h.bins_per_channel);
+    }
+
+    /// Adds one frame's histogram from raw normalised bins — the
+    /// allocation-free twin of [`SignatureAccumulator::add`], fed straight
+    /// from a [`HistogramScratch`] buffer. Identical numerics: the running
+    /// sum accumulates element-wise in index order either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bin counts differ from previously added histograms.
+    pub fn add_bins(&mut self, bins: &[f64], bins_per_channel: usize) {
         match &mut self.sum {
             None => {
-                self.sum = Some(h.bins.clone());
-                self.bins_per_channel = h.bins_per_channel;
+                self.sum = Some(bins.to_vec());
+                self.bins_per_channel = bins_per_channel;
             }
             Some(sum) => {
-                assert_eq!(sum.len(), h.bins.len(), "histogram bin counts differ");
-                for (s, v) in sum.iter_mut().zip(&h.bins) {
+                assert_eq!(sum.len(), bins.len(), "histogram bin counts differ");
+                for (s, v) in sum.iter_mut().zip(bins) {
                     *s += v;
                 }
             }

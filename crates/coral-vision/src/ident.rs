@@ -12,7 +12,7 @@
 use crate::bbox::BoundingBox;
 use crate::detect::{Detector, PostProcessor};
 use crate::frame::FrameId;
-use crate::histogram::{ColorHistogram, HistogramConfig, SignatureAccumulator};
+use crate::histogram::{ColorHistogram, HistogramConfig, HistogramScratch, SignatureAccumulator};
 use crate::render::{GroundTruthId, Renderer, Scene};
 use crate::sort::{SortConfig, SortTracker, TrackId};
 use crate::{direction, Frame};
@@ -116,6 +116,9 @@ pub struct VehicleIdentification<D> {
     config: IdentConfig,
     tracklets: HashMap<TrackId, Tracklet>,
     render_seed: u64,
+    /// Recycled histogram-extraction buffer: one allocation serves every
+    /// per-frame signature this camera ever extracts.
+    scratch: HistogramScratch,
 }
 
 impl<D: Detector> VehicleIdentification<D> {
@@ -129,12 +132,18 @@ impl<D: Detector> VehicleIdentification<D> {
             config,
             tracklets: HashMap::new(),
             render_seed,
+            scratch: HistogramScratch::new(),
         }
     }
 
     /// Number of vehicles currently being tracked.
     pub fn live_track_count(&self) -> usize {
         self.sort.live_track_count()
+    }
+
+    /// Histogram-arena effectiveness counters: `(reuse hits, allocations)`.
+    pub fn scratch_stats(&self) -> (u64, u64) {
+        self.scratch.stats()
     }
 
     /// Renders the raw frame for `scene` exactly as
@@ -195,11 +204,16 @@ impl<D: Detector> VehicleIdentification<D> {
                 gt_votes: HashMap::new(),
             });
             entry.centroids.push(st.bbox.centroid());
-            entry.signature.add(&ColorHistogram::extract(
+            ColorHistogram::extract_into(
                 frame,
                 &st.bbox,
                 &self.config.histogram,
-            ));
+                &mut self.scratch,
+            );
+            entry.signature.add_bins(
+                self.scratch.bins(),
+                self.config.histogram.bins_per_channel.max(1),
+            );
             entry.last_frame = frame_id;
             entry.last_bbox = st.bbox;
             // Ground-truth attribution by IoU (evaluation only).

@@ -36,7 +36,10 @@ pub mod sort;
 pub use bbox::{BoundingBox, InvalidBoxError};
 pub use detect::{Detection, Detector, DetectorNoise, PostProcessor, SyntheticSsdDetector};
 pub use frame::{Frame, FrameBuf, FrameId, Rgb};
-pub use histogram::{ColorHistogram, HistogramConfig, SignatureAccumulator};
+pub use histogram::{
+    bhattacharyya_sum_flat, bhattacharyya_sum_naive, ColorHistogram, HistogramConfig,
+    HistogramScratch, SignatureAccumulator,
+};
 pub use ident::{IdentConfig, IdentFrameResult, VehicleIdentification, VehicleObservation};
 pub use interval::{DetectAndTrack, DetectAndTrackConfig};
 pub use kalman::KalmanBoxFilter;

@@ -93,6 +93,20 @@ struct Track {
     last_bbox: BoundingBox,
 }
 
+/// Per-frame working buffers recycled across [`SortTracker::update`]
+/// calls: predictions, the association cost matrix (rows keep their
+/// capacity between frames), the match lists and the matched-track
+/// bitmap. Purely an allocation optimisation — the values written each
+/// frame are identical to freshly allocated buffers.
+#[derive(Debug, Clone, Default)]
+struct SortScratch {
+    predicted: Vec<BoundingBox>,
+    cost: Vec<Vec<f64>>,
+    matches: Vec<(usize, usize)>,
+    unmatched: Vec<usize>,
+    matched: Vec<bool>,
+}
+
 /// The SORT multi-object tracker.
 ///
 /// # Examples
@@ -113,6 +127,7 @@ pub struct SortTracker {
     tracks: Vec<Track>,
     next_id: u64,
     frame_count: u64,
+    scratch: SortScratch,
 }
 
 impl SortTracker {
@@ -123,6 +138,7 @@ impl SortTracker {
             tracks: Vec::new(),
             next_id: 0,
             frame_count: 0,
+            scratch: SortScratch::default(),
         }
     }
 
@@ -140,23 +156,29 @@ impl SortTracker {
     /// tracks.
     pub fn update(&mut self, detections: &[BoundingBox]) -> SortOutput {
         self.frame_count += 1;
+        let mut scratch = std::mem::take(&mut self.scratch);
+
         // 1. Predict all existing tracks forward one frame.
-        let predicted: Vec<BoundingBox> = self.tracks.iter_mut().map(|t| t.kf.predict()).collect();
+        scratch.predicted.clear();
+        scratch
+            .predicted
+            .extend(self.tracks.iter_mut().map(|t| t.kf.predict()));
 
         // 2. Associate detections to predictions by IoU via Hungarian.
-        let (matches, unmatched_dets) = self.associate(detections, &predicted);
+        self.associate_into(detections, &mut scratch);
 
         let mut out = SortOutput::default();
 
         // 3. Update matched tracks.
-        let mut matched_tracks = vec![false; self.tracks.len()];
-        for (det_idx, trk_idx) in matches {
+        scratch.matched.clear();
+        scratch.matched.resize(self.tracks.len(), false);
+        for &(det_idx, trk_idx) in &scratch.matches {
             let track = &mut self.tracks[trk_idx];
             track.kf.update(&detections[det_idx]);
             track.hits += 1;
             track.time_since_update = 0;
             track.last_bbox = detections[det_idx];
-            matched_tracks[trk_idx] = true;
+            scratch.matched[trk_idx] = true;
             if track.hits >= self.config.min_hits {
                 out.active.push(TrackState {
                     id: track.id,
@@ -170,13 +192,13 @@ impl SortTracker {
 
         // 4. Age unmatched tracks.
         for (i, track) in self.tracks.iter_mut().enumerate() {
-            if !matched_tracks[i] {
+            if !scratch.matched[i] {
                 track.time_since_update += 1;
             }
         }
 
         // 5. Spawn new tracks for unmatched detections.
-        for det_idx in unmatched_dets {
+        for &det_idx in &scratch.unmatched {
             let id = TrackId(self.next_id);
             self.next_id += 1;
             let mut track = Track {
@@ -216,6 +238,7 @@ impl SortTracker {
             }
         });
         out.expired = expired;
+        self.scratch = scratch;
         out
     }
 
@@ -234,26 +257,36 @@ impl SortTracker {
         out
     }
 
-    /// IoU-gated Hungarian association. Returns `(matches, unmatched_dets)`
-    /// where matches are `(detection index, track index)`.
-    fn associate(
-        &self,
-        detections: &[BoundingBox],
-        predicted: &[BoundingBox],
-    ) -> (Vec<(usize, usize)>, Vec<usize>) {
+    /// IoU-gated Hungarian association over `scratch.predicted`, writing
+    /// `(detection index, track index)` pairs into `scratch.matches` and
+    /// unmatched detection indices into `scratch.unmatched`. The cost matrix
+    /// rows in `scratch.cost` keep their capacity between frames.
+    fn associate_into(&self, detections: &[BoundingBox], scratch: &mut SortScratch) {
+        let SortScratch {
+            predicted,
+            cost,
+            matches,
+            unmatched,
+            ..
+        } = scratch;
+        matches.clear();
+        unmatched.clear();
         if detections.is_empty() {
-            return (Vec::new(), Vec::new());
+            return;
         }
         if predicted.is_empty() {
-            return (Vec::new(), (0..detections.len()).collect());
+            unmatched.extend(0..detections.len());
+            return;
         }
-        let cost: Vec<Vec<f64>> = detections
-            .iter()
-            .map(|d| predicted.iter().map(|p| -d.iou(p)).collect())
-            .collect();
-        let assignment = hungarian::assign(&cost);
-        let mut matches = Vec::new();
-        let mut unmatched = Vec::new();
+        cost.truncate(detections.len());
+        while cost.len() < detections.len() {
+            cost.push(Vec::new());
+        }
+        for (row, d) in cost.iter_mut().zip(detections) {
+            row.clear();
+            row.extend(predicted.iter().map(|p| -d.iou(p)));
+        }
+        let assignment = hungarian::assign(cost);
         for (det_idx, assigned) in assignment.iter().enumerate() {
             match assigned {
                 Some(trk_idx)
@@ -265,7 +298,6 @@ impl SortTracker {
                 _ => unmatched.push(det_idx),
             }
         }
-        (matches, unmatched)
     }
 }
 

@@ -157,7 +157,7 @@ fn single_vehicle_impl(broadcast: bool, seed: u64, parallelism: usize) -> String
 }
 
 /// 5. Mid-run camera kill: liveness sweep, topology reconfiguration and
-/// the recovery protocol all run under the parallel stepper.
+///    the recovery protocol all run under the parallel stepper.
 fn failure_run(seed: u64, parallelism: usize) -> String {
     let net = generators::corridor(5, 120.0, 12.0);
     let config = SystemConfig {
@@ -210,7 +210,8 @@ fn platoon_run(seed: u64, parallelism: usize) -> String {
 }
 
 /// 7. Chaos stack live: seeded drops/duplicates under at-least-once
-/// delivery. Retransmission timers tick inside the ordered commit phase.
+///    delivery. Retransmission timers tick inside the ordered commit
+///    phase.
 fn chaos_run(seed: u64, parallelism: usize) -> String {
     let net = generators::corridor(4, 120.0, 12.0);
     let config = SystemConfig {
@@ -241,7 +242,7 @@ fn chaos_run(seed: u64, parallelism: usize) -> String {
 }
 
 /// 8. A 2×3 grid with arrivals from two corners — non-corridor topology,
-/// more cameras than workers at `parallelism = 2`.
+///    more cameras than workers at `parallelism = 2`.
 fn grid_run(seed: u64, parallelism: usize) -> String {
     let net = generators::grid(2, 3, 120.0, 12.0);
     let specs: Vec<CameraSpec> = (0..6)
@@ -268,7 +269,10 @@ fn grid_run(seed: u64, parallelism: usize) -> String {
     fingerprint(&sys)
 }
 
-const SCENARIOS: [(&str, fn(u64, usize) -> String); 8] = [
+/// A scenario maps (seed, parallelism) to the run's fingerprint.
+type Scenario = fn(u64, usize) -> String;
+
+const SCENARIOS: [(&str, Scenario); 8] = [
     ("open_corridor", open_corridor),
     ("open_corridor_broadcast", open_corridor_broadcast),
     ("single_vehicle", single_vehicle),
@@ -279,7 +283,7 @@ const SCENARIOS: [(&str, fn(u64, usize) -> String); 8] = [
     ("grid_run", grid_run),
 ];
 
-fn assert_matrix(scenarios: &[(&str, fn(u64, usize) -> String)], seeds: &[u64]) {
+fn assert_matrix(scenarios: &[(&str, Scenario)], seeds: &[u64]) {
     for (name, run) in scenarios {
         for &seed in seeds {
             let sequential = run(seed, 1);
@@ -304,7 +308,7 @@ fn assert_matrix(scenarios: &[(&str, fn(u64, usize) -> String)], seeds: &[u64]) 
 fn parallel_matches_sequential_smoke() {
     assert_matrix(
         &[
-            ("open_corridor", open_corridor as fn(u64, usize) -> String),
+            ("open_corridor", open_corridor as Scenario),
             ("platoon_run", platoon_run),
         ],
         &[SEEDS[0]],

@@ -1,0 +1,230 @@
+//! Offline test stub for `crossbeam`: multi-consumer channels over
+//! `std::sync::mpsc`, with an explicit queue-length counter.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait timed out.
+        Timeout,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        tx: Tx<T>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Sender {{ queued: {} }}", self.queued.load(Ordering::Relaxed))
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+                queued: Arc::clone(&self.queued),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, blocking if the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let res = match &self.tx {
+                Tx::Bounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Unbounded(s) => s.send(value).map_err(|mpsc::SendError(v)| SendError(v)),
+            };
+            if res.is_ok() {
+                self.queued.fetch_add(1, Ordering::Relaxed);
+            }
+            res
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.queued.load(Ordering::Relaxed)
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// The receiving half of a channel (cloneable; receivers share the
+    /// stream).
+    pub struct Receiver<T> {
+        rx: Arc<Mutex<mpsc::Receiver<T>>>,
+        queued: Arc<AtomicUsize>,
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Receiver {{ queued: {} }}", self.queued.load(Ordering::Relaxed))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                rx: Arc::clone(&self.rx),
+                queued: Arc::clone(&self.queued),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn took(&self) {
+            // Saturating decrement: counter is advisory.
+            let _ = self
+                .queued
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1));
+        }
+
+        /// Blocks until a value arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let rx = self.rx.lock().unwrap_or_else(|p| p.into_inner());
+            let v = rx.recv().map_err(|_| RecvError)?;
+            self.took();
+            Ok(v)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let rx = self.rx.lock().unwrap_or_else(|p| p.into_inner());
+            let v = rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })?;
+            self.took();
+            Ok(v)
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let rx = self.rx.lock().unwrap_or_else(|p| p.into_inner());
+            let v = rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })?;
+            self.took();
+            Ok(v)
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.queued.load(Ordering::Relaxed)
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// A blocking iterator that ends when all senders disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received values.
+    #[derive(Debug)]
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    fn pair<T>(tx: Tx<T>, rx: mpsc::Receiver<T>) -> (Sender<T>, Receiver<T>) {
+        let queued = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                tx,
+                queued: Arc::clone(&queued),
+            },
+            Receiver {
+                rx: Arc::new(Mutex::new(rx)),
+                queued,
+            },
+        )
+    }
+
+    /// Creates a bounded channel; capacity 0 is a rendezvous channel.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        pair(Tx::Bounded(tx), rx)
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        pair(Tx::Unbounded(tx), rx)
+    }
+}

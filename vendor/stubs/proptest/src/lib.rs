@@ -1,0 +1,525 @@
+//! Offline test stub for `proptest`: a deterministic property-testing
+//! harness. Cases are generated from a splitmix64 stream seeded by the
+//! test's module path + name + case index, so runs are reproducible
+//! without any shrinking machinery.
+
+/// Deterministic random source backing every strategy.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    /// Seeds a generator for one named test case.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        Gen {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw value (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Uniform usize in `[lo, hi)`; `lo` when the range is empty.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, g: &mut Gen) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, g: &mut Gen) -> S::Value {
+        (**self).sample(g)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, g: &mut Gen) -> O {
+        (self.f)(self.inner.sample(g))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, g: &mut Gen) -> S2::Value {
+        (self.f)(self.inner.sample(g)).sample(g)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as $wide - self.start as $wide) as u64;
+                (self.start as $wide + (g.next_u64() % span) as $wide) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, g: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start() as $wide, *self.end() as $wide);
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi - lo) as u64;
+                let r = g.next_u64();
+                let v = if span == u64::MAX { r } else { r % (span + 1) };
+                (lo + v as $wide) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, isize => i128
+);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, g: &mut Gen) -> $t {
+                assert!(self.start < self.end, "empty float range strategy");
+                self.start + (g.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, g: &mut Gen) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty float range strategy");
+                lo + (g.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, g: &mut Gen) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.sample(g),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Always returns a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _g: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed samplers (built by [`prop_oneof!`]).
+pub struct OneOf<V> {
+    arms: Vec<Box<dyn Fn(&mut Gen) -> V>>,
+}
+
+impl<V> std::fmt::Debug for OneOf<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "OneOf({} arms)", self.arms.len())
+    }
+}
+
+impl<V> OneOf<V> {
+    /// Wraps the arm samplers.
+    pub fn new(arms: Vec<Box<dyn Fn(&mut Gen) -> V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, g: &mut Gen) -> V {
+        let idx = g.usize_in(0, self.arms.len());
+        (self.arms[idx])(g)
+    }
+}
+
+/// Boxes a strategy's sampler for [`OneOf`] (macro support).
+pub fn sampler_box<S: Strategy + 'static>(s: S) -> Box<dyn Fn(&mut Gen) -> S::Value> {
+    Box::new(move |g| s.sample(g))
+}
+
+/// Length specification for [`collection::vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_excl: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_excl: n + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi_excl: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_excl: *r.end() + 1,
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Gen, SizeRange, Strategy};
+
+    /// Strategy for vectors of `elem` with length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: SizeRange,
+    }
+
+    /// Generates `Vec<S::Value>` with lengths in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, g: &mut Gen) -> Vec<S::Value> {
+            let n = g.usize_in(self.len.lo, self.len.hi_excl);
+            (0..n).map(|_| self.elem.sample(g)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Gen, Strategy};
+
+    /// Strategy yielding `None` about a quarter of the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Option<S::Value>`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, g: &mut Gen) -> Option<S::Value> {
+            if g.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.sample(g))
+            }
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use super::{Gen, Strategy};
+
+    /// Uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    /// Uniform boolean strategy value.
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = core::primitive::bool;
+        fn sample(&self, g: &mut Gen) -> core::primitive::bool {
+            g.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Types with a canonical strategy.
+pub trait Arbitrary {
+    /// That canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+impl Arbitrary for core::primitive::bool {
+    type Strategy = crate::bool::AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        crate::bool::ANY
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Runner configuration (only `cases` is honoured by the stub).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases executed per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a zero-argument function running `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..(__cfg.cases as u64) {
+                    let mut __gen = $crate::Gen::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __gen);)+
+                    let __result: ::core::result::Result<(), ::std::string::String> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(__msg) = __result {
+                        panic!("proptest case {} failed: {}", __case, __msg);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless the values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if !(__l == __r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left), stringify!($right), __l, __r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if !(__l == __r) {
+            return ::core::result::Result::Err(::std::format!(
+                "{} (left: {:?}, right: {:?})",
+                ::std::format!($($fmt)+), __l, __r,
+            ));
+        }
+    }};
+}
+
+/// Fails the enclosing property case if the values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if __l == __r {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left), stringify!($right), __l,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if __l == __r {
+            return ::core::result::Result::Err(::std::format!(
+                "{} (both: {:?})",
+                ::std::format!($($fmt)+), __l,
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategy arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![$($crate::sampler_box($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut g = Gen::for_case("ranges", 0);
+        for _ in 0..1000 {
+            let v = (3u32..17).sample(&mut g);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..3.5).sample(&mut g);
+            assert!((-2.0..3.5).contains(&f));
+            let b = (0u8..=255).sample(&mut g);
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = Gen::for_case("x", 7);
+        let mut b = Gen::for_case("x", 7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn harness_runs(v in collection::vec(0u64..10, 1..5), flag in crate::bool::ANY) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|x| *x < 10));
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,513 @@
+//! Offline test stub for `serde`: a self-describing content tree behind
+//! serde-shaped `Serialize`/`Deserialize`/`Serializer`/`Deserializer`
+//! traits, plus re-exported derive macros.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value serialises through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples).
+    Seq(Vec<Content>),
+    /// Key-ordered map (structs, maps). Order is insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+/// A sink values serialise into.
+pub trait Serializer: Sized {
+    /// Successful output.
+    type Ok;
+    /// Failure type.
+    type Error;
+    /// Consumes a fully built content tree.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A serialisable value.
+pub trait Serialize {
+    /// Serialises `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A source of content trees.
+pub trait Deserializer<'de>: Sized {
+    /// Failure type.
+    type Error;
+    /// Produces the content tree.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+    /// Builds an error from a message.
+    fn custom(msg: String) -> Self::Error;
+}
+
+/// A deserialisable value.
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` out of `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Infallible serializer producing the content tree itself.
+#[derive(Debug, Clone, Copy)]
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = core::convert::Infallible;
+    fn serialize_content(self, content: Content) -> Result<Content, Self::Error> {
+        Ok(content)
+    }
+}
+
+/// Serialises any value to its content tree (infallible by construction).
+pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+    match value.serialize(ContentSerializer) {
+        Ok(c) => c,
+        Err(e) => match e {},
+    }
+}
+
+/// Deserializer reading from an in-memory content tree, with `String`
+/// errors.
+#[derive(Debug, Clone)]
+pub struct ContentDeserializer {
+    content: Content,
+}
+
+impl ContentDeserializer {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer { content }
+    }
+}
+
+impl<'de> Deserializer<'de> for ContentDeserializer {
+    type Error = String;
+    fn deserialize_content(self) -> Result<Content, String> {
+        Ok(self.content)
+    }
+    fn custom(msg: String) -> String {
+        msg
+    }
+}
+
+/// Deserialises a value from a content tree.
+pub fn from_content<T: for<'de> Deserialize<'de>>(content: Content) -> Result<T, String> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+/// Removes and returns the first entry named `key` (derive-internal).
+pub fn take_entry(map: &mut Vec<(String, Content)>, key: &str) -> Option<Content> {
+    let idx = map.iter().position(|(k, _)| k == key)?;
+    Some(map.remove(idx).1)
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_content(Content::U64(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.serialize_content(Content::U64(v as u64))
+                } else {
+                    s.serialize_content(Content::I64(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::F64(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Bool(*self))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.clone()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Str(self.to_string()))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_content(Content::Null),
+            Some(v) => v.serialize(s),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_content(Content::Seq(vec![$(to_content(&self.$n)),+]))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+/// Renders a key's content as a JSON-compatible map key string.
+fn key_to_string(c: Content) -> String {
+    match c {
+        Content::Str(s) => s,
+        Content::U64(v) => v.to_string(),
+        Content::I64(v) => v.to_string(),
+        Content::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key content: {other:?}"),
+    }
+}
+
+/// Recovers a key from its map-key string form.
+fn key_from_string<K: for<'a> Deserialize<'a>>(s: String) -> Result<K, String> {
+    if let Ok(k) = from_content::<K>(Content::Str(s.clone())) {
+        return Ok(k);
+    }
+    if let Ok(v) = s.parse::<u64>() {
+        if let Ok(k) = from_content::<K>(Content::U64(v)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(v) = s.parse::<i64>() {
+        if let Ok(k) = from_content::<K>(Content::I64(v)) {
+            return Ok(k);
+        }
+    }
+    Err(format!("cannot deserialize map key from `{s}`"))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(to_content(k)), to_content(v)))
+                .collect(),
+        ))
+    }
+}
+
+impl<K: Serialize + std::hash::Hash + Eq, V: Serialize> Serialize
+    for std::collections::HashMap<K, V>
+{
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(to_content(k)), to_content(v)))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        s.serialize_content(Content::Map(entries))
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(to_content).collect()))
+    }
+}
+
+impl<T: Serialize + std::hash::Hash + Eq> Serialize for std::collections::HashSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut items: Vec<Content> = self.iter().map(to_content).collect();
+        items.sort_by(content_order);
+        s.serialize_content(Content::Seq(items))
+    }
+}
+
+/// Total order over content for deterministic set serialisation.
+fn content_order(a: &Content, b: &Content) -> std::cmp::Ordering {
+    format!("{a:?}").cmp(&format!("{b:?}"))
+}
+
+impl Serialize for Content {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------
+
+fn want<T>(what: &str, got: &Content) -> Result<T, String> {
+    Err(format!("expected {what}, found {got:?}"))
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.deserialize_content()?;
+                let v: Result<$t, String> = match c {
+                    Content::U64(v) => <$t>::try_from(v).map_err(|_| "integer out of range".to_string()),
+                    Content::F64(f) if f >= 0.0 && f.fract() == 0.0 => Ok(f as $t),
+                    ref other => want(stringify!($t), other),
+                };
+                v.map_err(D::custom)
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.deserialize_content()?;
+                let v: Result<$t, String> = match c {
+                    Content::U64(v) => <$t>::try_from(v).map_err(|_| "integer out of range".to_string()),
+                    Content::I64(v) => <$t>::try_from(v).map_err(|_| "integer out of range".to_string()),
+                    Content::F64(f) if f.fract() == 0.0 => Ok(f as $t),
+                    ref other => want(stringify!($t), other),
+                };
+                v.map_err(D::custom)
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.deserialize_content()?;
+        match c {
+            Content::F64(f) => Ok(f),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            ref other => want::<f64>("f64", other).map_err(D::custom),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.deserialize_content()?;
+        match c {
+            Content::Bool(b) => Ok(b),
+            ref other => want::<bool>("bool", other).map_err(D::custom),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.deserialize_content()?;
+        match c {
+            Content::Str(s) => Ok(s),
+            ref other => want::<String>("string", other).map_err(D::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.deserialize_content()?;
+        match c {
+            Content::Null => Ok(None),
+            other => from_content::<T>(other).map(Some).map_err(D::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = Vec::<T>::deserialize(d)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| D::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.deserialize_content()?;
+        match c {
+            Content::Seq(items) => items
+                .into_iter()
+                .map(|i| from_content::<T>(i))
+                .collect::<Result<Vec<T>, String>>()
+                .map_err(D::custom),
+            ref other => want::<Vec<T>>("sequence", other).map_err(D::custom),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let c = d.deserialize_content()?;
+                match c {
+                    Content::Seq(items) if items.len() == $len => {
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            from_content::<$t>(it.next().expect("len checked"))
+                                .map_err(D::custom)?,
+                        )+))
+                    }
+                    ref other => want::<Self>("tuple", other).map_err(D::custom),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 TA)
+    (2; 0 TA, 1 TB)
+    (3; 0 TA, 1 TB, 2 TC)
+    (4; 0 TA, 1 TB, 2 TC, 3 TD)
+    (5; 0 TA, 1 TB, 2 TC, 3 TD, 4 TE)
+}
+
+impl<'de, K: for<'a> Deserialize<'a> + Ord, V: for<'a> Deserialize<'a>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.deserialize_content()?;
+        match c {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, from_content::<V>(v)?)))
+                .collect::<Result<_, String>>()
+                .map_err(D::custom),
+            ref other => want::<Self>("map", other).map_err(D::custom),
+        }
+    }
+}
+
+impl<'de, K: for<'a> Deserialize<'a> + std::hash::Hash + Eq, V: for<'a> Deserialize<'a>>
+    Deserialize<'de> for std::collections::HashMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let c = d.deserialize_content()?;
+        match c {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((key_from_string::<K>(k)?, from_content::<V>(v)?)))
+                .collect::<Result<_, String>>()
+                .map_err(D::custom),
+            ref other => want::<Self>("map", other).map_err(D::custom),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a> + std::hash::Hash + Eq> Deserialize<'de>
+    for std::collections::HashSet<T>
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(d).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.deserialize_content()
+    }
+}

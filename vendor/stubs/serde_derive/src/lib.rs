@@ -1,0 +1,682 @@
+//! Offline test stub for `serde_derive`: hand-rolled `Serialize` /
+//! `Deserialize` derives targeting the stub `serde` content model.
+//!
+//! Supports plain (non-generic) structs and enums with the attribute
+//! subset the workspace uses: `#[serde(with = "...")]`, `#[serde(skip)]`,
+//! `#[serde(default)]`, `#[serde(skip_serializing_if = "...")]`.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Clone)]
+struct Field {
+    name: Option<String>,
+    ty: String,
+    attrs: SerdeAttrs,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum Body {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ------------------------------------------------------------------
+// token helpers
+// ------------------------------------------------------------------
+
+fn tts(stream: TokenStream) -> Vec<TokenTree> {
+    stream.into_iter().collect()
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_str(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+fn strip_quotes(lit: String) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Splits a token slice on commas that sit outside `<...>` nesting.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let stream: TokenStream = tokens.iter().cloned().collect();
+    stream.to_string()
+}
+
+fn parse_serde_attr(group: &Group, attrs: &mut SerdeAttrs) {
+    let toks = tts(group.stream());
+    if toks.first().and_then(ident_str).as_deref() != Some("serde") {
+        return;
+    }
+    let Some(TokenTree::Group(inner)) = toks.get(1) else {
+        return;
+    };
+    for entry in split_commas(&tts(inner.stream())) {
+        let Some(key) = entry.first().and_then(ident_str) else {
+            continue;
+        };
+        let val = entry.iter().find_map(|t| match t {
+            TokenTree::Literal(l) => Some(strip_quotes(l.to_string())),
+            _ => None,
+        });
+        match key.as_str() {
+            "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+            "default" => attrs.default = true,
+            "with" => attrs.with = val,
+            "skip_serializing_if" => attrs.skip_serializing_if = val,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes leading attributes, folding `#[serde(...)]` into `attrs`.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1;
+        if *i < tokens.len() && is_punct(&tokens[*i], '!') {
+            *i += 1;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            parse_serde_attr(g, &mut attrs);
+            *i += 1;
+        }
+    }
+    attrs
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if tokens.get(*i).and_then(ident_str).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<Field> {
+    let mut out = Vec::new();
+    for piece in split_commas(&tts(group.stream())) {
+        let mut i = 0usize;
+        let attrs = take_attrs(&piece, &mut i);
+        skip_visibility(&piece, &mut i);
+        let Some(name) = piece.get(i).and_then(ident_str) else {
+            continue;
+        };
+        i += 1;
+        debug_assert!(is_punct(&piece[i], ':'));
+        i += 1;
+        out.push(Field {
+            name: Some(name),
+            ty: tokens_to_string(&piece[i..]),
+            attrs,
+        });
+    }
+    out
+}
+
+fn parse_tuple_fields(group: &Group) -> Vec<Field> {
+    let mut out = Vec::new();
+    for piece in split_commas(&tts(group.stream())) {
+        let mut i = 0usize;
+        let attrs = take_attrs(&piece, &mut i);
+        skip_visibility(&piece, &mut i);
+        if i >= piece.len() {
+            continue;
+        }
+        out.push(Field {
+            name: None,
+            ty: tokens_to_string(&piece[i..]),
+            attrs,
+        });
+    }
+    out
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let mut out = Vec::new();
+    for piece in split_commas(&tts(group.stream())) {
+        let mut i = 0usize;
+        let _attrs = take_attrs(&piece, &mut i);
+        let Some(name) = piece.get(i).and_then(ident_str) else {
+            continue;
+        };
+        i += 1;
+        let fields = match piece.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantFields::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantFields::Named(parse_named_fields(g))
+            }
+            _ => VariantFields::Unit,
+        };
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens = tts(input);
+    let mut i = 0usize;
+    let _ = take_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = tokens
+        .get(i)
+        .and_then(ident_str)
+        .expect("serde_derive stub: expected `struct` or `enum`");
+    i += 1;
+    let name = tokens
+        .get(i)
+        .and_then(ident_str)
+        .expect("serde_derive stub: expected type name");
+    i += 1;
+    // Skip generics if present (unused in this workspace).
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if is_punct(&tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&tokens[i], '>') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // Skip a `where` clause if present.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(_) => break,
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(parse_tuple_fields(g))
+            }
+            _ => Body::Unit,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g))
+            }
+            _ => Body::Enum(Vec::new()),
+        },
+        other => panic!("serde_derive stub: unsupported item kind `{other}`"),
+    };
+    Item { name, body }
+}
+
+// ------------------------------------------------------------------
+// Serialize codegen
+// ------------------------------------------------------------------
+
+/// Expression producing the `Content` for one field value expression.
+fn ser_value_expr(attrs: &SerdeAttrs, value: &str) -> String {
+    match &attrs.with {
+        Some(path) => format!(
+            "match {path}::serialize({value}, ::serde::ContentSerializer) {{ \
+               ::core::result::Result::Ok(__c) => __c, \
+               ::core::result::Result::Err(__e) => match __e {{}}, \
+             }}"
+        ),
+        None => format!("::serde::to_content({value})"),
+    }
+}
+
+/// Statements pushing named fields into a `__fields` vec. `access`
+/// renders the borrow expression for a field name.
+fn ser_named_pushes(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let name = f.name.as_deref().expect("named field");
+        let value = ser_value_expr(&f.attrs, &access(name));
+        let push = format!(
+            "__fields.push((::std::string::String::from(\"{name}\"), {value}));"
+        );
+        match &f.attrs.skip_serializing_if {
+            Some(pred) => {
+                out.push_str(&format!("if !{pred}({}) {{ {push} }}\n", access(name)));
+            }
+            None => {
+                out.push_str(&push);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => "serializer.serialize_content(::serde::Content::Null)".to_string(),
+        Body::Named(fields) => {
+            let pushes = ser_named_pushes(fields, |f| format!("&self.{f}"));
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 serializer.serialize_content(::serde::Content::Map(__fields))"
+            )
+        }
+        Body::Tuple(fields) if fields.len() == 1 => {
+            // Newtype structs serialise transparently.
+            match &fields[0].attrs.with {
+                Some(_) => format!(
+                    "serializer.serialize_content({})",
+                    ser_value_expr(&fields[0].attrs, "&self.0")
+                ),
+                None => "::serde::Serialize::serialize(&self.0, serializer)".to_string(),
+            }
+        }
+        Body::Tuple(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(n, f)| ser_value_expr(&f.attrs, &format!("&self.{n}")))
+                .collect();
+            format!(
+                "serializer.serialize_content(::serde::Content::Seq(::std::vec![{}]))",
+                items.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serializer.serialize_content(\
+                           ::serde::Content::Str(::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    VariantFields::Tuple(fields) if fields.len() == 1 => {
+                        let value = ser_value_expr(&fields[0].attrs, "__f0");
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => serializer.serialize_content(\
+                               ::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {value})])),\n"
+                        ));
+                    }
+                    VariantFields::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|n| format!("__f{n}")).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(n, f)| ser_value_expr(&f.attrs, &format!("__f{n}")))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => serializer.serialize_content(\
+                               ::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                  ::serde::Content::Seq(::std::vec![{}]))])),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let n = f.name.as_deref().expect("named field");
+                                if f.attrs.skip {
+                                    format!("{n}: _")
+                                } else {
+                                    n.to_string()
+                                }
+                            })
+                            .collect();
+                        let pushes = ser_named_pushes(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                               let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n\
+                               {pushes}\
+                               serializer.serialize_content(::serde::Content::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                  ::serde::Content::Map(__fields))]))\n\
+                             }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           #[allow(unused_mut, unused_variables, clippy::all)]\n\
+           fn serialize<S: ::serde::Serializer>(&self, serializer: S) \
+             -> ::core::result::Result<S::Ok, S::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+// ------------------------------------------------------------------
+// Deserialize codegen
+// ------------------------------------------------------------------
+
+/// Expression converting a `Content` in `__v` into the field type.
+fn de_convert_expr(attrs: &SerdeAttrs) -> String {
+    match &attrs.with {
+        Some(path) => format!(
+            "match {path}::deserialize(::serde::ContentDeserializer::new(__v)) {{ \
+               ::core::result::Result::Ok(__x) => __x, \
+               ::core::result::Result::Err(__e) => \
+                 return ::core::result::Result::Err(D::custom(__e)), \
+             }}"
+        ),
+        None => "match ::serde::from_content(__v) { \
+                   ::core::result::Result::Ok(__x) => __x, \
+                   ::core::result::Result::Err(__e) => \
+                     return ::core::result::Result::Err(D::custom(__e)), \
+                 }"
+        .to_string(),
+    }
+}
+
+/// Statements binding `__f_{name}` locals from a live `__map` vec.
+fn de_named_lets(owner: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let name = f.name.as_deref().expect("named field");
+        let ty = &f.ty;
+        if f.attrs.skip {
+            out.push_str(&format!(
+                "let __f_{name}: {ty} = ::core::default::Default::default();\n"
+            ));
+            continue;
+        }
+        let convert = de_convert_expr(&f.attrs);
+        let missing = if f.attrs.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(D::custom(\
+                   ::std::string::String::from(\"missing field `{name}` in {owner}\")))"
+            )
+        };
+        out.push_str(&format!(
+            "let __f_{name}: {ty} = match ::serde::take_entry(&mut __map, \"{name}\") {{\n\
+               ::core::option::Option::Some(__v) => {convert},\n\
+               ::core::option::Option::None => {missing},\n\
+             }};\n"
+        ));
+    }
+    out
+}
+
+fn de_named_ctor(path: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let n = f.name.as_deref().expect("named field");
+            format!("{n}: __f_{n}")
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Unit => {
+            format!(
+                "let _ = deserializer.deserialize_content()?;\n\
+                 ::core::result::Result::Ok({name})"
+            )
+        }
+        Body::Named(fields) => {
+            let lets = de_named_lets(name, fields);
+            let ctor = de_named_ctor(name, fields);
+            format!(
+                "let __content = deserializer.deserialize_content()?;\n\
+                 let mut __map = match __content {{\n\
+                   ::serde::Content::Map(__m) => __m,\n\
+                   __other => return ::core::result::Result::Err(D::custom(\
+                     ::std::format!(\"expected map for {name}, found {{:?}}\", __other))),\n\
+                 }};\n\
+                 {lets}\
+                 ::core::result::Result::Ok({ctor})"
+            )
+        }
+        Body::Tuple(fields) if fields.len() == 1 => {
+            let ty = &fields[0].ty;
+            let convert = match &fields[0].attrs.with {
+                Some(path) => format!(
+                    "{path}::deserialize(::serde::ContentDeserializer::new(__content))"
+                ),
+                None => format!("::serde::from_content::<{ty}>(__content)"),
+            };
+            format!(
+                "let __content = deserializer.deserialize_content()?;\n\
+                 match {convert} {{\n\
+                   ::core::result::Result::Ok(__v) => ::core::result::Result::Ok({name}(__v)),\n\
+                   ::core::result::Result::Err(__e) => ::core::result::Result::Err(D::custom(__e)),\n\
+                 }}"
+            )
+        }
+        Body::Tuple(fields) => {
+            let n = fields.len();
+            let elems: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let ty = &f.ty;
+                    format!(
+                        "{{ let __v = __it.next().expect(\"length checked\"); \
+                           match ::serde::from_content::<{ty}>(__v) {{ \
+                             ::core::result::Result::Ok(__x) => __x, \
+                             ::core::result::Result::Err(__e) => \
+                               return ::core::result::Result::Err(D::custom(__e)), \
+                           }} }}"
+                    )
+                })
+                .collect();
+            format!(
+                "let __content = deserializer.deserialize_content()?;\n\
+                 match __content {{\n\
+                   ::serde::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                     let mut __it = __items.into_iter();\n\
+                     ::core::result::Result::Ok({name}({}))\n\
+                   }}\n\
+                   __other => ::core::result::Result::Err(D::custom(\
+                     ::std::format!(\"expected {n}-tuple for {name}, found {{:?}}\", __other))),\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => str_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantFields::Tuple(fields) if fields.len() == 1 => {
+                        let ty = &fields[0].ty;
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => match ::serde::from_content::<{ty}>(__v) {{\n\
+                               ::core::result::Result::Ok(__x) => \
+                                 ::core::result::Result::Ok({name}::{vname}(__x)),\n\
+                               ::core::result::Result::Err(__e) => \
+                                 ::core::result::Result::Err(D::custom(__e)),\n\
+                             }},\n"
+                        ));
+                    }
+                    VariantFields::Tuple(fields) => {
+                        let n = fields.len();
+                        let elems: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let ty = &f.ty;
+                                format!(
+                                    "{{ let __v = __it.next().expect(\"length checked\"); \
+                                       match ::serde::from_content::<{ty}>(__v) {{ \
+                                         ::core::result::Result::Ok(__x) => __x, \
+                                         ::core::result::Result::Err(__e) => \
+                                           return ::core::result::Result::Err(D::custom(__e)), \
+                                       }} }}"
+                                )
+                            })
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => match __v {{\n\
+                               ::serde::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                                 let mut __it = __items.into_iter();\n\
+                                 ::core::result::Result::Ok({name}::{vname}({}))\n\
+                               }}\n\
+                               __other => ::core::result::Result::Err(D::custom(\
+                                 ::std::format!(\"expected {n}-tuple payload for \
+                                   {name}::{vname}, found {{:?}}\", __other))),\n\
+                             }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let lets = de_named_lets(&format!("{name}::{vname}"), fields);
+                        let ctor = de_named_ctor(&format!("{name}::{vname}"), fields);
+                        map_arms.push_str(&format!(
+                            "\"{vname}\" => match __v {{\n\
+                               ::serde::Content::Map(__m) => {{\n\
+                                 let mut __map = __m;\n\
+                                 {lets}\
+                                 ::core::result::Result::Ok({ctor})\n\
+                               }}\n\
+                               __other => ::core::result::Result::Err(D::custom(\
+                                 ::std::format!(\"expected map payload for {name}::{vname}, \
+                                   found {{:?}}\", __other))),\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "let __content = deserializer.deserialize_content()?;\n\
+                 match __content {{\n\
+                   ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                     {str_arms}\
+                     __other => ::core::result::Result::Err(D::custom(\
+                       ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                   }},\n\
+                   ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                     let mut __m = __m;\n\
+                     let (__k, __v) = __m.remove(0);\n\
+                     match __k.as_str() {{\n\
+                       {map_arms}\
+                       __other => ::core::result::Result::Err(D::custom(\
+                         ::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+                     }}\n\
+                   }}\n\
+                   __other => ::core::result::Result::Err(D::custom(\
+                     ::std::format!(\"invalid enum content for {name}: {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+           #[allow(unused_mut, unused_variables, clippy::all)]\n\
+           fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) \
+             -> ::core::result::Result<Self, D::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+// ------------------------------------------------------------------
+// entry points
+// ------------------------------------------------------------------
+
+fn render(source: String) -> TokenStream {
+    source
+        .parse()
+        .unwrap_or_else(|e| panic!("serde_derive stub generated invalid code: {e:?}\n{source}"))
+}
+
+/// Derives `serde::Serialize` via the stub content model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(derive_serialize_impl(&item))
+}
+
+/// Derives `serde::Deserialize` via the stub content model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    render(derive_deserialize_impl(&item))
+}
