@@ -34,6 +34,11 @@ cargo clippy -p coral-net --lib -- -D warnings -D clippy::unwrap-used
 echo "==> cargo clippy -p coral-eval (deny warnings)"
 cargo clippy -p coral-eval --all-targets -- -D warnings
 
+# The observability layer is what operators trust during an incident;
+# keep it strictly lint-clean too.
+echo "==> cargo clippy -p coral-obs (deny warnings)"
+cargo clippy -p coral-obs --all-targets -- -D warnings
+
 # Perf-lint gate for the tick hot path: the sparse stepper and the flat
 # vision kernels must stay allocation-lean, so deny the lints that catch
 # accidental re-introduction of per-tick churn.
@@ -54,6 +59,12 @@ cargo test -q -p coral-obs
 
 echo "==> cargo test -q"
 cargo test -q
+
+# Ops-plane smoke: a threaded deployment with the live HTTP endpoint —
+# /metrics and /healthz answer, health is OK on clean links and degrades
+# (non-OK retransmit-rate finding) on a lossy network.
+echo "==> ops endpoint smoke (threaded)"
+cargo test -q --test ops_endpoint
 
 # Seeded chaos matrix: the self-healing bound must hold under every
 # pinned fault seed (each test wires a different FaultPlan seed).

@@ -8,7 +8,7 @@
 //! heartbeat, doubled), since dropped updates must survive a retransmit
 //! round trip.
 
-use coral_bench::report::{f2s, write_registry_snapshot};
+use coral_bench::report::{f2s, write_registry_snapshot, write_text_artifact};
 use coral_bench::{campus_specs, ExperimentLog};
 use coral_core::{CoralPieSystem, SystemConfig};
 use coral_net::{FaultPlan, FaultPolicy, RetryPolicy};
@@ -59,6 +59,37 @@ fn run(heartbeat_s: u64, fault_seed: u64) -> (Vec<(f64, f64)>, u64, u64) {
         sys.observability().registry(),
     );
     println!("[metrics] {}", metrics.display());
+    // Ops-plane snapshot: the final health verdict and the flight
+    // recorder's view of the kill/restore/retransmission storm.
+    let obs = sys.observability();
+    let health = obs.health_tick(sys.now().as_millis());
+    let health_path = write_text_artifact(
+        &format!("fig11_chaos_recovery_hb{heartbeat_s}s.health.json"),
+        &health.to_json(),
+    );
+    let journal = obs.journal();
+    let journal_path = write_text_artifact(
+        &format!("fig11_chaos_recovery_hb{heartbeat_s}s.journal.jsonl"),
+        &journal.export_jsonl(),
+    );
+    let mut kills = 0u64;
+    let mut retransmits = 0u64;
+    journal.for_each(|e| match e.kind {
+        coral_obs::JournalKind::NodeKill => kills += 1,
+        coral_obs::JournalKind::Retransmit | coral_obs::JournalKind::BackoffEscalation => {
+            retransmits += 1
+        }
+        _ => {}
+    });
+    println!(
+        "[health] {} — overall {:?}, {} journal events ({} kills, {} retransmit incidents)",
+        health_path.display(),
+        health.overall,
+        journal.len(),
+        kills,
+        retransmits,
+    );
+    println!("[journal] {}", journal_path.display());
     let recoveries = sys
         .telemetry()
         .recoveries

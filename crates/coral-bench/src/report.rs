@@ -100,6 +100,20 @@ pub fn write_registry_snapshot(name: &str, registry: &coral_obs::Registry) -> Pa
     path
 }
 
+/// Writes a text artifact (health report JSON, journal JSONL, …) into the
+/// experiments directory under `name` and returns its path.
+///
+/// # Panics
+///
+/// Panics if the output directory or file cannot be written.
+pub fn write_text_artifact(name: &str, contents: &str) -> PathBuf {
+    let dir = out_dir();
+    fs::create_dir_all(&dir).expect("create experiments dir");
+    let path = dir.join(name);
+    fs::write(&path, contents).expect("write artifact");
+    path
+}
+
 /// The experiments output directory (`target/experiments`).
 pub fn out_dir() -> PathBuf {
     // CARGO_TARGET_DIR is not set in normal invocations; default to

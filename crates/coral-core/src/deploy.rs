@@ -60,6 +60,11 @@ pub struct SystemConfig {
     /// every value produces byte-identical runs — parallelism only trades
     /// wall-clock time.
     pub parallelism: usize,
+    /// Evaluate the health/SLO engine once per sim-second over the
+    /// metrics registry, journaling verdict transitions. The engine is a
+    /// pure observer — it consumes no randomness and schedules no events
+    /// — so toggling it cannot change simulation outcomes.
+    pub health_checks: bool,
     /// Event-driven stepping: consult the spatial occupancy index each
     /// tick and take a cheap early-out for cameras with no nearby vehicle
     /// and no live tracks. The early-out advances the frame counter
@@ -89,6 +94,7 @@ impl Default for SystemConfig {
             faults: None,
             reliability: None,
             parallelism: 1,
+            health_checks: true,
             sparse_stepping: true,
             seed: 42,
         }

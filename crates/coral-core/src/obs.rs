@@ -24,13 +24,23 @@ use crate::node::ReidRecord;
 use crate::stepper::StepStats;
 use crate::telemetry::{Recovery, TelemetrySink};
 use coral_net::{DetectionEvent, EventId, Message};
-use coral_obs::{ArgValue, Counter, Histogram, Observability, Registry, Tracer};
+use coral_obs::health::{HealthEngine, HealthReport, Rule, RuleInput, Thresholds};
+use coral_obs::{
+    ArgValue, Counter, Histogram, Journal, JournalKind, Observability, Registry, Severity, Tracer,
+};
 use coral_sim::SimTime;
 use coral_topology::CameraId;
 use coral_vision::GroundTruthId;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The paper's §3.2 handoff deadline: an inform must beat the vehicle to
+/// the downstream camera with this much margin, so deliveries later than
+/// this are journaled as SLO misses (the same bound the evaluation
+/// layer's attribution uses).
+pub const HANDOFF_DEADLINE_MS: u64 = 5_000;
 
 /// The Chrome-trace process id of the topology server's row.
 pub const SERVER_PID: u64 = 0;
@@ -44,6 +54,90 @@ pub fn camera_pid(camera: CameraId) -> u64 {
 /// non-vehicle runtime events (unattributable activity, recoveries).
 pub fn vehicle_tid(vehicle: Option<GroundTruthId>) -> u64 {
     vehicle.map_or(0, |g| g.0 + 1)
+}
+
+/// The journal/health subject name of a camera (`cam3`). Journal events,
+/// heartbeat gauges and health findings all use this spelling so one
+/// subject string joins all three planes.
+pub fn subject_for(camera: CameraId) -> String {
+    format!("cam{}", camera.0)
+}
+
+/// The default SLO rule set, parameterized by the deployment's protocol
+/// constants. `sparse` gates the active-fraction rule: in dense stepping
+/// every camera steps every tick by design, so a 100% active fraction is
+/// correct behavior there, not an anomaly.
+pub fn default_health_rules(
+    heartbeat_interval_ms: u64,
+    miss_threshold: u64,
+    handoff_deadline_ms: u64,
+    sparse: bool,
+) -> Vec<Rule> {
+    let hb = heartbeat_interval_ms.max(1) as f64;
+    let liveness_deadline = hb * miss_threshold.max(1) as f64;
+    let mut rules = vec![
+        // A camera one-and-a-half intervals silent is degraded; past the
+        // server's liveness deadline it is critical (the server is about
+        // to evict it).
+        Rule::new(
+            "heartbeat-staleness",
+            "node_last_heartbeat_ms",
+            Some("camera"),
+            RuleInput::GaugeStalenessMs,
+            Thresholds::new(hb * 1.5, liveness_deadline),
+        ),
+        // Sustained retransmissions mean a lossy or partitioned link.
+        Rule::new(
+            "retransmit-rate",
+            "reliable_retries_total",
+            Some("endpoint"),
+            RuleInput::RatePerSec,
+            Thresholds::new(0.5, 20.0),
+        ),
+        // A growing unacked queue means the peer has stopped acking; the
+        // policy cap (default 1024) is where sends start failing.
+        Rule::new(
+            "retransmit-queue",
+            "reliable_pending_frames",
+            Some("endpoint"),
+            RuleInput::GaugeValue,
+            Thresholds::new(64.0, 512.0),
+        ),
+        // Informs must beat vehicles to the next camera: p99 at half the
+        // handoff deadline is a warning, at the deadline the handoff
+        // protocol is effectively broken.
+        Rule::new(
+            "inform-latency-p99",
+            "runtime_inform_latency_us",
+            None,
+            RuleInput::QuantileUs(0.99),
+            Thresholds::new(
+                handoff_deadline_ms as f64 * 1_000.0 / 2.0,
+                handoff_deadline_ms as f64 * 1_000.0,
+            ),
+        ),
+        // One worker doing several times the mean load means the static
+        // partition has degenerated.
+        Rule::new(
+            "worker-imbalance",
+            "core_worker_busy_us",
+            None,
+            RuleInput::Imbalance,
+            Thresholds::new(3.0, 8.0),
+        ),
+    ];
+    if sparse {
+        rules.push(Rule::new(
+            "sparse-active-fraction",
+            "core_cameras_stepped_total",
+            None,
+            RuleInput::Fraction {
+                complement: "core_cameras_skipped_total".to_string(),
+            },
+            Thresholds::new(0.90, 0.99),
+        ));
+    }
+    rules
 }
 
 /// Per-tick camera activity under sparse stepping: how many cameras ran
@@ -115,6 +209,12 @@ struct CoreObsInner {
 pub struct CoreObs {
     obs: Observability,
     inner: Arc<Mutex<CoreObsInner>>,
+    health: Arc<std::sync::Mutex<HealthEngine>>,
+    inform_latency: Histogram,
+    handoff_deadline_us: Arc<AtomicU64>,
+    /// Previous tick's sparse active fraction in permille (for the
+    /// spike-edge detector feeding [`JournalKind::SparseAnomaly`]).
+    last_active_permille: Arc<AtomicU64>,
     passages: Counter,
     events: Counter,
     reids: Counter,
@@ -153,7 +253,19 @@ impl CoreObs {
     pub fn new() -> Self {
         let obs = Observability::new();
         let r = &obs.registry;
+        r.describe(
+            "runtime_inform_latency_us",
+            "Inform send-to-delivery latency (sim time)",
+        );
+        r.describe(
+            "node_last_heartbeat_ms",
+            "Per-camera sim-clock timestamp of the last heartbeat sent",
+        );
         Self {
+            health: Arc::new(std::sync::Mutex::new(HealthEngine::new(Vec::new()))),
+            inform_latency: r.histogram("runtime_inform_latency_us", &[]),
+            handoff_deadline_us: Arc::new(AtomicU64::new(HANDOFF_DEADLINE_MS * 1_000)),
+            last_active_permille: Arc::new(AtomicU64::new(0)),
             passages: r.counter("runtime_passages_total", &[]),
             events: r.counter("runtime_events_total", &[]),
             reids: r.counter("runtime_reids_total", &[]),
@@ -212,6 +324,86 @@ impl CoreObs {
     /// The shared metrics registry.
     pub fn registry(&self) -> &Registry {
         &self.obs.registry
+    }
+
+    /// The shared flight-recorder journal.
+    pub fn journal(&self) -> &Journal {
+        &self.obs.journal
+    }
+
+    /// The shared health engine (for the ops endpoint or direct queries).
+    pub fn health(&self) -> Arc<std::sync::Mutex<HealthEngine>> {
+        self.health.clone()
+    }
+
+    /// Replaces the health rule set (see [`default_health_rules`]).
+    pub fn install_health_rules(&self, rules: Vec<Rule>) {
+        *self.health.lock().expect("health engine poisoned") = HealthEngine::new(rules);
+    }
+
+    /// Evaluates the health rules against the registry at `now_ms`,
+    /// journaling verdict transitions. Purely observational: reads
+    /// atomics, never touches simulation state.
+    pub fn health_tick(&self, now_ms: u64) -> HealthReport {
+        self.health
+            .lock()
+            .expect("health engine poisoned")
+            .evaluate(self.registry(), Some(self.journal()), now_ms)
+    }
+
+    /// The most recent health report, if any evaluation has run.
+    pub fn latest_health(&self) -> Option<HealthReport> {
+        self.health
+            .lock()
+            .expect("health engine poisoned")
+            .latest()
+            .cloned()
+    }
+
+    /// Overrides the handoff deadline used for SLO-miss journaling
+    /// (milliseconds; 0 disables the check).
+    pub fn set_handoff_deadline_ms(&self, ms: u64) {
+        self.handoff_deadline_us
+            .store(ms.saturating_mul(1_000), Ordering::Relaxed);
+    }
+
+    /// A heartbeat left `camera` at sim time `now`: refresh the staleness
+    /// gauge the `heartbeat-staleness` health rule watches.
+    pub fn note_heartbeat_sent(&self, camera: CameraId, now: SimTime) {
+        self.registry()
+            .gauge(
+                "node_last_heartbeat_ms",
+                &[("camera", &subject_for(camera))],
+            )
+            .set(now.as_millis() as i64);
+    }
+
+    /// Edge-detects sparse active-fraction spikes: a tick where most
+    /// cameras wake at once right after a mostly-idle tick is journaled
+    /// (it usually means the occupancy index degenerated, e.g. a
+    /// platoon-arrival storm or an over-wide slack radius).
+    pub fn note_sparse_activity(&self, activity: TickActivity, now: SimTime) {
+        let total = activity.stepped + activity.skipped;
+        if total == 0 {
+            return;
+        }
+        let permille = (activity.stepped * 1_000 / total) as u64;
+        let prev = self.last_active_permille.swap(permille, Ordering::Relaxed);
+        if total >= 8 && permille >= 900 && prev < 500 {
+            self.journal().record(
+                JournalKind::SparseAnomaly,
+                Severity::Warn,
+                now.as_micros(),
+                "stepper",
+                &format!(
+                    "active fraction spiked {}% -> {}% ({} of {} cameras stepped)",
+                    prev / 10,
+                    permille / 10,
+                    activity.stepped,
+                    total
+                ),
+            );
+        }
     }
 
     /// The shared trace recorder.
@@ -385,17 +577,35 @@ impl TelemetrySink for CoreObs {
                     .inner
                     .lock()
                     .inform_sent
-                    .remove(&(event.event_id(), to));
-                let tracer = self.tracer();
-                if tracer.is_enabled() {
-                    if let Some(sent) = sent.filter(|&s| s <= at) {
+                    .remove(&(event.event_id(), to))
+                    .filter(|&s| s <= at);
+                if let Some(sent) = sent {
+                    let latency_us = at.since(sent).as_micros();
+                    self.inform_latency.observe_us(latency_us);
+                    let deadline_us = self.handoff_deadline_us.load(Ordering::Relaxed);
+                    if deadline_us > 0 && latency_us > deadline_us {
+                        self.journal().record(
+                            JournalKind::HandoffDeadlineMiss,
+                            Severity::Error,
+                            at.as_micros(),
+                            &subject_for(to),
+                            &format!(
+                                "inform from {} took {} ms (deadline {} ms)",
+                                subject_for(event.camera),
+                                latency_us / 1_000,
+                                deadline_us / 1_000
+                            ),
+                        );
+                    }
+                    let tracer = self.tracer();
+                    if tracer.is_enabled() {
                         tracer.complete(
                             Stage::TransportHop.name(),
                             CAT_VEHICLE,
                             camera_pid(to),
                             vehicle_tid(event.ground_truth),
                             sent.as_micros(),
-                            at.since(sent).as_micros(),
+                            latency_us,
                             &[("from", ArgValue::U64(u64::from(event.camera.0)))],
                         );
                     }

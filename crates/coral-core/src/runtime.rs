@@ -13,13 +13,17 @@
 use crate::deploy::SystemConfig;
 use crate::metrics::Passage;
 use crate::node::{CameraNode, FrameAnalysis, FrameOutput};
-use crate::obs::{camera_pid, CoreObs, NodeObs, ServerObs, TickActivity, SERVER_PID};
+use crate::obs::{
+    camera_pid, default_health_rules, subject_for, CoreObs, NodeObs, ServerObs, TickActivity,
+    HANDOFF_DEADLINE_MS, SERVER_PID,
+};
 use crate::stepper::Stepper;
 use crate::telemetry::{Recovery, Telemetry, TelemetrySink};
 use coral_net::{
     Endpoint, Envelope, FaultyTransport, Message, ReliableTransport, SendError, SimNet,
     SimTransport, Transport,
 };
+use coral_obs::{JournalKind, Severity};
 use coral_sim::engine::{Action, Context};
 use coral_sim::{
     Engine, GroundTruthLog, OccupancyIndex, PoissonArrivals, SimDuration, SimTime, TrafficModel,
@@ -109,6 +113,12 @@ impl<T: Transport> NodeDriver<T> {
                 message: message.clone(),
             },
         )?;
+        // Refresh the staleness gauge the health engine watches; done
+        // here (not per deployment mode) so DES, threaded and TCP runs
+        // all feed the same heartbeat-staleness rule.
+        if let Some(obs) = &self.obs {
+            obs.core().note_heartbeat_sent(self.node.id(), now);
+        }
         Ok(message)
     }
 
@@ -485,6 +495,9 @@ pub struct SimWorld {
     /// Reused per-tick snapshot of all vehicle states (ascending
     /// `VehicleId`), the arena `occupancy` candidate indices point into.
     vehicle_states: Vec<VehicleState>,
+    /// Last whole sim-second the health engine was evaluated at, so the
+    /// SLO rules run once per sim-second regardless of tick rate.
+    last_health_eval_s: u64,
 }
 
 impl std::fmt::Debug for SimWorld {
@@ -511,6 +524,15 @@ impl SimWorld {
     ) -> Self {
         let roster: BTreeSet<CameraId> = drivers.keys().copied().collect();
         let obs = CoreObs::new();
+        obs.set_handoff_deadline_ms(HANDOFF_DEADLINE_MS);
+        if config.health_checks {
+            obs.install_health_rules(default_health_rules(
+                config.heartbeat_interval.as_millis(),
+                u64::from(config.miss_threshold),
+                HANDOFF_DEADLINE_MS,
+                config.sparse_stepping,
+            ));
+        }
         storage.instrument(obs.registry());
         for (&id, driver) in drivers.iter_mut() {
             driver.set_obs(NodeObs::new(&obs, id));
@@ -536,9 +558,11 @@ impl SimWorld {
             for link in links {
                 if config.reliability.is_some() {
                     link.instrument(registry);
+                    link.set_journal(obs.journal().clone());
                 }
                 if config.faults.is_some() {
                     link.inner_mut().instrument(registry);
+                    link.inner_mut().set_journal(obs.journal().clone());
                 }
             }
         }
@@ -570,6 +594,7 @@ impl SimWorld {
             pending_kills: Vec::new(),
             occupancy,
             vehicle_states: Vec::new(),
+            last_health_eval_s: 0,
             config,
         }
     }
@@ -846,6 +871,19 @@ impl SimWorld {
             &step_stats,
             activity,
         );
+        if sparse {
+            self.obs.note_sparse_activity(activity, now);
+        }
+        // SLO evaluation, once per whole sim-second. Purely observational
+        // (reads metric atomics, journals verdict transitions), so it
+        // cannot perturb event order or RNG state.
+        if self.config.health_checks {
+            let second = now.as_millis() / 1_000;
+            if second > self.last_health_eval_s {
+                self.last_health_eval_s = second;
+                self.obs.health_tick(now.as_millis());
+            }
+        }
     }
 
     fn on_heartbeat(&mut self, cam: CameraId, now: SimTime) {
@@ -934,13 +972,20 @@ impl SimWorld {
             // restore, so re-detection reopens them.)
             self.ground_truth.close_camera(cam, now.as_millis());
             self.pending_kills.push((cam, now));
+            self.obs.journal().record(
+                JournalKind::NodeKill,
+                Severity::Error,
+                now.as_micros(),
+                &subject_for(cam),
+                &format!("camera {} killed (crash-stop)", cam.0),
+            );
         }
     }
 
     /// Brings a previously killed camera back up. Returns whether the
     /// camera was newly revived (`false` if unknown or already alive), so
     /// the caller restarts the heartbeat chain exactly once.
-    fn on_restore(&mut self, cam: CameraId) -> bool {
+    fn on_restore(&mut self, cam: CameraId, now: SimTime) -> bool {
         if !self.drivers.contains_key(&cam) {
             return false;
         }
@@ -949,6 +994,13 @@ impl SimWorld {
             // A rebooted camera re-detects whatever is in its FOV: clear
             // the edge-trigger memory so passages are re-emitted.
             self.in_fov.remove(&cam);
+            self.obs.journal().record(
+                JournalKind::NodeRestore,
+                Severity::Info,
+                now.as_micros(),
+                &subject_for(cam),
+                &format!("camera {} restored (rejoins on next heartbeat)", cam.0),
+            );
         }
         revived
     }
@@ -1120,7 +1172,7 @@ impl SimRuntime {
     pub fn schedule_restore(&mut self, at: SimTime, cam: CameraId) {
         self.engine
             .schedule_at(at, move |w: &mut SimWorld, ctx: &mut Context<SimWorld>| {
-                if w.on_restore(cam) {
+                if w.on_restore(cam, ctx.now()) {
                     // Restart the heartbeat chain (it stopped itself when
                     // the camera died); the first beat re-registers.
                     let next = ctx.now() + SimDuration::from_millis(1);

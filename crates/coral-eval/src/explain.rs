@@ -1,0 +1,348 @@
+//! Operational explanation: *why did vehicle V's track break at camera C?*
+//!
+//! Scoring says what was lost and attribution says which pipeline stage
+//! lost it; this module joins that verdict with the runtime's flight
+//! recorder ([`Journal`]) and the per-vehicle causal trace ([`Tracer`]) so
+//! one query answers the on-call question end to end: the miss, the stage,
+//! and the operational events (kills, partitions, retransmission storms)
+//! that surrounded it.
+
+use crate::attribution::{AttributedMiss, MissKind, MissStage, HANDOFF_SLACK_MS};
+use crate::replay::EvalReport;
+use coral_core::obs::{camera_pid, subject_for, vehicle_tid};
+use coral_obs::{Journal, JournalEvent, JournalKind, Tracer};
+use coral_topology::CameraId;
+use coral_vision::GroundTruthId;
+
+/// How far before the first miss journal context is collected, ms. Kills
+/// and partitions act with a lag (heartbeat timeouts, retry budgets), so
+/// the cause typically precedes the observed break by tens of seconds.
+pub const CONTEXT_BEFORE_MS: u64 = 120_000;
+
+/// The joined answer to "why did vehicle V's track break at camera C".
+#[derive(Debug, Clone)]
+pub struct TrackBreakExplanation {
+    /// The vehicle asked about.
+    pub vehicle: GroundTruthId,
+    /// The camera asked about.
+    pub camera: CameraId,
+    /// Misses involving this vehicle at this camera (event misses at the
+    /// camera, and unlinked transitions into or out of it).
+    pub misses: Vec<AttributedMiss>,
+    /// Journal events about this camera inside the context window.
+    pub journal: Vec<JournalEvent>,
+    /// Causal-trace events recorded for this vehicle at this camera (how
+    /// far through the pipeline the vehicle demonstrably got).
+    pub trace_events: usize,
+    /// Sim-time of the vehicle's last trace event at the camera, µs.
+    pub last_trace_us: Option<u64>,
+    /// Human-readable summary, one finding per line.
+    pub narrative: String,
+}
+
+impl TrackBreakExplanation {
+    /// Whether an unhealed camera outage overlaps the miss window — the
+    /// strongest available attribution for a track break.
+    pub fn outage_attributed(&self) -> bool {
+        self.narrative.contains("camera outage")
+    }
+}
+
+/// The sim-time (ms) a miss is anchored at.
+fn miss_time_ms(miss: &AttributedMiss) -> u64 {
+    match miss.kind {
+        MissKind::Event { entered_ms, .. } => entered_ms,
+        MissKind::Transition { at_ms, .. } => at_ms,
+    }
+}
+
+fn describe_miss(miss: &AttributedMiss) -> String {
+    let at = miss_time_ms(miss);
+    match miss.kind {
+        MissKind::Event {
+            camera, vehicle, ..
+        } => format!(
+            "visit of vehicle {} at {} (t={:.1}s) lost: {}",
+            vehicle.0,
+            subject_for(camera),
+            at as f64 / 1_000.0,
+            miss.stage.label()
+        ),
+        MissKind::Transition {
+            from, to, vehicle, ..
+        } => format!(
+            "transition {} -> {} of vehicle {} (t={:.1}s) unlinked: {}",
+            subject_for(from),
+            subject_for(to),
+            vehicle.0,
+            at as f64 / 1_000.0,
+            miss.stage.label()
+        ),
+    }
+}
+
+/// Joins the evaluation's miss attribution with the flight recorder and
+/// the causal trace for one `(vehicle, camera)` query.
+///
+/// The journal context keeps events whose subject is the camera (or whose
+/// detail names it — link-layer events are journaled under the sending
+/// endpoint) inside `[first_miss - CONTEXT_BEFORE_MS, last_miss +
+/// HANDOFF_SLACK_MS]`; with no misses the whole journal is scanned.
+pub fn explain_track_break(
+    report: &EvalReport,
+    journal: &Journal,
+    tracer: &Tracer,
+    vehicle: GroundTruthId,
+    camera: CameraId,
+) -> TrackBreakExplanation {
+    let misses: Vec<AttributedMiss> = report
+        .misses
+        .iter()
+        .filter(|m| match m.kind {
+            MissKind::Event {
+                camera: c,
+                vehicle: v,
+                ..
+            } => v == vehicle && c == camera,
+            MissKind::Transition {
+                from,
+                to,
+                vehicle: v,
+                ..
+            } => v == vehicle && (from == camera || to == camera),
+        })
+        .copied()
+        .collect();
+
+    let window = if misses.is_empty() {
+        (0, u64::MAX)
+    } else {
+        let first = misses.iter().map(miss_time_ms).min().unwrap_or(0);
+        let last = misses.iter().map(miss_time_ms).max().unwrap_or(u64::MAX);
+        (
+            first.saturating_sub(CONTEXT_BEFORE_MS),
+            last.saturating_add(HANDOFF_SLACK_MS),
+        )
+    };
+
+    let subject = subject_for(camera);
+    let mut context: Vec<JournalEvent> = Vec::new();
+    journal.for_each(|e| {
+        let at_ms = e.sim_us / 1_000;
+        if at_ms < window.0 || at_ms > window.1 {
+            return;
+        }
+        if e.subject == subject || e.detail.contains(&subject) {
+            context.push(e.clone());
+        }
+    });
+
+    let tid = vehicle_tid(Some(vehicle));
+    let pid = camera_pid(camera);
+    let mut trace_events = 0usize;
+    let mut last_trace_us = None;
+    tracer.for_each(|e| {
+        if e.pid == pid && e.tid == tid {
+            trace_events += 1;
+            last_trace_us = Some(last_trace_us.map_or(e.ts_us, |t: u64| t.max(e.ts_us)));
+        }
+    });
+
+    let mut lines = Vec::new();
+    if misses.is_empty() {
+        lines.push(format!(
+            "no misses recorded for vehicle {} at {}",
+            vehicle.0, subject
+        ));
+    }
+    for miss in &misses {
+        lines.push(describe_miss(miss));
+        let at_ms = miss_time_ms(miss);
+        // An unhealed outage overlapping the miss is the root cause for
+        // any downstream stage verdict: a dead camera can neither detect
+        // nor receive informs. Event misses are anchored at FOV *entry*,
+        // so a kill that truncated the visit may land just after the
+        // anchor — allow it the same slack the handoff race analysis uses.
+        let kill = context
+            .iter()
+            .filter(|e| {
+                e.kind == JournalKind::NodeKill
+                    && e.sim_us / 1_000 <= at_ms.saturating_add(HANDOFF_SLACK_MS)
+            })
+            .max_by_key(|e| e.sim_us);
+        if let Some(kill) = kill {
+            let healed = context.iter().any(|e| {
+                e.kind == JournalKind::NodeRestore
+                    && e.sim_us > kill.sim_us
+                    && e.sim_us / 1_000 <= at_ms
+            });
+            if !healed {
+                lines.push(format!(
+                    "  -> camera outage: {} killed at t={:.1}s with no restore before the miss",
+                    subject,
+                    kill.sim_us as f64 / 1_000_000.0
+                ));
+                continue;
+            }
+        }
+        if miss.stage == MissStage::HandoffMiss {
+            let trouble = context.iter().any(|e| {
+                matches!(
+                    e.kind,
+                    JournalKind::DeliveryAbandoned
+                        | JournalKind::BackoffEscalation
+                        | JournalKind::PartitionOpen
+                )
+            });
+            if trouble {
+                lines.push(
+                    "  -> link trouble: abandoned/escalated deliveries in the journal window"
+                        .to_string(),
+                );
+            }
+        }
+    }
+    match last_trace_us {
+        Some(ts) if trace_events > 0 => lines.push(format!(
+            "trace: {} events for the vehicle at {}, last at t={:.1}s",
+            trace_events,
+            subject,
+            ts as f64 / 1_000_000.0
+        )),
+        _ => lines.push(format!("trace: no events for the vehicle at {subject}")),
+    }
+
+    TrackBreakExplanation {
+        vehicle,
+        camera,
+        misses,
+        journal: context,
+        trace_events,
+        last_trace_us,
+        narrative: lines.join("\n"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::TrackScore;
+    use crate::AttributionSummary;
+    use coral_obs::Severity;
+
+    fn report_with(misses: Vec<AttributedMiss>) -> EvalReport {
+        EvalReport {
+            scenario: "test".into(),
+            seed: 1,
+            score: TrackScore::default(),
+            per_camera_f2: Vec::new(),
+            matches: Vec::new(),
+            attribution: AttributionSummary::from_misses(&misses),
+            misses,
+        }
+    }
+
+    #[test]
+    fn outage_is_attributed_to_the_kill() {
+        let journal = Journal::new();
+        journal.record(
+            JournalKind::NodeKill,
+            Severity::Error,
+            40_000_000,
+            "cam2",
+            "camera 2 killed (crash-stop)",
+        );
+        let report = report_with(vec![AttributedMiss {
+            kind: MissKind::Event {
+                camera: CameraId(2),
+                vehicle: GroundTruthId(7),
+                entered_ms: 45_000,
+            },
+            stage: MissStage::DetectMiss,
+        }]);
+        let ex = explain_track_break(
+            &report,
+            &journal,
+            &Tracer::new(),
+            GroundTruthId(7),
+            CameraId(2),
+        );
+        assert_eq!(ex.misses.len(), 1);
+        assert_eq!(ex.journal.len(), 1);
+        assert!(ex.outage_attributed(), "narrative: {}", ex.narrative);
+    }
+
+    #[test]
+    fn restore_before_the_miss_clears_the_outage_verdict() {
+        let journal = Journal::new();
+        journal.record(
+            JournalKind::NodeKill,
+            Severity::Error,
+            40_000_000,
+            "cam2",
+            "killed",
+        );
+        journal.record(
+            JournalKind::NodeRestore,
+            Severity::Info,
+            42_000_000,
+            "cam2",
+            "restored",
+        );
+        let report = report_with(vec![AttributedMiss {
+            kind: MissKind::Event {
+                camera: CameraId(2),
+                vehicle: GroundTruthId(7),
+                entered_ms: 45_000,
+            },
+            stage: MissStage::DetectMiss,
+        }]);
+        let ex = explain_track_break(
+            &report,
+            &journal,
+            &Tracer::new(),
+            GroundTruthId(7),
+            CameraId(2),
+        );
+        assert!(!ex.outage_attributed(), "narrative: {}", ex.narrative);
+    }
+
+    #[test]
+    fn unrelated_cameras_and_vehicles_are_filtered_out() {
+        let journal = Journal::new();
+        journal.record(
+            JournalKind::NodeKill,
+            Severity::Error,
+            1_000_000,
+            "cam9",
+            "x",
+        );
+        let report = report_with(vec![AttributedMiss {
+            kind: MissKind::Transition {
+                from: CameraId(1),
+                to: CameraId(2),
+                vehicle: GroundTruthId(3),
+                at_ms: 10_000,
+            },
+            stage: MissStage::HandoffMiss,
+        }]);
+        let ex = explain_track_break(
+            &report,
+            &journal,
+            &Tracer::new(),
+            GroundTruthId(3),
+            CameraId(2),
+        );
+        assert_eq!(ex.misses.len(), 1, "transition into cam2 counts");
+        assert!(ex.journal.is_empty(), "cam9 event is out of scope");
+        let other = explain_track_break(
+            &report,
+            &journal,
+            &Tracer::new(),
+            GroundTruthId(3),
+            CameraId(5),
+        );
+        assert!(other.misses.is_empty());
+        assert!(other.narrative.contains("no misses"));
+    }
+}

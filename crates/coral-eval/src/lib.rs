@@ -23,12 +23,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod attribution;
+pub mod explain;
 pub mod golden;
 pub mod replay;
 pub mod score;
 pub mod tracks;
 
 pub use attribution::{attribute, AttributedMiss, AttributionSummary, MissKind, MissStage};
+pub use explain::{explain_track_break, TrackBreakExplanation};
 pub use golden::{check_golden, golden_path, render_report, GoldenTolerance};
 pub use replay::{evaluate, replay_and_evaluate, EvalReport, Scenario};
 pub use score::{score_tracks, IntervalMatch, TrackScore, MATCH_SLACK_MS};

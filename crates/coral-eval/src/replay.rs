@@ -13,7 +13,7 @@ use crate::tracks::extract_tracks;
 use coral_core::{CameraSpec, CoralPieSystem, NodeConfig, SystemConfig};
 use coral_geo::{generators, route, IntersectionId};
 use coral_net::{FaultPlan, FaultPolicy, RetryPolicy};
-use coral_sim::{SimDuration, SimTime};
+use coral_sim::{FailureEvent, FailureKind, FailureSchedule, SimDuration, SimTime};
 use coral_topology::CameraId;
 use coral_vision::{DetectorNoise, ObjectClass};
 
@@ -34,6 +34,9 @@ pub struct Scenario {
     pub run_secs: u64,
     /// Full system configuration (seed, noise, faults, …).
     pub config: SystemConfig,
+    /// Scheduled camera kills/restores applied before the run (empty by
+    /// default).
+    pub failures: FailureSchedule,
 }
 
 impl Scenario {
@@ -61,7 +64,25 @@ impl Scenario {
                 seed,
                 ..SystemConfig::default()
             },
+            failures: FailureSchedule::default(),
         }
+    }
+
+    /// Schedules an outage: `camera` is killed at `down_s` and restored at
+    /// `up_s`, renaming the scenario to match.
+    pub fn with_outage(mut self, camera: CameraId, down_s: u64, up_s: u64) -> Self {
+        self.name = format!("{}-kill{}", self.name, camera.0);
+        self.failures.push(FailureEvent {
+            at: SimTime::from_secs(down_s),
+            camera,
+            kind: FailureKind::Kill,
+        });
+        self.failures.push(FailureEvent {
+            at: SimTime::from_secs(up_s),
+            camera,
+            kind: FailureKind::Restore,
+        });
+        self
     }
 
     /// Adds seeded link faults (drop/duplicate probabilities) with the
@@ -94,6 +115,9 @@ impl Scenario {
             .collect();
         let mut sys = CoralPieSystem::new(net.clone(), &specs, self.config.clone());
         sys.enable_tracing();
+        if !self.failures.is_empty() {
+            sys.set_failures(&self.failures);
+        }
         sys.run_until(SimTime::from_secs(self.spawn_start_s));
         let first = IntersectionId(0);
         let last = IntersectionId(self.cameras as u32 - 1);

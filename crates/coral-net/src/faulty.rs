@@ -12,7 +12,7 @@
 //! delivery on top.
 
 use crate::transport::{Endpoint, Envelope, SendError, Transport};
-use coral_obs::{Counter, Registry};
+use coral_obs::{Counter, Journal, JournalKind, Registry, Severity};
 use coral_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -161,6 +161,10 @@ pub struct FaultyTransport<T> {
     held: Option<(SimTime, Envelope)>,
     partitioned: BTreeSet<Endpoint>,
     counters: Option<FaultCounters>,
+    journal: Option<Journal>,
+    /// Latest sim-time observed on the send/tick path, used to stamp
+    /// partition events (partition/heal calls carry no clock).
+    last_now: SimTime,
     endpoint: Endpoint,
 }
 
@@ -175,6 +179,8 @@ impl<T: Transport> FaultyTransport<T> {
             held: None,
             partitioned: BTreeSet::new(),
             counters: None,
+            journal: None,
+            last_now: SimTime::ZERO,
             endpoint,
         }
     }
@@ -209,15 +215,33 @@ impl<T: Transport> FaultyTransport<T> {
         &mut self.inner
     }
 
+    /// Starts recording partition open/heal events into the flight
+    /// recorder.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
     /// Makes `to` unreachable: subsequent sends toward it are silently
     /// dropped until [`FaultyTransport::heal`].
     pub fn partition(&mut self, to: Endpoint) {
-        self.partitioned.insert(to);
+        if self.partitioned.insert(to) {
+            self.journal_event(
+                JournalKind::PartitionOpen,
+                Severity::Warn,
+                &format!("link to {to} partitioned"),
+            );
+        }
     }
 
     /// Removes the partition toward `to`.
     pub fn heal(&mut self, to: Endpoint) {
-        self.partitioned.remove(&to);
+        if self.partitioned.remove(&to) {
+            self.journal_event(
+                JournalKind::PartitionHeal,
+                Severity::Info,
+                &format!("link to {to} healed"),
+            );
+        }
     }
 
     /// Whether the link toward `to` is currently partitioned.
@@ -228,6 +252,18 @@ impl<T: Transport> FaultyTransport<T> {
     fn count(&self, select: impl Fn(&FaultCounters) -> &Counter) {
         if let Some(c) = &self.counters {
             select(c).inc();
+        }
+    }
+
+    fn journal_event(&self, kind: JournalKind, severity: Severity, detail: &str) {
+        if let Some(journal) = &self.journal {
+            journal.record(
+                kind,
+                severity,
+                self.last_now.as_micros(),
+                &self.endpoint.to_string(),
+                detail,
+            );
         }
     }
 
@@ -244,6 +280,7 @@ impl<T: Transport> FaultyTransport<T> {
 
 impl<T: Transport> Transport for FaultyTransport<T> {
     fn send(&mut self, now: SimTime, envelope: Envelope) -> Result<(), SendError> {
+        self.last_now = self.last_now.max(now);
         // Partition check first: no randomness consumed, so partitioning
         // and healing does not shift the fault stream of other links.
         if self.partitioned.contains(&envelope.to) {
@@ -291,6 +328,7 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     }
 
     fn tick(&mut self, now: SimTime) {
+        self.last_now = self.last_now.max(now);
         // Bound how long a reordered envelope can be held.
         let _ = self.release_held(now);
         self.inner.tick(now);

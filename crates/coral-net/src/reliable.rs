@@ -17,7 +17,7 @@
 
 use crate::message::Message;
 use crate::transport::{Endpoint, Envelope, SendError, Transport};
-use coral_obs::{Counter, Registry};
+use coral_obs::{Counter, Gauge, Journal, JournalKind, Registry, Severity};
 use coral_sim::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -76,6 +76,7 @@ struct ReliableCounters {
     gave_up: Counter,
     dup_dropped: Counter,
     acks: Counter,
+    pending: Gauge,
 }
 
 /// The at-least-once decorator. See the [module docs](self).
@@ -93,6 +94,7 @@ pub struct ReliableTransport<T> {
     /// Receive-side dedup: sequence numbers already delivered, per sender.
     seen: HashMap<Endpoint, BTreeSet<u64>>,
     counters: Option<ReliableCounters>,
+    journal: Option<Journal>,
     gave_up_total: u64,
 }
 
@@ -109,6 +111,7 @@ impl<T: Transport> ReliableTransport<T> {
             pending: BTreeMap::new(),
             seen: HashMap::new(),
             counters: None,
+            journal: None,
             gave_up_total: 0,
         }
     }
@@ -126,6 +129,7 @@ impl<T: Transport> ReliableTransport<T> {
             pending: BTreeMap::new(),
             seen: HashMap::new(),
             counters: None,
+            journal: None,
             gave_up_total: 0,
         }
     }
@@ -157,8 +161,9 @@ impl<T: Transport> ReliableTransport<T> {
 
     /// Starts publishing delivery counters into `registry`:
     /// `reliable_retries_total`, `reliable_gave_up_total`,
-    /// `reliable_dup_dropped_total` and `reliable_acks_total`, all
-    /// labelled with this transport's `endpoint`.
+    /// `reliable_dup_dropped_total`, `reliable_acks_total` and the
+    /// `reliable_pending_frames` queue-depth gauge, all labelled with this
+    /// transport's `endpoint`.
     pub fn instrument(&mut self, registry: &Registry) {
         let label = self.endpoint.to_string();
         let labels = [("endpoint", label.as_str())];
@@ -167,12 +172,38 @@ impl<T: Transport> ReliableTransport<T> {
             gave_up: registry.counter("reliable_gave_up_total", &labels),
             dup_dropped: registry.counter("reliable_dup_dropped_total", &labels),
             acks: registry.counter("reliable_acks_total", &labels),
+            pending: registry.gauge("reliable_pending_frames", &labels),
         });
+        self.sync_pending_gauge();
+    }
+
+    /// Starts recording delivery incidents (retransmissions, backoff
+    /// escalations, abandoned frames) into the flight recorder.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
     }
 
     fn count(&self, select: impl Fn(&ReliableCounters) -> &Counter) {
         if let Some(c) = &self.counters {
             select(c).inc();
+        }
+    }
+
+    fn sync_pending_gauge(&self) {
+        if let Some(c) = &self.counters {
+            c.pending.set(self.pending.len() as i64);
+        }
+    }
+
+    fn journal_event(&self, kind: JournalKind, severity: Severity, now: SimTime, detail: &str) {
+        if let Some(journal) = &self.journal {
+            journal.record(
+                kind,
+                severity,
+                now.as_micros(),
+                &self.endpoint.to_string(),
+                detail,
+            );
         }
     }
 
@@ -251,6 +282,7 @@ impl<T: Transport> Transport for ReliableTransport<T> {
         );
         // A transient failure is the retry loop's job, not the caller's.
         let _ = self.inner.send(now, framed);
+        self.sync_pending_gauge();
         Ok(())
     }
 
@@ -264,6 +296,7 @@ impl<T: Transport> Transport for ReliableTransport<T> {
                 Message::Ack { seq } => {
                     if self.pending.remove(&(envelope.from, seq)).is_some() {
                         self.count(|c| &c.acks);
+                        self.sync_pending_gauge();
                     }
                 }
                 Message::Sequenced { seq, payload } => {
@@ -316,10 +349,20 @@ impl<T: Transport> Transport for ReliableTransport<T> {
             let Some(frame) = self.pending.get(&key) else {
                 continue;
             };
+            let (peer, seq) = key;
             if frame.attempts >= policy.max_attempts {
                 self.pending.remove(&key);
                 self.gave_up_total += 1;
                 self.count(|c| &c.gave_up);
+                self.journal_event(
+                    JournalKind::DeliveryAbandoned,
+                    Severity::Error,
+                    now,
+                    &format!(
+                        "frame seq {seq} to {peer} abandoned after {} attempts",
+                        policy.max_attempts
+                    ),
+                );
                 continue;
             }
             let envelope = frame.envelope.clone();
@@ -330,8 +373,32 @@ impl<T: Transport> Transport for ReliableTransport<T> {
                 frame.next_retry = now + wait;
             }
             self.count(|c| &c.retries);
+            // Escalation is the half-budget crossing: journaled once per
+            // frame, at Warn, so the flight recorder separates routine
+            // single retries from deliveries in real trouble.
+            let escalation_at = (policy.max_attempts / 2).max(2);
+            if attempts == escalation_at {
+                self.journal_event(
+                    JournalKind::BackoffEscalation,
+                    Severity::Warn,
+                    now,
+                    &format!(
+                        "frame seq {seq} to {peer} at attempt {attempts} of {} (backoff {} ms)",
+                        policy.max_attempts,
+                        wait.as_millis()
+                    ),
+                );
+            } else {
+                self.journal_event(
+                    JournalKind::Retransmit,
+                    Severity::Info,
+                    now,
+                    &format!("retransmit seq {seq} to {peer} (attempt {attempts})"),
+                );
+            }
             let _ = self.inner.send(now, envelope);
         }
+        self.sync_pending_gauge();
     }
 
     fn next_due(&self) -> Option<SimTime> {

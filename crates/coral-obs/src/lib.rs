@@ -16,7 +16,15 @@
 //!   processes and vehicles to trace threads, so one timeline row shows
 //!   one vehicle flowing detect → track → feature-extract → inform →
 //!   transport hop → re-id → store across cameras.
-//! - [`json`] — the minimal JSON writer/parser both exporters are built
+//! - [`Journal`] — the flight recorder: a bounded ring-buffer of
+//!   structured operational events (kills, restores, retransmits,
+//!   partitions, SLO misses) with deterministic JSONL export.
+//! - [`health`] — the SLO engine: declarative [`health::Rule`]s evaluated
+//!   over registry snapshots, producing per-subject OK / DEGRADED /
+//!   CRITICAL [`health::HealthReport`]s and journaling transitions.
+//! - [`ops`] — a dependency-free `std::net` HTTP endpoint serving
+//!   `/metrics`, `/healthz` and `/journal?last=N` for live deployments.
+//! - [`json`] — the minimal JSON writer/parser the exporters are built
 //!   on, so the crate stays dependency-free and the exports stay
 //!   byte-deterministic.
 //!
@@ -26,30 +34,64 @@
 
 #![warn(missing_docs)]
 
+pub mod health;
+pub mod journal;
 pub mod json;
+pub mod ops;
 pub mod registry;
 pub mod trace;
 
+pub use health::{HealthEngine, HealthReport, Rule, RuleInput, Thresholds, Verdict};
+pub use journal::{Journal, JournalEvent, JournalKind, Severity};
+pub use ops::{OpsServer, OpsState};
 pub use registry::{
-    bucket_bound_us, Counter, Gauge, Histogram, LocalHistogram, MetricKey, Registry,
-    HISTOGRAM_BUCKETS,
+    bucket_bound_us, Counter, Gauge, Histogram, HistogramData, LocalHistogram, MetricKey, Registry,
+    RegistrySample, SampleValue, HISTOGRAM_BUCKETS,
 };
 pub use trace::{ArgValue, TraceEvent, Tracer};
 
 /// The bundle of observability handles one deployment shares: a metrics
-/// registry plus a trace recorder. Cloning shares both.
-#[derive(Debug, Clone, Default)]
+/// registry, a trace recorder, and a flight-recorder journal. Cloning
+/// shares all three.
+#[derive(Debug, Clone)]
 pub struct Observability {
     /// The shared metrics registry.
     pub registry: Registry,
     /// The shared trace recorder (disabled until enabled).
     pub tracer: Tracer,
+    /// The shared flight recorder.
+    pub journal: Journal,
+}
+
+impl Default for Observability {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Observability {
-    /// Creates a fresh bundle with tracing disabled.
+    /// Creates a fresh bundle with tracing disabled. The tracer's and
+    /// journal's drop counters are mirrored into the registry as
+    /// `trace_events_dropped_total` / `journal_events_dropped_total`.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        let tracer = Tracer::new();
+        let journal = Journal::new();
+        tracer.set_drop_counter(registry.counter("trace_events_dropped_total", &[]));
+        journal.set_drop_counter(registry.counter("journal_events_dropped_total", &[]));
+        registry.describe(
+            "trace_events_dropped_total",
+            "Trace events rejected because the tracer buffer was full",
+        );
+        registry.describe(
+            "journal_events_dropped_total",
+            "Journal events evicted by flight-recorder ring wrap",
+        );
+        Self {
+            registry,
+            tracer,
+            journal,
+        }
     }
 
     /// Enables (or disables) trace recording.

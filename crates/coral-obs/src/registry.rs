@@ -7,7 +7,7 @@
 //! format; metric/label ordering is `BTreeMap`-stable so exports diff
 //! cleanly across runs.
 
-use crate::json::{escape_into, number, quote};
+use crate::json::{number, quote};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -58,11 +58,45 @@ impl MetricKey {
                 out.push(',');
             }
             let _ = write!(out, "{k}=\"");
-            escape_into(&mut out, v);
+            prometheus_escape_into(&mut out, v);
             out.push('"');
         }
         out.push('}');
         out
+    }
+
+    /// Returns the value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Escapes a Prometheus label value: exactly backslash, double quote and
+/// newline per the text exposition format (unlike JSON, tab and other
+/// control characters pass through verbatim).
+fn prometheus_escape_into(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+/// Escapes `# HELP` text: backslash and newline only (quotes are legal
+/// there, per the exposition format).
+fn prometheus_escape_help_into(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
     }
 }
 
@@ -209,8 +243,8 @@ impl Histogram {
         }
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
+    fn snapshot(&self) -> HistogramData {
+        HistogramData {
             buckets: std::array::from_fn(|i| self.inner.buckets[i].load(Ordering::Relaxed)),
             overflow: self.inner.overflow.load(Ordering::Relaxed),
             count: self.count(),
@@ -296,12 +330,69 @@ impl LocalHistogram {
     }
 }
 
+/// A point-in-time copy of one histogram's state, as captured by
+/// [`Registry::collect`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramData {
+    /// Per-bucket counts; bucket `i` covers values `<= 2^i` µs.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Observations above the last finite bound.
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, in microseconds.
+    pub sum_us: u64,
+}
+
+impl HistogramData {
+    /// Pointwise `self - earlier`, saturating at zero: the observations
+    /// recorded between two snapshots. Used for windowed quantiles.
+    pub fn delta(&self, earlier: &HistogramData) -> HistogramData {
+        HistogramData {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            overflow: self.overflow.saturating_sub(earlier.overflow),
+            count: self.count.saturating_sub(earlier.count),
+            sum_us: self.sum_us.saturating_sub(earlier.sum_us),
+        }
+    }
+
+    /// Approximate quantile in microseconds (upper bound of the bucket
+    /// holding the q-th sample; `u64::MAX` if it landed in overflow).
+    pub fn quantile_bound_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return bucket_bound_us(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// The value of one metric series inside a [`RegistrySample`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's full bucket state (boxed: the bucket array dwarfs
+    /// the scalar variants).
+    Histogram(Box<HistogramData>),
+}
+
+/// One metric series captured by [`Registry::collect`].
 #[derive(Debug, Clone)]
-struct HistogramSnapshot {
-    buckets: [u64; HISTOGRAM_BUCKETS],
-    overflow: u64,
-    count: u64,
-    sum_us: u64,
+pub struct RegistrySample {
+    /// The series identity (name + sorted labels).
+    pub key: MetricKey,
+    /// The captured value.
+    pub value: SampleValue,
 }
 
 #[derive(Default)]
@@ -309,6 +400,7 @@ struct RegistryInner {
     counters: BTreeMap<MetricKey, Counter>,
     gauges: BTreeMap<MetricKey, Gauge>,
     histograms: BTreeMap<MetricKey, Histogram>,
+    help: BTreeMap<String, String>,
 }
 
 /// The shared metrics registry.
@@ -373,6 +465,43 @@ impl Registry {
             .clone()
     }
 
+    /// Registers human-readable help text for a metric family; rendered
+    /// as a `# HELP` line by [`Registry::render_prometheus`].
+    pub fn describe(&self, name: &str, help: &str) {
+        self.inner
+            .lock()
+            .expect("registry poisoned")
+            .help
+            .insert(name.to_string(), help.to_string());
+    }
+
+    /// Captures every series as a structured sample, in deterministic
+    /// (counters, gauges, histograms; BTreeMap key) order. This is the
+    /// read path the health engine evaluates rules over.
+    pub fn collect(&self) -> Vec<RegistrySample> {
+        let g = self.inner.lock().expect("registry poisoned");
+        let mut out = Vec::with_capacity(g.counters.len() + g.gauges.len() + g.histograms.len());
+        for (key, c) in &g.counters {
+            out.push(RegistrySample {
+                key: key.clone(),
+                value: SampleValue::Counter(c.get()),
+            });
+        }
+        for (key, gauge) in &g.gauges {
+            out.push(RegistrySample {
+                key: key.clone(),
+                value: SampleValue::Gauge(gauge.get()),
+            });
+        }
+        for (key, h) in &g.histograms {
+            out.push(RegistrySample {
+                key: key.clone(),
+                value: SampleValue::Histogram(Box::new(h.snapshot())),
+            });
+        }
+        out
+    }
+
     /// Reads a counter's current value, if it exists.
     pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
         let key = MetricKey::new(name, labels);
@@ -433,7 +562,7 @@ impl Registry {
         let mut last_name = String::new();
         for (key, c) in &g.counters {
             if key.name != last_name {
-                let _ = writeln!(out, "# TYPE {} counter", key.name);
+                write_family_header(&mut out, &key.name, "counter", &g.help);
                 last_name.clone_from(&key.name);
             }
             let _ = writeln!(
@@ -447,7 +576,7 @@ impl Registry {
         last_name.clear();
         for (key, gauge) in &g.gauges {
             if key.name != last_name {
-                let _ = writeln!(out, "# TYPE {} gauge", key.name);
+                write_family_header(&mut out, &key.name, "gauge", &g.help);
                 last_name.clone_from(&key.name);
             }
             let _ = writeln!(
@@ -462,7 +591,7 @@ impl Registry {
         for (key, h) in &g.histograms {
             let s = h.snapshot();
             if key.name != last_name {
-                let _ = writeln!(out, "# TYPE {} histogram", key.name);
+                write_family_header(&mut out, &key.name, "histogram", &g.help);
                 last_name.clone_from(&key.name);
             }
             let mut cumulative = 0u64;
@@ -506,6 +635,15 @@ impl Registry {
         }
         out
     }
+}
+
+fn write_family_header(out: &mut String, name: &str, kind: &str, help: &BTreeMap<String, String>) {
+    if let Some(text) = help.get(name) {
+        let _ = write!(out, "# HELP {name} ");
+        prometheus_escape_help_into(out, text);
+        out.push('\n');
+    }
+    let _ = writeln!(out, "# TYPE {name} {kind}");
 }
 
 fn push_entry_head(out: &mut String, first: &mut bool, key: &MetricKey) {
@@ -652,6 +790,113 @@ mod tests {
         assert!(text.contains("stage_latency_bucket{stage=\"detect\",le=\"+Inf\"} 2"));
         assert!(text.contains("stage_latency_sum{stage=\"detect\"} 2.001"));
         assert!(text.contains("stage_latency_count{stage=\"detect\"} 2"));
+    }
+
+    /// Minimal parser for one Prometheus sample line: extracts the label
+    /// values back out, undoing the exposition-format escapes.
+    fn parse_label_values(line: &str) -> Vec<String> {
+        let open = line.find('{').unwrap();
+        let close = line.rfind('}').unwrap();
+        let body = &line[open + 1..close];
+        let mut values = Vec::new();
+        let mut chars = body.chars().peekable();
+        while chars.peek().is_some() {
+            // Skip `key="`.
+            for c in chars.by_ref() {
+                if c == '"' {
+                    break;
+                }
+            }
+            let mut value = String::new();
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' => break,
+                    '\\' => match chars.next() {
+                        Some('n') => value.push('\n'),
+                        Some(other) => value.push(other),
+                        None => {}
+                    },
+                    other => value.push(other),
+                }
+            }
+            values.push(value);
+            // Skip the comma separator, if any.
+            if chars.peek() == Some(&',') {
+                chars.next();
+            }
+        }
+        values
+    }
+
+    #[test]
+    fn prometheus_label_escaping_round_trips() {
+        let reg = Registry::new();
+        let nasty = "path\\to\"cam\"\nline2\ttab";
+        reg.counter("weird_total", &[("p", nasty), ("q", "plain")])
+            .inc();
+        let text = reg.render_prometheus();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("weird_total{"))
+            .expect("sample line");
+        // Exactly backslash, quote and newline are escaped; the raw tab
+        // must survive unescaped (Prometheus spec, unlike JSON).
+        assert!(line.contains("\\\\"), "backslash escaped: {line}");
+        assert!(line.contains("\\\""), "quote escaped: {line}");
+        assert!(line.contains("\\n"), "newline escaped: {line}");
+        assert!(line.contains('\t'), "tab passes through: {line}");
+        assert_eq!(
+            parse_label_values(line),
+            vec![nasty.to_string(), "plain".to_string()]
+        );
+    }
+
+    #[test]
+    fn prometheus_help_lines() {
+        let reg = Registry::new();
+        reg.describe("frames_total", "Frames captured per camera");
+        reg.describe("depth", "Queue depth \\ with\nnewline");
+        reg.counter("frames_total", &[("camera", "0")]).inc();
+        reg.counter("frames_total", &[("camera", "1")]).inc();
+        reg.gauge("depth", &[]).set(3);
+        reg.counter("undescribed_total", &[]).inc();
+        let text = reg.render_prometheus();
+        // HELP precedes TYPE, once per family even with several series.
+        let help_pos = text
+            .find("# HELP frames_total Frames captured per camera")
+            .unwrap();
+        let type_pos = text.find("# TYPE frames_total counter").unwrap();
+        assert!(help_pos < type_pos);
+        assert_eq!(text.matches("# HELP frames_total").count(), 1);
+        assert!(text.contains("# HELP depth Queue depth \\\\ with\\nnewline"));
+        assert!(!text.contains("# HELP undescribed_total"));
+        assert!(text.contains("# TYPE undescribed_total counter"));
+    }
+
+    #[test]
+    fn collect_returns_structured_samples() {
+        let reg = Registry::new();
+        reg.counter("c_total", &[("k", "v")]).add(3);
+        reg.gauge("g", &[]).set(-2);
+        let h = reg.histogram("h_us", &[]);
+        h.observe_us(5);
+        h.observe_us(500);
+        let samples = reg.collect();
+        assert_eq!(samples.len(), 3);
+        assert!(matches!(samples[0].value, SampleValue::Counter(3)));
+        assert_eq!(samples[0].key.label("k"), Some("v"));
+        assert!(matches!(samples[1].value, SampleValue::Gauge(-2)));
+        match &samples[2].value {
+            SampleValue::Histogram(data) => {
+                assert_eq!(data.count, 2);
+                assert_eq!(data.sum_us, 505);
+                assert_eq!(data.quantile_bound_us(1.0), 512);
+                let delta = data.delta(&HistogramData::default());
+                assert_eq!(delta.count, 2);
+                assert_eq!(data.delta(data).count, 0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -14,11 +14,17 @@
 //! is off.
 
 use crate::json::{number, quote};
+use crate::registry::Counter;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Default cap on buffered trace events (≈1M); beyond it new events are
+/// dropped and counted rather than growing without bound on city-scale
+/// runs.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1_000_000;
 
 /// A value attached to a trace event's `args` object.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +91,9 @@ struct TracerState {
 struct TracerShared {
     enabled: AtomicBool,
     epoch: Instant,
+    capacity: AtomicUsize,
+    dropped: AtomicU64,
+    drop_counter: Mutex<Option<Counter>>,
     state: Mutex<TracerState>,
 }
 
@@ -116,6 +125,9 @@ impl Tracer {
             inner: Arc::new(TracerShared {
                 enabled: AtomicBool::new(false),
                 epoch: Instant::now(),
+                capacity: AtomicUsize::new(DEFAULT_TRACE_CAPACITY),
+                dropped: AtomicU64::new(0),
+                drop_counter: Mutex::new(None),
                 state: Mutex::new(TracerState {
                     events: Vec::new(),
                     process_names: BTreeMap::new(),
@@ -128,6 +140,24 @@ impl Tracer {
     /// Turns recording on or off.
     pub fn set_enabled(&self, on: bool) {
         self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Caps the event buffer at `cap` events (default
+    /// [`DEFAULT_TRACE_CAPACITY`]); events beyond the cap are dropped and
+    /// counted in [`Tracer::dropped_total`].
+    pub fn set_capacity(&self, cap: usize) {
+        self.inner.capacity.store(cap, Ordering::Relaxed);
+    }
+
+    /// Mirrors drops into a registry counter (conventionally
+    /// `trace_events_dropped_total`) in addition to the local total.
+    pub fn set_drop_counter(&self, counter: Counter) {
+        *self.inner.drop_counter.lock().expect("tracer poisoned") = Some(counter);
+    }
+
+    /// Events rejected because the buffer was at capacity.
+    pub fn dropped_total(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
     }
 
     /// Whether events are currently recorded (one relaxed atomic load).
@@ -236,12 +266,24 @@ impl Tracer {
             tid,
             args: all_args,
         };
-        self.inner
-            .state
+        let cap = self.inner.capacity.load(Ordering::Relaxed);
+        {
+            let mut g = self.inner.state.lock().expect("tracer poisoned");
+            if g.events.len() < cap {
+                g.events.push(ev);
+                return;
+            }
+        }
+        self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self
+            .inner
+            .drop_counter
             .lock()
             .expect("tracer poisoned")
-            .events
-            .push(ev);
+            .as_ref()
+        {
+            c.inc();
+        }
     }
 
     /// Runs `f` over every recorded event, in recording order.
@@ -395,6 +437,25 @@ mod tests {
             detect.get("args").unwrap().get("camera").unwrap().as_u64(),
             Some(0)
         );
+    }
+
+    #[test]
+    fn capacity_bounds_buffer_and_counts_drops() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        t.set_capacity(3);
+        let dropped = Counter::default();
+        t.set_drop_counter(dropped.clone());
+        for i in 0..10u64 {
+            t.instant("E", "c", 1, 1, i, &[]);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped_total(), 7);
+        assert_eq!(dropped.get(), 7);
+        // The first three events survived, not the last three.
+        let mut seen = Vec::new();
+        t.for_each(|ev| seen.push(ev.ts_us));
+        assert_eq!(seen, vec![0, 1, 2]);
     }
 
     #[test]

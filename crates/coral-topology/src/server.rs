@@ -120,6 +120,13 @@ impl TopologyServer {
         self.last_seen.keys().copied().collect()
     }
 
+    /// When `camera`'s last heartbeat arrived, or `None` if it is not
+    /// currently registered. Lets the ops plane cross-check the health
+    /// engine's staleness verdicts against the server's own liveness view.
+    pub fn last_heartbeat_ms(&self, camera: CameraId) -> Option<TimestampMs> {
+        self.last_seen.get(&camera).copied()
+    }
+
     /// Processes a heartbeat from `camera` at time `now`.
     ///
     /// An unknown camera is registered by snapping its position onto the

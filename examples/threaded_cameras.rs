@@ -9,11 +9,19 @@
 //!
 //! ```sh
 //! cargo run --release --example threaded_cameras
+//! # in another shell, while it runs:
+//! curl -s localhost:9464/healthz | head -c 200
+//! curl -s localhost:9464/metrics | grep node_last_heartbeat_ms
 //! ```
+//!
+//! The live ops endpoint binds `127.0.0.1:9464` by default; override with
+//! `CORAL_OPS_ADDR=host:port` or disable with `CORAL_OPS_ADDR=off`.
 
+use coral_pie::core::obs::{default_health_rules, CoreObs, NodeObs, ServerObs};
 use coral_pie::core::{CameraSpec, Deployment, NodeConfig, NodeDriver, ServerDriver, SystemConfig};
 use coral_pie::geo::{generators, route, IntersectionId};
 use coral_pie::net::{Endpoint, InProcRouter, InProcTransport, Transport};
+use coral_pie::obs::{OpsServer, OpsState};
 use coral_pie::sim::{SimDuration, SimTime, TrafficConfig, TrafficModel};
 use coral_pie::storage::{EdgeStorageNode, QueryOptions};
 use coral_pie::topology::CameraId;
@@ -49,6 +57,17 @@ fn main() {
     let router = InProcRouter::new();
     let storage = EdgeStorageNode::default();
     let stop = Arc::new(AtomicBool::new(false));
+    // Shared observability: metrics registry, flight recorder, and the
+    // health/SLO engine evaluated on demand by the ops endpoint.
+    let obs = CoreObs::new();
+    let config = deployment.config();
+    obs.install_health_rules(default_health_rules(
+        config.heartbeat_interval.as_millis(),
+        u64::from(config.miss_threshold),
+        coral_pie::core::obs::HANDOFF_DEADLINE_MS,
+        false,
+    ));
+    storage.instrument(obs.registry());
     // A shared wall clock in simulated milliseconds: the traffic thread
     // advances it; camera threads read it.
     let clock_ms = Arc::new(AtomicU64::new(0));
@@ -58,11 +77,38 @@ fn main() {
         7,
     )));
 
+    // --- Live ops endpoint (metrics, health, journal). --------------------
+    let ops_addr = std::env::var("CORAL_OPS_ADDR").unwrap_or_else(|_| "127.0.0.1:9464".into());
+    let ops_server = if ops_addr == "off" {
+        None
+    } else {
+        let ops_clock = clock_ms.clone();
+        match OpsServer::spawn(
+            ops_addr.as_str(),
+            OpsState {
+                registry: obs.registry().clone(),
+                journal: obs.journal().clone(),
+                health: obs.health(),
+                clock_ms: Arc::new(move || ops_clock.load(Ordering::Relaxed)),
+            },
+        ) {
+            Ok(server) => {
+                println!("ops endpoint: http://{}/healthz", server.local_addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("ops endpoint disabled ({ops_addr}: {e})");
+                None
+            }
+        }
+    };
+
     // --- Topology server thread (the cloud). -----------------------------
     let mut server_driver = ServerDriver::new(
         deployment.make_server(),
         InProcTransport::attach(&router, Endpoint::TopologyServer),
     );
+    server_driver.set_obs(ServerObs::new(&obs));
     let server_stop = stop.clone();
     let server = thread::spawn(move || {
         let mut now_ms = 0u64;
@@ -85,6 +131,8 @@ fn main() {
             deployment.make_node(cam, storage.clone()).expect("placed"),
             InProcTransport::attach(&router, Endpoint::Camera(cam)),
         );
+        driver.set_obs(NodeObs::new(&obs, cam));
+        let hb_interval_ms = deployment.config().heartbeat_interval.as_millis();
         let cam_stop = stop.clone();
         let cam_clock = clock_ms.clone();
         let cam_traffic = traffic.clone();
@@ -93,9 +141,16 @@ fn main() {
             driver
                 .send_heartbeat(SimTime::ZERO)
                 .expect("server reachable");
+            let mut last_hb_ms = 0u64;
             let mut sent = 0u64;
             while !cam_stop.load(Ordering::Relaxed) {
                 let now = SimTime::from_millis(cam_clock.load(Ordering::Relaxed));
+                // Periodic liveness beats keep the server's view (and the
+                // health engine's staleness rule) fed.
+                if now.as_millis().saturating_sub(last_hb_ms) >= hb_interval_ms {
+                    last_hb_ms = now.as_millis();
+                    driver.send_heartbeat(now).expect("server reachable");
+                }
                 // Inbound protocol traffic (confirmation relays are sent
                 // by the driver as it delivers).
                 driver.pump(now, |_| {}).expect("peers reachable");
@@ -132,6 +187,11 @@ fn main() {
         println!("{cam}: {events} detection events, {reids} re-identifications");
     }
     server.join().expect("server thread ok");
+    let report = obs.health_tick(clock_ms.load(Ordering::Relaxed));
+    println!("final health: {:?}", report.overall);
+    if let Some(ops) = ops_server {
+        ops.shutdown();
+    }
 
     // The trajectory graph assembled by the threads.
     let (vertices, edges, _, _) = storage.stats();

@@ -1,0 +1,126 @@
+//! `obs_explain` — why did vehicle V's track break at camera C?
+//!
+//! Replays a corridor scenario (optionally with a camera outage and/or
+//! link faults), evaluates it, and joins the miss attribution with the
+//! flight-recorder journal and the per-vehicle causal trace into one
+//! answer.
+//!
+//! ```text
+//! obs_explain --vehicle 2 --camera 2 --vehicles 6 --kill 2:40:70
+//! obs_explain --cameras 6 --vehicles 4 --seed 7 --drop 0.05 --vehicle 0 --camera 3 --journal
+//! ```
+
+use coral_eval::{evaluate, explain_track_break, Scenario};
+use coral_topology::CameraId;
+use coral_vision::GroundTruthId;
+
+struct Args {
+    cameras: usize,
+    vehicles: usize,
+    seed: u64,
+    drop: f64,
+    kill: Option<(u32, u64, u64)>,
+    vehicle: u64,
+    camera: u32,
+    journal: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: obs_explain --vehicle V --camera C [--cameras N] [--vehicles N] \
+         [--seed S] [--drop P] [--kill CAM:DOWN_S:UP_S] [--journal]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cameras: 5,
+        vehicles: 5,
+        seed: 42,
+        drop: 0.0,
+        kill: None,
+        vehicle: 0,
+        camera: 0,
+        journal: false,
+    };
+    let mut vehicle_set = false;
+    let mut camera_set = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--cameras" => args.cameras = value("--cameras").parse().unwrap_or_else(|_| usage()),
+            "--vehicles" => args.vehicles = value("--vehicles").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--drop" => args.drop = value("--drop").parse().unwrap_or_else(|_| usage()),
+            "--kill" => {
+                let v = value("--kill");
+                let parts: Vec<&str> = v.split(':').collect();
+                let [cam, down, up] = parts[..] else { usage() };
+                args.kill = Some((
+                    cam.parse().unwrap_or_else(|_| usage()),
+                    down.parse().unwrap_or_else(|_| usage()),
+                    up.parse().unwrap_or_else(|_| usage()),
+                ));
+            }
+            "--vehicle" => {
+                args.vehicle = value("--vehicle").parse().unwrap_or_else(|_| usage());
+                vehicle_set = true;
+            }
+            "--camera" => {
+                args.camera = value("--camera").parse().unwrap_or_else(|_| usage());
+                camera_set = true;
+            }
+            "--journal" => args.journal = true,
+            _ => usage(),
+        }
+    }
+    if !vehicle_set || !camera_set {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut scenario = Scenario::corridor(args.cameras, args.vehicles, args.seed);
+    if args.drop > 0.0 {
+        scenario = scenario.with_faults(args.drop, 0.0);
+    }
+    if let Some((cam, down, up)) = args.kill {
+        scenario = scenario.with_outage(CameraId(cam), down, up);
+    }
+    eprintln!(
+        "replaying {} ({} cameras, {} vehicles, seed {})...",
+        scenario.name, scenario.cameras, scenario.vehicles, scenario.config.seed
+    );
+    let sys = scenario.run();
+    let report = evaluate(&scenario.name, scenario.config.seed, &sys);
+    let obs = sys.observability();
+    let explanation = explain_track_break(
+        &report,
+        obs.journal(),
+        obs.tracer(),
+        GroundTruthId(args.vehicle),
+        CameraId(args.camera),
+    );
+    println!("{}", explanation.narrative);
+    if let Some(health) = obs.latest_health() {
+        println!("final health: {:?}", health.overall);
+    }
+    if args.journal {
+        println!(
+            "--- journal context ({} events) ---",
+            explanation.journal.len()
+        );
+        for e in &explanation.journal {
+            println!("{}", e.to_json_line(false));
+        }
+    }
+}
