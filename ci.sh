@@ -46,6 +46,11 @@ echo "==> cargo clippy -p coral-core -p coral-vision (perf lints)"
 cargo clippy -p coral-core -p coral-vision --all-targets -- \
     -D warnings -D clippy::needless_collect -D clippy::large_enum_variant
 
+# The scenario engine defines the hard-suite ground truth; keep it
+# strictly lint-clean.
+echo "==> cargo clippy -p coral-sim (deny warnings)"
+cargo clippy -p coral-sim --all-targets -- -D warnings
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -82,6 +87,19 @@ echo "==> eval smoke + golden drift gate"
 cargo test -q -p coral-eval
 echo "==> eval matrix: 3 scenarios x 2 seeds"
 cargo test -q -p coral-eval --test smoke -- --ignored
+
+# Hard-suite accuracy gate: the four city-scale adversarial regimes must
+# run, keep at least one headline score strictly inside the informative
+# (0.7, 0.995) band — below saturation, above collapse — and match their
+# checked-in goldens within +/-0.02 (counts exact). Release only: each
+# scenario simulates a 10x10 city for 8 minutes of traffic. Bless
+# intentional metric changes with CORAL_EVAL_BLESS=1.
+if [ "$quick" -eq 0 ]; then
+    echo "==> hard-suite accuracy gate (release)"
+    cargo test -q --release -p coral-eval --test hard_suite -- --ignored
+    echo "==> hard-regimes determinism matrix (release)"
+    cargo test -q --release --test hard_regimes -- --ignored
+fi
 
 # Parallel determinism matrix: every scenario x seed must fingerprint
 # byte-identically at parallelism 1, 2 and 8 (the smoke subset already ran

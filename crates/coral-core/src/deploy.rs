@@ -12,7 +12,7 @@ use crate::node::{CameraNode, NodeConfig};
 use crate::runtime::{sim_link, NodeDriver, SimRuntime, SimWorld};
 use coral_geo::{GeoPoint, IntersectionId, RoadNetwork};
 use coral_net::{Endpoint, FaultPlan, RetryPolicy, SimNet};
-use coral_sim::{CameraView, LinkProfile, SimDuration, TrafficConfig, TrafficModel};
+use coral_sim::{CameraView, LinkProfile, SceneEffects, SimDuration, TrafficConfig, TrafficModel};
 use coral_storage::EdgeStorageNode;
 use coral_topology::{CameraId, MdcsOptions, ServerConfig, TopologyServer};
 use rand::rngs::StdRng;
@@ -44,6 +44,10 @@ pub struct SystemConfig {
     pub image_width: u32,
     /// Camera image height, pixels.
     pub image_height: u32,
+    /// Adversarial scene effects (occlusion culling, clutter bursts)
+    /// applied by every camera, re-seeded per camera so phantom draws are
+    /// decorrelated. `None` keeps rendering clean.
+    pub scene_effects: Option<SceneEffects>,
     /// Replace MDCS routing with broadcast flooding (the §5.3 baseline).
     pub broadcast: bool,
     /// Seeded fault injection on every link (chaos testing). `None` keeps
@@ -90,6 +94,7 @@ impl Default for SystemConfig {
             view_range_m: 35.0,
             image_width: 200,
             image_height: 160,
+            scene_effects: None,
             broadcast: false,
             faults: None,
             reliability: None,
@@ -210,6 +215,10 @@ impl Deployment {
             range_m: self.config.view_range_m,
             image_width: self.config.image_width,
             image_height: self.config.image_height,
+            effects: self
+                .config
+                .scene_effects
+                .map(|e| e.seeded(e.seed ^ u64::from(id.0).wrapping_mul(0x9e37_79b9_7f4a_7c15))),
         };
         Some(CameraNode::new(
             id,

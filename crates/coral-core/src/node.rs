@@ -470,6 +470,7 @@ mod tests {
             range_m: 35.0,
             image_width: 200,
             image_height: 160,
+            effects: None,
         }
     }
 

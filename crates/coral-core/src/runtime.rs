@@ -569,8 +569,16 @@ impl SimWorld {
         // Spatial occupancy index for sparse stepping: one slot per driver
         // in `CameraId` order, matching the enumeration order of the
         // per-tick loop. Dead cameras keep their slot (their candidate
-        // lists simply go unread).
-        let mut occupancy = OccupancyIndex::new(coral_sim::occupancy::DEFAULT_SLACK_M);
+        // lists simply go unread). The anchor slack scales with the
+        // traffic speed envelope so fast workloads (IDM city profiles)
+        // amortise the cache instead of refreshing it every tick; the
+        // superset contract itself is speed-independent (see
+        // `coral_sim::occupancy`).
+        let slack_m = coral_sim::occupancy::slack_for(
+            traffic.config().max_speed_mps(),
+            config.frame_period.as_secs_f64(),
+        );
+        let mut occupancy = OccupancyIndex::new(slack_m);
         for driver in drivers.values() {
             let view = driver.node().view();
             occupancy.add_camera(view.position, view.range_m);
@@ -701,15 +709,16 @@ impl SimWorld {
         let now_ms = now.as_millis();
         let roster = self.config.broadcast.then(|| self.roster.clone());
 
-        // Sparse stepping: snapshot the vehicle states once (ascending
-        // `VehicleId`, into a reused arena) and refresh the spatial
-        // occupancy index. Each camera's candidate list is a superset of
-        // the vehicles its scene projection could accept, so filtering the
-        // snapshot through it is order- and content-identical to scanning
-        // the whole traffic model.
+        // Snapshot the vehicle states once (ascending `VehicleId`, into a
+        // reused arena): the ground-truth FOV sets are computed from this
+        // snapshot regardless of stepping mode. Under sparse stepping the
+        // spatial occupancy index is refreshed from it too; each camera's
+        // candidate list is a superset of the vehicles its scene
+        // projection could accept, so filtering the snapshot through it is
+        // order- and content-identical to scanning the whole traffic model.
         let sparse = self.config.sparse_stepping;
+        self.traffic.states_into(&mut self.vehicle_states);
         if sparse {
-            self.traffic.states_into(&mut self.vehicle_states);
             self.occupancy.assign(&self.vehicle_states);
         }
 
@@ -745,7 +754,13 @@ impl SimWorld {
                 }
                 if sparse {
                     let candidates = occupancy.candidates(slot);
-                    if candidates.is_empty() && driver.node().live_track_count() == 0 {
+                    // A clutter burst renders phantoms even with no
+                    // vehicle nearby, so those cameras must take the full
+                    // path for the burst window.
+                    if candidates.is_empty()
+                        && driver.node().live_track_count() == 0
+                        && !driver.node().view().clutter_active(now_ms)
+                    {
                         idle.push(TickAnalysis {
                             id,
                             analysis: driver.node_mut().advance_idle_frame(),
@@ -764,12 +779,32 @@ impl SimWorld {
                     Some(c) => driver
                         .node()
                         .view()
-                        .scene_from_states(c.iter().map(|&i| &states[i as usize])),
-                    None => driver.node().view().scene(traffic),
+                        .scene_from_states_at(c.iter().map(|&i| &states[i as usize]), now_ms),
+                    None => driver.node().view().scene_at(traffic, now_ms),
                 };
                 let start = Instant::now();
                 let analysis = driver.node_mut().analyze_frame(&scene);
-                let in_fov: HashSet<GroundTruthId> = scene.actors.iter().map(|a| a.gt).collect();
+                // The ground-truth FOV set is geometric — the canonical
+                // `in_fov` predicate over real vehicle states — never the
+                // rendered actor list. Clutter phantoms feed the vision
+                // pipeline but are not ground truth, and an occlusion-
+                // culled vehicle *stays* in ground truth (real MOT
+                // semantics): the pipeline's failure to see it scores as a
+                // miss, not as a hole in the ground-truth record.
+                let view = driver.node().view();
+                let in_fov: HashSet<GroundTruthId> = match candidates {
+                    Some(c) => c
+                        .iter()
+                        .map(|&i| &states[i as usize])
+                        .filter(|s| view.in_fov(s.position))
+                        .map(|s| GroundTruthId(s.id.0))
+                        .collect(),
+                    None => states
+                        .iter()
+                        .filter(|s| view.in_fov(s.position))
+                        .map(|s| GroundTruthId(s.id.0))
+                        .collect(),
+                };
                 TickAnalysis {
                     id,
                     analysis,
@@ -841,8 +876,13 @@ impl SimWorld {
             }
 
             // Raw detection evidence for the evaluation layer's per-stage
-            // error attribution (detect-miss vs. track-loss).
+            // error attribution (detect-miss vs. track-loss). Phantom
+            // detections are excluded: they are noise the tracker must
+            // survive, not evidence about any real vehicle.
             for &gt in analysis.detected() {
+                if gt.is_clutter() {
+                    continue;
+                }
                 self.emit(|s| s.on_detection(id, gt, now));
             }
 

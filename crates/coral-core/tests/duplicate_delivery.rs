@@ -27,6 +27,7 @@ fn view() -> CameraView {
         range_m: 35.0,
         image_width: 200,
         image_height: 160,
+        effects: None,
     }
 }
 

@@ -1,0 +1,129 @@
+//! Score a hard-suite scenario and print its MOT breakdown — the tuning
+//! tool behind every regime's difficulty calibration.
+//!
+//! ```sh
+//! cargo run --release -p coral-eval --example hard_debug <scenario> [variants]
+//! ```
+//!
+//! `<scenario>` is a spec name (`platoon_surge_10x10`, `lookalike_10x10`,
+//! `incident_reroute_10x10`, `clutter_storm_10x10`, `hard_smoke_3x3`).
+//! `[variants]` is a comma-separated list of overrides applied before the
+//! run, for ablating one knob at a time:
+//!
+//! - `clean` (no scene effects), `no_clutter`, `no_occl`, `occl:<frac>`,
+//!   `clut:<period>:<frac>:<boxes>` — scene-effect knobs
+//! - `first_order`, `one_lane` — traffic-model ablations
+//! - `half_rate`, `rate:<mult>`, `no_lights`, `lights:<secs>` — density
+//! - `no_classes`, `classes:<n>` — lookalike pressure
+//! - `perfect` (noise-free detector), `broadcast` (flood instead of
+//!   MDCS), `samecam` (allow same-camera re-id), `transit:<ms>`,
+//!   `bhatt:<f>` — pipeline knobs
+//!
+//! Prints the `TrackScore` counts, MOTA/IDF1, vehicles spawned,
+//! incident-driven re-routes, and the per-stage miss attribution.
+use coral_eval::Scenario;
+use coral_sim::{CarFollowModel, ScenarioSpec};
+use coral_vision::DetectorNoise;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "hard_smoke_3x3".into());
+    let variants = std::env::args().nth(2).unwrap_or_default();
+    let mut spec = ScenarioSpec::by_name(&name).expect("known scenario");
+    let mut perfect = false;
+    let mut transit_ms: Option<u64> = None;
+    let mut bhatt: Option<f64> = None;
+    let mut broadcast = false;
+    let mut samecam = false;
+    for variant in variants.split(',') {
+        match variant {
+            "clean" => spec.effects = None,
+            "first_order" => {
+                spec.traffic.model = CarFollowModel::FirstOrder;
+                spec.traffic.lanes_per_edge = 1;
+                spec.traffic.mobil = None;
+            }
+            "one_lane" => {
+                spec.traffic.lanes_per_edge = 1;
+                spec.traffic.mobil = None;
+            }
+            "half_rate" => {
+                spec.rate_per_s /= 2.0;
+                if let Some(s) = &mut spec.surge {
+                    s.peak_rate_per_s /= 2.0;
+                }
+            }
+            "no_lights" => spec.light_period_s = 0,
+            "no_clutter" => {
+                if let Some(e) = &mut spec.effects {
+                    e.clutter = None;
+                }
+            }
+            "no_occl" => {
+                if let Some(e) = &mut spec.effects {
+                    e.min_visible_frac = 0.0;
+                }
+            }
+            "no_classes" => spec.traffic.appearance_classes = 0,
+            "perfect" => perfect = true,
+            "broadcast" => broadcast = true,
+            "samecam" => samecam = true,
+            v => {
+                if let Some(f) = v.strip_prefix("rate:").and_then(|f| f.parse::<f64>().ok()) {
+                    spec.rate_per_s *= f;
+                    if let Some(s) = &mut spec.surge {
+                        s.peak_rate_per_s *= f;
+                    }
+                } else if let Some(n) = v.strip_prefix("classes:").and_then(|n| n.parse().ok()) {
+                    spec.traffic.appearance_classes = n;
+                } else if let Some(f) = v.strip_prefix("occl:").and_then(|f| f.parse().ok()) {
+                    if let Some(e) = &mut spec.effects {
+                        e.min_visible_frac = f;
+                    }
+                } else if let Some(rest) = v.strip_prefix("clut:") {
+                    let p: Vec<f64> = rest.split(':').filter_map(|x| x.parse().ok()).collect();
+                    if let (Some(e), [period, frac, boxes]) = (&mut spec.effects, p.as_slice()) {
+                        e.clutter = Some(coral_sim::ClutterBurst {
+                            period_s: *period,
+                            burst_fraction: *frac,
+                            boxes: *boxes as u32,
+                        });
+                    }
+                } else if let Some(p) = v.strip_prefix("lights:").and_then(|p| p.parse().ok()) {
+                    spec.light_period_s = p;
+                } else if let Some(s) = v.strip_prefix("transit:").and_then(|s| s.parse().ok()) {
+                    transit_ms = Some(s);
+                } else if let Some(b) = v.strip_prefix("bhatt:").and_then(|b| b.parse().ok()) {
+                    bhatt = Some(b);
+                }
+            }
+        }
+    }
+    let mut scenario = Scenario::hard(spec, 42);
+    if perfect {
+        scenario.config.node.detector_noise = DetectorNoise::perfect();
+    }
+    if let Some(ms) = transit_ms {
+        scenario.config.node.reid.max_transit_ms = Some(ms);
+    }
+    if let Some(b) = bhatt {
+        scenario.config.node.reid.bhatt_threshold = b;
+    }
+    if broadcast {
+        scenario.config.broadcast = true;
+    }
+    if samecam {
+        scenario.config.node.reid.allow_same_camera = true;
+    }
+    let sys = scenario.run();
+    let r = coral_eval::evaluate(&scenario.name, scenario.config.seed, &sys);
+    println!(
+        "{name}/{variants}: spawned {} reroutes {}",
+        sys.traffic().spawned_total(),
+        sys.traffic().reroutes()
+    );
+    println!("{:?}", r.score);
+    println!("mota {:.4} idf1 {:.4}", r.mota(), r.idf1());
+    println!("attribution: {:?}", r.attribution);
+}

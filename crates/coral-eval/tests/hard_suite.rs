@@ -1,0 +1,72 @@
+//! Hard-suite accuracy gates: city-scale adversarial scenarios that pull
+//! tracking scores off the saturated ≈1.0 ceiling the corridor suite sits
+//! at, so accuracy regressions (and improvements) become visible.
+//!
+//! The miniature `hard_smoke_3x3` runs in tier-1; the four full 10×10
+//! scenarios are `#[ignore]`d and run under `--release` by `ci.sh`.
+//! Golden files live next to the corridor ones and are (re)blessed with
+//! `CORAL_EVAL_BLESS=1`.
+
+use coral_eval::{check_golden, replay_and_evaluate, GoldenTolerance, Scenario};
+use coral_sim::ScenarioSpec;
+
+/// At least one headline score must sit inside the informative band:
+/// clearly below saturation, clearly above collapse.
+fn assert_unsaturated(name: &str, mota: f64, idf1: f64) {
+    let informative = |s: f64| (0.7..0.995).contains(&s);
+    assert!(
+        informative(mota) || informative(idf1),
+        "{name}: scores saturated or collapsed (mota {mota:.4}, idf1 {idf1:.4}); \
+         the hard suite must keep at least one headline score in (0.7, 0.995)"
+    );
+}
+
+fn run_and_gate(spec: ScenarioSpec, seed: u64) {
+    let scenario = Scenario::hard(spec, seed);
+    let report = replay_and_evaluate(&scenario);
+    assert!(
+        report.score.gt_intervals > 0,
+        "{}: no ground-truth visits recorded",
+        scenario.name
+    );
+    assert_unsaturated(&scenario.name, report.mota(), report.idf1());
+    if let Err(errors) = check_golden(&report, GoldenTolerance::default()) {
+        panic!(
+            "{}: golden drift gate failed:\n  {}",
+            scenario.name,
+            errors.join("\n  ")
+        );
+    }
+}
+
+/// Tier-1 smoke: the miniature mixed regime (surge + an incident +
+/// occlusion + clutter on a 3×3 grid) must run, score inside the
+/// informative band, and match its golden file.
+#[test]
+fn hard_smoke_runs_unsaturated_and_matches_golden() {
+    run_and_gate(ScenarioSpec::smoke(), 42);
+}
+
+#[test]
+#[ignore = "city scale; ci.sh runs the hard suite under --release"]
+fn hard_platoon_surge_matches_golden() {
+    run_and_gate(ScenarioSpec::platoon_surge(), 42);
+}
+
+#[test]
+#[ignore = "city scale; ci.sh runs the hard suite under --release"]
+fn hard_lookalike_matches_golden() {
+    run_and_gate(ScenarioSpec::lookalike_city(), 42);
+}
+
+#[test]
+#[ignore = "city scale; ci.sh runs the hard suite under --release"]
+fn hard_incident_reroute_matches_golden() {
+    run_and_gate(ScenarioSpec::incident_reroute(), 42);
+}
+
+#[test]
+#[ignore = "city scale; ci.sh runs the hard suite under --release"]
+fn hard_clutter_storm_matches_golden() {
+    run_and_gate(ScenarioSpec::clutter_storm(), 42);
+}

@@ -8,7 +8,7 @@ use crate::road::{IntersectionId, LaneId, RoadNetwork, RoadNetworkError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// A route: an ordered sequence of connected lanes.
 ///
@@ -170,6 +170,24 @@ pub fn shortest_path(
     from: IntersectionId,
     to: IntersectionId,
 ) -> Result<Route, RouteError> {
+    shortest_path_avoiding(net, from, to, &BTreeSet::new())
+}
+
+/// [`shortest_path`] restricted to the open network: lanes in `avoid` are
+/// treated as closed (incident re-routing — the traffic model recomputes
+/// routes around closures through this).
+///
+/// # Errors
+///
+/// Returns [`RouteError::NoPath`] if `to` is unreachable from `from`
+/// without using a closed lane, or [`RouteError::Network`] for unknown
+/// intersections.
+pub fn shortest_path_avoiding(
+    net: &RoadNetwork,
+    from: IntersectionId,
+    to: IntersectionId,
+    avoid: &BTreeSet<LaneId>,
+) -> Result<Route, RouteError> {
     net.intersection(from).map_err(RouteError::Network)?;
     net.intersection(to).map_err(RouteError::Network)?;
     if from == to {
@@ -191,6 +209,9 @@ pub fn shortest_path(
             break;
         }
         for &lid in net.out_lanes(u) {
+            if avoid.contains(&lid) {
+                continue;
+            }
             let lane = net.lane(lid).expect("adjacency consistent");
             let nd = d + lane.travel_time_s();
             if nd < dist[lane.to.0 as usize] {

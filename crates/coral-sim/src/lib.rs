@@ -26,6 +26,7 @@ pub mod lights;
 pub mod netmodel;
 pub mod observe;
 pub mod occupancy;
+pub mod scenario;
 pub mod time;
 pub mod traffic;
 
@@ -34,9 +35,11 @@ pub use failure::{FailureEvent, FailureKind, FailureSchedule};
 pub use gt::{FovInterval, GroundTruthLog};
 pub use lights::{LightPhase, TrafficLight};
 pub use netmodel::{LatencyModel, LinkProfile};
-pub use observe::CameraView;
-pub use occupancy::OccupancyIndex;
+pub use observe::{CameraView, ClutterBurst, SceneEffects};
+pub use occupancy::{slack_for, OccupancyIndex, DEFAULT_SLACK_M, MIN_REUSE_TICKS};
+pub use scenario::{IncidentSpec, Regime, ScenarioSpec};
 pub use time::{SimDuration, SimTime};
 pub use traffic::{
-    PoissonArrivals, TrafficConfig, TrafficEvent, TrafficModel, VehicleId, VehicleState,
+    CarFollowModel, IdmParams, KraussParams, MobilParams, PoissonArrivals, SurgeProfile,
+    TrafficConfig, TrafficEvent, TrafficModel, VehicleId, VehicleState,
 };

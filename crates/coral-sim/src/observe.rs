@@ -13,6 +13,62 @@ use coral_geo::GeoPoint;
 use coral_vision::{BoundingBox, GroundTruthId, ObjectClass, Scene, SceneActor, VehicleAppearance};
 use serde::{Deserialize, Serialize};
 
+/// Deterministic clutter bursts: time-windowed phantom boxes injected
+/// into the scene (glare, debris, shadows) that the detector cannot
+/// distinguish from vehicles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClutterBurst {
+    /// Full cycle length, seconds.
+    pub period_s: f64,
+    /// Fraction of each cycle (from its start) during which phantoms are
+    /// rendered, in (0, 1].
+    pub burst_fraction: f64,
+    /// Phantom boxes rendered per frame during a burst.
+    pub boxes: u32,
+}
+
+/// Deterministic scene-level disturbances applied while rasterising a
+/// camera's view: geometric occlusion and clutter bursts.
+///
+/// Effects are position- and time-keyed only — no RNG is consumed — so
+/// sparse and dense stepping render byte-identical scenes. Effects cull
+/// the *rendered* scene only: ground truth keeps the geometric
+/// [`CameraView::in_fov`] set, exactly as real MOT benchmarks annotate
+/// occluded objects. An occlusion window therefore shows up as missed
+/// detections the tracker must ride through — stress the evaluation
+/// charges to the pipeline — never as a hole in the ground-truth record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SceneEffects {
+    /// Minimum visible fraction: an actor whose bounding box is covered
+    /// beyond `1 - min_visible_frac` by any single nearer actor is
+    /// dropped from the scene. 0 disables geometric occlusion.
+    pub min_visible_frac: f64,
+    /// Clutter bursts (`None` disables).
+    pub clutter: Option<ClutterBurst>,
+    /// Per-camera effect seed (keys phantom placement).
+    pub seed: u64,
+}
+
+impl SceneEffects {
+    /// Returns a copy with the per-camera seed set.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Unit-interval value derived from a hash (uniform enough for layout).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// A camera's view geometry.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CameraView {
@@ -26,6 +82,10 @@ pub struct CameraView {
     pub image_width: u32,
     /// Image height in pixels.
     pub image_height: u32,
+    /// Scene-level disturbances (occlusion, clutter); `None` renders
+    /// clean scenes exactly as the pre-effects simulator did.
+    #[serde(default)]
+    pub effects: Option<SceneEffects>,
 }
 
 impl CameraView {
@@ -37,7 +97,21 @@ impl CameraView {
             range_m: 35.0,
             image_width: 240,
             image_height: 192,
+            effects: None,
         }
+    }
+
+    /// Whether a clutter burst is active at `now_ms`. Cameras inside a
+    /// burst window must render even when no vehicle is near (the sparse
+    /// stepper checks this before early-outing a camera).
+    pub fn clutter_active(&self, now_ms: u64) -> bool {
+        let Some(fx) = &self.effects else {
+            return false;
+        };
+        let Some(c) = &fx.clutter else { return false };
+        let period_ms = (c.period_s * 1000.0).max(1.0) as u64;
+        let burst_ms = (c.burst_fraction.clamp(0.0, 1.0) * c.period_s * 1000.0) as u64;
+        (now_ms % period_ms) < burst_ms
     }
 
     /// Whether a world point is within observation range.
@@ -56,9 +130,11 @@ impl CameraView {
     /// it projects into the image (within range *and* the projected
     /// centroid lands inside the image bounds).
     ///
-    /// [`CameraView::scene`] includes exactly the vehicles for which this
-    /// holds, so rendered presence and ground-truth presence can never
-    /// diverge.
+    /// Absent scene effects, [`CameraView::scene`] includes exactly the
+    /// vehicles for which this holds, so rendered presence and
+    /// ground-truth presence coincide. With [`SceneEffects`] enabled the
+    /// rendered scene may cull occluded vehicles (and inject clutter
+    /// phantoms), but ground truth always records against this predicate.
     pub fn in_fov(&self, p: GeoPoint) -> bool {
         self.project(p)
             .is_some_and(|(cx, cy)| self.centroid_in_image(cx, cy))
@@ -91,16 +167,32 @@ impl CameraView {
         Some((x, y))
     }
 
-    /// Builds the scene this camera sees in the current traffic state.
+    /// Builds the scene this camera sees in the current traffic state,
+    /// with time-dependent effects evaluated at `t = 0`.
     ///
     /// Actors are ordered near-to-far before drawing so that nearer
     /// vehicles (drawn later) occlude farther ones.
     pub fn scene(&self, traffic: &TrafficModel) -> Scene {
-        self.scene_from_states(&traffic.states())
+        self.scene_at(traffic, 0)
+    }
+
+    /// Builds the scene this camera sees at simulation time `now_ms`
+    /// (clutter bursts are time-windowed; pass the tick time).
+    pub fn scene_at(&self, traffic: &TrafficModel, now_ms: u64) -> Scene {
+        self.scene_from_states_at(&traffic.states(), now_ms)
     }
 
     /// Builds the scene from a pre-gathered candidate list of vehicle
-    /// states.
+    /// states, with time-dependent effects evaluated at `t = 0`.
+    pub fn scene_from_states<'a>(
+        &self,
+        states: impl IntoIterator<Item = &'a VehicleState>,
+    ) -> Scene {
+        self.scene_from_states_at(states, 0)
+    }
+
+    /// Builds the scene from a pre-gathered candidate list of vehicle
+    /// states at simulation time `now_ms`.
     ///
     /// The list may be any superset of the vehicles actually in FOV (the
     /// occupancy index hands each camera only the vehicles near it; extra
@@ -109,9 +201,10 @@ impl CameraView {
     /// [`TrafficModel::states`] produces: the far-to-near sort below is
     /// stable, so input order is what breaks exact distance ties, and
     /// sparse and dense stepping must break them identically.
-    pub fn scene_from_states<'a>(
+    pub fn scene_from_states_at<'a>(
         &self,
         states: impl IntoIterator<Item = &'a VehicleState>,
+        now_ms: u64,
     ) -> Scene {
         let mut visible: Vec<(f64, SceneActor)> = Vec::new();
         for s in states {
@@ -136,18 +229,97 @@ impl CameraView {
                     gt: GroundTruthId(s.id.0),
                     class: s.class,
                     bbox,
-                    appearance: VehicleAppearance::from_seed(s.id.0),
+                    appearance: VehicleAppearance::from_seed(s.appearance_seed),
                 },
             ));
         }
+        if let Some(fx) = &self.effects {
+            self.push_clutter(fx, now_ms, &mut visible);
+        }
         // Far first, near last (draw order = occlusion order).
         visible.sort_by(|a, b| b.0.total_cmp(&a.0));
+        if let Some(fx) = &self.effects {
+            apply_occlusion(fx, &mut visible);
+        }
         Scene {
             width: self.image_width,
             height: self.image_height,
             actors: visible.into_iter().map(|(_, a)| a).collect(),
         }
     }
+
+    /// Injects phantom clutter actors for the burst window containing
+    /// `now_ms`, if any. Placement is hash-keyed by (camera seed, window
+    /// index, box index) — stable within a window so trackers latch onto
+    /// phantoms, fresh across windows, and RNG-free.
+    fn push_clutter(&self, fx: &SceneEffects, now_ms: u64, visible: &mut Vec<(f64, SceneActor)>) {
+        let Some(c) = &fx.clutter else { return };
+        if !self.clutter_active(now_ms) {
+            return;
+        }
+        let period_ms = (c.period_s * 1000.0).max(1.0) as u64;
+        let window = now_ms / period_ms;
+        for k in 0..c.boxes {
+            let h = splitmix64(
+                fx.seed ^ window.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(k) << 17,
+            );
+            let cx = 10.0 + unit(h) * (f64::from(self.image_width) - 20.0);
+            let cy = 10.0 + unit(splitmix64(h ^ 1)) * (f64::from(self.image_height) - 20.0);
+            // Pseudo-distance drives draw order and size like a mid-range
+            // car would.
+            let d = (0.3 + 0.6 * unit(splitmix64(h ^ 2))) * self.range_m;
+            let (base_w, base_h) = class_base_size(ObjectClass::Car);
+            let scale = 1.2 - 0.5 * (d / self.range_m);
+            let Ok(bbox) = BoundingBox::from_center(cx, cy, base_w * scale, base_h * scale) else {
+                continue;
+            };
+            visible.push((
+                d,
+                SceneActor {
+                    gt: GroundTruthId(GroundTruthId::CLUTTER_BASE | (h >> 16)),
+                    class: ObjectClass::Car,
+                    bbox,
+                    appearance: VehicleAppearance::from_seed(h),
+                },
+            ));
+        }
+    }
+}
+
+/// Drops actors occluded beyond the configured threshold: an actor is
+/// removed when any single strictly-nearer actor covers more than
+/// `1 - min_visible_frac` of its box. `visible` must already be sorted
+/// far-to-near (draw order).
+fn apply_occlusion(fx: &SceneEffects, visible: &mut Vec<(f64, SceneActor)>) {
+    if fx.min_visible_frac <= 0.0 || visible.len() < 2 {
+        return;
+    }
+    let max_cover = 1.0 - fx.min_visible_frac;
+    let keep: Vec<bool> = visible
+        .iter()
+        .enumerate()
+        .map(|(i, (di, actor))| {
+            let own = actor.bbox.area();
+            if own <= 0.0 {
+                return true;
+            }
+            // Later entries are nearer (sorted far-to-near); require
+            // strict distance dominance so exact ties never occlude.
+            visible.iter().skip(i + 1).all(|(dj, nearer)| {
+                if *dj >= *di {
+                    return true;
+                }
+                let cover = nearer
+                    .bbox
+                    .intersection(&actor.bbox)
+                    .map_or(0.0, |b| b.area())
+                    / own;
+                cover <= max_cover
+            })
+        })
+        .collect();
+    let mut it = keep.iter();
+    visible.retain(|_| *it.next().expect("keep mask matches length"));
 }
 
 fn class_base_size(class: ObjectClass) -> (f64, f64) {
@@ -369,5 +541,109 @@ mod tests {
         let truck = class_base_size(ObjectClass::Truck);
         let bus = class_base_size(ObjectClass::Bus);
         assert!(car.0 < truck.0 && truck.0 < bus.0);
+    }
+
+    // --- PR 8: scene effects (occlusion + clutter) ---
+
+    #[test]
+    fn clutter_burst_injects_phantoms_only_in_window() {
+        let (_, mut view) = setup();
+        view.effects = Some(SceneEffects {
+            min_visible_frac: 0.0,
+            clutter: Some(ClutterBurst {
+                period_s: 10.0,
+                burst_fraction: 0.3,
+                boxes: 4,
+            }),
+            seed: 99,
+        });
+        let states: Vec<VehicleState> = Vec::new();
+        // t = 1 s: inside the burst window.
+        assert!(view.clutter_active(1_000));
+        let scene = view.scene_from_states_at(&states, 1_000);
+        assert_eq!(scene.actors.len(), 4);
+        assert!(scene.actors.iter().all(|a| a.gt.is_clutter()));
+        // Stable within a window: same frame content 500 ms later.
+        let again = view.scene_from_states_at(&states, 1_500);
+        assert_eq!(scene.actors, again.actors);
+        // t = 5 s: outside the window — no phantoms.
+        assert!(!view.clutter_active(5_000));
+        assert!(view.scene_from_states_at(&states, 5_000).actors.is_empty());
+        // Next window re-keys placement.
+        let next = view.scene_from_states_at(&states, 11_000);
+        assert_eq!(next.actors.len(), 4);
+        assert_ne!(scene.actors, next.actors);
+    }
+
+    #[test]
+    fn effects_disabled_renders_identically() {
+        let (mut tm, view) = setup();
+        let net = tm.network().clone();
+        let r = route::shortest_path(&net, IntersectionId(0), IntersectionId(2)).unwrap();
+        tm.spawn(SimTime::ZERO, r, None);
+        tm.step(SimTime::ZERO, SimDuration::from_secs(8));
+        let clean = view.scene(&tm);
+        let timed = view.scene_at(&tm, 123_456);
+        assert_eq!(clean.actors, timed.actors, "no effects => time-invariant");
+    }
+
+    #[test]
+    fn occlusion_drops_covered_actor() {
+        let (_, mut view) = setup();
+        // A dedicated model with a tight headway: the follower trails by
+        // ~3 m, which projects to boxes covering well past the threshold.
+        let net = generators::corridor(3, 100.0, 10.0);
+        let mut tm = TrafficModel::new(
+            net.clone(),
+            TrafficConfig {
+                mean_speed_mps: 10.0,
+                speed_jitter_mps: 0.0,
+                min_headway_m: 2.5,
+                ..TrafficConfig::default()
+            },
+            1,
+        );
+        let r1 = route::shortest_path(&net, IntersectionId(0), IntersectionId(2)).unwrap();
+        let r2 = route::shortest_path(&net, IntersectionId(0), IntersectionId(2)).unwrap();
+        let a = tm.spawn(SimTime::ZERO, r1, Some(ObjectClass::Car));
+        let b = tm.spawn(SimTime::from_millis(300), r2, Some(ObjectClass::Car));
+        let mut now = SimTime::ZERO;
+        let mut occluded_frames = 0usize;
+        let mut both_frames = 0usize;
+        view.effects = Some(SceneEffects {
+            min_visible_frac: 0.65,
+            clutter: None,
+            seed: 0,
+        });
+        let clean = CameraView {
+            effects: None,
+            ..view
+        };
+        for _ in 0..240 {
+            tm.step(now, SimDuration::from_millis(100));
+            now += SimDuration::from_millis(100);
+            let without = clean.scene(&tm);
+            let with = view.scene(&tm);
+            assert!(with.actors.len() <= without.actors.len());
+            if without.actors.len() == 2 {
+                both_frames += 1;
+                if with.actors.len() == 1 {
+                    occluded_frames += 1;
+                    // The survivor is the nearer of the two.
+                    let dist = |gt: GroundTruthId| {
+                        let id = crate::traffic::VehicleId(gt.0);
+                        view.position.planar_m(tm.state_of(id).unwrap().position)
+                    };
+                    let kept = with.actors[0].gt;
+                    let other = if kept == GroundTruthId(a.0) { b } else { a };
+                    assert!(dist(kept) <= dist(GroundTruthId(other.0)) + 1e-9);
+                }
+            }
+        }
+        assert!(both_frames > 0, "vehicles never co-visible");
+        assert!(
+            occluded_frames > 0,
+            "close-following vehicles never occluded each other"
+        );
     }
 }

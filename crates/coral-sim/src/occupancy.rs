@@ -27,7 +27,40 @@ use std::collections::HashMap;
 /// Default anchor slack in meters: how far a vehicle may drift before its
 /// nearby-camera list is recomputed. Larger values refresh less often but
 /// widen every camera's accept radius (more false-positive candidates).
+///
+/// # Slack vs. the traffic speed envelope
+///
+/// The superset contract does **not** depend on vehicle speed: the drift
+/// test in [`OccupancyIndex::assign`] compares the *current* position
+/// against the anchor on every call, so even a vehicle that jumps many
+/// slack-lengths in one tick is refreshed the instant it is next
+/// assigned — there is no stale window to outrun. What speed does affect
+/// is amortisation: a vehicle moving at `v` m/s invalidates its anchor
+/// every `slack / (v · tick)` ticks, and at `v · tick ≥ slack` the cache
+/// degenerates to a refresh per tick. Deployments should therefore derive
+/// the slack from the workload's speed envelope via [`slack_for`] rather
+/// than hard-coding this default when traffic is faster than the ~11 m/s
+/// city profile it was tuned for.
 pub const DEFAULT_SLACK_M: f64 = 10.0;
+
+/// Minimum number of ticks a cached camera list should survive for a
+/// vehicle moving at the configured maximum speed (the amortisation
+/// target [`slack_for`] enforces).
+pub const MIN_REUSE_TICKS: f64 = 8.0;
+
+/// Derives an anchor slack from the traffic speed envelope: large enough
+/// that a vehicle at `max_speed_mps` keeps its cached camera list for at
+/// least [`MIN_REUSE_TICKS`] frames of `frame_period_s`, and never below
+/// [`DEFAULT_SLACK_M`].
+///
+/// Use [`TrafficConfig::max_speed_mps`] as the speed envelope — every
+/// stepping model (first-order, IDM, Krauss) caps instantaneous speed at
+/// the jittered cruise draw that bound covers.
+///
+/// [`TrafficConfig::max_speed_mps`]: crate::traffic::TrafficConfig::max_speed_mps
+pub fn slack_for(max_speed_mps: f64, frame_period_s: f64) -> f64 {
+    DEFAULT_SLACK_M.max(max_speed_mps.max(0.0) * frame_period_s.max(0.0) * MIN_REUSE_TICKS)
+}
 
 /// Safety margin absorbing the pair-dependent mean-latitude scaling of the
 /// equirectangular `planar_m` (it is not an exact metric; at campus scale
@@ -316,6 +349,7 @@ mod tests {
             position: cams[5],
             bearing_deg: 0.0,
             speed_mps: 0.0,
+            appearance_seed: 1,
         };
         let _ = &tm;
         for _ in 0..10 {
@@ -324,5 +358,53 @@ mod tests {
         assert_eq!(index.refreshes(), 1);
         assert_eq!(index.reuses(), 9);
         assert_eq!(index.candidates(5), &[0]);
+    }
+
+    /// A vehicle faster than the slack-per-tick budget must still satisfy
+    /// the superset contract on every tick: the drift test runs against
+    /// the current position, so speed can thrash the cache but never
+    /// stale it.
+    #[test]
+    fn fast_vehicle_never_escapes_the_candidate_superset() {
+        let (mut tm, cams) = grid_world();
+        let range = 35.0;
+        // Deliberately undersized slack: at 30 m/s and 500 ms ticks the
+        // vehicle moves 15 m per tick, past the 10 m anchor slack.
+        let mut index = OccupancyIndex::new(DEFAULT_SLACK_M);
+        for &p in &cams {
+            index.add_camera(p, range);
+        }
+        let net = tm.network().clone();
+        let fast = TrafficConfig {
+            mean_speed_mps: 30.0,
+            speed_jitter_mps: 0.0,
+            ..TrafficConfig::default()
+        };
+        let mut tm_fast = TrafficModel::new(net.clone(), fast, 11);
+        let r = route::shortest_path(&net, IntersectionId(0), IntersectionId(15)).unwrap();
+        tm_fast.spawn(SimTime::ZERO, r, None);
+        let _ = &mut tm;
+        let mut states = Vec::new();
+        let mut now = SimTime::ZERO;
+        while tm_fast.active_count() > 0 {
+            tm_fast.step(now, SimDuration::from_millis(500));
+            now += SimDuration::from_millis(500);
+            tm_fast.states_into(&mut states);
+            index.assign(&states);
+            for (slot, &cam) in cams.iter().enumerate() {
+                for (idx, s) in states.iter().enumerate() {
+                    if cam.planar_m(s.position) <= range {
+                        assert!(
+                            index.candidates(slot).contains(&(idx as u32)),
+                            "fast vehicle escaped candidates of camera {slot}"
+                        );
+                    }
+                }
+            }
+        }
+        // The speed-derived slack keeps the cache amortised where the
+        // default would thrash: 30 m/s * 0.5 s * 8 ticks = 120 m.
+        assert!(slack_for(30.0, 0.5) >= 120.0);
+        assert!(slack_for(1.0, 0.1) == DEFAULT_SLACK_M);
     }
 }

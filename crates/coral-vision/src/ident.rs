@@ -83,6 +83,35 @@ pub struct IdentConfig {
     /// Minimum IoU between a track box and a scene actor for ground-truth
     /// attribution (evaluation only).
     pub gt_iou_threshold: f64,
+    /// Minimum net image-plane displacement, in pixels, between a track's
+    /// first centroid and its farthest observed centroid for the track to
+    /// emit a [`VehicleObservation`] when it completes. Stationary tracks
+    /// — glare, debris, clutter phantoms that latch the tracker without
+    /// ever moving — are discarded at finalisation instead of becoming
+    /// passage events. Vehicles traverse the field of view, so any
+    /// threshold well below the FOV diameter leaves them untouched.
+    /// `0.0` (the default) disables the filter and reproduces the
+    /// historical event stream bit-for-bit.
+    pub min_net_displacement_px: f64,
+    /// Number of trailing centroids used to estimate the bearing a track
+    /// *exits* with. The MDCS inform is routed by this bearing, and for a
+    /// vehicle that turns inside the field of view the whole-track
+    /// estimate points diagonally — between the admitted road headings —
+    /// so the nearest-heading fallback informs the wrong neighbour about
+    /// half the time. A trailing window sees only the post-turn motion.
+    /// `0` (the default) keeps the whole-track estimate and reproduces
+    /// the historical event stream bit-for-bit.
+    pub exit_bearing_window: usize,
+    /// Maximum fraction of a track's bounding box that may be covered by
+    /// another concurrent track for the frame to contribute to the
+    /// appearance signature. Crossing and queued vehicles draw each
+    /// other's pixels inside the box, and a signature averaged over those
+    /// frames matches the *neighbour* downstream; sampling only clean
+    /// frames keeps it discriminative. If a track never has a clean frame
+    /// its all-frames signature is used as a fallback, so no observation
+    /// is lost. `1.0` (the default) accumulates every frame and
+    /// reproduces the historical event stream bit-for-bit.
+    pub signature_max_overlap: f64,
 }
 
 impl Default for IdentConfig {
@@ -93,6 +122,9 @@ impl Default for IdentConfig {
             renderer: Renderer::default(),
             videoing_angle_deg: 0.0,
             gt_iou_threshold: 0.3,
+            min_net_displacement_px: 0.0,
+            exit_bearing_window: 0,
+            signature_max_overlap: 1.0,
         }
     }
 }
@@ -100,7 +132,12 @@ impl Default for IdentConfig {
 #[derive(Debug, Clone)]
 struct Tracklet {
     centroids: Vec<Point2>,
+    /// All-frames signature (the legacy accumulator, and the fallback
+    /// when overlap gating leaves no clean frame).
     signature: SignatureAccumulator,
+    /// Clean-frames-only signature (populated when
+    /// [`IdentConfig::signature_max_overlap`] gating is enabled).
+    clean_signature: SignatureAccumulator,
     first_frame: FrameId,
     last_frame: FrameId,
     last_bbox: BoundingBox,
@@ -194,10 +231,25 @@ impl<D: Detector> VehicleIdentification<D> {
         detected_gt.sort_unstable();
         detected_gt.dedup();
 
-        for st in &out.active {
+        let overlap_gating = self.config.signature_max_overlap < 1.0;
+        for (i, st) in out.active.iter().enumerate() {
+            // Overlap gating: is this box covered by another concurrent
+            // track beyond the clean-frame threshold? Crossing vehicles
+            // draw their pixels inside each other's boxes, poisoning the
+            // appearance signature.
+            let contaminated = overlap_gating && {
+                let own = st.bbox.area();
+                own > 0.0
+                    && out.active.iter().enumerate().any(|(j, other)| {
+                        j != i
+                            && st.bbox.intersection(&other.bbox).map_or(0.0, |b| b.area()) / own
+                                > self.config.signature_max_overlap
+                    })
+            };
             let entry = self.tracklets.entry(st.id).or_insert_with(|| Tracklet {
                 centroids: Vec::new(),
                 signature: SignatureAccumulator::new(),
+                clean_signature: SignatureAccumulator::new(),
                 first_frame: frame_id,
                 last_frame: frame_id,
                 last_bbox: st.bbox,
@@ -214,6 +266,12 @@ impl<D: Detector> VehicleIdentification<D> {
                 self.scratch.bins(),
                 self.config.histogram.bins_per_channel.max(1),
             );
+            if overlap_gating && !contaminated {
+                entry.clean_signature.add_bins(
+                    self.scratch.bins(),
+                    self.config.histogram.bins_per_channel.max(1),
+                );
+            }
             entry.last_frame = frame_id;
             entry.last_bbox = st.bbox;
             // Ground-truth attribution by IoU (evaluation only).
@@ -255,7 +313,32 @@ impl<D: Detector> VehicleIdentification<D> {
 
     fn finalize(&mut self, id: TrackId, hits: u32) -> Option<VehicleObservation> {
         let t = self.tracklets.remove(&id)?;
-        let bearing = direction::estimate_bearing_deg(&t.centroids, self.config.videoing_angle_deg);
+        // Stationary-track rejection: a track that never strayed from its
+        // first centroid is scene furniture (clutter phantom, glare), not
+        // a vehicle passage. Max deviation from the first point is robust
+        // to detector box jitter, unlike accumulated path length.
+        if self.config.min_net_displacement_px > 0.0 {
+            let moved = t.centroids.first().map_or(0.0, |p0| {
+                t.centroids
+                    .iter()
+                    .map(|p| ((p.x - p0.x).powi(2) + (p.y - p0.y).powi(2)).sqrt())
+                    .fold(0.0, f64::max)
+            });
+            if moved < self.config.min_net_displacement_px {
+                return None;
+            }
+        }
+        // Route informs by the bearing the vehicle *leaves* with: a
+        // trailing window (when configured) sees only the post-turn
+        // motion, where the whole tracklet of a turning vehicle would
+        // average out to a diagonal between the admitted road headings.
+        let w = self.config.exit_bearing_window;
+        let exit_track = if w > 1 && t.centroids.len() > w {
+            &t.centroids[t.centroids.len() - w..]
+        } else {
+            &t.centroids[..]
+        };
+        let bearing = direction::estimate_bearing_deg(exit_track, self.config.videoing_angle_deg);
         let ground_truth = t
             .gt_votes
             .iter()
@@ -268,7 +351,10 @@ impl<D: Detector> VehicleIdentification<D> {
             frames_observed: hits,
             bearing_deg: bearing,
             heading: bearing.map(Heading::from_bearing_deg),
-            signature: t.signature.signature()?,
+            signature: t
+                .clean_signature
+                .signature()
+                .or_else(|| t.signature.signature())?,
             last_bbox: t.last_bbox,
             ground_truth,
         })
@@ -433,6 +519,200 @@ mod tests {
         assert_eq!(obs.len(), 1);
         assert_eq!(obs[0].ground_truth, Some(GroundTruthId(3)));
         assert_eq!(id.live_track_count(), 0);
+    }
+
+    fn ident_with(config: IdentConfig) -> VehicleIdentification<SyntheticSsdDetector> {
+        VehicleIdentification::new(
+            SyntheticSsdDetector::new(DetectorNoise::perfect(), 11),
+            full_coi(),
+            config,
+            1,
+        )
+    }
+
+    /// Regression: a track that never moves (clutter phantom, glare) must
+    /// be rejected at finalisation when the stationary filter is enabled —
+    /// and must keep emitting (historical behaviour) when it is not.
+    #[test]
+    fn stationary_filter_rejects_phantoms_keeps_vehicles() {
+        let parked = |gt: u64| SceneActor {
+            gt: GroundTruthId(gt),
+            class: ObjectClass::Car,
+            bbox: BoundingBox::from_center(100.0, 75.0, 36.0, 22.0).unwrap(),
+            appearance: VehicleAppearance::from_seed(gt),
+        };
+        let run_parked = |id: &mut VehicleIdentification<SyntheticSsdDetector>| {
+            let mut done = Vec::new();
+            for t in 0..15u32 {
+                let scene = Scene {
+                    width: W,
+                    height: H,
+                    actors: vec![parked(7)],
+                };
+                done.extend(id.process_scene(FrameId(u64::from(t)), &scene).completed);
+            }
+            for t in 15..21u32 {
+                done.extend(
+                    id.process_scene(FrameId(u64::from(t)), &Scene::empty(W, H))
+                        .completed,
+                );
+            }
+            done
+        };
+
+        // Default (filter off): the stationary track still becomes an event.
+        let mut legacy = ident(DetectorNoise::perfect());
+        assert_eq!(run_parked(&mut legacy).len(), 1);
+
+        // Filter on: the phantom is dropped...
+        let filtering = IdentConfig {
+            min_net_displacement_px: 12.0,
+            ..IdentConfig::default()
+        };
+        let mut id = ident_with(filtering.clone());
+        assert!(
+            run_parked(&mut id).is_empty(),
+            "stationary track must not emit"
+        );
+
+        // ...while a genuinely moving vehicle still emits exactly one event.
+        let mut id = ident_with(filtering);
+        assert_eq!(drive(&mut id, 4, 15).len(), 1);
+    }
+
+    /// Regression: a vehicle that turns inside the FOV (east, then south)
+    /// must be routed by its *exit* bearing when the trailing window is
+    /// configured. The whole-track estimate averages the two legs into a
+    /// diagonal, which is what misroutes MDCS informs on city grids.
+    #[test]
+    fn exit_bearing_window_reports_post_turn_heading() {
+        let turning_car = |t: u32| {
+            // 15 frames east (4 px/frame), then 15 frames south.
+            let (x, y) = if t < 15 {
+                (20.0 + 4.0 * f64::from(t), 75.0)
+            } else {
+                (76.0, 75.0 + 4.0 * f64::from(t - 14))
+            };
+            SceneActor {
+                gt: GroundTruthId(9),
+                class: ObjectClass::Car,
+                bbox: BoundingBox::from_center(x, y, 36.0, 22.0).unwrap(),
+                appearance: VehicleAppearance::from_seed(9),
+            }
+        };
+        let run_turn = |id: &mut VehicleIdentification<SyntheticSsdDetector>| {
+            let mut done = Vec::new();
+            for t in 0..30u32 {
+                let scene = Scene {
+                    width: W,
+                    height: H,
+                    actors: vec![turning_car(t)],
+                };
+                done.extend(id.process_scene(FrameId(u64::from(t)), &scene).completed);
+            }
+            for t in 30..36u32 {
+                done.extend(
+                    id.process_scene(FrameId(u64::from(t)), &Scene::empty(W, H))
+                        .completed,
+                );
+            }
+            done
+        };
+
+        let mut legacy = ident(DetectorNoise::perfect());
+        let whole = run_turn(&mut legacy).remove(0);
+        assert_eq!(
+            whole.heading,
+            Some(Heading::SouthEast),
+            "whole-track estimate averages the turn into a diagonal"
+        );
+
+        let mut windowed = ident_with(IdentConfig {
+            exit_bearing_window: 12,
+            ..IdentConfig::default()
+        });
+        let exit = run_turn(&mut windowed).remove(0);
+        assert_eq!(
+            exit.heading,
+            Some(Heading::South),
+            "trailing window must see only the post-turn leg"
+        );
+    }
+
+    /// Regression: frames where another track covers the box beyond the
+    /// overlap threshold must not contribute to the appearance signature —
+    /// and a track with *no* clean frame falls back to the all-frames
+    /// signature instead of losing its observation.
+    #[test]
+    fn signature_overlap_gating_keeps_signature_clean() {
+        // Baseline: the red car (gt 4) crossing alone.
+        let mut solo = ident(DetectorNoise::perfect());
+        let baseline = drive(&mut solo, 4, 12).remove(0);
+
+        // The same crossing with a blue occluder riding on top of the red
+        // car's box for the middle frames (3..9); frames 0-2 and 9-11 are
+        // clean. The occluder covers 12/22 ≈ 55% of the red box — above
+        // the 0.25 threshold.
+        let occluder = |t: u32| SceneActor {
+            gt: GroundTruthId(5),
+            class: ObjectClass::Car,
+            bbox: BoundingBox::from_center(20.0 + 6.0 * f64::from(t), 85.0, 36.0, 22.0).unwrap(),
+            appearance: VehicleAppearance::from_seed(5),
+        };
+        let run_occluded = |id: &mut VehicleIdentification<SyntheticSsdDetector>| {
+            let mut done = Vec::new();
+            for t in 0..12u32 {
+                let mut actors = vec![moving_car(4, t)];
+                if (3..9).contains(&t) {
+                    actors.push(occluder(t));
+                }
+                let scene = Scene {
+                    width: W,
+                    height: H,
+                    actors,
+                };
+                done.extend(id.process_scene(FrameId(u64::from(t)), &scene).completed);
+            }
+            for t in 12..20u32 {
+                done.extend(
+                    id.process_scene(FrameId(u64::from(t)), &Scene::empty(W, H))
+                        .completed,
+                );
+            }
+            done
+        };
+
+        let find = |obs: &[VehicleObservation], gt: u64| {
+            obs.iter()
+                .find(|o| o.ground_truth == Some(GroundTruthId(gt)))
+                .cloned()
+                .expect("observation present")
+        };
+
+        let mut legacy = ident(DetectorNoise::perfect());
+        let ungated = run_occluded(&mut legacy);
+        let mut gating = ident_with(IdentConfig {
+            signature_max_overlap: 0.25,
+            ..IdentConfig::default()
+        });
+        let gated = run_occluded(&mut gating);
+
+        let d_gated = find(&gated, 4)
+            .signature
+            .bhattacharyya_distance(&baseline.signature);
+        let d_ungated = find(&ungated, 4)
+            .signature
+            .bhattacharyya_distance(&baseline.signature);
+        assert!(
+            d_gated < d_ungated,
+            "clean-frame signature must be closer to the solo baseline \
+             (gated {d_gated:.4} vs ungated {d_ungated:.4})"
+        );
+
+        // The occluder never has a clean frame (it always rides on the red
+        // car), so gating must fall back to its all-frames signature
+        // rather than dropping the observation.
+        find(&gated, 5);
     }
 
     #[test]

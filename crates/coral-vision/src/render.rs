@@ -20,6 +20,20 @@ use serde::{Deserialize, Serialize};
 )]
 pub struct GroundTruthId(pub u64);
 
+impl GroundTruthId {
+    /// Base of the clutter-id namespace: ids at or above this are
+    /// phantom scene actors injected by the simulator's clutter regime.
+    /// They flow through detection and tracking like any other actor but
+    /// are *not* ground-truth vehicles — the evaluation harness never
+    /// credits them, so clutter tracks score as false positives.
+    pub const CLUTTER_BASE: u64 = 1 << 48;
+
+    /// Whether this id names a clutter phantom rather than a vehicle.
+    pub fn is_clutter(self) -> bool {
+        self.0 >= Self::CLUTTER_BASE
+    }
+}
+
 impl std::fmt::Display for GroundTruthId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "gt{}", self.0)

@@ -7,14 +7,15 @@
 //! with live tracks but an empty candidate list still run the full path on
 //! an empty scene so tracker aging and detector clutter draws advance
 //! exactly as in a dense run (DESIGN.md §7). The default tests pin a fast
-//! smoke subset; `ci.sh` runs the full 8-scenario × 3-seed matrix via
+//! smoke subset; `ci.sh` runs the full 9-scenario × 3-seed matrix via
 //! `--ignored`.
 
 use coral_pie::core::{CameraSpec, CoralPieSystem, NodeConfig, SystemConfig};
 use coral_pie::geo::{generators, route, IntersectionId};
 use coral_pie::net::{FaultPlan, FaultPolicy, RetryPolicy};
 use coral_pie::sim::{
-    FailureEvent, FailureKind, FailureSchedule, PoissonArrivals, SimDuration, SimTime, TrafficLight,
+    CarFollowModel, FailureEvent, FailureKind, FailureSchedule, PoissonArrivals, SimDuration,
+    SimTime, TrafficConfig, TrafficLight,
 };
 use coral_pie::topology::CameraId;
 use coral_pie::vision::{DetectorNoise, ObjectClass};
@@ -263,10 +264,38 @@ fn grid_run(seed: u64, sparse: bool) -> String {
     fingerprint(&sys)
 }
 
+/// 9. Fast traffic: IDM vehicles cruising near 30 m/s — several times the
+///    ~11 m/s city profile the default anchor slack was tuned for. The
+///    speed-derived slack (`slack_for`) must keep the candidate superset
+///    exact (the drift test is speed-independent), so sparse and dense
+///    fingerprints still agree byte-for-byte.
+fn fast_vehicle_run(seed: u64, sparse: bool) -> String {
+    let net = generators::corridor(4, 120.0, 30.0);
+    let cfg = SystemConfig {
+        traffic: TrafficConfig {
+            mean_speed_mps: 27.0,
+            speed_jitter_mps: 3.0,
+            model: CarFollowModel::Idm(Default::default()),
+            ..TrafficConfig::default()
+        },
+        ..config(seed, sparse)
+    };
+    let mut sys = CoralPieSystem::new(net, &corridor_specs(4), cfg);
+    sys.set_arrivals(PoissonArrivals::new(
+        0.3,
+        vec![IntersectionId(0), IntersectionId(3)],
+        3,
+        seed ^ 0xfeed,
+    ));
+    sys.run_until(SimTime::from_secs(45));
+    sys.finish();
+    fingerprint(&sys)
+}
+
 /// A scenario maps (seed, sparse) to the run's fingerprint.
 type Scenario = fn(u64, bool) -> String;
 
-const SCENARIOS: [(&str, Scenario); 8] = [
+const SCENARIOS: [(&str, Scenario); 9] = [
     ("open_corridor", open_corridor),
     ("open_corridor_broadcast", open_corridor_broadcast),
     ("single_vehicle", single_vehicle),
@@ -275,6 +304,7 @@ const SCENARIOS: [(&str, Scenario); 8] = [
     ("platoon_run", platoon_run),
     ("chaos_run", chaos_run),
     ("grid_run", grid_run),
+    ("fast_vehicle_run", fast_vehicle_run),
 ];
 
 fn assert_matrix(scenarios: &[(&str, Scenario)], seeds: &[u64]) {
@@ -304,7 +334,17 @@ fn sparse_matches_dense_smoke() {
     );
 }
 
-/// The full acceptance matrix: 8 scenarios × 3 seeds, sparse vs dense.
+/// Fast-traffic regression for the speed-derived anchor slack: one seed
+/// in tier-1 so a slack derivation bug cannot land silently.
+#[test]
+fn sparse_matches_dense_fast_vehicles() {
+    assert_matrix(
+        &[("fast_vehicle_run", fast_vehicle_run as Scenario)],
+        &[SEEDS[0]],
+    );
+}
+
+/// The full acceptance matrix: 9 scenarios × 3 seeds, sparse vs dense.
 /// Slow; run by `ci.sh` via `cargo test --test sparse_equivalence --
 /// --ignored`.
 #[test]
