@@ -51,6 +51,11 @@ cargo clippy -p coral-core -p coral-vision --all-targets -- \
 echo "==> cargo clippy -p coral-sim (deny warnings)"
 cargo clippy -p coral-sim --all-targets -- -D warnings
 
+# The storage crate is the concurrent query-serving plane (sharded locks,
+# compaction, snapshots); keep it strictly lint-clean on its own.
+echo "==> cargo clippy -p coral-storage (deny warnings)"
+cargo clippy -p coral-storage --all-targets -- -D warnings
+
 echo "==> cargo doc --no-deps (deny warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -101,6 +106,19 @@ if [ "$quick" -eq 0 ]; then
     cargo test -q --release --test hard_regimes -- --ignored
 fi
 
+# Storage plane gates: shard-vs-flat equivalence and compaction
+# invariance (property tests), snapshot round-trips with typed corruption
+# errors, and the writer/reader stress race (deadlock watchdog, torn-read
+# checks, sequential-equivalence fingerprint). All three also run inside
+# `cargo test -q`; the explicit invocations keep the gate legible and
+# fail fast with a named stage.
+echo "==> storage equivalence proptests"
+cargo test -q -p coral-storage --test proptest_shard_equivalence
+echo "==> storage snapshot round-trip + corruption typing"
+cargo test -q -p coral-storage --test snapshot_roundtrip
+echo "==> storage concurrency stress"
+cargo test -q --test storage_concurrency
+
 # Parallel determinism matrix: every scenario x seed must fingerprint
 # byte-identically at parallelism 1, 2 and 8 (the smoke subset already ran
 # in `cargo test -q`; `--ignored` runs the full 8x3x2 matrix). The release
@@ -130,6 +148,15 @@ if [ "$quick" -eq 0 ]; then
     echo "==> exp_speedup 1000-camera smoke"
     CORAL_SPEEDUP_ONLY=1000 CORAL_SPEEDUP_SECS=16 \
         cargo run --release -p coral-bench --bin exp_speedup
+fi
+
+# Storage query-plane smoke: readers race live 100-camera ingest on an
+# 8-shard store; asserts a conservative qps floor. Full runs write
+# BENCH_storage.json (see EXPERIMENTS.md). Skipped in --quick (needs the
+# release build).
+if [ "$quick" -eq 0 ]; then
+    echo "==> exp_storage concurrent-query smoke"
+    CORAL_STORAGE_SMOKE=1 cargo run --release -p coral-bench --bin exp_storage
 fi
 
 # Criterion smoke: compile and run every bench once in test mode so the

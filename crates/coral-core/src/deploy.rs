@@ -13,7 +13,7 @@ use crate::runtime::{sim_link, NodeDriver, SimRuntime, SimWorld};
 use coral_geo::{GeoPoint, IntersectionId, RoadNetwork};
 use coral_net::{Endpoint, FaultPlan, RetryPolicy, SimNet};
 use coral_sim::{CameraView, LinkProfile, SceneEffects, SimDuration, TrafficConfig, TrafficModel};
-use coral_storage::EdgeStorageNode;
+use coral_storage::{EdgeStorageNode, StorageConfig};
 use coral_topology::{CameraId, MdcsOptions, ServerConfig, TopologyServer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,6 +69,14 @@ pub struct SystemConfig {
     /// pure observer — it consumes no randomness and schedules no events
     /// — so toggling it cannot change simulation outcomes.
     pub health_checks: bool,
+    /// Trajectory-store sharding and compaction knobs. The default single
+    /// shard with checked ingest-time dedup is byte-identical to the flat
+    /// graph; raising `shard_count` re-partitions the store by space-time
+    /// key without changing any query answer (vertex ids are allocated
+    /// globally, so ids and the merged view are shard-count-invariant).
+    /// Compaction runs incrementally once per sim-second; on dup-free
+    /// streams (checked ingest) it is a structural no-op.
+    pub storage: StorageConfig,
     /// Event-driven stepping: consult the spatial occupancy index each
     /// tick and take a cheap early-out for cameras with no nearby vehicle
     /// and no live tracks. The early-out advances the frame counter
@@ -100,6 +108,7 @@ impl Default for SystemConfig {
             reliability: None,
             parallelism: 1,
             health_checks: true,
+            storage: StorageConfig::default(),
             sparse_stepping: true,
             seed: 42,
         }
@@ -242,7 +251,7 @@ impl Deployment {
     /// discrete-event runtime.
     pub fn build(self) -> SimRuntime {
         let server = self.make_server();
-        let storage = EdgeStorageNode::default();
+        let storage = EdgeStorageNode::with_config(512, self.config.storage.clone());
         let traffic = self.make_traffic();
         let links = self.config.links;
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ NET_SEED_MIX);

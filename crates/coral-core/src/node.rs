@@ -529,9 +529,9 @@ mod tests {
         assert_eq!(e.camera, CameraId(0));
         assert!(e.vertex.is_some(), "vertex id added back to the event");
         assert_eq!(e.ground_truth, Some(GroundTruthId(4)));
-        let (v, edges, _, _) = storage.stats();
-        assert_eq!(v, 1);
-        assert_eq!(edges, 0);
+        let s = storage.stats();
+        assert_eq!(s.vertices, 1);
+        assert_eq!(s.edges, 0);
         // No MDCS configured: nothing informed.
         assert!(out.messages.is_empty());
         assert_eq!(node.events_generated(), 1);
@@ -568,8 +568,8 @@ mod tests {
         assert_eq!(confirm.0, CameraId(0));
 
         // A trajectory edge now links the two events.
-        let (v, e, _, _) = storage.stats();
-        assert_eq!((v, e), (2, 1));
+        let s = storage.stats();
+        assert_eq!((s.vertices, s.edges), (2, 1));
         let up_vertex = up_event.vertex.unwrap();
         storage.with_graph(|g| {
             assert_eq!(g.out_edges(up_vertex).len(), 1);
@@ -588,8 +588,7 @@ mod tests {
         downstream.on_message(Message::Inform(up_out.events[0].clone()), 2_000);
         let down_out = drive(&mut downstream, 4, 15, 9_000); // red car
         assert!(down_out.reids.is_empty(), "colors differ: no match");
-        let (_, e, _, _) = storage.stats();
-        assert_eq!(e, 0);
+        assert_eq!(storage.stats().edges, 0);
     }
 
     #[test]

@@ -112,6 +112,35 @@ impl CoralPieSystem {
         self.runtime.world().storage()
     }
 
+    /// Snapshots the trajectory store into directory `dir` (per-shard
+    /// files + checksummed manifest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`coral_storage::SnapshotError::Io`] on filesystem
+    /// failures.
+    pub fn snapshot_storage(
+        &self,
+        dir: &std::path::Path,
+    ) -> Result<(), coral_storage::SnapshotError> {
+        self.storage().snapshot_to(dir)
+    }
+
+    /// Restores the trajectory store from the snapshot at `dir`, in
+    /// place: every camera node's storage handle sees the recovered
+    /// graph — the storage half of the node-restore path.
+    ///
+    /// # Errors
+    ///
+    /// Any [`coral_storage::SnapshotError`]; the store is untouched on
+    /// failure.
+    pub fn restore_storage(
+        &self,
+        dir: &std::path::Path,
+    ) -> Result<(), coral_storage::SnapshotError> {
+        self.storage().restore_from_snapshot(dir)
+    }
+
     /// The topology server.
     pub fn server(&self) -> &TopologyServer {
         self.runtime.world().server()

@@ -160,6 +160,5 @@ fn replayed_recovery_edge_does_not_double_count() {
         .insert_edge(from, to, 0.999)
         .expect("replay accepted");
     assert_eq!(fingerprint(&storage), before);
-    let (_, edges, _, _) = storage.stats();
-    assert_eq!(edges, 1);
+    assert_eq!(storage.stats().edges, 1);
 }

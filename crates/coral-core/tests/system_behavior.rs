@@ -73,9 +73,9 @@ fn end_to_end_track_single_vehicle() {
     );
     assert!(report.reid.tp >= 2);
     // The trajectory graph holds a 3-vertex chain.
-    let (v, e, _, _) = sys.storage().stats();
-    assert_eq!(v, 3);
-    assert!(e >= 2);
+    let s = sys.storage().stats();
+    assert_eq!(s.vertices, 3);
+    assert!(s.edges >= 2);
     // Protocol effectiveness (the Fig. 10a property): for every
     // camera-to-camera transition, the *earliest* inform for the vehicle
     // reaches the downstream camera before the vehicle does.

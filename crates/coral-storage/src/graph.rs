@@ -276,6 +276,36 @@ impl TrajectoryGraph {
         self.out_edges.iter().flatten()
     }
 
+    /// Vertices detected by `camera` whose in-view interval overlaps
+    /// `[start_ms, end_ms]`, ascending by id. The flat reference
+    /// implementation of the sharded store's camera query — a full scan,
+    /// kept for the shard-vs-flat equivalence proptests.
+    pub fn vehicles_through_camera(
+        &self,
+        camera: CameraId,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Vec<VertexId> {
+        self.vertices
+            .iter()
+            .filter(|v| {
+                v.camera == camera && v.first_seen_ms <= end_ms && v.last_seen_ms >= start_ms
+            })
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// Vertices (any camera) whose in-view interval overlaps
+    /// `[start_ms, end_ms]`, ascending by id — the flat reference for the
+    /// sharded store's space-time-window scan.
+    pub fn scan_window(&self, start_ms: u64, end_ms: u64) -> Vec<VertexId> {
+        self.vertices
+            .iter()
+            .filter(|v| v.first_seen_ms <= end_ms && v.last_seen_ms >= start_ms)
+            .map(|v| v.id)
+            .collect()
+    }
+
     /// The `k` stored detections whose signatures are nearest to `query`
     /// (Bhattacharyya distance), below `max_distance`, best first — the
     /// query-by-appearance entry point for an investigator holding a photo

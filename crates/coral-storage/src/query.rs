@@ -7,10 +7,52 @@
 //! positives, which can be further pruned by a human user or more advanced
 //! analytics" (paper §4.2.1).
 
-use crate::graph::{GraphError, TrajectoryGraph};
+use crate::graph::{GraphError, TrajectoryEdge, TrajectoryGraph};
 use coral_net::VertexId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+
+/// Traversal direction through the trajectory graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow outgoing edges (later detections).
+    Forward,
+    /// Follow incoming edges (earlier detections).
+    Backward,
+}
+
+/// An edge supplier the trajectory traversal can walk.
+///
+/// Implemented by the flat [`TrajectoryGraph`] and by the sharded store's
+/// read transaction, so one traversal serves both — which is what makes the
+/// shard-vs-flat equivalence property testable at all. Methods take `&mut
+/// self` so a sharded source can memoise vertex→shard placements as the
+/// walk proceeds.
+pub trait EdgeSource {
+    /// Whether `v` exists.
+    fn contains(&mut self, v: VertexId) -> bool;
+
+    /// Appends the edges of `v` in `dir` to `out` (assumed empty), in
+    /// first-inserted order, with at most one edge per neighbour
+    /// (keep-first). The flat graph already guarantees both by
+    /// construction; the sharded source filters physically-duplicated
+    /// replays so queries are invariant under pending compaction.
+    fn neighbors(&mut self, v: VertexId, dir: Direction, out: &mut Vec<TrajectoryEdge>);
+}
+
+impl EdgeSource for &TrajectoryGraph {
+    fn contains(&mut self, v: VertexId) -> bool {
+        self.vertex(v).is_ok()
+    }
+
+    fn neighbors(&mut self, v: VertexId, dir: Direction, out: &mut Vec<TrajectoryEdge>) {
+        let edges = match dir {
+            Direction::Forward => self.out_edges(v),
+            Direction::Backward => self.in_edges(v),
+        };
+        out.extend_from_slice(edges);
+    }
+}
 
 /// Options bounding a trajectory traversal.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -101,9 +143,27 @@ pub fn trajectory(
     seed: VertexId,
     opts: QueryOptions,
 ) -> Result<TrajectoryQueryResult, GraphError> {
-    graph.vertex(seed)?;
-    let forward = explore(graph, seed, opts, Direction::Forward);
-    let backward = explore(graph, seed, opts, Direction::Backward);
+    let mut source = graph;
+    trajectory_over(&mut source, seed, opts)
+}
+
+/// Queries the trajectory of the vehicle seen at `seed` over any
+/// [`EdgeSource`] — the generic entry point shared by the flat graph and
+/// the sharded store's read transaction.
+///
+/// # Errors
+///
+/// Returns [`GraphError::UnknownVertex`] for an invalid seed.
+pub fn trajectory_over<S: EdgeSource>(
+    source: &mut S,
+    seed: VertexId,
+    opts: QueryOptions,
+) -> Result<TrajectoryQueryResult, GraphError> {
+    if !source.contains(seed) {
+        return Err(GraphError::UnknownVertex(seed));
+    }
+    let forward = explore(source, seed, opts, Direction::Forward);
+    let backward = explore(source, seed, opts, Direction::Backward);
     Ok(TrajectoryQueryResult {
         seed,
         forward,
@@ -111,15 +171,9 @@ pub fn trajectory(
     })
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum Direction {
-    Forward,
-    Backward,
-}
-
 /// Depth-first enumeration of simple paths, best-first by total weight.
-fn explore(
-    graph: &TrajectoryGraph,
+fn explore<S: EdgeSource>(
+    source: &mut S,
     seed: VertexId,
     opts: QueryOptions,
     dir: Direction,
@@ -127,7 +181,15 @@ fn explore(
     let mut paths = Vec::new();
     let mut stack = vec![seed];
     let mut visited: BTreeSet<VertexId> = BTreeSet::from([seed]);
-    dfs(graph, &opts, dir, &mut stack, &mut visited, 0.0, &mut paths);
+    dfs(
+        source,
+        &opts,
+        dir,
+        &mut stack,
+        &mut visited,
+        0.0,
+        &mut paths,
+    );
     // Best-first: lowest total weight, then longest.
     paths.sort_by(|a, b| {
         a.total_weight
@@ -138,8 +200,8 @@ fn explore(
     paths
 }
 
-fn dfs(
-    graph: &TrajectoryGraph,
+fn dfs<S: EdgeSource>(
+    source: &mut S,
     opts: &QueryOptions,
     dir: Direction,
     stack: &mut Vec<VertexId>,
@@ -148,29 +210,27 @@ fn dfs(
     paths: &mut Vec<TrajectoryPath>,
 ) {
     let here = *stack.last().expect("non-empty stack");
-    let edges = match dir {
-        Direction::Forward => graph.out_edges(here),
-        Direction::Backward => graph.in_edges(here),
-    };
-    let mut extended = false;
+    let mut edges = Vec::new();
     if stack.len() <= opts.max_hops {
-        for e in edges {
-            if e.weight > opts.max_edge_weight {
-                continue;
-            }
-            let next = match dir {
-                Direction::Forward => e.to,
-                Direction::Backward => e.from,
-            };
-            if !visited.insert(next) {
-                continue; // simple paths only
-            }
-            stack.push(next);
-            dfs(graph, opts, dir, stack, visited, weight + e.weight, paths);
-            stack.pop();
-            visited.remove(&next);
-            extended = true;
+        source.neighbors(here, dir, &mut edges);
+    }
+    let mut extended = false;
+    for e in &edges {
+        if e.weight > opts.max_edge_weight {
+            continue;
         }
+        let next = match dir {
+            Direction::Forward => e.to,
+            Direction::Backward => e.from,
+        };
+        if !visited.insert(next) {
+            continue; // simple paths only
+        }
+        stack.push(next);
+        dfs(source, opts, dir, stack, visited, weight + e.weight, paths);
+        stack.pop();
+        visited.remove(&next);
+        extended = true;
     }
     if !extended && stack.len() > 1 {
         paths.push(TrajectoryPath {

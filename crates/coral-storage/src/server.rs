@@ -1,58 +1,120 @@
-//! The edge storage node: a thread-safe façade over the trajectory graph
-//! and frame store.
+//! The edge storage node: a thread-safe façade over the sharded
+//! trajectory store and frame store.
 //!
 //! "A given Edge node may serve as the persistent store for a small set of
 //! cameras in the same geographical neighborhood" (paper §4.2). Camera
 //! nodes hold a `StorageClient` handle (defined in `coral-core`); the
-//! multi-threaded examples share
-//! one [`EdgeStorageNode`] across camera threads, while the discrete-event
-//! experiments call it directly with simulated latency.
+//! multi-threaded examples share one [`EdgeStorageNode`] across camera
+//! threads, while the discrete-event experiments call it directly with
+//! simulated latency. Since the sharding work, the node serves the
+//! concurrent query plane too: trajectory-of-vehicle,
+//! vehicles-through-camera and space-time-window scans all run under
+//! shard read locks, so readers never block each other and ingest on one
+//! shard never stalls reads on another.
 
 use crate::frames::{FrameStore, StoredFrame};
 use crate::graph::{GraphError, TrajectoryGraph};
-use crate::query::{trajectory, QueryOptions, TrajectoryQueryResult};
+use crate::query::{QueryOptions, TrajectoryQueryResult};
+use crate::shard::{CompactionReport, ShardedTrajectoryGraph, StorageConfig};
+use crate::snapshot::SnapshotError;
 use coral_geo::Heading;
 use coral_net::{EventId, VertexId};
-use coral_obs::{Histogram, Registry};
+use coral_obs::{Counter, Histogram, Registry};
 use coral_topology::CameraId;
 use coral_vision::{ColorHistogram, GroundTruthId};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Per-operation latency histograms for an instrumented storage node.
+/// The lazily-rebuilt merged flat view, keyed by the mutation stamp it
+/// was built at.
+type FlatCache = Arc<Mutex<Option<(u64, Arc<TrajectoryGraph>)>>>;
+
+/// Per-operation latency histograms and compaction counters for an
+/// instrumented storage node.
 #[derive(Debug, Clone)]
 struct StorageMetrics {
     insert_event: Histogram,
     insert_edge: Histogram,
     ingest_frame: Histogram,
     query_trajectory: Histogram,
+    query_camera: Histogram,
+    query_window: Histogram,
+    compaction_merged: Counter,
+    compaction_folded: Counter,
+}
+
+/// Named storage counters — what [`EdgeStorageNode::stats`] reports.
+/// (Previously a bare 4-tuple; the struct gained the shard and compaction
+/// fields when the store was sharded.)
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Vertices in the trajectory graph.
+    pub vertices: usize,
+    /// Physical edges across all shards.
+    pub edges: usize,
+    /// Frames ever ingested into the frame store.
+    pub frames_ingested: u64,
+    /// Raw bytes retained in the frame store.
+    pub frame_bytes: u64,
+    /// Number of key-range shards.
+    pub shards: usize,
+    /// Handoff edges whose endpoints live on different shards.
+    pub cross_shard_edges: usize,
+    /// Exact edge replays merged by compaction since creation.
+    pub compaction_merged_edges: u64,
+    /// Kept edges whose weight compaction folded down (opt-in).
+    pub compaction_folded_edges: u64,
 }
 
 /// A shared edge storage node.
 #[derive(Debug, Clone)]
 pub struct EdgeStorageNode {
-    graph: Arc<RwLock<TrajectoryGraph>>,
+    graph: Arc<ShardedTrajectoryGraph>,
     frames: Arc<RwLock<FrameStore>>,
     // Shared across clones so `instrument` can be called after camera
     // threads already hold their handles.
     metrics: Arc<RwLock<Option<StorageMetrics>>>,
+    // Merged flat view, rebuilt lazily and keyed by the store's mutation
+    // stamp: `with_graph` callers (evaluation, reports, examples) get the
+    // exact graph a flat ingest of the same stream would have built.
+    flat_cache: FlatCache,
 }
 
 impl EdgeStorageNode {
-    /// Creates a node retaining up to `frame_capacity_per_camera` raw
-    /// frames per camera.
+    /// Creates a single-shard node retaining up to
+    /// `frame_capacity_per_camera` raw frames per camera.
     pub fn new(frame_capacity_per_camera: usize) -> Self {
+        Self::with_config(frame_capacity_per_camera, StorageConfig::default())
+    }
+
+    /// Creates a node with an explicit shard/compaction configuration.
+    pub fn with_config(frame_capacity_per_camera: usize, config: StorageConfig) -> Self {
         Self {
-            graph: Arc::new(RwLock::new(TrajectoryGraph::new())),
+            graph: Arc::new(ShardedTrajectoryGraph::new(config)),
             frames: Arc::new(RwLock::new(FrameStore::new(frame_capacity_per_camera))),
             metrics: Arc::new(RwLock::new(None)),
+            flat_cache: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// The sharded store behind this node (shard-aware callers: benches,
+    /// the equivalence tests).
+    pub fn sharded(&self) -> &ShardedTrajectoryGraph {
+        &self.graph
+    }
+
+    /// The store configuration.
+    pub fn storage_config(&self) -> &StorageConfig {
+        self.graph.config()
     }
 
     /// Starts publishing per-operation write/query latencies into
     /// `registry` (histograms `storage_write_latency_us{op=...}` and
-    /// `storage_query_latency_us{op=...}`). Affects every clone of this
+    /// `storage_query_latency_us{op=...}`) plus the compaction journal
+    /// (counters `storage_compaction_merged_total` /
+    /// `storage_compaction_folded_total`). Affects every clone of this
     /// node, including handles created before the call.
     pub fn instrument(&self, registry: &Registry) {
         *self.metrics.write() = Some(StorageMetrics {
@@ -61,6 +123,13 @@ impl EdgeStorageNode {
             ingest_frame: registry.histogram("storage_write_latency_us", &[("op", "ingest_frame")]),
             query_trajectory: registry
                 .histogram("storage_query_latency_us", &[("op", "query_trajectory")]),
+            query_camera: registry.histogram(
+                "storage_query_latency_us",
+                &[("op", "vehicles_through_camera")],
+            ),
+            query_window: registry.histogram("storage_query_latency_us", &[("op", "scan_window")]),
+            compaction_merged: registry.counter("storage_compaction_merged_total", &[]),
+            compaction_folded: registry.counter("storage_compaction_folded_total", &[]),
         });
     }
 
@@ -96,13 +165,8 @@ impl EdgeStorageNode {
         self.timed(
             |m| &m.insert_event,
             || {
-                self.graph.write().insert_event(
-                    event,
-                    first_seen_ms,
-                    last_seen_ms,
-                    heading,
-                    ground_truth,
-                )
+                self.graph
+                    .insert_event(event, first_seen_ms, last_seen_ms, heading, ground_truth)
             },
         )
     }
@@ -120,7 +184,7 @@ impl EdgeStorageNode {
         self.timed(
             |m| &m.insert_event,
             || {
-                self.graph.write().insert_event_with_signature(
+                self.graph.insert_event_with_signature(
                     event,
                     first_seen_ms,
                     last_seen_ms,
@@ -133,16 +197,15 @@ impl EdgeStorageNode {
     }
 
     /// Query-by-appearance: the `k` detections nearest to `query` under
-    /// `max_distance` (see [`TrajectoryGraph::nearest_by_signature`]).
+    /// `max_distance` (see
+    /// [`ShardedTrajectoryGraph::nearest_by_signature`]).
     pub fn find_by_appearance(
         &self,
         query: &ColorHistogram,
         k: usize,
         max_distance: f64,
     ) -> Vec<(VertexId, f64)> {
-        self.graph
-            .read()
-            .nearest_by_signature(query, k, max_distance)
+        self.graph.nearest_by_signature(query, k, max_distance)
     }
 
     /// Inserts a re-identification edge.
@@ -153,11 +216,11 @@ impl EdgeStorageNode {
     pub fn insert_edge(&self, from: VertexId, to: VertexId, weight: f64) -> Result<(), GraphError> {
         self.timed(
             |m| &m.insert_edge,
-            || self.graph.write().insert_edge(from, to, weight),
+            || self.graph.insert_edge(from, to, weight),
         )
     }
 
-    /// Runs a trajectory query.
+    /// Runs a trajectory query under a shard read transaction.
     ///
     /// # Errors
     ///
@@ -169,13 +232,79 @@ impl EdgeStorageNode {
     ) -> Result<TrajectoryQueryResult, GraphError> {
         self.timed(
             |m| &m.query_trajectory,
-            || trajectory(&self.graph.read(), seed, opts),
+            || self.graph.trajectory(seed, opts),
+        )
+    }
+
+    /// Vertices detected by `camera` whose in-view interval overlaps
+    /// `[start_ms, end_ms]`, ascending by id. Served from the camera's
+    /// region shards only (bucket-range pruning).
+    pub fn vehicles_through_camera(
+        &self,
+        camera: CameraId,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Vec<VertexId> {
+        self.timed(
+            |m| &m.query_camera,
+            || self.graph.vehicles_through_camera(camera, start_ms, end_ms),
+        )
+    }
+
+    /// Space-time-window scan: vertices (any camera) whose in-view
+    /// interval overlaps `[start_ms, end_ms]`, ascending by id.
+    pub fn scan_window(&self, start_ms: u64, end_ms: u64) -> Vec<VertexId> {
+        self.timed(
+            |m| &m.query_window,
+            || self.graph.scan_window(start_ms, end_ms),
         )
     }
 
     /// The vertex for `event`, if stored.
     pub fn vertex_for_event(&self, event: EventId) -> Option<VertexId> {
-        self.graph.read().vertex_for_event(event)
+        self.graph.vertex_for_event(event)
+    }
+
+    /// Runs one incremental compaction step over at most the configured
+    /// budget of vertices (see [`ShardedTrajectoryGraph::compact_step`]);
+    /// journals merged/folded totals to the instrumented counters.
+    pub fn compact_step(&self) -> CompactionReport {
+        let budget = self.graph.config().compaction_budget;
+        let report = self.graph.compact_step(budget);
+        if report.merged_edges > 0 || report.folded_edges > 0 {
+            if let Some(m) = self.metrics.read().as_ref() {
+                m.compaction_merged.add(report.merged_edges as u64);
+                m.compaction_folded.add(report.folded_edges as u64);
+            }
+        }
+        report
+    }
+
+    /// Writes a snapshot of the trajectory store into directory `dir`
+    /// (per-shard files + checksummed manifest; see the
+    /// [`crate::snapshot`] module docs). The frame store's ring buffers
+    /// are deliberately not snapshotted: raw frames are a bounded cache,
+    /// not durable state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] on filesystem failures.
+    pub fn snapshot_to(&self, dir: &Path) -> Result<(), SnapshotError> {
+        self.graph.snapshot_to(dir)
+    }
+
+    /// Restores the trajectory store from the snapshot at `dir`,
+    /// **in place**: every clone of this node — including the camera
+    /// handles wired at deployment time — sees the recovered graph. This
+    /// is the storage half of the node-restore path: a restarted storage
+    /// node calls this before rejoining.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`] (bad checksum, version, layout mismatch);
+    /// on failure the store is left untouched.
+    pub fn restore_from_snapshot(&self, dir: &Path) -> Result<(), SnapshotError> {
+        self.graph.restore_in_place(dir)
     }
 
     /// Ingests a frame with annotations.
@@ -186,10 +315,24 @@ impl EdgeStorageNode {
         );
     }
 
-    /// Runs `f` with read access to the trajectory graph (bulk analytics
-    /// and the evaluation harness).
+    /// Runs `f` with read access to the merged flat view of the
+    /// trajectory graph (bulk analytics and the evaluation harness). The
+    /// view is rebuilt lazily when the store has changed and cached
+    /// otherwise; for any single-writer stream it is byte-identical to
+    /// the graph a flat ingest would have produced.
     pub fn with_graph<R>(&self, f: impl FnOnce(&TrajectoryGraph) -> R) -> R {
-        f(&self.graph.read())
+        let mut cache = self.flat_cache.lock();
+        let stamp = self.graph.mutation_stamp();
+        let flat = match cache.as_ref() {
+            Some((s, g)) if *s == stamp => Arc::clone(g),
+            _ => {
+                let g = Arc::new(self.graph.to_flat());
+                *cache = Some((stamp, Arc::clone(&g)));
+                g
+            }
+        };
+        drop(cache);
+        f(&flat)
     }
 
     /// Runs `f` with read access to the frame store.
@@ -197,16 +340,19 @@ impl EdgeStorageNode {
         f(&self.frames.read())
     }
 
-    /// Snapshot of `(vertices, edges, frames retained, raw bytes)`.
-    pub fn stats(&self) -> (usize, usize, u64, u64) {
-        let g = self.graph.read();
+    /// Current storage counters.
+    pub fn stats(&self) -> StorageStats {
         let fr = self.frames.read();
-        (
-            g.vertex_count(),
-            g.edge_count(),
-            fr.frames_ingested(),
-            fr.bytes_stored(),
-        )
+        StorageStats {
+            vertices: self.graph.vertex_count(),
+            edges: self.graph.edge_count(),
+            frames_ingested: fr.frames_ingested(),
+            frame_bytes: fr.bytes_stored(),
+            shards: self.graph.shard_count(),
+            cross_shard_edges: self.graph.cross_shard_edge_count(),
+            compaction_merged_edges: self.graph.compaction_merged_total(),
+            compaction_folded_edges: self.graph.compaction_folded_total(),
+        }
     }
 }
 
@@ -237,8 +383,9 @@ mod tests {
         let r = node.query_trajectory(a, QueryOptions::default()).unwrap();
         assert_eq!(r.best_track(), vec![a, b]);
         assert_eq!(node.vertex_for_event(eid(1, 3)), Some(b));
-        let (v, e, _, _) = node.stats();
-        assert_eq!((v, e), (2, 1));
+        let s = node.stats();
+        assert_eq!((s.vertices, s.edges), (2, 1));
+        assert_eq!(s.shards, 1);
     }
 
     #[test]
@@ -261,15 +408,76 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let (v, e, _, _) = node.stats();
-        assert_eq!(v, 8 * 50);
-        assert_eq!(e, 8 * 49);
+        let s = node.stats();
+        assert_eq!(s.vertices, 8 * 50);
+        assert_eq!(s.edges, 8 * 49);
         // Each camera's chain is intact.
         let seed = node.vertex_for_event(eid(3, 0)).unwrap();
         let r = node
             .query_trajectory(seed, QueryOptions::default())
             .unwrap();
         assert_eq!(r.best_track().len(), 50);
+    }
+
+    #[test]
+    fn sharded_node_keeps_camera_chains_intact() {
+        // Same workload as above, but across 4 shards with a small time
+        // bucket so chains cross shard boundaries.
+        let node = EdgeStorageNode::with_config(
+            4,
+            StorageConfig {
+                shard_count: 4,
+                time_bucket_ms: 100,
+                cameras_per_region: 2,
+                ..StorageConfig::default()
+            },
+        );
+        let mut handles = Vec::new();
+        for cam in 0..8u32 {
+            let n = node.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut last: Option<VertexId> = None;
+                for t in 0..50u64 {
+                    let v = n.insert_event(eid(cam, t), t * 60, t * 60 + 30, None, None);
+                    if let Some(prev) = last {
+                        n.insert_edge(prev, v, 0.1).unwrap();
+                    }
+                    last = Some(v);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = node.stats();
+        assert_eq!(s.vertices, 8 * 50);
+        assert_eq!(s.edges, 8 * 49);
+        assert_eq!(s.shards, 4);
+        assert!(s.cross_shard_edges > 0, "chains must span shards: {s:?}");
+        for cam in 0..8u32 {
+            let seed = node.vertex_for_event(eid(cam, 0)).unwrap();
+            let r = node
+                .query_trajectory(seed, QueryOptions::default())
+                .unwrap();
+            assert_eq!(r.best_track().len(), 50, "camera {cam}");
+        }
+    }
+
+    #[test]
+    fn camera_and_window_queries() {
+        let node = EdgeStorageNode::default();
+        let a = node.insert_event(eid(0, 1), 0, 1_000, None, None);
+        let b = node.insert_event(eid(0, 2), 5_000, 6_000, None, None);
+        let c = node.insert_event(eid(1, 1), 2_000, 3_000, None, None);
+        assert_eq!(
+            node.vehicles_through_camera(CameraId(0), 0, 10_000),
+            vec![a, b]
+        );
+        assert_eq!(node.vehicles_through_camera(CameraId(0), 0, 1_500), vec![a]);
+        assert_eq!(node.vehicles_through_camera(CameraId(2), 0, 10_000), vec![]);
+        assert_eq!(node.scan_window(0, 2_500), vec![a, c]);
+        assert_eq!(node.scan_window(900, 2_100), vec![a, c]);
+        assert_eq!(node.scan_window(7_000, 9_000), vec![]);
     }
 
     #[test]
@@ -283,6 +491,8 @@ mod tests {
         let b = handle.insert_event(eid(1, 2), 20, 30, None, None);
         handle.insert_edge(a, b, 0.2).unwrap();
         handle.query_trajectory(a, QueryOptions::default()).unwrap();
+        handle.vehicles_through_camera(CameraId(0), 0, 100);
+        handle.scan_window(0, 100);
         assert_eq!(
             registry
                 .histogram("storage_write_latency_us", &[("op", "insert_event")])
@@ -301,6 +511,21 @@ mod tests {
                 .count(),
             1
         );
+        assert_eq!(
+            registry
+                .histogram(
+                    "storage_query_latency_us",
+                    &[("op", "vehicles_through_camera")]
+                )
+                .count(),
+            1
+        );
+        assert_eq!(
+            registry
+                .histogram("storage_query_latency_us", &[("op", "scan_window")])
+                .count(),
+            1
+        );
     }
 
     #[test]
@@ -316,9 +541,58 @@ mod tests {
                 annotations: Vec::new(),
             },
         );
-        let (_, _, ingested, bytes) = node.stats();
-        assert_eq!(ingested, 1);
-        assert_eq!(bytes, 48);
+        let s = node.stats();
+        assert_eq!(s.frames_ingested, 1);
+        assert_eq!(s.frame_bytes, 48);
         assert_eq!(node.with_frames(|f| f.retained(CameraId(0))), 1);
+    }
+
+    #[test]
+    fn with_graph_cache_tracks_mutations() {
+        let node = EdgeStorageNode::default();
+        let a = node.insert_event(eid(0, 1), 0, 10, None, None);
+        assert_eq!(node.with_graph(|g| g.vertex_count()), 1);
+        // Cached view must not go stale after further writes.
+        let b = node.insert_event(eid(1, 1), 20, 30, None, None);
+        node.insert_edge(a, b, 0.2).unwrap();
+        assert_eq!(
+            node.with_graph(|g| (g.vertex_count(), g.edge_count())),
+            (2, 1)
+        );
+    }
+
+    #[test]
+    fn compaction_journals_into_registry() {
+        let node = EdgeStorageNode::with_config(
+            4,
+            StorageConfig {
+                deferred_edge_dedup: true,
+                ..StorageConfig::default()
+            },
+        );
+        let registry = Registry::new();
+        node.instrument(&registry);
+        let a = node.insert_event(eid(0, 1), 0, 10, None, None);
+        let b = node.insert_event(eid(1, 1), 20, 30, None, None);
+        // Three replays of the same handoff (at-least-once redelivery).
+        node.insert_edge(a, b, 0.2).unwrap();
+        node.insert_edge(a, b, 0.2).unwrap();
+        node.insert_edge(a, b, 0.2).unwrap();
+        assert_eq!(node.stats().edges, 3, "deferred mode keeps replays");
+        let mut merged = 0;
+        loop {
+            let r = node.compact_step();
+            merged += r.merged_edges;
+            if r.completed_pass {
+                break;
+            }
+        }
+        assert_eq!(merged, 2);
+        assert_eq!(node.stats().edges, 1);
+        assert_eq!(node.stats().compaction_merged_edges, 2);
+        assert_eq!(
+            registry.counter_value("storage_compaction_merged_total", &[]),
+            Some(2)
+        );
     }
 }

@@ -1,0 +1,1001 @@
+//! The sharded trajectory store: key-range shards over a space-time key.
+//!
+//! The paper hosts the trajectory graph in JanusGraph on one edge node
+//! (§4.2); a city-scale deployment serving millions of user queries needs
+//! the store partitioned so ingest on one shard never stalls reads on
+//! another. [`ShardedTrajectoryGraph`] routes every vertex to a shard by a
+//! deterministic hash of its **space-time key** — the camera's region
+//! (`camera / cameras_per_region`) crossed with its arrival time bucket
+//! (`first_seen_ms / time_bucket_ms`) — so detections that are near each
+//! other in space and time land on the same shard, and a trajectory walk
+//! mostly stays shard-local. Handoff edges whose endpoints hash to
+//! different shards are tracked in a cross-shard edge index.
+//!
+//! # Identity with the flat graph
+//!
+//! Vertex ids are allocated from one store-level counter (serialised by
+//! the event-index lock), so ids are contiguous and identical to what the
+//! flat [`TrajectoryGraph`] would assign for the same stream — at *any*
+//! shard count. [`ShardedTrajectoryGraph::to_flat`] rebuilds the exact
+//! flat graph (vertices in id order, edges in global insertion order via
+//! per-edge sequence numbers), which is what keeps the golden fingerprints
+//! byte-identical and makes shard-vs-flat equivalence property-testable.
+//!
+//! # Lock order
+//!
+//! One total order, everywhere: `index` → `shards[0..n]` ascending →
+//! `cross`. The compaction cursor mutex is taken before any of them and
+//! never while holding one. Writers touch at most two shard locks (both
+//! ends of an edge, acquired ascending); readers either take one shard
+//! lock (point lookups, camera queries) or all of them (a read
+//! transaction for trajectory walks — still concurrent with other
+//! readers). Deadlock-freedom follows from the total order; the
+//! concurrency stress test in `tests/storage_concurrency.rs` exercises it.
+
+use crate::graph::{GraphError, TrajectoryEdge, TrajectoryGraph, VertexRecord};
+use crate::query::{trajectory_over, Direction, EdgeSource, QueryOptions, TrajectoryQueryResult};
+use coral_net::{EventId, VertexId};
+use coral_topology::CameraId;
+use coral_vision::ColorHistogram;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Configuration of the sharded trajectory store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageConfig {
+    /// Number of key-range shards (≥ 1). `1` degenerates to a single
+    /// shard whose behaviour is byte-identical to the flat graph.
+    pub shard_count: usize,
+    /// Width of the time bucket in the space-time routing key, ms.
+    pub time_bucket_ms: u64,
+    /// Cameras per geographic region in the space-time routing key:
+    /// camera `c` belongs to region `c / cameras_per_region`.
+    pub cameras_per_region: u32,
+    /// Skip the ingest-time exact-duplicate edge check and let background
+    /// compaction merge replays instead (bulk-load mode). Queries are
+    /// invariant either way — the read path presents a keep-first logical
+    /// view — but physical `edge_count` transiently counts replays.
+    pub deferred_edge_dedup: bool,
+    /// During compaction, fold parallel replays of the same `(from, to)`
+    /// pair to the **minimum** weight seen instead of keeping the first.
+    /// Off by default: it changes query results, so it is opt-in and
+    /// excluded from the equivalence guarantees.
+    pub fold_min_weight: bool,
+    /// Vertices examined per [`ShardedTrajectoryGraph::compact_step`]
+    /// call when the runtime drives compaction between ticks.
+    pub compaction_budget: usize,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        Self {
+            shard_count: 1,
+            time_bucket_ms: 60_000,
+            cameras_per_region: 16,
+            deferred_edge_dedup: false,
+            fold_min_weight: false,
+            compaction_budget: 64,
+        }
+    }
+}
+
+/// What one incremental compaction step did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Vertices whose out-edge lists were examined.
+    pub vertices_scanned: usize,
+    /// Exact `(from, to)` replays removed (keep-first).
+    pub merged_edges: usize,
+    /// Kept edges whose weight was folded down to the minimum replayed
+    /// weight (only with [`StorageConfig::fold_min_weight`]).
+    pub folded_edges: usize,
+    /// Whether this step crossed the end of the key space (one full pass
+    /// over every shard completed; the cursor wrapped to the start).
+    pub completed_pass: bool,
+}
+
+/// An edge plus its global insertion sequence number and the shard of the
+/// *other* endpoint (so traversals hop shards without a directory lookup).
+#[derive(Debug, Clone, Copy)]
+struct SeqEdge {
+    edge: TrajectoryEdge,
+    seq: u64,
+    peer_shard: u16,
+}
+
+/// One independently-lockable shard.
+#[derive(Debug, Default)]
+struct Shard {
+    vertices: BTreeMap<VertexId, VertexRecord>,
+    out_edges: BTreeMap<VertexId, Vec<SeqEdge>>,
+    in_edges: BTreeMap<VertexId, Vec<SeqEdge>>,
+    /// Vertices by detecting camera, ascending by id (push order — ids are
+    /// allocated monotonically under the index lock).
+    by_camera: BTreeMap<CameraId, Vec<VertexId>>,
+}
+
+/// The store-level vertex directory: event → vertex and vertex → shard.
+/// Held for writing across the whole of `insert_event`, which serialises
+/// vertex allocation and makes `dir` membership imply shard residency.
+#[derive(Debug, Default)]
+struct EventIndex {
+    by_event: HashMap<EventId, VertexId>,
+    /// `dir[v]` = shard holding vertex `v`; `dir.len()` = next vertex id.
+    dir: Vec<u16>,
+}
+
+/// Compaction cursor: resumes the incremental pass where it left off.
+#[derive(Debug, Default)]
+struct CompactCursor {
+    shard: usize,
+    after: Option<VertexId>,
+}
+
+/// The sharded, concurrently-readable trajectory store.
+///
+/// See the module docs for the key scheme, identity guarantees and lock
+/// order.
+#[derive(Debug)]
+pub struct ShardedTrajectoryGraph {
+    config: StorageConfig,
+    index: RwLock<EventIndex>,
+    shards: Vec<RwLock<Shard>>,
+    /// Handoff edges whose endpoints live on different shards, keyed by
+    /// `(from, to)`.
+    cross: RwLock<BTreeMap<(VertexId, VertexId), f64>>,
+    /// Physical edge count across all shards.
+    edge_count: AtomicUsize,
+    /// Next global edge sequence number.
+    edge_seq: AtomicU64,
+    /// Longest in-view interval seen, ms: bounds how far before a query
+    /// window a vertex's routing bucket can start, making bucket-range
+    /// shard pruning sound.
+    max_interval_ms: AtomicU64,
+    /// Bumped on every structural change (vertex, edge, compaction,
+    /// restore); versions the flat-view cache in `EdgeStorageNode`.
+    mutations: AtomicU64,
+    cursor: Mutex<CompactCursor>,
+    merged_total: AtomicU64,
+    folded_total: AtomicU64,
+}
+
+/// Deterministic space-time routing hash (FNV-1a over the two key words).
+/// Fixed constants, never the std hasher: routing must be identical
+/// across processes, runs and restores.
+fn space_time_hash(region: u64, bucket: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in [region, bucket] {
+        for b in w.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl ShardedTrajectoryGraph {
+    /// Creates an empty store with `config` (shard_count clamped to ≥ 1).
+    pub fn new(config: StorageConfig) -> Self {
+        let n = config.shard_count.max(1);
+        Self {
+            config: StorageConfig {
+                shard_count: n,
+                ..config
+            },
+            index: RwLock::new(EventIndex::default()),
+            shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
+            cross: RwLock::new(BTreeMap::new()),
+            edge_count: AtomicUsize::new(0),
+            edge_seq: AtomicU64::new(0),
+            max_interval_ms: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            cursor: Mutex::new(CompactCursor::default()),
+            merged_total: AtomicU64::new(0),
+            folded_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    /// The shard a detection at `camera` / `first_seen_ms` routes to.
+    pub fn route(&self, camera: CameraId, first_seen_ms: u64) -> usize {
+        let n = self.config.shard_count;
+        if n == 1 {
+            return 0;
+        }
+        let region = u64::from(camera.0) / u64::from(self.config.cameras_per_region.max(1));
+        let bucket = first_seen_ms / self.config.time_bucket_ms.max(1);
+        (space_time_hash(region, bucket) % n as u64) as usize
+    }
+
+    /// Inserts (or finds) the vertex for a detection event. Idempotent by
+    /// event id; the original attributes win, as in the flat graph.
+    pub fn insert_event(
+        &self,
+        event: EventId,
+        first_seen_ms: u64,
+        last_seen_ms: u64,
+        heading: Option<coral_geo::Heading>,
+        ground_truth: Option<coral_vision::GroundTruthId>,
+    ) -> VertexId {
+        self.insert_event_with_signature(
+            event,
+            first_seen_ms,
+            last_seen_ms,
+            heading,
+            None,
+            ground_truth,
+        )
+    }
+
+    /// Inserts a vertex carrying its appearance signature.
+    pub fn insert_event_with_signature(
+        &self,
+        event: EventId,
+        first_seen_ms: u64,
+        last_seen_ms: u64,
+        heading: Option<coral_geo::Heading>,
+        signature: Option<ColorHistogram>,
+        ground_truth: Option<coral_vision::GroundTruthId>,
+    ) -> VertexId {
+        let mut idx = self.index.write();
+        if let Some(&v) = idx.by_event.get(&event) {
+            return v;
+        }
+        let id = VertexId(idx.dir.len() as u64);
+        let shard = self.route(event.camera, first_seen_ms);
+        // Publish the interval bound before the record becomes visible so
+        // bucket-range pruning never misses a long-dwell vertex.
+        self.max_interval_ms
+            .fetch_max(last_seen_ms.saturating_sub(first_seen_ms), Ordering::SeqCst);
+        idx.dir.push(shard as u16);
+        {
+            let mut s = self.shards[shard].write();
+            s.vertices.insert(
+                id,
+                VertexRecord {
+                    id,
+                    event,
+                    camera: event.camera,
+                    first_seen_ms,
+                    last_seen_ms,
+                    heading,
+                    signature,
+                    ground_truth,
+                },
+            );
+            s.by_camera.entry(event.camera).or_default().push(id);
+        }
+        idx.by_event.insert(event, id);
+        self.mutations.fetch_add(1, Ordering::SeqCst);
+        id
+    }
+
+    /// Inserts a weighted re-identification edge `from → to`. Exact
+    /// `(from, to)` replays are dropped keep-first unless
+    /// [`StorageConfig::deferred_edge_dedup`] defers that to compaction.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown endpoints, self-loops or invalid weights — in the
+    /// same order as the flat graph, so error behaviour is equivalent.
+    pub fn insert_edge(&self, from: VertexId, to: VertexId, weight: f64) -> Result<(), GraphError> {
+        let (sf, st) = {
+            let idx = self.index.read();
+            let sf = *idx
+                .dir
+                .get(from.0 as usize)
+                .ok_or(GraphError::UnknownVertex(from))? as usize;
+            let st = *idx
+                .dir
+                .get(to.0 as usize)
+                .ok_or(GraphError::UnknownVertex(to))? as usize;
+            (sf, st)
+        };
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        if !weight.is_finite() || weight < 0.0 {
+            return Err(GraphError::InvalidWeight(weight));
+        }
+        let edge = TrajectoryEdge { from, to, weight };
+        if sf == st {
+            let mut s = self.shards[sf].write();
+            if !self.config.deferred_edge_dedup && has_out_edge(&s, from, to) {
+                return Ok(());
+            }
+            let seq = self.edge_seq.fetch_add(1, Ordering::SeqCst);
+            s.out_edges.entry(from).or_default().push(SeqEdge {
+                edge,
+                seq,
+                peer_shard: st as u16,
+            });
+            s.in_edges.entry(to).or_default().push(SeqEdge {
+                edge,
+                seq,
+                peer_shard: sf as u16,
+            });
+        } else {
+            // Cross-shard: lock both ends, ascending (the lock order).
+            let (lo, hi) = (sf.min(st), sf.max(st));
+            let mut g_lo = self.shards[lo].write();
+            let mut g_hi = self.shards[hi].write();
+            let (out_shard, in_shard) = if sf == lo {
+                (&mut *g_lo, &mut *g_hi)
+            } else {
+                (&mut *g_hi, &mut *g_lo)
+            };
+            if !self.config.deferred_edge_dedup && has_out_edge(out_shard, from, to) {
+                return Ok(());
+            }
+            let seq = self.edge_seq.fetch_add(1, Ordering::SeqCst);
+            out_shard.out_edges.entry(from).or_default().push(SeqEdge {
+                edge,
+                seq,
+                peer_shard: st as u16,
+            });
+            in_shard.in_edges.entry(to).or_default().push(SeqEdge {
+                edge,
+                seq,
+                peer_shard: sf as u16,
+            });
+            drop(g_hi);
+            drop(g_lo);
+            self.cross.write().entry((from, to)).or_insert(weight);
+        }
+        self.edge_count.fetch_add(1, Ordering::SeqCst);
+        self.mutations.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Looks up a vertex (cloned out of its shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertex`] for unassigned ids.
+    pub fn vertex(&self, id: VertexId) -> Result<VertexRecord, GraphError> {
+        let shard = {
+            let idx = self.index.read();
+            idx.dir.get(id.0 as usize).copied()
+        }
+        .ok_or(GraphError::UnknownVertex(id))?;
+        let s = self.shards[shard as usize].read();
+        s.vertices
+            .get(&id)
+            .cloned()
+            .ok_or(GraphError::UnknownVertex(id))
+    }
+
+    /// The vertex created for `event`, if any.
+    pub fn vertex_for_event(&self, event: EventId) -> Option<VertexId> {
+        self.index.read().by_event.get(&event).copied()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.index.read().dir.len()
+    }
+
+    /// Number of physical edges across all shards (equals the flat
+    /// graph's logical count unless deferred dedup has pending replays).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count.load(Ordering::SeqCst)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of handoff edges whose endpoints live on different shards.
+    pub fn cross_shard_edge_count(&self) -> usize {
+        self.cross.read().len()
+    }
+
+    /// Total exact replays merged by compaction since creation.
+    pub fn compaction_merged_total(&self) -> u64 {
+        self.merged_total.load(Ordering::SeqCst)
+    }
+
+    /// Total kept edges whose weight compaction folded down.
+    pub fn compaction_folded_total(&self) -> u64 {
+        self.folded_total.load(Ordering::SeqCst)
+    }
+
+    /// Structural version stamp: bumped on every vertex insert, edge
+    /// insert, effective compaction and restore.
+    pub fn mutation_stamp(&self) -> u64 {
+        self.mutations.load(Ordering::SeqCst)
+    }
+
+    /// Opens a read transaction holding every shard's read lock (taken in
+    /// ascending order). Concurrent with other readers and with nothing
+    /// held across user code that could re-enter the store.
+    pub fn read_txn(&self) -> ShardReadTxn<'_> {
+        ShardReadTxn {
+            guards: self.shards.iter().map(|s| s.read()).collect(),
+            locate: HashMap::new(),
+        }
+    }
+
+    /// Queries the trajectory of the vehicle seen at `seed` under a read
+    /// transaction — answers are identical to the flat graph's
+    /// [`crate::trajectory`] on the merged view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownVertex`] for an invalid seed.
+    pub fn trajectory(
+        &self,
+        seed: VertexId,
+        opts: QueryOptions,
+    ) -> Result<TrajectoryQueryResult, GraphError> {
+        let mut txn = self.read_txn();
+        trajectory_over(&mut txn, seed, opts)
+    }
+
+    /// The shards a camera-region query over `[start_ms, end_ms]` can
+    /// touch, given the routing key and the observed interval bound.
+    fn shards_for_window(&self, region: u64, start_ms: u64, end_ms: u64) -> Vec<usize> {
+        let n = self.config.shard_count;
+        if n == 1 {
+            return vec![0];
+        }
+        let bucket_ms = self.config.time_bucket_ms.max(1);
+        let lo = start_ms.saturating_sub(self.max_interval_ms.load(Ordering::SeqCst)) / bucket_ms;
+        let hi = end_ms / bucket_ms;
+        if hi.saturating_sub(lo) + 1 >= n as u64 {
+            return (0..n).collect();
+        }
+        let mut shards: Vec<usize> = (lo..=hi)
+            .map(|b| (space_time_hash(region, b) % n as u64) as usize)
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+
+    /// Vertices detected by `camera` whose in-view interval overlaps
+    /// `[start_ms, end_ms]`, ascending by id. Shards outside the window's
+    /// bucket range are pruned without locking them.
+    pub fn vehicles_through_camera(
+        &self,
+        camera: CameraId,
+        start_ms: u64,
+        end_ms: u64,
+    ) -> Vec<VertexId> {
+        let region = u64::from(camera.0) / u64::from(self.config.cameras_per_region.max(1));
+        let mut out = Vec::new();
+        for shard in self.shards_for_window(region, start_ms, end_ms) {
+            let s = self.shards[shard].read();
+            if let Some(ids) = s.by_camera.get(&camera) {
+                for id in ids {
+                    let r = &s.vertices[id];
+                    if r.first_seen_ms <= end_ms && r.last_seen_ms >= start_ms {
+                        out.push(*id);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Vertices (any camera) whose in-view interval overlaps
+    /// `[start_ms, end_ms]`, ascending by id — the space-time-window scan.
+    pub fn scan_window(&self, start_ms: u64, end_ms: u64) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.read();
+            for (id, r) in &s.vertices {
+                if r.first_seen_ms <= end_ms && r.last_seen_ms >= start_ms {
+                    out.push(*id);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The `k` stored detections nearest to `query` (Bhattacharyya
+    /// distance) under `max_distance`, best first, ties by id — identical
+    /// ranking to the flat graph's stable sort over ascending ids.
+    pub fn nearest_by_signature(
+        &self,
+        query: &ColorHistogram,
+        k: usize,
+        max_distance: f64,
+    ) -> Vec<(VertexId, f64)> {
+        let mut scored: Vec<(VertexId, f64)> = Vec::new();
+        for shard in &self.shards {
+            let s = shard.read();
+            for r in s.vertices.values() {
+                let Some(sig) = r.signature.as_ref() else {
+                    continue;
+                };
+                if sig.bins().len() != query.bins().len() {
+                    continue;
+                }
+                let d = query.bhattacharyya_distance(sig);
+                if d <= max_distance {
+                    scored.push((r.id, d));
+                }
+            }
+        }
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// Rebuilds the merged flat graph: vertices in id order, edges in
+    /// global insertion (sequence) order. For any single-writer stream
+    /// this is byte-identical to ingesting the stream into a flat
+    /// [`TrajectoryGraph`] directly; replays pending deferred dedup are
+    /// absorbed by the flat graph's own keep-first check.
+    pub fn to_flat(&self) -> TrajectoryGraph {
+        let idx = self.index.read();
+        let guards: Vec<RwLockReadGuard<'_, Shard>> =
+            self.shards.iter().map(|s| s.read()).collect();
+        let mut records: Vec<&VertexRecord> =
+            guards.iter().flat_map(|g| g.vertices.values()).collect();
+        records.sort_by_key(|r| r.id);
+        let mut flat = TrajectoryGraph::new();
+        for r in records {
+            let id = flat.insert_event_with_signature(
+                r.event,
+                r.first_seen_ms,
+                r.last_seen_ms,
+                r.heading,
+                r.signature.clone(),
+                r.ground_truth,
+            );
+            debug_assert_eq!(id, r.id, "flat rebuild must reassign identical ids");
+        }
+        let mut edges: Vec<(u64, TrajectoryEdge)> = guards
+            .iter()
+            .flat_map(|g| g.out_edges.values().flatten())
+            .map(|se| (se.seq, se.edge))
+            .collect();
+        edges.sort_unstable_by_key(|&(seq, _)| seq);
+        for (_, e) in edges {
+            let _ = flat.insert_edge(e.from, e.to, e.weight);
+        }
+        drop(guards);
+        drop(idx);
+        flat
+    }
+
+    /// Runs one incremental compaction step over at most `budget`
+    /// vertices, resuming at the stored cursor. Merges exact `(from, to)`
+    /// replays keep-first (a no-op on streams ingested with the default
+    /// checked dedup — which is what keeps fault-free runs byte-identical)
+    /// and, when configured, folds kept weights to the replayed minimum.
+    /// Idempotent: a second pass over compacted data changes nothing.
+    pub fn compact_step(&self, budget: usize) -> CompactionReport {
+        let mut report = CompactionReport::default();
+        if budget == 0 {
+            return report;
+        }
+        let mut cursor = self.cursor.lock();
+        while report.vertices_scanned < budget {
+            if cursor.shard >= self.shards.len() {
+                *cursor = CompactCursor::default();
+                report.completed_pass = true;
+                break;
+            }
+            let remaining = budget - report.vertices_scanned;
+            let done_shard =
+                self.compact_shard_slice(cursor.shard, &mut cursor.after, remaining, &mut report);
+            if done_shard {
+                cursor.shard += 1;
+                cursor.after = None;
+            }
+        }
+        report
+    }
+
+    /// Compacts up to `limit` vertices of `shard` starting after
+    /// `*after`; returns whether the shard is exhausted.
+    fn compact_shard_slice(
+        &self,
+        shard: usize,
+        after: &mut Option<VertexId>,
+        limit: usize,
+        report: &mut CompactionReport,
+    ) -> bool {
+        // In-entry fixups whose target lives on another shard, applied
+        // after this shard's lock is released (the lock order forbids
+        // grabbing a second shard while holding this one mid-scan):
+        // removals of merged replays and weight patches of folded edges,
+        // both matched by globally-unique sequence number.
+        let mut remote_removals: Vec<(u16, VertexId, u64)> = Vec::new();
+        let mut remote_folds: Vec<(u16, VertexId, u64, f64)> = Vec::new();
+        // Cross-shard index entries to re-weight after a fold.
+        let mut cross_folds: Vec<(VertexId, VertexId, f64)> = Vec::new();
+        let exhausted;
+        {
+            let mut s = self.shards[shard].write();
+            let bounds = match *after {
+                Some(a) => (Bound::Excluded(a), Bound::Unbounded),
+                None => (Bound::Unbounded, Bound::Unbounded),
+            };
+            let ids: Vec<VertexId> = s
+                .out_edges
+                .range((bounds.0, bounds.1))
+                .take(limit)
+                .map(|(id, _)| *id)
+                .collect();
+            exhausted = ids.len() < limit;
+            for from in &ids {
+                report.vertices_scanned += 1;
+                let (removed, folds) = compact_out_list(
+                    s.out_edges
+                        .get_mut(from)
+                        .expect("listed vertex has out edges"),
+                    self.config.fold_min_weight,
+                );
+                for se in &removed {
+                    if se.peer_shard as usize == shard {
+                        remove_in_entry(&mut s, se.edge.to, se.seq);
+                    } else {
+                        remote_removals.push((se.peer_shard, se.edge.to, se.seq));
+                    }
+                }
+                for &(to, seq, peer, w) in &folds {
+                    if peer as usize == shard {
+                        patch_in_weight(&mut s, to, seq, w);
+                    } else {
+                        remote_folds.push((peer, to, seq, w));
+                        cross_folds.push((*from, to, w));
+                    }
+                }
+                report.merged_edges += removed.len();
+                report.folded_edges += folds.len();
+                if !removed.is_empty() {
+                    self.edge_count.fetch_sub(removed.len(), Ordering::SeqCst);
+                }
+            }
+            if let Some(last) = ids.last() {
+                *after = Some(*last);
+            }
+        }
+        for (peer, to, seq) in remote_removals {
+            let mut p = self.shards[peer as usize].write();
+            remove_in_entry(&mut p, to, seq);
+        }
+        for (peer, to, seq, w) in remote_folds {
+            let mut p = self.shards[peer as usize].write();
+            patch_in_weight(&mut p, to, seq, w);
+        }
+        if !cross_folds.is_empty() {
+            let mut cross = self.cross.write();
+            for (from, to, w) in cross_folds {
+                if let Some(entry) = cross.get_mut(&(from, to)) {
+                    *entry = w;
+                }
+            }
+        }
+        if report.merged_edges > 0 || report.folded_edges > 0 {
+            self.merged_total
+                .fetch_add(report.merged_edges as u64, Ordering::SeqCst);
+            self.folded_total
+                .fetch_add(report.folded_edges as u64, Ordering::SeqCst);
+            self.mutations.fetch_add(1, Ordering::SeqCst);
+        }
+        exhausted
+    }
+
+    /// (Snapshot support.) Exports the store content: config meta, next
+    /// vertex id / edge seq / interval bound, and per-shard records and
+    /// out-edges. Vertex creation is frozen for the duration (index read
+    /// lock); edges race benignly — an edge not fully captured is simply
+    /// absent, never torn, because in-edges are rebuilt from out-edges.
+    pub(crate) fn export(&self) -> ExportedStore {
+        let idx = self.index.read();
+        let guards: Vec<RwLockReadGuard<'_, Shard>> =
+            self.shards.iter().map(|s| s.read()).collect();
+        let shards = guards
+            .iter()
+            .map(|g| ExportedShard {
+                records: g.vertices.values().cloned().collect(),
+                edges: g
+                    .out_edges
+                    .values()
+                    .flatten()
+                    .map(|se| (se.edge, se.seq))
+                    .collect(),
+            })
+            .collect();
+        ExportedStore {
+            shard_count: self.config.shard_count,
+            time_bucket_ms: self.config.time_bucket_ms,
+            cameras_per_region: self.config.cameras_per_region,
+            next_vertex: idx.dir.len() as u64,
+            edge_seq: self.edge_seq.load(Ordering::SeqCst),
+            max_interval_ms: self.max_interval_ms.load(Ordering::SeqCst),
+            shards,
+        }
+    }
+
+    /// (Snapshot support.) Replaces this store's content with `state`,
+    /// atomically with respect to readers (all locks held for writing, in
+    /// the lock order). The shard layout of the snapshot must match this
+    /// store's config; in-edges, the event index, the directory and the
+    /// cross-shard index are rebuilt from the exported out-edges.
+    pub(crate) fn import(&self, state: ExportedStore) -> Result<(), ImportError> {
+        if state.shard_count != self.config.shard_count {
+            return Err(ImportError::ShardCountMismatch {
+                store: self.config.shard_count,
+                snapshot: state.shard_count,
+            });
+        }
+        let mut idx = self.index.write();
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
+        let mut cross = self.cross.write();
+
+        // Rebuild the directory first: contiguous ids, each id in exactly
+        // one shard.
+        let mut dir: Vec<Option<u16>> = vec![None; state.next_vertex as usize];
+        for (si, shard) in state.shards.iter().enumerate() {
+            for r in &shard.records {
+                let slot = dir
+                    .get_mut(r.id.0 as usize)
+                    .ok_or(ImportError::VertexOutOfRange(r.id))?;
+                if slot.replace(si as u16).is_some() {
+                    return Err(ImportError::DuplicateVertex(r.id));
+                }
+            }
+        }
+        let dir: Vec<u16> = dir
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.ok_or(ImportError::MissingVertex(VertexId(i as u64))))
+            .collect::<Result<_, _>>()?;
+
+        idx.by_event.clear();
+        idx.dir = dir;
+        cross.clear();
+        let mut edge_total = 0usize;
+        for g in guards.iter_mut() {
+            **g = Shard::default();
+        }
+        for (si, shard) in state.shards.into_iter().enumerate() {
+            for r in shard.records {
+                idx.by_event.insert(r.event, r.id);
+                let g = &mut guards[si];
+                g.by_camera.entry(r.camera).or_default().push(r.id);
+                g.vertices.insert(r.id, r);
+            }
+            for (edge, seq) in shard.edges {
+                let to_shard = *idx
+                    .dir
+                    .get(edge.to.0 as usize)
+                    .ok_or(ImportError::VertexOutOfRange(edge.to))?;
+                guards[si]
+                    .out_edges
+                    .entry(edge.from)
+                    .or_default()
+                    .push(SeqEdge {
+                        edge,
+                        seq,
+                        peer_shard: to_shard,
+                    });
+                edge_total += 1;
+                if to_shard as usize != si {
+                    cross.entry((edge.from, edge.to)).or_insert(edge.weight);
+                }
+            }
+        }
+        // by_camera must be ascending by id (BTreeMap insert order isn't).
+        for g in guards.iter_mut() {
+            for ids in g.by_camera.values_mut() {
+                ids.sort_unstable();
+            }
+        }
+        // Rebuild in-edges from out-edges in global sequence order so
+        // restored in-lists match a deterministic re-ingest.
+        let mut all: Vec<(u64, TrajectoryEdge, u16)> = Vec::with_capacity(edge_total);
+        for (si, g) in guards.iter().enumerate() {
+            for se in g.out_edges.values().flatten() {
+                all.push((se.seq, se.edge, si as u16));
+            }
+        }
+        all.sort_unstable_by_key(|&(seq, _, _)| seq);
+        for (seq, edge, from_shard) in all {
+            let to_shard = idx.dir[edge.to.0 as usize] as usize;
+            guards[to_shard]
+                .in_edges
+                .entry(edge.to)
+                .or_default()
+                .push(SeqEdge {
+                    edge,
+                    seq,
+                    peer_shard: from_shard,
+                });
+        }
+
+        self.edge_count.store(edge_total, Ordering::SeqCst);
+        self.edge_seq.store(state.edge_seq, Ordering::SeqCst);
+        self.max_interval_ms
+            .store(state.max_interval_ms, Ordering::SeqCst);
+        *self.cursor.lock() = CompactCursor::default();
+        self.mutations.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+/// Raw store content exchanged with the snapshot codec.
+#[derive(Debug)]
+pub(crate) struct ExportedStore {
+    pub shard_count: usize,
+    pub time_bucket_ms: u64,
+    pub cameras_per_region: u32,
+    pub next_vertex: u64,
+    pub edge_seq: u64,
+    pub max_interval_ms: u64,
+    pub shards: Vec<ExportedShard>,
+}
+
+/// One shard's records and out-edges (with sequence numbers).
+#[derive(Debug)]
+pub(crate) struct ExportedShard {
+    pub records: Vec<VertexRecord>,
+    pub edges: Vec<(TrajectoryEdge, u64)>,
+}
+
+/// Structural problems found while importing exported state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ImportError {
+    ShardCountMismatch { store: usize, snapshot: usize },
+    VertexOutOfRange(VertexId),
+    DuplicateVertex(VertexId),
+    MissingVertex(VertexId),
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::ShardCountMismatch { store, snapshot } => write!(
+                f,
+                "snapshot has {snapshot} shards but the store is configured for {store}"
+            ),
+            ImportError::VertexOutOfRange(v) => write!(f, "vertex {v} out of range"),
+            ImportError::DuplicateVertex(v) => write!(f, "vertex {v} appears in two shards"),
+            ImportError::MissingVertex(v) => write!(f, "vertex {v} missing from every shard"),
+        }
+    }
+}
+
+fn has_out_edge(s: &Shard, from: VertexId, to: VertexId) -> bool {
+    s.out_edges
+        .get(&from)
+        .is_some_and(|v| v.iter().any(|e| e.edge.to == to))
+}
+
+/// A committed weight fold: `(to, seq, peer_shard, new_weight)` of a kept
+/// edge whose weight dropped.
+type WeightFold = (VertexId, u64, u16, f64);
+
+/// Dedups one out-list keep-first; returns the removed replays and, when
+/// folding, the folds committed to kept edges.
+fn compact_out_list(
+    list: &mut Vec<SeqEdge>,
+    fold_min_weight: bool,
+) -> (Vec<SeqEdge>, Vec<WeightFold>) {
+    let mut removed = Vec::new();
+    let mut kept: Vec<SeqEdge> = Vec::with_capacity(list.len());
+    let mut folded_idx: Vec<usize> = Vec::new();
+    for se in list.iter() {
+        match kept.iter().position(|k| k.edge.to == se.edge.to) {
+            None => kept.push(*se),
+            Some(i) => {
+                if fold_min_weight && se.edge.weight < kept[i].edge.weight {
+                    kept[i].edge.weight = se.edge.weight;
+                    if !folded_idx.contains(&i) {
+                        folded_idx.push(i);
+                    }
+                }
+                removed.push(*se);
+            }
+        }
+    }
+    let folds: Vec<WeightFold> = folded_idx
+        .into_iter()
+        .map(|i| {
+            let k = &kept[i];
+            (k.edge.to, k.seq, k.peer_shard, k.edge.weight)
+        })
+        .collect();
+    // A fold implies a removed replay, so this also commits fold patches.
+    if !removed.is_empty() {
+        *list = kept;
+    }
+    (removed, folds)
+}
+
+/// Removes the in-entry with sequence number `seq` from `to`'s in-list
+/// (`seq` is globally unique).
+fn remove_in_entry(s: &mut Shard, to: VertexId, seq: u64) {
+    if let Some(list) = s.in_edges.get_mut(&to) {
+        list.retain(|se| se.seq != seq);
+    }
+}
+
+/// Rewrites the weight of the in-entry with sequence number `seq`.
+fn patch_in_weight(s: &mut Shard, to: VertexId, seq: u64, weight: f64) {
+    if let Some(list) = s.in_edges.get_mut(&to) {
+        for se in list.iter_mut() {
+            if se.seq == seq {
+                se.edge.weight = weight;
+            }
+        }
+    }
+}
+
+/// A read transaction over every shard: the [`EdgeSource`] behind
+/// concurrent trajectory queries. Holds all shard read guards; memoises
+/// vertex→shard placements (seeded by the per-edge peer-shard hints) so a
+/// walk only probes shards for its seed.
+#[derive(Debug)]
+pub struct ShardReadTxn<'a> {
+    guards: Vec<RwLockReadGuard<'a, Shard>>,
+    locate: HashMap<VertexId, u16>,
+}
+
+impl ShardReadTxn<'_> {
+    fn shard_of(&mut self, v: VertexId) -> Option<u16> {
+        if let Some(&s) = self.locate.get(&v) {
+            return Some(s);
+        }
+        for (i, g) in self.guards.iter().enumerate() {
+            if g.vertices.contains_key(&v) {
+                self.locate.insert(v, i as u16);
+                return Some(i as u16);
+            }
+        }
+        None
+    }
+}
+
+impl EdgeSource for ShardReadTxn<'_> {
+    fn contains(&mut self, v: VertexId) -> bool {
+        self.shard_of(v).is_some()
+    }
+
+    fn neighbors(&mut self, v: VertexId, dir: Direction, out: &mut Vec<TrajectoryEdge>) {
+        let Some(shard) = self.shard_of(v) else {
+            return;
+        };
+        let Self { guards, locate } = self;
+        let g = &guards[shard as usize];
+        let list = match dir {
+            Direction::Forward => g.out_edges.get(&v),
+            Direction::Backward => g.in_edges.get(&v),
+        };
+        let Some(list) = list else {
+            return;
+        };
+        for se in list {
+            let neighbor = match dir {
+                Direction::Forward => se.edge.to,
+                Direction::Backward => se.edge.from,
+            };
+            // Keep-first logical view: pending deferred-dedup replays are
+            // invisible to queries, which is what makes compaction unable
+            // to change query results.
+            let duplicate = out.iter().any(|e| match dir {
+                Direction::Forward => e.to == neighbor,
+                Direction::Backward => e.from == neighbor,
+            });
+            if duplicate {
+                continue;
+            }
+            locate.entry(neighbor).or_insert(se.peer_shard);
+            out.push(se.edge);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Property tests: the sharded store is observationally equivalent to the
+//! flat reference graph at every shard count, and compaction never changes
+//! what queries see.
+//!
+//! Vertex ids are allocated globally (in insertion order) regardless of
+//! which shard a record lands on, so equivalence here is exact — same ids,
+//! same records, same adjacency — not merely isomorphic.
+
+use coral_geo::Heading;
+use coral_net::{EventId, VertexId};
+use coral_storage::{
+    trajectory, QueryOptions, ShardedTrajectoryGraph, StorageConfig, TrajectoryGraph,
+};
+use coral_topology::CameraId;
+use coral_vision::{ColorHistogram, TrackId};
+use proptest::prelude::*;
+
+/// Shard counts exercised for every generated stream. 1 is the
+/// byte-identity default; 7 is coprime with the camera/bucket mix so
+/// routing scatters.
+const SHARD_AXIS: [usize; 4] = [1, 2, 3, 7];
+
+const CAMERAS: u32 = 6;
+
+fn eid(cam: u32, track: u64) -> EventId {
+    EventId {
+        camera: CameraId(cam),
+        track: TrackId(track),
+    }
+}
+
+/// A deterministic appearance signature for event `i` (2 bins/channel =
+/// 8 bins): distinct per vertex so nearest-by-signature has real ordering
+/// to preserve.
+fn sig(i: usize) -> ColorHistogram {
+    let bins: Vec<f64> = (0..8)
+        .map(|j| ((i * 7 + j * 13) % 11) as f64 / 11.0 + 0.01)
+        .collect();
+    ColorHistogram::from_bins(2, bins).expect("8 bins for 2 bins/channel")
+}
+
+fn config(shard_count: usize, deferred: bool) -> StorageConfig {
+    StorageConfig {
+        shard_count,
+        // Small bucket + region so a ~30-event stream crosses many
+        // routing keys (events are ~950 ms apart).
+        time_bucket_ms: 2_000,
+        cameras_per_region: 2,
+        deferred_edge_dedup: deferred,
+        ..StorageConfig::default()
+    }
+}
+
+/// Ingests the stream into the flat reference graph.
+fn build_flat(n: usize, edges: &[(usize, usize, f64)]) -> TrajectoryGraph {
+    let mut g = TrajectoryGraph::new();
+    let vs: Vec<VertexId> = (0..n)
+        .map(|i| {
+            g.insert_event_with_signature(
+                eid((i as u32) % CAMERAS, i as u64),
+                i as u64 * 950,
+                i as u64 * 950 + 400,
+                Some(Heading::ALL[i % Heading::ALL.len()]),
+                Some(sig(i)),
+                None,
+            )
+        })
+        .collect();
+    for &(a, b, w) in edges {
+        let (a, b) = (a % n, b % n);
+        if a < b {
+            let _ = g.insert_edge(vs[a], vs[b], w);
+        }
+    }
+    g
+}
+
+/// Ingests the same stream into a sharded store; `replays` (1 = once)
+/// repeats each edge insert, modelling at-least-once redelivery.
+fn build_sharded(
+    n: usize,
+    edges: &[(usize, usize, f64)],
+    cfg: StorageConfig,
+    replays: &[usize],
+) -> ShardedTrajectoryGraph {
+    let g = ShardedTrajectoryGraph::new(cfg);
+    let vs: Vec<VertexId> = (0..n)
+        .map(|i| {
+            g.insert_event_with_signature(
+                eid((i as u32) % CAMERAS, i as u64),
+                i as u64 * 950,
+                i as u64 * 950 + 400,
+                Some(Heading::ALL[i % Heading::ALL.len()]),
+                Some(sig(i)),
+                None,
+            )
+        })
+        .collect();
+    for (k, &(a, b, w)) in edges.iter().enumerate() {
+        let (a, b) = (a % n, b % n);
+        if a < b {
+            let times = replays.get(k % replays.len().max(1)).copied().unwrap_or(1);
+            for _ in 0..times.max(1) {
+                g.insert_edge(vs[a], vs[b], w).unwrap();
+            }
+        }
+    }
+    g
+}
+
+/// Runs compaction to a full pass over the whole store.
+fn compact_fully(g: &ShardedTrajectoryGraph) -> (usize, usize) {
+    let (mut merged, mut folded) = (0, 0);
+    loop {
+        let r = g.compact_step(16);
+        merged += r.merged_edges;
+        folded += r.folded_edges;
+        if r.completed_pass {
+            return (merged, folded);
+        }
+    }
+}
+
+/// The full observable query surface of a store, as comparable data.
+fn observe(g: &ShardedTrajectoryGraph, n: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let horizon = n as u64 * 950 + 500;
+    for seed in [0, n / 2, n.saturating_sub(1)] {
+        let r = g
+            .trajectory(VertexId(seed as u64), QueryOptions::default())
+            .unwrap();
+        out.push(format!("traj {seed}: {r:?}"));
+    }
+    for cam in 0..CAMERAS {
+        out.push(format!(
+            "cam {cam}: {:?}",
+            g.vehicles_through_camera(CameraId(cam), 0, horizon)
+        ));
+        out.push(format!(
+            "cam-mid {cam}: {:?}",
+            g.vehicles_through_camera(CameraId(cam), horizon / 3, 2 * horizon / 3)
+        ));
+    }
+    out.push(format!(
+        "window: {:?}",
+        g.scan_window(horizon / 4, horizon / 2)
+    ));
+    out.push(format!(
+        "nearest: {:?}",
+        g.nearest_by_signature(&sig(1), 4, 1.0)
+    ));
+    out
+}
+
+proptest! {
+    #[test]
+    fn sharded_store_flattens_to_the_flat_graph(
+        n in 2usize..32,
+        raw_edges in proptest::collection::vec((0usize..32, 0usize..32, 0.0f64..1.0), 0..80),
+    ) {
+        let flat = build_flat(n, &raw_edges);
+        for k in SHARD_AXIS {
+            let sharded = build_sharded(n, &raw_edges, config(k, false), &[]);
+            prop_assert_eq!(sharded.vertex_count(), flat.vertex_count());
+            prop_assert_eq!(sharded.edge_count(), flat.edge_count());
+            let merged = sharded.to_flat();
+            prop_assert_eq!(merged.vertex_count(), flat.vertex_count());
+            prop_assert_eq!(merged.edge_count(), flat.edge_count());
+            for v in flat.vertices() {
+                prop_assert_eq!(merged.vertex(v.id).unwrap(), v, "vertex {} at {} shards", v.id, k);
+                prop_assert_eq!(
+                    merged.out_edges(v.id), flat.out_edges(v.id),
+                    "out-edges of {} at {} shards", v.id, k
+                );
+                prop_assert_eq!(
+                    merged.in_edges(v.id), flat.in_edges(v.id),
+                    "in-edges of {} at {} shards", v.id, k
+                );
+                prop_assert_eq!(merged.vertex_for_event(v.event), Some(v.id));
+            }
+        }
+    }
+
+    #[test]
+    fn queries_match_the_flat_reference_at_every_shard_count(
+        n in 2usize..32,
+        raw_edges in proptest::collection::vec((0usize..32, 0usize..32, 0.0f64..1.0), 0..80),
+        seed_idx in 0usize..32,
+    ) {
+        let flat = build_flat(n, &raw_edges);
+        let seed = VertexId((seed_idx % n) as u64);
+        let horizon = n as u64 * 950 + 500;
+        let flat_traj = trajectory(&flat, seed, QueryOptions::default()).unwrap();
+        for k in SHARD_AXIS {
+            let sharded = build_sharded(n, &raw_edges, config(k, false), &[]);
+            prop_assert_eq!(
+                &sharded.trajectory(seed, QueryOptions::default()).unwrap(),
+                &flat_traj,
+                "trajectory at {} shards", k
+            );
+            for cam in 0..CAMERAS {
+                for (lo, hi) in [(0, horizon), (horizon / 3, 2 * horizon / 3)] {
+                    prop_assert_eq!(
+                        sharded.vehicles_through_camera(CameraId(cam), lo, hi),
+                        flat.vehicles_through_camera(CameraId(cam), lo, hi),
+                        "camera {} window [{}, {}] at {} shards", cam, lo, hi, k
+                    );
+                }
+            }
+            prop_assert_eq!(
+                sharded.scan_window(horizon / 4, horizon / 2),
+                flat.scan_window(horizon / 4, horizon / 2)
+            );
+            prop_assert_eq!(
+                sharded.nearest_by_signature(&sig(seed_idx), 4, 1.0),
+                flat.nearest_by_signature(&sig(seed_idx), 4, 1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_is_idempotent_and_invisible_to_queries(
+        n in 2usize..24,
+        raw_edges in proptest::collection::vec((0usize..24, 0usize..24, 0.0f64..1.0), 0..60),
+        replays in proptest::collection::vec(1usize..4, 1..20),
+    ) {
+        // Deferred mode keeps redelivered edges; queries must be blind to
+        // them before, during and after compaction (keep-first view).
+        let deferred = build_sharded(n, &raw_edges, config(3, true), &replays);
+        let checked = build_sharded(n, &raw_edges, config(3, false), &[]);
+        let before = observe(&deferred, n);
+        prop_assert_eq!(&before, &observe(&checked, n), "pre-compaction view");
+
+        let (merged, _) = compact_fully(&deferred);
+        prop_assert_eq!(
+            deferred.edge_count(), checked.edge_count(),
+            "a full pass must merge every replay (merged {})", merged
+        );
+        prop_assert_eq!(&observe(&deferred, n), &before, "post-compaction view");
+
+        // Second pass: nothing left to do.
+        let (merged2, folded2) = compact_fully(&deferred);
+        prop_assert_eq!((merged2, folded2), (0, 0), "compaction must be idempotent");
+
+        // Deferred-then-compacted is structurally the checked-mode store.
+        let (a, b) = (deferred.to_flat(), checked.to_flat());
+        prop_assert_eq!(a.vertex_count(), b.vertex_count());
+        prop_assert_eq!(a.edge_count(), b.edge_count());
+        for v in b.vertices() {
+            prop_assert_eq!(a.out_edges(v.id), b.out_edges(v.id), "out-edges of {}", v.id);
+            prop_assert_eq!(a.in_edges(v.id), b.in_edges(v.id), "in-edges of {}", v.id);
+        }
+    }
+
+    #[test]
+    fn weight_folding_keeps_the_minimum_parallel_weight(
+        n in 2usize..16,
+        raw_edges in proptest::collection::vec((0usize..16, 0usize..16, 0.0f64..1.0), 1..30),
+    ) {
+        // With folding on, a compacted parallel bundle keeps the smallest
+        // (most confident) weight ever claimed for the pair.
+        let cfg = StorageConfig { fold_min_weight: true, ..config(3, true) };
+        let g = ShardedTrajectoryGraph::new(cfg);
+        let vs: Vec<VertexId> = (0..n)
+            .map(|i| {
+                g.insert_event(
+                    eid((i as u32) % CAMERAS, i as u64),
+                    i as u64 * 950,
+                    i as u64 * 950 + 400,
+                    None,
+                    None,
+                )
+            })
+            .collect();
+        let mut best: std::collections::BTreeMap<(VertexId, VertexId), f64> =
+            std::collections::BTreeMap::new();
+        for &(a, b, w) in &raw_edges {
+            let (a, b) = (a % n, b % n);
+            if a < b {
+                // Two claims per pair occurrence, the replay slightly
+                // worse — folding must keep the better of all claims.
+                g.insert_edge(vs[a], vs[b], w).unwrap();
+                g.insert_edge(vs[a], vs[b], (w + 0.05).min(1.0)).unwrap();
+                let e = best.entry((vs[a], vs[b])).or_insert(f64::INFINITY);
+                *e = e.min(w);
+            }
+        }
+        compact_fully(&g);
+        let flat = g.to_flat();
+        prop_assert_eq!(flat.edge_count(), best.len());
+        for (&(from, to), &w) in &best {
+            let kept: Vec<f64> = flat
+                .out_edges(from)
+                .iter()
+                .filter(|e| e.to == to)
+                .map(|e| e.weight)
+                .collect();
+            prop_assert_eq!(&kept, &vec![w], "pair {} -> {}", from, to);
+        }
+    }
+}

@@ -178,6 +178,21 @@ impl ColorHistogram {
         }
     }
 
+    /// Reassembles a histogram from raw bin values (the storage snapshot
+    /// restore path). Returns `None` unless `bins` has exactly
+    /// `bins_per_channel³` entries, so a truncated snapshot line cannot
+    /// produce a histogram that panics later in a Bhattacharyya compare.
+    pub fn from_bins(bins_per_channel: usize, bins: Vec<f64>) -> Option<Self> {
+        let b = bins_per_channel.max(1);
+        if bins.len() != b * b * b {
+            return None;
+        }
+        Some(Self {
+            bins_per_channel: b,
+            bins,
+        })
+    }
+
     /// Bins per channel.
     pub fn bins_per_channel(&self) -> usize {
         self.bins_per_channel

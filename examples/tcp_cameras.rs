@@ -146,7 +146,8 @@ fn main() {
     }
     server.join().expect("server thread ok");
 
-    let (vertices, edges, _, _) = storage.stats();
+    let stats = storage.stats();
+    let (vertices, edges) = (stats.vertices, stats.edges);
     println!("\ntrajectory graph: {vertices} vertices, {edges} edges");
     let seed = storage
         .with_graph(|g| g.vertices().min_by_key(|v| v.first_seen_ms).map(|v| v.id))

@@ -194,7 +194,8 @@ fn main() {
     }
 
     // The trajectory graph assembled by the threads.
-    let (vertices, edges, _, _) = storage.stats();
+    let stats = storage.stats();
+    let (vertices, edges) = (stats.vertices, stats.edges);
     println!("\ntrajectory graph: {vertices} vertices, {edges} edges");
     let seed = storage.with_graph(|g| g.vertices().min_by_key(|v| v.first_seen_ms).map(|v| v.id));
     if let Some(seed) = seed {

@@ -5,7 +5,7 @@ use coral_pie::geo::{generators, IntersectionId};
 use coral_pie::sim::{PoissonArrivals, SimTime};
 use coral_pie::topology::CameraId;
 
-fn run(seed: u64) -> (u64, u64, usize, usize, (usize, usize, u64, u64)) {
+fn run(seed: u64) -> (u64, u64, usize, usize, coral_pie::storage::StorageStats) {
     let net = generators::corridor(4, 120.0, 12.0);
     let specs: Vec<CameraSpec> = (0..4)
         .map(|i| CameraSpec {

@@ -53,8 +53,9 @@ fn five_camera_five_vehicle_tracks() {
     // 5 vehicles x 4 transitions.
     assert_eq!(report.transitions.len(), 20);
     // The trajectory graph has one vertex per (camera, vehicle).
-    let (v, e, _, _) = sys.storage().stats();
-    assert_eq!(v, 25);
+    let s = sys.storage().stats();
+    assert_eq!(s.vertices, 25);
+    let e = s.edges;
     assert!(e >= 15, "expected most transitions linked, got {e} edges");
 
     // Every vehicle's best track from its first detection covers >= 4

@@ -105,8 +105,9 @@ fn vehicle_produces_four_hop_track_through_lane_cameras() {
         assert_eq!((acc.tp, acc.fn_), (1, 0), "cam{cam}: {acc:?}");
     }
     // ...and the trajectory chains A -> C -> D -> B.
-    let (v, e, _, _) = sys.storage().stats();
-    assert_eq!(v, 4);
+    let s = sys.storage().stats();
+    assert_eq!(s.vertices, 4);
+    let e = s.edges;
     assert!(e >= 3, "expected a full chain, got {e} edges");
     let seed = sys.storage().with_graph(|g| {
         g.vertices()

@@ -158,7 +158,7 @@ fn outage_is_journaled_flips_health_and_explains_the_break() {
 
 /// Fingerprint of a run: delivery/event/passage counts plus storage
 /// stats — the same tuple `tests/determinism.rs` locks per seed.
-fn fingerprint(health_checks: bool) -> (u64, u64, usize, usize, (usize, usize, u64, u64)) {
+fn fingerprint(health_checks: bool) -> (u64, u64, usize, usize, coral_pie::storage::StorageStats) {
     let net = generators::corridor(4, 120.0, 12.0);
     let specs: Vec<CameraSpec> = (0..4)
         .map(|i| CameraSpec {

@@ -122,7 +122,8 @@ fn threads_and_router_build_a_track() {
 
     // Every camera detected the vehicle; re-identification linked them.
     assert!(total_events >= 3, "events: {total_events}");
-    let (vertices, edges, _, _) = storage.stats();
+    let stats = storage.stats();
+    let (vertices, edges) = (stats.vertices, stats.edges);
     assert!(vertices >= 3, "vertices: {vertices}");
     assert!(edges >= 1, "no cross-camera links were made");
     let seed = storage
