@@ -83,6 +83,31 @@ for seed in a b c; do
     cargo test -q --test chaos_self_healing "chaos_recovery_seed_${seed}"
 done
 
+# Federation gates: a whole-region partition (topology server + edge
+# store dark for 30 s of sim time) must be journaled, fail the orphaned
+# cameras over onto the survivor, heal within twice the heartbeat-miss
+# deadline, and lose no committed trajectory edge — per pinned fault
+# seed. The byte-identity test pins `FederationConfig`'s single-region
+# default to the pre-federation event stream; the replica-convergence
+# proptests prove the union view is delivery-order-insensitive; the ops
+# test pins /healthz flipping CRITICAL for exactly the dead region.
+for seed in a b c; do
+    echo "==> federation chaos matrix: fault seed ${seed}"
+    cargo test -q --test federation_chaos "region_kill_seed_${seed}"
+done
+echo "==> federation single-region byte-identity"
+cargo test -q --test federation_chaos single_region_federation_is_byte_identical
+echo "==> federation replica-convergence proptests"
+cargo test -q -p coral-storage --test proptest_replica_convergence
+echo "==> federation ops visibility"
+cargo test -q --test ops_plane region_partition_flips_health_for_exactly_the_dead_region
+if [ "$quick" -eq 0 ]; then
+    echo "==> federation city-grid partition (release)"
+    cargo test -q --release --test federation_chaos -- --ignored
+    echo "==> exp_region_failover accuracy/recovery gate (smoke)"
+    CORAL_FEDERATION_SMOKE=1 cargo run --release -p coral-bench --bin exp_region_failover
+fi
+
 # Accuracy regression gates: replay corridor scenarios, score against the
 # simulator's ground-truth log, and diff MOTA/IDF1/per-camera F2 against
 # the checked-in goldens (tolerance +/-0.02; counts and seeds exact).

@@ -9,15 +9,46 @@
 //! actors to their own transports.
 
 use crate::node::{CameraNode, NodeConfig};
-use crate::runtime::{sim_link, NodeDriver, SimRuntime, SimWorld};
+use crate::runtime::{region_endpoint, sim_link, NodeDriver, SimRuntime, SimWorld};
 use coral_geo::{GeoPoint, IntersectionId, RoadNetwork};
 use coral_net::{Endpoint, FaultPlan, RetryPolicy, SimNet};
 use coral_sim::{CameraView, LinkProfile, SceneEffects, SimDuration, TrafficConfig, TrafficModel};
-use coral_storage::{EdgeStorageNode, StorageConfig};
+use coral_storage::{EdgeStorageNode, FederatedStores, StorageConfig};
 use coral_topology::{CameraId, MdcsOptions, ServerConfig, TopologyServer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+
+/// Federated multi-region deployment knobs.
+///
+/// The default (`regions: 1`) deploys the classic single-region system —
+/// one topology server, one storage pool — through code paths that are
+/// byte-identical to a build without this struct: every federation hook
+/// in the runtime is a no-op when only one region exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FederationConfig {
+    /// Number of geographic regions. Cameras are partitioned into
+    /// contiguous stripes of the id-sorted roster; each region runs its
+    /// own topology server and trajectory store.
+    pub regions: u16,
+    /// Replicate boundary-crossing trajectory edges to the upstream
+    /// camera's home-region store (ignored when `regions == 1`).
+    pub replication: bool,
+    /// Re-parent a camera onto a surviving region when its parent region
+    /// stops acking heartbeats (ignored when `regions == 1`; requires
+    /// `SystemConfig::reliability` to detect the silence).
+    pub failover: bool,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        Self {
+            regions: 1,
+            replication: true,
+            failover: true,
+        }
+    }
+}
 
 /// Whole-system configuration.
 #[derive(Debug, Clone)]
@@ -84,6 +115,10 @@ pub struct SystemConfig {
     /// path does for an empty scene — so `true` and `false` produce
     /// byte-identical runs; sparse stepping only trades wall-clock time.
     pub sparse_stepping: bool,
+    /// Federated multi-region deployment. The default single region is
+    /// byte-identical to the pre-federation system; see
+    /// [`FederationConfig`].
+    pub federation: FederationConfig,
     /// Master seed for all stochastic components.
     pub seed: u64,
 }
@@ -110,6 +145,7 @@ impl Default for SystemConfig {
             health_checks: true,
             storage: StorageConfig::default(),
             sparse_stepping: true,
+            federation: FederationConfig::default(),
             seed: 42,
         }
     }
@@ -250,6 +286,10 @@ impl Deployment {
     /// Wires the deployment onto a simulated network and launches the
     /// discrete-event runtime.
     pub fn build(self) -> SimRuntime {
+        let regions = usize::from(self.config.federation.regions.max(1));
+        if regions > 1 {
+            return self.build_federated(regions);
+        }
         let server = self.make_server();
         let storage = EdgeStorageNode::with_config(512, self.config.storage.clone());
         let traffic = self.make_traffic();
@@ -273,6 +313,54 @@ impl Deployment {
             drivers.insert(id, NodeDriver::new(node, link));
         }
         let world = SimWorld::new(self.config, net, server, storage, traffic, drivers);
+        SimRuntime::launch(world, &join_order)
+    }
+
+    /// The multi-region wiring: one topology server and one trajectory
+    /// store per region, cameras partitioned into contiguous stripes of
+    /// the id-sorted roster, each node writing to (and heartbeating at)
+    /// its home region. The network, latency RNG, node seeds and join
+    /// order are exactly those of the single-region build.
+    fn build_federated(self, regions: usize) -> SimRuntime {
+        let servers: Vec<TopologyServer> = (0..regions).map(|_| self.make_server()).collect();
+        let stores = FederatedStores::new(regions, 512, self.config.storage.clone());
+        let traffic = self.make_traffic();
+        let links = self.config.links;
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ NET_SEED_MIX);
+        let net = SimNet::new(move |envelope| {
+            if envelope.is_cloud_bound() {
+                links.device_to_cloud.sample(&mut rng)
+            } else {
+                links.device_to_device.sample(&mut rng)
+            }
+        });
+        // Home regions: contiguous stripes over the id-sorted roster, so
+        // neighboring cameras (grid deployments number them row-major)
+        // mostly share a region and the boundary is where stripes meet.
+        let mut roster: Vec<CameraId> = self.placements.iter().map(|&(id, _, _)| id).collect();
+        roster.sort_unstable();
+        roster.dedup();
+        let n = roster.len().max(1);
+        let home: BTreeMap<CameraId, u16> = roster
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, (((i * regions) / n).min(regions - 1)) as u16))
+            .collect();
+        let mut drivers = BTreeMap::new();
+        let join_order: Vec<CameraId> = self.placements.iter().map(|&(id, _, _)| id).collect();
+        for &id in &join_order {
+            let region = usize::from(home.get(&id).copied().unwrap_or(0));
+            let node = self
+                .make_node(id, stores.node(region).clone())
+                .expect("placement exists");
+            let endpoint = Endpoint::Camera(id);
+            let link = sim_link(&self.config, net.handle(endpoint), endpoint);
+            let mut driver = NodeDriver::new(node, link);
+            driver.set_parent(region_endpoint(region as u16));
+            drivers.insert(id, driver);
+        }
+        let world =
+            SimWorld::new_federated(self.config, net, servers, stores, home, traffic, drivers);
         SimRuntime::launch(world, &join_order)
     }
 }

@@ -64,16 +64,22 @@ pub mod stepper;
 pub mod system;
 pub mod telemetry;
 
-pub use deploy::{CameraSpec, Deployment, SystemConfig};
+pub use deploy::{CameraSpec, Deployment, FederationConfig, SystemConfig};
 pub use metrics::{
     event_detection_accuracy, reid_accuracy, transitions_from_passages, Accuracy, Passage,
     Transition,
 };
-pub use node::{CameraNode, FrameOutput, NodeConfig, ReidRecord};
-pub use obs::{CoreObs, NodeObs, ServerObs, Stage, TickActivity};
+pub use node::{CameraNode, FrameOutput, HandoffEdge, NodeConfig, ReidRecord};
+pub use obs::{
+    region_health_rules, region_subject, CoreObs, NodeObs, ServerObs, Stage, TickActivity,
+};
 pub use pool::{Candidate, CandidatePool, PoolStats};
 pub use reid::{ReIdentifier, ReidConfig, ReidMatch};
-pub use runtime::{LivenessOutcome, NodeDriver, ServerDriver, SimRuntime, SimWorld};
+pub use runtime::{
+    region_endpoint, LivenessOutcome, NodeDriver, ServerDriver, SimRuntime, SimWorld,
+};
 pub use stepper::{StepStats, Stepper};
 pub use system::CoralPieSystem;
-pub use telemetry::{InformArrival, Recovery, SystemReport, Telemetry, TelemetrySink};
+pub use telemetry::{
+    InformArrival, Recovery, RegionRecovery, SystemReport, Telemetry, TelemetrySink,
+};

@@ -7,7 +7,7 @@
 
 use crate::pool::CandidatePool;
 use crate::reid::{ReIdentifier, ReidConfig, ReidMatch};
-use coral_net::{ConnectionManager, DetectionEvent, EventId, Message};
+use coral_net::{ConnectionManager, DetectionEvent, EventId, Message, VertexId};
 use coral_sim::CameraView;
 use coral_storage::EdgeStorageNode;
 use coral_topology::CameraId;
@@ -110,6 +110,24 @@ impl FrameAnalysis {
     }
 }
 
+/// A cross-camera trajectory edge committed this frame, with everything a
+/// federated runtime needs to replicate it to the upstream camera's
+/// region store (see `DESIGN.md` §13). Single-region deployments ignore
+/// these records entirely.
+#[derive(Debug, Clone)]
+pub struct HandoffEdge {
+    /// The upstream vertex the edge leaves from.
+    pub from_vertex: VertexId,
+    /// The camera that generated the upstream event.
+    pub from_camera: CameraId,
+    /// The local (downstream) detection event; `vertex` is set.
+    pub event: DetectionEvent,
+    /// FOV-entry timestamp of the local event, milliseconds.
+    pub first_ms: u64,
+    /// Bhattacharyya distance of the re-identification (edge weight).
+    pub distance: f64,
+}
+
 /// Output of processing one frame (or a flush).
 #[derive(Debug, Clone, Default)]
 pub struct FrameOutput {
@@ -120,6 +138,8 @@ pub struct FrameOutput {
     pub events: Vec<DetectionEvent>,
     /// Re-identifications performed this frame.
     pub reids: Vec<ReidRecord>,
+    /// Cross-camera edges committed this frame (replication candidates).
+    pub handoffs: Vec<HandoffEdge>,
 }
 
 /// The per-camera processing node.
@@ -182,6 +202,13 @@ impl CameraNode {
     /// The camera's view geometry.
     pub fn view(&self) -> &CameraView {
         &self.view
+    }
+
+    /// Swaps the node's storage handle. Region failover: the camera starts
+    /// writing events to the adoptive region's store; vertex ids stay
+    /// globally unique because all region stores share one allocator.
+    pub fn set_storage(&mut self, storage: EdgeStorageNode) {
+        self.storage = storage;
     }
 
     /// The candidate pool (telemetry).
@@ -373,6 +400,7 @@ impl CameraNode {
                 Vec::new()
             }
             Message::Heartbeat { .. } => Vec::new(), // cameras do not receive heartbeats
+            Message::Replicate { .. } => Vec::new(), // storage-plane traffic, not for cameras
             // Reliable-delivery framing is normally stripped by the
             // transport; unwrap defensively if a raw frame reaches us.
             Message::Sequenced { payload, .. } => self.on_message(*payload, now_ms),
@@ -429,7 +457,34 @@ impl CameraNode {
                 if let Some(up_vertex) = cand.event.vertex {
                     // §4.2.1 step b: edge pointing to the newer detection,
                     // weighted by the Bhattacharyya distance.
-                    let _ = self.storage.insert_edge(up_vertex, vertex, distance);
+                    let mut inserted = self.storage.insert_edge(up_vertex, vertex, distance);
+                    if matches!(inserted, Err(coral_storage::GraphError::UnknownVertex(_))) {
+                        // Federated deployment: the upstream vertex lives
+                        // in another region's store. Adopt it at its
+                        // global id from the inform copy — the only
+                        // metadata this camera holds, so the interval is
+                        // the point timestamp — then retry. The union view
+                        // prefers the owner region's record, so the
+                        // approximation never surfaces in merged queries.
+                        self.storage.adopt_event(
+                            up_vertex,
+                            cand.event.event_id(),
+                            cand.event.timestamp_ms,
+                            cand.event.timestamp_ms,
+                            cand.event.heading,
+                            Some(cand.event.signature.clone()),
+                            cand.event.ground_truth,
+                        );
+                        inserted = self.storage.insert_edge(up_vertex, vertex, distance);
+                    }
+                    let _ = inserted;
+                    out.handoffs.push(HandoffEdge {
+                        from_vertex: up_vertex,
+                        from_camera: cand.event.camera,
+                        event: event.clone(),
+                        first_ms,
+                        distance,
+                    });
                 }
             }
             self.pool.mark_matched_local(candidate);

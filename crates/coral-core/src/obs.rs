@@ -63,6 +63,14 @@ pub fn subject_for(camera: CameraId) -> String {
     format!("cam{}", camera.0)
 }
 
+/// The journal/health subject name of a federated region (`region1`).
+/// Partition journal entries, the region-contact gauge and health
+/// findings all use this spelling, matching the `Display` form of
+/// `Endpoint::RegionServer`.
+pub fn region_subject(region: u16) -> String {
+    format!("region{region}")
+}
+
 /// The default SLO rule set, parameterized by the deployment's protocol
 /// constants. `sparse` gates the active-fraction rule: in dense stepping
 /// every camera steps every tick by design, so a 100% active fraction is
@@ -138,6 +146,25 @@ pub fn default_health_rules(
         ));
     }
     rules
+}
+
+/// Federation SLO rules, installed alongside [`default_health_rules`]
+/// when a deployment has more than one region. A region whose server has
+/// not *directly* received a heartbeat for 1.5 intervals is degraded;
+/// past the liveness deadline the region is effectively partitioned (all
+/// surviving servers are evicting its cameras) and the finding is
+/// critical. The gauge is refreshed only on direct receipt — never on the
+/// in-process replica relay — so a partitioned region goes stale even
+/// though its peers keep processing every heartbeat.
+pub fn region_health_rules(heartbeat_interval_ms: u64, miss_threshold: u64) -> Vec<Rule> {
+    let hb = heartbeat_interval_ms.max(1) as f64;
+    vec![Rule::new(
+        "region-contact-staleness",
+        "region_last_contact_ms",
+        Some("region"),
+        RuleInput::GaugeStalenessMs,
+        Thresholds::new(hb * 1.5, hb * miss_threshold.max(1) as f64),
+    )]
 }
 
 /// Per-tick camera activity under sparse stepping: how many cameras ran
@@ -378,6 +405,19 @@ impl CoreObs {
             .set(now.as_millis() as i64);
     }
 
+    /// A region server *directly* received an envelope at sim time `now`:
+    /// refresh the contact gauge the `region-contact-staleness` rule
+    /// watches. Deliberately not called on the replica relay path, so the
+    /// gauge measures the region's own reachability.
+    pub fn note_region_contact(&self, region: u16, now: SimTime) {
+        self.registry()
+            .gauge(
+                "region_last_contact_ms",
+                &[("region", &region_subject(region))],
+            )
+            .set(now.as_millis() as i64);
+    }
+
     /// Edge-detects sparse active-fraction spikes: a tick where most
     /// cameras wake at once right after a mostly-idle tick is journaled
     /// (it usually means the occupancy index degenerated, e.g. a
@@ -614,6 +654,9 @@ impl TelemetrySink for CoreObs {
             Message::Confirm { .. } => self.delivered_confirms.inc(),
             Message::TopologyUpdate(_) => self.delivered_updates.inc(),
             Message::Heartbeat { .. } => {}
+            // Replication is storage-plane traffic; it never reaches a
+            // camera.
+            Message::Replicate { .. } => {}
             // Reliable-delivery framing is transport-internal and stripped
             // before delivery; raw frames carry no protocol telemetry.
             Message::Sequenced { .. } | Message::Ack { .. } => {}

@@ -14,11 +14,11 @@ use crate::deploy::SystemConfig;
 use crate::metrics::Passage;
 use crate::node::{CameraNode, FrameAnalysis, FrameOutput};
 use crate::obs::{
-    camera_pid, default_health_rules, subject_for, CoreObs, NodeObs, ServerObs, TickActivity,
-    HANDOFF_DEADLINE_MS, SERVER_PID,
+    camera_pid, default_health_rules, region_health_rules, region_subject, subject_for, CoreObs,
+    NodeObs, ServerObs, TickActivity, HANDOFF_DEADLINE_MS, SERVER_PID,
 };
 use crate::stepper::Stepper;
-use crate::telemetry::{Recovery, Telemetry, TelemetrySink};
+use crate::telemetry::{Recovery, RegionRecovery, Telemetry, TelemetrySink};
 use coral_net::{
     Endpoint, Envelope, FaultyTransport, Message, ReliableTransport, SendError, SimNet,
     SimTransport, Transport,
@@ -29,7 +29,7 @@ use coral_sim::{
     Engine, GroundTruthLog, OccupancyIndex, PoissonArrivals, SimDuration, SimTime, TrafficModel,
     VehicleState,
 };
-use coral_storage::EdgeStorageNode;
+use coral_storage::{EdgeStorageNode, FederatedStores, TrajectoryGraph};
 use coral_topology::{CameraId, MdcsUpdate, TopologyServer};
 use coral_vision::{GroundTruthId, Scene};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
@@ -48,6 +48,10 @@ pub struct NodeDriver<T: Transport> {
     node: CameraNode,
     transport: T,
     obs: Option<NodeObs>,
+    /// Where this camera's heartbeats go. `Endpoint::TopologyServer` in
+    /// single-region deployments; the home (or, under failover, adoptive)
+    /// region server endpoint in federated ones.
+    parent: Endpoint,
 }
 
 impl<T: Transport> NodeDriver<T> {
@@ -57,7 +61,18 @@ impl<T: Transport> NodeDriver<T> {
             node,
             transport,
             obs: None,
+            parent: Endpoint::TopologyServer,
         }
+    }
+
+    /// The endpoint this camera's heartbeats are addressed to.
+    pub fn parent(&self) -> Endpoint {
+        self.parent
+    }
+
+    /// Re-parents this camera's heartbeats (federation failover).
+    pub fn set_parent(&mut self, parent: Endpoint) {
+        self.parent = parent;
     }
 
     /// Installs observability handles: frame/message handling wall-times
@@ -109,7 +124,7 @@ impl<T: Transport> NodeDriver<T> {
             now,
             Envelope {
                 from: Endpoint::Camera(self.node.id()),
-                to: Endpoint::TopologyServer,
+                to: self.parent,
                 message: message.clone(),
             },
         )?;
@@ -263,6 +278,10 @@ pub struct ServerDriver<T: Transport> {
     server: TopologyServer,
     transport: T,
     obs: Option<ServerObs>,
+    /// This server's own network address — the `from` of every update it
+    /// sends. `Endpoint::TopologyServer` unless rebound to a federated
+    /// region server endpoint.
+    endpoint: Endpoint,
 }
 
 impl<T: Transport> ServerDriver<T> {
@@ -272,7 +291,19 @@ impl<T: Transport> ServerDriver<T> {
             server,
             transport,
             obs: None,
+            endpoint: Endpoint::TopologyServer,
         }
+    }
+
+    /// This server's network address.
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint
+    }
+
+    /// Rebinds the address updates are sent from (federated region
+    /// servers).
+    pub fn set_endpoint(&mut self, endpoint: Endpoint) {
+        self.endpoint = endpoint;
     }
 
     /// Installs observability handles: MDCS recomputation wall-times and
@@ -381,7 +412,7 @@ impl<T: Transport> ServerDriver<T> {
                 self.transport.send(
                     now,
                     Envelope {
-                        from: Endpoint::TopologyServer,
+                        from: self.endpoint,
                         to: Endpoint::Camera(to),
                         message: Message::TopologyUpdate(update),
                     },
@@ -413,6 +444,18 @@ fn endpoint_seed(endpoint: Endpoint) -> u64 {
         Endpoint::Camera(c) => 1 + (u64::from(c.0) << 8),
         Endpoint::TopologyServer => 2,
         Endpoint::EdgeStore(i) => 3 + (u64::from(i) << 8),
+        Endpoint::RegionServer(r) => 4 + (u64::from(r) << 8),
+    }
+}
+
+/// The heartbeat/topology endpoint of federated region `region`. Region 0
+/// keeps the single-region [`Endpoint::TopologyServer`] address, so a
+/// 1-region federation is byte-identical to no federation at all.
+pub fn region_endpoint(region: u16) -> Endpoint {
+    if region == 0 {
+        Endpoint::TopologyServer
+    } else {
+        Endpoint::RegionServer(region)
     }
 }
 
@@ -465,6 +508,62 @@ struct RecoveryTracker {
     outstanding: BTreeSet<CameraId>,
 }
 
+/// A fail-back in progress: after a region heal, its surviving home
+/// cameras are re-parented administratively, but the cycle only counts as
+/// recovered when each of their heartbeats has landed back at the revived
+/// region server directly.
+#[derive(Debug)]
+struct RegionRecoveryTracker {
+    region: u16,
+    killed_at: SimTime,
+    restored_at: SimTime,
+    outstanding: BTreeSet<CameraId>,
+}
+
+/// Runtime state of a federated deployment (`FederationConfig::regions`
+/// above 1). Every region runs its own topology server and edge store; all
+/// live region servers process every heartbeat (the direct receiver
+/// first, then an in-process replica relay in ascending region order), so
+/// their MDCS tables and update version counters evolve in lockstep and a
+/// camera can re-parent onto any surviving region without version skew.
+struct FederationPlane {
+    /// Region servers for regions `1..R` at index `region - 1`; region 0
+    /// is `SimWorld::server` (the single-region `TopologyServer`
+    /// endpoint).
+    servers: Vec<ServerDriver<SimLink>>,
+    /// Per-region trajectory stores behind one shared vertex/edge-seq
+    /// allocator. `stores.node(0)` is the same store as
+    /// `SimWorld::storage`.
+    stores: FederatedStores,
+    /// Receive links of `Endpoint::EdgeStore(r)` — the replication ingest
+    /// points. Pulled through the reliability stack so replication sends
+    /// are acked, retried, and eventually abandoned against a dead
+    /// region.
+    store_links: Vec<SimLink>,
+    /// Camera → home region: the static contiguous-stripe partition.
+    home: BTreeMap<CameraId, u16>,
+    /// Camera → current parent region (diverges from `home` only while a
+    /// failover is in effect).
+    parent: BTreeMap<CameraId, u16>,
+    /// Per-region liveness (a dead region's endpoints consume raw and
+    /// never ack).
+    alive: Vec<bool>,
+    /// Open partitions: region → kill time.
+    outages: BTreeMap<u16, SimTime>,
+    /// Fail-backs awaiting their first direct post-heal heartbeats.
+    recoveries: Vec<RegionRecoveryTracker>,
+    /// Replicate boundary-crossing edges to the upstream region's store.
+    replication: bool,
+    /// Re-parent cameras whose region server stops acking heartbeats.
+    failover: bool,
+}
+
+impl FederationPlane {
+    fn regions(&self) -> usize {
+        self.alive.len()
+    }
+}
+
 /// The discrete-event world: every deployed actor, the simulated network,
 /// ground-truth traffic and the accumulated telemetry.
 ///
@@ -503,6 +602,10 @@ pub struct SimWorld {
     /// the default checked ingest the stream is dup-free and every step is
     /// a structural no-op, so runs stay byte-identical.
     last_compact_s: u64,
+    /// Federated multi-region state; `None` for single-region deployments
+    /// (every federation hook is then a no-op, keeping the default path
+    /// byte-identical).
+    federation: Option<FederationPlane>,
 }
 
 impl std::fmt::Debug for SimWorld {
@@ -609,8 +712,106 @@ impl SimWorld {
             vehicle_states: Vec::new(),
             last_health_eval_s: 0,
             last_compact_s: 0,
+            federation: None,
             config,
         }
+    }
+
+    /// Builds a federated world: region 0 rides the single-region wiring
+    /// (its server keeps the `TopologyServer` endpoint, its store is
+    /// `SimWorld::storage`); regions `1..R` get their own server drivers,
+    /// and every region an `EdgeStore(r)` receive link for replication.
+    /// Every camera starts parented at its home region.
+    pub(crate) fn new_federated(
+        config: SystemConfig,
+        net: SimNet,
+        mut servers: Vec<TopologyServer>,
+        stores: FederatedStores,
+        home: BTreeMap<CameraId, u16>,
+        traffic: TrafficModel,
+        drivers: BTreeMap<CameraId, NodeDriver<SimLink>>,
+    ) -> Self {
+        let regions = stores.regions();
+        assert!(regions >= 2, "federated world needs at least two regions");
+        assert_eq!(servers.len(), regions, "one topology server per region");
+        let server0 = servers.remove(0);
+        let mut world = Self::new(
+            config,
+            net,
+            server0,
+            stores.node(0).clone(),
+            traffic,
+            drivers,
+        );
+        if world.config.health_checks {
+            let mut rules = default_health_rules(
+                world.config.heartbeat_interval.as_millis(),
+                u64::from(world.config.miss_threshold),
+                HANDOFF_DEADLINE_MS,
+                world.config.sparse_stepping,
+            );
+            rules.extend(region_health_rules(
+                world.config.heartbeat_interval.as_millis(),
+                u64::from(world.config.miss_threshold),
+            ));
+            world.obs.install_health_rules(rules);
+        }
+        world.obs.registry().describe(
+            "region_last_contact_ms",
+            "Per-region sim-clock timestamp of the last directly received heartbeat",
+        );
+        let mut extra = Vec::new();
+        for (i, server) in servers.into_iter().enumerate() {
+            let endpoint = Endpoint::RegionServer((i + 1) as u16);
+            let mut driver = ServerDriver::new(
+                server,
+                sim_link(&world.config, world.net.handle(endpoint), endpoint),
+            );
+            driver.set_endpoint(endpoint);
+            driver.set_obs(ServerObs::new(&world.obs));
+            extra.push(driver);
+        }
+        let mut store_links: Vec<SimLink> = (0..regions)
+            .map(|r| {
+                let endpoint = Endpoint::EdgeStore(r as u32);
+                sim_link(&world.config, world.net.handle(endpoint), endpoint)
+            })
+            .collect();
+        // Same per-link instrumentation the single-region constructor
+        // applies: chaos and retry counters only when the layer is live.
+        {
+            let registry = world.obs.registry();
+            let links = extra
+                .iter_mut()
+                .map(ServerDriver::transport_mut)
+                .chain(store_links.iter_mut());
+            for link in links {
+                if world.config.reliability.is_some() {
+                    link.instrument(registry);
+                    link.set_journal(world.obs.journal().clone());
+                }
+                if world.config.faults.is_some() {
+                    link.inner_mut().instrument(registry);
+                    link.inner_mut().set_journal(world.obs.journal().clone());
+                }
+            }
+        }
+        for r in 1..regions {
+            stores.node(r).instrument(world.obs.registry());
+        }
+        world.federation = Some(FederationPlane {
+            servers: extra,
+            store_links,
+            parent: home.clone(),
+            home,
+            alive: vec![true; regions],
+            outages: BTreeMap::new(),
+            recoveries: Vec::new(),
+            replication: world.config.federation.replication,
+            failover: world.config.federation.failover,
+            stores,
+        });
+        world
     }
 
     /// The system configuration.
@@ -638,14 +839,81 @@ impl SimWorld {
         self.sinks.push(Box::new(sink));
     }
 
-    /// The shared storage node.
+    /// The shared storage node (region 0's store in a federated world).
     pub fn storage(&self) -> &EdgeStorageNode {
         &self.storage
     }
 
-    /// The topology server.
+    /// Number of federated regions (`1` for single-region deployments).
+    pub fn regions(&self) -> usize {
+        self.federation.as_ref().map_or(1, FederationPlane::regions)
+    }
+
+    /// Region `region`'s trajectory store, if deployed.
+    pub fn region_store(&self, region: u16) -> Option<&EdgeStorageNode> {
+        match &self.federation {
+            Some(plane) => (usize::from(region) < plane.regions())
+                .then(|| plane.stores.node(usize::from(region))),
+            None => (region == 0).then_some(&self.storage),
+        }
+    }
+
+    /// The home region of `cam` (always 0 when single-region).
+    pub fn home_region_of(&self, cam: CameraId) -> u16 {
+        self.federation
+            .as_ref()
+            .and_then(|p| p.home.get(&cam).copied())
+            .unwrap_or(0)
+    }
+
+    /// The region currently parenting `cam`'s heartbeats (diverges from
+    /// the home region only while a failover is in effect).
+    pub fn parent_region_of(&self, cam: CameraId) -> u16 {
+        self.federation
+            .as_ref()
+            .and_then(|p| p.parent.get(&cam).copied())
+            .unwrap_or(0)
+    }
+
+    /// Whether region `region` is currently alive.
+    pub fn region_alive(&self, region: u16) -> bool {
+        self.federation.as_ref().map_or(region == 0, |p| {
+            p.alive.get(usize::from(region)).copied().unwrap_or(false)
+        })
+    }
+
+    /// Runs `f` over the deployment-wide trajectory graph: the store's
+    /// flat graph when single-region, the owner-preferring union of every
+    /// region store when federated. Replicated copies deduplicate under
+    /// the union (keep-first ingest), so the federated view converges to
+    /// what a single-region run would hold.
+    pub fn with_trajectory_graph<R>(&self, f: impl FnOnce(&TrajectoryGraph) -> R) -> R {
+        match &self.federation {
+            Some(plane) => {
+                let home = &plane.home;
+                let union = plane
+                    .stores
+                    .union(|c| usize::from(home.get(&c).copied().unwrap_or(0)));
+                f(&union)
+            }
+            None => self.storage.with_graph(f),
+        }
+    }
+
+    /// The topology server (region 0's server in a federated world).
     pub fn server(&self) -> &TopologyServer {
         self.server.server()
+    }
+
+    /// Region `region`'s topology server, if deployed.
+    pub fn region_server(&self, region: u16) -> Option<&TopologyServer> {
+        if region == 0 {
+            return Some(self.server.server());
+        }
+        self.federation
+            .as_ref()
+            .and_then(|p| p.servers.get(usize::from(region) - 1))
+            .map(ServerDriver::server)
     }
 
     /// A camera node, if deployed.
@@ -903,6 +1171,38 @@ impl SimWorld {
             for r in &out.reids {
                 self.obs.observe_reid(id, r, now);
             }
+            // Federation: a re-identification whose upstream camera lives
+            // in another region committed a boundary-crossing edge in this
+            // region's store. Replicate it to the upstream home region's
+            // store over the same reliability stack as everything else.
+            if let Some(plane) = &self.federation {
+                if plane.replication {
+                    let local = plane.home.get(&id).copied().unwrap_or(0);
+                    let sends: Vec<Envelope> = out
+                        .handoffs
+                        .iter()
+                        .filter_map(|h| {
+                            let up = plane.home.get(&h.from_camera).copied().unwrap_or(0);
+                            (up != local).then(|| Envelope {
+                                from: Endpoint::Camera(id),
+                                to: Endpoint::EdgeStore(u32::from(up)),
+                                message: Message::Replicate {
+                                    from: h.from_vertex,
+                                    event: h.event.clone(),
+                                    first_ms: h.first_ms,
+                                    distance: h.distance,
+                                },
+                            })
+                        })
+                        .collect();
+                    if !sends.is_empty() {
+                        let driver = self.drivers.get_mut(&id).expect("alive node exists");
+                        for env in sends {
+                            driver.transport_mut().send(now, env).expect(SIM_SEND);
+                        }
+                    }
+                }
+            }
             // Drive the reliability stack's timers (retransmissions of
             // unacked frames). A no-op on passthrough links.
             self.drivers
@@ -939,18 +1239,82 @@ impl SimWorld {
             if second > self.last_compact_s {
                 self.last_compact_s = second;
                 self.storage.compact_step();
+                // Every region's store compacts on the same cadence.
+                // (`self.storage` aliases region 0's store in federated
+                // deployments, so start at 1.)
+                if let Some(plane) = &self.federation {
+                    for r in 1..plane.regions() {
+                        plane.stores.node(r).compact_step();
+                    }
+                }
             }
         }
     }
 
     fn on_heartbeat(&mut self, cam: CameraId, now: SimTime) {
+        self.maybe_fail_over(cam, now);
         let driver = self.drivers.get_mut(&cam).expect("alive node exists");
         let message = driver.send_heartbeat(now).expect(SIM_SEND);
         let bytes = message.encoded_len() as u64;
         self.emit(|s| s.on_cloud_send(now, cam, bytes));
     }
 
+    /// Failover detection, from the camera's own vantage point: when the
+    /// reliability layer has `miss_threshold + 1` heartbeat frames still
+    /// unacked against the current parent, that region server is
+    /// unreachable — re-parent onto the next live region (ascending, with
+    /// wrap-around) and start writing events to its store. Requires a live
+    /// reliability layer (`SystemConfig::reliability`); passthrough links
+    /// never queue, so they never trigger a failover.
+    fn maybe_fail_over(&mut self, cam: CameraId, now: SimTime) {
+        let threshold = u64::from(self.config.miss_threshold) + 1;
+        let Some(plane) = &mut self.federation else {
+            return;
+        };
+        if !plane.failover {
+            return;
+        }
+        let Some(&current) = plane.parent.get(&cam) else {
+            return;
+        };
+        let Some(driver) = self.drivers.get_mut(&cam) else {
+            return;
+        };
+        let pending = driver.transport().pending_len_for(region_endpoint(current)) as u64;
+        if pending < threshold {
+            return;
+        }
+        let regions = plane.regions() as u16;
+        let Some(next) = (1..regions)
+            .map(|step| (current + step) % regions)
+            .find(|&r| plane.alive[usize::from(r)])
+        else {
+            return; // no surviving region to adopt this camera
+        };
+        driver.set_parent(region_endpoint(next));
+        driver
+            .node_mut()
+            .set_storage(plane.stores.node(usize::from(next)).clone());
+        plane.parent.insert(cam, next);
+        self.obs.journal().record(
+            JournalKind::HealthChange,
+            Severity::Warn,
+            now.as_micros(),
+            &subject_for(cam),
+            &format!(
+                "failover: {} unacked heartbeats against {}, re-parented to {}",
+                pending,
+                region_subject(current),
+                region_subject(next)
+            ),
+        );
+    }
+
     fn on_liveness_check(&mut self, now: SimTime) {
+        if self.federation.is_some() {
+            self.on_liveness_check_federated(now);
+            return;
+        }
         // Drive the server link's retransmission timers on the liveness
         // cadence. A no-op on passthrough links.
         self.server.transport_mut().tick(now);
@@ -959,10 +1323,56 @@ impl SimWorld {
             .server
             .check_liveness(now, |c| alive.contains(&c))
             .expect(SIM_SEND);
-        for r in outcome.removed {
+        self.resolve_removed(outcome.removed, &outcome.recipients, now);
+    }
+
+    /// The federated liveness sweep: every live region server scans at the
+    /// same instant, in ascending region order, each sending updates only
+    /// to the cameras it currently parents. Because all live servers
+    /// process the same heartbeat stream (see [`SimWorld::region_receive`])
+    /// their eviction decisions and version counters agree; the sweep
+    /// order only sequences the outgoing update envelopes.
+    fn on_liveness_check_federated(&mut self, now: SimTime) {
+        let regions = self.regions();
+        let mut removed: BTreeSet<CameraId> = BTreeSet::new();
+        let mut recipients: BTreeSet<CameraId> = BTreeSet::new();
+        for r in 0..regions as u16 {
+            let plane = self.federation.as_mut().expect("federated world");
+            if !plane.alive[usize::from(r)] {
+                continue;
+            }
+            let FederationPlane {
+                servers, parent, ..
+            } = plane;
+            let alive = &self.alive;
+            let permit = |c: CameraId| alive.contains(&c) && parent.get(&c).copied() == Some(r);
+            let outcome = if r == 0 {
+                self.server.transport_mut().tick(now);
+                self.server.check_liveness(now, permit)
+            } else {
+                let driver = &mut servers[usize::from(r) - 1];
+                driver.transport_mut().tick(now);
+                driver.check_liveness(now, permit)
+            }
+            .expect(SIM_SEND);
+            removed.extend(outcome.removed);
+            recipients.extend(outcome.recipients);
+        }
+        self.resolve_removed(removed.into_iter().collect(), &recipients, now);
+    }
+
+    /// Matches evicted cameras against scheduled kills and opens (or
+    /// instantly closes) their recovery measurements.
+    fn resolve_removed(
+        &mut self,
+        removed: Vec<CameraId>,
+        recipients: &BTreeSet<CameraId>,
+        now: SimTime,
+    ) {
+        for r in removed {
             if let Some(pos) = self.pending_kills.iter().position(|&(c, _)| c == r) {
                 let (_, killed_at) = self.pending_kills.remove(pos);
-                if outcome.recipients.is_empty() {
+                if recipients.is_empty() {
                     // No survivors affected: instantaneous recovery.
                     let recovery = Recovery {
                         killed: r,
@@ -974,7 +1384,7 @@ impl SimWorld {
                     self.recovery_trackers.push(RecoveryTracker {
                         killed: r,
                         killed_at,
-                        outstanding: outcome.recipients.clone(),
+                        outstanding: recipients.clone(),
                     });
                 }
             }
@@ -984,16 +1394,43 @@ impl SimWorld {
     fn deliver_one(&mut self, endpoint: Endpoint, now: SimTime) {
         match endpoint {
             Endpoint::TopologyServer => {
+                if self.federation.is_some() && !self.region_alive(0) {
+                    // A partitioned region's server can never ack: consume
+                    // the frame raw, off the reliability stack, so senders
+                    // see silence (and eventually fail over).
+                    let _ = self.net.handle(endpoint).poll(now);
+                    return;
+                }
                 // Polled through the reliability stack: acks are consumed
                 // (and generated) inside it, so a due slot may legally
                 // yield nothing.
                 let Some(envelope) = self.server.transport_mut().poll(now) else {
                     return;
                 };
-                let alive = &self.alive;
-                self.server
-                    .on_envelope(envelope, now, |c| alive.contains(&c))
-                    .expect(SIM_SEND);
+                if self.federation.is_some() {
+                    self.region_receive(0, envelope, now);
+                } else {
+                    let alive = &self.alive;
+                    self.server
+                        .on_envelope(envelope, now, |c| alive.contains(&c))
+                        .expect(SIM_SEND);
+                }
+            }
+            Endpoint::RegionServer(r) => {
+                let live = self
+                    .federation
+                    .as_ref()
+                    .is_some_and(|p| usize::from(r) >= 1 && usize::from(r) < p.regions());
+                if !live || !self.region_alive(r) {
+                    let _ = self.net.handle(endpoint).poll(now);
+                    return;
+                }
+                let plane = self.federation.as_mut().expect("federated world");
+                let Some(envelope) = plane.servers[usize::from(r) - 1].transport_mut().poll(now)
+                else {
+                    return;
+                };
+                self.region_receive(r, envelope, now);
             }
             Endpoint::Camera(cam) => {
                 if !self.alive.contains(&cam) {
@@ -1015,11 +1452,220 @@ impl SimWorld {
                 let driver = self.drivers.get_mut(&cam).expect("alive node exists");
                 driver.deliver(message, now).expect(SIM_SEND);
             }
-            Endpoint::EdgeStore(_) => {
-                // Consumed and ignored, exactly as in the original loop.
-                let _ = self.net.handle(endpoint).poll(now);
+            Endpoint::EdgeStore(i) => {
+                let Some(plane) = &mut self.federation else {
+                    // Consumed and ignored, exactly as in the original loop.
+                    let _ = self.net.handle(endpoint).poll(now);
+                    return;
+                };
+                let r = i as usize;
+                if r >= plane.regions() || !plane.alive[r] {
+                    // A partitioned region's store can't ack either; the
+                    // sender's reliability layer retries and eventually
+                    // abandons (the primary commit still holds the edge).
+                    let _ = self.net.handle(endpoint).poll(now);
+                    return;
+                }
+                let Some(envelope) = plane.store_links[r].poll(now) else {
+                    return;
+                };
+                if let Message::Replicate {
+                    from,
+                    event,
+                    first_ms,
+                    distance,
+                } = envelope.message
+                {
+                    if let Some(v) = event.vertex {
+                        let store = plane.stores.node(r);
+                        // Keep-first on both writes: redelivery (and
+                        // delivery after the primary already converged the
+                        // union) is a structural no-op.
+                        store.adopt_event(
+                            v,
+                            event.event_id(),
+                            first_ms,
+                            event.timestamp_ms,
+                            event.heading,
+                            Some(event.signature.clone()),
+                            event.ground_truth,
+                        );
+                        let _ = store.insert_edge(from, v, distance);
+                    }
+                }
             }
         }
+    }
+
+    /// Federated ingress: a frame arrived at region `region`'s server. The
+    /// direct receiver acks and refreshes the region-contact gauge; then
+    /// every live server — the receiver included — processes the payload,
+    /// in ascending region order, so all replicas advance through the same
+    /// topology-state machine and stay byte-identical. Update fan-out is
+    /// suppressed on replicas by the parentage permit.
+    fn region_receive(&mut self, region: u16, envelope: Envelope, now: SimTime) {
+        self.obs.note_region_contact(region, now);
+        if let Message::Heartbeat { camera, .. } = envelope.message {
+            self.note_region_heartbeat(region, camera, now);
+        }
+        let regions = self.regions();
+        for r in 0..regions as u16 {
+            let plane = self.federation.as_mut().expect("federated world");
+            if !plane.alive[usize::from(r)] {
+                continue;
+            }
+            let FederationPlane {
+                servers, parent, ..
+            } = plane;
+            let alive = &self.alive;
+            let permit = |c: CameraId| alive.contains(&c) && parent.get(&c).copied() == Some(r);
+            let env = envelope.clone();
+            if r == 0 {
+                self.server.on_envelope(env, now, permit).expect(SIM_SEND);
+            } else {
+                servers[usize::from(r) - 1]
+                    .on_envelope(env, now, permit)
+                    .expect(SIM_SEND);
+            }
+        }
+    }
+
+    /// A heartbeat landed at a freshly restored region: retire it from any
+    /// open region-recovery measurement and emit the measurement once the
+    /// last straggler has reported in.
+    fn note_region_heartbeat(&mut self, region: u16, camera: CameraId, now: SimTime) {
+        let mut done: Vec<RegionRecovery> = Vec::new();
+        if let Some(plane) = &mut self.federation {
+            let mut i = 0;
+            while i < plane.recoveries.len() {
+                let t = &mut plane.recoveries[i];
+                if t.region == region {
+                    t.outstanding.remove(&camera);
+                    if t.outstanding.is_empty() {
+                        let t = plane.recoveries.remove(i);
+                        done.push(RegionRecovery {
+                            region: t.region,
+                            killed_at: t.killed_at,
+                            restored_at: t.restored_at,
+                            recovered_at: now,
+                        });
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+        for rec in done {
+            self.emit(|s| s.on_region_recovery(&rec));
+        }
+    }
+
+    /// Partitions a whole region: its topology server and edge store stop
+    /// acking (crash-stop), while its cameras keep running — they pile up
+    /// unacked heartbeats and fail over onto a surviving region.
+    pub(crate) fn on_region_kill(&mut self, region: u16, now: SimTime) {
+        let Some(plane) = &mut self.federation else {
+            return;
+        };
+        let r = usize::from(region);
+        if r >= plane.regions() || !plane.alive[r] {
+            return;
+        }
+        plane.alive[r] = false;
+        plane.outages.insert(region, now);
+        self.obs.journal().record(
+            JournalKind::PartitionOpen,
+            Severity::Error,
+            now.as_micros(),
+            &region_subject(region),
+            &format!("region {region} partitioned: topology server and edge store unreachable"),
+        );
+    }
+
+    /// Heals a region partition. The restarted server adopts a live
+    /// replica's topology state (state transfer from the lowest-numbered
+    /// surviving region), and the region's home cameras are handed back
+    /// administratively — the operator's fail-back, mirroring how the
+    /// failover moved them away. Returns whether the region was newly
+    /// revived.
+    pub(crate) fn on_region_restore(&mut self, region: u16, now: SimTime) -> bool {
+        let Some(plane) = &mut self.federation else {
+            return false;
+        };
+        let r = usize::from(region);
+        if r >= plane.regions() || plane.alive[r] {
+            return false;
+        }
+        plane.alive[r] = true;
+        let killed_at = plane.outages.remove(&region).unwrap_or(now);
+        // State transfer: clone the topology replica of the lowest live
+        // region other than the one coming back. (All live replicas are
+        // identical, so "lowest" is a convention, not a choice.)
+        let donor = (0..plane.regions())
+            .find(|&d| d != r && plane.alive[d])
+            .map(|d| {
+                if d == 0 {
+                    self.server.server().clone()
+                } else {
+                    plane.servers[d - 1].server().clone()
+                }
+            });
+        if let Some(state) = donor {
+            let plane = self.federation.as_mut().expect("federated world");
+            if r == 0 {
+                *self.server.server_mut() = state;
+            } else {
+                *plane.servers[r - 1].server_mut() = state;
+            }
+        }
+        // Administrative fail-back of the region's home cameras.
+        let plane = self.federation.as_mut().expect("federated world");
+        let mut outstanding: BTreeSet<CameraId> = BTreeSet::new();
+        let homecoming: Vec<CameraId> = plane
+            .home
+            .iter()
+            .filter(|&(_, &h)| h == region)
+            .map(|(&c, _)| c)
+            .collect();
+        for cam in homecoming {
+            if let Some(driver) = self.drivers.get_mut(&cam) {
+                let plane = self.federation.as_mut().expect("federated world");
+                driver.set_parent(region_endpoint(region));
+                driver.node_mut().set_storage(plane.stores.node(r).clone());
+                plane.parent.insert(cam, region);
+                if self.alive.contains(&cam) {
+                    outstanding.insert(cam);
+                }
+            }
+        }
+        let plane = self.federation.as_mut().expect("federated world");
+        let mut instant: Option<RegionRecovery> = None;
+        if outstanding.is_empty() {
+            instant = Some(RegionRecovery {
+                region,
+                killed_at,
+                restored_at: now,
+                recovered_at: now,
+            });
+        } else {
+            plane.recoveries.push(RegionRecoveryTracker {
+                region,
+                killed_at,
+                restored_at: now,
+                outstanding,
+            });
+        }
+        self.obs.journal().record(
+            JournalKind::PartitionHeal,
+            Severity::Info,
+            now.as_micros(),
+            &region_subject(region),
+            &format!("region {region} healed: state transferred, home cameras re-parented"),
+        );
+        if let Some(rec) = instant {
+            self.emit(|s| s.on_region_recovery(&rec));
+        }
+        true
     }
 
     fn on_kill(&mut self, cam: CameraId, now: SimTime) {
@@ -1235,6 +1881,26 @@ impl SimRuntime {
                     let next = ctx.now() + SimDuration::from_millis(1);
                     ctx.schedule_at(next, heartbeat_action(cam));
                 }
+            });
+    }
+
+    /// Schedules a whole-region partition at `at`: the region's topology
+    /// server and edge store stop acking. A no-op outside federated
+    /// deployments or for an already-dead region.
+    pub fn schedule_region_kill(&mut self, at: SimTime, region: u16) {
+        self.engine
+            .schedule_at(at, move |w: &mut SimWorld, ctx: &mut Context<SimWorld>| {
+                w.on_region_kill(region, ctx.now());
+            });
+    }
+
+    /// Schedules the heal of a region partition at `at`: the server comes
+    /// back with state transferred from a surviving replica and the
+    /// region's home cameras fail back to it.
+    pub fn schedule_region_restore(&mut self, at: SimTime, region: u16) {
+        self.engine
+            .schedule_at(at, move |w: &mut SimWorld, ctx: &mut Context<SimWorld>| {
+                let _ = w.on_region_restore(region, ctx.now());
             });
     }
 

@@ -95,6 +95,32 @@ impl CoralPieSystem {
         }
     }
 
+    /// Schedules a whole-region partition at `at` (federated deployments;
+    /// a no-op otherwise).
+    pub fn schedule_region_kill(&mut self, at: SimTime, region: u16) {
+        self.runtime.schedule_region_kill(at, region);
+    }
+
+    /// Schedules the heal of a region partition at `at`.
+    pub fn schedule_region_restore(&mut self, at: SimTime, region: u16) {
+        self.runtime.schedule_region_restore(at, region);
+    }
+
+    /// Number of federated regions (`1` for single-region deployments).
+    pub fn regions(&self) -> usize {
+        self.runtime.world().regions()
+    }
+
+    /// Runs `f` over the deployment-wide trajectory graph: the flat store
+    /// when single-region, the owner-preferring union of every region
+    /// store when federated.
+    pub fn with_trajectory_graph<R>(
+        &self,
+        f: impl FnOnce(&coral_storage::TrajectoryGraph) -> R,
+    ) -> R {
+        self.runtime.world().with_trajectory_graph(f)
+    }
+
     /// The current simulation time.
     pub fn now(&self) -> SimTime {
         self.runtime.now()
@@ -211,9 +237,7 @@ impl CoralPieSystem {
             t.events.iter().map(|&(c, gt, _)| (c, gt)).collect();
         let detection = event_detection_accuracy(&t.passages, &events);
         let transitions = transitions_from_passages(&t.passages);
-        let reid = world
-            .storage()
-            .with_graph(|g| reid_accuracy(g, &transitions));
+        let reid = world.with_trajectory_graph(|g| reid_accuracy(g, &transitions));
         let pools = world
             .nodes()
             .map(|(id, n)| (id, (n.pool().stats(), n.pool().spurious_fraction())))

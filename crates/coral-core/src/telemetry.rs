@@ -42,6 +42,35 @@ impl Recovery {
     }
 }
 
+/// A completed region-failover measurement (federated deployments): one
+/// whole region's server and store were partitioned away, restored, and
+/// every surviving home camera's heartbeat landed back at the revived
+/// region server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionRecovery {
+    /// The partitioned region.
+    pub region: u16,
+    /// When the partition opened.
+    pub killed_at: SimTime,
+    /// When the partition healed (the region came back).
+    pub restored_at: SimTime,
+    /// When the last surviving home camera's heartbeat was received
+    /// directly by the revived region server again.
+    pub recovered_at: SimTime,
+}
+
+impl RegionRecovery {
+    /// How long the region was partitioned.
+    pub fn downtime(&self) -> SimDuration {
+        self.restored_at.since(self.killed_at)
+    }
+
+    /// How long re-convergence took after the heal.
+    pub fn recovery(&self) -> SimDuration {
+        self.recovered_at.since(self.restored_at)
+    }
+}
+
 /// Observer of runtime measurements.
 ///
 /// The runtime drives one mandatory sink — the [`Telemetry`] accumulator
@@ -81,6 +110,11 @@ pub trait TelemetrySink {
     fn on_recovery(&mut self, recovery: &Recovery) {
         let _ = recovery;
     }
+
+    /// A region failover cycle completed (federated deployments only).
+    fn on_region_recovery(&mut self, recovery: &RegionRecovery) {
+        let _ = recovery;
+    }
 }
 
 /// Telemetry accumulated over a run — the default [`TelemetrySink`].
@@ -92,6 +126,8 @@ pub struct Telemetry {
     pub informs: Vec<InformArrival>,
     /// Completed failure recoveries.
     pub recoveries: Vec<Recovery>,
+    /// Completed region-failover cycles (federated deployments only).
+    pub region_recoveries: Vec<RegionRecovery>,
     /// Detection events generated: `(camera, ground truth, at)`.
     pub events: Vec<(CameraId, Option<GroundTruthId>, SimTime)>,
     /// Per-frame detector hits on ground-truth vehicles:
@@ -150,6 +186,9 @@ impl TelemetrySink for Telemetry {
                 self.cloud_bytes += message.encoded_len() as u64;
             }
             Message::Heartbeat { .. } => {}
+            // Replication is storage-plane traffic addressed to edge
+            // stores; it never reaches a camera.
+            Message::Replicate { .. } => {}
             // Reliable-delivery framing is transport-internal and stripped
             // before delivery; raw frames carry no protocol telemetry.
             Message::Sequenced { .. } | Message::Ack { .. } => {}
@@ -162,6 +201,10 @@ impl TelemetrySink for Telemetry {
 
     fn on_recovery(&mut self, recovery: &Recovery) {
         self.recoveries.push(*recovery);
+    }
+
+    fn on_region_recovery(&mut self, recovery: &RegionRecovery) {
+        self.region_recoveries.push(*recovery);
     }
 }
 
@@ -190,6 +233,10 @@ impl<S: TelemetrySink> TelemetrySink for std::sync::Arc<parking_lot::Mutex<S>> {
 
     fn on_recovery(&mut self, recovery: &Recovery) {
         self.lock().on_recovery(recovery);
+    }
+
+    fn on_region_recovery(&mut self, recovery: &RegionRecovery) {
+        self.lock().on_region_recovery(recovery);
     }
 }
 

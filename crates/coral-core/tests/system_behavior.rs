@@ -333,6 +333,7 @@ fn added_sinks_receive_identical_sequences() {
                 coral_net::Message::Heartbeat { .. } => "heartbeat",
                 coral_net::Message::TopologyUpdate(_) => "update",
                 coral_net::Message::Sequenced { .. } | coral_net::Message::Ack { .. } => "framing",
+                coral_net::Message::Replicate { .. } => "replicate",
             };
             self.log.push(format!("delivery {kind} {to} {at}"));
         }

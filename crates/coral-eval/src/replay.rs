@@ -42,6 +42,9 @@ pub struct Scenario {
     /// lights, open arrivals, incidents and scene effects instead of the
     /// corridor schedule.
     pub hard: Option<ScenarioSpec>,
+    /// Scheduled whole-region partitions, `(region, down_s, up_s)` —
+    /// meaningful only with a federated config (`with_regions`).
+    pub region_outages: Vec<(u16, u64, u64)>,
 }
 
 impl Scenario {
@@ -71,6 +74,7 @@ impl Scenario {
             },
             failures: FailureSchedule::default(),
             hard: None,
+            region_outages: Vec::new(),
         }
     }
 
@@ -121,7 +125,27 @@ impl Scenario {
             },
             failures: FailureSchedule::default(),
             hard: Some(spec),
+            region_outages: Vec::new(),
         }
+    }
+
+    /// Deploys the scenario across `regions` federated regions (contiguous
+    /// camera stripes, one topology server and trajectory store each),
+    /// renaming the scenario to match. `1` is the plain deployment.
+    pub fn with_regions(mut self, regions: u16) -> Self {
+        if regions > 1 {
+            self.name = format!("{}-fed{}", self.name, regions);
+        }
+        self.config.federation.regions = regions;
+        self
+    }
+
+    /// Schedules a whole-region partition: `region`'s topology server and
+    /// edge store go unreachable at `down_s` and heal at `up_s`.
+    pub fn with_region_outage(mut self, region: u16, down_s: u64, up_s: u64) -> Self {
+        self.name = format!("{}-regionkill{}", self.name, region);
+        self.region_outages.push((region, down_s, up_s));
+        self
     }
 
     /// Schedules an outage: `camera` is killed at `down_s` and restored at
@@ -177,6 +201,10 @@ impl Scenario {
         if !self.failures.is_empty() {
             sys.set_failures(&self.failures);
         }
+        for &(region, down_s, up_s) in &self.region_outages {
+            sys.schedule_region_kill(SimTime::from_secs(down_s), region);
+            sys.schedule_region_restore(SimTime::from_secs(up_s), region);
+        }
         sys.run_until(SimTime::from_secs(self.spawn_start_s));
         let first = IntersectionId(0);
         let last = IntersectionId(self.cameras as u32 - 1);
@@ -215,6 +243,10 @@ impl Scenario {
         sys.set_arrivals(spec.arrivals(self.config.seed ^ ARRIVALS_SEED_MIX));
         if !self.failures.is_empty() {
             sys.set_failures(&self.failures);
+        }
+        for &(region, down_s, up_s) in &self.region_outages {
+            sys.schedule_region_kill(SimTime::from_secs(down_s), region);
+            sys.schedule_region_restore(SimTime::from_secs(up_s), region);
         }
         sys.run_until(SimTime::from_secs(self.run_secs));
         sys.finish();
@@ -262,13 +294,13 @@ impl EvalReport {
 /// attributes every miss to a pipeline stage.
 pub fn evaluate(scenario: &str, seed: u64, sys: &CoralPieSystem) -> EvalReport {
     let gt = sys.ground_truth();
-    let (score, matches) = sys.storage().with_graph(|g| {
+    // The deployment-wide trajectory view: the flat store single-region,
+    // the owner-preferring union of every region store when federated.
+    let (score, matches) = sys.with_trajectory_graph(|g| {
         let tracks = extract_tracks(g);
         score_tracks(gt, g, &tracks)
     });
-    let misses = sys
-        .storage()
-        .with_graph(|g| attribute(sys.telemetry(), g, &matches));
+    let misses = sys.with_trajectory_graph(|g| attribute(sys.telemetry(), g, &matches));
     let attribution = AttributionSummary::from_misses(&misses);
     let per_camera_f2 = sys
         .report()

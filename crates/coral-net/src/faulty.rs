@@ -129,6 +129,7 @@ fn endpoint_seed(endpoint: Endpoint) -> u64 {
         Endpoint::Camera(c) => 0x00fa_417e ^ (u64::from(c.0) << 8),
         Endpoint::TopologyServer => 0x00fa_417e ^ 0x0c10_0d00,
         Endpoint::EdgeStore(i) => 0x00fa_417e ^ (0x0ed6_e000 | u64::from(i)),
+        Endpoint::RegionServer(r) => 0x00fa_417e ^ (0x4e91_0000 | u64::from(r)),
     }
 }
 
@@ -162,6 +163,10 @@ pub struct FaultyTransport<T> {
     partitioned: BTreeSet<Endpoint>,
     counters: Option<FaultCounters>,
     journal: Option<Journal>,
+    /// Deployment-region label of this endpoint (federated runs), appended
+    /// to partition journal details so cross-region handoff misses can be
+    /// attributed to the right region.
+    region_label: Option<String>,
     /// Latest sim-time observed on the send/tick path, used to stamp
     /// partition events (partition/heal calls carry no clock).
     last_now: SimTime,
@@ -180,6 +185,7 @@ impl<T: Transport> FaultyTransport<T> {
             partitioned: BTreeSet::new(),
             counters: None,
             journal: None,
+            region_label: None,
             last_now: SimTime::ZERO,
             endpoint,
         }
@@ -221,14 +227,21 @@ impl<T: Transport> FaultyTransport<T> {
         self.journal = Some(journal);
     }
 
+    /// Labels this endpoint with its deployment region; partition journal
+    /// details carry the label so region-wide outages are attributable.
+    pub fn set_region(&mut self, label: impl Into<String>) {
+        self.region_label = Some(label.into());
+    }
+
     /// Makes `to` unreachable: subsequent sends toward it are silently
     /// dropped until [`FaultyTransport::heal`].
     pub fn partition(&mut self, to: Endpoint) {
         if self.partitioned.insert(to) {
-            self.journal_event(
+            self.journal_partition(
                 JournalKind::PartitionOpen,
                 Severity::Warn,
-                &format!("link to {to} partitioned"),
+                to,
+                "partitioned",
             );
         }
     }
@@ -236,11 +249,7 @@ impl<T: Transport> FaultyTransport<T> {
     /// Removes the partition toward `to`.
     pub fn heal(&mut self, to: Endpoint) {
         if self.partitioned.remove(&to) {
-            self.journal_event(
-                JournalKind::PartitionHeal,
-                Severity::Info,
-                &format!("link to {to} healed"),
-            );
+            self.journal_partition(JournalKind::PartitionHeal, Severity::Info, to, "healed");
         }
     }
 
@@ -255,15 +264,19 @@ impl<T: Transport> FaultyTransport<T> {
         }
     }
 
-    fn journal_event(&self, kind: JournalKind, severity: Severity, detail: &str) {
+    /// Journals a partition transition against the *link* subject
+    /// (`from->to`), not just the local endpoint: a partition is a
+    /// property of one directed link, and downstream attribution
+    /// (`explain_track_break`) needs to know which peer became
+    /// unreachable. The region label, when set, rides in the detail.
+    fn journal_partition(&self, kind: JournalKind, severity: Severity, to: Endpoint, what: &str) {
         if let Some(journal) = &self.journal {
-            journal.record(
-                kind,
-                severity,
-                self.last_now.as_micros(),
-                &self.endpoint.to_string(),
-                detail,
-            );
+            let subject = format!("{}->{}", self.endpoint, to);
+            let detail = match &self.region_label {
+                Some(region) => format!("link {subject} {what} [{region}]"),
+                None => format!("link {subject} {what}"),
+            };
+            journal.record(kind, severity, self.last_now.as_micros(), &subject, &detail);
         }
     }
 
@@ -510,6 +523,33 @@ mod tests {
             registry.counter_value("chaos_dropped_total", &[("endpoint", "cam0")]),
             Some(1)
         );
+    }
+
+    #[test]
+    fn partition_journal_subject_names_the_link_and_region() {
+        use coral_obs::Journal;
+        let journal = Journal::new();
+        let net = SimNet::instant();
+        let mut tx = FaultyTransport::transparent(
+            net.handle(Endpoint::Camera(CameraId(0))),
+            Endpoint::Camera(CameraId(0)),
+        );
+        tx.set_journal(journal.clone());
+        tx.set_region("region1");
+        tx.partition(Endpoint::Camera(CameraId(2)));
+        tx.heal(Endpoint::Camera(CameraId(2)));
+        let mut events = Vec::new();
+        journal.for_each(|e| events.push((e.kind, e.subject.clone(), e.detail.clone())));
+        assert_eq!(events.len(), 2);
+        // The subject is the directed link, so `explain_track_break` can
+        // attribute the outage from either end (the destination camera
+        // appears in the subject/detail, not just the sender).
+        assert_eq!(events[0].0, JournalKind::PartitionOpen);
+        assert_eq!(events[0].1, "cam0->cam2");
+        assert_eq!(events[0].2, "link cam0->cam2 partitioned [region1]");
+        assert_eq!(events[1].0, JournalKind::PartitionHeal);
+        assert_eq!(events[1].1, "cam0->cam2");
+        assert_eq!(events[1].2, "link cam0->cam2 healed [region1]");
     }
 
     #[test]

@@ -144,6 +144,14 @@ impl<T: Transport> ReliableTransport<T> {
         self.pending.len()
     }
 
+    /// Unacked frames currently held for retransmission toward `peer`.
+    /// A growing per-peer backlog is the sender-side signal that the peer
+    /// has stopped acking (dead or partitioned) — the federation failover
+    /// path watches it to detect a lost region server.
+    pub fn pending_len_for(&self, peer: Endpoint) -> usize {
+        self.pending.range((peer, 0)..=(peer, u64::MAX)).count()
+    }
+
     /// Frames abandoned after exhausting their retry budget.
     pub fn gave_up_total(&self) -> u64 {
         self.gave_up_total
@@ -456,6 +464,19 @@ mod tests {
         // The ack drains the sender's retry queue on its next poll.
         assert!(a.poll(SimTime::ZERO).is_none());
         assert_eq!(a.pending_len(), 0);
+    }
+
+    #[test]
+    fn pending_len_for_counts_only_the_given_peer() {
+        let net = SimNet::instant();
+        let mut a = reliable(&net, 0);
+        a.send(SimTime::ZERO, envelope(0, 1)).unwrap();
+        a.send(SimTime::ZERO, envelope(0, 1)).unwrap();
+        a.send(SimTime::ZERO, envelope(0, 2)).unwrap();
+        assert_eq!(a.pending_len(), 3);
+        assert_eq!(a.pending_len_for(Endpoint::Camera(CameraId(1))), 2);
+        assert_eq!(a.pending_len_for(Endpoint::Camera(CameraId(2))), 1);
+        assert_eq!(a.pending_len_for(Endpoint::TopologyServer), 0);
     }
 
     #[test]

@@ -34,6 +34,10 @@ pub enum Endpoint {
     TopologyServer,
     /// An edge storage node.
     EdgeStore(u32),
+    /// A federated region's topology server (region `0` keeps the
+    /// original [`Endpoint::TopologyServer`] address so single-region
+    /// deployments stay byte-identical).
+    RegionServer(u16),
 }
 
 impl std::fmt::Display for Endpoint {
@@ -42,6 +46,7 @@ impl std::fmt::Display for Endpoint {
             Endpoint::Camera(c) => write!(f, "{c}"),
             Endpoint::TopologyServer => write!(f, "cloud"),
             Endpoint::EdgeStore(i) => write!(f, "edge{i}"),
+            Endpoint::RegionServer(r) => write!(f, "region{r}"),
         }
     }
 }
@@ -62,7 +67,13 @@ impl Envelope {
     /// direction). Transports and latency hooks use this to pick the WAN
     /// rather than the LAN link class.
     pub fn is_cloud_bound(&self) -> bool {
-        self.from == Endpoint::TopologyServer || self.to == Endpoint::TopologyServer
+        matches!(
+            self.from,
+            Endpoint::TopologyServer | Endpoint::RegionServer(_)
+        ) || matches!(
+            self.to,
+            Endpoint::TopologyServer | Endpoint::RegionServer(_)
+        )
     }
 }
 

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod federation;
 pub mod frames;
 pub mod graph;
 pub mod query;
@@ -33,6 +34,7 @@ pub mod server;
 pub mod shard;
 pub mod snapshot;
 
+pub use federation::{merged_flat, merged_flat_of_nodes, FederatedStores, VertexAllocator};
 pub use frames::{Annotation, FrameStore, StoredFrame};
 pub use graph::{GraphError, TrajectoryEdge, TrajectoryGraph, VertexRecord};
 pub use query::{

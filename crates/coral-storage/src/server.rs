@@ -12,6 +12,7 @@
 //! shard read locks, so readers never block each other and ingest on one
 //! shard never stalls reads on another.
 
+use crate::federation::VertexAllocator;
 use crate::frames::{FrameStore, StoredFrame};
 use crate::graph::{GraphError, TrajectoryGraph};
 use crate::query::{QueryOptions, TrajectoryQueryResult};
@@ -91,8 +92,29 @@ impl EdgeStorageNode {
 
     /// Creates a node with an explicit shard/compaction configuration.
     pub fn with_config(frame_capacity_per_camera: usize, config: StorageConfig) -> Self {
+        Self::from_graph(
+            ShardedTrajectoryGraph::new(config),
+            frame_capacity_per_camera,
+        )
+    }
+
+    /// Creates a node whose store draws vertex ids and edge sequence
+    /// numbers from a shared [`VertexAllocator`] — one region's store of
+    /// a federated deployment.
+    pub fn with_allocator(
+        frame_capacity_per_camera: usize,
+        config: StorageConfig,
+        alloc: Arc<VertexAllocator>,
+    ) -> Self {
+        Self::from_graph(
+            ShardedTrajectoryGraph::with_allocator(config, alloc),
+            frame_capacity_per_camera,
+        )
+    }
+
+    fn from_graph(graph: ShardedTrajectoryGraph, frame_capacity_per_camera: usize) -> Self {
         Self {
-            graph: Arc::new(ShardedTrajectoryGraph::new(config)),
+            graph: Arc::new(graph),
             frames: Arc::new(RwLock::new(FrameStore::new(frame_capacity_per_camera))),
             metrics: Arc::new(RwLock::new(None)),
             flat_cache: Arc::new(Mutex::new(None)),
@@ -185,6 +207,37 @@ impl EdgeStorageNode {
             |m| &m.insert_event,
             || {
                 self.graph.insert_event_with_signature(
+                    event,
+                    first_seen_ms,
+                    last_seen_ms,
+                    heading,
+                    signature,
+                    ground_truth,
+                )
+            },
+        )
+    }
+
+    /// Adopts a vertex another region's store allocated, at its existing
+    /// federation-wide id (replication ingest; see
+    /// [`ShardedTrajectoryGraph::adopt_event`]). Idempotent keep-first by
+    /// event id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn adopt_event(
+        &self,
+        id: VertexId,
+        event: EventId,
+        first_seen_ms: u64,
+        last_seen_ms: u64,
+        heading: Option<Heading>,
+        signature: Option<ColorHistogram>,
+        ground_truth: Option<GroundTruthId>,
+    ) -> VertexId {
+        self.timed(
+            |m| &m.insert_event,
+            || {
+                self.graph.adopt_event(
+                    id,
                     event,
                     first_seen_ms,
                     last_seen_ms,

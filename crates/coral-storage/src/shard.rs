@@ -32,6 +32,7 @@
 //! readers). Deadlock-freedom follows from the total order; the
 //! concurrency stress test in `tests/storage_concurrency.rs` exercises it.
 
+use crate::federation::VertexAllocator;
 use crate::graph::{GraphError, TrajectoryEdge, TrajectoryGraph, VertexRecord};
 use crate::query::{trajectory_over, Direction, EdgeSource, QueryOptions, TrajectoryQueryResult};
 use coral_net::{EventId, VertexId};
@@ -41,6 +42,13 @@ use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Directory slot for a vertex id this store has never seen: in a
+/// federated deployment ids are allocated from a shared plane, so a
+/// store's id space has holes where other regions' vertices live. A
+/// stand-alone store (the default) never writes a tombstone.
+const TOMBSTONE: u16 = u16::MAX;
 
 /// Configuration of the sharded trajectory store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,8 +130,33 @@ struct Shard {
 #[derive(Debug, Default)]
 struct EventIndex {
     by_event: HashMap<EventId, VertexId>,
-    /// `dir[v]` = shard holding vertex `v`; `dir.len()` = next vertex id.
+    /// `dir[v]` = shard holding vertex `v`, or [`TOMBSTONE`] for ids held
+    /// by other regions of a federation. With a private allocator the
+    /// directory is dense and `dir.len()` = next vertex id, as before.
     dir: Vec<u16>,
+}
+
+impl EventIndex {
+    /// The shard holding `v`, if this store has it.
+    fn shard_of(&self, v: VertexId) -> Option<u16> {
+        self.dir
+            .get(v.0 as usize)
+            .copied()
+            .filter(|&s| s != TOMBSTONE)
+    }
+
+    /// Records that `v` lives on `shard`, padding the directory with
+    /// tombstones for any ids other regions hold.
+    fn set_shard(&mut self, v: VertexId, shard: u16) {
+        let slot = v.0 as usize;
+        if slot >= self.dir.len() {
+            self.dir.resize(slot, TOMBSTONE);
+            self.dir.push(shard);
+        } else {
+            debug_assert_eq!(self.dir[slot], TOMBSTONE, "vertex id {v} assigned twice");
+            self.dir[slot] = shard;
+        }
+    }
 }
 
 /// Compaction cursor: resumes the incremental pass where it left off.
@@ -147,8 +180,13 @@ pub struct ShardedTrajectoryGraph {
     cross: RwLock<BTreeMap<(VertexId, VertexId), f64>>,
     /// Physical edge count across all shards.
     edge_count: AtomicUsize,
-    /// Next global edge sequence number.
-    edge_seq: AtomicU64,
+    /// The vertex-id / edge-sequence plane. Private by default (fresh per
+    /// store — byte-identical to the pre-federation counters); shared
+    /// across every region's store in a federated deployment.
+    alloc: Arc<VertexAllocator>,
+    /// Whether `alloc` is shared with other stores (changes snapshot
+    /// restore semantics: shared counters only ratchet forward).
+    shared_alloc: bool,
     /// Longest in-view interval seen, ms: bounds how far before a query
     /// window a vertex's routing bucket can start, making bucket-range
     /// shard pruning sound.
@@ -175,8 +213,20 @@ fn space_time_hash(region: u64, bucket: u64) -> u64 {
 }
 
 impl ShardedTrajectoryGraph {
-    /// Creates an empty store with `config` (shard_count clamped to ≥ 1).
+    /// Creates an empty store with `config` (shard_count clamped to ≥ 1)
+    /// and a private id plane.
     pub fn new(config: StorageConfig) -> Self {
+        Self::build(config, Arc::new(VertexAllocator::new()), false)
+    }
+
+    /// Creates an empty store drawing vertex ids and edge sequence
+    /// numbers from a shared [`VertexAllocator`] — one region of a
+    /// federated deployment.
+    pub fn with_allocator(config: StorageConfig, alloc: Arc<VertexAllocator>) -> Self {
+        Self::build(config, alloc, true)
+    }
+
+    fn build(config: StorageConfig, alloc: Arc<VertexAllocator>, shared_alloc: bool) -> Self {
         let n = config.shard_count.max(1);
         Self {
             config: StorageConfig {
@@ -187,13 +237,19 @@ impl ShardedTrajectoryGraph {
             shards: (0..n).map(|_| RwLock::new(Shard::default())).collect(),
             cross: RwLock::new(BTreeMap::new()),
             edge_count: AtomicUsize::new(0),
-            edge_seq: AtomicU64::new(0),
+            alloc,
+            shared_alloc,
             max_interval_ms: AtomicU64::new(0),
             mutations: AtomicU64::new(0),
             cursor: Mutex::new(CompactCursor::default()),
             merged_total: AtomicU64::new(0),
             folded_total: AtomicU64::new(0),
         }
+    }
+
+    /// The id plane this store draws from.
+    pub fn allocator(&self) -> &Arc<VertexAllocator> {
+        &self.alloc
     }
 
     /// The store configuration.
@@ -246,33 +302,92 @@ impl ShardedTrajectoryGraph {
         if let Some(&v) = idx.by_event.get(&event) {
             return v;
         }
-        let id = VertexId(idx.dir.len() as u64);
-        let shard = self.route(event.camera, first_seen_ms);
+        // Allocation under the index write lock: ids this store assigns
+        // are in insertion order (and with a private allocator, exactly
+        // the old `dir.len()` counter).
+        let id = VertexId(self.alloc.allocate_vertex());
+        self.store_vertex(
+            &mut idx,
+            VertexRecord {
+                id,
+                event,
+                camera: event.camera,
+                first_seen_ms,
+                last_seen_ms,
+                heading,
+                signature,
+                ground_truth,
+            },
+        );
+        id
+    }
+
+    /// Adopts a vertex another region allocated: inserts the record at
+    /// its existing federation-wide `id` instead of allocating a fresh
+    /// one. Idempotent keep-first by event id, like
+    /// [`ShardedTrajectoryGraph::insert_event`]; the id plane is advanced
+    /// past `id` so a private allocator can never re-issue it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn adopt_event(
+        &self,
+        id: VertexId,
+        event: EventId,
+        first_seen_ms: u64,
+        last_seen_ms: u64,
+        heading: Option<coral_geo::Heading>,
+        signature: Option<ColorHistogram>,
+        ground_truth: Option<coral_vision::GroundTruthId>,
+    ) -> VertexId {
+        let mut idx = self.index.write();
+        if let Some(&v) = idx.by_event.get(&event) {
+            return v;
+        }
+        self.alloc.observe_vertex(id.0);
+        self.store_vertex(
+            &mut idx,
+            VertexRecord {
+                id,
+                event,
+                camera: event.camera,
+                first_seen_ms,
+                last_seen_ms,
+                heading,
+                signature,
+                ground_truth,
+            },
+        );
+        id
+    }
+
+    /// Commits `record` into its routed shard and the directory (the
+    /// index write lock is already held by the caller).
+    fn store_vertex(&self, idx: &mut EventIndex, record: VertexRecord) {
+        let id = record.id;
+        let event = record.event;
+        let shard = self.route(event.camera, record.first_seen_ms);
         // Publish the interval bound before the record becomes visible so
         // bucket-range pruning never misses a long-dwell vertex.
-        self.max_interval_ms
-            .fetch_max(last_seen_ms.saturating_sub(first_seen_ms), Ordering::SeqCst);
-        idx.dir.push(shard as u16);
+        self.max_interval_ms.fetch_max(
+            record.last_seen_ms.saturating_sub(record.first_seen_ms),
+            Ordering::SeqCst,
+        );
+        idx.set_shard(id, shard as u16);
         {
             let mut s = self.shards[shard].write();
-            s.vertices.insert(
-                id,
-                VertexRecord {
-                    id,
-                    event,
-                    camera: event.camera,
-                    first_seen_ms,
-                    last_seen_ms,
-                    heading,
-                    signature,
-                    ground_truth,
-                },
-            );
-            s.by_camera.entry(event.camera).or_default().push(id);
+            s.vertices.insert(id, record);
+            // Adoption can arrive out of id order; keep the per-camera
+            // list ascending (local inserts always append).
+            let ids = s.by_camera.entry(event.camera).or_default();
+            match ids.last() {
+                Some(&last) if last > id => {
+                    let pos = ids.partition_point(|&v| v < id);
+                    ids.insert(pos, id);
+                }
+                _ => ids.push(id),
+            }
         }
         idx.by_event.insert(event, id);
         self.mutations.fetch_add(1, Ordering::SeqCst);
-        id
     }
 
     /// Inserts a weighted re-identification edge `from → to`. Exact
@@ -286,14 +401,8 @@ impl ShardedTrajectoryGraph {
     pub fn insert_edge(&self, from: VertexId, to: VertexId, weight: f64) -> Result<(), GraphError> {
         let (sf, st) = {
             let idx = self.index.read();
-            let sf = *idx
-                .dir
-                .get(from.0 as usize)
-                .ok_or(GraphError::UnknownVertex(from))? as usize;
-            let st = *idx
-                .dir
-                .get(to.0 as usize)
-                .ok_or(GraphError::UnknownVertex(to))? as usize;
+            let sf = idx.shard_of(from).ok_or(GraphError::UnknownVertex(from))? as usize;
+            let st = idx.shard_of(to).ok_or(GraphError::UnknownVertex(to))? as usize;
             (sf, st)
         };
         if from == to {
@@ -308,7 +417,7 @@ impl ShardedTrajectoryGraph {
             if !self.config.deferred_edge_dedup && has_out_edge(&s, from, to) {
                 return Ok(());
             }
-            let seq = self.edge_seq.fetch_add(1, Ordering::SeqCst);
+            let seq = self.alloc.allocate_edge_seq();
             s.out_edges.entry(from).or_default().push(SeqEdge {
                 edge,
                 seq,
@@ -332,7 +441,7 @@ impl ShardedTrajectoryGraph {
             if !self.config.deferred_edge_dedup && has_out_edge(out_shard, from, to) {
                 return Ok(());
             }
-            let seq = self.edge_seq.fetch_add(1, Ordering::SeqCst);
+            let seq = self.alloc.allocate_edge_seq();
             out_shard.out_edges.entry(from).or_default().push(SeqEdge {
                 edge,
                 seq,
@@ -358,11 +467,11 @@ impl ShardedTrajectoryGraph {
     ///
     /// Returns [`GraphError::UnknownVertex`] for unassigned ids.
     pub fn vertex(&self, id: VertexId) -> Result<VertexRecord, GraphError> {
-        let shard = {
-            let idx = self.index.read();
-            idx.dir.get(id.0 as usize).copied()
-        }
-        .ok_or(GraphError::UnknownVertex(id))?;
+        let shard = self
+            .index
+            .read()
+            .shard_of(id)
+            .ok_or(GraphError::UnknownVertex(id))?;
         let s = self.shards[shard as usize].read();
         s.vertices
             .get(&id)
@@ -375,9 +484,9 @@ impl ShardedTrajectoryGraph {
         self.index.read().by_event.get(&event).copied()
     }
 
-    /// Number of vertices.
+    /// Number of vertices this store holds (owned plus adopted).
     pub fn vertex_count(&self) -> usize {
-        self.index.read().dir.len()
+        self.index.read().by_event.len()
     }
 
     /// Number of physical edges across all shards (equals the flat
@@ -715,7 +824,7 @@ impl ShardedTrajectoryGraph {
             time_bucket_ms: self.config.time_bucket_ms,
             cameras_per_region: self.config.cameras_per_region,
             next_vertex: idx.dir.len() as u64,
-            edge_seq: self.edge_seq.load(Ordering::SeqCst),
+            edge_seq: self.alloc.next_edge_seq_hint(),
             max_interval_ms: self.max_interval_ms.load(Ordering::SeqCst),
             shards,
         }
@@ -819,7 +928,8 @@ impl ShardedTrajectoryGraph {
         }
 
         self.edge_count.store(edge_total, Ordering::SeqCst);
-        self.edge_seq.store(state.edge_seq, Ordering::SeqCst);
+        self.alloc
+            .restore(state.next_vertex, state.edge_seq, self.shared_alloc);
         self.max_interval_ms
             .store(state.max_interval_ms, Ordering::SeqCst);
         *self.cursor.lock() = CompactCursor::default();

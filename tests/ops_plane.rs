@@ -219,6 +219,99 @@ fn health_engine_does_not_perturb_the_simulation() {
     assert_eq!(fingerprint(true), fingerprint(false));
 }
 
+/// A whole-region partition must be visible on the ops plane the same
+/// way a camera outage is: the health engine flips CRITICAL for exactly
+/// the dead region's subject (the survivor stays healthy), and clears
+/// back after the heal once heartbeats land at the revived server again.
+#[test]
+fn region_partition_flips_health_for_exactly_the_dead_region() {
+    use coral_pie::core::FederationConfig;
+    use coral_pie::net::{FaultPlan, FaultPolicy, RetryPolicy};
+
+    let net = generators::corridor(6, 120.0, 12.0);
+    let specs: Vec<CameraSpec> = (0..6)
+        .map(|i| CameraSpec {
+            id: CameraId(i),
+            site: IntersectionId(i),
+            videoing_angle_deg: 0.0,
+        })
+        .collect();
+    let config = SystemConfig {
+        faults: Some(FaultPlan::uniform(
+            FaultPolicy {
+                drop: 0.05,
+                duplicate: 0.01,
+                ..FaultPolicy::default()
+            },
+            0xFED5,
+        )),
+        reliability: Some(RetryPolicy::default()),
+        federation: FederationConfig {
+            regions: 2,
+            ..FederationConfig::default()
+        },
+        seed: 42,
+        ..SystemConfig::default()
+    };
+    let mut sys = CoralPieSystem::new(net, &specs, config);
+    sys.schedule_region_kill(SimTime::from_secs(KILL_S), 1);
+    sys.schedule_region_restore(SimTime::from_secs(RESTORE_S), 1);
+
+    // Before the kill: both regions are in contact and healthy.
+    sys.run_until(SimTime::from_secs(KILL_S - 2));
+    let report = sys
+        .observability()
+        .latest_health()
+        .expect("health evaluated every sim-second");
+    for region in ["region0", "region1"] {
+        assert_ne!(
+            report.verdict_for(region),
+            Some(Verdict::Critical),
+            "{region} critical before the partition: {}",
+            report.to_json()
+        );
+    }
+
+    // One heartbeat-miss deadline after the kill: region1's contact gauge
+    // is stale past the critical threshold; region0 keeps hearing from
+    // its (and, post-failover, the orphaned) cameras.
+    sys.run_until(SimTime::from_secs(KILL_S + DEADLINE_S + 2));
+    assert_eq!(journal_kind_count(&sys, JournalKind::PartitionOpen), 1);
+    let report = sys
+        .observability()
+        .latest_health()
+        .expect("health evaluated every sim-second");
+    assert_eq!(
+        report.verdict_for("region1"),
+        Some(Verdict::Critical),
+        "region1 not critical one deadline after the partition: {}",
+        report.to_json()
+    );
+    assert_ne!(
+        report.verdict_for("region0"),
+        Some(Verdict::Critical),
+        "the surviving region0 went critical: {}",
+        report.to_json()
+    );
+
+    // After the heal the home cameras fail back, their heartbeats refresh
+    // the contact gauge, and region1 recovers its verdict.
+    sys.run_until(SimTime::from_secs(RESTORE_S + DEADLINE_S + 2));
+    assert_eq!(journal_kind_count(&sys, JournalKind::PartitionHeal), 1);
+    let report = sys
+        .observability()
+        .latest_health()
+        .expect("health evaluated every sim-second");
+    for region in ["region0", "region1"] {
+        assert_ne!(
+            report.verdict_for(region),
+            Some(Verdict::Critical),
+            "{region} still critical after the heal: {}",
+            report.to_json()
+        );
+    }
+}
+
 #[test]
 fn journal_export_is_byte_deterministic_across_seeds() {
     for seed in [7, 42, 1234] {
